@@ -1,0 +1,64 @@
+// Shared helpers for the figure-reproduction benchmarks. Every bench binary
+// prints the rows/series of one paper figure via util::Table, using the
+// calibrated A100 cost model (and, where marked, real CPU kernel timings).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "core/segment.h"
+#include "gpu/costmodel.h"
+#include "gpu/specs.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/popularity.h"
+
+namespace punica::bench {
+
+/// Segment-size layout (rows per LoRA segment) for a given popularity
+/// distribution at a given batch size — the shapes swept in Figs. 7–10.
+inline std::vector<std::int32_t> SegmentRowsFor(Popularity pop,
+                                                int batch_size,
+                                                std::uint64_t seed = 42) {
+  Pcg32 rng(seed);
+  std::vector<LoraId> ids = AssignLoraIds(pop, batch_size, rng);
+  auto perm = GroupRowsByLora(ids);
+  std::vector<LoraId> grouped;
+  grouped.reserve(ids.size());
+  for (auto p : perm) grouped.push_back(ids[static_cast<std::size_t>(p)]);
+  Segments seg = BuildSegments(grouped);
+  std::vector<std::int32_t> rows;
+  for (int i = 0; i < seg.num_segments(); ++i) {
+    rows.push_back(seg.segment_rows(i));
+  }
+  return rows;
+}
+
+/// Wall-clock timing of a real CPU kernel: median of `reps` runs.
+inline double TimeCpu(const std::function<void()>& fn, int reps = 5) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[static_cast<std::size_t>(reps / 2)];
+}
+
+inline void PrintHeader(const char* figure, const char* description,
+                        const GpuSpec& spec = A100Sxm80GB()) {
+  std::printf("=======================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("Cost model: %s (calibrated roofline; see DESIGN.md §2)\n",
+              spec.name.c_str());
+  std::printf("=======================================================\n\n");
+}
+
+}  // namespace punica::bench

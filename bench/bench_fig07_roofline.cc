@@ -1,0 +1,55 @@
+// Figure 7: roofline plot of the SGMV kernel (expand: h_i=16, h_o=4096),
+// batch size 1–64 under the four popularity distributions.
+//
+// Prints (arithmetic intensity, achieved FLOP/s) pairs per distribution —
+// the series the paper plots against the A100's 1.935 TB/s bandwidth
+// diagonal and 312 TFLOP/s ceiling. Expected shape: Identical tracks the
+// bandwidth diagonal; Distinct rises vertically at constant intensity;
+// Uniform/Skewed sit in between.
+#include "bench_common.h"
+#include "core/sgmv.h"
+
+namespace punica {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 7", "Roofline of the SGMV kernel");
+  CostModel cm((A100Sxm80GB()));
+  const int h_in = 16, h_out = 4096;
+
+  std::printf("Rooflines: memory diagonal %s × AI; compute ceiling %s\n\n",
+              FormatBytes(cm.gpu().hbm_bytes_per_s).c_str(),
+              FormatFlops(cm.gpu().fp16_flops).c_str());
+
+  for (Popularity pop : kAllPopularities) {
+    Table t({"batch", "segments", "FLOP", "IO bytes", "intensity",
+             "kernel time", "achieved FLOP/s", "% of roofline"});
+    for (int b : {1, 2, 4, 8, 16, 32, 48, 64}) {
+      auto rows = bench::SegmentRowsFor(pop, b);
+      std::vector<std::int32_t> seg = {0};
+      for (auto r : rows) seg.push_back(seg.back() + r);
+      SgmvCost cost = SgmvCostOf(seg, h_in, h_out);
+      double time = cm.SgmvKernelTime(rows, h_in, h_out);
+      double achieved = cost.flop / time;
+      double ai = cost.arithmetic_intensity();
+      double roof = std::min(ai * cm.gpu().hbm_bytes_per_s,
+                             cm.gpu().fp16_flops);
+      t.AddRow({std::to_string(b), std::to_string(rows.size()),
+                FormatDouble(cost.flop / 1e6, 2) + " M",
+                FormatBytes(cost.io_bytes), FormatDouble(ai, 2),
+                FormatSeconds(time), FormatFlops(achieved),
+                FormatDouble(achieved / roof * 100.0, 1) + "%"});
+    }
+    std::printf("%s:\n", ToString(pop).c_str());
+    t.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace punica
+
+int main() {
+  punica::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 10: transformer layer latency with the LoRA operator incorporated.
+// 7B and 13B configurations, sequence lengths 512 and 2048, batch 1–32,
+// four popularity distributions.
+//
+// Expected shapes: latency nearly identical across distributions (the LoRA
+// addon is small next to dense projections + attention — the property that
+// lets Punica schedule different LoRA models as if one); batching effect
+// stronger at len 512 (+~72% from bs 1→32) than at len 2048.
+#include "bench_common.h"
+#include "model/config.h"
+
+namespace punica {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 10", "Transformer layer latency (LoRA rank 16)");
+  CostModel cm((A100Sxm80GB()));
+
+  for (const LlamaConfig& model : {Llama7B(), Llama13B()}) {
+    for (int len : {512, 2048}) {
+      std::printf("%s, len=%d:\n", model.name.c_str(), len);
+      Table t({"batch", "Distinct", "Uniform", "Skewed", "Identical",
+               "spread"});
+      for (int b : {1, 4, 8, 16, 24, 32}) {
+        std::vector<std::string> row = {std::to_string(b)};
+        double lo = 1e18, hi = 0.0;
+        for (Popularity pop : kAllPopularities) {
+          StepShape shape;
+          shape.decode_kv_lens.assign(static_cast<std::size_t>(b), len);
+          shape.lora_segment_rows = bench::SegmentRowsFor(pop, b);
+          shape.lora_rank = 16;
+          double t_layer = cm.LayerLatency(model, shape);
+          lo = std::min(lo, t_layer);
+          hi = std::max(hi, t_layer);
+          row.push_back(FormatSeconds(t_layer));
+        }
+        row.push_back(FormatDouble((hi / lo - 1.0) * 100.0, 1) + "%");
+        t.AddRow(row);
+      }
+      t.Print();
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace punica
+
+int main() {
+  punica::Run();
+  return 0;
+}

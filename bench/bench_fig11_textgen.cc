@@ -1,0 +1,68 @@
+// Figure 11: single-GPU text-generation throughput, 7B and 13B models,
+// 1000 requests with ShareGPT-like lengths, FCFS, max batch 32, five
+// systems × four popularity distributions.
+//
+// Paper anchors (7B): Punica ≈ 1044 tok/s across all distributions; vLLM
+// (backbone-only) ≈ 1140 tok/s on Identical but collapses to batch-size-1–3
+// on the multi-LoRA workloads; HF slowest everywhere; 13B ≈ 693 (Punica) /
+// 789 (vLLM Identical).
+//
+// --prefill-limit N ablates the mixed-batch prefill limit (DESIGN.md §5.2).
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.h"
+#include "baselines/systems.h"
+#include "workload/trace.h"
+
+namespace punica {
+namespace {
+
+void Run(int prefill_limit) {
+  bench::PrintHeader("Figure 11", "Single-GPU text generation (1000 reqs, "
+                                  "max batch 32)");
+  CostModel cm((A100Sxm80GB()));
+
+  for (const LlamaConfig& model : {Llama7B(), Llama13B()}) {
+    std::printf("%s (prefill limit %d):\n", model.name.c_str(),
+                prefill_limit);
+    Table t({"system", "Distinct", "Uniform", "Skewed", "Identical",
+             "mean decode batch (Uniform)"});
+    for (ServingSystem sys : kAllServingSystems) {
+      std::vector<std::string> row = {TraitsOf(sys).name};
+      double uniform_batch = 0.0;
+      for (Popularity pop : kAllPopularities) {
+        TraceSpec spec;
+        spec.num_requests = 1000;
+        spec.popularity = pop;
+        spec.seed = 0xC0FFEE;
+        auto trace = GenerateClosedLoopTrace(spec);
+        TextGenConfig cfg;
+        cfg.prefill_limit = prefill_limit;
+        TextGenResult r = SimulateTextGen(sys, trace, model, cm, cfg);
+        row.push_back(FormatDouble(r.throughput_tok_s, 0) + " tok/s");
+        if (pop == Popularity::kUniform) {
+          uniform_batch = r.mean_decode_batch;
+        }
+      }
+      row.push_back(FormatDouble(uniform_batch, 1));
+      t.AddRow(row);
+    }
+    t.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace punica
+
+int main(int argc, char** argv) {
+  int prefill_limit = 1;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--prefill-limit") == 0) {
+      prefill_limit = std::atoi(argv[i + 1]);
+    }
+  }
+  punica::Run(prefill_limit > 0 ? prefill_limit : 1);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 12: 70B model with Megatron-style tensor parallelism across 8
+// A100-40GB GPUs (Testbed #2), vLLM (backbone-only) vs Punica, four
+// popularity distributions.
+//
+// Paper anchors: Punica ≈ 441–446 tok/s regardless of distribution; vLLM ≈
+// 21–25 tok/s on the multi-LoRA workloads and ≈ 457 tok/s on Identical
+// (where the two systems' parallel schemes coincide).
+#include "bench_common.h"
+#include "baselines/systems.h"
+#include "gpu/specs.h"
+#include "workload/trace.h"
+
+namespace punica {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 12", "70B text generation, tensor parallel x8",
+                     A100Sxm40GB());
+  CostModel cm((A100Sxm40GB()));
+  LlamaConfig model = Llama70B();
+  TextGenConfig cfg;
+  cfg.tp_degree = 8;
+
+  Table t({"system", "Distinct", "Uniform", "Skewed", "Identical"});
+  for (ServingSystem sys : {ServingSystem::kVllm, ServingSystem::kPunica}) {
+    std::vector<std::string> row = {TraitsOf(sys).name};
+    for (Popularity pop : kAllPopularities) {
+      TraceSpec spec;
+      spec.num_requests = 1000;
+      spec.popularity = pop;
+      spec.seed = 0xC0FFEE;
+      auto trace = GenerateClosedLoopTrace(spec);
+      TextGenResult r = SimulateTextGen(sys, trace, model, cm, cfg);
+      row.push_back(FormatDouble(r.throughput_tok_s, 0) + " tok/s");
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf("\nKvCache capacity per 8-GPU replica: %lld tokens\n",
+              static_cast<long long>(
+                  cm.KvCacheCapacityTokens(model, 8) * 8));
+}
+
+}  // namespace
+}  // namespace punica
+
+int main() {
+  punica::Run();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Figure 13: one-hour cluster deployment on 16 simulated A100s serving 7B.
+// Request rate ramps up to a peak at t=30 min and back down (Poisson
+// arrivals); LoRA popularity is Zipf-1.5 (the Skewed workload).
+//
+// Prints the three panels as 3-minute windows: request rate (req/s), text
+// generation throughput (tok/s), and per-GPU batch-size means — plus a
+// consolidation summary. Expected shape: busy GPUs run at max batch size;
+// load concentrates on high-UUID GPUs; idle GPUs stay idle (releasable).
+//
+// Flags: --max-batch N (default 32) sweeps the scheduler constant
+// (DESIGN.md §5.3); --peak R sets the peak request rate (default 30 req/s).
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.h"
+#include "sched/cluster.h"
+#include "sim/arrivals.h"
+#include "workload/trace.h"
+
+namespace punica {
+namespace {
+
+void Run(int max_batch, double peak_rate) {
+  bench::PrintHeader("Figure 13", "Cluster deployment (16 GPUs, 1 hour, "
+                                  "Zipf-1.5, 7B)");
+  CostModel cm((A100Sxm80GB()));
+  const double kHorizon = 3600.0;
+
+  ClusterConfig cfg;
+  cfg.num_gpus = 16;
+  cfg.model = Llama7B();
+  cfg.runner.max_batch_size = max_batch;
+  cfg.runner.kv_capacity_tokens = cm.KvCacheCapacityTokens(cfg.model);
+  cfg.runner.lora_load_latency_s = cm.LoraLoadModelLatency(cfg.model, 16);
+  cfg.consolidation_interval_s = 60.0;
+  // Cloud autoscaling (§5.1): start small, acquire under load, release
+  // idle GPUs back to the provider.
+  cfg.enable_autoscale = true;
+  cfg.initial_gpus = 2;
+  cfg.autoscale_interval_s = 30.0;
+  cfg.autoscale.min_gpus = 1;
+
+  Pcg32 rng(20240613);
+  auto arrivals = PoissonArrivals(
+      [&](double t) { return RampRate(t, kHorizon, peak_rate); }, peak_rate,
+      kHorizon, rng);
+  auto trace = GenerateOpenLoopTrace(arrivals, /*num_models=*/64,
+                                     /*zipf_alpha=*/1.5, /*seed=*/7);
+  std::printf("max batch %d, peak %.1f req/s, %zu requests, %lld output "
+              "tokens, KvCache %lld tokens/GPU\n\n",
+              max_batch, peak_rate, trace.size(),
+              static_cast<long long>(TotalOutputTokens(trace)),
+              static_cast<long long>(cfg.runner.kv_capacity_tokens));
+
+  ClusterDriver driver(cfg, &cm);
+  driver.SubmitTrace(trace);
+  driver.Run();
+  const ClusterStats& stats = driver.stats();
+
+  const double kWindow = 180.0;
+  double horizon = std::max(kHorizon, stats.makespan) + kWindow;
+  auto req_windows = stats.arrivals.Windows(kWindow, horizon);
+  auto tok_windows = stats.tokens.Windows(kWindow, horizon);
+
+  auto active_windows = stats.active_gpus.Windows(kWindow, horizon);
+  Table t({"t (min)", "req/s", "tok/s", "busy GPUs", "in service",
+           "per-GPU batch (mean)"});
+  for (std::size_t w = 0; w < req_windows.size(); ++w) {
+    double t_lo = req_windows[w].window_start;
+    int busy_gpus = 0;
+    RunningStat batch_mean;
+    for (int g = 0; g < cfg.num_gpus; ++g) {
+      auto gw = stats.gpu_batch[static_cast<std::size_t>(g)].Windows(
+          kWindow, horizon);
+      double mean = gw[w].count > 0 ? gw[w].mean : 0.0;
+      if (mean > 0.5) ++busy_gpus;
+      batch_mean.Add(mean);
+    }
+    std::string in_service =
+        active_windows[w].count > 0
+            ? FormatDouble(active_windows[w].mean, 1)
+            : "-";
+    t.AddRow({FormatDouble(t_lo / 60.0, 0),
+              FormatDouble(req_windows[w].sum / kWindow, 2),
+              FormatDouble(tok_windows[w].sum / kWindow, 0),
+              std::to_string(busy_gpus), in_service,
+              FormatDouble(batch_mean.mean(), 1)});
+  }
+  t.Print();
+
+  std::printf("\nSummary:\n");
+  Table s({"metric", "value"});
+  s.AddRow({"requests finished", std::to_string(stats.finished_requests)});
+  s.AddRow({"tokens generated", std::to_string(stats.total_new_tokens)});
+  s.AddRow({"model invocations", std::to_string(stats.total_steps)});
+  s.AddRow({"migrations", std::to_string(stats.migrations)});
+  s.AddRow({"mean step batch size",
+            FormatDouble(stats.step_batch_size.mean(), 1)});
+  s.AddRow({"mean request latency",
+            FormatSeconds(stats.request_latency.mean())});
+  s.AddRow({"p50 / p99 request latency",
+            FormatSeconds(Percentile(stats.request_latencies, 50)) + " / " +
+                FormatSeconds(Percentile(stats.request_latencies, 99))});
+  s.AddRow({"mean time-to-first-token",
+            FormatSeconds(stats.first_token_latency.mean())});
+  s.AddRow({"makespan", FormatSeconds(stats.makespan)});
+  s.AddRow({"GPU acquisitions / releases (autoscale)",
+            std::to_string(stats.gpu_acquisitions) + " / " +
+                std::to_string(stats.gpu_releases)});
+  int unused = 0;
+  for (double busy : stats.gpu_busy_s) {
+    if (busy == 0.0) ++unused;
+  }
+  s.AddRow({"GPUs never used (consolidation)", std::to_string(unused)});
+  s.Print();
+
+  std::printf("\nPer-GPU busy time (consolidation skews load to high "
+              "UUIDs):\n");
+  Table g({"GPU", "busy", "utilisation"});
+  for (int i = 0; i < cfg.num_gpus; ++i) {
+    double busy = stats.gpu_busy_s[static_cast<std::size_t>(i)];
+    g.AddRow({std::to_string(i), FormatSeconds(busy),
+              FormatDouble(busy / kHorizon * 100.0, 1) + "%"});
+  }
+  g.Print();
+}
+
+}  // namespace
+}  // namespace punica
+
+int main(int argc, char** argv) {
+  int max_batch = 32;
+  double peak = 30.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-batch") == 0) {
+      max_batch = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--peak") == 0) {
+      peak = std::atof(argv[i + 1]);
+    }
+  }
+  punica::Run(max_batch > 0 ? max_batch : 32, peak > 0 ? peak : 10.0);
+  return 0;
+}

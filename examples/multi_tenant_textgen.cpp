@@ -1,0 +1,58 @@
+// Multi-tenant serving comparison: the paper's single-GPU experiment
+// (Fig. 11) at interactive scale. Simulates 300 requests with ShareGPT-like
+// lengths through five serving systems × four LoRA popularity
+// distributions on a modelled A100, and prints throughput plus why each
+// system behaves the way it does.
+#include <cstdio>
+
+#include "baselines/systems.h"
+#include "gpu/specs.h"
+#include "util/table.h"
+#include "workload/trace.h"
+
+using namespace punica;
+
+int main() {
+  CostModel cm((A100Sxm80GB()));
+  LlamaConfig model = Llama7B();
+
+  std::printf("Multi-tenant LoRA serving on one modelled %s, %s\n\n",
+              cm.gpu().name.c_str(), model.name.c_str());
+
+  Table t({"system", "batching capability", "Distinct", "Uniform", "Skewed",
+           "Identical"});
+  for (ServingSystem sys : kAllServingSystems) {
+    SystemTraits traits = TraitsOf(sys);
+    std::string capability;
+    if (traits.cross_lora_batching) {
+      capability = "cross-LoRA continuous";
+    } else if (traits.continuous_batching) {
+      capability = "same-model continuous";
+    } else {
+      capability = "same-model, batch-to-completion";
+    }
+    std::vector<std::string> row = {traits.name, capability};
+    for (Popularity pop : kAllPopularities) {
+      TraceSpec spec;
+      spec.num_requests = 300;
+      spec.popularity = pop;
+      spec.seed = 99;
+      auto trace = GenerateClosedLoopTrace(spec);
+      TextGenResult r = SimulateTextGen(sys, trace, model, cm);
+      row.push_back(FormatDouble(r.throughput_tok_s, 0) + " tok/s");
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+
+  std::printf(
+      "\nReading the table:\n"
+      " * Baselines only batch requests of the SAME LoRA model, so their\n"
+      "   throughput collapses when tenants are diverse (Distinct/Uniform/"
+      "Skewed).\n"
+      " * Punica's SGMV kernel batches ACROSS LoRA models; throughput is\n"
+      "   nearly independent of the popularity distribution.\n"
+      " * On Identical, vLLM (running backbone-only, no LoRA math at all)\n"
+      "   is slightly ahead — the LoRA addon costs ~2 ms per token.\n");
+  return 0;
+}

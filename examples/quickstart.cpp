@@ -1,0 +1,87 @@
+// Quickstart: serve multiple LoRA models over one shared backbone.
+//
+// This runs the real numeric path end to end on a tiny Llama-architecture
+// model: one backbone copy, several LoRA adapters, and the Engine's
+// continuous-batching loop (mixed prefill+decode invocations, SGMV-grouped
+// batches, paged KvCache). Build and run:
+//
+//     cmake -B build -G Ninja && cmake --build build
+//     ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "model/llama.h"
+#include "runtime/engine.h"
+
+using namespace punica;
+
+int main() {
+  // 1. One backbone model, shared by every tenant (the paper's key memory
+  //    saving: a GPU holds a single copy of the pre-trained weights).
+  LlamaConfig config = TinyLlama();
+  LlamaModel model(config, /*seed=*/1234);
+  std::printf("Backbone: %s (%lld params, %d layers)\n",
+              config.name.c_str(),
+              static_cast<long long>(config.total_params()),
+              config.num_layers);
+
+  // 2. Register LoRA adapters — one per tenant. Each is ~1% of the
+  //    backbone's size (A [h_in, r] and B [r, h_out] per projection per
+  //    layer).
+  model.AddLora(/*id=*/0, /*rank=*/8, /*seed=*/111);
+  model.AddLora(/*id=*/1, /*rank=*/8, /*seed=*/222);
+  model.AddLora(/*id=*/2, /*rank=*/4, /*seed=*/333);
+  std::printf("Registered %zu LoRA adapters (rank-8 adapter: %lld bytes vs "
+              "%lld-byte backbone)\n\n",
+              model.num_loras(),
+              static_cast<long long>(config.lora_total_bytes(8)),
+              static_cast<long long>(config.total_weight_bytes()));
+
+  // 3. Start a serving engine (one per GPU) and submit requests for
+  //    *different* LoRA models. They will be batched together: dense
+  //    projections run as one GEMM, LoRA addons as SGMV over per-model
+  //    segments.
+  Engine engine(&model, model.MakeKvConfig(/*num_pages=*/512));
+  struct Submission {
+    const char* tenant;
+    LoraId lora;
+    std::vector<std::int32_t> prompt;
+  };
+  std::vector<Submission> submissions = {
+      {"tenant-A (lora 0)", 0, {17, 3, 42, 7}},
+      {"tenant-B (lora 1)", 1, {99, 5}},
+      {"tenant-C (lora 2)", 2, {8, 8, 8}},
+      {"tenant-D (backbone)", -1, {1, 2, 3}},
+  };
+  std::vector<std::int64_t> ids;
+  for (const auto& s : submissions) {
+    ids.push_back(engine.AddRequest(s.lora, s.prompt, /*max_new_tokens=*/8));
+  }
+
+  // 4. Run the continuous-batching loop. Each Step() is one batched model
+  //    invocation; watch the SGMV segment count stay below the batch size
+  //    as requests of the same adapter share segments.
+  int step = 0;
+  while (engine.HasWork()) {
+    auto result = engine.Step();
+    std::printf("step %2d: batch=%d prefills=%d sgmv-segments=%d "
+                "emitted=%zu\n",
+                ++step, result.batch_size, result.prefill_requests,
+                result.num_segments, result.emitted.size());
+  }
+
+  // 5. Collect per-tenant outputs.
+  std::printf("\nGenerated token streams:\n");
+  for (std::size_t i = 0; i < submissions.size(); ++i) {
+    std::string line = "  " + std::string(submissions[i].tenant) + ": ";
+    for (auto tok : *engine.Output(ids[i])) {
+      line += std::to_string(tok) + " ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("\nAll four tenants were served by ONE backbone copy in %d "
+              "batched invocations.\n",
+              step);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Baseline implementations of the batched LoRA operator (paper §7.1,
+// Fig. 8): a Python-style Loop over LoRA models and Gather-BMM (stack each
+// row's weight matrices, then batched matmul). Both compute exactly the same
+// result as the SGMV-based operator — the equivalence is tested — but with
+// very different IO behaviour, which the latency models quantify.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/lora.h"
+#include "gpu/costmodel.h"
+
+namespace punica {
+
+/// Loop baseline: one independent (dense) A·B application per segment —
+/// semantically a for-loop over LoRA models, each running at its own small
+/// batch size.
+void LoopLoraApply(std::span<float> y, std::span<const float> x,
+                   std::span<const LoraAB* const> adapters,
+                   std::span<const std::int32_t> seg, int h_in, int h_out);
+
+/// Gather-BMM baseline IO accounting.
+struct GatherBmmStats {
+  double gather_read_bytes = 0.0;   ///< n · (h_i·r + r·h_o) · 2
+  double gather_write_bytes = 0.0;  ///< s_n · (h_i·r + r·h_o) · 2
+  double bmm_weight_read_bytes = 0.0;  ///< equal to gather_write_bytes
+};
+
+/// Gather-BMM baseline: materialises a stacked per-row weight tensor
+/// (the Gather), then performs a batched matrix multiplication per row
+/// (torch.bmm semantics). Gather+BMM run twice (A then B).
+void GatherBmmLoraApply(std::span<float> y, std::span<const float> x,
+                        std::span<const LoraAB* const> adapters,
+                        std::span<const std::int32_t> seg, int h_in, int h_out,
+                        GatherBmmStats* stats = nullptr);
+
+// --- A100 latency models (Fig. 8 projection) ---
+
+/// Loop: per-segment kernel-pair launches, each at the segment's batch size.
+double LoopLoraLatency(const CostModel& cm,
+                       std::span<const std::int32_t> segment_rows, int h_in,
+                       int h_out, int rank);
+
+/// Gather-BMM: two Gather launches + two BMM launches; Gather writes
+/// (and BMM re-reads) s_n stacked matrices — the s_n·h_i·h_o·2-element IO
+/// overhead the paper calls out versus SGMV.
+double GatherBmmLoraLatency(const CostModel& cm,
+                            std::span<const std::int32_t> segment_rows,
+                            int h_in, int h_out, int rank);
+
+/// The Gather step alone and the BMM step alone (the reference curves the
+/// paper plots alongside).
+double GatherOnlyLatency(const CostModel& cm,
+                         std::span<const std::int32_t> segment_rows, int h_in,
+                         int h_out, int rank);
+double BmmOnlyLatency(const CostModel& cm,
+                      std::span<const std::int32_t> segment_rows, int h_in,
+                      int h_out, int rank);
+
+}  // namespace punica

@@ -1,0 +1,114 @@
+#include "core/segment.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace punica {
+
+bool Segments::IsValid() const {
+  if (offsets.size() != lora_ids.size() + 1) return false;
+  if (offsets.empty() || offsets.front() != 0) return false;
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i + 1] <= offsets[i]) return false;  // empty or reversed
+  }
+  for (std::size_t i = 0; i + 1 < lora_ids.size(); ++i) {
+    if (lora_ids[i] == lora_ids[i + 1]) return false;  // unmerged duplicate
+  }
+  return true;
+}
+
+Segments BuildSegments(std::span<const LoraId> per_row_lora_ids) {
+  Segments seg;
+  seg.offsets.push_back(0);
+  for (std::size_t i = 0; i < per_row_lora_ids.size(); ++i) {
+    if (seg.lora_ids.empty() ||
+        seg.lora_ids.back() != per_row_lora_ids[i]) {
+      if (!seg.lora_ids.empty()) {
+        seg.offsets.push_back(static_cast<std::int32_t>(i));
+      }
+      seg.lora_ids.push_back(per_row_lora_ids[i]);
+    }
+  }
+  if (!per_row_lora_ids.empty()) {
+    seg.offsets.push_back(static_cast<std::int32_t>(per_row_lora_ids.size()));
+  }
+  PUNICA_CHECK(per_row_lora_ids.empty() || seg.IsValid());
+  return seg;
+}
+
+std::vector<std::int32_t> GroupRowsByLora(std::span<const LoraId> ids) {
+  // Stable bucket sort by first-appearance order of each LoRA id.
+  std::unordered_map<LoraId, std::int32_t> first_seen;
+  std::int32_t next_group = 0;
+  std::vector<std::int32_t> group_of(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto [it, inserted] = first_seen.try_emplace(ids[i], next_group);
+    if (inserted) ++next_group;
+    group_of[i] = it->second;
+  }
+  std::vector<std::int32_t> perm(ids.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = static_cast<std::int32_t>(i);
+  }
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return group_of[static_cast<std::size_t>(a)] <
+                            group_of[static_cast<std::size_t>(b)];
+                   });
+  return perm;
+}
+
+void PermuteRows(std::span<const float> in, std::span<float> out,
+                 std::span<const std::int32_t> perm, int width) {
+  PUNICA_CHECK(width > 0);
+  PUNICA_CHECK(in.size() == perm.size() * static_cast<std::size_t>(width));
+  PUNICA_CHECK(out.size() == in.size());
+  auto w = static_cast<std::size_t>(width);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    auto src = static_cast<std::size_t>(perm[i]);
+    std::memcpy(&out[i * w], &in[src * w], w * sizeof(float));
+  }
+}
+
+std::vector<std::int32_t> InvertPermutation(std::span<const std::int32_t> p) {
+  std::vector<std::int32_t> inv(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    auto j = static_cast<std::size_t>(p[i]);
+    PUNICA_CHECK(j < p.size());
+    inv[j] = static_cast<std::int32_t>(i);
+  }
+  return inv;
+}
+
+bool BatchLen::IsValid() const {
+  if (prefill_tokens < 0 || num_decode < 0) return false;
+  std::int32_t prev = -1;
+  for (auto s : prefill_starts) {
+    if (s < 0 || s >= prefill_tokens) return false;
+    if (s <= prev) return false;
+    prev = s;
+  }
+  if (!prefill_starts.empty() && prefill_starts.front() != 0) return false;
+  if (prefill_starts.empty() && prefill_tokens != 0) return false;
+  return true;
+}
+
+BatchLen BuildBatchLen(std::span<const std::int32_t> prefill_lengths,
+                       int num_decode) {
+  BatchLen bl;
+  bl.num_decode = num_decode;
+  std::int32_t cursor = 0;
+  for (auto len : prefill_lengths) {
+    PUNICA_CHECK_MSG(len > 0, "prefill length must be positive");
+    bl.prefill_starts.push_back(cursor);
+    cursor += len;
+  }
+  bl.prefill_tokens = cursor;
+  PUNICA_CHECK(bl.IsValid());
+  return bl;
+}
+
+}  // namespace punica

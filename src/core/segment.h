@@ -1,0 +1,72 @@
+// Segment descriptors for SGMV and batch metadata for mixed prefill/decode
+// invocations.
+//
+// The paper groups batch rows that use the same LoRA model into contiguous
+// segments: seg.offsets = {s_0=0, s_1, …, s_n = batch_size} and
+// seg.lora_ids[i] names the LoRA model applied to rows [s_i, s_{i+1}).
+// SGMV segment indices and BatchLen are computed once per model invocation
+// and reused across all layers (the paper notes this avoids recomputing them
+// L times for BatchLen and 7·L times for SGMV).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace punica {
+
+using LoraId = std::int64_t;
+
+/// A contiguous partition of the batch rows by LoRA model.
+struct Segments {
+  std::vector<std::int32_t> offsets;  ///< n+1 entries; offsets[0] == 0.
+  std::vector<LoraId> lora_ids;       ///< n entries, one per segment.
+
+  int num_segments() const { return static_cast<int>(lora_ids.size()); }
+  int total_rows() const { return offsets.empty() ? 0 : offsets.back(); }
+  int segment_rows(int i) const { return offsets[i + 1] - offsets[i]; }
+
+  /// Structural validity: monotone offsets starting at 0, matching sizes,
+  /// no empty segment, and no two adjacent segments with the same id
+  /// (adjacent duplicates should have been merged).
+  bool IsValid() const;
+};
+
+/// Builds segments from per-row LoRA ids by merging *consecutive* equal ids.
+/// Rows must already be ordered so equal ids are adjacent if maximal
+/// batching efficiency is desired (see GroupRowsByLora); this function does
+/// not reorder.
+Segments BuildSegments(std::span<const LoraId> per_row_lora_ids);
+
+/// Computes a permutation that groups rows with equal LoRA ids consecutively
+/// while preserving the relative order of rows within a group and the order
+/// of first appearance between groups (stable grouping — this keeps prefill
+/// rows in front when the runtime pre-sorts them, matching §6 of the paper).
+std::vector<std::int32_t> GroupRowsByLora(std::span<const LoraId> ids);
+
+/// Applies `perm` to rows of a row-major [rows, width] buffer: out row i is
+/// input row perm[i].
+void PermuteRows(std::span<const float> in, std::span<float> out,
+                 std::span<const std::int32_t> perm, int width);
+
+/// Inverse permutation.
+std::vector<std::int32_t> InvertPermutation(std::span<const std::int32_t> p);
+
+/// Batch metadata for one model invocation (paper §6 "BatchLen"): prefill
+/// requests are concatenated in front (each contributing its prompt length in
+/// tokens), decode requests follow with one token each.
+struct BatchLen {
+  std::vector<std::int32_t> prefill_starts;  ///< start token index per prefill
+  std::int32_t prefill_tokens = 0;           ///< total tokens in prefill part
+  std::int32_t num_decode = 0;               ///< decode requests (1 token each)
+
+  int total_tokens() const { return prefill_tokens + num_decode; }
+  int num_prefill() const { return static_cast<int>(prefill_starts.size()); }
+  bool IsValid() const;
+};
+
+/// Builds BatchLen from per-prefill prompt lengths and a decode count.
+BatchLen BuildBatchLen(std::span<const std::int32_t> prefill_lengths,
+                       int num_decode);
+
+}  // namespace punica

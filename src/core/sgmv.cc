@@ -1,0 +1,154 @@
+#include "core/sgmv.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace punica {
+namespace {
+
+void ValidateArgs(const SgmvArgs& a) {
+  PUNICA_CHECK(a.h_in > 0 && a.h_out > 0);
+  PUNICA_CHECK(!a.seg.empty());
+  PUNICA_CHECK(a.seg.front() == 0);
+  PUNICA_CHECK(a.weights.size() + 1 == a.seg.size());
+  int rows = a.seg.back();
+  PUNICA_CHECK(a.x.size() ==
+               static_cast<std::size_t>(rows) * static_cast<std::size_t>(a.h_in));
+  PUNICA_CHECK(a.y.size() == static_cast<std::size_t>(rows) *
+                                 static_cast<std::size_t>(a.h_out));
+  for (std::size_t i = 0; i + 1 < a.seg.size(); ++i) {
+    PUNICA_CHECK_MSG(a.seg[i] <= a.seg[i + 1], "segment offsets must be "
+                                               "non-decreasing");
+  }
+}
+
+}  // namespace
+
+int SplitKPartitions(int h_in) {
+  // Chunk the reduction dimension into ~256-wide slices, capped at 8
+  // partitions (the GPU heuristic caps at the SM count budget per segment).
+  constexpr int kChunk = 256;
+  int parts = (h_in + kChunk - 1) / kChunk;
+  return std::clamp(parts, 1, 8);
+}
+
+void SgmvShrink(const SgmvArgs& a) {
+  ValidateArgs(a);
+  const int k_parts = SplitKPartitions(a.h_in);
+  const int chunk = (a.h_in + k_parts - 1) / k_parts;
+  // Phase 1: each (row, partition) computes a partial over its k-chunk —
+  // the analogue of per-threadblock partial sums before the grid sync.
+  // Phase 2: fixed-order reduction across partitions.
+  std::vector<float> partials(static_cast<std::size_t>(k_parts) *
+                              static_cast<std::size_t>(a.h_out));
+  const int num_segments = static_cast<int>(a.weights.size());
+  for (int s = 0; s < num_segments; ++s) {
+    const f16* w = a.weights[static_cast<std::size_t>(s)];
+    if (w == nullptr) continue;  // segment without a LoRA (backbone-only row)
+    for (std::int32_t row = a.seg[static_cast<std::size_t>(s)];
+         row < a.seg[static_cast<std::size_t>(s) + 1]; ++row) {
+      const float* xr =
+          &a.x[static_cast<std::size_t>(row) * static_cast<std::size_t>(a.h_in)];
+      std::fill(partials.begin(), partials.end(), 0.0f);
+      for (int p = 0; p < k_parts; ++p) {
+        int k_lo = p * chunk;
+        int k_hi = std::min(a.h_in, k_lo + chunk);
+        float* part = &partials[static_cast<std::size_t>(p) *
+                                static_cast<std::size_t>(a.h_out)];
+        for (int kk = k_lo; kk < k_hi; ++kk) {
+          float xv = xr[kk];
+          if (xv == 0.0f) continue;
+          const f16* wrow = &w[static_cast<std::size_t>(kk) *
+                               static_cast<std::size_t>(a.h_out)];
+          for (int j = 0; j < a.h_out; ++j) {
+            part[j] += xv * wrow[j].ToFloat();
+          }
+        }
+      }
+      float* yr = &a.y[static_cast<std::size_t>(row) *
+                       static_cast<std::size_t>(a.h_out)];
+      for (int j = 0; j < a.h_out; ++j) {
+        float acc = 0.0f;
+        for (int p = 0; p < k_parts; ++p) {
+          acc += partials[static_cast<std::size_t>(p) *
+                              static_cast<std::size_t>(a.h_out) +
+                          static_cast<std::size_t>(j)];
+        }
+        yr[j] += acc;
+      }
+    }
+  }
+}
+
+void SgmvExpand(const SgmvArgs& a) {
+  ValidateArgs(a);
+  // Column-split schedule: tile the (large) output dimension; each tile is
+  // computed independently, exactly like dispatching v·B^(tile) to separate
+  // thread blocks whose results concatenate.
+  constexpr int kTile = 128;
+  const int num_segments = static_cast<int>(a.weights.size());
+  for (int s = 0; s < num_segments; ++s) {
+    const f16* w = a.weights[static_cast<std::size_t>(s)];
+    if (w == nullptr) continue;
+    for (int j_lo = 0; j_lo < a.h_out; j_lo += kTile) {
+      int j_hi = std::min(a.h_out, j_lo + kTile);
+      for (std::int32_t row = a.seg[static_cast<std::size_t>(s)];
+           row < a.seg[static_cast<std::size_t>(s) + 1]; ++row) {
+        const float* xr = &a.x[static_cast<std::size_t>(row) *
+                               static_cast<std::size_t>(a.h_in)];
+        float* yr = &a.y[static_cast<std::size_t>(row) *
+                         static_cast<std::size_t>(a.h_out)];
+        for (int j = j_lo; j < j_hi; ++j) {
+          float acc = 0.0f;
+          for (int kk = 0; kk < a.h_in; ++kk) {
+            acc += xr[kk] * w[static_cast<std::size_t>(kk) *
+                                  static_cast<std::size_t>(a.h_out) +
+                              static_cast<std::size_t>(j)]
+                                .ToFloat();
+          }
+          yr[j] += acc;
+        }
+      }
+    }
+  }
+}
+
+void SgmvReference(const SgmvArgs& a) {
+  ValidateArgs(a);
+  const int num_segments = static_cast<int>(a.weights.size());
+  for (int s = 0; s < num_segments; ++s) {
+    const f16* w = a.weights[static_cast<std::size_t>(s)];
+    if (w == nullptr) continue;
+    for (std::int32_t row = a.seg[static_cast<std::size_t>(s)];
+         row < a.seg[static_cast<std::size_t>(s) + 1]; ++row) {
+      for (int j = 0; j < a.h_out; ++j) {
+        float acc = 0.0f;
+        for (int kk = 0; kk < a.h_in; ++kk) {
+          acc += a.x[static_cast<std::size_t>(row) *
+                         static_cast<std::size_t>(a.h_in) +
+                     static_cast<std::size_t>(kk)] *
+                 w[static_cast<std::size_t>(kk) *
+                       static_cast<std::size_t>(a.h_out) +
+                   static_cast<std::size_t>(j)]
+                     .ToFloat();
+        }
+        a.y[static_cast<std::size_t>(row) * static_cast<std::size_t>(a.h_out) +
+            static_cast<std::size_t>(j)] += acc;
+      }
+    }
+  }
+}
+
+SgmvCost SgmvCostOf(std::span<const std::int32_t> seg, int h_in, int h_out) {
+  PUNICA_CHECK(!seg.empty());
+  double sn = seg.back();
+  double n = static_cast<double>(seg.size()) - 1.0;
+  SgmvCost cost;
+  cost.flop = sn * h_in * h_out * 2.0;
+  cost.io_bytes = (sn * (h_in + h_out) + n * h_in * h_out) * 2.0;
+  return cost;
+}
+
+}  // namespace punica

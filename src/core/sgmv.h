@@ -1,0 +1,65 @@
+// SGMV — Segmented Gather Matrix-Vector multiplication (paper §4).
+//
+// Semantics (Fig. 3):   Y[s[i]:s[i+1], :] += X[s[i]:s[i+1], :] @ W[i]
+// where the batch rows are partitioned into contiguous segments and each
+// segment multiplies its own weight matrix (gathered by pointer, never
+// materialised — this is the IO advantage over Gather-BMM).
+//
+// Two schedules mirror the CUDA kernel split:
+//  * SgmvShrink — h_in large (hidden dim), h_out small (LoRA rank). The GPU
+//    kernel uses Split-K: partition the reduction dimension across thread
+//    blocks, then reduce partial sums after a grid sync. The CPU
+//    implementation reproduces the same two-phase structure (deterministic
+//    partials then a tree-order reduction) so numerics match the schedule.
+//  * SgmvExpand — h_in small (rank), h_out large. The GPU kernel splits the
+//    output-column dimension across thread blocks; each tile is independent.
+//
+// Accumulation is fp32 over fp16 weights, as on tensor cores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/half.h"
+
+namespace punica {
+
+/// Per-segment weight pointers: w[i] points at an [h_in, h_out] row-major
+/// fp16 matrix (the gather is by pointer indirection).
+struct SgmvArgs {
+  std::span<float> y;                    ///< [rows, h_out], accumulated into
+  std::span<const float> x;              ///< [rows, h_in]
+  std::span<const f16* const> weights;   ///< num_segments pointers
+  std::span<const std::int32_t> seg;     ///< num_segments+1 offsets
+  int h_in = 0;
+  int h_out = 0;
+};
+
+/// Y += X @ W[seg] with the shrink (Split-K) schedule. Requires h_out to be
+/// the small dimension in spirit but works for any shape.
+void SgmvShrink(const SgmvArgs& args);
+
+/// Y += X @ W[seg] with the expand (column-split) schedule.
+void SgmvExpand(const SgmvArgs& args);
+
+/// Plain reference implementation (naive loops) used as the test oracle.
+void SgmvReference(const SgmvArgs& args);
+
+/// FLOP/IO accounting from the paper's roofline analysis (§7.1):
+///   FLOP = s_n · h_i · h_o · 2
+///   IO   = [s_n · (h_i + h_o) + n · h_i · h_o] · 2 bytes
+struct SgmvCost {
+  double flop = 0.0;
+  double io_bytes = 0.0;
+  double arithmetic_intensity() const {
+    return io_bytes > 0.0 ? flop / io_bytes : 0.0;
+  }
+};
+SgmvCost SgmvCostOf(std::span<const std::int32_t> seg, int h_in, int h_out);
+
+/// Number of Split-K partitions the shrink schedule uses for a given
+/// reduction length (mirrors the GPU heuristic: enough partitions to fill
+/// SMs, at least 1, reduction chunks of ~256).
+int SplitKPartitions(int h_in);
+
+}  // namespace punica

@@ -1,0 +1,87 @@
+#include "frontend/frontend.h"
+
+#include "util/check.h"
+
+namespace punica {
+
+Frontend::Frontend(int frontend_id, SchedulerApi api, std::int64_t id_base,
+                   std::int64_t id_stride)
+    : frontend_id_(frontend_id),
+      api_(std::move(api)),
+      next_id_(id_base),
+      id_stride_(id_stride) {
+  PUNICA_CHECK(api_.submit != nullptr);
+  PUNICA_CHECK(api_.cancel != nullptr);
+  PUNICA_CHECK(id_stride_ >= 1);
+}
+
+std::int64_t Frontend::Submit(LoraId lora, std::int32_t prompt_len,
+                              std::int32_t output_len, double now) {
+  PUNICA_CHECK(prompt_len > 0);
+  PUNICA_CHECK(output_len > 0);
+  std::int64_t id = next_id_;
+  next_id_ += id_stride_;
+  Session session;
+  session.request = std::make_unique<ServingRequest>(
+      ServingRequest{.id = id,
+                     .lora_id = lora,
+                     .prompt_len = prompt_len,
+                     .output_len = output_len,
+                     .arrival_time = now});
+  ServingRequest* req = session.request.get();
+  sessions_.emplace(id, std::move(session));
+  api_.submit(req);
+  return id;
+}
+
+TokenStream& Frontend::Stream(std::int64_t request_id) {
+  auto it = sessions_.find(request_id);
+  PUNICA_CHECK_MSG(it != sessions_.end(), "unknown request id");
+  return it->second.stream;
+}
+
+const TokenStream& Frontend::Stream(std::int64_t request_id) const {
+  auto it = sessions_.find(request_id);
+  PUNICA_CHECK_MSG(it != sessions_.end(), "unknown request id");
+  return it->second.stream;
+}
+
+bool Frontend::Owns(std::int64_t request_id) const {
+  return sessions_.contains(request_id);
+}
+
+void Frontend::Disconnect(std::int64_t request_id) {
+  auto it = sessions_.find(request_id);
+  PUNICA_CHECK_MSG(it != sessions_.end(), "unknown request id");
+  if (it->second.stream.closed()) return;  // already done
+  api_.cancel(request_id);
+  it->second.stream.Close(StreamEnd::kCancelled);
+}
+
+void Frontend::OnToken(std::int64_t request_id, double now) {
+  auto it = sessions_.find(request_id);
+  if (it == sessions_.end()) return;  // another frontend's request
+  if (it->second.stream.closed()) return;  // raced with a disconnect
+  // In simulation the token *content* is synthetic (a per-request counter);
+  // ordering and timing are what the serving tier is responsible for.
+  it->second.stream.Push(it->second.next_token_tag++, now);
+}
+
+void Frontend::OnFinished(std::int64_t request_id, double now) {
+  (void)now;
+  auto it = sessions_.find(request_id);
+  if (it == sessions_.end()) return;
+  if (!it->second.stream.closed()) {
+    it->second.stream.Close(StreamEnd::kFinished);
+  }
+}
+
+std::size_t Frontend::active_streams() const {
+  std::size_t n = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (!session.stream.closed()) ++n;
+  }
+  return n;
+}
+
+}  // namespace punica

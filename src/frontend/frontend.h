@@ -1,0 +1,72 @@
+// Frontend servers (paper Fig. 2): accept end-user requests, forward them to
+// the scheduler (unary RPC in the paper; direct call here), and stream
+// generated tokens back to each user. User disconnects become scheduler
+// cancellations — the same primitive migration is built from (§5.3).
+//
+// The frontend owns the ServingRequest objects for its users; the cluster
+// driver/scheduler only borrows them (mirroring the paper's split where
+// request state lives at the serving tier, not on GPUs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "frontend/stream.h"
+#include "runtime/request.h"
+
+namespace punica {
+
+class Frontend {
+ public:
+  /// Wiring to the scheduler tier. `submit` routes a new request (the unary
+  /// RPC); `cancel` propagates user disconnects.
+  struct SchedulerApi {
+    std::function<void(ServingRequest*)> submit;
+    std::function<bool(std::int64_t)> cancel;
+  };
+
+  /// `id_base`/`id_stride` partition the request-id space across frontends
+  /// so ids never collide (frontend i issues id_base + k·id_stride).
+  Frontend(int frontend_id, SchedulerApi api, std::int64_t id_base = 0,
+           std::int64_t id_stride = 1);
+
+  int frontend_id() const { return frontend_id_; }
+
+  /// User-facing: submit a prompt for a LoRA model; returns the request id
+  /// whose TokenStream the user consumes.
+  std::int64_t Submit(LoraId lora, std::int32_t prompt_len,
+                      std::int32_t output_len, double now);
+
+  /// The response stream for a request of this frontend.
+  TokenStream& Stream(std::int64_t request_id);
+  const TokenStream& Stream(std::int64_t request_id) const;
+  bool Owns(std::int64_t request_id) const;
+
+  /// User disconnect: cancels upstream and closes the stream.
+  void Disconnect(std::int64_t request_id);
+
+  /// Runner-side callbacks (wired to ClusterDriver's emission callback).
+  /// Unknown ids (other frontends' requests) are ignored.
+  void OnToken(std::int64_t request_id, double now);
+  void OnFinished(std::int64_t request_id, double now);
+
+  std::size_t active_streams() const;
+  std::size_t total_submitted() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::unique_ptr<ServingRequest> request;
+    TokenStream stream;
+    std::int32_t next_token_tag = 0;  ///< synthetic token ids in simulation
+  };
+
+  int frontend_id_;
+  SchedulerApi api_;
+  std::int64_t next_id_;
+  std::int64_t id_stride_;
+  std::map<std::int64_t, Session> sessions_;
+};
+
+}  // namespace punica

@@ -1,0 +1,39 @@
+#include "frontend/stream.h"
+
+#include "util/check.h"
+
+namespace punica {
+
+void TokenStream::Push(std::int32_t token, double timestamp) {
+  PUNICA_CHECK_MSG(state_ == StreamEnd::kOpen, "push on a closed stream");
+  pending_.push_back(token);
+  ++total_pushed_;
+  if (first_token_time_ < 0.0) first_token_time_ = timestamp;
+  last_token_time_ = timestamp;
+}
+
+void TokenStream::Close(StreamEnd reason) {
+  PUNICA_CHECK(reason != StreamEnd::kOpen);
+  // Closing twice is a no-op only if the reason matches; conflicting
+  // closes indicate a protocol bug.
+  if (state_ != StreamEnd::kOpen) {
+    PUNICA_CHECK_MSG(state_ == reason, "conflicting stream close");
+    return;
+  }
+  state_ = reason;
+}
+
+std::int32_t TokenStream::Next() {
+  PUNICA_CHECK_MSG(!pending_.empty(), "Next() on an empty stream");
+  std::int32_t token = pending_.front();
+  pending_.pop_front();
+  return token;
+}
+
+std::vector<std::int32_t> TokenStream::DrainAll() {
+  std::vector<std::int32_t> out(pending_.begin(), pending_.end());
+  pending_.clear();
+  return out;
+}
+
+}  // namespace punica

@@ -1,0 +1,49 @@
+// Token streams: the user-visible half of the serving path (paper Fig. 2 —
+// "as GPUs generate new tokens, new tokens are streamed from the runners to
+// the scheduler, to the frontends, and finally to the end-users").
+//
+// Single-threaded deterministic queue semantics: producers (the frontend's
+// runner-side callbacks) push token chunks; the consumer drains them in
+// order. Closing records why the stream ended.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace punica {
+
+enum class StreamEnd {
+  kOpen,         ///< still producing
+  kFinished,     ///< request reached its stopping condition
+  kCancelled,    ///< cancelled upstream (user disconnect)
+};
+
+class TokenStream {
+ public:
+  /// Producer side.
+  void Push(std::int32_t token, double timestamp);
+  void Close(StreamEnd reason);
+
+  /// Consumer side.
+  bool HasNext() const { return !pending_.empty(); }
+  std::int32_t Next();
+
+  StreamEnd state() const { return state_; }
+  bool closed() const { return state_ != StreamEnd::kOpen; }
+  std::size_t total_pushed() const { return total_pushed_; }
+  double first_token_time() const { return first_token_time_; }
+  double last_token_time() const { return last_token_time_; }
+
+  /// Drains everything still pending.
+  std::vector<std::int32_t> DrainAll();
+
+ private:
+  std::deque<std::int32_t> pending_;
+  StreamEnd state_ = StreamEnd::kOpen;
+  std::size_t total_pushed_ = 0;
+  double first_token_time_ = -1.0;
+  double last_token_time_ = -1.0;
+};
+
+}  // namespace punica

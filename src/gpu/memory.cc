@@ -1,0 +1,100 @@
+#include "gpu/memory.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace punica {
+
+std::int64_t MemoryPlan::MaxConcurrentSequences(
+    std::int64_t expected_seq_len) const {
+  PUNICA_CHECK(expected_seq_len > 0);
+  return kv_capacity_tokens / expected_seq_len;
+}
+
+MemoryPlan PlanMemory(const MemoryPlanRequest& request) {
+  PUNICA_CHECK(request.tp_degree >= 1);
+  PUNICA_CHECK(request.lora_slots >= 0);
+  PUNICA_CHECK(request.usable_fraction > 0.0 &&
+               request.usable_fraction <= 1.0);
+  MemoryPlan plan;
+  plan.total_bytes = static_cast<std::int64_t>(
+      static_cast<double>(request.gpu.memory_bytes) *
+      request.usable_fraction);
+  plan.weight_bytes =
+      request.model.total_weight_bytes() / request.tp_degree;
+  plan.adapter_bytes =
+      request.model.lora_total_bytes(request.lora_rank) / request.tp_degree;
+  plan.lora_slab_bytes = plan.adapter_bytes * request.lora_slots;
+  plan.activation_bytes = request.activation_reserve_bytes;
+
+  std::int64_t committed =
+      plan.weight_bytes + plan.lora_slab_bytes + plan.activation_bytes;
+  if (committed >= plan.total_bytes) {
+    plan.feasible = false;
+    if (plan.weight_bytes >= plan.total_bytes) {
+      plan.infeasible_reason =
+          "backbone shard does not fit device memory (increase tp)";
+    } else {
+      plan.infeasible_reason =
+          "no memory left for KvCache after weights + LoRA slab";
+    }
+    return plan;
+  }
+
+  plan.kv_budget_bytes = plan.total_bytes - committed;
+  // KvCache is sharded with the model: each GPU stores its kv-head slice.
+  std::int64_t per_token =
+      request.model.kv_bytes_per_token() / request.tp_degree;
+  plan.kv_capacity_tokens = plan.kv_budget_bytes / per_token;
+  plan.kv_capacity_pages = static_cast<std::int32_t>(
+      plan.kv_capacity_tokens / request.kv_page_size);
+  plan.feasible = plan.kv_capacity_pages > 0;
+  if (!plan.feasible) {
+    plan.infeasible_reason = "KvCache budget below one page";
+  }
+  return plan;
+}
+
+std::string DescribePlan(const MemoryPlanRequest& request,
+                         const MemoryPlan& plan) {
+  Table t({"component", "bytes", "share"});
+  auto share = [&](std::int64_t bytes) {
+    return FormatDouble(100.0 * static_cast<double>(bytes) /
+                            static_cast<double>(plan.total_bytes),
+                        1) +
+           "%";
+  };
+  t.AddRow({"usable device memory", FormatBytes(
+                static_cast<double>(plan.total_bytes)), "100%"});
+  t.AddRow({"backbone weights (/tp=" + std::to_string(request.tp_degree) +
+                ")",
+            FormatBytes(static_cast<double>(plan.weight_bytes)),
+            share(plan.weight_bytes)});
+  t.AddRow({"LoRA slab (" + std::to_string(request.lora_slots) +
+                " adapters, r=" + std::to_string(request.lora_rank) + ")",
+            FormatBytes(static_cast<double>(plan.lora_slab_bytes)),
+            share(plan.lora_slab_bytes)});
+  t.AddRow({"activation workspace",
+            FormatBytes(static_cast<double>(plan.activation_bytes)),
+            share(plan.activation_bytes)});
+  t.AddRow({"KvCache",
+            FormatBytes(static_cast<double>(plan.kv_budget_bytes)),
+            share(plan.kv_budget_bytes)});
+  std::string out = t.Render();
+  char line[160];
+  if (plan.feasible) {
+    std::snprintf(line, sizeof(line),
+                  "KvCache capacity: %lld tokens (%d pages of %d)\n",
+                  static_cast<long long>(plan.kv_capacity_tokens),
+                  plan.kv_capacity_pages, request.kv_page_size);
+  } else {
+    std::snprintf(line, sizeof(line), "INFEASIBLE: %s\n",
+                  plan.infeasible_reason.c_str());
+  }
+  out += line;
+  return out;
+}
+
+}  // namespace punica

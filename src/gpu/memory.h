@@ -1,0 +1,54 @@
+// GPU memory planning (paper §3): "each GPU loads the backbone pre-trained
+// large language model. A large fraction of GPU memory is reserved for
+// KvCache. Only the LoRA components of models are swapped in when needed."
+//
+// The planner turns (GPU, model, tp, LoRA budget) into the concrete numbers
+// the runtime needs: KvCache token/page capacity, how many adapters the
+// LoRA slab holds, and a feasibility verdict — e.g. 70B does not fit one
+// 40 GB A100 at tp=1 but fits at tp=8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/specs.h"
+#include "model/config.h"
+
+namespace punica {
+
+struct MemoryPlanRequest {
+  GpuSpec gpu;
+  LlamaConfig model;
+  int tp_degree = 1;
+  int lora_rank = 16;
+  int lora_slots = 32;        ///< resident adapters to budget for
+  int kv_page_size = 16;      ///< tokens per KvCache page
+  double usable_fraction = 0.95;  ///< headroom for allocator/runtime
+  std::int64_t activation_reserve_bytes = 1LL << 30;  ///< workspace slab
+};
+
+struct MemoryPlan {
+  bool feasible = false;
+  std::string infeasible_reason;
+
+  std::int64_t total_bytes = 0;       ///< usable device memory
+  std::int64_t weight_bytes = 0;      ///< backbone shard (÷ tp)
+  std::int64_t lora_slab_bytes = 0;   ///< lora_slots adapters (÷ tp)
+  std::int64_t activation_bytes = 0;
+  std::int64_t kv_budget_bytes = 0;   ///< what remains for KvCache
+
+  std::int64_t kv_capacity_tokens = 0;
+  std::int32_t kv_capacity_pages = 0;
+  std::int64_t adapter_bytes = 0;     ///< one adapter's shard size
+
+  /// Max concurrent requests at an expected sequence length.
+  std::int64_t MaxConcurrentSequences(std::int64_t expected_seq_len) const;
+};
+
+MemoryPlan PlanMemory(const MemoryPlanRequest& request);
+
+/// Renders the plan as a human-readable breakdown (used by examples).
+std::string DescribePlan(const MemoryPlanRequest& request,
+                         const MemoryPlan& plan);
+
+}  // namespace punica

@@ -1,0 +1,22 @@
+#include "gpu/specs.h"
+
+namespace punica {
+
+GpuSpec A100Sxm80GB() {
+  return {.name = "A100-SXM4-80GB",
+          .fp16_flops = 312e12,
+          .hbm_bytes_per_s = 1.935e12,
+          .memory_bytes = 80LL * 1000 * 1000 * 1000,
+          .pcie_bytes_per_s = 25e9,    // PCIe Gen4 x16, effective
+          .nvlink_bytes_per_s = 600e9};
+}
+
+GpuSpec A100Sxm40GB() {
+  GpuSpec spec = A100Sxm80GB();
+  spec.name = "A100-SXM4-40GB";
+  spec.memory_bytes = 40LL * 1000 * 1000 * 1000;
+  spec.hbm_bytes_per_s = 1.555e12;  // 40GB HBM2 variant
+  return spec;
+}
+
+}  // namespace punica

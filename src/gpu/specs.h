@@ -1,0 +1,26 @@
+// Hardware specifications for the analytical performance model.
+//
+// The paper's testbeds: #1 = one NVIDIA A100 80GB (SXM), #2 = two HGX A100
+// 40GB 8-GPU servers with NvSwitch. The roofline constants below (312 TFLOP/s
+// FP16 tensor-core peak, 1.935 TB/s HBM bandwidth) are the exact lines drawn
+// in the paper's Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace punica {
+
+struct GpuSpec {
+  std::string name;
+  double fp16_flops = 0.0;        ///< peak FP16 tensor-core FLOP/s
+  double hbm_bytes_per_s = 0.0;   ///< peak HBM bandwidth
+  std::int64_t memory_bytes = 0;  ///< device memory
+  double pcie_bytes_per_s = 0.0;  ///< effective host→device bandwidth
+  double nvlink_bytes_per_s = 0.0;  ///< per-GPU NvSwitch bandwidth
+};
+
+GpuSpec A100Sxm80GB();
+GpuSpec A100Sxm40GB();
+
+}  // namespace punica

@@ -1,0 +1,110 @@
+#include "kvcache/kvcache.h"
+
+#include "util/check.h"
+
+namespace punica {
+
+PagedKvCache::PagedKvCache(const KvCacheConfig& config)
+    : config_(config),
+      allocator_(config.num_pages),
+      storage_(static_cast<std::size_t>(config.num_pages) *
+               config.page_elems()) {
+  PUNICA_CHECK(config.num_layers > 0);
+  PUNICA_CHECK(config.num_kv_heads > 0);
+  PUNICA_CHECK(config.head_dim > 0);
+  PUNICA_CHECK(config.page_size > 0);
+}
+
+SeqId PagedKvCache::CreateSequence() {
+  SeqId id = next_seq_++;
+  seqs_.emplace(id, SeqState{});
+  return id;
+}
+
+bool PagedKvCache::Extend(SeqId seq, std::int64_t tokens) {
+  PUNICA_CHECK(tokens >= 0);
+  SeqState& st = GetSeq(seq);
+  std::int64_t new_len = st.len + tokens;
+  std::int32_t need = config_.PagesNeeded(new_len);
+  std::vector<PageId> newly;
+  while (static_cast<std::int32_t>(st.pages.size() + newly.size()) < need) {
+    auto page = allocator_.Alloc();
+    if (!page.has_value()) {
+      for (PageId p : newly) allocator_.Free(p);
+      return false;
+    }
+    newly.push_back(*page);
+  }
+  st.pages.insert(st.pages.end(), newly.begin(), newly.end());
+  st.len = new_len;
+  return true;
+}
+
+void PagedKvCache::FreeSequence(SeqId seq) {
+  SeqState& st = GetSeq(seq);
+  for (PageId p : st.pages) allocator_.Free(p);
+  seqs_.erase(seq);
+}
+
+bool PagedKvCache::Contains(SeqId seq) const {
+  return seqs_.contains(seq);
+}
+
+std::int64_t PagedKvCache::SeqLen(SeqId seq) const { return GetSeq(seq).len; }
+
+std::int32_t PagedKvCache::SeqPages(SeqId seq) const {
+  return static_cast<std::int32_t>(GetSeq(seq).pages.size());
+}
+
+std::size_t PagedKvCache::EntryOffset(const SeqState& st, int layer,
+                                      std::int64_t pos, KvSlot slot) const {
+  PUNICA_CHECK(layer >= 0 && layer < config_.num_layers);
+  PUNICA_CHECK_MSG(pos >= 0 && pos < st.len, "position beyond sequence");
+  auto page_idx = static_cast<std::size_t>(pos / config_.page_size);
+  auto slot_idx = static_cast<std::size_t>(pos % config_.page_size);
+  PageId page = st.pages[page_idx];
+  // Layout within a page: [L, 2, N, P, D] — slot-in-page is the P axis.
+  std::size_t entry = config_.token_entry_elems();
+  std::size_t off =
+      static_cast<std::size_t>(page) * config_.page_elems() +
+      static_cast<std::size_t>(layer) * 2 * entry *
+          static_cast<std::size_t>(config_.page_size) +
+      static_cast<std::size_t>(slot) * entry *
+          static_cast<std::size_t>(config_.page_size) +
+      slot_idx * entry;
+  return off;
+}
+
+std::span<f16> PagedKvCache::Entry(SeqId seq, int layer, std::int64_t pos,
+                                   KvSlot slot) {
+  const SeqState& st = GetSeq(seq);
+  std::size_t off = EntryOffset(st, layer, pos, slot);
+  return std::span<f16>(storage_).subspan(off, config_.token_entry_elems());
+}
+
+std::span<const f16> PagedKvCache::Entry(SeqId seq, int layer,
+                                         std::int64_t pos,
+                                         KvSlot slot) const {
+  const SeqState& st = GetSeq(seq);
+  std::size_t off = EntryOffset(st, layer, pos, slot);
+  return std::span<const f16>(storage_).subspan(off,
+                                                config_.token_entry_elems());
+}
+
+std::span<const PageId> PagedKvCache::PageTable(SeqId seq) const {
+  return GetSeq(seq).pages;
+}
+
+const PagedKvCache::SeqState& PagedKvCache::GetSeq(SeqId seq) const {
+  auto it = seqs_.find(seq);
+  PUNICA_CHECK_MSG(it != seqs_.end(), "unknown sequence");
+  return it->second;
+}
+
+PagedKvCache::SeqState& PagedKvCache::GetSeq(SeqId seq) {
+  auto it = seqs_.find(seq);
+  PUNICA_CHECK_MSG(it != seqs_.end(), "unknown sequence");
+  return it->second;
+}
+
+}  // namespace punica

@@ -1,0 +1,102 @@
+// Paged KvCache with the paper's separable layout (§5.4):
+//
+//     [ Σ_i ⌈S_i/P⌉ , L, 2, N, P, D ]
+//
+// i.e. storage is a pool of pages; one page holds P token slots of K and V
+// for *all* L layers of one sequence. The batch dimension is outermost
+// (page-granular, per-sequence page tables), so sequences join and leave a
+// batch independently — this is what enables continuous batching, unlike the
+// HuggingFace [L, 2, B, N, S, D] layout where requests that enter a batch
+// together must finish together (Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kvcache/page_allocator.h"
+#include "tensor/half.h"
+
+namespace punica {
+
+using SeqId = std::int64_t;
+
+struct KvCacheConfig {
+  int num_layers = 0;
+  int num_kv_heads = 0;
+  int head_dim = 0;
+  int page_size = 16;   ///< P: token slots per page
+  std::int32_t num_pages = 0;
+
+  /// Elements per (layer, K-or-V, token) entry.
+  std::size_t token_entry_elems() const {
+    return static_cast<std::size_t>(num_kv_heads) *
+           static_cast<std::size_t>(head_dim);
+  }
+  /// fp16 elements in one page across all layers, K and V, P slots.
+  std::size_t page_elems() const {
+    return static_cast<std::size_t>(num_layers) * 2 *
+           token_entry_elems() * static_cast<std::size_t>(page_size);
+  }
+  std::size_t page_bytes() const { return page_elems() * sizeof(f16); }
+  std::int32_t PagesNeeded(std::int64_t seq_len) const {
+    return static_cast<std::int32_t>(
+        (seq_len + page_size - 1) / page_size);
+  }
+};
+
+enum class KvSlot : int { kKey = 0, kValue = 1 };
+
+class PagedKvCache {
+ public:
+  explicit PagedKvCache(const KvCacheConfig& config);
+
+  const KvCacheConfig& config() const { return config_; }
+
+  /// Creates a sequence with zero tokens. Caller extends it before writing.
+  SeqId CreateSequence();
+
+  /// Grows the sequence by `tokens` slots, allocating pages on demand.
+  /// Returns false (and rolls back) when the pool cannot cover the growth —
+  /// the KvCache-pressure signal that triggers migration.
+  bool Extend(SeqId seq, std::int64_t tokens);
+
+  /// Releases all pages of a sequence and forgets it.
+  void FreeSequence(SeqId seq);
+
+  bool Contains(SeqId seq) const;
+  std::int64_t SeqLen(SeqId seq) const;
+  std::int32_t SeqPages(SeqId seq) const;
+  std::int32_t free_pages() const { return allocator_.free_pages(); }
+  std::int32_t used_pages() const { return allocator_.used_pages(); }
+  std::size_t num_sequences() const { return seqs_.size(); }
+
+  /// Mutable K or V entry for (sequence, layer, token position):
+  /// num_kv_heads·head_dim fp16 values. Position must be < SeqLen.
+  std::span<f16> Entry(SeqId seq, int layer, std::int64_t pos, KvSlot slot);
+  std::span<const f16> Entry(SeqId seq, int layer, std::int64_t pos,
+                             KvSlot slot) const;
+
+  /// The page table (for tests / introspection).
+  std::span<const PageId> PageTable(SeqId seq) const;
+
+ private:
+  struct SeqState {
+    std::vector<PageId> pages;
+    std::int64_t len = 0;
+  };
+
+  std::size_t EntryOffset(const SeqState& st, int layer, std::int64_t pos,
+                          KvSlot slot) const;
+  const SeqState& GetSeq(SeqId seq) const;
+  SeqState& GetSeq(SeqId seq);
+
+  KvCacheConfig config_;
+  PageAllocator allocator_;
+  std::vector<f16> storage_;
+  std::unordered_map<SeqId, SeqState> seqs_;
+  SeqId next_seq_ = 0;
+};
+
+}  // namespace punica

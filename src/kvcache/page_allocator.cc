@@ -1,0 +1,38 @@
+#include "kvcache/page_allocator.h"
+
+#include "util/check.h"
+
+namespace punica {
+
+PageAllocator::PageAllocator(std::int32_t num_pages)
+    : capacity_(num_pages), allocated_(static_cast<std::size_t>(num_pages)) {
+  PUNICA_CHECK(num_pages >= 0);
+  free_list_.reserve(static_cast<std::size_t>(num_pages));
+  // Push in reverse so pages are handed out in ascending order, which makes
+  // tests and traces easier to read.
+  for (PageId p = num_pages - 1; p >= 0; --p) {
+    free_list_.push_back(p);
+  }
+}
+
+std::optional<PageId> PageAllocator::Alloc() {
+  if (free_list_.empty()) return std::nullopt;
+  PageId p = free_list_.back();
+  free_list_.pop_back();
+  allocated_[static_cast<std::size_t>(p)] = true;
+  return p;
+}
+
+void PageAllocator::Free(PageId page) {
+  PUNICA_CHECK_MSG(page >= 0 && page < capacity_, "foreign page");
+  PUNICA_CHECK_MSG(allocated_[static_cast<std::size_t>(page)], "double free");
+  allocated_[static_cast<std::size_t>(page)] = false;
+  free_list_.push_back(page);
+}
+
+bool PageAllocator::IsAllocated(PageId page) const {
+  PUNICA_CHECK(page >= 0 && page < capacity_);
+  return allocated_[static_cast<std::size_t>(page)];
+}
+
+}  // namespace punica

@@ -1,0 +1,39 @@
+// Fixed-pool page allocator for the paged KvCache (paper §5.4).
+//
+// O(1) alloc/free over a free list; double-free and foreign-page frees are
+// programming errors and abort. The pool size is fixed at construction —
+// KvCache memory is a reserved slice of GPU memory, never grown.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace punica {
+
+using PageId = std::int32_t;
+
+class PageAllocator {
+ public:
+  explicit PageAllocator(std::int32_t num_pages);
+
+  /// Returns nullopt when the pool is exhausted (KvCache pressure — the
+  /// caller triggers request migration, §5.3).
+  std::optional<PageId> Alloc();
+
+  void Free(PageId page);
+
+  std::int32_t capacity() const { return capacity_; }
+  std::int32_t free_pages() const {
+    return static_cast<std::int32_t>(free_list_.size());
+  }
+  std::int32_t used_pages() const { return capacity_ - free_pages(); }
+  bool IsAllocated(PageId page) const;
+
+ private:
+  std::int32_t capacity_;
+  std::vector<PageId> free_list_;
+  std::vector<bool> allocated_;
+};
+
+}  // namespace punica

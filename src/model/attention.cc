@@ -1,0 +1,136 @@
+#include "model/attention.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace punica {
+namespace {
+
+// Online-softmax single-query attention over cache positions [0, kv_len) of
+// one sequence, one query head. This is the streaming formulation
+// FlashAttention/FlashInfer use: one pass, running max and normaliser, no
+// score materialisation.
+void AttendOneHead(const PagedKvCache& kv, SeqId seq, int layer, int kv_head,
+                   int head_dim, std::int64_t kv_len,
+                   std::span<const float> q_head, std::span<float> out_head,
+                   float scale) {
+  float running_max = -INFINITY;
+  float normaliser = 0.0f;
+  std::vector<float> acc(static_cast<std::size_t>(head_dim), 0.0f);
+  std::size_t head_off = static_cast<std::size_t>(kv_head) *
+                         static_cast<std::size_t>(head_dim);
+  for (std::int64_t pos = 0; pos < kv_len; ++pos) {
+    auto k_entry = kv.Entry(seq, layer, pos, KvSlot::kKey);
+    float score = 0.0f;
+    for (int d = 0; d < head_dim; ++d) {
+      score += q_head[static_cast<std::size_t>(d)] *
+               k_entry[head_off + static_cast<std::size_t>(d)].ToFloat();
+    }
+    score *= scale;
+    float new_max = std::max(running_max, score);
+    float correction = std::exp(running_max - new_max);
+    float p = std::exp(score - new_max);
+    normaliser = normaliser * correction + p;
+    auto v_entry = kv.Entry(seq, layer, pos, KvSlot::kValue);
+    for (int d = 0; d < head_dim; ++d) {
+      acc[static_cast<std::size_t>(d)] =
+          acc[static_cast<std::size_t>(d)] * correction +
+          p * v_entry[head_off + static_cast<std::size_t>(d)].ToFloat();
+    }
+    running_max = new_max;
+  }
+  float inv = normaliser > 0.0f ? 1.0f / normaliser : 0.0f;
+  for (int d = 0; d < head_dim; ++d) {
+    out_head[static_cast<std::size_t>(d)] =
+        acc[static_cast<std::size_t>(d)] * inv;
+  }
+}
+
+// Attention for one token over *global* query heads [head_begin, head_end);
+// q/out hold only that slice.
+void AttendOneToken(const LlamaConfig& config, const PagedKvCache& kv,
+                    SeqId seq, int layer, std::int64_t kv_len,
+                    std::span<const float> q, std::span<float> out,
+                    int head_begin, int head_end) {
+  int head_dim = config.head_dim();
+  int group = config.num_heads / config.num_kv_heads;
+  float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  for (int h = head_begin; h < head_end; ++h) {
+    int kv_head = h / group;
+    auto local = static_cast<std::size_t>(h - head_begin);
+    auto q_head = q.subspan(local * static_cast<std::size_t>(head_dim),
+                            static_cast<std::size_t>(head_dim));
+    auto out_head = out.subspan(local * static_cast<std::size_t>(head_dim),
+                                static_cast<std::size_t>(head_dim));
+    AttendOneHead(kv, seq, layer, kv_head, head_dim, kv_len, q_head, out_head,
+                  scale);
+  }
+}
+
+void CheckRange(const LlamaConfig& config, int head_begin, int head_end) {
+  PUNICA_CHECK(config.num_heads % config.num_kv_heads == 0);
+  PUNICA_CHECK(head_begin >= 0);
+  PUNICA_CHECK(head_end > head_begin);
+  PUNICA_CHECK(head_end <= config.num_heads);
+}
+
+}  // namespace
+
+void BatchPrefillAttentionRanged(const LlamaConfig& config,
+                                 const PagedKvCache& kv, SeqId seq, int layer,
+                                 std::int64_t pos_offset,
+                                 std::span<const float> q,
+                                 std::span<float> out, int head_begin,
+                                 int head_end) {
+  CheckRange(config, head_begin, head_end);
+  std::size_t width = static_cast<std::size_t>(head_end - head_begin) *
+                      static_cast<std::size_t>(config.head_dim());
+  PUNICA_CHECK(q.size() % width == 0);
+  PUNICA_CHECK(q.size() == out.size());
+  auto chunk_len = static_cast<std::int64_t>(q.size() / width);
+  PUNICA_CHECK(kv.SeqLen(seq) >= pos_offset + chunk_len);
+  for (std::int64_t j = 0; j < chunk_len; ++j) {
+    std::int64_t kv_len = pos_offset + j + 1;  // causal
+    AttendOneToken(config, kv, seq, layer, kv_len,
+                   q.subspan(static_cast<std::size_t>(j) * width, width),
+                   out.subspan(static_cast<std::size_t>(j) * width, width),
+                   head_begin, head_end);
+  }
+}
+
+void BatchDecodeAttentionRanged(const LlamaConfig& config,
+                                const PagedKvCache& kv,
+                                std::span<const SeqId> seqs, int layer,
+                                std::span<const float> q, std::span<float> out,
+                                int head_begin, int head_end) {
+  CheckRange(config, head_begin, head_end);
+  std::size_t width = static_cast<std::size_t>(head_end - head_begin) *
+                      static_cast<std::size_t>(config.head_dim());
+  PUNICA_CHECK(q.size() == seqs.size() * width);
+  PUNICA_CHECK(q.size() == out.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    std::int64_t kv_len = kv.SeqLen(seqs[i]);
+    PUNICA_CHECK(kv_len > 0);
+    AttendOneToken(config, kv, seqs[i], layer, kv_len,
+                   q.subspan(i * width, width), out.subspan(i * width, width),
+                   head_begin, head_end);
+  }
+}
+
+void BatchPrefillAttention(const LlamaConfig& config, const PagedKvCache& kv,
+                           SeqId seq, int layer, std::int64_t pos_offset,
+                           std::span<const float> q, std::span<float> out) {
+  BatchPrefillAttentionRanged(config, kv, seq, layer, pos_offset, q, out, 0,
+                              config.num_heads);
+}
+
+void BatchDecodeAttention(const LlamaConfig& config, const PagedKvCache& kv,
+                          std::span<const SeqId> seqs, int layer,
+                          std::span<const float> q, std::span<float> out) {
+  BatchDecodeAttentionRanged(config, kv, seqs, layer, q, out, 0,
+                             config.num_heads);
+}
+
+}  // namespace punica

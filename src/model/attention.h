@@ -1,0 +1,48 @@
+// Batched attention over the paged KvCache — the FlashInfer-style interface
+// the paper uses (§6): a BatchPrefill kernel for the leading prefill tokens
+// (causal within the prompt) and a BatchDecode kernel for the trailing
+// decode tokens (each attends over its sequence's full cache), with no
+// padding anywhere. GQA is supported (query-head groups share a KV head).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "kvcache/kvcache.h"
+#include "model/config.h"
+
+namespace punica {
+
+/// Attention for one prefill request chunk.
+/// `q` is [chunk_len, num_heads·head_dim] with RoPE already applied.
+/// K/V for positions [0, pos_offset + chunk_len) must already be in the
+/// cache; token j of the chunk attends causally over [0, pos_offset + j].
+/// Output overwrites `out` ([chunk_len, num_heads·head_dim]).
+void BatchPrefillAttention(const LlamaConfig& config, const PagedKvCache& kv,
+                           SeqId seq, int layer, std::int64_t pos_offset,
+                           std::span<const float> q, std::span<float> out);
+
+/// Attention for a batch of decode tokens: row i of `q` belongs to seqs[i]
+/// and attends over that sequence's entire cache [0, SeqLen). Output rows
+/// align with input rows.
+void BatchDecodeAttention(const LlamaConfig& config, const PagedKvCache& kv,
+                          std::span<const SeqId> seqs, int layer,
+                          std::span<const float> q, std::span<float> out);
+
+/// Head-ranged variants for tensor parallelism: the caller owns query heads
+/// [head_begin, head_end) and `q`/`out` are [..., (head_end−head_begin)·D]
+/// slices. KV heads are addressed globally (head/group), so ranks read
+/// their slice of the shared cache layout.
+void BatchPrefillAttentionRanged(const LlamaConfig& config,
+                                 const PagedKvCache& kv, SeqId seq, int layer,
+                                 std::int64_t pos_offset,
+                                 std::span<const float> q,
+                                 std::span<float> out, int head_begin,
+                                 int head_end);
+void BatchDecodeAttentionRanged(const LlamaConfig& config,
+                                const PagedKvCache& kv,
+                                std::span<const SeqId> seqs, int layer,
+                                std::span<const float> q, std::span<float> out,
+                                int head_begin, int head_end);
+
+}  // namespace punica

@@ -1,0 +1,103 @@
+#include "model/config.h"
+
+#include "util/check.h"
+
+namespace punica {
+
+std::int64_t LlamaConfig::params_per_layer() const {
+  auto h = static_cast<std::int64_t>(hidden_size);
+  auto kv = static_cast<std::int64_t>(kv_dim());
+  auto f = static_cast<std::int64_t>(ffn_hidden);
+  // q: h→h, k: h→kv, v: h→kv, o: h→h, gate: h→f, up: h→f, down: f→h
+  return h * h * 2 + h * kv * 2 + h * f * 3;
+}
+
+std::int64_t LlamaConfig::total_params() const {
+  auto embed = static_cast<std::int64_t>(vocab_size) * hidden_size;
+  return params_per_layer() * num_layers + embed * 2;  // tied-ish head
+}
+
+std::int64_t LlamaConfig::lora_params_per_layer(int rank) const {
+  PUNICA_CHECK(rank > 0);
+  std::int64_t total = 0;
+  for (int p = 0; p < kNumProj; ++p) {
+    ProjShape s = ShapeOf(*this, static_cast<Proj>(p));
+    total += static_cast<std::int64_t>(s.h_in) * rank +
+             static_cast<std::int64_t>(rank) * s.h_out;
+  }
+  return total;
+}
+
+ProjShape ShapeOf(const LlamaConfig& config, Proj proj) {
+  int h = config.hidden_size;
+  int kv = config.kv_dim();
+  int f = config.ffn_hidden;
+  switch (proj) {
+    case Proj::kQ:
+      return {h, h};
+    case Proj::kK:
+    case Proj::kV:
+      return {h, kv};
+    case Proj::kO:
+      return {h, h};
+    case Proj::kGate:
+    case Proj::kUp:
+      return {h, f};
+    case Proj::kDown:
+      return {f, h};
+  }
+  PUNICA_CHECK_MSG(false, "unknown projection");
+  return {};
+}
+
+LlamaConfig Llama7B() {
+  return {.name = "llama2-7b",
+          .hidden_size = 4096,
+          .num_layers = 32,
+          .num_heads = 32,
+          .num_kv_heads = 32,
+          .ffn_hidden = 11008,
+          .vocab_size = 32000};
+}
+
+LlamaConfig Llama13B() {
+  return {.name = "llama2-13b",
+          .hidden_size = 5120,
+          .num_layers = 40,
+          .num_heads = 40,
+          .num_kv_heads = 40,
+          .ffn_hidden = 13824,
+          .vocab_size = 32000};
+}
+
+LlamaConfig Llama70B() {
+  return {.name = "llama2-70b",
+          .hidden_size = 8192,
+          .num_layers = 80,
+          .num_heads = 64,
+          .num_kv_heads = 8,  // Llama-2 70B uses GQA
+          .ffn_hidden = 28672,
+          .vocab_size = 32000};
+}
+
+LlamaConfig TinyLlama() {
+  return {.name = "tiny-llama",
+          .hidden_size = 64,
+          .num_layers = 2,
+          .num_heads = 4,
+          .num_kv_heads = 2,
+          .ffn_hidden = 128,
+          .vocab_size = 256};
+}
+
+LlamaConfig TinyLlama4L() {
+  return {.name = "tiny-llama-4l",
+          .hidden_size = 96,
+          .num_layers = 4,
+          .num_heads = 6,
+          .num_kv_heads = 3,
+          .ffn_hidden = 192,
+          .vocab_size = 512};
+}
+
+}  // namespace punica

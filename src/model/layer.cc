@@ -1,0 +1,241 @@
+#include "model/layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/attention.h"
+#include "model/rope.h"
+#include "tensor/gemm.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+Tensor<f16> RandomF16(std::vector<std::int64_t> shape, float scale,
+                      Pcg32& rng) {
+  Tensor<f16> t(std::move(shape));
+  for (auto& v : t.data()) {
+    v = f16(static_cast<float>(rng.NextGaussian()) * scale);
+  }
+  return t;
+}
+
+}  // namespace
+
+LayerWeights LayerWeights::Random(const LlamaConfig& config,
+                                  std::uint64_t seed) {
+  Pcg32 rng(seed);
+  LayerWeights w;
+  for (int p = 0; p < kNumProj; ++p) {
+    ProjShape s = ShapeOf(config, static_cast<Proj>(p));
+    float scale = 1.0f / std::sqrt(static_cast<float>(s.h_in));
+    w.proj[p] = RandomF16({s.h_in, s.h_out}, scale, rng);
+  }
+  w.attn_norm = Tensor<f16>({config.hidden_size});
+  w.mlp_norm = Tensor<f16>({config.hidden_size});
+  for (auto& v : w.attn_norm.data()) v = f16(1.0f);
+  for (auto& v : w.mlp_norm.data()) v = f16(1.0f);
+  return w;
+}
+
+LoraLayerWeights LoraLayerWeights::Random(const LlamaConfig& config, int rank,
+                                          std::uint64_t seed) {
+  LoraLayerWeights w;
+  for (int p = 0; p < kNumProj; ++p) {
+    ProjShape s = ShapeOf(config, static_cast<Proj>(p));
+    w.proj[p] = LoraAB::Random(s.h_in, s.h_out, rank,
+                               seed * 31 + static_cast<std::uint64_t>(p));
+  }
+  return w;
+}
+
+std::size_t LoraLayerWeights::byte_size() const {
+  std::size_t total = 0;
+  for (const auto& p : proj) total += p.byte_size();
+  return total;
+}
+
+LoraModelWeights LoraModelWeights::Random(const LlamaConfig& config, int rank,
+                                          std::uint64_t seed) {
+  LoraModelWeights w;
+  w.rank = rank;
+  w.layers.reserve(static_cast<std::size_t>(config.num_layers));
+  for (int l = 0; l < config.num_layers; ++l) {
+    w.layers.push_back(LoraLayerWeights::Random(
+        config, rank, seed * 1000003 + static_cast<std::uint64_t>(l)));
+  }
+  return w;
+}
+
+std::size_t LoraModelWeights::byte_size() const {
+  std::size_t total = 0;
+  for (const auto& l : layers) total += l.byte_size();
+  return total;
+}
+
+ModelBatch ModelBatch::Build(std::vector<BatchEntry> entries) {
+  ModelBatch batch;
+  batch.entries = std::move(entries);
+
+  bool seen_decode = false;
+  std::vector<std::int32_t> prefill_lengths;
+  std::vector<LoraId> row_lora;
+  for (const auto& e : batch.entries) {
+    PUNICA_CHECK_MSG(e.num_tokens > 0, "entry must contribute tokens");
+    if (e.is_prefill) {
+      PUNICA_CHECK_MSG(!seen_decode, "prefills must precede decodes");
+      prefill_lengths.push_back(e.num_tokens);
+    } else {
+      PUNICA_CHECK_MSG(e.num_tokens == 1, "decode entries are single-token");
+      seen_decode = true;
+      batch.decode_seqs.push_back(e.seq);
+    }
+    for (std::int32_t j = 0; j < e.num_tokens; ++j) {
+      row_lora.push_back(e.lora);
+      batch.row_pos.push_back(e.pos_offset + j);
+      batch.row_seq.push_back(e.seq);
+    }
+  }
+  batch.batch_len = BuildBatchLen(prefill_lengths,
+                                  static_cast<int>(batch.decode_seqs.size()));
+  batch.segments = BuildSegments(row_lora);
+  return batch;
+}
+
+void LayerWorkspace::Resize(const LlamaConfig& config, int tokens,
+                            int max_rank) {
+  auto t = static_cast<std::size_t>(tokens);
+  normed.assign(t * static_cast<std::size_t>(config.hidden_size), 0.0f);
+  q.assign(t * static_cast<std::size_t>(config.hidden_size), 0.0f);
+  k.assign(t * static_cast<std::size_t>(config.kv_dim()), 0.0f);
+  v.assign(t * static_cast<std::size_t>(config.kv_dim()), 0.0f);
+  attn_out.assign(t * static_cast<std::size_t>(config.hidden_size), 0.0f);
+  gate.assign(t * static_cast<std::size_t>(config.ffn_hidden), 0.0f);
+  up.assign(t * static_cast<std::size_t>(config.ffn_hidden), 0.0f);
+  lora_tmp.assign(t * static_cast<std::size_t>(std::max(max_rank, 1)), 0.0f);
+}
+
+namespace {
+
+/// Dense projection + batched LoRA addon for all token rows.
+void ProjectWithLora(const LlamaConfig& config, const LayerWeights& weights,
+                     std::span<const LoraModelWeights* const> seg_lora,
+                     const ModelBatch& batch, int layer, Proj proj,
+                     std::span<const float> in, std::span<float> out,
+                     std::span<float> lora_tmp) {
+  ProjShape shape = ShapeOf(config, proj);
+  int tokens = batch.total_tokens();
+  std::fill(out.begin(), out.end(), 0.0f);
+  GemmAddF16W(in, weights.proj[static_cast<int>(proj)].data(), out, tokens,
+              shape.h_in, shape.h_out);
+
+  std::vector<const LoraAB*> adapters(seg_lora.size(), nullptr);
+  bool any = false;
+  for (std::size_t i = 0; i < seg_lora.size(); ++i) {
+    if (seg_lora[i] != nullptr) {
+      adapters[i] =
+          &seg_lora[i]->layers[static_cast<std::size_t>(layer)]
+               .proj[static_cast<int>(proj)];
+      any = true;
+    }
+  }
+  if (any) {
+    BatchedLoraAddon(out, in, adapters, batch.segments.offsets, shape.h_in,
+                     shape.h_out, lora_tmp);
+  }
+}
+
+}  // namespace
+
+void LayerForward(const LlamaConfig& config, const LayerWeights& weights,
+                  std::span<const LoraModelWeights* const> seg_lora,
+                  const ModelBatch& batch, int layer, PagedKvCache& kv,
+                  std::span<float> x, LayerWorkspace& ws) {
+  const int tokens = batch.total_tokens();
+  const auto h = static_cast<std::size_t>(config.hidden_size);
+  const auto kvd = static_cast<std::size_t>(config.kv_dim());
+  PUNICA_CHECK(x.size() == static_cast<std::size_t>(tokens) * h);
+  PUNICA_CHECK(seg_lora.size() ==
+               static_cast<std::size_t>(batch.segments.num_segments()));
+
+  // --- Attention block ---
+  for (int t = 0; t < tokens; ++t) {
+    RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
+               weights.attn_norm.data(),
+               std::span<float>(ws.normed).subspan(
+                   static_cast<std::size_t>(t) * h, h),
+               config.rms_eps);
+  }
+
+  ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kQ,
+                  ws.normed, ws.q, ws.lora_tmp);
+  ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kK,
+                  ws.normed, ws.k, ws.lora_tmp);
+  ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kV,
+                  ws.normed, ws.v, ws.lora_tmp);
+
+  // RoPE on Q (all query heads) and K (KV heads), then write K/V into the
+  // paged cache at each row's absolute position.
+  for (int t = 0; t < tokens; ++t) {
+    std::int64_t pos = batch.row_pos[static_cast<std::size_t>(t)];
+    ApplyRope(std::span<float>(ws.q).subspan(static_cast<std::size_t>(t) * h,
+                                             h),
+              config.num_heads, config.head_dim(), pos, config.rope_theta);
+    ApplyRope(std::span<float>(ws.k).subspan(
+                  static_cast<std::size_t>(t) * kvd, kvd),
+              config.num_kv_heads, config.head_dim(), pos, config.rope_theta);
+    SeqId seq = batch.row_seq[static_cast<std::size_t>(t)];
+    auto k_entry = kv.Entry(seq, layer, pos, KvSlot::kKey);
+    auto v_entry = kv.Entry(seq, layer, pos, KvSlot::kValue);
+    for (std::size_t d = 0; d < kvd; ++d) {
+      k_entry[d] = f16(ws.k[static_cast<std::size_t>(t) * kvd + d]);
+      v_entry[d] = f16(ws.v[static_cast<std::size_t>(t) * kvd + d]);
+    }
+  }
+
+  // BatchPrefill over the leading prefill chunks, BatchDecode over the tail.
+  std::size_t row = 0;
+  for (const auto& e : batch.entries) {
+    if (!e.is_prefill) break;
+    auto chunk = static_cast<std::size_t>(e.num_tokens);
+    BatchPrefillAttention(
+        config, kv, e.seq, layer, e.pos_offset,
+        std::span<const float>(ws.q).subspan(row * h, chunk * h),
+        std::span<float>(ws.attn_out).subspan(row * h, chunk * h));
+    row += chunk;
+  }
+  if (!batch.decode_seqs.empty()) {
+    auto n_dec = batch.decode_seqs.size();
+    BatchDecodeAttention(
+        config, kv, batch.decode_seqs, layer,
+        std::span<const float>(ws.q).subspan(row * h, n_dec * h),
+        std::span<float>(ws.attn_out).subspan(row * h, n_dec * h));
+  }
+
+  // Output projection (+LoRA) and residual. ws.normed is reused as the
+  // projection result buffer.
+  ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kO,
+                  ws.attn_out, ws.normed, ws.lora_tmp);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += ws.normed[i];
+
+  // --- MLP block (SwiGLU) ---
+  for (int t = 0; t < tokens; ++t) {
+    RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
+               weights.mlp_norm.data(),
+               std::span<float>(ws.normed).subspan(
+                   static_cast<std::size_t>(t) * h, h),
+               config.rms_eps);
+  }
+  ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kGate,
+                  ws.normed, ws.gate, ws.lora_tmp);
+  ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kUp,
+                  ws.normed, ws.up, ws.lora_tmp);
+  SiluInPlace(ws.gate);
+  for (std::size_t i = 0; i < ws.gate.size(); ++i) ws.gate[i] *= ws.up[i];
+  ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kDown,
+                  ws.gate, ws.attn_out, ws.lora_tmp);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += ws.attn_out[i];
+}
+
+}  // namespace punica

@@ -1,0 +1,101 @@
+// A full Llama transformer layer with batched LoRA addons on all seven dense
+// projections — the numeric core the paper's runtime invokes per layer.
+//
+// Batch convention (paper §6): prefill requests first (each contributing its
+// chunk of prompt tokens), decode requests after (one token each). Dense
+// projections and LoRA addons treat all tokens as one [tokens, h] batch;
+// self-attention splits into BatchPrefill / BatchDecode kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/lora.h"
+#include "core/segment.h"
+#include "kvcache/kvcache.h"
+#include "model/config.h"
+#include "tensor/tensor.h"
+
+namespace punica {
+
+/// Dense weights of one transformer layer (fp16, row-major [h_in, h_out]).
+struct LayerWeights {
+  Tensor<f16> proj[kNumProj];
+  Tensor<f16> attn_norm;  ///< [hidden]
+  Tensor<f16> mlp_norm;   ///< [hidden]
+
+  static LayerWeights Random(const LlamaConfig& config, std::uint64_t seed);
+};
+
+/// LoRA adapters for one layer: one (A, B) pair per projection.
+struct LoraLayerWeights {
+  LoraAB proj[kNumProj];
+
+  static LoraLayerWeights Random(const LlamaConfig& config, int rank,
+                                 std::uint64_t seed);
+  std::size_t byte_size() const;
+};
+
+/// A whole LoRA model: adapters for every layer.
+struct LoraModelWeights {
+  std::vector<LoraLayerWeights> layers;
+  int rank = 0;
+
+  static LoraModelWeights Random(const LlamaConfig& config, int rank,
+                                 std::uint64_t seed);
+  std::size_t byte_size() const;
+};
+
+/// One request's slice of a batched model invocation.
+struct BatchEntry {
+  SeqId seq = 0;              ///< KvCache sequence
+  LoraId lora = -1;           ///< -1 = backbone only
+  std::int32_t num_tokens = 0;  ///< chunk length (1 for decode)
+  std::int64_t pos_offset = 0;  ///< cache position of the chunk's first token
+  bool is_prefill = false;
+};
+
+/// Batch metadata built once per model invocation and reused by every layer
+/// (BatchLen) and every projection (SGMV segments) — paper §6.
+struct ModelBatch {
+  std::vector<BatchEntry> entries;       ///< prefills first, then decodes
+  BatchLen batch_len;
+  Segments segments;                     ///< over token rows, by LoRA id
+  std::vector<SeqId> decode_seqs;        ///< seqs of the decode tail
+  std::vector<std::int64_t> row_pos;     ///< cache position per token row
+  std::vector<SeqId> row_seq;            ///< sequence per token row
+
+  int total_tokens() const { return batch_len.total_tokens(); }
+
+  /// Validates ordering (prefills first) and derives all metadata.
+  static ModelBatch Build(std::vector<BatchEntry> entries);
+};
+
+/// Scratch buffers for a layer forward; sized for the current token count
+/// and reused across layers and invocations to avoid reallocation.
+class LayerWorkspace {
+ public:
+  void Resize(const LlamaConfig& config, int tokens, int max_rank);
+
+  std::vector<float> normed;    ///< [tokens, h]
+  std::vector<float> q;         ///< [tokens, h]
+  std::vector<float> k;         ///< [tokens, kv]
+  std::vector<float> v;         ///< [tokens, kv]
+  std::vector<float> attn_out;  ///< [tokens, h]
+  std::vector<float> gate;      ///< [tokens, ffn]
+  std::vector<float> up;        ///< [tokens, ffn]
+  std::vector<float> lora_tmp;  ///< [tokens, max_rank]
+};
+
+/// Runs one transformer layer in place over activations `x` ([tokens, h]).
+/// `seg_lora[i]` is the LoRA model for segment i (nullptr = backbone only);
+/// adapters for this layer are taken from seg_lora[i]->layers[layer].
+/// K/V for every row is written into the cache at row_pos (the cache must
+/// already be extended to cover those positions).
+void LayerForward(const LlamaConfig& config, const LayerWeights& weights,
+                  std::span<const LoraModelWeights* const> seg_lora,
+                  const ModelBatch& batch, int layer, PagedKvCache& kv,
+                  std::span<float> x, LayerWorkspace& ws);
+
+}  // namespace punica

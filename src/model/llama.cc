@@ -1,0 +1,130 @@
+#include "model/llama.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace punica {
+
+LlamaModel::LlamaModel(const LlamaConfig& config, std::uint64_t seed)
+    : config_(config) {
+  Pcg32 rng(seed);
+  float embed_scale = 1.0f / std::sqrt(static_cast<float>(config.hidden_size));
+  embedding_ = Tensor<f16>({config.vocab_size, config.hidden_size});
+  lm_head_ = Tensor<f16>({config.hidden_size, config.vocab_size});
+  for (auto& v : embedding_.data()) {
+    v = f16(static_cast<float>(rng.NextGaussian()) * embed_scale);
+  }
+  for (auto& v : lm_head_.data()) {
+    v = f16(static_cast<float>(rng.NextGaussian()) * embed_scale);
+  }
+  final_norm_ = Tensor<f16>({config.hidden_size});
+  for (auto& v : final_norm_.data()) v = f16(1.0f);
+  layers_.reserve(static_cast<std::size_t>(config.num_layers));
+  for (int l = 0; l < config.num_layers; ++l) {
+    layers_.push_back(LayerWeights::Random(
+        config, seed * 7919 + static_cast<std::uint64_t>(l) + 1));
+  }
+}
+
+void LlamaModel::AddLora(LoraId id, int rank, std::uint64_t seed) {
+  AddLora(id, LoraModelWeights::Random(config_, rank, seed));
+}
+
+void LlamaModel::AddLora(LoraId id, LoraModelWeights weights) {
+  PUNICA_CHECK(weights.layers.size() ==
+               static_cast<std::size_t>(config_.num_layers));
+  loras_[id] = std::make_unique<LoraModelWeights>(std::move(weights));
+}
+
+const LoraModelWeights* LlamaModel::GetLora(LoraId id) const {
+  auto it = loras_.find(id);
+  return it == loras_.end() ? nullptr : it->second.get();
+}
+
+Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
+                                  std::span<const std::int32_t> token_ids,
+                                  PagedKvCache& kv) {
+  const int tokens = batch.total_tokens();
+  PUNICA_CHECK(token_ids.size() == static_cast<std::size_t>(tokens));
+  const auto h = static_cast<std::size_t>(config_.hidden_size);
+
+  // Resolve each segment's LoRA model once per invocation.
+  std::vector<const LoraModelWeights*> seg_lora;
+  seg_lora.reserve(batch.segments.lora_ids.size());
+  int max_rank = 1;
+  for (LoraId id : batch.segments.lora_ids) {
+    const LoraModelWeights* w = id >= 0 ? GetLora(id) : nullptr;
+    PUNICA_CHECK_MSG(id < 0 || w != nullptr,
+                     "batch references an unloaded LoRA model");
+    seg_lora.push_back(w);
+    if (w != nullptr) max_rank = std::max(max_rank, w->rank);
+  }
+
+  // Embedding lookup.
+  std::vector<float> x(static_cast<std::size_t>(tokens) * h);
+  for (int t = 0; t < tokens; ++t) {
+    std::int32_t id = token_ids[static_cast<std::size_t>(t)];
+    PUNICA_CHECK(id >= 0 && id < config_.vocab_size);
+    auto row = embedding_.row(id);
+    for (std::size_t d = 0; d < h; ++d) {
+      x[static_cast<std::size_t>(t) * h + d] = row[d].ToFloat();
+    }
+  }
+
+  ws_.Resize(config_, tokens, max_rank);
+  for (int l = 0; l < config_.num_layers; ++l) {
+    LayerForward(config_, layers_[static_cast<std::size_t>(l)], seg_lora,
+                 batch, l, kv, x, ws_);
+  }
+
+  // Final norm + LM head on each entry's last token row.
+  auto num_entries = batch.entries.size();
+  Tensor<float> logits(
+      {static_cast<std::int64_t>(num_entries), config_.vocab_size});
+  std::vector<float> normed(h);
+  std::size_t row = 0;
+  for (std::size_t e = 0; e < num_entries; ++e) {
+    row += static_cast<std::size_t>(batch.entries[e].num_tokens);
+    std::size_t last = row - 1;
+    RmsNormRow(std::span<const float>(x).subspan(last * h, h),
+               final_norm_.data(), normed, config_.rms_eps);
+    auto out = logits.row(static_cast<std::int64_t>(e));
+    std::fill(out.begin(), out.end(), 0.0f);
+    GemvAddF16W(normed, lm_head_.data(), out, config_.hidden_size,
+                config_.vocab_size);
+  }
+  return logits;
+}
+
+std::vector<std::int32_t> LlamaModel::ForwardGreedy(
+    const ModelBatch& batch, std::span<const std::int32_t> token_ids,
+    PagedKvCache& kv) {
+  Tensor<float> logits = Forward(batch, token_ids, kv);
+  std::vector<std::int32_t> out;
+  out.reserve(batch.entries.size());
+  for (std::int64_t e = 0; e < logits.dim(0); ++e) {
+    out.push_back(ArgMax(logits.row(e)));
+  }
+  return out;
+}
+
+KvCacheConfig LlamaModel::MakeKvConfig(std::int32_t num_pages,
+                                       int page_size) const {
+  return {.num_layers = config_.num_layers,
+          .num_kv_heads = config_.num_kv_heads,
+          .head_dim = config_.head_dim(),
+          .page_size = page_size,
+          .num_pages = num_pages};
+}
+
+std::int32_t LlamaModel::ArgMax(std::span<const float> logits) {
+  PUNICA_CHECK(!logits.empty());
+  return static_cast<std::int32_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+}  // namespace punica

@@ -1,0 +1,63 @@
+// A complete (small-scale) Llama-architecture model runnable on CPU:
+// embedding → L transformer layers (with multi-LoRA batched addons) →
+// final RMSNorm → LM head. Used by correctness tests, the examples and the
+// end-to-end tiny-model serving demos; paper-scale performance numbers come
+// from the analytical cost model instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kvcache/kvcache.h"
+#include "model/config.h"
+#include "model/layer.h"
+#include "tensor/tensor.h"
+
+namespace punica {
+
+class LlamaModel {
+ public:
+  /// Builds a model with random weights (deterministic in `seed`).
+  LlamaModel(const LlamaConfig& config, std::uint64_t seed);
+
+  const LlamaConfig& config() const { return config_; }
+
+  /// Registers a random LoRA model under `id`. Deterministic in (seed).
+  void AddLora(LoraId id, int rank, std::uint64_t seed);
+  void AddLora(LoraId id, LoraModelWeights weights);
+  const LoraModelWeights* GetLora(LoraId id) const;
+  std::size_t num_loras() const { return loras_.size(); }
+
+  /// Runs one batched invocation. `token_ids` has one id per token row
+  /// (prompt tokens for prefill entries, the previous output token for
+  /// decode entries). The KvCache must already be extended so that every
+  /// row position is in range. Returns next-token logits, one row per batch
+  /// entry (the logits at each entry's final token).
+  Tensor<float> Forward(const ModelBatch& batch,
+                        std::span<const std::int32_t> token_ids,
+                        PagedKvCache& kv);
+
+  /// Greedy decoding helper: Forward + per-entry argmax.
+  std::vector<std::int32_t> ForwardGreedy(
+      const ModelBatch& batch, std::span<const std::int32_t> token_ids,
+      PagedKvCache& kv);
+
+  /// A KvCacheConfig matching this model's geometry.
+  KvCacheConfig MakeKvConfig(std::int32_t num_pages, int page_size = 16) const;
+
+  static std::int32_t ArgMax(std::span<const float> logits);
+
+ private:
+  LlamaConfig config_;
+  Tensor<f16> embedding_;  ///< [vocab, hidden]
+  Tensor<f16> lm_head_;    ///< [hidden, vocab]
+  Tensor<f16> final_norm_; ///< [hidden]
+  std::vector<LayerWeights> layers_;
+  std::unordered_map<LoraId, std::unique_ptr<LoraModelWeights>> loras_;
+  LayerWorkspace ws_;
+};
+
+}  // namespace punica

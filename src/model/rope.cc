@@ -1,0 +1,32 @@
+#include "model/rope.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace punica {
+
+void ApplyRope(std::span<float> x, int num_heads, int head_dim,
+               std::int64_t pos, float theta) {
+  PUNICA_CHECK(head_dim % 2 == 0);
+  PUNICA_CHECK(x.size() == static_cast<std::size_t>(num_heads) *
+                               static_cast<std::size_t>(head_dim));
+  for (int h = 0; h < num_heads; ++h) {
+    float* head = &x[static_cast<std::size_t>(h) *
+                     static_cast<std::size_t>(head_dim)];
+    for (int i = 0; i < head_dim / 2; ++i) {
+      float freq = std::pow(theta, -2.0f * static_cast<float>(i) /
+                                       static_cast<float>(head_dim));
+      float angle = static_cast<float>(pos) * freq;
+      float c = std::cos(angle);
+      float s = std::sin(angle);
+      float x0 = head[2 * i];
+      float x1 = head[2 * i + 1];
+      head[2 * i] = x0 * c - x1 * s;
+      head[2 * i + 1] = x0 * s + x1 * c;
+    }
+  }
+}
+
+}  // namespace punica

@@ -1,0 +1,18 @@
+// Rotary positional embedding (Llama style): rotates each consecutive pair
+// within a head's dimension by a position- and frequency-dependent angle.
+// Applied to Q and K after projection, before K is written to the KvCache.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace punica {
+
+/// Applies RoPE in place to one token's multi-head vector.
+/// `x` is [num_heads · head_dim]; `pos` is the absolute token position.
+/// Pairing convention: (x[2i], x[2i+1]) within each head, frequencies
+/// theta^(-2i/head_dim) — the GPT-NeoX/Llama interleaved variant.
+void ApplyRope(std::span<float> x, int num_heads, int head_dim,
+               std::int64_t pos, float theta);
+
+}  // namespace punica

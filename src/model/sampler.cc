@@ -1,0 +1,82 @@
+#include "model/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace punica {
+
+Sampler::Sampler(SamplerConfig config) : config_(config) {
+  PUNICA_CHECK(config_.temperature >= 0.0);
+  PUNICA_CHECK(config_.top_k >= 0);
+  PUNICA_CHECK(config_.top_p > 0.0 && config_.top_p <= 1.0);
+}
+
+std::int32_t ArgMaxToken(std::span<const float> logits) {
+  PUNICA_CHECK(!logits.empty());
+  return static_cast<std::int32_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+std::int32_t Sampler::Sample(std::span<const float> logits,
+                             Pcg32& rng) const {
+  PUNICA_CHECK(!logits.empty());
+  if (config_.temperature == 0.0) return ArgMaxToken(logits);
+
+  // Work on (logit, index) pairs sorted descending so top-k and top-p are
+  // prefix truncations.
+  std::vector<std::int32_t> order(logits.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    float la = logits[static_cast<std::size_t>(a)];
+    float lb = logits[static_cast<std::size_t>(b)];
+    if (la != lb) return la > lb;
+    return a < b;
+  });
+
+  std::size_t keep = order.size();
+  if (config_.top_k > 0) {
+    keep = std::min(keep, static_cast<std::size_t>(config_.top_k));
+  }
+
+  // Softmax over the kept prefix at the given temperature.
+  float max_logit = logits[static_cast<std::size_t>(order[0])];
+  std::vector<double> probs(keep);
+  double total = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) {
+    double z = (logits[static_cast<std::size_t>(order[i])] - max_logit) /
+               config_.temperature;
+    probs[i] = std::exp(z);
+    total += probs[i];
+  }
+  for (auto& p : probs) p /= total;
+
+  if (config_.top_p < 1.0) {
+    double mass = 0.0;
+    std::size_t cut = keep;
+    for (std::size_t i = 0; i < keep; ++i) {
+      mass += probs[i];
+      if (mass >= config_.top_p) {
+        cut = i + 1;
+        break;
+      }
+    }
+    keep = cut;
+    double kept_mass = 0.0;
+    for (std::size_t i = 0; i < keep; ++i) kept_mass += probs[i];
+    for (std::size_t i = 0; i < keep; ++i) probs[i] /= kept_mass;
+  }
+
+  double u = rng.NextDouble();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) {
+    acc += probs[i];
+    if (u < acc) return order[i];
+  }
+  return order[keep - 1];  // rounding guard
+}
+
+}  // namespace punica

@@ -1,0 +1,36 @@
+// Token samplers over next-token logits: greedy, temperature, top-k and
+// top-p (nucleus). The serving examples default to greedy (deterministic);
+// the stochastic samplers are seeded per request so streams stay
+// reproducible across runs and across migration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/rng.h"
+
+namespace punica {
+
+struct SamplerConfig {
+  double temperature = 1.0;  ///< 0 = greedy (argmax)
+  int top_k = 0;             ///< 0 = disabled
+  double top_p = 1.0;        ///< 1 = disabled
+};
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerConfig config = {});
+
+  /// Draws one token id from the (unnormalised) logits.
+  std::int32_t Sample(std::span<const float> logits, Pcg32& rng) const;
+
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  SamplerConfig config_;
+};
+
+/// Argmax with lowest-index tiebreak (the greedy path).
+std::int32_t ArgMaxToken(std::span<const float> logits);
+
+}  // namespace punica

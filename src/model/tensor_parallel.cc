@@ -1,0 +1,229 @@
+#include "model/tensor_parallel.h"
+
+#include <algorithm>
+
+#include "model/attention.h"
+#include "model/rope.h"
+#include "tensor/gemm.h"
+#include "util/check.h"
+
+namespace punica {
+namespace {
+
+Tensor<f16> SliceColumns(const Tensor<f16>& w, std::int64_t col_begin,
+                         std::int64_t col_end) {
+  PUNICA_CHECK(w.ndim() == 2);
+  std::int64_t rows = w.dim(0);
+  std::int64_t cols = w.dim(1);
+  PUNICA_CHECK(col_begin >= 0 && col_end <= cols && col_begin < col_end);
+  Tensor<f16> out({rows, col_end - col_begin});
+  for (std::int64_t i = 0; i < rows; ++i) {
+    auto src = w.row(i);
+    auto dst = out.row(i);
+    std::copy(src.begin() + col_begin, src.begin() + col_end, dst.begin());
+  }
+  return out;
+}
+
+Tensor<f16> SliceRows(const Tensor<f16>& w, std::int64_t row_begin,
+                      std::int64_t row_end) {
+  PUNICA_CHECK(w.ndim() == 2);
+  PUNICA_CHECK(row_begin >= 0 && row_end <= w.dim(0) && row_begin < row_end);
+  Tensor<f16> out({row_end - row_begin, w.dim(1)});
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    auto src = w.row(i);
+    auto dst = out.row(i - row_begin);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+}  // namespace
+
+LlamaConfig RankConfig(const LlamaConfig& config, int tp) {
+  PUNICA_CHECK(tp >= 1);
+  PUNICA_CHECK_MSG(config.num_heads % tp == 0, "heads must divide tp");
+  PUNICA_CHECK_MSG(config.num_kv_heads % tp == 0, "kv heads must divide tp");
+  PUNICA_CHECK_MSG(config.ffn_hidden % tp == 0, "ffn must divide tp");
+  LlamaConfig rank = config;
+  rank.num_heads = config.num_heads / tp;
+  rank.num_kv_heads = config.num_kv_heads / tp;
+  rank.ffn_hidden = config.ffn_hidden / tp;
+  // hidden_size stays global: inputs are replicated, outputs reduced.
+  return rank;
+}
+
+TpShardedLayer ShardLayer(const LlamaConfig& config, const LayerWeights& full,
+                          int tp) {
+  RankConfig(config, tp);  // validates divisibility
+  TpShardedLayer sharded;
+  sharded.tp = tp;
+  int d = config.head_dim();
+  std::int64_t q_cols = static_cast<std::int64_t>(config.num_heads / tp) * d;
+  std::int64_t kv_cols =
+      static_cast<std::int64_t>(config.num_kv_heads / tp) * d;
+  std::int64_t f_cols = config.ffn_hidden / tp;
+  for (int r = 0; r < tp; ++r) {
+    LayerWeights shard;
+    shard.proj[static_cast<int>(Proj::kQ)] =
+        SliceColumns(full.proj[static_cast<int>(Proj::kQ)], r * q_cols,
+                     (r + 1) * q_cols);
+    shard.proj[static_cast<int>(Proj::kK)] =
+        SliceColumns(full.proj[static_cast<int>(Proj::kK)], r * kv_cols,
+                     (r + 1) * kv_cols);
+    shard.proj[static_cast<int>(Proj::kV)] =
+        SliceColumns(full.proj[static_cast<int>(Proj::kV)], r * kv_cols,
+                     (r + 1) * kv_cols);
+    shard.proj[static_cast<int>(Proj::kO)] =
+        SliceRows(full.proj[static_cast<int>(Proj::kO)], r * q_cols,
+                  (r + 1) * q_cols);
+    shard.proj[static_cast<int>(Proj::kGate)] =
+        SliceColumns(full.proj[static_cast<int>(Proj::kGate)], r * f_cols,
+                     (r + 1) * f_cols);
+    shard.proj[static_cast<int>(Proj::kUp)] =
+        SliceColumns(full.proj[static_cast<int>(Proj::kUp)], r * f_cols,
+                     (r + 1) * f_cols);
+    shard.proj[static_cast<int>(Proj::kDown)] =
+        SliceRows(full.proj[static_cast<int>(Proj::kDown)], r * f_cols,
+                  (r + 1) * f_cols);
+    sharded.ranks.push_back(std::move(shard));
+  }
+  sharded.attn_norm = Tensor<f16>({config.hidden_size});
+  sharded.mlp_norm = Tensor<f16>({config.hidden_size});
+  std::copy(full.attn_norm.data().begin(), full.attn_norm.data().end(),
+            sharded.attn_norm.data().begin());
+  std::copy(full.mlp_norm.data().begin(), full.mlp_norm.data().end(),
+            sharded.mlp_norm.data().begin());
+  return sharded;
+}
+
+void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
+                    const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
+                    std::span<float> x) {
+  const int tp = layer.tp;
+  const int tokens = batch.total_tokens();
+  const auto h = static_cast<std::size_t>(config.hidden_size);
+  PUNICA_CHECK(x.size() == static_cast<std::size_t>(tokens) * h);
+  PUNICA_CHECK(static_cast<int>(layer.ranks.size()) == tp);
+  const int d = config.head_dim();
+  const int heads_pr = config.num_heads / tp;
+  const int kv_heads_pr = config.num_kv_heads / tp;
+  const int f_pr = config.ffn_hidden / tp;
+  const auto q_w = static_cast<std::size_t>(heads_pr) *
+                   static_cast<std::size_t>(d);
+  const auto kv_w = static_cast<std::size_t>(kv_heads_pr) *
+                    static_cast<std::size_t>(d);
+
+  // --- Attention block ---
+  std::vector<float> normed(static_cast<std::size_t>(tokens) * h);
+  for (int t = 0; t < tokens; ++t) {
+    RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
+               layer.attn_norm.data(),
+               std::span<float>(normed).subspan(
+                   static_cast<std::size_t>(t) * h, h),
+               config.rms_eps);
+  }
+
+  // The all-reduce accumulator: partial O-projection outputs sum here in
+  // rank order (a deterministic stand-in for NCCL's reduction).
+  std::vector<float> attn_reduced(x.size(), 0.0f);
+  std::vector<float> q(static_cast<std::size_t>(tokens) * q_w);
+  std::vector<float> k(static_cast<std::size_t>(tokens) * kv_w);
+  std::vector<float> v(static_cast<std::size_t>(tokens) * kv_w);
+  std::vector<float> attn_out(q.size());
+
+  for (int r = 0; r < tp; ++r) {
+    const LayerWeights& shard = layer.ranks[static_cast<std::size_t>(r)];
+    std::fill(q.begin(), q.end(), 0.0f);
+    std::fill(k.begin(), k.end(), 0.0f);
+    std::fill(v.begin(), v.end(), 0.0f);
+    GemmAddF16W(normed, shard.proj[static_cast<int>(Proj::kQ)].data(), q,
+                tokens, config.hidden_size, heads_pr * d);
+    GemmAddF16W(normed, shard.proj[static_cast<int>(Proj::kK)].data(), k,
+                tokens, config.hidden_size, kv_heads_pr * d);
+    GemmAddF16W(normed, shard.proj[static_cast<int>(Proj::kV)].data(), v,
+                tokens, config.hidden_size, kv_heads_pr * d);
+
+    // RoPE on this rank's heads; write this rank's KV slice of each entry.
+    for (int t = 0; t < tokens; ++t) {
+      std::int64_t pos = batch.row_pos[static_cast<std::size_t>(t)];
+      ApplyRope(std::span<float>(q).subspan(
+                    static_cast<std::size_t>(t) * q_w, q_w),
+                heads_pr, d, pos, config.rope_theta);
+      ApplyRope(std::span<float>(k).subspan(
+                    static_cast<std::size_t>(t) * kv_w, kv_w),
+                kv_heads_pr, d, pos, config.rope_theta);
+      SeqId seq = batch.row_seq[static_cast<std::size_t>(t)];
+      auto k_entry = kv.Entry(seq, layer_idx, pos, KvSlot::kKey);
+      auto v_entry = kv.Entry(seq, layer_idx, pos, KvSlot::kValue);
+      std::size_t off = static_cast<std::size_t>(r) * kv_w;
+      for (std::size_t i = 0; i < kv_w; ++i) {
+        k_entry[off + i] = f16(k[static_cast<std::size_t>(t) * kv_w + i]);
+        v_entry[off + i] = f16(v[static_cast<std::size_t>(t) * kv_w + i]);
+      }
+    }
+
+    // Attention over this rank's query heads (no communication needed).
+    int head_begin = r * heads_pr;
+    int head_end = head_begin + heads_pr;
+    std::size_t row = 0;
+    for (const auto& e : batch.entries) {
+      if (!e.is_prefill) break;
+      auto chunk = static_cast<std::size_t>(e.num_tokens);
+      BatchPrefillAttentionRanged(
+          config, kv, e.seq, layer_idx, e.pos_offset,
+          std::span<const float>(q).subspan(row * q_w, chunk * q_w),
+          std::span<float>(attn_out).subspan(row * q_w, chunk * q_w),
+          head_begin, head_end);
+      row += chunk;
+    }
+    if (!batch.decode_seqs.empty()) {
+      auto n_dec = batch.decode_seqs.size();
+      BatchDecodeAttentionRanged(
+          config, kv, batch.decode_seqs, layer_idx,
+          std::span<const float>(q).subspan(row * q_w, n_dec * q_w),
+          std::span<float>(attn_out).subspan(row * q_w, n_dec * q_w),
+          head_begin, head_end);
+    }
+
+    // Row-parallel O projection: partial [tokens, h], reduced across ranks.
+    GemmAddF16W(attn_out, shard.proj[static_cast<int>(Proj::kO)].data(),
+                attn_reduced, tokens, heads_pr * d, config.hidden_size);
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += attn_reduced[i];
+
+  // --- MLP block ---
+  for (int t = 0; t < tokens; ++t) {
+    RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
+               layer.mlp_norm.data(),
+               std::span<float>(normed).subspan(
+                   static_cast<std::size_t>(t) * h, h),
+               config.rms_eps);
+  }
+  std::vector<float> mlp_reduced(x.size(), 0.0f);
+  std::vector<float> gate(static_cast<std::size_t>(tokens) *
+                          static_cast<std::size_t>(f_pr));
+  std::vector<float> up(gate.size());
+  for (int r = 0; r < tp; ++r) {
+    const LayerWeights& shard = layer.ranks[static_cast<std::size_t>(r)];
+    std::fill(gate.begin(), gate.end(), 0.0f);
+    std::fill(up.begin(), up.end(), 0.0f);
+    GemmAddF16W(normed, shard.proj[static_cast<int>(Proj::kGate)].data(),
+                gate, tokens, config.hidden_size, f_pr);
+    GemmAddF16W(normed, shard.proj[static_cast<int>(Proj::kUp)].data(), up,
+                tokens, config.hidden_size, f_pr);
+    SiluInPlace(gate);
+    for (std::size_t i = 0; i < gate.size(); ++i) gate[i] *= up[i];
+    GemmAddF16W(gate, shard.proj[static_cast<int>(Proj::kDown)].data(),
+                mlp_reduced, tokens, f_pr, config.hidden_size);
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += mlp_reduced[i];
+}
+
+std::int64_t RankLayerBytes(const LlamaConfig& config, int tp) {
+  RankConfig(config, tp);
+  return config.layer_weight_bytes() / tp +
+         static_cast<std::int64_t>(config.hidden_size) * 2 * 2;  // norms
+}
+
+}  // namespace punica

@@ -1,0 +1,59 @@
+// Numeric Megatron-style tensor parallelism (Shoeybi et al.) — the parallel
+// scheme the paper uses to serve the 70B model on 8 GPUs (Fig. 12; "Punica
+// and vLLM achieve the same performance because their parallel schemes are
+// the same").
+//
+// Sharding per transformer layer over `tp` ranks:
+//   * Q/K/V projections: column-parallel, sliced along heads — rank r owns
+//     query heads [r·H/tp, (r+1)·H/tp) and KV heads [r·N/tp, (r+1)·N/tp).
+//   * O projection: row-parallel (input rows follow the Q slice); partial
+//     outputs are summed by an all-reduce.
+//   * Gate/Up: column-parallel along the FFN dimension; Down: row-parallel;
+//     second all-reduce after Down.
+//   * Norm weights replicated.
+// Each rank writes its own slice of every KvCache entry and attends over
+// its own heads, so attention needs no communication.
+//
+// Executed sequentially rank-by-rank on CPU (simulated SPMD); the result is
+// numerically equivalent (up to fp32 reduction order) to the single-GPU
+// LayerForward, which the tests assert.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/layer.h"
+
+namespace punica {
+
+/// One layer's weights sharded over tp ranks.
+struct TpShardedLayer {
+  std::vector<LayerWeights> ranks;  ///< per-rank weight slices
+  Tensor<f16> attn_norm;            ///< replicated
+  Tensor<f16> mlp_norm;             ///< replicated
+  int tp = 1;
+};
+
+/// Slices a full layer into tp shards. Requires num_heads, num_kv_heads and
+/// ffn_hidden to be divisible by tp (true for Llama-2 70B at tp=8).
+TpShardedLayer ShardLayer(const LlamaConfig& config,
+                          const LayerWeights& full, int tp);
+
+/// Per-rank model config (heads and FFN divided by tp) used for the rank's
+/// local GEMM shapes.
+LlamaConfig RankConfig(const LlamaConfig& config, int tp);
+
+/// Runs one backbone transformer layer under tensor parallelism: each rank
+/// computes its partial attention and MLP contributions; the two all-reduce
+/// points sum partials across ranks into the residual stream. Semantics
+/// match LayerForward with a null LoRA view (backbone-only).
+void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
+                    const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
+                    std::span<float> x);
+
+/// Byte count a single rank holds for one layer (the per-GPU memory the
+/// cost model's tp division assumes).
+std::int64_t RankLayerBytes(const LlamaConfig& config, int tp);
+
+}  // namespace punica

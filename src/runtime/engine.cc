@@ -1,0 +1,182 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace punica {
+
+Engine::Engine(LlamaModel* model, const KvCacheConfig& kv_config,
+               EngineConfig config)
+    : model_(model), kv_(kv_config), config_(config) {
+  PUNICA_CHECK(model_ != nullptr);
+  PUNICA_CHECK(config_.max_batch_size > 0);
+  PUNICA_CHECK(config_.prefill_limit >= 1);
+}
+
+std::int64_t Engine::Admit(Slot slot, std::vector<std::int32_t> generated) {
+  PUNICA_CHECK_MSG(CanAdmit(), "working set full; queue at the caller");
+  PUNICA_CHECK(!slot.prompt.empty());
+  slot.seq = kv_.CreateSequence();
+  slot.admit_seq = next_admit_seq_++;
+  std::int64_t id = next_id_++;
+  outputs_[id] = std::move(generated);
+  active_.emplace(id, std::move(slot));
+  return id;
+}
+
+std::int64_t Engine::AddRequest(LoraId lora,
+                                std::vector<std::int32_t> prompt,
+                                int max_new_tokens) {
+  PUNICA_CHECK(max_new_tokens >= 1);
+  Slot slot;
+  slot.lora = lora;
+  slot.prompt = std::move(prompt);
+  slot.max_new_tokens = max_new_tokens;
+  return Admit(std::move(slot), {});
+}
+
+std::int64_t Engine::AddMigrated(const RequestSnapshot& snapshot) {
+  Slot slot;
+  slot.lora = snapshot.lora;
+  slot.prompt = snapshot.prompt;
+  slot.max_new_tokens = snapshot.max_new_tokens;
+  slot.resume_from = static_cast<std::int32_t>(snapshot.generated.size());
+  return Admit(std::move(slot), snapshot.generated);
+}
+
+std::optional<RequestSnapshot> Engine::Cancel(std::int64_t id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return std::nullopt;
+  RequestSnapshot snap;
+  snap.lora = it->second.lora;
+  snap.prompt = it->second.prompt;
+  snap.generated = outputs_.at(id);
+  snap.max_new_tokens = it->second.max_new_tokens;
+  kv_.FreeSequence(it->second.seq);
+  active_.erase(it);
+  return snap;
+}
+
+bool Engine::IsDone(const Slot& slot,
+                    const std::vector<std::int32_t>& out) const {
+  if (static_cast<int>(out.size()) >= slot.max_new_tokens) return true;
+  return config_.eos_token >= 0 && !out.empty() &&
+         out.back() == config_.eos_token;
+}
+
+Engine::StepResult Engine::Step() {
+  StepResult result;
+  if (active_.empty()) return result;
+
+  // Select up to prefill_limit prefills (FCFS) and all decodes.
+  std::vector<std::pair<std::int64_t, Slot*>> prefills;
+  std::vector<std::pair<std::int64_t, Slot*>> decodes;
+  {
+    std::vector<std::pair<std::int64_t, Slot*>> want_prefill;
+    for (auto& [id, slot] : active_) {
+      if (slot.needs_prefill) {
+        want_prefill.emplace_back(id, &slot);
+      } else {
+        decodes.emplace_back(id, &slot);
+      }
+    }
+    std::sort(want_prefill.begin(), want_prefill.end(),
+              [](const auto& a, const auto& b) {
+                return a.second->admit_seq < b.second->admit_seq;
+              });
+    if (static_cast<int>(want_prefill.size()) > config_.prefill_limit) {
+      want_prefill.resize(static_cast<std::size_t>(config_.prefill_limit));
+    }
+    prefills = std::move(want_prefill);
+  }
+  if (prefills.empty() && decodes.empty()) return result;
+
+  // Group by LoRA id within each section so SGMV segments are maximal; the
+  // prefill tail and decode head can then share a segment (paper §6).
+  auto by_lora = [](const auto& a, const auto& b) {
+    if (a.second->lora != b.second->lora) {
+      return a.second->lora < b.second->lora;
+    }
+    return a.second->admit_seq < b.second->admit_seq;
+  };
+  std::stable_sort(prefills.begin(), prefills.end(), by_lora);
+  std::stable_sort(decodes.begin(), decodes.end(), by_lora);
+  if (!prefills.empty() && !decodes.empty()) {
+    // Rotate decodes so the head shares the last prefill's LoRA when one
+    // exists.
+    LoraId tail = prefills.back().second->lora;
+    auto match = std::find_if(decodes.begin(), decodes.end(),
+                              [&](const auto& d) {
+                                return d.second->lora == tail;
+                              });
+    if (match != decodes.end()) {
+      std::rotate(decodes.begin(), match, decodes.end());
+    }
+  }
+
+  // Build batch entries and token rows. KvCache is extended up front so the
+  // layer can write K/V at every row position.
+  std::vector<BatchEntry> entries;
+  std::vector<std::int32_t> token_ids;
+  for (auto& [id, slot] : prefills) {
+    const auto& out = outputs_.at(id);
+    std::int32_t chunk =
+        static_cast<std::int32_t>(slot->prompt.size()) + slot->resume_from;
+    PUNICA_CHECK_MSG(kv_.Extend(slot->seq, chunk),
+                     "KvCache exhausted; migrate requests first");
+    entries.push_back({.seq = slot->seq,
+                       .lora = slot->lora,
+                       .num_tokens = chunk,
+                       .pos_offset = 0,
+                       .is_prefill = true});
+    token_ids.insert(token_ids.end(), slot->prompt.begin(),
+                     slot->prompt.end());
+    token_ids.insert(token_ids.end(), out.begin(),
+                     out.begin() + slot->resume_from);
+  }
+  for (auto& [id, slot] : decodes) {
+    std::int64_t pos = kv_.SeqLen(slot->seq);
+    PUNICA_CHECK_MSG(kv_.Extend(slot->seq, 1),
+                     "KvCache exhausted; migrate requests first");
+    entries.push_back({.seq = slot->seq,
+                       .lora = slot->lora,
+                       .num_tokens = 1,
+                       .pos_offset = pos,
+                       .is_prefill = false});
+    token_ids.push_back(outputs_.at(id).back());
+  }
+
+  ModelBatch batch = ModelBatch::Build(std::move(entries));
+  result.num_segments = batch.segments.num_segments();
+  result.batch_size = static_cast<int>(prefills.size() + decodes.size());
+  result.prefill_requests = static_cast<int>(prefills.size());
+
+  std::vector<std::int32_t> next = model_->ForwardGreedy(batch, token_ids,
+                                                         kv_);
+
+  // Apply results in entry order: prefills first, then decodes.
+  std::size_t out_idx = 0;
+  auto apply = [&](std::int64_t id, Slot* slot, bool was_prefill) {
+    std::int32_t token = next[out_idx++];
+    auto& out = outputs_.at(id);
+    out.push_back(token);
+    result.emitted.emplace_back(id, token);
+    if (was_prefill) slot->needs_prefill = false;
+    if (IsDone(*slot, out)) {
+      kv_.FreeSequence(slot->seq);
+      result.finished.push_back(id);
+      active_.erase(id);
+    }
+  };
+  for (auto& [id, slot] : prefills) apply(id, slot, true);
+  for (auto& [id, slot] : decodes) apply(id, slot, false);
+  return result;
+}
+
+const std::vector<std::int32_t>* Engine::Output(std::int64_t id) const {
+  auto it = outputs_.find(id);
+  return it == outputs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace punica

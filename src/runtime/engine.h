@@ -1,0 +1,102 @@
+// Numeric single-GPU serving engine: the runnable counterpart of GpuRunner.
+//
+// GpuRunner simulates paper-scale serving through the cost model; Engine
+// actually executes a (tiny) Llama model on CPU with the same batching
+// discipline — continuous batching over a paged KvCache, at most
+// `prefill_limit` prefills per invocation, token rows grouped by LoRA id so
+// SGMV segments are maximal, and cancellation/migration via prompt+generated
+// recomputation. Examples and integration tests drive this engine end to
+// end; its outputs are bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "kvcache/kvcache.h"
+#include "model/llama.h"
+
+namespace punica {
+
+struct EngineConfig {
+  int max_batch_size = 32;
+  int prefill_limit = 1;
+  std::int32_t eos_token = -1;  ///< optional early-stop token (-1 = none)
+};
+
+/// Everything needed to resume a request elsewhere (migration, §5.3): the
+/// destination re-prefills prompt + generated.
+struct RequestSnapshot {
+  LoraId lora = -1;
+  std::vector<std::int32_t> prompt;
+  std::vector<std::int32_t> generated;
+  int max_new_tokens = 0;
+};
+
+class Engine {
+ public:
+  /// The engine borrows the model (shared across engines — one backbone
+  /// copy, as on a GPU) and owns its KvCache.
+  Engine(LlamaModel* model, const KvCacheConfig& kv_config,
+         EngineConfig config = {});
+
+  /// Admits a request. Aborts if the working set is full — callers queue.
+  std::int64_t AddRequest(LoraId lora, std::vector<std::int32_t> prompt,
+                          int max_new_tokens);
+
+  /// Re-admits a migrated request; its KvCache is rebuilt by re-prefilling
+  /// prompt + generated in its first step.
+  std::int64_t AddMigrated(const RequestSnapshot& snapshot);
+
+  /// Cancels a request and returns its snapshot (empty when unknown).
+  /// Releases the KvCache immediately (the evict half of migration).
+  std::optional<RequestSnapshot> Cancel(std::int64_t id);
+
+  bool HasWork() const { return !active_.empty(); }
+  int working_set_size() const { return static_cast<int>(active_.size()); }
+  bool CanAdmit() const {
+    return working_set_size() < config_.max_batch_size;
+  }
+
+  struct StepResult {
+    std::vector<std::pair<std::int64_t, std::int32_t>> emitted;
+    std::vector<std::int64_t> finished;
+    int batch_size = 0;
+    int prefill_requests = 0;
+    int num_segments = 0;  ///< SGMV segments in this invocation
+  };
+
+  /// Runs one batched model invocation (prefills first, grouped by LoRA).
+  StepResult Step();
+
+  /// Tokens generated so far (valid for finished requests too).
+  const std::vector<std::int32_t>* Output(std::int64_t id) const;
+
+  const KvCacheConfig& kv_config() const { return kv_.config(); }
+  std::int32_t kv_free_pages() const { return kv_.free_pages(); }
+
+ private:
+  struct Slot {
+    LoraId lora = -1;
+    std::vector<std::int32_t> prompt;  ///< original prompt
+    int max_new_tokens = 0;
+    SeqId seq = -1;
+    bool needs_prefill = true;
+    std::int32_t resume_from = 0;  ///< generated tokens to re-prefill
+    std::uint64_t admit_seq = 0;
+  };
+
+  std::int64_t Admit(Slot slot, std::vector<std::int32_t> generated);
+  bool IsDone(const Slot& slot, const std::vector<std::int32_t>& out) const;
+
+  LlamaModel* model_;
+  PagedKvCache kv_;
+  EngineConfig config_;
+  std::map<std::int64_t, Slot> active_;
+  std::map<std::int64_t, std::vector<std::int32_t>> outputs_;
+  std::int64_t next_id_ = 0;
+  std::uint64_t next_admit_seq_ = 0;
+};
+
+}  // namespace punica

@@ -1,0 +1,72 @@
+#include "runtime/lora_residency.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace punica {
+
+LoraResidency::LoraResidency(std::int64_t capacity_bytes,
+                             std::int64_t adapter_bytes,
+                             double load_latency_s)
+    : capacity_bytes_(capacity_bytes),
+      adapter_bytes_(adapter_bytes),
+      load_latency_s_(load_latency_s) {
+  PUNICA_CHECK(adapter_bytes > 0);
+  PUNICA_CHECK_MSG(capacity_bytes >= adapter_bytes,
+                   "budget must fit at least one adapter");
+}
+
+double LoraResidency::Touch(LoraId id, double now) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.last_use = ++use_clock_;
+    ++hit_count_;
+    return std::max(it->second.ready_time, now);
+  }
+  used_bytes_ += adapter_bytes_;
+  EvictIfNeeded();
+  Entry entry;
+  entry.ready_time = now + load_latency_s_;
+  entry.last_use = ++use_clock_;
+  entries_.emplace(id, entry);
+  ++load_count_;
+  return entry.ready_time;
+}
+
+void LoraResidency::EvictIfNeeded() {
+  while (used_bytes_ > capacity_bytes_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.pins > 0) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    PUNICA_CHECK_MSG(victim != entries_.end(),
+                     "all resident adapters are pinned; budget too small");
+    entries_.erase(victim);
+    used_bytes_ -= adapter_bytes_;
+  }
+}
+
+bool LoraResidency::IsReady(LoraId id, double now) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() && it->second.ready_time <= now + 1e-12;
+}
+
+void LoraResidency::Pin(LoraId id) {
+  auto it = entries_.find(id);
+  PUNICA_CHECK_MSG(it != entries_.end(), "pin of non-resident adapter");
+  ++it->second.pins;
+}
+
+void LoraResidency::Unpin(LoraId id) {
+  auto it = entries_.find(id);
+  PUNICA_CHECK_MSG(it != entries_.end(), "unpin of non-resident adapter");
+  PUNICA_CHECK(it->second.pins > 0);
+  --it->second.pins;
+}
+
+}  // namespace punica

@@ -1,0 +1,64 @@
+// On-demand LoRA weight loading (paper §5.2).
+//
+// LoRA adapters are ~1% of the backbone and live in host memory; loading one
+// is an asynchronous host→device copy (~2 ms over PCIe Gen4 ×16) that
+// overlaps with compute. A request whose adapter is still in flight simply
+// sits out of the batch until the copy's ready time passes — "by the end of
+// the model execution, the weight already finished loading."
+//
+// Device-side adapter memory is a fixed budget managed LRU; pinned (in-use)
+// adapters are never evicted.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/segment.h"
+
+namespace punica {
+
+class LoraResidency {
+ public:
+  /// `capacity_bytes` of device memory reserved for adapters;
+  /// `adapter_bytes` the (uniform) size of one adapter;
+  /// `load_latency_s` the PCIe copy time for one adapter.
+  LoraResidency(std::int64_t capacity_bytes, std::int64_t adapter_bytes,
+                double load_latency_s);
+
+  /// Ensures `id` is resident or loading. Returns the absolute time at which
+  /// the adapter is usable (== `now` when already resident). May evict
+  /// least-recently-used unpinned adapters to make room.
+  double Touch(LoraId id, double now);
+
+  /// True when resident and its load has completed by `now`.
+  bool IsReady(LoraId id, double now) const;
+
+  void Pin(LoraId id);
+  void Unpin(LoraId id);
+
+  std::size_t resident_count() const { return entries_.size(); }
+  std::int64_t used_bytes() const { return used_bytes_; }
+  std::int64_t capacity_bytes() const { return capacity_bytes_; }
+  std::uint64_t load_count() const { return load_count_; }
+  std::uint64_t hit_count() const { return hit_count_; }
+
+ private:
+  struct Entry {
+    double ready_time = 0.0;
+    std::uint64_t last_use = 0;
+    int pins = 0;
+  };
+
+  void EvictIfNeeded();
+
+  std::int64_t capacity_bytes_;
+  std::int64_t adapter_bytes_;
+  double load_latency_s_;
+  std::unordered_map<LoraId, Entry> entries_;
+  std::int64_t used_bytes_ = 0;
+  std::uint64_t use_clock_ = 0;
+  std::uint64_t load_count_ = 0;
+  std::uint64_t hit_count_ = 0;
+};
+
+}  // namespace punica

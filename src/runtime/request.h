@@ -1,0 +1,43 @@
+// The serving request state machine shared by the runner, scheduler and
+// cluster driver.
+//
+// A request arrives with a LoRA id, a prompt and (in simulation) a known
+// output length standing in for the stopping condition (end-of-sequence or
+// length limit). `generated` survives migration: the new GPU re-prefills
+// prompt + generated tokens to rebuild the KvCache (recomputation, §5.3).
+#pragma once
+
+#include <cstdint>
+
+#include "core/segment.h"
+
+namespace punica {
+
+enum class RequestPhase {
+  kQueued,    ///< waiting at the scheduler
+  kAssigned,  ///< in some GPU's working set
+  kFinished,
+  kCancelled,  ///< user cancellation (not migration)
+};
+
+struct ServingRequest {
+  std::int64_t id = 0;
+  LoraId lora_id = 0;
+  std::int32_t prompt_len = 0;
+  std::int32_t output_len = 0;  ///< stopping condition (tokens to generate)
+  double arrival_time = 0.0;
+
+  // Mutable progress.
+  RequestPhase phase = RequestPhase::kQueued;
+  std::int32_t generated = 0;
+  double first_token_time = -1.0;
+  double finish_time = -1.0;
+  int migrations = 0;
+
+  bool Done() const { return generated >= output_len; }
+  /// Tokens a re-prefill must process: original prompt + everything
+  /// generated so far (the recomputation path).
+  std::int32_t PrefillTokensNeeded() const { return prompt_len + generated; }
+};
+
+}  // namespace punica

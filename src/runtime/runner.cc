@@ -1,0 +1,260 @@
+#include "runtime/runner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace punica {
+
+GpuRunner::GpuRunner(int gpu_id, const RunnerConfig& config,
+                     const LlamaConfig& model_config,
+                     const CostModel* cost_model)
+    : gpu_id_(gpu_id),
+      config_(config),
+      model_config_(model_config),
+      cost_model_(cost_model),
+      lora_(config.lora_budget_bytes, config.lora_adapter_bytes,
+            config.lora_load_latency_s) {
+  PUNICA_CHECK(cost_model_ != nullptr);
+  PUNICA_CHECK(config.max_batch_size > 0);
+  PUNICA_CHECK(config.kv_capacity_tokens > 0);
+}
+
+std::int64_t GpuRunner::KvTokensNeeded(const ServingRequest& req) const {
+  return static_cast<std::int64_t>(req.PrefillTokensNeeded()) + 1;
+}
+
+bool GpuRunner::CanAdmit(const ServingRequest& req) const {
+  if (working_set_size() >= config_.max_batch_size) return false;
+  return KvTokensNeeded(req) <= kv_free_tokens();
+}
+
+void GpuRunner::Add(ServingRequest* req, double now) {
+  PUNICA_CHECK(req != nullptr);
+  PUNICA_CHECK_MSG(!slots_.contains(req->id), "request already on this GPU");
+  PUNICA_CHECK_MSG(working_set_size() < config_.max_batch_size,
+                   "admission beyond max batch size");
+  Slot slot;
+  slot.req = req;
+  slot.admit_seq = next_admit_seq_++;
+  if (req->lora_id >= 0) {
+    slot.lora_ready_time = lora_.Touch(req->lora_id, now);
+    lora_.Pin(req->lora_id);
+  } else {
+    slot.lora_ready_time = now;
+  }
+  req->phase = RequestPhase::kAssigned;
+  slots_.emplace(req->id, slot);
+}
+
+void GpuRunner::ReleaseSlot(std::map<std::int64_t, Slot>::iterator it) {
+  kv_used_tokens_ -= it->second.kv_len;
+  if (it->second.req->lora_id >= 0) {
+    lora_.Unpin(it->second.req->lora_id);
+  }
+  slots_.erase(it);
+}
+
+bool GpuRunner::Remove(std::int64_t request_id) {
+  auto it = slots_.find(request_id);
+  if (it == slots_.end()) return false;
+  ReleaseSlot(it);
+  return true;
+}
+
+bool GpuRunner::HasRunnableWork(double now) const {
+  for (const auto& [id, slot] : slots_) {
+    if (slot.lora_ready_time <= now + 1e-12) return true;
+  }
+  return false;
+}
+
+std::optional<double> GpuRunner::NextReadyTime(double now) const {
+  std::optional<double> best;
+  for (const auto& [id, slot] : slots_) {
+    if (slot.lora_ready_time > now + 1e-12) {
+      if (!best.has_value() || slot.lora_ready_time < *best) {
+        best = slot.lora_ready_time;
+      }
+    }
+  }
+  return best;
+}
+
+GpuRunner::PlannedStep GpuRunner::PlanStep(double now) const {
+  PlannedStep plan;
+  std::vector<const Slot*> prefill_candidates;
+  for (const auto& [id, slot] : slots_) {
+    if (slot.lora_ready_time > now + 1e-12) continue;  // adapter in flight
+    if (slot.needs_prefill) {
+      prefill_candidates.push_back(&slot);
+    } else {
+      plan.decodes.push_back(&slot);
+    }
+  }
+  // Prefill batch limited to prefill_limit per invocation (FCFS by
+  // admission order) to bound the latency penalty on in-flight decodes.
+  std::sort(prefill_candidates.begin(), prefill_candidates.end(),
+            [](const Slot* a, const Slot* b) {
+              return a->admit_seq < b->admit_seq;
+            });
+  if (static_cast<int>(prefill_candidates.size()) > config_.prefill_limit) {
+    prefill_candidates.resize(static_cast<std::size_t>(config_.prefill_limit));
+  }
+  plan.prefills = std::move(prefill_candidates);
+  for (const Slot* s : plan.prefills) {
+    plan.kv_growth += s->req->PrefillTokensNeeded();
+  }
+  plan.kv_growth += static_cast<std::int64_t>(plan.decodes.size());
+  return plan;
+}
+
+std::vector<std::int64_t> GpuRunner::SelectEvictionVictims(double now) const {
+  PlannedStep plan = PlanStep(now);
+  std::int64_t projected = kv_used_tokens_ + plan.kv_growth;
+  if (projected <= config_.kv_capacity_tokens) return {};
+
+  // Evict the newest requests (max admit_seq) until the step fits — this
+  // preserves FCFS semantics (§5.3). (kOldest inverts the order for the
+  // ablation bench.) Evicting a slot releases its cached tokens and removes
+  // its contribution to this step's growth.
+  std::vector<const Slot*> by_newest;
+  by_newest.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) by_newest.push_back(&slot);
+  const bool newest_first = config_.evict_policy == EvictPolicy::kNewest;
+  std::sort(by_newest.begin(), by_newest.end(),
+            [newest_first](const Slot* a, const Slot* b) {
+              return newest_first ? a->admit_seq > b->admit_seq
+                                  : a->admit_seq < b->admit_seq;
+            });
+
+  auto growth_of = [&](const Slot* s) -> std::int64_t {
+    if (s->lora_ready_time > now + 1e-12) return 0;
+    if (s->needs_prefill) {
+      // Only charged if it made the prefill cut.
+      for (const Slot* p : plan.prefills) {
+        if (p == s) return s->req->PrefillTokensNeeded();
+      }
+      return 0;
+    }
+    return 1;
+  };
+
+  std::vector<std::int64_t> victims;
+  for (const Slot* s : by_newest) {
+    if (projected <= config_.kv_capacity_tokens) break;
+    projected -= s->kv_len + growth_of(s);
+    victims.push_back(s->req->id);
+  }
+  return victims;
+}
+
+StepResult GpuRunner::Step(double now) {
+  PlannedStep plan = PlanStep(now);
+  StepResult result;
+  if (plan.prefills.empty() && plan.decodes.empty()) return result;
+  PUNICA_CHECK_MSG(
+      kv_used_tokens_ + plan.kv_growth <= config_.kv_capacity_tokens,
+      "step would overflow KvCache; evict victims first");
+
+  // Build the cost-model shape. Token rows group by LoRA id (the runtime
+  // orders same-LoRA requests consecutively before building SGMV segments).
+  StepShape shape;
+  shape.tp_degree = config_.tp_degree;
+  shape.lora_rank = config_.lora_rank;
+  std::unordered_map<LoraId, std::int32_t> rows_by_lora;
+  for (const Slot* s : plan.prefills) {
+    auto chunk = static_cast<std::int32_t>(s->req->PrefillTokensNeeded());
+    shape.prefill_chunks.push_back(chunk);
+    shape.prefill_kv_lens.push_back(chunk);
+    if (s->req->lora_id >= 0) rows_by_lora[s->req->lora_id] += chunk;
+  }
+  for (const Slot* s : plan.decodes) {
+    shape.decode_kv_lens.push_back(s->kv_len + 1);
+    if (s->req->lora_id >= 0) rows_by_lora[s->req->lora_id] += 1;
+  }
+  for (const auto& [lora, rows] : rows_by_lora) {
+    shape.lora_segment_rows.push_back(rows);
+  }
+
+  result.latency = cost_model_->StepLatency(model_config_, shape);
+  result.batch_size =
+      static_cast<int>(plan.prefills.size() + plan.decodes.size());
+  result.prefill_requests = static_cast<int>(plan.prefills.size());
+  for (auto c : shape.prefill_chunks) result.prefill_tokens += c;
+
+  double completion = now + result.latency;
+
+  // Apply state transitions. Collect ids first: releasing mutates slots_.
+  std::vector<std::int64_t> prefill_ids;
+  std::vector<std::int64_t> decode_ids;
+  for (const Slot* s : plan.prefills) prefill_ids.push_back(s->req->id);
+  for (const Slot* s : plan.decodes) decode_ids.push_back(s->req->id);
+
+  for (auto id : prefill_ids) {
+    Slot& slot = slots_.at(id);
+    std::int64_t chunk = slot.req->PrefillTokensNeeded();
+    slot.kv_len = chunk;
+    kv_used_tokens_ += chunk;
+    slot.needs_prefill = false;
+    slot.req->generated += 1;
+    ++result.new_tokens;
+    result.emitted.push_back(id);
+    if (slot.req->first_token_time < 0.0) {
+      slot.req->first_token_time = completion;
+    }
+  }
+  for (auto id : decode_ids) {
+    Slot& slot = slots_.at(id);
+    slot.kv_len += 1;
+    kv_used_tokens_ += 1;
+    slot.req->generated += 1;
+    ++result.new_tokens;
+    result.emitted.push_back(id);
+  }
+
+  for (auto id : prefill_ids) {
+    auto it = slots_.find(id);
+    if (it->second.req->Done()) {
+      it->second.req->phase = RequestPhase::kFinished;
+      it->second.req->finish_time = completion;
+      result.finished.push_back(id);
+      ReleaseSlot(it);
+    }
+  }
+  for (auto id : decode_ids) {
+    auto it = slots_.find(id);
+    if (it->second.req->Done()) {
+      it->second.req->phase = RequestPhase::kFinished;
+      it->second.req->finish_time = completion;
+      result.finished.push_back(id);
+      ReleaseSlot(it);
+    }
+  }
+  return result;
+}
+
+ServingRequest* GpuRunner::Find(std::int64_t request_id) const {
+  auto it = slots_.find(request_id);
+  return it == slots_.end() ? nullptr : it->second.req;
+}
+
+ServingRequest* GpuRunner::NewestRequest() const {
+  const Slot* newest = nullptr;
+  for (const auto& [id, slot] : slots_) {
+    if (newest == nullptr || slot.admit_seq > newest->admit_seq) {
+      newest = &slot;
+    }
+  }
+  return newest == nullptr ? nullptr : newest->req;
+}
+
+std::vector<std::int64_t> GpuRunner::WorkingIds() const {
+  std::vector<std::int64_t> ids;
+  ids.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace punica

@@ -1,0 +1,140 @@
+// The per-GPU Punica runner (paper §5): a continuous-batching execution loop
+// over a working set of requests, with
+//   * mixed prefill + decode invocations (prefill batch limited to 1, §5),
+//   * LoRA-grouped batch ordering feeding SGMV segments,
+//   * on-demand LoRA loading overlapped with compute (§5.2),
+//   * KvCache token accounting with evict-newest victim selection for
+//     migration under memory pressure (§5.3).
+//
+// This runner is simulation-flavoured: step latency comes from the
+// analytical CostModel, so cluster-scale experiments run in virtual time.
+// The numeric counterpart (real tiny-model execution) lives in the examples
+// and tests, wired from the same building blocks (LlamaModel + PagedKvCache).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gpu/costmodel.h"
+#include "model/config.h"
+#include "runtime/lora_residency.h"
+#include "runtime/request.h"
+
+namespace punica {
+
+/// Victim selection under KvCache pressure. The paper evicts the *newest*
+/// request, preserving FCFS; kOldest is provided for the ablation bench
+/// (it migrates the requests with the largest caches, maximising wasted
+/// recomputation and starving the oldest requests).
+enum class EvictPolicy { kNewest, kOldest };
+
+struct RunnerConfig {
+  int max_batch_size = 32;  ///< profiled sweet spot on A100 (paper §5.1)
+  int prefill_limit = 1;    ///< prefill requests per invocation (paper §5)
+  EvictPolicy evict_policy = EvictPolicy::kNewest;
+  std::int64_t kv_capacity_tokens = 0;
+  int tp_degree = 1;
+  int lora_rank = 16;
+  std::int64_t lora_budget_bytes = 2LL * 1024 * 1024 * 1024;
+  std::int64_t lora_adapter_bytes = 80LL * 1024 * 1024;
+  double lora_load_latency_s = 2e-3;
+};
+
+struct StepResult {
+  double latency = 0.0;
+  int batch_size = 0;        ///< requests in the invocation
+  int prefill_requests = 0;
+  int prefill_tokens = 0;
+  int new_tokens = 0;        ///< tokens emitted (first tokens + decode)
+  std::vector<std::int64_t> emitted;   ///< ids that emitted a token
+  std::vector<std::int64_t> finished;  ///< ids that reached their stop
+};
+
+class GpuRunner {
+ public:
+  GpuRunner(int gpu_id, const RunnerConfig& config,
+            const LlamaConfig& model_config, const CostModel* cost_model);
+
+  int gpu_id() const { return gpu_id_; }
+  const RunnerConfig& config() const { return config_; }
+
+  // --- Admission (scheduler-facing, paper §5.1 constraints) ---
+
+  /// KvCache tokens a request needs if admitted now (prompt + already
+  /// generated + one step of headroom).
+  std::int64_t KvTokensNeeded(const ServingRequest& req) const;
+
+  /// Constraint check: below max batch size and enough KvCache headroom.
+  bool CanAdmit(const ServingRequest& req) const;
+
+  /// Adds a request to the working set; kicks off its LoRA load if needed.
+  /// The request joins batches once its adapter is ready.
+  void Add(ServingRequest* req, double now);
+
+  /// Removes a request (migration-evict or user cancel), releasing its
+  /// KvCache. Returns false if the id is not in the working set.
+  bool Remove(std::int64_t request_id);
+
+  // --- Execution ---
+
+  /// True when some request could run at time `now` (adapter ready).
+  bool HasRunnableWork(double now) const;
+  /// True when any request is assigned (runnable or still loading).
+  bool HasAnyWork() const { return !slots_.empty(); }
+  /// Earliest time a currently-blocked request becomes runnable (or nullopt).
+  std::optional<double> NextReadyTime(double now) const;
+
+  /// Requests (newest first) that must be evicted before the next step fits
+  /// in the KvCache — the migration victims of §5.3. Empty when the next
+  /// step fits.
+  std::vector<std::int64_t> SelectEvictionVictims(double now) const;
+
+  /// Runs one batched model invocation at time `now`.
+  StepResult Step(double now);
+
+  // --- Introspection ---
+
+  int working_set_size() const { return static_cast<int>(slots_.size()); }
+  /// The request with this id, or nullptr when not in the working set.
+  ServingRequest* Find(std::int64_t request_id) const;
+  /// The most recently admitted request (migration-victim order), or
+  /// nullptr when the working set is empty.
+  ServingRequest* NewestRequest() const;
+  std::int64_t kv_used_tokens() const { return kv_used_tokens_; }
+  std::int64_t kv_free_tokens() const {
+    return config_.kv_capacity_tokens - kv_used_tokens_;
+  }
+  std::vector<std::int64_t> WorkingIds() const;
+  const LoraResidency& lora_residency() const { return lora_; }
+
+ private:
+  struct Slot {
+    ServingRequest* req = nullptr;
+    std::int64_t kv_len = 0;   ///< tokens cached on this GPU
+    bool needs_prefill = true;
+    std::uint64_t admit_seq = 0;
+    double lora_ready_time = 0.0;
+  };
+
+  struct PlannedStep {
+    std::vector<const Slot*> prefills;
+    std::vector<const Slot*> decodes;
+    std::int64_t kv_growth = 0;
+  };
+  PlannedStep PlanStep(double now) const;
+
+  void ReleaseSlot(std::map<std::int64_t, Slot>::iterator it);
+
+  int gpu_id_;
+  RunnerConfig config_;
+  LlamaConfig model_config_;
+  const CostModel* cost_model_;
+  std::map<std::int64_t, Slot> slots_;  ///< ordered by request id (stable)
+  std::int64_t kv_used_tokens_ = 0;
+  std::uint64_t next_admit_seq_ = 0;
+  LoraResidency lora_;
+};
+
+}  // namespace punica

@@ -1,0 +1,65 @@
+#include "sched/autoscale.h"
+
+#include "util/check.h"
+
+namespace punica {
+
+AutoscaleController::AutoscaleController(Scheduler* scheduler,
+                                         AutoscalePolicy policy)
+    : scheduler_(scheduler),
+      policy_(policy),
+      idle_ticks_(static_cast<std::size_t>(scheduler->num_gpus()), 0) {
+  PUNICA_CHECK(scheduler_ != nullptr);
+  PUNICA_CHECK(policy_.min_gpus >= 1);
+  if (policy_.max_gpus < 0) policy_.max_gpus = scheduler_->num_gpus();
+  PUNICA_CHECK(policy_.max_gpus <= scheduler_->num_gpus());
+  PUNICA_CHECK(policy_.min_gpus <= policy_.max_gpus);
+}
+
+AutoscaleController::Decision AutoscaleController::Tick() {
+  Decision decision;
+
+  // Track idleness for hysteresis.
+  for (int g = 0; g < scheduler_->num_gpus(); ++g) {
+    auto gi = static_cast<std::size_t>(g);
+    bool idle = scheduler_->IsGpuEnabled(g) &&
+                scheduler_->runner(g)->working_set_size() == 0 &&
+                !scheduler_->runner(g)->HasAnyWork();
+    idle_ticks_[gi] = idle ? idle_ticks_[gi] + 1 : 0;
+  }
+
+  Scheduler::ScaleAdvice advice = scheduler_->Advise();
+
+  // Rule 1: scale up when nothing is lightly loaded. Acquire the highest-
+  // UUID disabled GPU (consistent with the routing tiebreak).
+  if (advice.need_more_gpus && active_gpus() < policy_.max_gpus) {
+    for (int g = scheduler_->num_gpus() - 1; g >= 0; --g) {
+      if (!scheduler_->IsGpuEnabled(g)) {
+        scheduler_->SetGpuEnabled(g, true);
+        idle_ticks_[static_cast<std::size_t>(g)] = 0;
+        ++acquisitions_;
+        decision.acquired_gpu = g;
+        break;
+      }
+    }
+    return decision;  // never acquire and release in one tick
+  }
+
+  // Rule 2: release the lowest-UUID GPU that has been idle long enough.
+  if (active_gpus() > policy_.min_gpus) {
+    for (int g = 0; g < scheduler_->num_gpus(); ++g) {
+      auto gi = static_cast<std::size_t>(g);
+      if (scheduler_->IsGpuEnabled(g) &&
+          idle_ticks_[gi] >= policy_.release_after_idle_ticks) {
+        scheduler_->SetGpuEnabled(g, false);
+        idle_ticks_[gi] = 0;
+        ++releases_;
+        decision.released_gpu = g;
+        break;
+      }
+    }
+  }
+  return decision;
+}
+
+}  // namespace punica

@@ -1,0 +1,52 @@
+// Cloud autoscaling controller (paper §5.1):
+//   (1) "If no lightly loaded GPU exists in the cluster, Punica should
+//        request more GPUs."
+//   (2) "Punica can return the GPU resources for GPU servers with no load."
+//
+// The controller drives the Scheduler's GPU-enabled mask: the full runner
+// vector stands in for the cloud's machine pool; enabling a GPU models
+// acquiring a server, disabling one models returning it. The consolidating
+// placement policy is what makes (2) effective — idle GPUs stay idle, so
+// they become returnable instead of hovering at load 1.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/scheduler.h"
+
+namespace punica {
+
+struct AutoscalePolicy {
+  int min_gpus = 1;   ///< never scale below this
+  int max_gpus = -1;  ///< -1 = the scheduler's full pool
+  /// Hysteresis: require this many consecutive idle ticks before releasing
+  /// a GPU (avoids thrashing on bursty arrivals).
+  int release_after_idle_ticks = 2;
+};
+
+class AutoscaleController {
+ public:
+  AutoscaleController(Scheduler* scheduler, AutoscalePolicy policy = {});
+
+  struct Decision {
+    int acquired_gpu = -1;  ///< GPU brought into service this tick, or -1
+    int released_gpu = -1;  ///< GPU returned to the cloud this tick, or -1
+  };
+
+  /// One control period: applies the paper's two rules (at most one
+  /// acquisition and one release per tick).
+  Decision Tick();
+
+  int active_gpus() const { return scheduler_->num_enabled_gpus(); }
+  std::int64_t total_acquisitions() const { return acquisitions_; }
+  std::int64_t total_releases() const { return releases_; }
+
+ private:
+  Scheduler* scheduler_;
+  AutoscalePolicy policy_;
+  std::vector<int> idle_ticks_;  ///< consecutive idle ticks per GPU
+  std::int64_t acquisitions_ = 0;
+  std::int64_t releases_ = 0;
+};
+
+}  // namespace punica

@@ -1,0 +1,175 @@
+#include "sched/cluster.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace punica {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ClusterDriver::ClusterDriver(const ClusterConfig& config,
+                             const CostModel* cost_model)
+    : config_(config), cost_model_(cost_model) {
+  PUNICA_CHECK(config.num_gpus >= 1);
+  std::vector<GpuRunner*> raw;
+  for (int g = 0; g < config.num_gpus; ++g) {
+    runners_.push_back(std::make_unique<GpuRunner>(
+        g, config.runner, config.model, cost_model));
+    raw.push_back(runners_.back().get());
+  }
+  scheduler_ = std::make_unique<Scheduler>(std::move(raw));
+  if (config_.enable_autoscale) {
+    autoscaler_ = std::make_unique<AutoscaleController>(scheduler_.get(),
+                                                        config_.autoscale);
+    int initial = config_.initial_gpus < 0 ? config_.num_gpus
+                                           : config_.initial_gpus;
+    PUNICA_CHECK(initial >= 1 && initial <= config_.num_gpus);
+    // Start with the highest UUIDs in service (consistent with routing).
+    for (int g = 0; g < config_.num_gpus - initial; ++g) {
+      scheduler_->SetGpuEnabled(g, false);
+    }
+  }
+  busy_.assign(static_cast<std::size_t>(config.num_gpus), false);
+  pending_wake_.assign(static_cast<std::size_t>(config.num_gpus), kInf);
+  stats_.gpu_batch.resize(static_cast<std::size_t>(config.num_gpus));
+  stats_.gpu_busy_s.assign(static_cast<std::size_t>(config.num_gpus), 0.0);
+}
+
+void ClusterDriver::SubmitTrace(const std::vector<TraceRequest>& trace) {
+  for (const auto& t : trace) {
+    requests_.push_back(ServingRequest{.id = t.id,
+                                       .lora_id = t.lora_id,
+                                       .prompt_len = t.prompt_len,
+                                       .output_len = t.output_len,
+                                       .arrival_time = t.arrival_time});
+    ServingRequest* req = &requests_.back();
+    requests_by_id_[req->id] = req;
+    events_.Schedule(t.arrival_time, [this, req] { OnArrival(req); });
+  }
+  if (config_.enable_consolidation) ScheduleConsolidation();
+  if (config_.enable_autoscale) ScheduleAutoscale();
+}
+
+void ClusterDriver::ScheduleAutoscale() {
+  ++timer_events_pending_;
+  events_.ScheduleAfter(config_.autoscale_interval_s, [this] {
+    --timer_events_pending_;
+    AutoscaleController::Decision d = autoscaler_->Tick();
+    stats_.gpu_acquisitions = autoscaler_->total_acquisitions();
+    stats_.gpu_releases = autoscaler_->total_releases();
+    stats_.active_gpus.Add(events_.now(),
+                           static_cast<double>(autoscaler_->active_gpus()));
+    if (d.acquired_gpu >= 0) {
+      WakeGpus(scheduler_->PumpQueue(events_.now()));
+    }
+    if (HasNonTimerEvents()) ScheduleAutoscale();
+  });
+}
+
+void ClusterDriver::ScheduleConsolidation() {
+  ++timer_events_pending_;
+  events_.ScheduleAfter(config_.consolidation_interval_s, [this] {
+    --timer_events_pending_;
+    // One consolidation round: keep moving requests while a beneficial move
+    // exists (bounded defensively).
+    for (int moves = 0; moves < 16; ++moves) {
+      int receiver = scheduler_->ConsolidateOnce(events_.now(),
+                                                 &stats_.migrations);
+      if (receiver < 0) break;
+      MaybeStartStep(receiver);
+    }
+    // Keep the periodic timer alive while real events (arrivals, steps,
+    // wakes) remain; timers must not keep each other alive.
+    if (HasNonTimerEvents()) ScheduleConsolidation();
+  });
+}
+
+void ClusterDriver::SubmitExternal(ServingRequest* req) {
+  PUNICA_CHECK(req != nullptr);
+  requests_by_id_[req->id] = req;
+  OnArrival(req);
+}
+
+void ClusterDriver::OnArrival(ServingRequest* req) {
+  stats_.arrivals.Add(events_.now(), 1.0);
+  int gpu = scheduler_->Submit(req, events_.now());
+  if (gpu >= 0) MaybeStartStep(gpu);
+}
+
+void ClusterDriver::WakeGpus(const std::vector<int>& gpus) {
+  for (int g : gpus) MaybeStartStep(g);
+}
+
+void ClusterDriver::MaybeStartStep(int gpu) {
+  auto gi = static_cast<std::size_t>(gpu);
+  if (busy_[gi]) return;
+  GpuRunner& runner = *runners_[gi];
+  double now = events_.now();
+
+  // KvCache pressure check: migrate victims before stepping (§5.3).
+  std::vector<int> touched =
+      scheduler_->MigrateForKvPressure(gpu, now, &stats_.migrations);
+
+  if (runner.HasRunnableWork(now)) {
+    StepResult result = runner.Step(now);
+    PUNICA_CHECK(result.batch_size > 0);
+    busy_[gi] = true;
+    stats_.gpu_batch[gi].Add(now, result.batch_size);
+    stats_.step_batch_size.Add(result.batch_size);
+    stats_.gpu_busy_s[gi] += result.latency;
+    ++stats_.total_steps;
+    events_.ScheduleAfter(result.latency, [this, gpu, result] {
+      busy_[static_cast<std::size_t>(gpu)] = false;
+      OnStepDone(gpu, result);
+    });
+  } else if (auto ready = runner.NextReadyTime(now); ready.has_value()) {
+    // Adapters still loading: wake when the earliest copy completes.
+    if (*ready < pending_wake_[gi] - 1e-12) {
+      pending_wake_[gi] = *ready;
+      events_.Schedule(*ready, [this, gpu] {
+        pending_wake_[static_cast<std::size_t>(gpu)] = kInf;
+        MaybeStartStep(gpu);
+      });
+    }
+  } else {
+    stats_.gpu_batch[gi].Add(now, 0.0);  // idle sample
+  }
+
+  // Migration destinations may now have new work.
+  WakeGpus(touched);
+}
+
+void ClusterDriver::OnStepDone(int gpu, const StepResult& result) {
+  double now = events_.now();
+  if (emission_cb_) emission_cb_(result.emitted, result.finished, now);
+  stats_.tokens.Add(now, static_cast<double>(result.new_tokens));
+  stats_.total_new_tokens += result.new_tokens;
+  stats_.makespan = std::max(stats_.makespan, now);
+  for (std::int64_t id : result.finished) {
+    auto it = requests_by_id_.find(id);
+    PUNICA_CHECK(it != requests_by_id_.end());
+    const ServingRequest& req = *it->second;
+    ++stats_.finished_requests;
+    stats_.request_latency.Add(req.finish_time - req.arrival_time);
+    stats_.request_latencies.push_back(req.finish_time - req.arrival_time);
+    if (req.first_token_time >= 0.0) {
+      stats_.first_token_latency.Add(req.first_token_time -
+                                     req.arrival_time);
+    }
+  }
+  WakeGpus(scheduler_->PumpQueue(now));
+  MaybeStartStep(gpu);
+}
+
+void ClusterDriver::Run(double horizon) {
+  if (horizon == kInf) {
+    events_.RunAll();
+  } else {
+    events_.RunUntil(horizon);
+  }
+}
+
+}  // namespace punica

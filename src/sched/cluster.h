@@ -1,0 +1,119 @@
+// Discrete-event cluster driver: wires runners, the scheduler and an event
+// queue into a full serving simulation (the paper's cluster deployment
+// experiment, Fig. 13, and the single-GPU / tensor-parallel text-generation
+// experiments, Figs. 11–12, when configured with one runner).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/costmodel.h"
+#include "runtime/runner.h"
+#include "sched/autoscale.h"
+#include "sched/scheduler.h"
+#include "sim/event_queue.h"
+#include "util/stats.h"
+#include "workload/trace.h"
+
+namespace punica {
+
+struct ClusterConfig {
+  int num_gpus = 16;
+  RunnerConfig runner;
+  LlamaConfig model;
+  bool enable_consolidation = true;
+  double consolidation_interval_s = 60.0;
+  /// Cloud autoscaling (§5.1): when enabled, the driver starts with
+  /// `initial_gpus` (highest UUIDs) in service and acquires/releases GPUs
+  /// from the `num_gpus` pool on each autoscale tick.
+  bool enable_autoscale = false;
+  int initial_gpus = -1;  ///< -1 = all
+  double autoscale_interval_s = 30.0;
+  AutoscalePolicy autoscale;
+};
+
+struct ClusterStats {
+  TimeSeries arrivals;               ///< (arrival time, 1)
+  TimeSeries tokens;                 ///< (step completion, tokens emitted)
+  std::vector<TimeSeries> gpu_batch; ///< per GPU: (step start, batch size)
+  std::int64_t finished_requests = 0;
+  std::int64_t migrations = 0;
+  std::int64_t total_new_tokens = 0;
+  std::int64_t total_steps = 0;
+  RunningStat request_latency;       ///< finish − arrival
+  RunningStat first_token_latency;
+  RunningStat step_batch_size;
+  std::vector<double> request_latencies;  ///< per request, for percentiles
+  double makespan = 0.0;
+  std::vector<double> gpu_busy_s;    ///< per GPU accumulated busy time
+  TimeSeries active_gpus;            ///< (autoscale tick, GPUs in service)
+  std::int64_t gpu_acquisitions = 0;
+  std::int64_t gpu_releases = 0;
+};
+
+class ClusterDriver {
+ public:
+  ClusterDriver(const ClusterConfig& config, const CostModel* cost_model);
+
+  /// Copies the trace into stable storage and schedules arrival events.
+  void SubmitTrace(const std::vector<TraceRequest>& trace);
+
+  /// Submits an externally-owned request (frontend path, Fig. 2) at the
+  /// current simulated time. The caller keeps ownership and must keep the
+  /// request alive until it finishes or is cancelled.
+  void SubmitExternal(ServingRequest* req);
+
+  /// Per-step emission callback: (ids that emitted a token, ids that
+  /// finished, completion time). Used by frontends to stream tokens back to
+  /// users.
+  using EmissionCallback = std::function<void(
+      const std::vector<std::int64_t>& emitted,
+      const std::vector<std::int64_t>& finished, double now)>;
+  void SetEmissionCallback(EmissionCallback cb) {
+    emission_cb_ = std::move(cb);
+  }
+
+  /// Runs the simulation until all work drains (or `horizon` passes).
+  void Run(double horizon = std::numeric_limits<double>::infinity());
+
+  const ClusterStats& stats() const { return stats_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  EventQueue& events() { return events_; }
+  const std::deque<ServingRequest>& requests() const { return requests_; }
+
+ private:
+  void OnArrival(ServingRequest* req);
+  void MaybeStartStep(int gpu);
+  void OnStepDone(int gpu, const StepResult& result);
+  void WakeGpus(const std::vector<int>& gpus);
+  void ScheduleConsolidation();
+  void ScheduleAutoscale();
+
+  ClusterConfig config_;
+  const CostModel* cost_model_;
+  std::vector<std::unique_ptr<GpuRunner>> runners_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<AutoscaleController> autoscaler_;
+  EventQueue events_;
+  std::deque<ServingRequest> requests_;  ///< stable request storage
+  std::unordered_map<std::int64_t, ServingRequest*> requests_by_id_;
+  std::vector<bool> busy_;
+  std::vector<double> pending_wake_;     ///< earliest scheduled wake per GPU
+  ClusterStats stats_;
+  EmissionCallback emission_cb_;
+  int timer_events_pending_ = 0;  ///< consolidation/autoscale timers in
+                                  ///< flight — they must not keep each
+                                  ///< other (or themselves) alive
+
+  /// True while any non-timer event (arrival, step completion, wake) is
+  /// scheduled — the condition for periodic timers to stay alive.
+  bool HasNonTimerEvents() const {
+    return static_cast<int>(events_.pending()) > timer_events_pending_;
+  }
+};
+
+}  // namespace punica

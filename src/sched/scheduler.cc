@@ -1,0 +1,197 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace punica {
+
+Scheduler::Scheduler(std::vector<GpuRunner*> runners)
+    : runners_(std::move(runners)), enabled_(runners_.size(), true) {
+  PUNICA_CHECK(!runners_.empty());
+}
+
+void Scheduler::SetGpuEnabled(int gpu, bool enabled) {
+  auto gi = static_cast<std::size_t>(gpu);
+  if (!enabled) {
+    PUNICA_CHECK_MSG(runners_.at(gi)->working_set_size() == 0,
+                     "cannot release a GPU with active requests");
+  }
+  enabled_.at(gi) = enabled;
+}
+
+int Scheduler::num_enabled_gpus() const {
+  int n = 0;
+  for (bool e : enabled_) {
+    if (e) ++n;
+  }
+  return n;
+}
+
+int Scheduler::PickGpuFor(const ServingRequest& req, int exclude_gpu) const {
+  int best = -1;
+  int best_load = -1;
+  for (int g = 0; g < num_gpus(); ++g) {
+    if (g == exclude_gpu) continue;
+    if (!enabled_[static_cast<std::size_t>(g)]) continue;
+    const GpuRunner* r = runners_[static_cast<std::size_t>(g)];
+    if (!r->CanAdmit(req)) continue;
+    int load = r->working_set_size();
+    // Largest working set wins; ties go to the highest GPU UUID (we use the
+    // GPU index as the UUID ordering).
+    if (load > best_load || (load == best_load && g > best)) {
+      best = g;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void Scheduler::Enqueue(ServingRequest* req) {
+  // FCFS by (arrival_time, id); a migrated request re-enters at its original
+  // arrival position, preserving first-come-first-serve semantics.
+  auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), req,
+      [](const ServingRequest* a, const ServingRequest* b) {
+        if (a->arrival_time != b->arrival_time) {
+          return a->arrival_time < b->arrival_time;
+        }
+        return a->id < b->id;
+      });
+  req->phase = RequestPhase::kQueued;
+  queue_.insert(pos, req);
+}
+
+int Scheduler::Submit(ServingRequest* req, double now, int exclude_gpu) {
+  PUNICA_CHECK(req != nullptr);
+  // FCFS: a brand-new request may not jump over already-queued ones. A
+  // migrating request arrived before everything still queued behind it, so
+  // the arrival-order check naturally lets it re-enter directly.
+  if (!queue_.empty()) {
+    const ServingRequest* head = queue_.front();
+    bool precedes_queue =
+        req->arrival_time < head->arrival_time ||
+        (req->arrival_time == head->arrival_time && req->id < head->id);
+    if (!precedes_queue) {
+      Enqueue(req);
+      return -1;
+    }
+  }
+  int gpu = PickGpuFor(*req, exclude_gpu);
+  if (gpu < 0) {
+    Enqueue(req);
+    return -1;
+  }
+  runners_[static_cast<std::size_t>(gpu)]->Add(req, now);
+  return gpu;
+}
+
+std::vector<int> Scheduler::PumpQueue(double now) {
+  std::vector<int> touched;
+  while (!queue_.empty()) {
+    ServingRequest* head = queue_.front();
+    int gpu = PickGpuFor(*head, /*exclude_gpu=*/-1);
+    if (gpu < 0) break;  // FCFS: never skip the head
+    queue_.pop_front();
+    runners_[static_cast<std::size_t>(gpu)]->Add(head, now);
+    touched.push_back(gpu);
+  }
+  return touched;
+}
+
+std::vector<int> Scheduler::MigrateForKvPressure(
+    int gpu, double now, std::int64_t* migration_count) {
+  GpuRunner* source = runners_.at(static_cast<std::size_t>(gpu));
+  std::vector<int> touched;
+  for (std::int64_t id : source->SelectEvictionVictims(now)) {
+    ServingRequest* req = source->Find(id);
+    PUNICA_CHECK(req != nullptr);
+    // Evict (cancellation primitive): the KvCache is released here; the
+    // destination rebuilds it by re-prefilling prompt + generated tokens.
+    source->Remove(id);
+    ++req->migrations;
+    if (migration_count != nullptr) ++*migration_count;
+    int dest = Submit(req, now, /*exclude_gpu=*/gpu);
+    if (dest >= 0) touched.push_back(dest);
+  }
+  return touched;
+}
+
+int Scheduler::ConsolidateOnce(double now, std::int64_t* migration_count) {
+  // Donor: the most lightly loaded non-empty GPU. Receiver: the most loaded
+  // GPU (highest UUID tiebreak) that can admit the donor's newest request
+  // and is strictly busier — so moves always concentrate load.
+  int donor = -1;
+  int donor_load = 0;
+  for (int g = 0; g < num_gpus(); ++g) {
+    if (!enabled_[static_cast<std::size_t>(g)]) continue;
+    int load = runners_[static_cast<std::size_t>(g)]->working_set_size();
+    if (load == 0) continue;
+    if (donor < 0 || load < donor_load ||
+        (load == donor_load && g < donor)) {
+      donor = g;
+      donor_load = load;
+    }
+  }
+  if (donor < 0) return -1;
+  ServingRequest* req =
+      runners_[static_cast<std::size_t>(donor)]->NewestRequest();
+  PUNICA_CHECK(req != nullptr);
+
+  int receiver = -1;
+  int receiver_load = -1;
+  for (int g = 0; g < num_gpus(); ++g) {
+    if (g == donor) continue;
+    if (!enabled_[static_cast<std::size_t>(g)]) continue;
+    const GpuRunner* r = runners_[static_cast<std::size_t>(g)];
+    if (!r->CanAdmit(*req)) continue;
+    int load = r->working_set_size();
+    if (load <= donor_load) continue;  // only consolidate upward
+    if (load > receiver_load || (load == receiver_load && g > receiver)) {
+      receiver = g;
+      receiver_load = load;
+    }
+  }
+  if (receiver < 0) return -1;
+
+  runners_[static_cast<std::size_t>(donor)]->Remove(req->id);
+  ++req->migrations;
+  if (migration_count != nullptr) ++*migration_count;
+  runners_[static_cast<std::size_t>(receiver)]->Add(req, now);
+  return receiver;
+}
+
+bool Scheduler::Cancel(std::int64_t request_id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((*it)->id == request_id) {
+      (*it)->phase = RequestPhase::kCancelled;
+      queue_.erase(it);
+      return true;
+    }
+  }
+  for (GpuRunner* r : runners_) {
+    ServingRequest* req = r->Find(request_id);
+    if (req != nullptr) {
+      req->phase = RequestPhase::kCancelled;
+      r->Remove(request_id);
+      return true;
+    }
+  }
+  return false;
+}
+
+Scheduler::ScaleAdvice Scheduler::Advise() const {
+  ScaleAdvice advice;
+  bool any_light = false;
+  for (int g = 0; g < num_gpus(); ++g) {
+    if (!enabled_[static_cast<std::size_t>(g)]) continue;
+    const GpuRunner* r = runners_[static_cast<std::size_t>(g)];
+    int load = r->working_set_size();
+    if (load == 0) advice.releasable_gpus.push_back(g);
+    if (load < (r->config().max_batch_size * 3) / 4) any_light = true;
+  }
+  advice.need_more_gpus = !any_light;
+  return advice;
+}
+
+}  // namespace punica

@@ -1,0 +1,82 @@
+// The Punica cluster scheduler (paper §5.1, §5.3).
+//
+// Routing rule for a new request: among GPUs satisfying the constraints
+// (below max batch size, enough KvCache memory), pick the one with the
+// *largest* working set; ties go to the highest GPU UUID. This concentrates
+// load — busy GPUs stay busy, lightly loaded GPUs drain, idle GPUs stay
+// idle — enabling cluster scale-down. When no GPU qualifies, requests queue
+// and are admitted FCFS as capacity frees.
+//
+// Migration is built from cancellation: evict (newest first, preserving
+// FCFS) + re-add elsewhere with prompt+generated recomputation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "runtime/request.h"
+#include "runtime/runner.h"
+
+namespace punica {
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::vector<GpuRunner*> runners);
+
+  /// Routes a request. Returns the GPU index it was assigned to, or -1 when
+  /// all GPUs are full and the request was queued. `exclude_gpu` (optional,
+  /// -1 = none) prevents bouncing a migrating request back to its source.
+  int Submit(ServingRequest* req, double now, int exclude_gpu = -1);
+
+  /// Admits queued requests FCFS while any GPU can take them. Returns the
+  /// set of GPU indices that received work.
+  std::vector<int> PumpQueue(double now);
+
+  /// Handles KvCache pressure on `gpu`: evicts that runner's chosen victims
+  /// and re-routes each one (same path as a new request). Returns GPUs that
+  /// received migrated requests. Increments `migration_count` per move.
+  std::vector<int> MigrateForKvPressure(int gpu, double now,
+                                        std::int64_t* migration_count);
+
+  /// One round of periodic consolidation: move the newest request of the
+  /// most lightly loaded (non-empty, non-largest) GPU to the most loaded GPU
+  /// that can admit it. Returns the receiving GPU index, or -1 if no
+  /// beneficial move exists.
+  int ConsolidateOnce(double now, std::int64_t* migration_count);
+
+  /// Cancels a request wherever it lives (queue or GPU). Returns true if it
+  /// was found.
+  bool Cancel(std::int64_t request_id);
+
+  std::size_t queue_size() const { return queue_.size(); }
+  const std::deque<ServingRequest*>& queue() const { return queue_; }
+  GpuRunner* runner(int gpu) const { return runners_.at(static_cast<std::size_t>(gpu)); }
+  int num_gpus() const { return static_cast<int>(runners_.size()); }
+
+  /// GPU availability (cloud allocate/deallocate, §5.1). Disabled GPUs
+  /// receive no new work; disabling requires an empty working set.
+  void SetGpuEnabled(int gpu, bool enabled);
+  bool IsGpuEnabled(int gpu) const {
+    return enabled_.at(static_cast<std::size_t>(gpu));
+  }
+  int num_enabled_gpus() const;
+
+  /// Cluster scale advice (paper §5.1): more GPUs are needed when no lightly
+  /// loaded GPU exists; zero-load GPUs can be released.
+  struct ScaleAdvice {
+    bool need_more_gpus = false;
+    std::vector<int> releasable_gpus;
+  };
+  ScaleAdvice Advise() const;
+
+ private:
+  int PickGpuFor(const ServingRequest& req, int exclude_gpu) const;
+  void Enqueue(ServingRequest* req);
+
+  std::vector<GpuRunner*> runners_;
+  std::vector<bool> enabled_;
+  std::deque<ServingRequest*> queue_;  ///< kept FCFS by (arrival_time, id)
+};
+
+}  // namespace punica

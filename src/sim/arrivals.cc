@@ -1,0 +1,48 @@
+#include "sim/arrivals.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace punica {
+
+std::vector<double> PoissonArrivals(double rate, double horizon, Pcg32& rng) {
+  PUNICA_CHECK(rate >= 0.0);
+  std::vector<double> times;
+  if (rate == 0.0) return times;
+  double t = 0.0;
+  for (;;) {
+    t += rng.NextExponential(rate);
+    if (t >= horizon) break;
+    times.push_back(t);
+  }
+  return times;
+}
+
+std::vector<double> PoissonArrivals(
+    const std::function<double(double)>& rate, double rate_max,
+    double horizon, Pcg32& rng) {
+  PUNICA_CHECK(rate_max > 0.0);
+  std::vector<double> times;
+  double t = 0.0;
+  for (;;) {
+    t += rng.NextExponential(rate_max);
+    if (t >= horizon) break;
+    double lambda = rate(t);
+    PUNICA_CHECK_MSG(lambda <= rate_max * (1.0 + 1e-9),
+                     "rate exceeds the thinning bound");
+    if (rng.NextDouble() < lambda / rate_max) {
+      times.push_back(t);
+    }
+  }
+  return times;
+}
+
+double RampRate(double t, double horizon, double peak) {
+  if (t < 0.0 || t >= horizon) return 0.0;
+  double half = horizon / 2.0;
+  double frac = t < half ? t / half : (horizon - t) / half;
+  return std::max(0.0, peak * frac);
+}
+
+}  // namespace punica

@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace punica {
+
+void EventQueue::Schedule(double time, Callback cb) {
+  PUNICA_CHECK_MSG(time >= now_, "cannot schedule into the past");
+  heap_.push(Event{time, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-ish —
+  // copy the callback instead (events are small).
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::RunUntil(double t_end) {
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    RunNext();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void EventQueue::RunAll() {
+  while (RunNext()) {
+  }
+}
+
+}  // namespace punica

@@ -1,0 +1,60 @@
+// Discrete-event simulation engine.
+//
+// The cluster experiments (Fig. 13) run one simulated hour of serving: GPU
+// step completions, request arrivals and scheduler decisions are events on a
+// single virtual timeline. Events at equal timestamps run in scheduling
+// order (FIFO tiebreak) so simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace punica {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute simulated time `time` (must be ≥ now).
+  void Schedule(double time, Callback cb);
+
+  /// Schedules `cb` `delay` seconds from now.
+  void ScheduleAfter(double delay, Callback cb) {
+    Schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Pops and runs the earliest event; returns false when empty.
+  bool RunNext();
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `t_end`; the clock ends at min(t_end, last event time).
+  void RunUntil(double t_end);
+
+  /// Drains the queue completely.
+  void RunAll();
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tiebreak for equal timestamps
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace punica

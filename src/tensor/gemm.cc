@@ -1,0 +1,92 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace punica {
+
+void Gemm(std::span<const float> x, std::span<const float> w,
+          std::span<float> y, int m, int k, int n) {
+  PUNICA_CHECK(x.size() == static_cast<std::size_t>(m) * k);
+  PUNICA_CHECK(w.size() == static_cast<std::size_t>(k) * n);
+  PUNICA_CHECK(y.size() == static_cast<std::size_t>(m) * n);
+  std::fill(y.begin(), y.end(), 0.0f);
+  for (int i = 0; i < m; ++i) {
+    const float* xi = &x[static_cast<std::size_t>(i) * k];
+    float* yi = &y[static_cast<std::size_t>(i) * n];
+    for (int p = 0; p < k; ++p) {
+      float xv = xi[p];
+      if (xv == 0.0f) continue;
+      const float* wp = &w[static_cast<std::size_t>(p) * n];
+      for (int j = 0; j < n; ++j) {
+        yi[j] += xv * wp[j];
+      }
+    }
+  }
+}
+
+void GemmAddF16W(std::span<const float> x, std::span<const f16> w,
+                 std::span<float> y, int m, int k, int n) {
+  PUNICA_CHECK(x.size() == static_cast<std::size_t>(m) * k);
+  PUNICA_CHECK(w.size() == static_cast<std::size_t>(k) * n);
+  PUNICA_CHECK(y.size() == static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    GemvAddF16W(x.subspan(static_cast<std::size_t>(i) * k,
+                          static_cast<std::size_t>(k)),
+                w,
+                y.subspan(static_cast<std::size_t>(i) * n,
+                          static_cast<std::size_t>(n)),
+                k, n);
+  }
+}
+
+void GemvAddF16W(std::span<const float> x, std::span<const f16> w,
+                 std::span<float> y, int k, int n) {
+  PUNICA_CHECK(x.size() == static_cast<std::size_t>(k));
+  PUNICA_CHECK(w.size() == static_cast<std::size_t>(k) * n);
+  PUNICA_CHECK(y.size() == static_cast<std::size_t>(n));
+  for (int p = 0; p < k; ++p) {
+    float xv = x[static_cast<std::size_t>(p)];
+    if (xv == 0.0f) continue;
+    const f16* wp = &w[static_cast<std::size_t>(p) * n];
+    for (int j = 0; j < n; ++j) {
+      y[static_cast<std::size_t>(j)] += xv * wp[j].ToFloat();
+    }
+  }
+}
+
+void SoftmaxInPlace(std::span<float> row) {
+  if (row.empty()) return;
+  float mx = *std::max_element(row.begin(), row.end());
+  float sum = 0.0f;
+  for (auto& v : row) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  float inv = 1.0f / sum;
+  for (auto& v : row) v *= inv;
+}
+
+void RmsNormRow(std::span<const float> x, std::span<const f16> weight,
+                std::span<float> out, float eps) {
+  PUNICA_CHECK(x.size() == weight.size());
+  PUNICA_CHECK(x.size() == out.size());
+  double ss = 0.0;
+  for (float v : x) ss += static_cast<double>(v) * v;
+  float scale = 1.0f / std::sqrt(static_cast<float>(
+                           ss / static_cast<double>(x.size())) +
+                       eps);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] * scale * weight[i].ToFloat();
+  }
+}
+
+void SiluInPlace(std::span<float> xs) {
+  for (auto& v : xs) {
+    v = v / (1.0f + std::exp(-v));
+  }
+}
+
+}  // namespace punica

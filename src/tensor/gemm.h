@@ -1,0 +1,36 @@
+// Reference dense linear-algebra kernels (fp32 accumulate, optionally fp16
+// weights). These are the "regular GEMM" substrate the paper's backbone
+// computation uses; SGMV and the baselines are validated against them.
+//
+// Conventions: row-major; X is [m, k], W is [k, n], Y is [m, n].
+#pragma once
+
+#include <span>
+
+#include "tensor/half.h"
+
+namespace punica {
+
+/// Y = X @ W  (overwrites Y).
+void Gemm(std::span<const float> x, std::span<const float> w,
+          std::span<float> y, int m, int k, int n);
+
+/// Y += X @ W with fp16 weights (the backbone/LoRA storage format).
+void GemmAddF16W(std::span<const float> x, std::span<const f16> w,
+                 std::span<float> y, int m, int k, int n);
+
+/// y += x @ W, single row (matrix-vector; the decode-step shape).
+void GemvAddF16W(std::span<const float> x, std::span<const f16> w,
+                 std::span<float> y, int k, int n);
+
+/// In-place numerically-stable softmax over a contiguous row.
+void SoftmaxInPlace(std::span<float> row);
+
+/// Scales a row by 1/sqrt(sum(x^2)/n + eps) * weight — RMSNorm core.
+void RmsNormRow(std::span<const float> x, std::span<const f16> weight,
+                std::span<float> out, float eps);
+
+/// SiLU (x * sigmoid(x)) elementwise.
+void SiluInPlace(std::span<float> xs);
+
+}  // namespace punica

@@ -1,0 +1,79 @@
+#include "tensor/half.h"
+
+#include <bit>
+
+namespace punica {
+
+std::uint16_t FloatToHalfBits(float f) {
+  std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  std::uint32_t sign = (x >> 16U) & 0x8000U;
+  std::uint32_t exp = (x >> 23U) & 0xFFU;
+  std::uint32_t mant = x & 0x7FFFFFU;
+
+  if (exp == 0xFFU) {
+    // Inf / NaN. Preserve a non-zero mantissa bit for NaN.
+    return static_cast<std::uint16_t>(sign | 0x7C00U |
+                                      (mant != 0 ? 0x200U : 0U));
+  }
+
+  // Re-bias: fp32 bias 127, fp16 bias 15.
+  std::int32_t e = static_cast<std::int32_t>(exp) - 127 + 15;
+  if (e >= 0x1F) {
+    return static_cast<std::uint16_t>(sign | 0x7C00U);  // overflow → inf
+  }
+  if (e <= 0) {
+    // Subnormal or zero. Shift mantissa (with implicit leading 1) right.
+    if (e < -10) return static_cast<std::uint16_t>(sign);  // underflow → 0
+    mant |= 0x800000U;  // implicit bit
+    std::uint32_t shift = static_cast<std::uint32_t>(14 - e);
+    std::uint32_t half_mant = mant >> shift;
+    // Round to nearest even on the dropped bits.
+    std::uint32_t dropped = mant & ((1U << shift) - 1U);
+    std::uint32_t halfway = 1U << (shift - 1U);
+    if (dropped > halfway || (dropped == halfway && (half_mant & 1U) != 0)) {
+      ++half_mant;
+    }
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+
+  // Normal number: keep top 10 mantissa bits, round to nearest even.
+  std::uint32_t half_mant = mant >> 13U;
+  std::uint32_t dropped = mant & 0x1FFFU;
+  std::uint32_t result = sign | (static_cast<std::uint32_t>(e) << 10U) |
+                         half_mant;
+  if (dropped > 0x1000U || (dropped == 0x1000U && (half_mant & 1U) != 0)) {
+    ++result;  // carry may roll into the exponent; that is correct rounding
+  }
+  return static_cast<std::uint16_t>(result);
+}
+
+float HalfBitsToFloat(std::uint16_t bits) {
+  std::uint32_t sign = (static_cast<std::uint32_t>(bits) & 0x8000U) << 16U;
+  std::uint32_t exp = (bits >> 10U) & 0x1FU;
+  std::uint32_t mant = bits & 0x3FFU;
+
+  std::uint32_t out;
+  if (exp == 0x1FU) {
+    out = sign | 0x7F800000U | (mant << 13U);  // inf / NaN
+  } else if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // ±0
+    } else {
+      // Subnormal: normalise by shifting until the implicit bit appears.
+      std::int32_t e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1U;
+      } while ((m & 0x400U) == 0);
+      out = sign |
+            (static_cast<std::uint32_t>(127 - 15 - e) << 23U) |
+            ((m & 0x3FFU) << 13U);
+    }
+  } else {
+    out = sign | ((exp + 127U - 15U) << 23U) | (mant << 13U);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace punica

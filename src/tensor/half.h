@@ -1,0 +1,45 @@
+// IEEE-754 binary16 ("half") storage type.
+//
+// Punica stores model and LoRA weights in fp16 and accumulates in fp32; this
+// type reproduces that storage format bit-exactly in portable C++ (round-to-
+// nearest-even conversion, subnormals, infinities, NaN), so numeric tests see
+// the same quantisation the GPU kernels would.
+#pragma once
+
+#include <cstdint>
+
+namespace punica {
+
+std::uint16_t FloatToHalfBits(float f);
+float HalfBitsToFloat(std::uint16_t bits);
+
+class f16 {
+ public:
+  f16() = default;
+  explicit f16(float f) : bits_(FloatToHalfBits(f)) {}
+
+  static f16 FromBits(std::uint16_t bits) {
+    f16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  float ToFloat() const { return HalfBitsToFloat(bits_); }
+  explicit operator float() const { return ToFloat(); }
+  std::uint16_t bits() const { return bits_; }
+
+  friend bool operator==(f16 a, f16 b) { return a.bits_ == b.bits_; }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(f16) == 2, "f16 must be 2 bytes (storage format)");
+
+/// Largest finite fp16 value (65504).
+inline constexpr float kF16Max = 65504.0f;
+
+/// Relative rounding error bound for a single fp16 round (2^-11).
+inline constexpr float kF16Epsilon = 4.8828125e-4f;
+
+}  // namespace punica

@@ -1,0 +1,94 @@
+// Minimal owning row-major tensor.
+//
+// The kernels in this repo operate on raw spans for speed and clarity;
+// Tensor<T> is the owning container that hands those spans out with shape
+// checking. It deliberately supports only what the repro needs: contiguous
+// row-major storage, 1–4 dims, element access for tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace punica {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::int64_t> shape)
+      : shape_(std::move(shape)), data_(CheckedNumel(shape_)) {}
+
+  Tensor(std::vector<std::int64_t> shape, std::vector<T> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    PUNICA_CHECK_MSG(data_.size() == CheckedNumel(shape_),
+                     "data size must match shape");
+  }
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t ndim() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+
+  std::span<T> data() { return data_; }
+  std::span<const T> data() const { return data_; }
+  T* raw() { return data_.data(); }
+  const T* raw() const { return data_.data(); }
+
+  /// Row view for a 2-D tensor: tensor.row(i) spans shape[1] elements.
+  std::span<T> row(std::int64_t i) {
+    PUNICA_CHECK(ndim() == 2);
+    PUNICA_CHECK(i >= 0 && i < shape_[0]);
+    auto w = static_cast<std::size_t>(shape_[1]);
+    return std::span<T>(data_).subspan(static_cast<std::size_t>(i) * w, w);
+  }
+  std::span<const T> row(std::int64_t i) const {
+    PUNICA_CHECK(ndim() == 2);
+    PUNICA_CHECK(i >= 0 && i < shape_[0]);
+    auto w = static_cast<std::size_t>(shape_[1]);
+    return std::span<const T>(data_).subspan(static_cast<std::size_t>(i) * w,
+                                             w);
+  }
+
+  T& at(std::initializer_list<std::int64_t> idx) {
+    return data_[Offset(idx)];
+  }
+  const T& at(std::initializer_list<std::int64_t> idx) const {
+    return data_[Offset(idx)];
+  }
+
+  void Fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  static std::size_t CheckedNumel(const std::vector<std::int64_t>& shape) {
+    std::size_t n = 1;
+    for (auto d : shape) {
+      PUNICA_CHECK_MSG(d >= 0, "negative dimension");
+      n *= static_cast<std::size_t>(d);
+    }
+    return n;
+  }
+
+  std::size_t Offset(std::initializer_list<std::int64_t> idx) const {
+    PUNICA_CHECK(idx.size() == shape_.size());
+    std::size_t off = 0;
+    std::size_t d = 0;
+    for (auto i : idx) {
+      PUNICA_CHECK(i >= 0 && i < shape_[d]);
+      off = off * static_cast<std::size_t>(shape_[d]) +
+            static_cast<std::size_t>(i);
+      ++d;
+    }
+    return off;
+  }
+
+  std::vector<std::int64_t> shape_;
+  std::vector<T> data_;
+};
+
+}  // namespace punica

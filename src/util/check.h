@@ -1,0 +1,35 @@
+// Lightweight runtime-check utilities.
+//
+// PUNICA_CHECK is an always-on invariant check (unlike assert it survives
+// NDEBUG builds); violations abort with a source location and message.
+// Used at module boundaries where a broken precondition means a programming
+// error, not a recoverable condition.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace punica {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "PUNICA_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace punica
+
+#define PUNICA_CHECK(cond)                                   \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::punica::CheckFailed(__FILE__, __LINE__, #cond, "");  \
+    }                                                        \
+  } while (false)
+
+#define PUNICA_CHECK_MSG(cond, msg)                           \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::punica::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                         \
+  } while (false)

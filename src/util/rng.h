@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation for tests, workloads and
+// synthetic weights.
+//
+// Pcg32 is O'Neill's PCG-XSH-RR 64/32 generator: tiny state, excellent
+// statistical quality, and — unlike std::mt19937 — identical streams across
+// standard libraries, which keeps benchmarks and golden tests reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace punica {
+
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit word.
+  std::uint32_t NextU32();
+
+  /// Uniform in [0, bound). Uses Lemire-style rejection to avoid modulo bias.
+  std::uint32_t NextBounded(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi);
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double NextGaussian();
+
+  /// Exponential with the given rate parameter (mean 1/rate).
+  double NextExponential(double rate);
+
+  /// Fisher–Yates shuffle of an index span.
+  template <typename T>
+  void Shuffle(std::span<T> xs) {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      std::size_t j = NextBounded(static_cast<std::uint32_t>(i));
+      std::swap(xs[i - 1], xs[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Fills a vector with N(0, scale) floats — synthetic weights/activations.
+std::vector<float> RandomGaussianVector(std::size_t n, float scale,
+                                        Pcg32& rng);
+
+}  // namespace punica

@@ -1,0 +1,123 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace punica {
+
+void RunningStat::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  std::size_t total = n_ + other.n_;
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::span<const double> xs, double q) {
+  PUNICA_CHECK(!xs.empty());
+  PUNICA_CHECK(q >= 0.0 && q <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  PUNICA_CHECK(hi > lo);
+  PUNICA_CHECK(buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(
+      frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+std::string Histogram::Sparkline() const {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (auto c : counts_) {
+    std::size_t level =
+        peak == 0 ? 0 : (c * 8 + peak - 1) / peak;  // ceil to 0..8
+    out += kLevels[level];
+  }
+  return out;
+}
+
+void TimeSeries::Add(double t, double value) {
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+std::vector<TimeSeries::WindowRow> TimeSeries::Windows(double window,
+                                                       double horizon) const {
+  PUNICA_CHECK(window > 0.0);
+  auto n_windows = static_cast<std::size_t>(std::ceil(horizon / window));
+  std::vector<WindowRow> rows(n_windows);
+  for (std::size_t i = 0; i < n_windows; ++i) {
+    rows[i] = {static_cast<double>(i) * window, 0.0, 0, 0.0};
+  }
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] < 0.0 || times_[i] >= horizon) continue;
+    auto w = static_cast<std::size_t>(times_[i] / window);
+    w = std::min(w, n_windows - 1);
+    rows[w].sum += values_[i];
+    ++rows[w].count;
+  }
+  for (auto& row : rows) {
+    row.mean = row.count > 0 ? row.sum / static_cast<double>(row.count) : 0.0;
+  }
+  return rows;
+}
+
+}  // namespace punica

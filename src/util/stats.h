@@ -1,0 +1,86 @@
+// Small statistics toolkit used by benchmarks, the cluster simulator and the
+// statistical sampler tests: streaming moments, percentiles, histograms and
+// time-series accumulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace punica {
+
+/// Streaming mean/variance (Welford). O(1) memory; numerically stable.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation; q in [0, 100]. Copies + sorts.
+double Percentile(std::span<const double> xs, double q);
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// first/last bucket. Used for batch-size and latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Renders a one-line ASCII sparkline ("▁▂▃…") of bucket mass.
+  std::string Sparkline() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Accumulates (time, value) samples and reduces them into fixed windows —
+/// e.g. tokens/s per 60-second bucket for the Fig. 13 time series.
+class TimeSeries {
+ public:
+  void Add(double t, double value);
+
+  struct WindowRow {
+    double window_start;
+    double sum;
+    std::size_t count;
+    double mean;
+  };
+  /// Buckets samples into [0,w), [w,2w)… windows over [0, horizon).
+  std::vector<WindowRow> Windows(double window, double horizon) const;
+
+  std::size_t size() const { return times_.size(); }
+  std::span<const double> times() const { return times_; }
+  std::span<const double> values() const { return values_; }
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace punica

@@ -1,0 +1,36 @@
+// Plain-text table rendering for the benchmark harnesses: every bench binary
+// prints the rows/series of one paper figure through this printer so output
+// is uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace punica {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column auto-sizing and a header separator.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Human-friendly scalar formatting used in bench tables.
+std::string FormatSeconds(double s);       ///< "37.2 µs", "1.35 ms", "2.1 s"
+std::string FormatBytes(double bytes);     ///< "262.1 KB", "16.8 MB"
+std::string FormatFlops(double flops_per_s);  ///< "1.2 GFLOP/s", "98 TFLOP/s"
+std::string FormatDouble(double x, int precision = 3);
+
+}  // namespace punica

@@ -1,0 +1,33 @@
+#include "workload/lengths.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace punica {
+
+std::int32_t ShareGptLengthSampler::SampleOne(Pcg32& rng, double mu,
+                                              double sigma) const {
+  double z = rng.NextGaussian();
+  double len = std::exp(mu + sigma * z);
+  auto rounded = static_cast<std::int32_t>(std::lround(len));
+  return std::clamp(rounded, params_.min_len, params_.max_len);
+}
+
+LengthSample ShareGptLengthSampler::Sample(Pcg32& rng) const {
+  LengthSample s;
+  s.prompt_len = SampleOne(rng, params_.prompt_mu, params_.prompt_sigma);
+  s.output_len = SampleOne(rng, params_.output_mu, params_.output_sigma);
+  return s;
+}
+
+double ShareGptLengthSampler::UnclippedPromptMean() const {
+  return std::exp(params_.prompt_mu +
+                  params_.prompt_sigma * params_.prompt_sigma / 2.0);
+}
+
+double ShareGptLengthSampler::UnclippedOutputMean() const {
+  return std::exp(params_.output_mu +
+                  params_.output_sigma * params_.output_sigma / 2.0);
+}
+
+}  // namespace punica

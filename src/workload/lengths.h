@@ -1,0 +1,50 @@
+// Prompt/response length distributions.
+//
+// The paper samples lengths from ShareGPT conversations. We substitute a
+// clipped lognormal fit to the published ShareGPT summary statistics
+// (mean prompt ≈ 161 tokens, mean response ≈ 338 tokens, heavy right tail,
+// lengths clipped to [4, 2048]) — the distribution *shape* (a mix of short
+// chats and long generations) is what drives batching and KvCache pressure.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace punica {
+
+struct LengthSample {
+  std::int32_t prompt_len = 0;
+  std::int32_t output_len = 0;
+};
+
+class ShareGptLengthSampler {
+ public:
+  ShareGptLengthSampler() = default;
+
+  /// Lognormal parameters (log-space mean/σ) and clip bounds.
+  struct Params {
+    double prompt_mu = 4.45;   ///< median ≈ 86, mean ≈ 166 tokens
+    double prompt_sigma = 1.15;
+    double output_mu = 5.30;   ///< median ≈ 200, mean ≈ 330 tokens
+    double output_sigma = 1.00;
+    std::int32_t min_len = 4;
+    std::int32_t max_len = 2048;
+  };
+
+  explicit ShareGptLengthSampler(Params params) : params_(params) {}
+
+  LengthSample Sample(Pcg32& rng) const;
+  const Params& params() const { return params_; }
+
+  /// Analytic mean of the *unclipped* lognormal (for sanity tests).
+  double UnclippedPromptMean() const;
+  double UnclippedOutputMean() const;
+
+ private:
+  std::int32_t SampleOne(Pcg32& rng, double mu, double sigma) const;
+
+  Params params_;
+};
+
+}  // namespace punica

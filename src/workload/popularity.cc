@@ -1,0 +1,105 @@
+#include "workload/popularity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace punica {
+
+std::string ToString(Popularity p) {
+  switch (p) {
+    case Popularity::kDistinct:
+      return "Distinct";
+    case Popularity::kUniform:
+      return "Uniform";
+    case Popularity::kSkewed:
+      return "Skewed";
+    case Popularity::kIdentical:
+      return "Identical";
+  }
+  return "?";
+}
+
+int NumModelsFor(Popularity p, int n, double zipf_alpha) {
+  PUNICA_CHECK(n >= 1);
+  switch (p) {
+    case Popularity::kDistinct:
+      return n;
+    case Popularity::kUniform:
+      return static_cast<int>(
+          std::ceil(std::sqrt(static_cast<double>(n))));
+    case Popularity::kSkewed: {
+      // Enough models that the least popular one still expects ≥ ~1 request:
+      // α^{-(m-1)} · n / Z ≈ 1  ⇒  m ≈ log_α(n).
+      PUNICA_CHECK(zipf_alpha > 1.0);
+      int m = static_cast<int>(
+          std::ceil(std::log(static_cast<double>(n)) / std::log(zipf_alpha)));
+      return std::max(1, m);
+    }
+    case Popularity::kIdentical:
+      return 1;
+  }
+  return 1;
+}
+
+std::vector<LoraId> AssignLoraIds(Popularity p, int n, Pcg32& rng,
+                                  double zipf_alpha) {
+  std::vector<LoraId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  switch (p) {
+    case Popularity::kDistinct:
+      for (int i = 0; i < n; ++i) ids.push_back(i);
+      break;
+    case Popularity::kUniform: {
+      int m = NumModelsFor(p, n, zipf_alpha);
+      for (int i = 0; i < n; ++i) {
+        ids.push_back(rng.NextBounded(static_cast<std::uint32_t>(m)));
+      }
+      break;
+    }
+    case Popularity::kSkewed: {
+      ZipfAlphaSampler sampler(NumModelsFor(p, n, zipf_alpha), zipf_alpha);
+      for (int i = 0; i < n; ++i) ids.push_back(sampler.Sample(rng));
+      break;
+    }
+    case Popularity::kIdentical:
+      ids.assign(static_cast<std::size_t>(n), 0);
+      break;
+  }
+  return ids;
+}
+
+ZipfAlphaSampler::ZipfAlphaSampler(int num_models, double alpha) {
+  PUNICA_CHECK(num_models >= 1);
+  PUNICA_CHECK(alpha > 1.0);
+  std::vector<double> weights(static_cast<std::size_t>(num_models));
+  double w = 1.0;
+  double total = 0.0;
+  for (auto& x : weights) {
+    x = w;
+    total += w;
+    w /= alpha;
+  }
+  cdf_.resize(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total;
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+LoraId ZipfAlphaSampler::Sample(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<LoraId>(it - cdf_.begin());
+}
+
+double ZipfAlphaSampler::ProbabilityOf(int i) const {
+  PUNICA_CHECK(i >= 0 && i < num_models());
+  auto idx = static_cast<std::size_t>(i);
+  return idx == 0 ? cdf_[0] : cdf_[idx] - cdf_[idx - 1];
+}
+
+}  // namespace punica

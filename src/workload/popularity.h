@@ -1,0 +1,49 @@
+// LoRA model popularity distributions (paper §7, "Workloads"):
+//   Distinct  — every request uses its own LoRA model.
+//   Uniform   — ⌈√n⌉ models, all equally popular.
+//   Skewed    — popularity follows the paper's Zipf-α rule: the i-th most
+//               popular model receives α× the requests of the (i+1)-th,
+//               i.e. geometric weights α^{-i} (α = 1.5 in the paper).
+//   Identical — all requests use one model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/segment.h"
+#include "util/rng.h"
+
+namespace punica {
+
+enum class Popularity { kDistinct, kUniform, kSkewed, kIdentical };
+
+inline constexpr Popularity kAllPopularities[] = {
+    Popularity::kDistinct, Popularity::kUniform, Popularity::kSkewed,
+    Popularity::kIdentical};
+
+std::string ToString(Popularity p);
+
+/// Number of LoRA models used for `n` requests under each distribution.
+int NumModelsFor(Popularity p, int n, double zipf_alpha = 1.5);
+
+/// Assigns a LoRA id to each of `n` requests. Ids are in [0, NumModelsFor).
+/// Deterministic in `rng`'s state.
+std::vector<LoraId> AssignLoraIds(Popularity p, int n, Pcg32& rng,
+                                  double zipf_alpha = 1.5);
+
+/// Online sampler for the cluster experiment: draws one LoRA id per arrival
+/// from the Skewed (geometric/Zipf-α) distribution over `num_models` models.
+class ZipfAlphaSampler {
+ public:
+  ZipfAlphaSampler(int num_models, double alpha);
+
+  LoraId Sample(Pcg32& rng) const;
+  int num_models() const { return static_cast<int>(cdf_.size()); }
+  /// Probability of model i (for statistical tests).
+  double ProbabilityOf(int i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace punica

@@ -1,0 +1,53 @@
+#include "workload/trace.h"
+
+#include "util/check.h"
+
+namespace punica {
+
+std::vector<TraceRequest> GenerateClosedLoopTrace(const TraceSpec& spec) {
+  PUNICA_CHECK(spec.num_requests >= 1);
+  Pcg32 id_rng(spec.seed);
+  Pcg32 len_rng(spec.seed ^ 0x9E3779B97F4A7C15ULL);
+  ShareGptLengthSampler sampler(spec.lengths);
+  std::vector<LoraId> lora_ids = AssignLoraIds(
+      spec.popularity, spec.num_requests, id_rng, spec.zipf_alpha);
+
+  std::vector<TraceRequest> trace;
+  trace.reserve(static_cast<std::size_t>(spec.num_requests));
+  for (int i = 0; i < spec.num_requests; ++i) {
+    LengthSample len = sampler.Sample(len_rng);
+    trace.push_back({.id = i,
+                     .arrival_time = 0.0,
+                     .lora_id = lora_ids[static_cast<std::size_t>(i)],
+                     .prompt_len = len.prompt_len,
+                     .output_len = len.output_len});
+  }
+  return trace;
+}
+
+std::vector<TraceRequest> GenerateOpenLoopTrace(
+    std::vector<double> arrival_times, int num_models, double zipf_alpha,
+    std::uint64_t seed, ShareGptLengthSampler::Params lengths) {
+  Pcg32 rng(seed);
+  ShareGptLengthSampler sampler(lengths);
+  ZipfAlphaSampler zipf(num_models, zipf_alpha);
+  std::vector<TraceRequest> trace;
+  trace.reserve(arrival_times.size());
+  for (std::size_t i = 0; i < arrival_times.size(); ++i) {
+    LengthSample len = sampler.Sample(rng);
+    trace.push_back({.id = static_cast<std::int64_t>(i),
+                     .arrival_time = arrival_times[i],
+                     .lora_id = zipf.Sample(rng),
+                     .prompt_len = len.prompt_len,
+                     .output_len = len.output_len});
+  }
+  return trace;
+}
+
+std::int64_t TotalOutputTokens(const std::vector<TraceRequest>& trace) {
+  std::int64_t total = 0;
+  for (const auto& r : trace) total += r.output_len;
+  return total;
+}
+
+}  // namespace punica

@@ -1,0 +1,42 @@
+// Request traces: the unit of work flowing through the serving experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/segment.h"
+#include "workload/lengths.h"
+#include "workload/popularity.h"
+
+namespace punica {
+
+struct TraceRequest {
+  std::int64_t id = 0;
+  double arrival_time = 0.0;  ///< 0 for closed-loop (all available at start)
+  LoraId lora_id = 0;
+  std::int32_t prompt_len = 0;
+  std::int32_t output_len = 0;
+};
+
+struct TraceSpec {
+  int num_requests = 1000;
+  Popularity popularity = Popularity::kDistinct;
+  double zipf_alpha = 1.5;
+  std::uint64_t seed = 0xC0FFEE;
+  ShareGptLengthSampler::Params lengths = {};
+};
+
+/// Closed-loop trace (paper §7.2: "We generate 1000 requests … batch in a
+/// first-come-first-serve manner"): all requests available at t=0.
+std::vector<TraceRequest> GenerateClosedLoopTrace(const TraceSpec& spec);
+
+/// Open-loop trace for the cluster experiment: arrival times supplied by a
+/// Poisson process; LoRA ids drawn online from Zipf-α over `num_models`.
+std::vector<TraceRequest> GenerateOpenLoopTrace(
+    std::vector<double> arrival_times, int num_models, double zipf_alpha,
+    std::uint64_t seed, ShareGptLengthSampler::Params lengths = {});
+
+/// Total output tokens of a trace (the throughput denominator).
+std::int64_t TotalOutputTokens(const std::vector<TraceRequest>& trace);
+
+}  // namespace punica

@@ -1,0 +1,70 @@
+#include "workload/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace punica {
+
+namespace {
+constexpr const char* kHeader = "id,arrival_time,lora_id,prompt_len,output_len";
+}  // namespace
+
+std::string TraceToCsv(const std::vector<TraceRequest>& trace) {
+  std::string out = kHeader;
+  out += '\n';
+  char line[128];
+  for (const auto& r : trace) {
+    std::snprintf(line, sizeof(line),
+                  "%" PRId64 ",%.9g,%" PRId64 ",%d,%d\n", r.id,
+                  r.arrival_time, r.lora_id, r.prompt_len, r.output_len);
+    out += line;
+  }
+  return out;
+}
+
+std::vector<TraceRequest> TraceFromCsv(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  PUNICA_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                   "empty trace file");
+  PUNICA_CHECK_MSG(line == kHeader, "unexpected trace header");
+  std::vector<TraceRequest> trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TraceRequest r;
+    long long id = 0;
+    long long lora = 0;
+    int parsed = std::sscanf(line.c_str(), "%lld,%lf,%lld,%d,%d", &id,
+                             &r.arrival_time, &lora, &r.prompt_len,
+                             &r.output_len);
+    PUNICA_CHECK_MSG(parsed == 5, "malformed trace row");
+    r.id = id;
+    r.lora_id = lora;
+    PUNICA_CHECK_MSG(r.prompt_len > 0 && r.output_len > 0,
+                     "non-positive lengths in trace row");
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+void SaveTraceCsv(const std::string& path,
+                  const std::vector<TraceRequest>& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  PUNICA_CHECK_MSG(out.good(), "cannot open trace file for writing");
+  out << TraceToCsv(trace);
+  PUNICA_CHECK_MSG(out.good(), "trace write failed");
+}
+
+std::vector<TraceRequest> LoadTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  PUNICA_CHECK_MSG(in.good(), "cannot open trace file for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return TraceFromCsv(buf.str());
+}
+
+}  // namespace punica

@@ -1,0 +1,27 @@
+// Trace record/replay: CSV serialisation of request traces so experiments
+// can be rerun bit-identically, shared, or regenerated against other
+// systems. Format (one header + one row per request):
+//
+//   id,arrival_time,lora_id,prompt_len,output_len
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace punica {
+
+std::string TraceToCsv(const std::vector<TraceRequest>& trace);
+
+/// Parses a CSV produced by TraceToCsv. Aborts on malformed rows (traces
+/// are trusted internal artefacts, not user input).
+std::vector<TraceRequest> TraceFromCsv(const std::string& csv);
+
+/// File round-trip helpers. SaveTraceCsv aborts when the file cannot be
+/// written; LoadTraceCsv when it cannot be read.
+void SaveTraceCsv(const std::string& path,
+                  const std::vector<TraceRequest>& trace);
+std::vector<TraceRequest> LoadTraceCsv(const std::string& path);
+
+}  // namespace punica

@@ -1,0 +1,161 @@
+#include "baselines/lora_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/specs.h"
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+struct Problem {
+  std::vector<LoraAB> adapters;
+  std::vector<const LoraAB*> ptrs;
+  std::vector<std::int32_t> seg;
+  std::vector<float> x;
+  int h_in;
+  int h_out;
+  int rows() const { return seg.back(); }
+};
+
+Problem MakeProblem(std::span<const std::int32_t> seg_rows, int h_in,
+                    int h_out, int rank, Pcg32& rng) {
+  Problem p;
+  p.h_in = h_in;
+  p.h_out = h_out;
+  p.seg.push_back(0);
+  for (std::size_t i = 0; i < seg_rows.size(); ++i) {
+    p.seg.push_back(p.seg.back() + seg_rows[i]);
+    p.adapters.push_back(
+        LoraAB::Random(h_in, h_out, rank, 1000 + i * 13));
+  }
+  for (const auto& a : p.adapters) p.ptrs.push_back(&a);
+  p.x = RandomGaussianVector(
+      static_cast<std::size_t>(p.rows()) * static_cast<std::size_t>(h_in),
+      1.0f, rng);
+  return p;
+}
+
+// All three operator implementations must agree — the paper's Fig. 8
+// compares their latency on *identical semantics*.
+class LoraOpEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LoraOpEquivalence, LoopAndGatherBmmMatchSgmv) {
+  auto [segments, rows_per_seg, rank] = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(segments * 100 + rows_per_seg * 10 +
+                                       rank));
+  std::vector<std::int32_t> seg_rows(static_cast<std::size_t>(segments),
+                                     rows_per_seg);
+  const int h = 64;
+  Problem p = MakeProblem(seg_rows, h, h, rank, rng);
+
+  std::vector<float> y_sgmv(static_cast<std::size_t>(p.rows()) * h, 0.0f);
+  std::vector<float> ws(static_cast<std::size_t>(p.rows()) *
+                        static_cast<std::size_t>(rank));
+  BatchedLoraAddon(y_sgmv, p.x, p.ptrs, p.seg, h, h, ws);
+
+  std::vector<float> y_loop(y_sgmv.size(), 0.0f);
+  LoopLoraApply(y_loop, p.x, p.ptrs, p.seg, h, h);
+
+  std::vector<float> y_gbmm(y_sgmv.size(), 0.0f);
+  GatherBmmLoraApply(y_gbmm, p.x, p.ptrs, p.seg, h, h);
+
+  for (std::size_t i = 0; i < y_sgmv.size(); ++i) {
+    ASSERT_NEAR(y_loop[i], y_sgmv[i], 5e-3f) << "loop vs sgmv at " << i;
+    ASSERT_NEAR(y_gbmm[i], y_sgmv[i], 5e-3f) << "gbmm vs sgmv at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LoraOpEquivalence,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(1, 4),
+                                            ::testing::Values(4, 16)));
+
+TEST(GatherBmmTest, StatsMatchPaperFormulas) {
+  Pcg32 rng(9);
+  std::vector<std::int32_t> seg_rows = {2, 3};
+  const int h = 32, rank = 8;
+  Problem p = MakeProblem(seg_rows, h, h, rank, rng);
+  std::vector<float> y(static_cast<std::size_t>(p.rows()) * h, 0.0f);
+  GatherBmmStats stats;
+  GatherBmmLoraApply(y, p.x, p.ptrs, p.seg, h, h, &stats);
+  double per_model = (h * rank + rank * h) * 2.0;
+  EXPECT_DOUBLE_EQ(stats.gather_read_bytes, 2 * per_model);
+  EXPECT_DOUBLE_EQ(stats.gather_write_bytes, 5 * per_model);
+  EXPECT_DOUBLE_EQ(stats.bmm_weight_read_bytes, 5 * per_model);
+}
+
+TEST(GatherBmmTest, NullSegmentsSkipped) {
+  Pcg32 rng(10);
+  std::vector<std::int32_t> seg = {0, 2, 4};
+  LoraAB ad = LoraAB::Random(16, 16, 4, 1);
+  std::vector<const LoraAB*> ptrs = {&ad, nullptr};
+  auto x = RandomGaussianVector(4 * 16, 1.0f, rng);
+  std::vector<float> y(4 * 16, 0.5f);
+  GatherBmmLoraApply(y, x, ptrs, seg, 16, 16);
+  for (std::size_t i = 2 * 16; i < 4 * 16; ++i) {
+    EXPECT_EQ(y[i], 0.5f);  // backbone rows untouched
+  }
+}
+
+// --- Latency model shape checks (Fig. 8's orderings) ---
+
+TEST(LoraOpLatencyTest, DistinctOrderingLoopWorstSgmvBest) {
+  CostModel cm((A100Sxm80GB()));
+  std::vector<std::int32_t> distinct(64, 1);
+  double loop = LoopLoraLatency(cm, distinct, 4096, 4096, 16);
+  double gbmm = GatherBmmLoraLatency(cm, distinct, 4096, 4096, 16);
+  double sgmv = cm.SgmvPairLatency(distinct, 4096, 4096, 16);
+  EXPECT_GT(loop, gbmm);
+  EXPECT_GT(gbmm, sgmv);
+  // Loop pays 64 kernel-pair overheads: ~2 ms.
+  EXPECT_GT(loop, 1e-3);
+}
+
+TEST(LoraOpLatencyTest, IdenticalCaseConverges) {
+  // With one LoRA model all implementations are BMM-like; Loop ≈ SGMV.
+  CostModel cm((A100Sxm80GB()));
+  std::vector<std::int32_t> identical = {64};
+  double loop = LoopLoraLatency(cm, identical, 4096, 4096, 16);
+  double sgmv = cm.SgmvPairLatency(identical, 4096, 4096, 16);
+  EXPECT_NEAR(loop, sgmv, sgmv * 0.05);
+}
+
+TEST(LoraOpLatencyTest, GatherBmmScalesWithBatchNotModels) {
+  // Gather-BMM's IO ∝ s_n (stacked copies), so Identical at bs 64 is nearly
+  // as expensive as Distinct at bs 64 — unlike SGMV.
+  CostModel cm((A100Sxm80GB()));
+  std::vector<std::int32_t> distinct(64, 1);
+  std::vector<std::int32_t> identical = {64};
+  double g_d = GatherBmmLoraLatency(cm, distinct, 4096, 4096, 16);
+  double g_i = GatherBmmLoraLatency(cm, identical, 4096, 4096, 16);
+  EXPECT_LT(g_i, g_d);
+  EXPECT_GT(g_i, g_d * 0.5);  // still pays the per-row stacking
+  double s_d = cm.SgmvPairLatency(distinct, 4096, 4096, 16);
+  double s_i = cm.SgmvPairLatency(identical, 4096, 4096, 16);
+  EXPECT_LT(s_i / s_d, g_i / g_d);  // SGMV benefits more from sharing
+}
+
+TEST(LoraOpLatencyTest, BmmLatencyIndependentOfSegmentLayout) {
+  // Fig. 8 note: "BMM is data-independent, its latency is consistent across
+  // four workloads" — it depends only on s_n.
+  CostModel cm((A100Sxm80GB()));
+  std::vector<std::int32_t> distinct(64, 1);
+  std::vector<std::int32_t> identical = {64};
+  EXPECT_DOUBLE_EQ(BmmOnlyLatency(cm, distinct, 4096, 4096, 16),
+                   BmmOnlyLatency(cm, identical, 4096, 4096, 16));
+}
+
+TEST(LoraOpLatencyTest, EmptyIsFree) {
+  CostModel cm((A100Sxm80GB()));
+  std::vector<std::int32_t> none;
+  EXPECT_EQ(LoopLoraLatency(cm, none, 4096, 4096, 16), 0.0);
+  EXPECT_EQ(GatherOnlyLatency(cm, none, 4096, 4096, 16), 0.0);
+  EXPECT_EQ(BmmOnlyLatency(cm, none, 4096, 4096, 16), 0.0);
+}
+
+}  // namespace
+}  // namespace punica

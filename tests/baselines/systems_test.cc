@@ -1,0 +1,162 @@
+#include "baselines/systems.h"
+
+#include <gtest/gtest.h>
+
+#include "gpu/specs.h"
+#include "workload/trace.h"
+
+namespace punica {
+namespace {
+
+std::vector<TraceRequest> SmallTrace(Popularity pop, int n = 60,
+                                     std::uint64_t seed = 7) {
+  TraceSpec spec;
+  spec.num_requests = n;
+  spec.popularity = pop;
+  spec.seed = seed;
+  // Short outputs keep the simulation fast.
+  spec.lengths.output_mu = 3.0;   // median ~20 tokens
+  spec.lengths.output_sigma = 0.6;
+  spec.lengths.prompt_mu = 3.5;
+  spec.lengths.prompt_sigma = 0.8;
+  return GenerateClosedLoopTrace(spec);
+}
+
+TEST(SystemTraitsTest, CapabilityMatrix) {
+  EXPECT_FALSE(TraitsOf(ServingSystem::kHuggingFace).continuous_batching);
+  EXPECT_FALSE(TraitsOf(ServingSystem::kDeepSpeed).continuous_batching);
+  EXPECT_FALSE(
+      TraitsOf(ServingSystem::kFasterTransformer).continuous_batching);
+  EXPECT_TRUE(TraitsOf(ServingSystem::kVllm).continuous_batching);
+  EXPECT_TRUE(TraitsOf(ServingSystem::kPunica).continuous_batching);
+  // Only Punica batches across LoRA models.
+  for (auto s : kAllServingSystems) {
+    EXPECT_EQ(TraitsOf(s).cross_lora_batching, s == ServingSystem::kPunica);
+  }
+  // Backbone-only relaxations.
+  EXPECT_FALSE(TraitsOf(ServingSystem::kFasterTransformer).lora_compute);
+  EXPECT_FALSE(TraitsOf(ServingSystem::kVllm).lora_compute);
+  EXPECT_TRUE(TraitsOf(ServingSystem::kPunica).lora_compute);
+}
+
+TEST(SystemsTest, AllTokensGenerated) {
+  CostModel cm((A100Sxm80GB()));
+  auto trace = SmallTrace(Popularity::kUniform);
+  std::int64_t expected = TotalOutputTokens(trace);
+  for (auto s : kAllServingSystems) {
+    auto r = SimulateTextGen(s, trace, Llama7B(), cm);
+    EXPECT_EQ(r.tokens_generated, expected) << r.system;
+    EXPECT_GT(r.makespan_s, 0.0) << r.system;
+    EXPECT_GT(r.throughput_tok_s, 0.0) << r.system;
+  }
+}
+
+TEST(SystemsTest, PunicaWinsOnMultiLoraWorkloads) {
+  CostModel cm((A100Sxm80GB()));
+  for (auto pop : {Popularity::kDistinct, Popularity::kUniform,
+                   Popularity::kSkewed}) {
+    auto trace = SmallTrace(pop, 80);
+    auto punica = SimulateTextGen(ServingSystem::kPunica, trace, Llama7B(),
+                                  cm);
+    for (auto s : {ServingSystem::kHuggingFace, ServingSystem::kDeepSpeed,
+                   ServingSystem::kFasterTransformer, ServingSystem::kVllm}) {
+      auto base = SimulateTextGen(s, trace, Llama7B(), cm);
+      EXPECT_GT(punica.throughput_tok_s, base.throughput_tok_s * 1.5)
+          << ToString(pop) << " vs " << base.system;
+    }
+  }
+}
+
+TEST(SystemsTest, VllmSlightlyBeatsPunicaOnIdentical) {
+  // Fig. 11: backbone-only vLLM edges out Punica when there is one model,
+  // because Punica still pays the LoRA addon.
+  CostModel cm((A100Sxm80GB()));
+  auto trace = SmallTrace(Popularity::kIdentical, 100);
+  auto vllm = SimulateTextGen(ServingSystem::kVllm, trace, Llama7B(), cm);
+  auto punica = SimulateTextGen(ServingSystem::kPunica, trace, Llama7B(), cm);
+  EXPECT_GT(vllm.throughput_tok_s, punica.throughput_tok_s);
+  EXPECT_LT(vllm.throughput_tok_s, punica.throughput_tok_s * 1.4);
+}
+
+TEST(SystemsTest, PunicaThroughputStableAcrossDistributions) {
+  // The headline property: Punica's throughput is nearly workload-agnostic.
+  CostModel cm((A100Sxm80GB()));
+  double lo = 1e18, hi = 0.0;
+  for (auto pop : kAllPopularities) {
+    auto trace = SmallTrace(pop, 80);
+    auto r = SimulateTextGen(ServingSystem::kPunica, trace, Llama7B(), cm);
+    lo = std::min(lo, r.throughput_tok_s);
+    hi = std::max(hi, r.throughput_tok_s);
+  }
+  EXPECT_LT(hi / lo, 1.5);
+}
+
+TEST(SystemsTest, BaselinesCollapseOnDistinct) {
+  // Distinct forces batch size 1 on every baseline.
+  CostModel cm((A100Sxm80GB()));
+  auto trace = SmallTrace(Popularity::kDistinct, 40);
+  for (auto s : {ServingSystem::kDeepSpeed, ServingSystem::kVllm}) {
+    auto r = SimulateTextGen(s, trace, Llama7B(), cm);
+    EXPECT_NEAR(r.mean_decode_batch, 1.0, 0.15) << r.system;
+  }
+  auto punica = SimulateTextGen(ServingSystem::kPunica, trace, Llama7B(), cm);
+  EXPECT_GT(punica.mean_decode_batch, 5.0);
+}
+
+TEST(SystemsTest, UniformBaselineBatchesSmall) {
+  // §7.2: "most batches for the baseline systems have extremely small batch
+  // sizes (1–3)" under Uniform.
+  CostModel cm((A100Sxm80GB()));
+  auto trace = SmallTrace(Popularity::kUniform, 200);
+  auto ds = SimulateTextGen(ServingSystem::kDeepSpeed, trace, Llama7B(), cm);
+  EXPECT_LT(ds.mean_decode_batch, 3.0);
+  EXPECT_GE(ds.mean_decode_batch, 1.0);
+}
+
+TEST(SystemsTest, IdenticalBaselinesBatchFully) {
+  CostModel cm((A100Sxm80GB()));
+  auto trace = SmallTrace(Popularity::kIdentical, 96);
+  TextGenConfig cfg;
+  auto ds = SimulateTextGen(ServingSystem::kDeepSpeed, trace, Llama7B(), cm,
+                            cfg);
+  EXPECT_GT(ds.mean_decode_batch, cfg.max_batch_size - 1);
+}
+
+TEST(SystemsTest, InseparableKvCacheWastesSlots) {
+  // HF/DS/FT run padding rows once short requests finish (Fig. 6); the
+  // continuous systems never do.
+  CostModel cm((A100Sxm80GB()));
+  auto trace = SmallTrace(Popularity::kIdentical, 64);
+  auto ds = SimulateTextGen(ServingSystem::kDeepSpeed, trace, Llama7B(), cm);
+  EXPECT_GT(ds.wasted_decode_slots, 0);
+  auto vllm = SimulateTextGen(ServingSystem::kVllm, trace, Llama7B(), cm);
+  EXPECT_EQ(vllm.wasted_decode_slots, 0);
+}
+
+TEST(SystemsTest, HuggingFaceSlowestOnIdentical) {
+  CostModel cm((A100Sxm80GB()));
+  auto trace = SmallTrace(Popularity::kIdentical, 64);
+  auto hf = SimulateTextGen(ServingSystem::kHuggingFace, trace, Llama7B(),
+                            cm);
+  for (auto s : {ServingSystem::kDeepSpeed, ServingSystem::kVllm,
+                 ServingSystem::kPunica}) {
+    auto r = SimulateTextGen(s, trace, Llama7B(), cm);
+    EXPECT_GT(r.throughput_tok_s, hf.throughput_tok_s) << r.system;
+  }
+}
+
+TEST(SystemsTest, TensorParallel70BPreservesOrdering) {
+  // Fig. 12 shape: Punica flat and high; vLLM collapses on multi-LoRA.
+  CostModel cm((A100Sxm40GB()));
+  TextGenConfig cfg;
+  cfg.tp_degree = 8;
+  auto trace = SmallTrace(Popularity::kSkewed, 60);
+  auto punica = SimulateTextGen(ServingSystem::kPunica, trace, Llama70B(),
+                                cm, cfg);
+  auto vllm = SimulateTextGen(ServingSystem::kVllm, trace, Llama70B(), cm,
+                              cfg);
+  EXPECT_GT(punica.throughput_tok_s, vllm.throughput_tok_s * 3.0);
+}
+
+}  // namespace
+}  // namespace punica

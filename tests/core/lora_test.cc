@@ -1,0 +1,200 @@
+#include "core/lora.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+// Dense oracle: y += x · (A·B) computed through fp32 densification.
+void DenseLoraOracle(std::span<float> y, std::span<const float> x,
+                     const LoraAB& ad, int rows) {
+  std::vector<float> ab(static_cast<std::size_t>(ad.h_in) *
+                        static_cast<std::size_t>(ad.h_out));
+  for (int i = 0; i < ad.h_in; ++i) {
+    for (int j = 0; j < ad.h_out; ++j) {
+      float acc = 0.0f;
+      for (int r = 0; r < ad.rank; ++r) {
+        acc += ad.a.at({i, r}).ToFloat() * ad.b.at({r, j}).ToFloat();
+      }
+      ab[static_cast<std::size_t>(i) * static_cast<std::size_t>(ad.h_out) +
+         static_cast<std::size_t>(j)] = acc;
+    }
+  }
+  for (int row = 0; row < rows; ++row) {
+    for (int j = 0; j < ad.h_out; ++j) {
+      float acc = 0.0f;
+      for (int i = 0; i < ad.h_in; ++i) {
+        acc += x[static_cast<std::size_t>(row) *
+                     static_cast<std::size_t>(ad.h_in) +
+                 static_cast<std::size_t>(i)] *
+               ab[static_cast<std::size_t>(i) *
+                      static_cast<std::size_t>(ad.h_out) +
+                  static_cast<std::size_t>(j)];
+      }
+      y[static_cast<std::size_t>(row) * static_cast<std::size_t>(ad.h_out) +
+        static_cast<std::size_t>(j)] += acc;
+    }
+  }
+}
+
+TEST(LoraABTest, RandomShapesAndSize) {
+  LoraAB w = LoraAB::Random(64, 32, 16, 7);
+  EXPECT_EQ(w.a.dim(0), 64);
+  EXPECT_EQ(w.a.dim(1), 16);
+  EXPECT_EQ(w.b.dim(0), 16);
+  EXPECT_EQ(w.b.dim(1), 32);
+  EXPECT_EQ(w.byte_size(), (64 * 16 + 16 * 32) * sizeof(f16));
+}
+
+TEST(LoraABTest, DeterministicInSeed) {
+  LoraAB a = LoraAB::Random(16, 16, 4, 99);
+  LoraAB b = LoraAB::Random(16, 16, 4, 99);
+  for (std::size_t i = 0; i < a.a.numel(); ++i) {
+    EXPECT_TRUE(a.a.data()[i] == b.a.data()[i]);
+  }
+}
+
+TEST(LoraAddonTest, SingleAdapterMatchesDenseOracle) {
+  Pcg32 rng(5);
+  const int h_in = 48, h_out = 40, rank = 8, rows = 5;
+  LoraAB ad = LoraAB::Random(h_in, h_out, rank, 3);
+  auto x = RandomGaussianVector(static_cast<std::size_t>(rows) * h_in, 1.0f,
+                                rng);
+  auto y0 = RandomGaussianVector(static_cast<std::size_t>(rows) * h_out, 1.0f,
+                                 rng);
+
+  auto y_sgmv = y0;
+  LoraAddonSingle(y_sgmv, x, ad, rows);
+
+  auto y_oracle = y0;
+  DenseLoraOracle(y_oracle, x, ad, rows);
+
+  for (std::size_t i = 0; i < y_sgmv.size(); ++i) {
+    EXPECT_NEAR(y_sgmv[i], y_oracle[i], 5e-3f) << i;
+  }
+}
+
+TEST(LoraAddonTest, MultiSegmentEachRowUsesItsAdapter) {
+  Pcg32 rng(6);
+  const int h = 32, rank = 4;
+  LoraAB ad1 = LoraAB::Random(h, h, rank, 10);
+  LoraAB ad2 = LoraAB::Random(h, h, rank, 20);
+  std::vector<std::int32_t> seg = {0, 2, 5};
+  const int rows = 5;
+  auto x = RandomGaussianVector(static_cast<std::size_t>(rows) * h, 1.0f, rng);
+
+  std::vector<float> y(static_cast<std::size_t>(rows) * h, 0.0f);
+  std::vector<const LoraAB*> adapters = {&ad1, &ad2};
+  std::vector<float> ws(static_cast<std::size_t>(rows) * rank);
+  BatchedLoraAddon(y, x, adapters, seg, h, h, ws);
+
+  // Oracle per segment.
+  std::vector<float> y_ref(y.size(), 0.0f);
+  DenseLoraOracle(std::span<float>(y_ref).first(2 * h),
+                  std::span<const float>(x).first(2 * h), ad1, 2);
+  DenseLoraOracle(std::span<float>(y_ref).subspan(2 * h),
+                  std::span<const float>(x).subspan(2 * h), ad2, 3);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], y_ref[i], 5e-3f) << i;
+  }
+}
+
+TEST(LoraAddonTest, NullAdapterLeavesRowsUnchanged) {
+  Pcg32 rng(8);
+  const int h = 16, rank = 4;
+  LoraAB ad = LoraAB::Random(h, h, rank, 1);
+  std::vector<std::int32_t> seg = {0, 1, 3};
+  auto x = RandomGaussianVector(3 * h, 1.0f, rng);
+  std::vector<float> y(3 * h, 1.0f);
+  std::vector<const LoraAB*> adapters = {&ad, nullptr};
+  std::vector<float> ws(3 * rank);
+  BatchedLoraAddon(y, x, adapters, seg, h, h, ws);
+  for (std::size_t i = h; i < 3 * h; ++i) {
+    EXPECT_EQ(y[i], 1.0f);
+  }
+}
+
+TEST(LoraAddonTest, AllNullIsNoOp) {
+  std::vector<std::int32_t> seg = {0, 4};
+  std::vector<float> x(4 * 8, 1.0f);
+  std::vector<float> y(4 * 8, 2.0f);
+  std::vector<const LoraAB*> adapters = {nullptr};
+  std::vector<float> ws;  // may be empty when nothing to do
+  BatchedLoraAddon(y, x, adapters, seg, 8, 8, ws);
+  for (float v : y) EXPECT_EQ(v, 2.0f);
+}
+
+TEST(LoraAddonTest, MixedRanksAcrossSegments) {
+  Pcg32 rng(9);
+  const int h = 24;
+  LoraAB lo = LoraAB::Random(h, h, 4, 2);
+  LoraAB hi = LoraAB::Random(h, h, 16, 3);
+  std::vector<std::int32_t> seg = {0, 3, 6};
+  auto x = RandomGaussianVector(6 * h, 1.0f, rng);
+  std::vector<float> y(6 * h, 0.0f);
+  std::vector<const LoraAB*> adapters = {&lo, &hi};
+  std::vector<float> ws(6 * 16);
+  BatchedLoraAddon(y, x, adapters, seg, h, h, ws);
+
+  std::vector<float> y_ref(y.size(), 0.0f);
+  DenseLoraOracle(std::span<float>(y_ref).first(3 * h),
+                  std::span<const float>(x).first(3 * h), lo, 3);
+  DenseLoraOracle(std::span<float>(y_ref).subspan(3 * h),
+                  std::span<const float>(x).subspan(3 * h), hi, 3);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], y_ref[i], 5e-3f) << i;
+  }
+}
+
+TEST(LoraAddonCostTest, SumsShrinkAndExpand) {
+  std::vector<std::int32_t> seg = {0, 8};
+  SgmvCost pair = LoraAddonCostOf(seg, 4096, 4096, 16);
+  SgmvCost shrink = SgmvCostOf(seg, 4096, 16);
+  SgmvCost expand = SgmvCostOf(seg, 16, 4096);
+  EXPECT_DOUBLE_EQ(pair.flop, shrink.flop + expand.flop);
+  EXPECT_DOUBLE_EQ(pair.io_bytes, shrink.io_bytes + expand.io_bytes);
+}
+
+TEST(LoraRegistryTest, PutGetErase) {
+  LoraRegistry reg;
+  EXPECT_EQ(reg.Get(1), nullptr);
+  std::size_t bytes = reg.Put(1, LoraAB::Random(16, 16, 4, 1));
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(reg.total_bytes(), bytes);
+  EXPECT_TRUE(reg.Contains(1));
+  ASSERT_NE(reg.Get(1), nullptr);
+  EXPECT_EQ(reg.Get(1)->rank, 4);
+  EXPECT_EQ(reg.Erase(1), bytes);
+  EXPECT_EQ(reg.total_bytes(), 0u);
+  EXPECT_EQ(reg.Erase(1), 0u);  // double erase is a no-op
+}
+
+TEST(LoraRegistryTest, ReplaceUpdatesBytes) {
+  LoraRegistry reg;
+  reg.Put(1, LoraAB::Random(16, 16, 4, 1));
+  std::size_t bytes8 = reg.Put(1, LoraAB::Random(16, 16, 8, 2));
+  EXPECT_EQ(reg.total_bytes(), bytes8);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.Get(1)->rank, 8);
+}
+
+TEST(LoraRegistryTest, GatherSegmentWeights) {
+  LoraRegistry reg;
+  reg.Put(5, LoraAB::Random(16, 16, 4, 1));
+  Segments seg;
+  seg.offsets = {0, 2, 4};
+  seg.lora_ids = {5, 6};  // 6 unknown → nullptr (backbone-only)
+  auto ptrs = reg.GatherSegmentWeights(seg);
+  ASSERT_EQ(ptrs.size(), 2u);
+  EXPECT_NE(ptrs[0], nullptr);
+  EXPECT_EQ(ptrs[1], nullptr);
+}
+
+}  // namespace
+}  // namespace punica

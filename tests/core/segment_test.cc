@@ -1,0 +1,167 @@
+#include "core/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+TEST(SegmentTest, BuildFromGroupedIds) {
+  std::vector<LoraId> ids = {7, 7, 7, 3, 3, 9};
+  Segments seg = BuildSegments(ids);
+  ASSERT_EQ(seg.num_segments(), 3);
+  EXPECT_EQ(seg.offsets, (std::vector<std::int32_t>{0, 3, 5, 6}));
+  EXPECT_EQ(seg.lora_ids, (std::vector<LoraId>{7, 3, 9}));
+  EXPECT_EQ(seg.total_rows(), 6);
+  EXPECT_EQ(seg.segment_rows(0), 3);
+  EXPECT_EQ(seg.segment_rows(2), 1);
+  EXPECT_TRUE(seg.IsValid());
+}
+
+TEST(SegmentTest, EmptyInput) {
+  Segments seg = BuildSegments({});
+  EXPECT_EQ(seg.num_segments(), 0);
+  EXPECT_EQ(seg.total_rows(), 0);
+}
+
+TEST(SegmentTest, SingleRow) {
+  std::vector<LoraId> ids = {42};
+  Segments seg = BuildSegments(ids);
+  ASSERT_EQ(seg.num_segments(), 1);
+  EXPECT_EQ(seg.total_rows(), 1);
+  EXPECT_EQ(seg.lora_ids[0], 42);
+}
+
+TEST(SegmentTest, AllDistinct) {
+  std::vector<LoraId> ids = {1, 2, 3, 4};
+  Segments seg = BuildSegments(ids);
+  EXPECT_EQ(seg.num_segments(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(seg.segment_rows(i), 1);
+}
+
+TEST(SegmentTest, NonAdjacentDuplicatesStaySeparate) {
+  // BuildSegments does not reorder; interleaved ids make extra segments.
+  std::vector<LoraId> ids = {1, 2, 1};
+  Segments seg = BuildSegments(ids);
+  EXPECT_EQ(seg.num_segments(), 3);
+}
+
+TEST(SegmentTest, ValidityRejectsAdjacentDuplicates) {
+  Segments seg;
+  seg.offsets = {0, 1, 2};
+  seg.lora_ids = {5, 5};
+  EXPECT_FALSE(seg.IsValid());
+}
+
+TEST(SegmentTest, ValidityRejectsEmptySegment) {
+  Segments seg;
+  seg.offsets = {0, 2, 2};
+  seg.lora_ids = {1, 2};
+  EXPECT_FALSE(seg.IsValid());
+}
+
+TEST(GroupRowsTest, GroupsPreservingFirstAppearance) {
+  std::vector<LoraId> ids = {5, 9, 5, 9, 5};
+  auto perm = GroupRowsByLora(ids);
+  // Group of 5 first (rows 0,2,4 in order), then 9 (rows 1,3).
+  EXPECT_EQ(perm, (std::vector<std::int32_t>{0, 2, 4, 1, 3}));
+  // Applying the permutation groups the ids.
+  std::vector<LoraId> grouped;
+  for (auto p : perm) grouped.push_back(ids[static_cast<std::size_t>(p)]);
+  Segments seg = BuildSegments(grouped);
+  EXPECT_EQ(seg.num_segments(), 2);
+}
+
+TEST(GroupRowsTest, AlreadyGroupedIsIdentity) {
+  std::vector<LoraId> ids = {1, 1, 2, 2, 3};
+  auto perm = GroupRowsByLora(ids);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(perm[i], static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(GroupRowsTest, RandomIdsProduceMinimalSegments) {
+  Pcg32 rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 1 + static_cast<int>(rng.NextBounded(60));
+    std::vector<LoraId> ids;
+    std::size_t distinct = 0;
+    std::vector<bool> seen(8, false);
+    for (int i = 0; i < n; ++i) {
+      LoraId id = rng.NextBounded(8);
+      if (!seen[static_cast<std::size_t>(id)]) {
+        seen[static_cast<std::size_t>(id)] = true;
+        ++distinct;
+      }
+      ids.push_back(id);
+    }
+    auto perm = GroupRowsByLora(ids);
+    std::vector<LoraId> grouped;
+    for (auto p : perm) grouped.push_back(ids[static_cast<std::size_t>(p)]);
+    Segments seg = BuildSegments(grouped);
+    // Grouping is optimal: one segment per distinct id.
+    EXPECT_EQ(static_cast<std::size_t>(seg.num_segments()), distinct);
+  }
+}
+
+TEST(PermuteRowsTest, MovesRows) {
+  std::vector<float> in = {1, 2, 3, 4, 5, 6};  // 3 rows × 2
+  std::vector<std::int32_t> perm = {2, 0, 1};
+  std::vector<float> out(6);
+  PermuteRows(in, out, perm, 2);
+  EXPECT_EQ(out, (std::vector<float>{5, 6, 1, 2, 3, 4}));
+}
+
+TEST(PermuteRowsTest, InverseRestores) {
+  Pcg32 rng(13);
+  int rows = 10, width = 3;
+  auto in = RandomGaussianVector(static_cast<std::size_t>(rows) * width, 1.0f,
+                                 rng);
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(rows));
+  for (int i = 0; i < rows; ++i) perm[static_cast<std::size_t>(i)] = i;
+  rng.Shuffle(std::span<std::int32_t>(perm));
+  std::vector<float> mid(in.size()), back(in.size());
+  PermuteRows(in, mid, perm, width);
+  auto inv = InvertPermutation(perm);
+  PermuteRows(mid, back, inv, width);
+  EXPECT_EQ(back, in);
+}
+
+TEST(BatchLenTest, BuildFromLengths) {
+  std::vector<std::int32_t> lens = {5, 3, 2};
+  BatchLen bl = BuildBatchLen(lens, 7);
+  EXPECT_EQ(bl.prefill_starts, (std::vector<std::int32_t>{0, 5, 8}));
+  EXPECT_EQ(bl.prefill_tokens, 10);
+  EXPECT_EQ(bl.num_decode, 7);
+  EXPECT_EQ(bl.total_tokens(), 17);
+  EXPECT_EQ(bl.num_prefill(), 3);
+  EXPECT_TRUE(bl.IsValid());
+}
+
+TEST(BatchLenTest, DecodeOnly) {
+  BatchLen bl = BuildBatchLen({}, 32);
+  EXPECT_EQ(bl.total_tokens(), 32);
+  EXPECT_EQ(bl.num_prefill(), 0);
+  EXPECT_TRUE(bl.IsValid());
+}
+
+TEST(BatchLenTest, InvalidShapes) {
+  BatchLen bl;
+  bl.prefill_starts = {0, 5};
+  bl.prefill_tokens = 4;  // start 5 out of range
+  EXPECT_FALSE(bl.IsValid());
+  BatchLen bl2;
+  bl2.prefill_tokens = 3;  // tokens without any prefill request
+  EXPECT_FALSE(bl2.IsValid());
+}
+
+TEST(BatchLenDeathTest, NonPositiveLengthAborts) {
+  std::vector<std::int32_t> lens = {0};
+  EXPECT_DEATH(BuildBatchLen(lens, 0), "PUNICA_CHECK");
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,249 @@
+#include "core/sgmv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/lora.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+// Tolerance model: fp32 accumulation over fp16 weights; error grows with the
+// reduction length and the different summation orders of the schedules.
+float TolFor(int k, float magnitude) {
+  return magnitude * kF16Epsilon * std::sqrt(static_cast<float>(k)) * 4.0f +
+         1e-5f;
+}
+
+struct SgmvProblem {
+  std::vector<float> x;
+  std::vector<float> y_init;
+  std::vector<Tensor<f16>> weights;
+  std::vector<const f16*> weight_ptrs;
+  std::vector<std::int32_t> seg;
+  int h_in;
+  int h_out;
+
+  SgmvArgs Args(std::vector<float>& y) const {
+    return SgmvArgs{y, x, weight_ptrs, seg, h_in, h_out};
+  }
+};
+
+SgmvProblem MakeProblem(std::span<const std::int32_t> seg_rows, int h_in,
+                        int h_out, Pcg32& rng) {
+  SgmvProblem p;
+  p.h_in = h_in;
+  p.h_out = h_out;
+  p.seg.push_back(0);
+  for (auto rows : seg_rows) {
+    p.seg.push_back(p.seg.back() + rows);
+  }
+  int total = p.seg.back();
+  p.x = RandomGaussianVector(
+      static_cast<std::size_t>(total) * static_cast<std::size_t>(h_in), 1.0f,
+      rng);
+  p.y_init = RandomGaussianVector(
+      static_cast<std::size_t>(total) * static_cast<std::size_t>(h_out), 1.0f,
+      rng);
+  float scale = 1.0f / std::sqrt(static_cast<float>(h_in));
+  for (std::size_t i = 0; i + 1 < p.seg.size(); ++i) {
+    Tensor<f16> w({h_in, h_out});
+    for (auto& v : w.data()) {
+      v = f16(static_cast<float>(rng.NextGaussian()) * scale);
+    }
+    p.weights.push_back(std::move(w));
+  }
+  for (const auto& w : p.weights) p.weight_ptrs.push_back(w.raw());
+  return p;
+}
+
+TEST(SgmvTest, SingleSegmentMatchesDenseGemm) {
+  Pcg32 rng(1);
+  std::vector<std::int32_t> rows = {4};
+  auto p = MakeProblem(rows, 32, 8, rng);
+
+  auto y_sgmv = p.y_init;
+  SgmvShrink(p.Args(y_sgmv));
+
+  auto y_gemm = p.y_init;
+  GemmAddF16W(p.x, p.weights[0].data(), y_gemm, 4, 32, 8);
+
+  for (std::size_t i = 0; i < y_sgmv.size(); ++i) {
+    EXPECT_NEAR(y_sgmv[i], y_gemm[i], TolFor(32, 2.0f)) << i;
+  }
+}
+
+TEST(SgmvTest, AccumulatesIntoY) {
+  Pcg32 rng(2);
+  std::vector<std::int32_t> rows = {2};
+  auto p = MakeProblem(rows, 16, 4, rng);
+  auto y = p.y_init;
+  SgmvExpand(p.Args(y));
+  // y must equal y_init + delta, not delta.
+  std::vector<float> zero(p.y_init.size(), 0.0f);
+  SgmvArgs args{zero, p.x, p.weight_ptrs, p.seg, p.h_in, p.h_out};
+  SgmvExpand(args);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], p.y_init[i] + zero[i], 1e-4f);
+  }
+}
+
+TEST(SgmvTest, NullSegmentSkipped) {
+  Pcg32 rng(3);
+  std::vector<std::int32_t> rows = {2, 3};
+  auto p = MakeProblem(rows, 16, 4, rng);
+  p.weight_ptrs[1] = nullptr;  // second segment backbone-only
+  auto y = p.y_init;
+  SgmvShrink(p.Args(y));
+  // Rows of segment 2 must be untouched.
+  for (std::size_t i = 2 * 4; i < y.size(); ++i) {
+    EXPECT_EQ(y[i], p.y_init[i]);
+  }
+  // Rows of segment 1 must have changed.
+  bool changed = false;
+  for (std::size_t i = 0; i < 2 * 4; ++i) {
+    changed = changed || y[i] != p.y_init[i];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(SgmvTest, EmptySegmentAllowed) {
+  Pcg32 rng(4);
+  SgmvProblem p;
+  p.h_in = 8;
+  p.h_out = 4;
+  p.seg = {0, 2, 2, 4};  // middle segment empty
+  p.x = RandomGaussianVector(4 * 8, 1.0f, rng);
+  p.y_init.assign(4 * 4, 0.0f);
+  for (int i = 0; i < 3; ++i) {
+    Tensor<f16> w({8, 4});
+    for (auto& v : w.data()) {
+      v = f16(static_cast<float>(rng.NextGaussian()));
+    }
+    p.weights.push_back(std::move(w));
+  }
+  for (const auto& w : p.weights) p.weight_ptrs.push_back(w.raw());
+  auto y1 = p.y_init;
+  SgmvShrink(p.Args(y1));
+  auto y2 = p.y_init;
+  SgmvReference(p.Args(y2));
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_NEAR(y1[i], y2[i], 1e-4f);
+  }
+}
+
+TEST(SgmvTest, SplitKPartitionsHeuristic) {
+  EXPECT_EQ(SplitKPartitions(1), 1);
+  EXPECT_EQ(SplitKPartitions(256), 1);
+  EXPECT_EQ(SplitKPartitions(257), 2);
+  EXPECT_EQ(SplitKPartitions(4096), 8);
+  EXPECT_EQ(SplitKPartitions(100000), 8);  // capped
+}
+
+TEST(SgmvCostTest, PaperFormulas) {
+  // FLOP = s_n·h_i·h_o·2; IO = [s_n·(h_i+h_o) + n·h_i·h_o]·2 (§7.1).
+  std::vector<std::int32_t> seg = {0, 2, 5};  // n=2 segments, s_n=5
+  SgmvCost c = SgmvCostOf(seg, 16, 4096);
+  EXPECT_DOUBLE_EQ(c.flop, 5.0 * 16 * 4096 * 2);
+  EXPECT_DOUBLE_EQ(c.io_bytes, (5.0 * (16 + 4096) + 2.0 * 16 * 4096) * 2);
+  EXPECT_GT(c.arithmetic_intensity(), 0.0);
+}
+
+TEST(SgmvCostTest, IdenticalHasHigherIntensityThanDistinct) {
+  // Same total rows; identical = 1 segment, distinct = 64 segments.
+  std::vector<std::int32_t> identical = {0, 64};
+  std::vector<std::int32_t> distinct;
+  distinct.push_back(0);
+  for (int i = 1; i <= 64; ++i) distinct.push_back(i);
+  SgmvCost ci = SgmvCostOf(identical, 16, 4096);
+  SgmvCost cd = SgmvCostOf(distinct, 16, 4096);
+  EXPECT_DOUBLE_EQ(ci.flop, cd.flop);
+  EXPECT_GT(cd.io_bytes, ci.io_bytes);
+  EXPECT_GT(ci.arithmetic_intensity(), cd.arithmetic_intensity());
+}
+
+// --- Parameterised equivalence sweep: shrink ≡ expand ≡ reference over a
+// grid of (segment layout, h_in, h_out). ---
+
+using SweepParam = std::tuple<int, int, int, int>;  // segments, max_rows,
+                                                    // h_in, h_out
+
+class SgmvEquivalenceSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SgmvEquivalenceSweep, AllSchedulesAgree) {
+  auto [num_segments, max_rows, h_in, h_out] = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(num_segments * 1000003 + max_rows * 97 +
+                                       h_in * 13 + h_out));
+  std::vector<std::int32_t> rows;
+  for (int s = 0; s < num_segments; ++s) {
+    rows.push_back(1 +
+                   static_cast<std::int32_t>(rng.NextBounded(
+                       static_cast<std::uint32_t>(max_rows))));
+  }
+  auto p = MakeProblem(rows, h_in, h_out, rng);
+
+  auto y_ref = p.y_init;
+  SgmvReference(p.Args(y_ref));
+  auto y_shrink = p.y_init;
+  SgmvShrink(p.Args(y_shrink));
+  auto y_expand = p.y_init;
+  SgmvExpand(p.Args(y_expand));
+
+  float tol = TolFor(h_in, 4.0f);
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    ASSERT_NEAR(y_shrink[i], y_ref[i], tol) << "shrink row-elt " << i;
+    ASSERT_NEAR(y_expand[i], y_ref[i], tol) << "expand row-elt " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, SgmvEquivalenceSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 16),   // segments
+                       ::testing::Values(1, 3, 8),       // max rows/segment
+                       ::testing::Values(16, 64, 300),   // h_in
+                       ::testing::Values(8, 16, 128)));  // h_out
+
+// Shrink/expand-shaped sweeps matching the LoRA use (h → r and r → h).
+class SgmvLoraShapeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SgmvLoraShapeSweep, ShrinkThenExpandMatchesDense) {
+  int rank = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(rank) * 7 + 1);
+  const int h = 128;
+  const int rows = 6;
+  std::vector<std::int32_t> seg_rows = {rows};
+  auto shrink_p = MakeProblem(seg_rows, h, rank, rng);
+
+  std::vector<float> v(static_cast<std::size_t>(rows) *
+                           static_cast<std::size_t>(rank),
+                       0.0f);
+  SgmvArgs shrink{v, shrink_p.x, shrink_p.weight_ptrs, shrink_p.seg, h, rank};
+  SgmvShrink(shrink);
+
+  std::vector<float> v_ref(v.size(), 0.0f);
+  GemmAddF16W(shrink_p.x, shrink_p.weights[0].data(), v_ref, rows, h, rank);
+  float tol = TolFor(h, 2.0f);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_NEAR(v[i], v_ref[i], tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SgmvLoraShapeSweep,
+                         ::testing::Values(8, 16, 32, 64));
+
+TEST(SgmvDeathTest, MismatchedSpansAbort) {
+  std::vector<float> x(8), y(3);  // wrong y size
+  Tensor<f16> w({4, 2});
+  const f16* ptr = w.raw();
+  std::vector<std::int32_t> seg = {0, 2};
+  SgmvArgs args{y, x, std::span<const f16* const>(&ptr, 1), seg, 4, 2};
+  EXPECT_DEATH(SgmvShrink(args), "PUNICA_CHECK");
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,167 @@
+#include "frontend/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include "frontend/stream.h"
+#include "gpu/specs.h"
+#include "sched/cluster.h"
+
+namespace punica {
+namespace {
+
+// --- TokenStream unit tests ---
+
+TEST(TokenStreamTest, PushAndConsumeInOrder) {
+  TokenStream s;
+  s.Push(10, 1.0);
+  s.Push(11, 2.0);
+  s.Push(12, 3.0);
+  EXPECT_TRUE(s.HasNext());
+  EXPECT_EQ(s.Next(), 10);
+  EXPECT_EQ(s.Next(), 11);
+  EXPECT_EQ(s.Next(), 12);
+  EXPECT_FALSE(s.HasNext());
+  EXPECT_EQ(s.total_pushed(), 3u);
+  EXPECT_DOUBLE_EQ(s.first_token_time(), 1.0);
+  EXPECT_DOUBLE_EQ(s.last_token_time(), 3.0);
+}
+
+TEST(TokenStreamTest, CloseStates) {
+  TokenStream s;
+  EXPECT_FALSE(s.closed());
+  s.Close(StreamEnd::kFinished);
+  EXPECT_TRUE(s.closed());
+  EXPECT_EQ(s.state(), StreamEnd::kFinished);
+  s.Close(StreamEnd::kFinished);  // idempotent
+}
+
+TEST(TokenStreamTest, PendingSurvivesClose) {
+  TokenStream s;
+  s.Push(5, 0.1);
+  s.Close(StreamEnd::kFinished);
+  EXPECT_TRUE(s.HasNext());
+  EXPECT_EQ(s.DrainAll(), (std::vector<std::int32_t>{5}));
+}
+
+TEST(TokenStreamDeathTest, PushAfterCloseAborts) {
+  TokenStream s;
+  s.Close(StreamEnd::kCancelled);
+  EXPECT_DEATH(s.Push(1, 0.0), "closed stream");
+}
+
+TEST(TokenStreamDeathTest, ConflictingCloseAborts) {
+  TokenStream s;
+  s.Close(StreamEnd::kFinished);
+  EXPECT_DEATH(s.Close(StreamEnd::kCancelled), "conflicting");
+}
+
+TEST(TokenStreamDeathTest, NextOnEmptyAborts) {
+  TokenStream s;
+  EXPECT_DEATH(s.Next(), "empty stream");
+}
+
+// --- Frontend + cluster integration ---
+
+class FrontendClusterTest : public ::testing::Test {
+ protected:
+  FrontendClusterTest() : cm_(A100Sxm80GB()) {
+    ClusterConfig cfg;
+    cfg.num_gpus = 2;
+    cfg.model = Llama7B();
+    cfg.runner.max_batch_size = 8;
+    cfg.runner.kv_capacity_tokens = 20000;
+    driver_ = std::make_unique<ClusterDriver>(cfg, &cm_);
+    Frontend::SchedulerApi api;
+    api.submit = [this](ServingRequest* req) {
+      driver_->SubmitExternal(req);
+    };
+    api.cancel = [this](std::int64_t id) {
+      return driver_->scheduler().Cancel(id);
+    };
+    frontend_ = std::make_unique<Frontend>(0, api, /*id_base=*/1000000);
+    driver_->SetEmissionCallback(
+        [this](const std::vector<std::int64_t>& emitted,
+               const std::vector<std::int64_t>& finished, double now) {
+          for (auto id : emitted) frontend_->OnToken(id, now);
+          for (auto id : finished) frontend_->OnFinished(id, now);
+        });
+  }
+
+  CostModel cm_;
+  std::unique_ptr<ClusterDriver> driver_;
+  std::unique_ptr<Frontend> frontend_;
+};
+
+TEST_F(FrontendClusterTest, StreamsExactlyOutputLenTokens) {
+  std::int64_t id = frontend_->Submit(/*lora=*/3, /*prompt_len=*/40,
+                                      /*output_len=*/12, /*now=*/0.0);
+  driver_->Run();
+  TokenStream& stream = frontend_->Stream(id);
+  EXPECT_EQ(stream.state(), StreamEnd::kFinished);
+  EXPECT_EQ(stream.total_pushed(), 12u);
+  // Tokens arrive in order with monotone timestamps.
+  auto tokens = stream.DrainAll();
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i], static_cast<std::int32_t>(i));
+  }
+  EXPECT_LE(stream.first_token_time(), stream.last_token_time());
+}
+
+TEST_F(FrontendClusterTest, ManyUsersAllComplete) {
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(frontend_->Submit(i % 3, 20 + i, 5 + i, 0.0));
+  }
+  EXPECT_EQ(frontend_->active_streams(), 10u);
+  driver_->Run();
+  EXPECT_EQ(frontend_->active_streams(), 0u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(frontend_->Stream(ids[i]).total_pushed(), 5 + i);
+    EXPECT_EQ(frontend_->Stream(ids[i]).state(), StreamEnd::kFinished);
+  }
+}
+
+TEST_F(FrontendClusterTest, DisconnectCancelsUpstream) {
+  std::int64_t a = frontend_->Submit(0, 30, 500, 0.0);
+  std::int64_t b = frontend_->Submit(1, 30, 10, 0.0);
+  // Run a little, then the user of `a` disconnects.
+  driver_->Run(0.2);
+  std::size_t a_tokens_at_disconnect = frontend_->Stream(a).total_pushed();
+  frontend_->Disconnect(a);
+  EXPECT_EQ(frontend_->Stream(a).state(), StreamEnd::kCancelled);
+  driver_->Run();
+  // The cancelled stream receives no further tokens; b completes normally.
+  EXPECT_EQ(frontend_->Stream(a).total_pushed(), a_tokens_at_disconnect);
+  EXPECT_EQ(frontend_->Stream(b).state(), StreamEnd::kFinished);
+  EXPECT_EQ(frontend_->Stream(b).total_pushed(), 10u);
+}
+
+TEST_F(FrontendClusterTest, IdSpacePartitioning) {
+  Frontend::SchedulerApi api;
+  api.submit = [this](ServingRequest* req) { driver_->SubmitExternal(req); };
+  api.cancel = [this](std::int64_t id) {
+    return driver_->scheduler().Cancel(id);
+  };
+  Frontend f0(0, api, /*id_base=*/0, /*id_stride=*/2);
+  Frontend f1(1, api, /*id_base=*/1, /*id_stride=*/2);
+  std::int64_t a = f0.Submit(0, 10, 2, 0.0);
+  std::int64_t b = f1.Submit(0, 10, 2, 0.0);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(f0.Owns(a));
+  EXPECT_FALSE(f0.Owns(b));
+  EXPECT_TRUE(f1.Owns(b));
+  // Emission fan-out ignores foreign ids.
+  f0.OnToken(b, 0.0);
+  EXPECT_EQ(f1.Stream(b).total_pushed(), 0u);
+}
+
+TEST_F(FrontendClusterTest, DisconnectAfterFinishIsNoOp) {
+  std::int64_t id = frontend_->Submit(0, 10, 3, 0.0);
+  driver_->Run();
+  EXPECT_EQ(frontend_->Stream(id).state(), StreamEnd::kFinished);
+  frontend_->Disconnect(id);  // must not flip the state
+  EXPECT_EQ(frontend_->Stream(id).state(), StreamEnd::kFinished);
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,119 @@
+#include "gpu/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "gpu/costmodel.h"
+#include "gpu/specs.h"
+
+namespace punica {
+namespace {
+
+MemoryPlanRequest Req7B() {
+  return {.gpu = A100Sxm80GB(), .model = Llama7B()};
+}
+
+TEST(MemoryPlanTest, SevenBFitsOn80GB) {
+  MemoryPlan plan = PlanMemory(Req7B());
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  // Weights ≈ 13.5 GB; KvCache gets the large remaining fraction (paper §3).
+  EXPECT_NEAR(static_cast<double>(plan.weight_bytes), 13.5e9, 1.5e9);
+  EXPECT_GT(plan.kv_budget_bytes, plan.total_bytes / 2);
+  // ~0.5 MB/token for 7B ⇒ order 100k tokens.
+  EXPECT_GT(plan.kv_capacity_tokens, 60000);
+  EXPECT_LT(plan.kv_capacity_tokens, 300000);
+  EXPECT_EQ(plan.kv_capacity_pages,
+            static_cast<std::int32_t>(plan.kv_capacity_tokens / 16));
+}
+
+TEST(MemoryPlanTest, SeventyBNeedsTensorParallelism) {
+  MemoryPlanRequest req{.gpu = A100Sxm40GB(), .model = Llama70B()};
+  MemoryPlan tp1 = PlanMemory(req);
+  EXPECT_FALSE(tp1.feasible);
+  EXPECT_NE(tp1.infeasible_reason.find("tp"), std::string::npos);
+
+  req.tp_degree = 8;
+  MemoryPlan tp8 = PlanMemory(req);
+  ASSERT_TRUE(tp8.feasible) << tp8.infeasible_reason;
+  EXPECT_GT(tp8.kv_capacity_tokens, 0);
+}
+
+TEST(MemoryPlanTest, LoraSlabScalesWithSlotsAndRank) {
+  MemoryPlanRequest req = Req7B();
+  req.lora_slots = 10;
+  MemoryPlan small = PlanMemory(req);
+  req.lora_slots = 100;
+  MemoryPlan big = PlanMemory(req);
+  EXPECT_EQ(big.lora_slab_bytes, small.lora_slab_bytes * 10);
+  EXPECT_LT(big.kv_capacity_tokens, small.kv_capacity_tokens);
+
+  req.lora_rank = 64;
+  MemoryPlan high_rank = PlanMemory(req);
+  EXPECT_GT(high_rank.adapter_bytes, big.adapter_bytes);
+}
+
+TEST(MemoryPlanTest, AdapterIsAboutOnePercentOfBackbone) {
+  // Paper §2.2/§5.2: each LoRA model adds ~0.1–1% of the model weight.
+  MemoryPlan plan = PlanMemory(Req7B());
+  double ratio = static_cast<double>(plan.adapter_bytes) /
+                 static_cast<double>(plan.weight_bytes);
+  EXPECT_GT(ratio, 0.001);
+  EXPECT_LT(ratio, 0.012);
+}
+
+TEST(MemoryPlanTest, MaxConcurrentSequences) {
+  MemoryPlan plan = PlanMemory(Req7B());
+  std::int64_t at_512 = plan.MaxConcurrentSequences(512);
+  std::int64_t at_2048 = plan.MaxConcurrentSequences(2048);
+  EXPECT_EQ(at_512, plan.kv_capacity_tokens / 512);
+  EXPECT_GT(at_512, at_2048);
+  // Plenty of room for the paper's max batch of 32 even at full context.
+  EXPECT_GT(at_2048, 32);
+}
+
+TEST(MemoryPlanTest, MatchesCostModelCapacityApproximately) {
+  // The runner-facing CostModel::KvCacheCapacityTokens and the planner must
+  // agree to within the planner's extra reserves.
+  CostModel cm((A100Sxm80GB()));
+  MemoryPlanRequest req = Req7B();
+  req.lora_slots = 0;
+  req.activation_reserve_bytes = 2LL * 1024 * 1024 * 1024;
+  MemoryPlan plan = PlanMemory(req);
+  std::int64_t cm_tokens = cm.KvCacheCapacityTokens(Llama7B());
+  EXPECT_NEAR(static_cast<double>(plan.kv_capacity_tokens),
+              static_cast<double>(cm_tokens),
+              static_cast<double>(cm_tokens) * 0.05);
+}
+
+TEST(MemoryPlanTest, DescribeMentionsEveryComponent) {
+  MemoryPlanRequest req = Req7B();
+  MemoryPlan plan = PlanMemory(req);
+  std::string desc = DescribePlan(req, plan);
+  EXPECT_NE(desc.find("backbone weights"), std::string::npos);
+  EXPECT_NE(desc.find("LoRA slab"), std::string::npos);
+  EXPECT_NE(desc.find("KvCache capacity"), std::string::npos);
+}
+
+TEST(MemoryPlanTest, InfeasibleWhenLoraSlabEatsEverything) {
+  MemoryPlanRequest req = Req7B();
+  req.lora_slots = 100000;
+  MemoryPlan plan = PlanMemory(req);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.infeasible_reason.find("KvCache"), std::string::npos);
+}
+
+TEST(LayerwiseLoadTest, OverlapHidesCopiesBehindCompute) {
+  CostModel cm((A100Sxm80GB()));
+  LlamaConfig c = Llama7B();
+  double per_layer_copy = cm.LoraLoadLayerLatency(c, 16);
+  // Compute slower than copy: everything but the first copy hides.
+  double stall_fast = cm.LoraLoadLayerwiseStall(c, 16, per_layer_copy * 2);
+  EXPECT_DOUBLE_EQ(stall_fast, per_layer_copy);
+  // Compute faster than copy: deficit accumulates per layer.
+  double stall_slow = cm.LoraLoadLayerwiseStall(c, 16, per_layer_copy / 2);
+  EXPECT_GT(stall_slow, per_layer_copy * c.num_layers * 0.4);
+  // Either way, layerwise overlap beats a blocking whole-model load.
+  EXPECT_LT(stall_fast, cm.LoraLoadModelLatency(c, 16));
+}
+
+}  // namespace
+}  // namespace punica

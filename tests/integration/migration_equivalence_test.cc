@@ -1,0 +1,147 @@
+// Migration correctness on real numerics (paper §5.3): cancelling a request
+// mid-generation and re-adding it to another GPU (engine) with
+// prompt+generated recomputation must reproduce exactly the token stream of
+// an uninterrupted run. This is the property that makes evict+re-add a safe
+// scheduling primitive.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/llama.h"
+#include "runtime/engine.h"
+
+namespace punica {
+namespace {
+
+struct Harness {
+  Harness() : model(TinyLlama4L(), 777) {
+    model.AddLora(0, 8, 10);
+    model.AddLora(1, 8, 20);
+  }
+
+  Engine MakeEngine(int max_batch = 8) {
+    EngineConfig cfg;
+    cfg.max_batch_size = max_batch;
+    return Engine(&model, model.MakeKvConfig(512), cfg);
+  }
+
+  std::vector<std::int32_t> Uninterrupted(LoraId lora,
+                                          std::vector<std::int32_t> prompt,
+                                          int tokens) {
+    Engine e = MakeEngine(1);
+    std::int64_t id = e.AddRequest(lora, std::move(prompt), tokens);
+    while (e.HasWork()) e.Step();
+    return *e.Output(id);
+  }
+
+  LlamaModel model;
+};
+
+TEST(MigrationTest, SnapshotCarriesState) {
+  Harness h;
+  Engine e = h.MakeEngine();
+  std::int64_t id = e.AddRequest(0, {3, 1, 4}, 10);
+  for (int i = 0; i < 4; ++i) e.Step();
+  auto snap = e.Cancel(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->lora, 0);
+  EXPECT_EQ(snap->prompt, (std::vector<std::int32_t>{3, 1, 4}));
+  EXPECT_EQ(snap->generated.size(), 4u);
+  EXPECT_EQ(snap->max_new_tokens, 10);
+  EXPECT_FALSE(e.HasWork());
+}
+
+TEST(MigrationTest, CancelUnknownReturnsEmpty) {
+  Harness h;
+  Engine e = h.MakeEngine();
+  EXPECT_FALSE(e.Cancel(1234).has_value());
+}
+
+class MigrationPointSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MigrationPointSweep, MigratedStreamEqualsUninterrupted) {
+  int migrate_after = GetParam();
+  Harness h;
+  const std::vector<std::int32_t> prompt = {11, 7, 5, 2};
+  const int total = 12;
+  auto expected = h.Uninterrupted(0, prompt, total);
+
+  // Source GPU runs `migrate_after` steps.
+  Engine source = h.MakeEngine();
+  std::int64_t id = source.AddRequest(0, prompt, total);
+  for (int i = 0; i < migrate_after; ++i) source.Step();
+  auto snap = source.Cancel(id);
+  ASSERT_TRUE(snap.has_value());
+
+  // Destination GPU re-prefills prompt + generated and finishes.
+  Engine dest = h.MakeEngine();
+  std::int64_t id2 = dest.AddMigrated(*snap);
+  while (dest.HasWork()) dest.Step();
+
+  EXPECT_EQ(*dest.Output(id2), expected)
+      << "migration after step " << migrate_after << " changed the stream";
+}
+
+INSTANTIATE_TEST_SUITE_P(AfterSteps, MigrationPointSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 11));
+
+TEST(MigrationTest, DoubleMigration) {
+  Harness h;
+  const std::vector<std::int32_t> prompt = {9, 9, 1};
+  const int total = 10;
+  auto expected = h.Uninterrupted(1, prompt, total);
+
+  Engine a = h.MakeEngine();
+  std::int64_t id = a.AddRequest(1, prompt, total);
+  for (int i = 0; i < 3; ++i) a.Step();
+  auto snap1 = a.Cancel(id);
+  ASSERT_TRUE(snap1.has_value());
+
+  Engine b = h.MakeEngine();
+  std::int64_t id_b = b.AddMigrated(*snap1);
+  for (int i = 0; i < 3; ++i) b.Step();
+  auto snap2 = b.Cancel(id_b);
+  ASSERT_TRUE(snap2.has_value());
+  EXPECT_GT(snap2->generated.size(), snap1->generated.size());
+
+  Engine c = h.MakeEngine();
+  std::int64_t id_c = c.AddMigrated(*snap2);
+  while (c.HasWork()) c.Step();
+  EXPECT_EQ(*c.Output(id_c), expected);
+}
+
+TEST(MigrationTest, MigrationIntoBusyEngine) {
+  // The destination already serves other LoRA requests; the migrated
+  // request joins the mixed batch and its stream is still exact.
+  Harness h;
+  const std::vector<std::int32_t> prompt = {4, 8, 15};
+  const int total = 9;
+  auto expected = h.Uninterrupted(0, prompt, total);
+
+  Engine source = h.MakeEngine();
+  std::int64_t id = source.AddRequest(0, prompt, total);
+  for (int i = 0; i < 4; ++i) source.Step();
+  auto snap = source.Cancel(id);
+  ASSERT_TRUE(snap.has_value());
+
+  Engine dest = h.MakeEngine();
+  dest.AddRequest(1, {16, 23, 42}, 15);
+  for (int i = 0; i < 3; ++i) dest.Step();  // busy mid-flight
+  std::int64_t id2 = dest.AddMigrated(*snap);
+  while (dest.HasWork()) dest.Step();
+  EXPECT_EQ(*dest.Output(id2), expected);
+}
+
+TEST(MigrationTest, SourceKvReleasedOnCancel) {
+  Harness h;
+  Engine e = h.MakeEngine();
+  std::int32_t before = e.kv_free_pages();
+  std::int64_t id = e.AddRequest(0, {1, 2, 3, 4, 5, 6, 7, 8}, 20);
+  for (int i = 0; i < 5; ++i) e.Step();
+  EXPECT_LT(e.kv_free_pages(), before);
+  e.Cancel(id);
+  EXPECT_EQ(e.kv_free_pages(), before);
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,102 @@
+#include "kvcache/page_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+TEST(PageAllocatorTest, AllocatesAllPagesExactlyOnce) {
+  PageAllocator alloc(16);
+  std::set<PageId> seen;
+  for (int i = 0; i < 16; ++i) {
+    auto p = alloc.Alloc();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(seen.insert(*p).second) << "duplicate page " << *p;
+    EXPECT_GE(*p, 0);
+    EXPECT_LT(*p, 16);
+  }
+  EXPECT_FALSE(alloc.Alloc().has_value());
+  EXPECT_EQ(alloc.free_pages(), 0);
+  EXPECT_EQ(alloc.used_pages(), 16);
+}
+
+TEST(PageAllocatorTest, FreeMakesPageReusable) {
+  PageAllocator alloc(1);
+  auto p = alloc.Alloc();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(alloc.Alloc().has_value());
+  alloc.Free(*p);
+  EXPECT_EQ(alloc.free_pages(), 1);
+  auto q = alloc.Alloc();
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, *p);
+}
+
+TEST(PageAllocatorTest, ZeroCapacity) {
+  PageAllocator alloc(0);
+  EXPECT_FALSE(alloc.Alloc().has_value());
+  EXPECT_EQ(alloc.capacity(), 0);
+}
+
+TEST(PageAllocatorTest, IsAllocatedTracksState) {
+  PageAllocator alloc(4);
+  auto p = alloc.Alloc();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(alloc.IsAllocated(*p));
+  alloc.Free(*p);
+  EXPECT_FALSE(alloc.IsAllocated(*p));
+}
+
+TEST(PageAllocatorDeathTest, DoubleFreeAborts) {
+  PageAllocator alloc(4);
+  auto p = alloc.Alloc();
+  ASSERT_TRUE(p.has_value());
+  alloc.Free(*p);
+  EXPECT_DEATH(alloc.Free(*p), "double free");
+}
+
+TEST(PageAllocatorDeathTest, ForeignPageAborts) {
+  PageAllocator alloc(4);
+  EXPECT_DEATH(alloc.Free(99), "foreign page");
+  EXPECT_DEATH(alloc.Free(-1), "foreign page");
+}
+
+// Property test: random alloc/free churn never double-allocates, never
+// leaks, and the free count always equals capacity − live.
+TEST(PageAllocatorPropertyTest, RandomChurnInvariants) {
+  Pcg32 rng(123);
+  PageAllocator alloc(64);
+  std::vector<PageId> live;
+  for (int step = 0; step < 20000; ++step) {
+    bool do_alloc = live.empty() || (rng.NextDouble() < 0.55 &&
+                                     alloc.free_pages() > 0);
+    if (do_alloc) {
+      auto p = alloc.Alloc();
+      if (p.has_value()) {
+        // Must not already be live.
+        EXPECT_EQ(std::count(live.begin(), live.end(), *p), 0);
+        live.push_back(*p);
+      } else {
+        EXPECT_EQ(static_cast<int>(live.size()), 64);
+      }
+    } else if (!live.empty()) {
+      std::size_t idx = rng.NextBounded(
+          static_cast<std::uint32_t>(live.size()));
+      alloc.Free(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(alloc.used_pages(), static_cast<std::int32_t>(live.size()));
+    ASSERT_EQ(alloc.free_pages() + alloc.used_pages(), 64);
+  }
+  for (PageId p : live) alloc.Free(p);
+  EXPECT_EQ(alloc.free_pages(), 64);
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,279 @@
+#include "model/attention.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+LlamaConfig TestConfig() {
+  LlamaConfig c;
+  c.name = "attn-test";
+  c.hidden_size = 32;
+  c.num_layers = 2;
+  c.num_heads = 4;
+  c.num_kv_heads = 2;  // GQA group of 2
+  c.ffn_hidden = 64;
+  c.vocab_size = 64;
+  return c;
+}
+
+KvCacheConfig KvConfigFor(const LlamaConfig& c, std::int32_t pages = 64) {
+  return {.num_layers = c.num_layers,
+          .num_kv_heads = c.num_kv_heads,
+          .head_dim = c.head_dim(),
+          .page_size = 4,
+          .num_pages = pages};
+}
+
+// Fills K/V entries of `seq` for positions [0, len) with random values and
+// returns them as dense float arrays [len, kv_dim].
+struct DenseKv {
+  std::vector<float> k;
+  std::vector<float> v;
+};
+DenseKv FillRandomKv(PagedKvCache& kv, SeqId seq, int layer, std::int64_t len,
+                     const LlamaConfig& c, Pcg32& rng) {
+  DenseKv out;
+  auto kvd = static_cast<std::size_t>(c.kv_dim());
+  out.k.resize(static_cast<std::size_t>(len) * kvd);
+  out.v.resize(static_cast<std::size_t>(len) * kvd);
+  for (std::int64_t pos = 0; pos < len; ++pos) {
+    auto ke = kv.Entry(seq, layer, pos, KvSlot::kKey);
+    auto ve = kv.Entry(seq, layer, pos, KvSlot::kValue);
+    for (std::size_t d = 0; d < kvd; ++d) {
+      f16 kval(static_cast<float>(rng.NextGaussian()) * 0.5f);
+      f16 vval(static_cast<float>(rng.NextGaussian()) * 0.5f);
+      ke[d] = kval;
+      ve[d] = vval;
+      // Reference sees the same fp16-quantised values.
+      out.k[static_cast<std::size_t>(pos) * kvd + d] = kval.ToFloat();
+      out.v[static_cast<std::size_t>(pos) * kvd + d] = vval.ToFloat();
+    }
+  }
+  return out;
+}
+
+// Dense single-token attention oracle with materialised softmax.
+std::vector<float> DenseAttend(const LlamaConfig& c, const DenseKv& kv,
+                               std::int64_t kv_len,
+                               std::span<const float> q) {
+  int hd = c.head_dim();
+  int group = c.num_heads / c.num_kv_heads;
+  float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+  std::vector<float> out(static_cast<std::size_t>(c.num_heads) *
+                         static_cast<std::size_t>(hd));
+  auto kvd = static_cast<std::size_t>(c.kv_dim());
+  for (int h = 0; h < c.num_heads; ++h) {
+    int kvh = h / group;
+    std::vector<float> scores(static_cast<std::size_t>(kv_len));
+    for (std::int64_t p = 0; p < kv_len; ++p) {
+      float s = 0.0f;
+      for (int d = 0; d < hd; ++d) {
+        s += q[static_cast<std::size_t>(h * hd + d)] *
+             kv.k[static_cast<std::size_t>(p) * kvd +
+                  static_cast<std::size_t>(kvh * hd + d)];
+      }
+      scores[static_cast<std::size_t>(p)] = s * scale;
+    }
+    SoftmaxInPlace(scores);
+    for (int d = 0; d < hd; ++d) {
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < kv_len; ++p) {
+        acc += scores[static_cast<std::size_t>(p)] *
+               kv.v[static_cast<std::size_t>(p) * kvd +
+                    static_cast<std::size_t>(kvh * hd + d)];
+      }
+      out[static_cast<std::size_t>(h * hd + d)] = acc;
+    }
+  }
+  return out;
+}
+
+TEST(AttentionTest, DecodeMatchesDenseOracle) {
+  LlamaConfig c = TestConfig();
+  PagedKvCache kv(KvConfigFor(c));
+  Pcg32 rng(1);
+  SeqId seq = kv.CreateSequence();
+  const std::int64_t len = 13;
+  ASSERT_TRUE(kv.Extend(seq, len));
+  DenseKv dense = FillRandomKv(kv, seq, 0, len, c, rng);
+
+  auto q = RandomGaussianVector(
+      static_cast<std::size_t>(c.num_heads) *
+          static_cast<std::size_t>(c.head_dim()),
+      1.0f, rng);
+  std::vector<float> out(q.size());
+  std::vector<SeqId> seqs = {seq};
+  BatchDecodeAttention(c, kv, seqs, 0, q, out);
+
+  auto ref = DenseAttend(c, dense, len, q);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], ref[i], 2e-3f) << i;
+  }
+}
+
+TEST(AttentionTest, DecodeBatchRowsIndependent) {
+  LlamaConfig c = TestConfig();
+  PagedKvCache kv(KvConfigFor(c));
+  Pcg32 rng(2);
+  SeqId s1 = kv.CreateSequence();
+  SeqId s2 = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(s1, 5));
+  ASSERT_TRUE(kv.Extend(s2, 9));
+  DenseKv d1 = FillRandomKv(kv, s1, 0, 5, c, rng);
+  DenseKv d2 = FillRandomKv(kv, s2, 0, 9, c, rng);
+
+  std::size_t width = static_cast<std::size_t>(c.num_heads) *
+                      static_cast<std::size_t>(c.head_dim());
+  auto q = RandomGaussianVector(2 * width, 1.0f, rng);
+  std::vector<float> out(q.size());
+  std::vector<SeqId> seqs = {s1, s2};
+  BatchDecodeAttention(c, kv, seqs, 0, q, out);
+
+  auto ref1 = DenseAttend(c, d1, 5, std::span<const float>(q).first(width));
+  auto ref2 = DenseAttend(c, d2, 9, std::span<const float>(q).subspan(width));
+  for (std::size_t i = 0; i < width; ++i) {
+    EXPECT_NEAR(out[i], ref1[i], 2e-3f);
+    EXPECT_NEAR(out[width + i], ref2[i], 2e-3f);
+  }
+}
+
+TEST(AttentionTest, PrefillIsCausal) {
+  LlamaConfig c = TestConfig();
+  PagedKvCache kv(KvConfigFor(c));
+  Pcg32 rng(3);
+  SeqId seq = kv.CreateSequence();
+  const std::int64_t len = 7;
+  ASSERT_TRUE(kv.Extend(seq, len));
+  DenseKv dense = FillRandomKv(kv, seq, 0, len, c, rng);
+
+  std::size_t width = static_cast<std::size_t>(c.num_heads) *
+                      static_cast<std::size_t>(c.head_dim());
+  auto q = RandomGaussianVector(static_cast<std::size_t>(len) * width, 1.0f,
+                                rng);
+  std::vector<float> out(q.size());
+  BatchPrefillAttention(c, kv, seq, 0, 0, q, out);
+
+  // Token j must equal a dense attend over only the first j+1 positions.
+  for (std::int64_t j = 0; j < len; ++j) {
+    auto ref = DenseAttend(
+        c, dense, j + 1,
+        std::span<const float>(q).subspan(static_cast<std::size_t>(j) * width,
+                                          width));
+    for (std::size_t i = 0; i < width; ++i) {
+      EXPECT_NEAR(out[static_cast<std::size_t>(j) * width + i], ref[i], 2e-3f)
+          << "token " << j << " elt " << i;
+    }
+  }
+}
+
+TEST(AttentionTest, PrefillWithOffsetSeesEarlierContext) {
+  // A chunk starting at pos_offset attends over [0, offset + j] — the
+  // re-prefill path used by migration.
+  LlamaConfig c = TestConfig();
+  PagedKvCache kv(KvConfigFor(c));
+  Pcg32 rng(4);
+  SeqId seq = kv.CreateSequence();
+  const std::int64_t total = 10, offset = 6;
+  ASSERT_TRUE(kv.Extend(seq, total));
+  DenseKv dense = FillRandomKv(kv, seq, 0, total, c, rng);
+
+  std::size_t width = static_cast<std::size_t>(c.num_heads) *
+                      static_cast<std::size_t>(c.head_dim());
+  auto q = RandomGaussianVector(static_cast<std::size_t>(total - offset) *
+                                    width,
+                                1.0f, rng);
+  std::vector<float> out(q.size());
+  BatchPrefillAttention(c, kv, seq, 0, offset, q, out);
+  for (std::int64_t j = 0; j < total - offset; ++j) {
+    auto ref = DenseAttend(
+        c, dense, offset + j + 1,
+        std::span<const float>(q).subspan(static_cast<std::size_t>(j) * width,
+                                          width));
+    for (std::size_t i = 0; i < width; ++i) {
+      EXPECT_NEAR(out[static_cast<std::size_t>(j) * width + i], ref[i], 2e-3f);
+    }
+  }
+}
+
+TEST(AttentionTest, SingleTokenPrefillEqualsDecode) {
+  // The last prompt token attending over the full cache must give the same
+  // result through both kernels (the paper's mixed batch relies on this).
+  LlamaConfig c = TestConfig();
+  PagedKvCache kv(KvConfigFor(c));
+  Pcg32 rng(5);
+  SeqId seq = kv.CreateSequence();
+  const std::int64_t len = 6;
+  ASSERT_TRUE(kv.Extend(seq, len));
+  FillRandomKv(kv, seq, 1, len, c, rng);
+
+  std::size_t width = static_cast<std::size_t>(c.num_heads) *
+                      static_cast<std::size_t>(c.head_dim());
+  auto q = RandomGaussianVector(width, 1.0f, rng);
+  std::vector<float> out_prefill(width);
+  BatchPrefillAttention(c, kv, seq, 1, len - 1, q, out_prefill);
+  std::vector<float> out_decode(width);
+  std::vector<SeqId> seqs = {seq};
+  BatchDecodeAttention(c, kv, seqs, 1, q, out_decode);
+  for (std::size_t i = 0; i < width; ++i) {
+    EXPECT_NEAR(out_prefill[i], out_decode[i], 1e-5f);
+  }
+}
+
+TEST(AttentionTest, LayersAreIsolated) {
+  LlamaConfig c = TestConfig();
+  PagedKvCache kv(KvConfigFor(c));
+  Pcg32 rng(6);
+  SeqId seq = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(seq, 4));
+  DenseKv l0 = FillRandomKv(kv, seq, 0, 4, c, rng);
+  DenseKv l1 = FillRandomKv(kv, seq, 1, 4, c, rng);
+
+  std::size_t width = static_cast<std::size_t>(c.num_heads) *
+                      static_cast<std::size_t>(c.head_dim());
+  auto q = RandomGaussianVector(width, 1.0f, rng);
+  std::vector<SeqId> seqs = {seq};
+  std::vector<float> out0(width), out1(width);
+  BatchDecodeAttention(c, kv, seqs, 0, q, out0);
+  BatchDecodeAttention(c, kv, seqs, 1, q, out1);
+  auto ref0 = DenseAttend(c, l0, 4, q);
+  auto ref1 = DenseAttend(c, l1, 4, q);
+  for (std::size_t i = 0; i < width; ++i) {
+    EXPECT_NEAR(out0[i], ref0[i], 2e-3f);
+    EXPECT_NEAR(out1[i], ref1[i], 2e-3f);
+  }
+}
+
+TEST(AttentionTest, UniformValuesGiveUniformOutput) {
+  // If all V entries are identical, attention output equals V regardless of
+  // the score distribution — a softmax-normalisation sanity check.
+  LlamaConfig c = TestConfig();
+  PagedKvCache kv(KvConfigFor(c));
+  Pcg32 rng(7);
+  SeqId seq = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(seq, 5));
+  for (std::int64_t pos = 0; pos < 5; ++pos) {
+    auto ke = kv.Entry(seq, 0, pos, KvSlot::kKey);
+    auto ve = kv.Entry(seq, 0, pos, KvSlot::kValue);
+    for (std::size_t d = 0; d < ke.size(); ++d) {
+      ke[d] = f16(static_cast<float>(rng.NextGaussian()));
+      ve[d] = f16(0.75f);
+    }
+  }
+  std::size_t width = static_cast<std::size_t>(c.num_heads) *
+                      static_cast<std::size_t>(c.head_dim());
+  auto q = RandomGaussianVector(width, 1.0f, rng);
+  std::vector<float> out(width);
+  std::vector<SeqId> seqs = {seq};
+  BatchDecodeAttention(c, kv, seqs, 0, q, out);
+  for (float v : out) EXPECT_NEAR(v, 0.75f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace punica

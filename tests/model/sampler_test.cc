@@ -1,0 +1,118 @@
+#include "model/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace punica {
+namespace {
+
+TEST(SamplerTest, ArgMaxAndTiebreak) {
+  std::vector<float> logits = {1.0f, 5.0f, 5.0f, 2.0f};
+  EXPECT_EQ(ArgMaxToken(logits), 1);  // lowest index among ties
+}
+
+TEST(SamplerTest, TemperatureZeroIsGreedy) {
+  Sampler greedy({.temperature = 0.0});
+  Pcg32 rng(1);
+  std::vector<float> logits = {0.1f, 3.0f, -2.0f};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(greedy.Sample(logits, rng), 1);
+  }
+}
+
+TEST(SamplerTest, TopK1IsGreedy) {
+  Sampler s({.temperature = 1.0, .top_k = 1});
+  Pcg32 rng(2);
+  std::vector<float> logits = {0.5f, -1.0f, 4.0f, 3.9f};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(s.Sample(logits, rng), 2);
+  }
+}
+
+TEST(SamplerTest, TopKExcludesTail) {
+  Sampler s({.temperature = 1.0, .top_k = 2});
+  Pcg32 rng(3);
+  std::vector<float> logits = {5.0f, 4.9f, -100.0f, -100.0f};
+  for (int i = 0; i < 200; ++i) {
+    std::int32_t tok = s.Sample(logits, rng);
+    EXPECT_TRUE(tok == 0 || tok == 1) << tok;
+  }
+}
+
+TEST(SamplerTest, TopPExcludesTail) {
+  // Token 0 holds ~88% of the mass; top_p = 0.5 must keep only it.
+  Sampler s({.temperature = 1.0, .top_p = 0.5});
+  Pcg32 rng(4);
+  std::vector<float> logits = {2.0f, 0.0f, 0.0f};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(s.Sample(logits, rng), 0);
+  }
+}
+
+TEST(SamplerTest, SamplingFrequenciesMatchSoftmax) {
+  Sampler s({.temperature = 1.0});
+  Pcg32 rng(5);
+  // softmax([1, 0]) ≈ [0.731, 0.269]
+  std::vector<float> logits = {1.0f, 0.0f};
+  std::map<std::int32_t, int> counts;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[s.Sample(logits, rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, 0.731, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kDraws, 0.269, 0.01);
+}
+
+TEST(SamplerTest, LowTemperatureSharpens) {
+  Pcg32 rng(6);
+  std::vector<float> logits = {1.0f, 0.0f};
+  Sampler cold({.temperature = 0.25});
+  int top = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (cold.Sample(logits, rng) == 0) ++top;
+  }
+  // softmax([4, 0]) ≈ [0.982, 0.018] at T=0.25.
+  EXPECT_NEAR(static_cast<double>(top) / kDraws, 0.982, 0.01);
+}
+
+TEST(SamplerTest, HighTemperatureFlattens) {
+  Pcg32 rng(7);
+  std::vector<float> logits = {1.0f, 0.0f};
+  Sampler hot({.temperature = 10.0});
+  int top = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (hot.Sample(logits, rng) == 0) ++top;
+  }
+  // softmax([0.1, 0]) ≈ [0.525, 0.475].
+  EXPECT_NEAR(static_cast<double>(top) / kDraws, 0.525, 0.015);
+}
+
+TEST(SamplerTest, DeterministicInRngState) {
+  Sampler s({.temperature = 1.3, .top_k = 8, .top_p = 0.9});
+  std::vector<float> logits;
+  for (int i = 0; i < 32; ++i) {
+    logits.push_back(static_cast<float>(i % 7) * 0.3f);
+  }
+  Pcg32 a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s.Sample(logits, a), s.Sample(logits, b));
+  }
+}
+
+TEST(SamplerDeathTest, InvalidConfigAborts) {
+  EXPECT_DEATH(Sampler({.temperature = -1.0}), "PUNICA_CHECK");
+  EXPECT_DEATH(Sampler({.top_p = 0.0}), "PUNICA_CHECK");
+  EXPECT_DEATH(Sampler({.top_p = 1.5}), "PUNICA_CHECK");
+}
+
+TEST(SamplerDeathTest, EmptyLogitsAborts) {
+  Sampler s;
+  Pcg32 rng(1);
+  std::vector<float> empty;
+  EXPECT_DEATH(s.Sample(empty, rng), "PUNICA_CHECK");
+}
+
+}  // namespace
+}  // namespace punica

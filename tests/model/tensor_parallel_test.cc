@@ -1,0 +1,242 @@
+#include "model/tensor_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/attention.h"
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+KvCacheConfig KvCfg(const LlamaConfig& c) {
+  return {.num_layers = c.num_layers,
+          .num_kv_heads = c.num_kv_heads,
+          .head_dim = c.head_dim(),
+          .page_size = 4,
+          .num_pages = 128};
+}
+
+TEST(RankConfigTest, DividesHeadsAndFfn) {
+  LlamaConfig c = TinyLlama();  // H=4, N=2, F=128
+  LlamaConfig r = RankConfig(c, 2);
+  EXPECT_EQ(r.num_heads, 2);
+  EXPECT_EQ(r.num_kv_heads, 1);
+  EXPECT_EQ(r.ffn_hidden, 64);
+  EXPECT_EQ(r.hidden_size, c.hidden_size);  // replicated activations
+}
+
+TEST(RankConfigDeathTest, IndivisibleAborts) {
+  LlamaConfig c = TinyLlama();
+  EXPECT_DEATH(RankConfig(c, 3), "divide");
+}
+
+TEST(ShardLayerTest, ShapesAndMemory) {
+  LlamaConfig c = TinyLlama();
+  LayerWeights full = LayerWeights::Random(c, 5);
+  TpShardedLayer sharded = ShardLayer(c, full, 2);
+  ASSERT_EQ(sharded.ranks.size(), 2u);
+  const auto& r0 = sharded.ranks[0];
+  EXPECT_EQ(r0.proj[static_cast<int>(Proj::kQ)].dim(1),
+            c.hidden_size / 2);                              // head columns
+  EXPECT_EQ(r0.proj[static_cast<int>(Proj::kK)].dim(1), c.kv_dim() / 2);
+  EXPECT_EQ(r0.proj[static_cast<int>(Proj::kO)].dim(0), c.hidden_size / 2);
+  EXPECT_EQ(r0.proj[static_cast<int>(Proj::kGate)].dim(1),
+            c.ffn_hidden / 2);
+  EXPECT_EQ(r0.proj[static_cast<int>(Proj::kDown)].dim(0),
+            c.ffn_hidden / 2);
+  // Per-rank memory is 1/tp of the layer (plus replicated norms).
+  EXPECT_EQ(RankLayerBytes(c, 2),
+            c.layer_weight_bytes() / 2 + c.hidden_size * 4);
+}
+
+TEST(ShardLayerTest, ShardsPartitionTheFullMatrix) {
+  LlamaConfig c = TinyLlama();
+  LayerWeights full = LayerWeights::Random(c, 6);
+  TpShardedLayer sharded = ShardLayer(c, full, 2);
+  // Column slices of Q reassemble the original.
+  const auto& wq = full.proj[static_cast<int>(Proj::kQ)];
+  std::int64_t half = wq.dim(1) / 2;
+  for (std::int64_t i = 0; i < wq.dim(0); ++i) {
+    for (std::int64_t j = 0; j < wq.dim(1); ++j) {
+      const auto& shard =
+          sharded.ranks[static_cast<std::size_t>(j / half)]
+              .proj[static_cast<int>(Proj::kQ)];
+      EXPECT_TRUE(wq.at({i, j}) == shard.at({i, j % half}));
+    }
+  }
+}
+
+struct TpCase {
+  LlamaConfig config;
+  int tp;
+};
+
+class TpEquivalenceSweep : public ::testing::TestWithParam<int> {};
+
+// The core property: a tensor-parallel layer produces the same activations
+// and the same KvCache contents as the single-GPU layer (up to fp32
+// reduction-order error).
+TEST_P(TpEquivalenceSweep, MatchesSingleGpuLayer) {
+  int tp = GetParam();
+  LlamaConfig c = tp == 3 ? TinyLlama4L() : TinyLlama();
+  LayerWeights full = LayerWeights::Random(c, 17);
+  TpShardedLayer sharded = ShardLayer(c, full, tp);
+
+  // Mixed batch: one 3-token prefill + one decode with 2 tokens of history.
+  auto setup = [&](PagedKvCache& kv, ModelBatch* batch) {
+    SeqId sa = kv.CreateSequence();
+    EXPECT_TRUE(kv.Extend(sa, 3));
+    SeqId sb = kv.CreateSequence();
+    EXPECT_TRUE(kv.Extend(sb, 3));
+    Pcg32 kv_rng(70);
+    for (std::int64_t p = 0; p < 2; ++p) {
+      auto ke = kv.Entry(sb, 0, p, KvSlot::kKey);
+      auto ve = kv.Entry(sb, 0, p, KvSlot::kValue);
+      for (std::size_t d = 0; d < ke.size(); ++d) {
+        ke[d] = f16(static_cast<float>(kv_rng.NextGaussian()) * 0.3f);
+        ve[d] = f16(static_cast<float>(kv_rng.NextGaussian()) * 0.3f);
+      }
+    }
+    *batch = ModelBatch::Build(
+        {{.seq = sa, .lora = -1, .num_tokens = 3, .pos_offset = 0,
+          .is_prefill = true},
+         {.seq = sb, .lora = -1, .num_tokens = 1, .pos_offset = 2,
+          .is_prefill = false}});
+  };
+
+  Pcg32 rng(9);
+  auto h = static_cast<std::size_t>(c.hidden_size);
+  auto x0 = RandomGaussianVector(4 * h, 1.0f, rng);
+
+  PagedKvCache kv_ref(KvCfg(c));
+  ModelBatch batch_ref;
+  setup(kv_ref, &batch_ref);
+  auto x_ref = x0;
+  std::vector<const LoraModelWeights*> no_lora(
+      static_cast<std::size_t>(batch_ref.segments.num_segments()), nullptr);
+  LayerWorkspace ws;
+  ws.Resize(c, 4, 1);
+  LayerForward(c, full, no_lora, batch_ref, 0, kv_ref, x_ref, ws);
+
+  PagedKvCache kv_tp(KvCfg(c));
+  ModelBatch batch_tp;
+  setup(kv_tp, &batch_tp);
+  auto x_tp = x0;
+  TpLayerForward(c, sharded, batch_tp, 0, kv_tp, x_tp);
+
+  for (std::size_t i = 0; i < x_ref.size(); ++i) {
+    ASSERT_NEAR(x_tp[i], x_ref[i], 2e-3f) << "activation " << i;
+  }
+  // KvCache contents written by the sharded ranks must equal the reference.
+  for (SeqId s : {batch_ref.entries[0].seq, batch_ref.entries[1].seq}) {
+    for (std::int64_t pos = 0; pos < kv_ref.SeqLen(s); ++pos) {
+      auto ref_k = kv_ref.Entry(s, 0, pos, KvSlot::kKey);
+      auto tp_k = kv_tp.Entry(s, 0, pos, KvSlot::kValue);
+      auto ref_k2 = kv_ref.Entry(s, 0, pos, KvSlot::kKey);
+      auto tp_k2 = kv_tp.Entry(s, 0, pos, KvSlot::kKey);
+      for (std::size_t d = 0; d < ref_k.size(); ++d) {
+        ASSERT_NEAR(tp_k2[d].ToFloat(), ref_k2[d].ToFloat(), 2e-3f);
+      }
+      (void)tp_k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, TpEquivalenceSweep,
+                         ::testing::Values(1, 2, 3));
+
+TEST(TpEquivalenceTest, MultiLayerStackMatches) {
+  // Chain all layers of the tiny model through TP and compare final
+  // activations with the single-GPU chain.
+  LlamaConfig c = TinyLlama();
+  const int tp = 2;
+  std::vector<LayerWeights> layers;
+  std::vector<TpShardedLayer> sharded;
+  for (int l = 0; l < c.num_layers; ++l) {
+    layers.push_back(LayerWeights::Random(
+        c, 100 + static_cast<std::uint64_t>(l)));
+    sharded.push_back(ShardLayer(c, layers.back(), tp));
+  }
+
+  Pcg32 rng(3);
+  auto h = static_cast<std::size_t>(c.hidden_size);
+  const int tokens = 5;
+  auto x0 = RandomGaussianVector(static_cast<std::size_t>(tokens) * h, 1.0f,
+                                 rng);
+
+  PagedKvCache kv_ref(KvCfg(c));
+  SeqId s_ref = kv_ref.CreateSequence();
+  ASSERT_TRUE(kv_ref.Extend(s_ref, tokens));
+  ModelBatch b_ref = ModelBatch::Build({{.seq = s_ref, .lora = -1,
+                                         .num_tokens = tokens,
+                                         .pos_offset = 0,
+                                         .is_prefill = true}});
+  auto x_ref = x0;
+  std::vector<const LoraModelWeights*> no_lora(1, nullptr);
+  LayerWorkspace ws;
+  ws.Resize(c, tokens, 1);
+  for (int l = 0; l < c.num_layers; ++l) {
+    LayerForward(c, layers[static_cast<std::size_t>(l)], no_lora, b_ref, l,
+                 kv_ref, x_ref, ws);
+  }
+
+  PagedKvCache kv_tp(KvCfg(c));
+  SeqId s_tp = kv_tp.CreateSequence();
+  ASSERT_TRUE(kv_tp.Extend(s_tp, tokens));
+  ModelBatch b_tp = ModelBatch::Build({{.seq = s_tp, .lora = -1,
+                                        .num_tokens = tokens,
+                                        .pos_offset = 0,
+                                        .is_prefill = true}});
+  auto x_tp = x0;
+  for (int l = 0; l < c.num_layers; ++l) {
+    TpLayerForward(c, sharded[static_cast<std::size_t>(l)], b_tp, l, kv_tp,
+                   x_tp);
+  }
+
+  // Error compounds across layers; scale tolerance with activation size.
+  float scale = 0.0f;
+  for (float v : x_ref) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < x_ref.size(); ++i) {
+    ASSERT_NEAR(x_tp[i], x_ref[i], scale * 5e-3f + 1e-3f) << i;
+  }
+}
+
+TEST(RangedAttentionTest, SliceConcatenationEqualsFull) {
+  LlamaConfig c = TinyLlama();  // 4 heads
+  PagedKvCache kv(KvCfg(c));
+  Pcg32 rng(5);
+  SeqId seq = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(seq, 6));
+  for (std::int64_t p = 0; p < 6; ++p) {
+    for (auto slot : {KvSlot::kKey, KvSlot::kValue}) {
+      auto e = kv.Entry(seq, 0, p, slot);
+      for (auto& x : e) {
+        x = f16(static_cast<float>(rng.NextGaussian()) * 0.4f);
+      }
+    }
+  }
+  std::size_t width = static_cast<std::size_t>(c.num_heads) *
+                      static_cast<std::size_t>(c.head_dim());
+  auto q = RandomGaussianVector(width, 1.0f, rng);
+  std::vector<float> full(width);
+  std::vector<SeqId> seqs = {seq};
+  BatchDecodeAttention(c, kv, seqs, 0, q, full);
+
+  std::size_t half = width / 2;
+  std::vector<float> lo(half), hi(half);
+  BatchDecodeAttentionRanged(c, kv, seqs, 0,
+                             std::span<const float>(q).first(half), lo, 0, 2);
+  BatchDecodeAttentionRanged(c, kv, seqs, 0,
+                             std::span<const float>(q).subspan(half), hi, 2,
+                             4);
+  for (std::size_t i = 0; i < half; ++i) {
+    EXPECT_FLOAT_EQ(lo[i], full[i]);
+    EXPECT_FLOAT_EQ(hi[i], full[half + i]);
+  }
+}
+
+}  // namespace
+}  // namespace punica

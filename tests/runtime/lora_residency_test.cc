@@ -1,0 +1,92 @@
+#include "runtime/lora_residency.h"
+
+#include <gtest/gtest.h>
+
+namespace punica {
+namespace {
+
+constexpr std::int64_t kMB = 1024 * 1024;
+
+TEST(LoraResidencyTest, FirstTouchLoads) {
+  LoraResidency res(10 * kMB, 1 * kMB, 2e-3);
+  double ready = res.Touch(1, 0.0);
+  EXPECT_DOUBLE_EQ(ready, 2e-3);
+  EXPECT_FALSE(res.IsReady(1, 0.0));
+  EXPECT_TRUE(res.IsReady(1, 2e-3));
+  EXPECT_EQ(res.load_count(), 1u);
+  EXPECT_EQ(res.resident_count(), 1u);
+  EXPECT_EQ(res.used_bytes(), 1 * kMB);
+}
+
+TEST(LoraResidencyTest, SecondTouchIsAHit) {
+  LoraResidency res(10 * kMB, 1 * kMB, 2e-3);
+  res.Touch(1, 0.0);
+  double ready = res.Touch(1, 5.0);
+  EXPECT_DOUBLE_EQ(ready, 5.0);  // already resident and loaded
+  EXPECT_EQ(res.load_count(), 1u);
+  EXPECT_EQ(res.hit_count(), 1u);
+}
+
+TEST(LoraResidencyTest, TouchDuringLoadReturnsLoadCompletion) {
+  LoraResidency res(10 * kMB, 1 * kMB, 2e-3);
+  res.Touch(1, 0.0);
+  double ready = res.Touch(1, 1e-3);  // copy still in flight
+  EXPECT_DOUBLE_EQ(ready, 2e-3);
+}
+
+TEST(LoraResidencyTest, LruEviction) {
+  LoraResidency res(2 * kMB, 1 * kMB, 1e-3);
+  res.Touch(1, 0.0);
+  res.Touch(2, 1.0);
+  res.Touch(1, 2.0);  // 1 is now more recent than 2
+  res.Touch(3, 3.0);  // evicts 2
+  EXPECT_EQ(res.resident_count(), 2u);
+  EXPECT_TRUE(res.IsReady(1, 3.0));
+  EXPECT_FALSE(res.IsReady(2, 10.0));  // evicted
+  // Re-touching 2 is a fresh load.
+  double ready = res.Touch(2, 4.0);
+  EXPECT_DOUBLE_EQ(ready, 4.0 + 1e-3);
+  EXPECT_EQ(res.load_count(), 4u);
+}
+
+TEST(LoraResidencyTest, PinnedAdaptersSurviveEviction) {
+  LoraResidency res(2 * kMB, 1 * kMB, 1e-3);
+  res.Touch(1, 0.0);
+  res.Pin(1);
+  res.Touch(2, 1.0);
+  res.Touch(3, 2.0);  // must evict 2 (LRU unpinned), not pinned 1
+  EXPECT_TRUE(res.IsReady(1, 2.0));
+  EXPECT_FALSE(res.IsReady(2, 10.0));
+  res.Unpin(1);
+}
+
+TEST(LoraResidencyTest, PinUnpinCounts) {
+  LoraResidency res(4 * kMB, 1 * kMB, 1e-3);
+  res.Touch(1, 0.0);
+  res.Pin(1);
+  res.Pin(1);
+  res.Unpin(1);
+  // Still pinned once: cannot be evicted.
+  res.Touch(2, 1.0);
+  res.Touch(3, 2.0);
+  res.Touch(4, 3.0);
+  res.Touch(5, 4.0);  // someone must go, but not 1
+  EXPECT_TRUE(res.IsReady(1, 4.0));
+  res.Unpin(1);
+}
+
+TEST(LoraResidencyDeathTest, AllPinnedBudgetAborts) {
+  LoraResidency res(1 * kMB, 1 * kMB, 1e-3);
+  res.Touch(1, 0.0);
+  res.Pin(1);
+  EXPECT_DEATH(res.Touch(2, 1.0), "pinned");
+}
+
+TEST(LoraResidencyDeathTest, PinUnknownAborts) {
+  LoraResidency res(1 * kMB, 1 * kMB, 1e-3);
+  EXPECT_DEATH(res.Pin(7), "non-resident");
+  EXPECT_DEATH(res.Unpin(7), "non-resident");
+}
+
+}  // namespace
+}  // namespace punica

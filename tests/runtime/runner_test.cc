@@ -1,0 +1,261 @@
+#include "runtime/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gpu/specs.h"
+
+namespace punica {
+namespace {
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  RunnerTest() : cm_(A100Sxm80GB()) {
+    config_.max_batch_size = 4;
+    config_.kv_capacity_tokens = 1000;
+    config_.lora_load_latency_s = 2e-3;
+  }
+
+  GpuRunner MakeRunner() { return GpuRunner(0, config_, Llama7B(), &cm_); }
+
+  ServingRequest MakeRequest(std::int64_t id, LoraId lora,
+                             std::int32_t prompt, std::int32_t output) {
+    return {.id = id,
+            .lora_id = lora,
+            .prompt_len = prompt,
+            .output_len = output,
+            .arrival_time = 0.0};
+  }
+
+  CostModel cm_;
+  RunnerConfig config_;
+};
+
+TEST_F(RunnerTest, AdmissionConstraints) {
+  GpuRunner runner = MakeRunner();
+  auto r = MakeRequest(1, 0, 100, 10);
+  EXPECT_TRUE(runner.CanAdmit(r));
+  EXPECT_EQ(runner.KvTokensNeeded(r), 101);
+
+  auto big = MakeRequest(2, 0, 2000, 10);  // exceeds 1000-token KvCache
+  EXPECT_FALSE(runner.CanAdmit(big));
+}
+
+TEST_F(RunnerTest, MaxBatchSizeEnforced) {
+  GpuRunner runner = MakeRunner();
+  std::vector<ServingRequest> reqs;
+  for (int i = 0; i < 4; ++i) reqs.push_back(MakeRequest(i, 0, 10, 5));
+  for (auto& r : reqs) {
+    EXPECT_TRUE(runner.CanAdmit(r));
+    runner.Add(&r, 0.0);
+  }
+  auto extra = MakeRequest(99, 0, 10, 5);
+  EXPECT_FALSE(runner.CanAdmit(extra));
+  EXPECT_EQ(runner.working_set_size(), 4);
+}
+
+TEST_F(RunnerTest, LoraLoadDelaysFirstStep) {
+  GpuRunner runner = MakeRunner();
+  auto r = MakeRequest(1, 5, 10, 3);
+  runner.Add(&r, 0.0);
+  // Adapter copy in flight: no runnable work yet.
+  EXPECT_FALSE(runner.HasRunnableWork(0.0));
+  EXPECT_TRUE(runner.HasAnyWork());
+  auto ready = runner.NextReadyTime(0.0);
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_DOUBLE_EQ(*ready, 2e-3);
+  EXPECT_TRUE(runner.HasRunnableWork(*ready));
+}
+
+TEST_F(RunnerTest, BackboneRequestRunsImmediately) {
+  GpuRunner runner = MakeRunner();
+  auto r = MakeRequest(1, -1, 10, 3);
+  runner.Add(&r, 0.0);
+  EXPECT_TRUE(runner.HasRunnableWork(0.0));
+}
+
+TEST_F(RunnerTest, StepLifecyclePrefillThenDecode) {
+  GpuRunner runner = MakeRunner();
+  auto r = MakeRequest(1, -1, 10, 3);
+  runner.Add(&r, 0.0);
+
+  // Step 1: prefill, emits first token.
+  StepResult s1 = runner.Step(0.0);
+  EXPECT_EQ(s1.batch_size, 1);
+  EXPECT_EQ(s1.prefill_requests, 1);
+  EXPECT_EQ(s1.prefill_tokens, 10);
+  EXPECT_EQ(s1.new_tokens, 1);
+  EXPECT_GT(s1.latency, 0.0);
+  EXPECT_TRUE(s1.finished.empty());
+  EXPECT_EQ(r.generated, 1);
+  EXPECT_EQ(runner.kv_used_tokens(), 10);
+  EXPECT_GT(r.first_token_time, 0.0);
+
+  // Steps 2–3: decodes; the third token finishes the request.
+  StepResult s2 = runner.Step(s1.latency);
+  EXPECT_EQ(s2.prefill_requests, 0);
+  EXPECT_EQ(s2.new_tokens, 1);
+  EXPECT_EQ(r.generated, 2);
+  StepResult s3 = runner.Step(s1.latency + s2.latency);
+  ASSERT_EQ(s3.finished.size(), 1u);
+  EXPECT_EQ(s3.finished[0], 1);
+  EXPECT_EQ(r.phase, RequestPhase::kFinished);
+  EXPECT_GT(r.finish_time, 0.0);
+  // KvCache fully released.
+  EXPECT_EQ(runner.kv_used_tokens(), 0);
+  EXPECT_EQ(runner.working_set_size(), 0);
+}
+
+TEST_F(RunnerTest, PrefillLimitOnePerStep) {
+  GpuRunner runner = MakeRunner();
+  std::vector<ServingRequest> reqs;
+  for (int i = 0; i < 3; ++i) reqs.push_back(MakeRequest(i, -1, 10, 5));
+  for (auto& r : reqs) runner.Add(&r, 0.0);
+  StepResult s1 = runner.Step(0.0);
+  EXPECT_EQ(s1.prefill_requests, 1);
+  EXPECT_EQ(s1.batch_size, 1);  // two others still waiting for prefill
+  StepResult s2 = runner.Step(1.0);
+  EXPECT_EQ(s2.prefill_requests, 1);
+  EXPECT_EQ(s2.batch_size, 2);  // one decode + one prefill
+  StepResult s3 = runner.Step(2.0);
+  EXPECT_EQ(s3.prefill_requests, 1);
+  EXPECT_EQ(s3.batch_size, 3);
+}
+
+TEST_F(RunnerTest, FcfsPrefillOrder) {
+  GpuRunner runner = MakeRunner();
+  auto a = MakeRequest(10, -1, 5, 9);
+  auto b = MakeRequest(11, -1, 5, 9);
+  runner.Add(&a, 0.0);
+  runner.Add(&b, 0.0);
+  runner.Step(0.0);
+  EXPECT_EQ(a.generated, 1);  // admitted first, prefilled first
+  EXPECT_EQ(b.generated, 0);
+}
+
+TEST_F(RunnerTest, RemoveReleasesKv) {
+  GpuRunner runner = MakeRunner();
+  auto r = MakeRequest(1, -1, 50, 10);
+  runner.Add(&r, 0.0);
+  runner.Step(0.0);
+  EXPECT_EQ(runner.kv_used_tokens(), 50);
+  EXPECT_TRUE(runner.Remove(1));
+  EXPECT_EQ(runner.kv_used_tokens(), 0);
+  EXPECT_FALSE(runner.Remove(1));
+}
+
+TEST_F(RunnerTest, EvictionVictimsNewestFirst) {
+  config_.kv_capacity_tokens = 112;
+  GpuRunner runner = MakeRunner();
+  auto a = MakeRequest(1, -1, 50, 100);
+  auto b = MakeRequest(2, -1, 50, 100);
+  runner.Add(&a, 0.0);
+  runner.Add(&b, 0.0);
+  runner.Step(0.0);  // prefill a (kv 50)
+  runner.Step(1.0);  // prefill b + decode a (kv 101)
+  // Decode steps will keep growing; eventually a third request cannot fit.
+  auto c = MakeRequest(3, -1, 10, 100);
+  EXPECT_TRUE(runner.CanAdmit(c));
+  runner.Add(&c, 2.0);
+  // Next step wants prefill(c)=10 + decode a,b = 12 tokens on top of 101.
+  auto victims = runner.SelectEvictionVictims(2.0);
+  ASSERT_FALSE(victims.empty());
+  EXPECT_EQ(victims[0], 3);  // newest admitted goes first
+}
+
+TEST_F(RunnerTest, MigratedRequestRePrefillsPromptPlusGenerated) {
+  GpuRunner runner = MakeRunner();
+  auto r = MakeRequest(1, -1, 20, 10);
+  runner.Add(&r, 0.0);
+  runner.Step(0.0);
+  runner.Step(1.0);
+  runner.Step(2.0);
+  EXPECT_EQ(r.generated, 3);
+  runner.Remove(1);  // migrate away
+
+  GpuRunner dest(1, config_, Llama7B(), &cm_);
+  dest.Add(&r, 3.0);
+  StepResult s = dest.Step(3.0);
+  EXPECT_EQ(s.prefill_requests, 1);
+  EXPECT_EQ(s.prefill_tokens, 23);  // prompt 20 + 3 generated (recompute)
+  EXPECT_EQ(r.generated, 4);
+  EXPECT_EQ(dest.kv_used_tokens(), 23);
+}
+
+TEST_F(RunnerTest, MixedLoraBatchCountsSegments) {
+  GpuRunner runner = MakeRunner();
+  auto a = MakeRequest(1, 100, 10, 5);
+  auto b = MakeRequest(2, 200, 10, 5);
+  auto c = MakeRequest(3, 100, 10, 5);
+  runner.Add(&a, 0.0);
+  runner.Add(&b, 0.0);
+  runner.Add(&c, 0.0);
+  // After adapters load, all can run together (cross-LoRA batching).
+  double t = 3e-3;
+  EXPECT_TRUE(runner.HasRunnableWork(t));
+  StepResult s1 = runner.Step(t);
+  EXPECT_EQ(s1.batch_size, 1);  // prefill limit
+  StepResult s2 = runner.Step(t + 1.0);
+  EXPECT_EQ(s2.batch_size, 2);
+  StepResult s3 = runner.Step(t + 2.0);
+  EXPECT_EQ(s3.batch_size, 3);
+}
+
+TEST_F(RunnerTest, FinishOnPrefillForSingleTokenOutput) {
+  GpuRunner runner = MakeRunner();
+  auto r = MakeRequest(1, -1, 10, 1);  // wants exactly one token
+  runner.Add(&r, 0.0);
+  StepResult s = runner.Step(0.0);
+  ASSERT_EQ(s.finished.size(), 1u);
+  EXPECT_EQ(r.phase, RequestPhase::kFinished);
+  EXPECT_EQ(runner.working_set_size(), 0);
+  EXPECT_EQ(runner.kv_used_tokens(), 0);
+}
+
+TEST_F(RunnerTest, FindAndNewest) {
+  GpuRunner runner = MakeRunner();
+  auto a = MakeRequest(5, -1, 10, 5);
+  auto b = MakeRequest(3, -1, 10, 5);
+  runner.Add(&a, 0.0);
+  runner.Add(&b, 0.0);
+  EXPECT_EQ(runner.Find(5), &a);
+  EXPECT_EQ(runner.Find(3), &b);
+  EXPECT_EQ(runner.Find(99), nullptr);
+  EXPECT_EQ(runner.NewestRequest(), &b);  // admitted later despite lower id
+}
+
+TEST_F(RunnerTest, StepWithNoRunnableWorkIsEmpty) {
+  GpuRunner runner = MakeRunner();
+  StepResult s = runner.Step(0.0);
+  EXPECT_EQ(s.batch_size, 0);
+  EXPECT_EQ(s.latency, 0.0);
+}
+
+TEST_F(RunnerTest, KvAccountingNeverExceedsCapacity) {
+  config_.kv_capacity_tokens = 200;
+  GpuRunner runner = MakeRunner();
+  std::vector<std::unique_ptr<ServingRequest>> reqs;
+  double t = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    auto r = std::make_unique<ServingRequest>(
+        MakeRequest(i, -1, 20, 40));
+    if (runner.working_set_size() < config_.max_batch_size &&
+        runner.CanAdmit(*r)) {
+      runner.Add(r.get(), t);
+    }
+    reqs.push_back(std::move(r));
+    for (auto id : runner.SelectEvictionVictims(t)) {
+      runner.Remove(id);
+    }
+    if (runner.HasRunnableWork(t)) {
+      StepResult s = runner.Step(t);
+      t += s.latency;
+    }
+    ASSERT_LE(runner.kv_used_tokens(), 200);
+  }
+}
+
+}  // namespace
+}  // namespace punica

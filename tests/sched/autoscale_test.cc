@@ -1,0 +1,237 @@
+#include "sched/autoscale.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "gpu/specs.h"
+#include "sched/cluster.h"
+#include "sim/arrivals.h"
+#include "workload/trace.h"
+
+namespace punica {
+namespace {
+
+class AutoscaleTest : public ::testing::Test {
+ protected:
+  AutoscaleTest() : cm_(A100Sxm80GB()) {
+    config_.max_batch_size = 4;
+    config_.kv_capacity_tokens = 5000;
+  }
+
+  void MakeCluster(int gpus) {
+    std::vector<GpuRunner*> raw;
+    for (int g = 0; g < gpus; ++g) {
+      runners_.push_back(
+          std::make_unique<GpuRunner>(g, config_, Llama7B(), &cm_));
+      raw.push_back(runners_.back().get());
+    }
+    sched_ = std::make_unique<Scheduler>(raw);
+  }
+
+  ServingRequest* NewRequest() {
+    requests_.push_back(std::make_unique<ServingRequest>(
+        ServingRequest{.id = next_id_++,
+                       .lora_id = -1,
+                       .prompt_len = 10,
+                       .output_len = 100,
+                       .arrival_time = 0.0}));
+    return requests_.back().get();
+  }
+
+  CostModel cm_;
+  RunnerConfig config_;
+  std::vector<std::unique_ptr<GpuRunner>> runners_;
+  std::unique_ptr<Scheduler> sched_;
+  std::vector<std::unique_ptr<ServingRequest>> requests_;
+  std::int64_t next_id_ = 0;
+};
+
+TEST_F(AutoscaleTest, ReleasesIdleGpusWithHysteresis) {
+  MakeCluster(4);
+  AutoscaleController ctl(sched_.get(),
+                          {.min_gpus = 1, .release_after_idle_ticks = 2});
+  EXPECT_EQ(ctl.active_gpus(), 4);
+  // Tick 1: idle counts reach 1 — nothing released yet.
+  auto d1 = ctl.Tick();
+  EXPECT_EQ(d1.released_gpu, -1);
+  // Tick 2: GPU 0 (lowest UUID) released.
+  auto d2 = ctl.Tick();
+  EXPECT_EQ(d2.released_gpu, 0);
+  EXPECT_EQ(ctl.active_gpus(), 3);
+  // Further ticks drain to min_gpus and stop.
+  ctl.Tick();
+  ctl.Tick();
+  ctl.Tick();
+  ctl.Tick();
+  EXPECT_EQ(ctl.active_gpus(), 1);
+  EXPECT_EQ(ctl.total_releases(), 3);
+}
+
+TEST_F(AutoscaleTest, BusyGpusAreNotReleased) {
+  MakeCluster(2);
+  runners_[0]->Add(NewRequest(), 0.0);
+  runners_[1]->Add(NewRequest(), 0.0);
+  AutoscaleController ctl(sched_.get(),
+                          {.min_gpus = 1, .release_after_idle_ticks = 1});
+  for (int i = 0; i < 5; ++i) ctl.Tick();
+  EXPECT_EQ(ctl.active_gpus(), 2);
+  EXPECT_EQ(ctl.total_releases(), 0);
+}
+
+TEST_F(AutoscaleTest, AcquiresWhenSaturated) {
+  MakeCluster(3);
+  AutoscaleController ctl(sched_.get(),
+                          {.min_gpus = 1, .release_after_idle_ticks = 1});
+  // Drain to 1 GPU.
+  while (ctl.active_gpus() > 1) ctl.Tick();
+  ASSERT_EQ(ctl.active_gpus(), 1);
+  ASSERT_TRUE(sched_->IsGpuEnabled(2));  // highest UUID stays
+
+  // Saturate the remaining GPU (max batch 4 → 3/4 threshold is 3).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sched_->Submit(NewRequest(), 0.0), 2);
+  }
+  auto d = ctl.Tick();
+  EXPECT_NE(d.acquired_gpu, -1);
+  EXPECT_EQ(ctl.active_gpus(), 2);
+  EXPECT_EQ(ctl.total_acquisitions(), 1);
+  // The newly acquired GPU is routable.
+  EXPECT_EQ(sched_->Submit(NewRequest(), 0.0), d.acquired_gpu);
+}
+
+TEST_F(AutoscaleTest, NeverExceedsMaxGpus) {
+  MakeCluster(2);
+  AutoscaleController ctl(sched_.get(), {.min_gpus = 1, .max_gpus = 2});
+  // Saturate both GPUs.
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 4; ++i) {
+      runners_[static_cast<std::size_t>(g)]->Add(NewRequest(), 0.0);
+    }
+  }
+  auto d = ctl.Tick();
+  EXPECT_EQ(d.acquired_gpu, -1);  // pool exhausted
+  EXPECT_EQ(ctl.active_gpus(), 2);
+}
+
+TEST_F(AutoscaleTest, DisabledGpuReceivesNoRequests) {
+  MakeCluster(2);
+  sched_->SetGpuEnabled(0, false);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sched_->Submit(NewRequest(), 0.0), 1);
+  }
+  // GPU 1 full, GPU 0 disabled → queue.
+  EXPECT_EQ(sched_->Submit(NewRequest(), 0.0), -1);
+  EXPECT_EQ(sched_->queue_size(), 1u);
+  EXPECT_EQ(runners_[0]->working_set_size(), 0);
+}
+
+TEST_F(AutoscaleTest, ReEnablingServesQueue) {
+  MakeCluster(2);
+  sched_->SetGpuEnabled(0, false);
+  for (int i = 0; i < 5; ++i) sched_->Submit(NewRequest(), 0.0);
+  ASSERT_EQ(sched_->queue_size(), 1u);
+  sched_->SetGpuEnabled(0, true);
+  auto touched = sched_->PumpQueue(0.0);
+  ASSERT_EQ(touched.size(), 1u);
+  EXPECT_EQ(touched[0], 0);
+  EXPECT_EQ(sched_->queue_size(), 0u);
+}
+
+TEST_F(AutoscaleTest, AdviseIgnoresDisabledGpus) {
+  MakeCluster(2);
+  sched_->SetGpuEnabled(0, false);
+  // GPU 1 saturated ⇒ no lightly loaded *enabled* GPU ⇒ need more.
+  for (int i = 0; i < 4; ++i) runners_[1]->Add(NewRequest(), 0.0);
+  auto advice = sched_->Advise();
+  EXPECT_TRUE(advice.need_more_gpus);
+  EXPECT_TRUE(advice.releasable_gpus.empty());  // GPU 0 not listed
+}
+
+TEST_F(AutoscaleTest, NeverReleasesBelowMin) {
+  MakeCluster(3);
+  AutoscaleController ctl(sched_.get(),
+                          {.min_gpus = 2, .release_after_idle_ticks = 1});
+  for (int i = 0; i < 10; ++i) ctl.Tick();
+  EXPECT_EQ(ctl.active_gpus(), 2);
+}
+
+// --- Driver-level integration: autoscaling over a ramped open-loop load ---
+
+TEST(AutoscaleClusterTest, TracksRampLoadAndFinishesEverything) {
+  CostModel cm((A100Sxm80GB()));
+  ClusterConfig cfg;
+  cfg.num_gpus = 6;
+  cfg.model = Llama7B();
+  cfg.runner.max_batch_size = 8;
+  cfg.runner.kv_capacity_tokens = 20000;
+  cfg.enable_autoscale = true;
+  cfg.initial_gpus = 1;
+  cfg.autoscale_interval_s = 5.0;
+  cfg.autoscale.min_gpus = 1;
+  cfg.autoscale.release_after_idle_ticks = 2;
+  ClusterDriver driver(cfg, &cm);
+
+  Pcg32 rng(808);
+  auto arrivals = PoissonArrivals(
+      [](double t) { return RampRate(t, 240.0, 8.0); }, 8.0, 240.0, rng);
+  TraceSpec spec;
+  spec.num_requests = static_cast<int>(arrivals.size());
+  spec.lengths.prompt_mu = 3.5;
+  spec.lengths.prompt_sigma = 0.7;
+  spec.lengths.output_mu = 3.0;
+  spec.lengths.output_sigma = 0.5;
+  auto trace = GenerateClosedLoopTrace(spec);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].arrival_time = arrivals[i];
+  }
+  driver.SubmitTrace(trace);
+  driver.Run();
+
+  const ClusterStats& s = driver.stats();
+  EXPECT_EQ(s.finished_requests, static_cast<std::int64_t>(trace.size()));
+  // The controller scaled up under the ramp and released afterwards.
+  EXPECT_GT(s.gpu_acquisitions, 0);
+  EXPECT_GT(s.gpu_releases, 0);
+  // Active-GPU time series peaked above the starting size.
+  double peak = 0.0;
+  for (double v : s.active_gpus.values()) peak = std::max(peak, v);
+  EXPECT_GT(peak, 1.0);
+}
+
+TEST(AutoscaleClusterTest, DisabledAutoscaleKeepsAllGpus) {
+  CostModel cm((A100Sxm80GB()));
+  ClusterConfig cfg;
+  cfg.num_gpus = 3;
+  cfg.model = Llama7B();
+  cfg.runner.max_batch_size = 8;
+  cfg.runner.kv_capacity_tokens = 20000;
+  cfg.enable_autoscale = false;
+  ClusterDriver driver(cfg, &cm);
+  TraceSpec spec;
+  spec.num_requests = 10;
+  driver.SubmitTrace(GenerateClosedLoopTrace(spec));
+  driver.Run();
+  EXPECT_EQ(driver.stats().gpu_acquisitions, 0);
+  EXPECT_EQ(driver.stats().gpu_releases, 0);
+  EXPECT_EQ(driver.scheduler().num_enabled_gpus(), 3);
+}
+
+TEST(AutoscaleDeathTest, ReleasingBusyGpuAborts) {
+  CostModel cm((A100Sxm80GB()));
+  RunnerConfig cfg;
+  cfg.max_batch_size = 4;
+  cfg.kv_capacity_tokens = 1000;
+  GpuRunner r0(0, cfg, Llama7B(), &cm);
+  GpuRunner r1(1, cfg, Llama7B(), &cm);
+  Scheduler sched({&r0, &r1});
+  ServingRequest req{.id = 1, .lora_id = -1, .prompt_len = 10,
+                     .output_len = 5, .arrival_time = 0.0};
+  r0.Add(&req, 0.0);
+  EXPECT_DEATH(sched.SetGpuEnabled(0, false), "active requests");
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,174 @@
+#include "sched/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "gpu/specs.h"
+#include "sim/arrivals.h"
+#include "workload/trace.h"
+
+namespace punica {
+namespace {
+
+ClusterConfig SmallCluster(int gpus) {
+  ClusterConfig cfg;
+  cfg.num_gpus = gpus;
+  cfg.model = Llama7B();
+  cfg.runner.max_batch_size = 8;
+  cfg.runner.kv_capacity_tokens = 20000;
+  cfg.runner.lora_load_latency_s = 2e-3;
+  cfg.consolidation_interval_s = 10.0;
+  return cfg;
+}
+
+std::vector<TraceRequest> ShortTrace(int n, Popularity pop,
+                                     double arrival_rate = 0.0) {
+  TraceSpec spec;
+  spec.num_requests = n;
+  spec.popularity = pop;
+  spec.lengths.prompt_mu = 3.5;
+  spec.lengths.prompt_sigma = 0.7;
+  spec.lengths.output_mu = 2.8;
+  spec.lengths.output_sigma = 0.5;
+  auto trace = GenerateClosedLoopTrace(spec);
+  if (arrival_rate > 0.0) {
+    Pcg32 rng(31337);
+    double t = 0.0;
+    for (auto& r : trace) {
+      t += rng.NextExponential(arrival_rate);
+      r.arrival_time = t;
+    }
+  }
+  return trace;
+}
+
+TEST(ClusterTest, DrainsAllRequests) {
+  CostModel cm((A100Sxm80GB()));
+  ClusterDriver driver(SmallCluster(2), &cm);
+  auto trace = ShortTrace(40, Popularity::kUniform);
+  driver.SubmitTrace(trace);
+  driver.Run();
+  const ClusterStats& s = driver.stats();
+  EXPECT_EQ(s.finished_requests, 40);
+  EXPECT_EQ(s.total_new_tokens, TotalOutputTokens(trace));
+  EXPECT_EQ(driver.scheduler().queue_size(), 0u);
+  EXPECT_GT(s.makespan, 0.0);
+  for (const auto& req : driver.requests()) {
+    EXPECT_EQ(req.phase, RequestPhase::kFinished);
+    EXPECT_GE(req.finish_time, req.arrival_time);
+    EXPECT_GE(req.finish_time, req.first_token_time);
+  }
+}
+
+TEST(ClusterTest, DeterministicAcrossRuns) {
+  CostModel cm((A100Sxm80GB()));
+  auto trace = ShortTrace(30, Popularity::kSkewed, /*arrival_rate=*/5.0);
+  ClusterDriver d1(SmallCluster(2), &cm);
+  d1.SubmitTrace(trace);
+  d1.Run();
+  ClusterDriver d2(SmallCluster(2), &cm);
+  d2.SubmitTrace(trace);
+  d2.Run();
+  EXPECT_DOUBLE_EQ(d1.stats().makespan, d2.stats().makespan);
+  EXPECT_EQ(d1.stats().total_steps, d2.stats().total_steps);
+  EXPECT_EQ(d1.stats().migrations, d2.stats().migrations);
+}
+
+TEST(ClusterTest, ConsolidatesOntoFewGpusUnderLightLoad) {
+  // Light open-loop load on 4 GPUs: traffic should concentrate (busy stays
+  // busy, idle stays idle), leaving some GPUs completely unused.
+  CostModel cm((A100Sxm80GB()));
+  ClusterDriver driver(SmallCluster(4), &cm);
+  auto trace = ShortTrace(60, Popularity::kSkewed, /*arrival_rate=*/3.0);
+  driver.SubmitTrace(trace);
+  driver.Run();
+  int unused = 0;
+  for (double busy : driver.stats().gpu_busy_s) {
+    if (busy == 0.0) ++unused;
+  }
+  EXPECT_GE(unused, 1);
+  // The highest-UUID GPU carries the most load.
+  EXPECT_GT(driver.stats().gpu_busy_s[3], driver.stats().gpu_busy_s[0]);
+}
+
+TEST(ClusterTest, MoreGpusFinishFasterUnderHeavyLoad) {
+  CostModel cm((A100Sxm80GB()));
+  auto trace = ShortTrace(120, Popularity::kUniform);
+  ClusterDriver d1(SmallCluster(1), &cm);
+  d1.SubmitTrace(trace);
+  d1.Run();
+  ClusterDriver d4(SmallCluster(4), &cm);
+  d4.SubmitTrace(trace);
+  d4.Run();
+  EXPECT_LT(d4.stats().makespan, d1.stats().makespan);
+}
+
+TEST(ClusterTest, KvPressureTriggersMigration) {
+  CostModel cm((A100Sxm80GB()));
+  ClusterConfig cfg = SmallCluster(2);
+  cfg.runner.kv_capacity_tokens = 600;  // tight cache forces migrations
+  cfg.runner.max_batch_size = 8;
+  ClusterDriver driver(cfg, &cm);
+  TraceSpec spec;
+  spec.num_requests = 16;
+  spec.popularity = Popularity::kIdentical;
+  spec.lengths.prompt_mu = 4.5;  // long prompts
+  spec.lengths.prompt_sigma = 0.3;
+  spec.lengths.output_mu = 4.5;  // long outputs keep kv growing
+  spec.lengths.output_sigma = 0.3;
+  auto trace = GenerateClosedLoopTrace(spec);
+  driver.SubmitTrace(trace);
+  driver.Run();
+  EXPECT_EQ(driver.stats().finished_requests, 16);
+  EXPECT_GT(driver.stats().migrations, 0);
+}
+
+TEST(ClusterTest, BatchSizeNeverExceedsMax) {
+  CostModel cm((A100Sxm80GB()));
+  ClusterConfig cfg = SmallCluster(2);
+  ClusterDriver driver(cfg, &cm);
+  driver.SubmitTrace(ShortTrace(80, Popularity::kUniform));
+  driver.Run();
+  EXPECT_LE(driver.stats().step_batch_size.max(),
+            cfg.runner.max_batch_size);
+}
+
+TEST(ClusterTest, TokenTimeSeriesSumsToTotal) {
+  CostModel cm((A100Sxm80GB()));
+  ClusterDriver driver(SmallCluster(2), &cm);
+  auto trace = ShortTrace(30, Popularity::kUniform);
+  driver.SubmitTrace(trace);
+  driver.Run();
+  const auto& stats = driver.stats();
+  double horizon = stats.makespan + 1.0;
+  auto windows = stats.tokens.Windows(1.0, horizon);
+  double sum = 0.0;
+  for (const auto& w : windows) sum += w.sum;
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(stats.total_new_tokens));
+}
+
+TEST(ClusterTest, LoraLoadsDelayButDoNotDeadlock) {
+  CostModel cm((A100Sxm80GB()));
+  ClusterConfig cfg = SmallCluster(1);
+  cfg.runner.lora_load_latency_s = 50e-3;  // very slow PCIe for the test
+  ClusterDriver driver(cfg, &cm);
+  driver.SubmitTrace(ShortTrace(10, Popularity::kDistinct));
+  driver.Run();
+  EXPECT_EQ(driver.stats().finished_requests, 10);
+}
+
+TEST(ClusterTest, OpenLoopLatencyReasonable) {
+  CostModel cm((A100Sxm80GB()));
+  ClusterDriver driver(SmallCluster(2), &cm);
+  auto trace = ShortTrace(40, Popularity::kSkewed, /*arrival_rate=*/2.0);
+  driver.SubmitTrace(trace);
+  driver.Run();
+  const auto& stats = driver.stats();
+  EXPECT_EQ(stats.finished_requests, 40);
+  EXPECT_GT(stats.request_latency.mean(), 0.0);
+  EXPECT_GE(stats.request_latency.min(), 0.0);
+  EXPECT_LE(stats.first_token_latency.mean(),
+            stats.request_latency.mean());
+}
+
+}  // namespace
+}  // namespace punica

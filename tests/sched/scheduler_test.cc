@@ -1,0 +1,323 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gpu/specs.h"
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : cm_(A100Sxm80GB()) {
+    config_.max_batch_size = 4;
+    config_.kv_capacity_tokens = 500;
+  }
+
+  void MakeCluster(int gpus) {
+    std::vector<GpuRunner*> raw;
+    for (int g = 0; g < gpus; ++g) {
+      runners_.push_back(
+          std::make_unique<GpuRunner>(g, config_, Llama7B(), &cm_));
+      raw.push_back(runners_.back().get());
+    }
+    sched_ = std::make_unique<Scheduler>(raw);
+  }
+
+  ServingRequest* NewRequest(LoraId lora, std::int32_t prompt,
+                             std::int32_t output, double arrival = 0.0) {
+    requests_.push_back(std::make_unique<ServingRequest>(
+        ServingRequest{.id = next_id_++,
+                       .lora_id = lora,
+                       .prompt_len = prompt,
+                       .output_len = output,
+                       .arrival_time = arrival}));
+    return requests_.back().get();
+  }
+
+  CostModel cm_;
+  RunnerConfig config_;
+  std::vector<std::unique_ptr<GpuRunner>> runners_;
+  std::unique_ptr<Scheduler> sched_;
+  std::vector<std::unique_ptr<ServingRequest>> requests_;
+  std::int64_t next_id_ = 0;
+};
+
+TEST_F(SchedulerTest, EmptyClusterTieBreaksToHighestUuid) {
+  MakeCluster(4);
+  int gpu = sched_->Submit(NewRequest(0, 10, 5), 0.0);
+  EXPECT_EQ(gpu, 3);  // all empty → highest UUID wins
+}
+
+TEST_F(SchedulerTest, PrefersLargestWorkingSet) {
+  MakeCluster(3);
+  // Load GPU 1 with two requests directly.
+  runners_[1]->Add(NewRequest(0, 10, 5), 0.0);
+  runners_[1]->Add(NewRequest(0, 10, 5), 0.0);
+  runners_[0]->Add(NewRequest(0, 10, 5), 0.0);
+  int gpu = sched_->Submit(NewRequest(0, 10, 5), 0.0);
+  EXPECT_EQ(gpu, 1);  // 2 > 1 > 0
+}
+
+TEST_F(SchedulerTest, SkipsFullGpus) {
+  MakeCluster(2);
+  for (int i = 0; i < 4; ++i) runners_[1]->Add(NewRequest(0, 10, 5), 0.0);
+  int gpu = sched_->Submit(NewRequest(0, 10, 5), 0.0);
+  EXPECT_EQ(gpu, 0);  // GPU 1 at max batch
+}
+
+TEST_F(SchedulerTest, QueuesWhenAllFull) {
+  MakeCluster(1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sched_->Submit(NewRequest(0, 10, 50), 0.0), 0);
+  }
+  EXPECT_EQ(sched_->Submit(NewRequest(0, 10, 50), 0.0), -1);
+  EXPECT_EQ(sched_->queue_size(), 1u);
+}
+
+TEST_F(SchedulerTest, KvConstraintRespected) {
+  MakeCluster(1);
+  // Backbone requests (lora -1) run immediately — no adapter-load delay.
+  EXPECT_EQ(sched_->Submit(NewRequest(-1, 400, 50), 0.0), 0);
+  runners_[0]->Step(0.0);  // kv now 400/500
+  // A 200-token prompt does not fit; must queue despite batch room.
+  EXPECT_EQ(sched_->Submit(NewRequest(-1, 200, 50), 0.0), -1);
+}
+
+TEST_F(SchedulerTest, PumpQueueAdmitsFcfs) {
+  MakeCluster(1);
+  for (int i = 0; i < 4; ++i) sched_->Submit(NewRequest(0, 10, 2, 0.0), 0.0);
+  ServingRequest* q1 = NewRequest(0, 10, 2, 1.0);
+  ServingRequest* q2 = NewRequest(0, 10, 2, 2.0);
+  sched_->Submit(q1, 2.5);
+  sched_->Submit(q2, 2.5);
+  EXPECT_EQ(sched_->queue_size(), 2u);
+
+  // Finish everything on GPU 0: prefill + decode steps.
+  double t = 3.0;
+  while (runners_[0]->HasRunnableWork(t)) {
+    StepResult s = runners_[0]->Step(t);
+    t += s.latency;
+    if (!s.finished.empty()) break;
+  }
+  auto touched = sched_->PumpQueue(t);
+  EXPECT_FALSE(touched.empty());
+  // q1 (earlier arrival) admitted before q2.
+  EXPECT_EQ(q1->phase, RequestPhase::kAssigned);
+}
+
+TEST_F(SchedulerTest, FcfsNewRequestCannotJumpQueue) {
+  MakeCluster(1);
+  for (int i = 0; i < 4; ++i) sched_->Submit(NewRequest(0, 10, 50, 0.0), 0.0);
+  ServingRequest* waiting = NewRequest(0, 10, 5, 1.0);
+  sched_->Submit(waiting, 1.0);
+  ASSERT_EQ(sched_->queue_size(), 1u);
+  // Even though no GPU can take anyone, a later request must queue *behind*.
+  ServingRequest* later = NewRequest(0, 10, 5, 2.0);
+  EXPECT_EQ(sched_->Submit(later, 2.0), -1);
+  EXPECT_EQ(sched_->queue().front(), waiting);
+  EXPECT_EQ(sched_->queue().back(), later);
+}
+
+TEST_F(SchedulerTest, CancelFromQueueAndGpu) {
+  MakeCluster(1);
+  ServingRequest* on_gpu = NewRequest(0, 10, 5);
+  sched_->Submit(on_gpu, 0.0);
+  for (int i = 0; i < 3; ++i) sched_->Submit(NewRequest(0, 10, 5), 0.0);
+  ServingRequest* queued = NewRequest(0, 10, 5, 1.0);
+  sched_->Submit(queued, 1.0);
+
+  EXPECT_TRUE(sched_->Cancel(queued->id));
+  EXPECT_EQ(queued->phase, RequestPhase::kCancelled);
+  EXPECT_EQ(sched_->queue_size(), 0u);
+
+  EXPECT_TRUE(sched_->Cancel(on_gpu->id));
+  EXPECT_EQ(on_gpu->phase, RequestPhase::kCancelled);
+  EXPECT_EQ(runners_[0]->working_set_size(), 3);
+
+  EXPECT_FALSE(sched_->Cancel(123456));
+}
+
+TEST_F(SchedulerTest, KvPressureMigratesNewestToAnotherGpu) {
+  config_.kv_capacity_tokens = 150;
+  MakeCluster(2);
+  // Fill GPU 1 (highest UUID gets traffic first).
+  ServingRequest* a = NewRequest(-1, 60, 100, 0.0);
+  ServingRequest* b = NewRequest(-1, 60, 100, 0.1);
+  EXPECT_EQ(sched_->Submit(a, 0.0), 1);
+  EXPECT_EQ(sched_->Submit(b, 0.1), 1);
+  runners_[1]->Step(0.2);  // prefill a → kv 60
+  runners_[1]->Step(0.3);  // prefill b + decode a → kv 121
+  // Growth of 2/step: pressure soon. Force the check:
+  std::int64_t migrations = 0;
+  // kv 121 + next step growth 2 < 150 → no victims yet.
+  EXPECT_TRUE(sched_->MigrateForKvPressure(1, 0.4, &migrations).empty());
+  // Run decode steps until pressure hits.
+  double t = 0.5;
+  while (runners_[1]->SelectEvictionVictims(t).empty()) {
+    runners_[1]->Step(t);
+    t += 0.1;
+    ASSERT_LT(t, 10.0) << "pressure never materialised";
+  }
+  auto touched = sched_->MigrateForKvPressure(1, t, &migrations);
+  EXPECT_EQ(migrations, 1);
+  ASSERT_EQ(touched.size(), 1u);
+  EXPECT_EQ(touched[0], 0);          // bounced to the other GPU
+  EXPECT_EQ(b->migrations, 1);       // newest request moved
+  EXPECT_EQ(runners_[0]->Find(b->id), b);
+  EXPECT_GT(b->generated, 0);        // progress preserved
+}
+
+TEST_F(SchedulerTest, ConsolidationMovesFromLightToBusy) {
+  MakeCluster(2);
+  // GPU 0: one request (light). GPU 1: two requests (busy).
+  ServingRequest* lonely = NewRequest(-1, 10, 50);
+  runners_[0]->Add(lonely, 0.0);
+  runners_[1]->Add(NewRequest(-1, 10, 50), 0.0);
+  runners_[1]->Add(NewRequest(-1, 10, 50), 0.0);
+
+  std::int64_t migrations = 0;
+  int receiver = sched_->ConsolidateOnce(1.0, &migrations);
+  EXPECT_EQ(receiver, 1);
+  EXPECT_EQ(migrations, 1);
+  EXPECT_EQ(runners_[0]->working_set_size(), 0);  // donor drained
+  EXPECT_EQ(runners_[1]->working_set_size(), 3);
+  EXPECT_EQ(lonely->migrations, 1);
+}
+
+TEST_F(SchedulerTest, ConsolidationNoOpWhenBalancedOrEmpty) {
+  MakeCluster(2);
+  std::int64_t migrations = 0;
+  EXPECT_EQ(sched_->ConsolidateOnce(0.0, &migrations), -1);  // all empty
+  runners_[0]->Add(NewRequest(-1, 10, 5), 0.0);
+  runners_[1]->Add(NewRequest(-1, 10, 5), 0.0);
+  // Equal load: no strictly-busier receiver.
+  EXPECT_EQ(sched_->ConsolidateOnce(0.0, &migrations), -1);
+  EXPECT_EQ(migrations, 0);
+}
+
+TEST_F(SchedulerTest, ConsolidationRespectsReceiverConstraints) {
+  MakeCluster(2);
+  runners_[0]->Add(NewRequest(-1, 10, 5), 0.0);
+  for (int i = 0; i < 4; ++i) runners_[1]->Add(NewRequest(-1, 10, 5), 0.0);
+  std::int64_t migrations = 0;
+  // Receiver full → no move.
+  EXPECT_EQ(sched_->ConsolidateOnce(0.0, &migrations), -1);
+}
+
+TEST_F(SchedulerTest, ScaleAdvice) {
+  MakeCluster(2);
+  auto advice = sched_->Advise();
+  EXPECT_FALSE(advice.need_more_gpus);
+  EXPECT_EQ(advice.releasable_gpus.size(), 2u);
+
+  // Saturate both GPUs (max_batch 4, ¾ threshold = 3).
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 4; ++i) {
+      runners_[static_cast<std::size_t>(g)]->Add(NewRequest(-1, 10, 5), 0.0);
+    }
+  }
+  advice = sched_->Advise();
+  EXPECT_TRUE(advice.need_more_gpus);
+  EXPECT_TRUE(advice.releasable_gpus.empty());
+}
+
+TEST_F(SchedulerTest, RandomisedStressInvariants) {
+  // Random interleaving of submissions, steps, cancellations, migrations
+  // and consolidation; after every operation the structural invariants must
+  // hold: batch-size cap, KvCache cap, FCFS-ordered queue, and no request
+  // lost or duplicated.
+  config_.max_batch_size = 3;
+  config_.kv_capacity_tokens = 400;
+  MakeCluster(3);
+  Pcg32 rng(31415);
+  double t = 0.0;
+  std::int64_t migrations = 0;
+  std::size_t cancelled = 0;
+
+  for (int op = 0; op < 3000; ++op) {
+    std::uint32_t action = rng.NextBounded(10);
+    t += 0.01;
+    if (action < 4) {  // submit
+      auto* req = NewRequest(-1, 5 + static_cast<std::int32_t>(
+                                     rng.NextBounded(60)),
+                             1 + static_cast<std::int32_t>(
+                                     rng.NextBounded(30)),
+                             t);
+      sched_->Submit(req, t);
+    } else if (action < 8) {  // step a random GPU (evicting first if needed)
+      int g = static_cast<int>(rng.NextBounded(3));
+      sched_->MigrateForKvPressure(g, t, &migrations);
+      if (runners_[static_cast<std::size_t>(g)]->HasRunnableWork(t)) {
+        runners_[static_cast<std::size_t>(g)]->Step(t);
+        sched_->PumpQueue(t);
+      }
+    } else if (action < 9) {  // cancel a random live request
+      if (!requests_.empty()) {
+        auto& req = requests_[rng.NextBounded(
+            static_cast<std::uint32_t>(requests_.size()))];
+        if (req->phase == RequestPhase::kQueued ||
+            req->phase == RequestPhase::kAssigned) {
+          ASSERT_TRUE(sched_->Cancel(req->id));
+          ++cancelled;
+          sched_->PumpQueue(t);
+        }
+      }
+    } else {  // consolidate
+      sched_->ConsolidateOnce(t, &migrations);
+    }
+
+    // Invariants.
+    std::size_t assigned = 0;
+    for (const auto& r : runners_) {
+      ASSERT_LE(r->working_set_size(), config_.max_batch_size);
+      ASSERT_LE(r->kv_used_tokens(), config_.kv_capacity_tokens);
+      ASSERT_GE(r->kv_used_tokens(), 0);
+      assigned += static_cast<std::size_t>(r->working_set_size());
+    }
+    const auto& q = sched_->queue();
+    for (std::size_t i = 1; i < q.size(); ++i) {
+      ASSERT_LE(q[i - 1]->arrival_time, q[i]->arrival_time) << "FCFS broken";
+    }
+    // Conservation: every request is exactly one of queued / assigned /
+    // finished / cancelled.
+    std::size_t finished = 0;
+    std::size_t queued_or_assigned = 0;
+    for (const auto& r : requests_) {
+      switch (r->phase) {
+        case RequestPhase::kFinished:
+          ++finished;
+          break;
+        case RequestPhase::kCancelled:
+          break;
+        default:
+          ++queued_or_assigned;
+      }
+    }
+    ASSERT_EQ(queued_or_assigned, q.size() + assigned);
+  }
+  EXPECT_GT(cancelled, 0u);  // the stress actually exercised cancellation
+}
+
+TEST_F(SchedulerTest, BusyStaysBusyProperty) {
+  // The paper's consolidation attribute: new requests pile onto the busiest
+  // feasible GPU, so ordering of working-set sizes is preserved.
+  MakeCluster(3);
+  runners_[2]->Add(NewRequest(-1, 10, 99), 0.0);
+  runners_[2]->Add(NewRequest(-1, 10, 99), 0.0);
+  runners_[1]->Add(NewRequest(-1, 10, 99), 0.0);
+  for (int i = 0; i < 2; ++i) {
+    int gpu = sched_->Submit(NewRequest(-1, 10, 99), 0.0);
+    EXPECT_EQ(gpu, 2);
+  }
+  // GPU 2 now full (4): next goes to GPU 1 (the next busiest), never 0.
+  EXPECT_EQ(sched_->Submit(NewRequest(-1, 10, 99), 0.0), 1);
+  EXPECT_EQ(runners_[0]->working_set_size(), 0);  // idle stays idle
+}
+
+}  // namespace
+}  // namespace punica

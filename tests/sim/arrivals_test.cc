@@ -1,0 +1,96 @@
+#include "sim/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace punica {
+namespace {
+
+TEST(ArrivalsTest, HomogeneousRateMatchesCount) {
+  Pcg32 rng(1);
+  double rate = 5.0, horizon = 2000.0;
+  auto times = PoissonArrivals(rate, horizon, rng);
+  // Expected count = rate·horizon = 10000, sd = 100.
+  EXPECT_NEAR(static_cast<double>(times.size()), rate * horizon, 500.0);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  for (double t : times) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, horizon);
+  }
+}
+
+TEST(ArrivalsTest, ZeroRateProducesNothing) {
+  Pcg32 rng(2);
+  EXPECT_TRUE(PoissonArrivals(0.0, 100.0, rng).empty());
+}
+
+TEST(ArrivalsTest, InterarrivalGapsAreExponential) {
+  Pcg32 rng(3);
+  double rate = 2.0;
+  auto times = PoissonArrivals(rate, 50000.0, rng);
+  RunningStat gaps;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    gaps.Add(times[i] - times[i - 1]);
+  }
+  // Exponential(rate): mean = 1/rate, stddev = 1/rate.
+  EXPECT_NEAR(gaps.mean(), 0.5, 0.02);
+  EXPECT_NEAR(gaps.stddev(), 0.5, 0.03);
+}
+
+TEST(ArrivalsTest, ThinningMatchesRateFunction) {
+  Pcg32 rng(4);
+  double horizon = 10000.0;
+  auto rate = [&](double t) { return t < horizon / 2 ? 1.0 : 3.0; };
+  auto times = PoissonArrivals(rate, 3.0, horizon, rng);
+  auto mid = std::lower_bound(times.begin(), times.end(), horizon / 2);
+  double first_half = static_cast<double>(mid - times.begin());
+  double second_half = static_cast<double>(times.end() - mid);
+  EXPECT_NEAR(first_half, 1.0 * horizon / 2, 300.0);
+  EXPECT_NEAR(second_half, 3.0 * horizon / 2, 500.0);
+}
+
+TEST(ArrivalsDeathTest, RateAboveBoundAborts) {
+  Pcg32 rng(5);
+  auto rate = [](double) { return 10.0; };
+  EXPECT_DEATH(PoissonArrivals(rate, 1.0, 100.0, rng), "thinning");
+}
+
+TEST(RampRateTest, TriangularShape) {
+  double horizon = 3600.0, peak = 12.0;
+  EXPECT_DOUBLE_EQ(RampRate(0.0, horizon, peak), 0.0);
+  EXPECT_DOUBLE_EQ(RampRate(horizon / 2, horizon, peak), peak);
+  EXPECT_DOUBLE_EQ(RampRate(horizon / 4, horizon, peak), peak / 2);
+  EXPECT_DOUBLE_EQ(RampRate(3 * horizon / 4, horizon, peak), peak / 2);
+  EXPECT_DOUBLE_EQ(RampRate(horizon, horizon, peak), 0.0);
+  EXPECT_DOUBLE_EQ(RampRate(-1.0, horizon, peak), 0.0);
+}
+
+TEST(RampRateTest, NeverExceedsPeak) {
+  for (double t = 0.0; t <= 3600.0; t += 37.0) {
+    double r = RampRate(t, 3600.0, 10.0);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 10.0);
+  }
+}
+
+TEST(ArrivalsTest, RampedProcessPeaksInTheMiddle) {
+  Pcg32 rng(6);
+  double horizon = 36000.0, peak = 2.0;
+  auto times = PoissonArrivals(
+      [&](double t) { return RampRate(t, horizon, peak); }, peak, horizon,
+      rng);
+  // Count arrivals per third: middle third should dominate.
+  std::size_t thirds[3] = {0, 0, 0};
+  for (double t : times) {
+    ++thirds[std::min(2, static_cast<int>(t / (horizon / 3)))];
+  }
+  EXPECT_GT(thirds[1], thirds[0]);
+  EXPECT_GT(thirds[1], thirds[2]);
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,85 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace punica {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.Schedule(3.0, [&] { order.push_back(3); });
+  eq.Schedule(1.0, [&] { order.push_back(1); });
+  eq.Schedule(2.0, [&] { order.push_back(2); });
+  eq.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueueTest, FifoTiebreakAtEqualTimes) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eq.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  eq.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesNow) {
+  EventQueue eq;
+  double fired_at = -1.0;
+  eq.Schedule(2.0, [&] {
+    eq.ScheduleAfter(3.0, [&] { fired_at = eq.now(); });
+  });
+  eq.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue eq;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) eq.ScheduleAfter(1.0, chain);
+  };
+  eq.Schedule(0.0, chain);
+  eq.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(eq.now(), 4.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtHorizon) {
+  EventQueue eq;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    eq.Schedule(t, [&fired, &eq] { fired.push_back(eq.now()); });
+  }
+  eq.RunUntil(2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(eq.now(), 2.5);
+  EXPECT_EQ(eq.pending(), 2u);
+  eq.RunUntil(10.0);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_DOUBLE_EQ(eq.now(), 10.0);
+}
+
+TEST(EventQueueTest, RunNextReturnsFalseWhenEmpty) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.RunNext());
+  EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoThePastAborts) {
+  EventQueue eq;
+  eq.Schedule(5.0, [] {});
+  eq.RunAll();
+  EXPECT_DEATH(eq.Schedule(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,140 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+std::vector<f16> ToHalf(const std::vector<float>& xs) {
+  std::vector<f16> out;
+  out.reserve(xs.size());
+  for (float x : xs) out.emplace_back(x);
+  return out;
+}
+
+TEST(GemmTest, KnownSmallProduct) {
+  // [1 2; 3 4] @ [5 6; 7 8] = [19 22; 43 50]
+  std::vector<float> x = {1, 2, 3, 4};
+  std::vector<float> w = {5, 6, 7, 8};
+  std::vector<float> y(4);
+  Gemm(x, w, y, 2, 2, 2);
+  EXPECT_FLOAT_EQ(y[0], 19.0f);
+  EXPECT_FLOAT_EQ(y[1], 22.0f);
+  EXPECT_FLOAT_EQ(y[2], 43.0f);
+  EXPECT_FLOAT_EQ(y[3], 50.0f);
+}
+
+TEST(GemmTest, IdentityWeight) {
+  std::vector<float> x = {1, 2, 3, 4, 5, 6};
+  std::vector<float> eye = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  std::vector<float> y(6);
+  Gemm(x, eye, y, 2, 3, 3);
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(GemmTest, GemmAddF16WAccumulates) {
+  std::vector<float> x = {1, 1};
+  std::vector<f16> w = ToHalf({2, 3});  // [2,1] weight
+  std::vector<float> y = {10.0f};
+  GemmAddF16W(x, w, y, 1, 2, 1);
+  EXPECT_FLOAT_EQ(y[0], 15.0f);
+}
+
+TEST(GemmTest, GemvMatchesGemmRowByRow) {
+  Pcg32 rng(7);
+  int m = 5, k = 17, n = 9;
+  auto x = RandomGaussianVector(static_cast<std::size_t>(m) * k, 1.0f, rng);
+  auto wf = RandomGaussianVector(static_cast<std::size_t>(k) * n, 1.0f, rng);
+  auto w = ToHalf(wf);
+
+  std::vector<float> y_gemm(static_cast<std::size_t>(m) * n, 0.0f);
+  GemmAddF16W(x, w, y_gemm, m, k, n);
+
+  std::vector<float> y_gemv(static_cast<std::size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    GemvAddF16W(std::span<const float>(x).subspan(
+                    static_cast<std::size_t>(i) * k, k),
+                w,
+                std::span<float>(y_gemv).subspan(
+                    static_cast<std::size_t>(i) * n, n),
+                k, n);
+  }
+  for (std::size_t i = 0; i < y_gemm.size(); ++i) {
+    EXPECT_FLOAT_EQ(y_gemm[i], y_gemv[i]);
+  }
+}
+
+TEST(GemmTest, SoftmaxSumsToOne) {
+  Pcg32 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto row = RandomGaussianVector(33, 5.0f, rng);
+    SoftmaxInPlace(row);
+    double sum = 0.0;
+    for (float v : row) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(GemmTest, SoftmaxStableUnderLargeInputs) {
+  std::vector<float> row = {1000.0f, 1000.0f, 1000.0f};
+  SoftmaxInPlace(row);
+  for (float v : row) EXPECT_NEAR(v, 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(GemmTest, SoftmaxMonotone) {
+  std::vector<float> row = {0.0f, 1.0f, 2.0f};
+  SoftmaxInPlace(row);
+  EXPECT_LT(row[0], row[1]);
+  EXPECT_LT(row[1], row[2]);
+}
+
+TEST(GemmTest, RmsNormUnitWeightPreservesDirection) {
+  Pcg32 rng(3);
+  auto x = RandomGaussianVector(64, 2.0f, rng);
+  std::vector<f16> weight(64, f16(1.0f));
+  std::vector<float> out(64);
+  RmsNormRow(x, weight, out, 1e-5f);
+  // Output should have RMS ≈ 1.
+  double ss = 0.0;
+  for (float v : out) ss += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(ss / 64.0), 1.0, 1e-3);
+  // And preserve sign/ratios of the input.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_GT(out[i] * x[i], 0.0f);
+  }
+}
+
+TEST(GemmTest, RmsNormAppliesWeight) {
+  std::vector<float> x = {3.0f, 4.0f};
+  std::vector<f16> weight = {f16(2.0f), f16(0.5f)};
+  std::vector<float> out(2);
+  RmsNormRow(x, weight, out, 0.0f);
+  float rms = std::sqrt((9.0f + 16.0f) / 2.0f);
+  EXPECT_NEAR(out[0], 3.0f / rms * 2.0f, 1e-4f);
+  EXPECT_NEAR(out[1], 4.0f / rms * 0.5f, 1e-4f);
+}
+
+TEST(GemmTest, SiluKnownValues) {
+  std::vector<float> xs = {0.0f, 100.0f, -100.0f, 1.0f};
+  SiluInPlace(xs);
+  EXPECT_FLOAT_EQ(xs[0], 0.0f);
+  EXPECT_NEAR(xs[1], 100.0f, 1e-3f);   // sigmoid → 1
+  EXPECT_NEAR(xs[2], 0.0f, 1e-3f);     // sigmoid → 0
+  EXPECT_NEAR(xs[3], 1.0f / (1.0f + std::exp(-1.0f)), 1e-6f);
+}
+
+TEST(GemmDeathTest, ShapeMismatchAborts) {
+  std::vector<float> x(4), w(4), y(3);
+  EXPECT_DEATH(Gemm(x, w, y, 2, 2, 2), "PUNICA_CHECK");
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,99 @@
+#include "tensor/half.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+TEST(HalfTest, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable in fp16.
+  for (int i = -2048; i <= 2048; ++i) {
+    f16 h(static_cast<float>(i));
+    EXPECT_EQ(h.ToFloat(), static_cast<float>(i)) << i;
+  }
+}
+
+TEST(HalfTest, KnownBitPatterns) {
+  EXPECT_EQ(f16(0.0f).bits(), 0x0000);
+  EXPECT_EQ(f16(-0.0f).bits(), 0x8000);
+  EXPECT_EQ(f16(1.0f).bits(), 0x3C00);
+  EXPECT_EQ(f16(-1.0f).bits(), 0xBC00);
+  EXPECT_EQ(f16(2.0f).bits(), 0x4000);
+  EXPECT_EQ(f16(0.5f).bits(), 0x3800);
+  EXPECT_EQ(f16(65504.0f).bits(), 0x7BFF);  // max finite
+}
+
+TEST(HalfTest, OverflowBecomesInfinity) {
+  EXPECT_EQ(f16(65536.0f).bits(), 0x7C00);
+  EXPECT_EQ(f16(-65536.0f).bits(), 0xFC00);
+  EXPECT_EQ(f16(1e30f).bits(), 0x7C00);
+  EXPECT_TRUE(std::isinf(f16(1e30f).ToFloat()));
+}
+
+TEST(HalfTest, InfinityAndNanRoundTrip) {
+  float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(f16(inf).bits(), 0x7C00);
+  EXPECT_EQ(f16(-inf).bits(), 0xFC00);
+  float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(f16(nan).ToFloat()));
+}
+
+TEST(HalfTest, SubnormalsRepresentable) {
+  // Smallest positive subnormal fp16: 2^-24.
+  float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(f16(tiny).bits(), 0x0001);
+  EXPECT_EQ(f16(tiny).ToFloat(), tiny);
+  // Largest subnormal: (1023/1024) · 2^-14.
+  float sub = std::ldexp(1023.0f / 1024.0f, -14);
+  EXPECT_EQ(f16(sub).bits(), 0x03FF);
+  EXPECT_EQ(f16(sub).ToFloat(), sub);
+}
+
+TEST(HalfTest, UnderflowToZero) {
+  EXPECT_EQ(f16(std::ldexp(1.0f, -26)).bits(), 0x0000);
+  EXPECT_EQ(f16(-std::ldexp(1.0f, -26)).bits(), 0x8000);
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1.0 + 2^-11 is exactly halfway between 1.0 and the next fp16 value;
+  // round-to-even keeps 1.0 (even mantissa).
+  float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(f16(halfway).bits(), 0x3C00);
+  // (1 + 2^-10) + 2^-11 is halfway with an odd mantissa below: rounds up.
+  float halfway_odd = 1.0f + std::ldexp(1.0f, -10) + std::ldexp(1.0f, -11);
+  EXPECT_EQ(f16(halfway_odd).bits(), 0x3C02);
+}
+
+TEST(HalfTest, AllBitPatternsRoundTripThroughFloat) {
+  // Every finite fp16 value must survive f16 → float → f16 exactly.
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    auto b16 = static_cast<std::uint16_t>(bits);
+    f16 h = f16::FromBits(b16);
+    float f = h.ToFloat();
+    if (std::isnan(f)) continue;  // NaN payloads may canonicalise
+    EXPECT_EQ(f16(f).bits(), b16) << "bits=" << bits;
+  }
+}
+
+TEST(HalfTest, RoundTripErrorWithinHalfUlp) {
+  Pcg32 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    float x = rng.NextFloat(-1000.0f, 1000.0f);
+    float back = f16(x).ToFloat();
+    EXPECT_LE(std::abs(back - x), std::abs(x) * kF16Epsilon + 1e-7f) << x;
+  }
+}
+
+TEST(HalfTest, EqualityComparesBits) {
+  EXPECT_TRUE(f16(1.5f) == f16(1.5f));
+  EXPECT_FALSE(f16(0.0f) == f16(-0.0f));  // distinct bit patterns
+}
+
+}  // namespace
+}  // namespace punica

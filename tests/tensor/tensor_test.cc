@@ -1,0 +1,97 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/half.h"
+
+namespace punica {
+namespace {
+
+TEST(TensorTest, ShapeAndNumel) {
+  Tensor<float> t({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3u);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.dim(2), 4);
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor<float> t;
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.ndim(), 0u);
+}
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor<float> t({4, 4});
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, AtIndexingRowMajor) {
+  Tensor<float> t({2, 3});
+  t.at({0, 0}) = 1.0f;
+  t.at({0, 2}) = 2.0f;
+  t.at({1, 0}) = 3.0f;
+  t.at({1, 2}) = 4.0f;
+  auto d = t.data();
+  EXPECT_EQ(d[0], 1.0f);
+  EXPECT_EQ(d[2], 2.0f);
+  EXPECT_EQ(d[3], 3.0f);
+  EXPECT_EQ(d[5], 4.0f);
+}
+
+TEST(TensorTest, RowView) {
+  Tensor<float> t({3, 4});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(i);
+  }
+  auto row1 = t.row(1);
+  ASSERT_EQ(row1.size(), 4u);
+  EXPECT_EQ(row1[0], 4.0f);
+  EXPECT_EQ(row1[3], 7.0f);
+  // Row views alias storage.
+  row1[0] = 99.0f;
+  EXPECT_EQ(t.at({1, 0}), 99.0f);
+}
+
+TEST(TensorTest, ConstRowView) {
+  Tensor<float> t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  const Tensor<float>& ct = t;
+  auto row = ct.row(1);
+  EXPECT_EQ(row[0], 3.0f);
+  EXPECT_EQ(row[1], 4.0f);
+}
+
+TEST(TensorTest, FromDataVector) {
+  Tensor<float> t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at({1, 1}), 4.0f);
+}
+
+TEST(TensorTest, Fill) {
+  Tensor<float> t({5});
+  t.Fill(2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, ZeroDimensionAllowed) {
+  Tensor<float> t({0, 7});
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(TensorTest, HalfTensorStorageSize) {
+  Tensor<f16> t({128, 16});
+  EXPECT_EQ(t.numel() * sizeof(f16), 4096u);
+}
+
+TEST(TensorDeathTest, OutOfRangeAborts) {
+  Tensor<float> t({2, 2});
+  EXPECT_DEATH(t.at({2, 0}), "PUNICA_CHECK");
+  EXPECT_DEATH(t.row(5), "PUNICA_CHECK");
+}
+
+TEST(TensorDeathTest, MismatchedDataSizeAborts) {
+  EXPECT_DEATH((Tensor<float>({2, 2}, {1.0f})), "PUNICA_CHECK");
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,141 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace punica {
+namespace {
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    double x = i * 0.37 - 5.0;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStat c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(PercentileTest, KnownValues) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 5.5);
+  EXPECT_NEAR(Percentile(xs, 90), 9.1, 1e-12);
+}
+
+TEST(PercentileTest, SingleElement) {
+  std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 42.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 99), 42.0);
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  std::vector<double> xs = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 5.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.0);    // bucket 0
+  h.Add(1.99);   // bucket 0
+  h.Add(2.0);    // bucket 1
+  h.Add(9.99);   // bucket 4
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(HistogramTest, OutOfRangeClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST(HistogramTest, SparklineNonEmpty) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(3.5);
+  std::string s = h.Sparkline();
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(TimeSeriesTest, WindowReduction) {
+  TimeSeries ts;
+  ts.Add(0.5, 10.0);
+  ts.Add(0.9, 20.0);
+  ts.Add(1.5, 30.0);
+  ts.Add(2.9, 40.0);
+  auto rows = ts.Windows(1.0, 3.0);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].sum, 30.0);
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].mean, 15.0);
+  EXPECT_DOUBLE_EQ(rows[1].sum, 30.0);
+  EXPECT_DOUBLE_EQ(rows[2].sum, 40.0);
+}
+
+TEST(TimeSeriesTest, OutOfHorizonDropped) {
+  TimeSeries ts;
+  ts.Add(-1.0, 5.0);
+  ts.Add(10.0, 5.0);
+  auto rows = ts.Windows(1.0, 2.0);
+  EXPECT_EQ(rows[0].count, 0u);
+  EXPECT_EQ(rows[1].count, 0u);
+}
+
+TEST(TimeSeriesTest, EmptyWindowsAreZero) {
+  TimeSeries ts;
+  auto rows = ts.Windows(60.0, 3600.0);
+  EXPECT_EQ(rows.size(), 60u);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.count, 0u);
+    EXPECT_EQ(r.mean, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,64 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace punica {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table t({"a", "bbbb"});
+  t.AddRow({"xxxxxx", "1"});
+  std::string out = t.Render();
+  // Each line should have the same display width up to trailing content.
+  auto first_nl = out.find('\n');
+  auto second_nl = out.find('\n', first_nl + 1);
+  std::string header = out.substr(0, first_nl);
+  std::string sep = out.substr(first_nl + 1, second_nl - first_nl - 1);
+  EXPECT_EQ(sep.find_first_not_of("- "), std::string::npos);
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "PUNICA_CHECK");
+}
+
+TEST(FormatTest, Seconds) {
+  EXPECT_EQ(FormatSeconds(37e-6), "37.0 µs");
+  EXPECT_EQ(FormatSeconds(1.35e-3), "1.35 ms");
+  EXPECT_EQ(FormatSeconds(2.5), "2.50 s");
+  EXPECT_EQ(FormatSeconds(0.0), "0.0 µs");
+}
+
+TEST(FormatTest, NegativeSeconds) {
+  EXPECT_EQ(FormatSeconds(-1.35e-3), "-1.35 ms");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(262144), "256.0 KB");
+  EXPECT_EQ(FormatBytes(16.8 * 1024 * 1024), "16.8 MB");
+}
+
+TEST(FormatTest, Flops) {
+  EXPECT_EQ(FormatFlops(312e12), "312.00 TFLOP/s");
+  EXPECT_EQ(FormatFlops(1.5e9), "1.50 GFLOP/s");
+}
+
+TEST(FormatTest, Double) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1044.0, 0), "1044");
+}
+
+}  // namespace
+}  // namespace punica

@@ -1,0 +1,83 @@
+#include "workload/lengths.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace punica {
+namespace {
+
+TEST(LengthsTest, WithinClipBounds) {
+  ShareGptLengthSampler sampler;
+  Pcg32 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    LengthSample s = sampler.Sample(rng);
+    EXPECT_GE(s.prompt_len, sampler.params().min_len);
+    EXPECT_LE(s.prompt_len, sampler.params().max_len);
+    EXPECT_GE(s.output_len, sampler.params().min_len);
+    EXPECT_LE(s.output_len, sampler.params().max_len);
+  }
+}
+
+TEST(LengthsTest, MeansNearShareGptStatistics) {
+  // Target: mean prompt ≈ 161, mean response ≈ 338 tokens (clipping pulls
+  // the sampled means slightly below the analytic lognormal means).
+  ShareGptLengthSampler sampler;
+  Pcg32 rng(2);
+  RunningStat prompts, outputs;
+  for (int i = 0; i < 100000; ++i) {
+    LengthSample s = sampler.Sample(rng);
+    prompts.Add(s.prompt_len);
+    outputs.Add(s.output_len);
+  }
+  EXPECT_NEAR(prompts.mean(), 161.0, 40.0);
+  EXPECT_NEAR(outputs.mean(), 338.0, 60.0);
+  EXPECT_GT(outputs.mean(), prompts.mean());  // responses longer than prompts
+}
+
+TEST(LengthsTest, HeavyRightTail) {
+  ShareGptLengthSampler sampler;
+  Pcg32 rng(3);
+  std::vector<double> prompts;
+  for (int i = 0; i < 50000; ++i) {
+    prompts.push_back(sampler.Sample(rng).prompt_len);
+  }
+  double p50 = Percentile(prompts, 50);
+  double p99 = Percentile(prompts, 99);
+  // Lognormal: p99 ≫ median (heavy tail), unlike a normal where p99≈2.3σ.
+  EXPECT_GT(p99, p50 * 8.0);
+}
+
+TEST(LengthsTest, AnalyticMeansMatchParams) {
+  ShareGptLengthSampler sampler;
+  // exp(µ + σ²/2)
+  EXPECT_NEAR(sampler.UnclippedPromptMean(), 166.0, 5.0);
+  EXPECT_NEAR(sampler.UnclippedOutputMean(), 330.0, 5.0);
+}
+
+TEST(LengthsTest, DeterministicInRngState) {
+  ShareGptLengthSampler sampler;
+  Pcg32 a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    LengthSample sa = sampler.Sample(a);
+    LengthSample sb = sampler.Sample(b);
+    EXPECT_EQ(sa.prompt_len, sb.prompt_len);
+    EXPECT_EQ(sa.output_len, sb.output_len);
+  }
+}
+
+TEST(LengthsTest, CustomParamsRespected) {
+  ShareGptLengthSampler::Params p;
+  p.min_len = 10;
+  p.max_len = 20;
+  ShareGptLengthSampler sampler(p);
+  Pcg32 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    LengthSample s = sampler.Sample(rng);
+    EXPECT_GE(s.prompt_len, 10);
+    EXPECT_LE(s.prompt_len, 20);
+  }
+}
+
+}  // namespace
+}  // namespace punica

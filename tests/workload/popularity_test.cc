@@ -1,0 +1,115 @@
+#include "workload/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace punica {
+namespace {
+
+TEST(PopularityTest, ToStringNames) {
+  EXPECT_EQ(ToString(Popularity::kDistinct), "Distinct");
+  EXPECT_EQ(ToString(Popularity::kUniform), "Uniform");
+  EXPECT_EQ(ToString(Popularity::kSkewed), "Skewed");
+  EXPECT_EQ(ToString(Popularity::kIdentical), "Identical");
+}
+
+TEST(PopularityTest, NumModels) {
+  EXPECT_EQ(NumModelsFor(Popularity::kDistinct, 1000), 1000);
+  EXPECT_EQ(NumModelsFor(Popularity::kUniform, 1000), 32);  // ⌈√1000⌉
+  EXPECT_EQ(NumModelsFor(Popularity::kUniform, 64), 8);
+  EXPECT_EQ(NumModelsFor(Popularity::kIdentical, 1000), 1);
+  int skewed = NumModelsFor(Popularity::kSkewed, 1000, 1.5);
+  EXPECT_GT(skewed, 5);
+  EXPECT_LT(skewed, 40);
+}
+
+TEST(PopularityTest, DistinctAssignsUniqueIds) {
+  Pcg32 rng(1);
+  auto ids = AssignLoraIds(Popularity::kDistinct, 100, rng);
+  std::set<LoraId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(PopularityTest, IdenticalAssignsOneId) {
+  Pcg32 rng(2);
+  auto ids = AssignLoraIds(Popularity::kIdentical, 100, rng);
+  for (auto id : ids) EXPECT_EQ(id, 0);
+}
+
+TEST(PopularityTest, UniformUsesSqrtModelsRoughlyEvenly) {
+  Pcg32 rng(3);
+  const int n = 10000;
+  auto ids = AssignLoraIds(Popularity::kUniform, n, rng);
+  int m = NumModelsFor(Popularity::kUniform, n);
+  std::map<LoraId, int> counts;
+  for (auto id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, m);
+    ++counts[id];
+  }
+  for (const auto& [id, c] : counts) {
+    EXPECT_NEAR(c, n / m, n / m * 0.35) << "model " << id;
+  }
+}
+
+TEST(PopularityTest, SkewedFollowsGeometricRatio) {
+  // Paper definition: requests to the i-th most popular model are α× those
+  // of the (i+1)-th.
+  Pcg32 rng(4);
+  const int n = 200000;
+  auto ids = AssignLoraIds(Popularity::kSkewed, n, rng, 1.5);
+  std::map<LoraId, int> counts;
+  for (auto id : ids) ++counts[id];
+  // Model 0 most popular; ratio of successive counts ≈ 1.5.
+  ASSERT_GE(counts.size(), 3u);
+  double r01 = static_cast<double>(counts[0]) / counts[1];
+  double r12 = static_cast<double>(counts[1]) / counts[2];
+  EXPECT_NEAR(r01, 1.5, 0.12);
+  EXPECT_NEAR(r12, 1.5, 0.12);
+}
+
+TEST(ZipfAlphaSamplerTest, ProbabilitiesSumToOne) {
+  ZipfAlphaSampler sampler(12, 1.5);
+  double total = 0.0;
+  for (int i = 0; i < sampler.num_models(); ++i) {
+    total += sampler.ProbabilityOf(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfAlphaSamplerTest, ProbabilitiesAreGeometric) {
+  ZipfAlphaSampler sampler(10, 2.0);
+  for (int i = 0; i + 1 < sampler.num_models(); ++i) {
+    EXPECT_NEAR(sampler.ProbabilityOf(i) / sampler.ProbabilityOf(i + 1), 2.0,
+                1e-9);
+  }
+}
+
+TEST(ZipfAlphaSamplerTest, SamplesInRange) {
+  ZipfAlphaSampler sampler(5, 1.5);
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    LoraId id = sampler.Sample(rng);
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 5);
+  }
+}
+
+TEST(ZipfAlphaSamplerTest, SingleModelDegenerate) {
+  ZipfAlphaSampler sampler(1, 1.5);
+  Pcg32 rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0);
+}
+
+TEST(PopularityTest, DeterministicInSeed) {
+  Pcg32 a(77), b(77);
+  auto ia = AssignLoraIds(Popularity::kSkewed, 500, a);
+  auto ib = AssignLoraIds(Popularity::kSkewed, 500, b);
+  EXPECT_EQ(ia, ib);
+}
+
+}  // namespace
+}  // namespace punica

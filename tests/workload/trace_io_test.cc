@@ -1,0 +1,79 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace punica {
+namespace {
+
+std::vector<TraceRequest> SampleTrace() {
+  TraceSpec spec;
+  spec.num_requests = 50;
+  spec.popularity = Popularity::kSkewed;
+  auto trace = GenerateClosedLoopTrace(spec);
+  // Give some non-trivial arrival times.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].arrival_time = static_cast<double>(i) * 0.125;
+  }
+  return trace;
+}
+
+TEST(TraceIoTest, CsvRoundTrip) {
+  auto trace = SampleTrace();
+  auto back = TraceFromCsv(TraceToCsv(trace));
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i].id, trace[i].id);
+    EXPECT_DOUBLE_EQ(back[i].arrival_time, trace[i].arrival_time);
+    EXPECT_EQ(back[i].lora_id, trace[i].lora_id);
+    EXPECT_EQ(back[i].prompt_len, trace[i].prompt_len);
+    EXPECT_EQ(back[i].output_len, trace[i].output_len);
+  }
+}
+
+TEST(TraceIoTest, EmptyTraceIsHeaderOnly) {
+  std::vector<TraceRequest> empty;
+  std::string csv = TraceToCsv(empty);
+  EXPECT_EQ(csv, "id,arrival_time,lora_id,prompt_len,output_len\n");
+  EXPECT_TRUE(TraceFromCsv(csv).empty());
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  auto trace = SampleTrace();
+  std::string path = ::testing::TempDir() + "/punica_trace_test.csv";
+  SaveTraceCsv(path, trace);
+  auto back = LoadTraceCsv(path);
+  ASSERT_EQ(back.size(), trace.size());
+  EXPECT_EQ(back[7].prompt_len, trace[7].prompt_len);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, IgnoresTrailingBlankLines) {
+  auto trace = SampleTrace();
+  std::string csv = TraceToCsv(trace) + "\n\n";
+  EXPECT_EQ(TraceFromCsv(csv).size(), trace.size());
+}
+
+TEST(TraceIoDeathTest, BadHeaderAborts) {
+  EXPECT_DEATH(TraceFromCsv("nope\n1,0,0,1,1\n"), "header");
+}
+
+TEST(TraceIoDeathTest, MalformedRowAborts) {
+  std::string csv = "id,arrival_time,lora_id,prompt_len,output_len\nxyz\n";
+  EXPECT_DEATH(TraceFromCsv(csv), "malformed");
+}
+
+TEST(TraceIoDeathTest, NonPositiveLengthAborts) {
+  std::string csv =
+      "id,arrival_time,lora_id,prompt_len,output_len\n0,0,0,0,5\n";
+  EXPECT_DEATH(TraceFromCsv(csv), "non-positive");
+}
+
+TEST(TraceIoDeathTest, MissingFileAborts) {
+  EXPECT_DEATH(LoadTraceCsv("/nonexistent/path/trace.csv"), "cannot open");
+}
+
+}  // namespace
+}  // namespace punica
