@@ -62,7 +62,7 @@ int main() {
     for (int g = 0; g < cfg.num_gpus; ++g) {
       if (driver.scheduler().IsGpuEnabled(g)) {
         sets += std::to_string(
-                    driver.scheduler().runner(g)->working_set_size()) +
+                    driver.scheduler().backend(g)->working_set_size()) +
                 " ";
       } else {
         sets += "- ";

@@ -30,13 +30,15 @@ int main() {
 
   // Reference: uninterrupted generation on one engine.
   Engine reference(&model, model.MakeKvConfig(512));
-  std::int64_t ref_id = reference.AddRequest(0, prompt, want);
+  RequestHandle ref_id = reference.AddRequest(
+      {.lora = 0, .prompt_tokens = prompt, .max_new_tokens = want});
   while (reference.HasWork()) reference.Step();
   std::printf("uninterrupted : %s\n", Render(*reference.Output(ref_id)).c_str());
 
   // GPU 1 serves the request for 6 steps, then the scheduler migrates it.
   Engine gpu1(&model, model.MakeKvConfig(512));
-  std::int64_t id = gpu1.AddRequest(0, prompt, want);
+  RequestHandle id = gpu1.AddRequest(
+      {.lora = 0, .prompt_tokens = prompt, .max_new_tokens = want});
   for (int i = 0; i < 6; ++i) gpu1.Step();
   std::printf("gpu1 (6 steps): %s<-- migrate here\n",
               Render(*gpu1.Output(id)).c_str());
@@ -49,7 +51,7 @@ int main() {
   // Add: GPU 2 re-prefills prompt + generated (recomputation — no KvCache
   // transfer) and continues streaming.
   Engine gpu2(&model, model.MakeKvConfig(512));
-  std::int64_t id2 = gpu2.AddMigrated(*snapshot);
+  RequestHandle id2 = gpu2.AddMigrated(*snapshot);
   while (gpu2.HasWork()) gpu2.Step();
   std::printf("gpu2 (resumed): %s\n", Render(*gpu2.Output(id2)).c_str());
 

@@ -54,9 +54,10 @@ int main() {
       {"tenant-C (lora 2)", 2, {8, 8, 8}},
       {"tenant-D (backbone)", -1, {1, 2, 3}},
   };
-  std::vector<std::int64_t> ids;
+  std::vector<RequestHandle> ids;
   for (const auto& s : submissions) {
-    ids.push_back(engine.AddRequest(s.lora, s.prompt, /*max_new_tokens=*/8));
+    ids.push_back(engine.AddRequest(
+        {.lora = s.lora, .prompt_tokens = s.prompt, .max_new_tokens = 8}));
   }
 
   // 4. Run the continuous-batching loop. Each Step() is one batched model

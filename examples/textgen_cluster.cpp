@@ -1,0 +1,123 @@
+// Real text generation through the full serving stack (paper Fig. 2):
+//
+//     Frontend → ClusterDriver → Scheduler → EngineBackend → Engine
+//
+// This is the unified-API payoff: the same frontend/scheduler/driver that
+// runs cluster-scale simulations here drives two *numeric* engines over one
+// shared tiny-Llama backbone, and every token streamed back to a user is a
+// real model output. The demo cross-checks the whole stack: each stream
+// must be bit-identical to driving an Engine directly with the same seed.
+//
+//     cmake -B build -G Ninja && cmake --build build
+//     ./build/examples/textgen_cluster
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.h"
+#include "model/llama.h"
+#include "runtime/engine.h"
+#include "runtime/engine_backend.h"
+#include "sched/cluster.h"
+
+using namespace punica;
+
+namespace {
+
+std::string Render(const std::vector<std::int32_t>& tokens) {
+  std::string s;
+  for (auto t : tokens) s += std::to_string(t) + " ";
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  // One backbone copy shared by every "GPU", plus per-tenant LoRA models.
+  LlamaModel model(TinyLlama(), /*seed=*/1234);
+  model.AddLora(0, 8, 111);
+  model.AddLora(1, 8, 222);
+  model.AddLora(2, 4, 333);
+
+  struct Tenant {
+    const char* name;
+    LoraId lora;
+    std::vector<std::int32_t> prompt;
+    int tokens;
+  };
+  std::vector<Tenant> tenants = {
+      {"tenant-A (lora 0)", 0, {17, 3, 42, 7}, 10},
+      {"tenant-B (lora 1)", 1, {99, 5}, 8},
+      {"tenant-C (lora 2)", 2, {8, 8, 8}, 12},
+      {"tenant-D (backbone)", -1, {1, 2, 3}, 6},
+      {"tenant-E (lora 0)", 0, {64, 32, 16}, 9},
+  };
+
+  // Reference: each request alone on a dedicated engine.
+  std::map<std::string, std::vector<std::int32_t>> reference;
+  for (const auto& t : tenants) {
+    Engine solo(&model, model.MakeKvConfig(256), {.max_batch_size = 1});
+    RequestHandle id = solo.AddRequest({.lora = t.lora,
+                                        .prompt_tokens = t.prompt,
+                                        .max_new_tokens = t.tokens});
+    while (solo.HasWork()) solo.Step();
+    reference[t.name] = *solo.Output(id);
+  }
+
+  // The serving stack: two numeric engines behind the cluster scheduler.
+  Engine e0(&model, model.MakeKvConfig(256), {.max_batch_size = 4});
+  Engine e1(&model, model.MakeKvConfig(256), {.max_batch_size = 4});
+  EngineBackend gpu0(0, &e0);
+  EngineBackend gpu1(1, &e1);
+  ClusterConfig cfg;
+  cfg.consolidation_interval_s = 0.05;
+  ClusterDriver driver({&gpu0, &gpu1}, cfg);
+
+  Frontend::SchedulerApi api;
+  api.submit = [&](ServingRequest* req) { driver.SubmitExternal(req); };
+  api.cancel = [&](std::int64_t id) { return driver.CancelExternal(id); };
+  Frontend frontend(0, api, /*id_base=*/1000);
+  driver.SetEmissionCallback([&](const StepResult& result, double now) {
+    frontend.OnStep(result, now);
+  });
+
+  // Submit every tenant and subscribe to their streams: tokens arrive as
+  // the cluster generates them, nothing is buffered.
+  std::map<std::string, std::vector<std::int32_t>> streamed;
+  for (const auto& t : tenants) {
+    RequestHandle h = frontend.Submit({.lora = t.lora,
+                                       .prompt_tokens = t.prompt,
+                                       .max_new_tokens = t.tokens});
+    std::string name = t.name;
+    frontend.Subscribe(h, [&streamed, name](std::int32_t token, double) {
+      streamed[name].push_back(token);
+    });
+  }
+  driver.Run();
+
+  std::printf("Frontend → Scheduler → numeric Engine, %d backends, %zu "
+              "tenants\n\n",
+              driver.num_backends(), tenants.size());
+  bool all_equal = true;
+  for (const auto& t : tenants) {
+    bool equal = streamed[t.name] == reference[t.name];
+    all_equal = all_equal && equal;
+    std::printf("  %-20s streamed: %s%s\n", t.name,
+                Render(streamed[t.name]).c_str(),
+                equal ? "" : "  MISMATCH vs solo run!");
+  }
+  const ClusterStats& stats = driver.stats();
+  std::printf("\n%lld requests finished in %lld batched invocations "
+              "(mean batch %.1f), %lld migrations\n",
+              static_cast<long long>(stats.finished_requests),
+              static_cast<long long>(stats.total_steps),
+              stats.step_batch_size.mean(),
+              static_cast<long long>(stats.migrations));
+  std::printf("all streams bit-identical to solo engine runs: %s\n",
+              all_equal ? "YES" : "NO");
+  std::printf("frontend sessions live after streaming: %zu (subscribed "
+              "sessions free themselves)\n",
+              frontend.live_sessions());
+  return all_equal ? 0 : 1;
+}

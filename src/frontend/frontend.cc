@@ -15,62 +15,108 @@ Frontend::Frontend(int frontend_id, SchedulerApi api, std::int64_t id_base,
   PUNICA_CHECK(id_stride_ >= 1);
 }
 
-std::int64_t Frontend::Submit(LoraId lora, std::int32_t prompt_len,
-                              std::int32_t output_len, double now) {
-  PUNICA_CHECK(prompt_len > 0);
-  PUNICA_CHECK(output_len > 0);
+RequestHandle Frontend::Submit(const SubmitSpec& spec) {
+  PUNICA_CHECK(spec.EffectivePromptLen() > 0);
+  PUNICA_CHECK(spec.max_new_tokens > 0);
   std::int64_t id = next_id_;
   next_id_ += id_stride_;
   Session session;
   session.request = std::make_unique<ServingRequest>(
-      ServingRequest{.id = id,
-                     .lora_id = lora,
-                     .prompt_len = prompt_len,
-                     .output_len = output_len,
-                     .arrival_time = now});
+      ServingRequest::FromSpec(id, spec));
   ServingRequest* req = session.request.get();
   sessions_.emplace(id, std::move(session));
+  ++total_submitted_;
   api_.submit(req);
-  return id;
+  return RequestHandle(id);
 }
 
-TokenStream& Frontend::Stream(std::int64_t request_id) {
-  auto it = sessions_.find(request_id);
-  PUNICA_CHECK_MSG(it != sessions_.end(), "unknown request id");
-  return it->second.stream;
+TokenStream* Frontend::Stream(RequestHandle h) {
+  auto it = sessions_.find(h.id());
+  return it == sessions_.end() ? nullptr : &it->second.stream;
 }
 
-const TokenStream& Frontend::Stream(std::int64_t request_id) const {
-  auto it = sessions_.find(request_id);
-  PUNICA_CHECK_MSG(it != sessions_.end(), "unknown request id");
-  return it->second.stream;
+const TokenStream* Frontend::Stream(RequestHandle h) const {
+  auto it = sessions_.find(h.id());
+  return it == sessions_.end() ? nullptr : &it->second.stream;
 }
 
-bool Frontend::Owns(std::int64_t request_id) const {
-  return sessions_.contains(request_id);
+bool Frontend::Owns(RequestHandle h) const {
+  return sessions_.contains(h.id());
 }
 
-void Frontend::Disconnect(std::int64_t request_id) {
-  auto it = sessions_.find(request_id);
-  PUNICA_CHECK_MSG(it != sessions_.end(), "unknown request id");
-  if (it->second.stream.closed()) return;  // already done
-  api_.cancel(request_id);
-  it->second.stream.Close(StreamEnd::kCancelled);
+bool Frontend::Subscribe(RequestHandle h,
+                         TokenStream::TokenCallback on_token,
+                         TokenStream::CloseCallback on_close) {
+  auto it = sessions_.find(h.id());
+  if (it == sessions_.end()) return false;
+  if (it->second.stream.closed()) {
+    // Already over: detach the session before delivering the backlog and
+    // close so reentrant Release/Disconnect from the callbacks can't
+    // double-erase it.
+    Session session = std::move(it->second);
+    sessions_.erase(it);
+    session.stream.Subscribe(std::move(on_token), std::move(on_close));
+    return true;
+  }
+  it->second.stream.Subscribe(std::move(on_token), std::move(on_close));
+  // The backlog delivery may have re-entered this frontend; re-find.
+  it = sessions_.find(h.id());
+  if (it != sessions_.end() && it->second.stream.closed()) {
+    sessions_.erase(it);
+  }
+  return true;
 }
 
-void Frontend::OnToken(std::int64_t request_id, double now) {
+void Frontend::Disconnect(RequestHandle h) {
+  auto it = sessions_.find(h.id());
+  if (it == sessions_.end()) return;  // unknown or already released
+  // The user is gone; detach the session before Close() so a subscriber's
+  // on_close calling Release/Disconnect can't double-erase it.
+  Session session = std::move(it->second);
+  sessions_.erase(it);
+  if (!session.stream.closed()) {
+    api_.cancel(h.id());
+    session.stream.Close(StreamEnd::kCancelled);
+  }
+}
+
+bool Frontend::Release(RequestHandle h) {
+  auto it = sessions_.find(h.id());
+  if (it == sessions_.end()) return false;
+  if (!it->second.stream.closed()) return false;  // still producing
+  sessions_.erase(it);
+  return true;
+}
+
+void Frontend::OnStep(const StepResult& result, double now) {
+  for (const EmittedToken& e : result.emitted) {
+    OnToken(e.request_id, e.token, now);
+  }
+  for (std::int64_t id : result.finished) OnFinished(id, now);
+}
+
+void Frontend::OnToken(std::int64_t request_id, std::int32_t token,
+                       double now) {
   auto it = sessions_.find(request_id);
   if (it == sessions_.end()) return;  // another frontend's request
   if (it->second.stream.closed()) return;  // raced with a disconnect
-  // In simulation the token *content* is synthetic (a per-request counter);
-  // ordering and timing are what the serving tier is responsible for.
-  it->second.stream.Push(it->second.next_token_tag++, now);
+  it->second.stream.Push(token, now);
 }
 
 void Frontend::OnFinished(std::int64_t request_id, double now) {
   (void)now;
   auto it = sessions_.find(request_id);
   if (it == sessions_.end()) return;
+  if (it->second.stream.subscribed()) {
+    // Subscribed consumers received every token already — the session frees
+    // itself so long traces don't accumulate finished sessions. Detach it
+    // from the map *before* Close() delivers on_close, so a callback that
+    // calls Release/Disconnect (natural cleanup) can't double-erase.
+    Session session = std::move(it->second);
+    sessions_.erase(it);
+    if (!session.stream.closed()) session.stream.Close(StreamEnd::kFinished);
+    return;
+  }
   if (!it->second.stream.closed()) {
     it->second.stream.Close(StreamEnd::kFinished);
   }

@@ -6,10 +6,14 @@ namespace punica {
 
 void TokenStream::Push(std::int32_t token, double timestamp) {
   PUNICA_CHECK_MSG(state_ == StreamEnd::kOpen, "push on a closed stream");
-  pending_.push_back(token);
   ++total_pushed_;
   if (first_token_time_ < 0.0) first_token_time_ = timestamp;
   last_token_time_ = timestamp;
+  if (on_token_) {
+    on_token_(token, timestamp);
+  } else {
+    pending_.push_back({token, timestamp});
+  }
 }
 
 void TokenStream::Close(StreamEnd reason) {
@@ -21,17 +25,34 @@ void TokenStream::Close(StreamEnd reason) {
     return;
   }
   state_ = reason;
+  if (on_close_) on_close_(reason);
+}
+
+void TokenStream::Subscribe(TokenCallback on_token, CloseCallback on_close) {
+  PUNICA_CHECK(on_token != nullptr);
+  on_token_ = std::move(on_token);
+  on_close_ = std::move(on_close);
+  // Deliver anything buffered before the subscription, preserving order
+  // and each token's original push timestamp.
+  while (!pending_.empty()) {
+    Pending p = pending_.front();
+    pending_.pop_front();
+    on_token_(p.token, p.timestamp);
+  }
+  if (closed() && on_close_) on_close_(state_);
 }
 
 std::int32_t TokenStream::Next() {
   PUNICA_CHECK_MSG(!pending_.empty(), "Next() on an empty stream");
-  std::int32_t token = pending_.front();
+  std::int32_t token = pending_.front().token;
   pending_.pop_front();
   return token;
 }
 
 std::vector<std::int32_t> TokenStream::DrainAll() {
-  std::vector<std::int32_t> out(pending_.begin(), pending_.end());
+  std::vector<std::int32_t> out;
+  out.reserve(pending_.size());
+  for (const Pending& p : pending_) out.push_back(p.token);
   pending_.clear();
   return out;
 }

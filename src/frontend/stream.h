@@ -2,13 +2,19 @@
 // "as GPUs generate new tokens, new tokens are streamed from the runners to
 // the scheduler, to the frontends, and finally to the end-users").
 //
-// Single-threaded deterministic queue semantics: producers (the frontend's
-// runner-side callbacks) push token chunks; the consumer drains them in
-// order. Closing records why the stream ended.
+// Single-threaded deterministic semantics with two consumption modes:
+//   * pull — producers push token chunks, the consumer drains them in
+//     order (HasNext/Next/DrainAll);
+//   * subscribe — the consumer registers a callback and tokens are
+//     delivered as they are pushed (anything already pending is delivered
+//     at subscription time), so nothing is buffered.
+// Tokens are real ids on the numeric tier and per-request sequence tags on
+// the simulated tier. Closing records why the stream ended.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 namespace punica {
@@ -21,13 +27,28 @@ enum class StreamEnd {
 
 class TokenStream {
  public:
+  using TokenCallback =
+      std::function<void(std::int32_t token, double timestamp)>;
+  using CloseCallback = std::function<void(StreamEnd reason)>;
+
   /// Producer side.
   void Push(std::int32_t token, double timestamp);
   void Close(StreamEnd reason);
 
-  /// Consumer side.
+  /// Pull-based consumer side.
   bool HasNext() const { return !pending_.empty(); }
   std::int32_t Next();
+  /// Drains everything still pending.
+  std::vector<std::int32_t> DrainAll();
+
+  /// Subscriber mode: future pushes are delivered through `on_token`
+  /// instead of being queued; pending tokens are delivered immediately
+  /// with their original push timestamps. `on_close` (optional) fires when
+  /// the stream closes — immediately if it already has. Callbacks must not
+  /// destroy this stream synchronously (release the owning session from
+  /// `on_close`, not from `on_token`).
+  void Subscribe(TokenCallback on_token, CloseCallback on_close = nullptr);
+  bool subscribed() const { return on_token_ != nullptr; }
 
   StreamEnd state() const { return state_; }
   bool closed() const { return state_ != StreamEnd::kOpen; }
@@ -35,11 +56,14 @@ class TokenStream {
   double first_token_time() const { return first_token_time_; }
   double last_token_time() const { return last_token_time_; }
 
-  /// Drains everything still pending.
-  std::vector<std::int32_t> DrainAll();
-
  private:
-  std::deque<std::int32_t> pending_;
+  struct Pending {
+    std::int32_t token;
+    double timestamp;
+  };
+  std::deque<Pending> pending_;
+  TokenCallback on_token_;
+  CloseCallback on_close_;
   StreamEnd state_ = StreamEnd::kOpen;
   std::size_t total_pushed_ = 0;
   double first_token_time_ = -1.0;

@@ -14,6 +14,14 @@ Engine::Engine(LlamaModel* model, const KvCacheConfig& kv_config,
   PUNICA_CHECK(config_.prefill_limit >= 1);
 }
 
+std::int32_t Engine::ResolveEos(std::int32_t spec_eos) const {
+  if (spec_eos >= 0 && config_.eos_token >= 0) {
+    PUNICA_CHECK_MSG(spec_eos == config_.eos_token,
+                     "request and engine disagree on the EOS token");
+  }
+  return spec_eos >= 0 ? spec_eos : config_.eos_token;
+}
+
 std::int64_t Engine::Admit(Slot slot, std::vector<std::int32_t> generated) {
   PUNICA_CHECK_MSG(CanAdmit(), "working set full; queue at the caller");
   PUNICA_CHECK(!slot.prompt.empty());
@@ -25,34 +33,46 @@ std::int64_t Engine::Admit(Slot slot, std::vector<std::int32_t> generated) {
   return id;
 }
 
-std::int64_t Engine::AddRequest(LoraId lora,
-                                std::vector<std::int32_t> prompt,
-                                int max_new_tokens) {
-  PUNICA_CHECK(max_new_tokens >= 1);
+RequestHandle Engine::AddRequest(const SubmitSpec& spec) {
+  PUNICA_CHECK(spec.max_new_tokens >= 1);
+  PUNICA_CHECK_MSG(!spec.prompt_tokens.empty(),
+                   "the numeric engine needs real prompt tokens");
   Slot slot;
-  slot.lora = lora;
-  slot.prompt = std::move(prompt);
-  slot.max_new_tokens = max_new_tokens;
-  return Admit(std::move(slot), {});
+  slot.lora = spec.lora;
+  slot.prompt = spec.prompt_tokens;
+  slot.max_new_tokens = spec.max_new_tokens;
+  slot.eos_token = ResolveEos(spec.eos_token);
+  return RequestHandle(Admit(std::move(slot), {}));
 }
 
-std::int64_t Engine::AddMigrated(const RequestSnapshot& snapshot) {
+RequestHandle Engine::AddMigrated(const RequestSnapshot& snapshot) {
+  // A migrated request must keep the stopping condition it started with:
+  // the destination engine may not silently apply a different EOS token.
+  if (config_.eos_token >= 0) {
+    PUNICA_CHECK_MSG(snapshot.eos_token == config_.eos_token,
+                     "migration changed the EOS stop condition");
+  }
   Slot slot;
   slot.lora = snapshot.lora;
   slot.prompt = snapshot.prompt;
   slot.max_new_tokens = snapshot.max_new_tokens;
+  slot.eos_token = snapshot.eos_token;
   slot.resume_from = static_cast<std::int32_t>(snapshot.generated.size());
-  return Admit(std::move(slot), snapshot.generated);
+  return RequestHandle(Admit(std::move(slot), snapshot.generated));
 }
 
 std::optional<RequestSnapshot> Engine::Cancel(std::int64_t id) {
   auto it = active_.find(id);
   if (it == active_.end()) return std::nullopt;
   RequestSnapshot snap;
+  snap.request_id = id;
   snap.lora = it->second.lora;
   snap.prompt = it->second.prompt;
   snap.generated = outputs_.at(id);
+  snap.prompt_len = static_cast<std::int32_t>(snap.prompt.size());
+  snap.generated_len = static_cast<std::int32_t>(snap.generated.size());
   snap.max_new_tokens = it->second.max_new_tokens;
+  snap.eos_token = it->second.eos_token;
   kv_.FreeSequence(it->second.seq);
   active_.erase(it);
   return snap;
@@ -61,34 +81,90 @@ std::optional<RequestSnapshot> Engine::Cancel(std::int64_t id) {
 bool Engine::IsDone(const Slot& slot,
                     const std::vector<std::int32_t>& out) const {
   if (static_cast<int>(out.size()) >= slot.max_new_tokens) return true;
-  return config_.eos_token >= 0 && !out.empty() &&
-         out.back() == config_.eos_token;
+  return slot.eos_token >= 0 && !out.empty() &&
+         out.back() == slot.eos_token;
 }
 
-Engine::StepResult Engine::Step() {
+std::vector<std::int64_t> Engine::PlannedPrefillIds() const {
+  std::vector<std::int64_t> ids;
+  for (const auto& [id, slot] : active_) {
+    if (slot.needs_prefill) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end(), [this](std::int64_t a, std::int64_t b) {
+    return active_.at(a).admit_seq < active_.at(b).admit_seq;
+  });
+  if (static_cast<int>(ids.size()) > config_.prefill_limit) {
+    ids.resize(static_cast<std::size_t>(config_.prefill_limit));
+  }
+  return ids;
+}
+
+std::vector<std::int64_t> Engine::SelectEvictionVictims() const {
+  // Project the page demand of the next step exactly as Step() will run
+  // it: the planned prefills plus every decode.
+  std::vector<std::int64_t> planned = PlannedPrefillIds();
+  auto in_plan = [&](std::int64_t id) {
+    if (!active_.at(id).needs_prefill) return true;
+    for (std::int64_t pid : planned) {
+      if (pid == id) return true;
+    }
+    return false;
+  };
+  auto growth_pages = [this](const Slot& slot) -> std::int32_t {
+    if (slot.needs_prefill) {
+      // The sequence exists but holds no pages yet; a prefill extends it
+      // by the whole re-prefill chunk.
+      std::int32_t chunk =
+          static_cast<std::int32_t>(slot.prompt.size()) + slot.resume_from;
+      return kv_.config().PagesNeeded(chunk);
+    }
+    std::int64_t len = kv_.SeqLen(slot.seq);
+    return kv_.config().PagesNeeded(len + 1) - kv_.SeqPages(slot.seq);
+  };
+
+  std::int32_t demand = 0;
+  for (const auto& [id, slot] : active_) {
+    if (in_plan(id)) demand += growth_pages(slot);
+  }
+  std::int32_t free = kv_.free_pages();
+  if (demand <= free) return {};
+
+  // Evict the newest requests (max admit_seq) until the step fits,
+  // preserving FCFS (§5.3). Evicting releases a slot's held pages and
+  // removes its contribution to this step's growth. Strictly newest-first,
+  // even page-less prefills beyond the cut: skipping one would let it be
+  // promoted into the prefill plan after a planned prefill below it is
+  // evicted, adding page demand this projection never counted.
+  std::vector<std::pair<std::int64_t, const Slot*>> by_newest;
+  for (const auto& [id, slot] : active_) by_newest.emplace_back(id, &slot);
+  std::sort(by_newest.begin(), by_newest.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->admit_seq > b.second->admit_seq;
+            });
+
+  std::vector<std::int64_t> victims;
+  for (const auto& [id, slot] : by_newest) {
+    if (demand <= free) break;
+    free += kv_.SeqPages(slot->seq);
+    if (in_plan(id)) demand -= growth_pages(*slot);
+    victims.push_back(id);
+  }
+  return victims;
+}
+
+StepResult Engine::Step() {
   StepResult result;
   if (active_.empty()) return result;
 
-  // Select up to prefill_limit prefills (FCFS) and all decodes.
+  // Select up to prefill_limit prefills (FCFS) and all decodes — the same
+  // plan SelectEvictionVictims projects page demand for.
   std::vector<std::pair<std::int64_t, Slot*>> prefills;
   std::vector<std::pair<std::int64_t, Slot*>> decodes;
-  {
-    std::vector<std::pair<std::int64_t, Slot*>> want_prefill;
-    for (auto& [id, slot] : active_) {
-      if (slot.needs_prefill) {
-        want_prefill.emplace_back(id, &slot);
-      } else {
-        decodes.emplace_back(id, &slot);
-      }
-    }
-    std::sort(want_prefill.begin(), want_prefill.end(),
-              [](const auto& a, const auto& b) {
-                return a.second->admit_seq < b.second->admit_seq;
-              });
-    if (static_cast<int>(want_prefill.size()) > config_.prefill_limit) {
-      want_prefill.resize(static_cast<std::size_t>(config_.prefill_limit));
-    }
-    prefills = std::move(want_prefill);
+  for (std::int64_t id : PlannedPrefillIds()) {
+    prefills.emplace_back(id, &active_.at(id));
+  }
+  for (auto& [id, slot] : active_) {
+    if (!slot.needs_prefill) decodes.emplace_back(id, &slot);
   }
   if (prefills.empty() && decodes.empty()) return result;
 
@@ -134,6 +210,7 @@ Engine::StepResult Engine::Step() {
                      slot->prompt.end());
     token_ids.insert(token_ids.end(), out.begin(),
                      out.begin() + slot->resume_from);
+    result.prefill_tokens += chunk;
   }
   for (auto& [id, slot] : decodes) {
     std::int64_t pos = kv_.SeqLen(slot->seq);
@@ -161,7 +238,8 @@ Engine::StepResult Engine::Step() {
     std::int32_t token = next[out_idx++];
     auto& out = outputs_.at(id);
     out.push_back(token);
-    result.emitted.emplace_back(id, token);
+    result.emitted.push_back({id, token});
+    ++result.new_tokens;
     if (was_prefill) slot->needs_prefill = false;
     if (IsDone(*slot, out)) {
       kv_.FreeSequence(slot->seq);

@@ -5,8 +5,8 @@
 // discipline — continuous batching over a paged KvCache, at most
 // `prefill_limit` prefills per invocation, token rows grouped by LoRA id so
 // SGMV segments are maximal, and cancellation/migration via prompt+generated
-// recomputation. Examples and integration tests drive this engine end to
-// end; its outputs are bit-deterministic.
+// recomputation. Its outputs are bit-deterministic. To drive it through the
+// cluster scheduler, wrap it in EngineBackend (runtime/engine_backend.h).
 #pragma once
 
 #include <cstdint>
@@ -16,22 +16,19 @@
 
 #include "kvcache/kvcache.h"
 #include "model/llama.h"
+#include "runtime/backend.h"
+#include "runtime/submit_spec.h"
 
 namespace punica {
 
 struct EngineConfig {
   int max_batch_size = 32;
   int prefill_limit = 1;
-  std::int32_t eos_token = -1;  ///< optional early-stop token (-1 = none)
-};
-
-/// Everything needed to resume a request elsewhere (migration, §5.3): the
-/// destination re-prefills prompt + generated.
-struct RequestSnapshot {
-  LoraId lora = -1;
-  std::vector<std::int32_t> prompt;
-  std::vector<std::int32_t> generated;
-  int max_new_tokens = 0;
+  /// Engine-wide early-stop token (-1 = none). A SubmitSpec may carry its
+  /// own `eos_token`; when both are set they must agree — the snapshot /
+  /// migration path asserts this so a request never changes its stopping
+  /// condition by moving between engines.
+  std::int32_t eos_token = -1;
 };
 
 class Engine {
@@ -41,17 +38,21 @@ class Engine {
   Engine(LlamaModel* model, const KvCacheConfig& kv_config,
          EngineConfig config = {});
 
-  /// Admits a request. Aborts if the working set is full — callers queue.
-  std::int64_t AddRequest(LoraId lora, std::vector<std::int32_t> prompt,
-                          int max_new_tokens);
+  /// Admits a request described by `spec` (prompt_tokens must be real ids).
+  /// Aborts if the working set is full — callers queue.
+  RequestHandle AddRequest(const SubmitSpec& spec);
 
   /// Re-admits a migrated request; its KvCache is rebuilt by re-prefilling
-  /// prompt + generated in its first step.
-  std::int64_t AddMigrated(const RequestSnapshot& snapshot);
+  /// prompt + generated in its first step. Asserts the snapshot's stop
+  /// condition agrees with this engine's EngineConfig::eos_token.
+  RequestHandle AddMigrated(const RequestSnapshot& snapshot);
 
   /// Cancels a request and returns its snapshot (empty when unknown).
   /// Releases the KvCache immediately (the evict half of migration).
   std::optional<RequestSnapshot> Cancel(std::int64_t id);
+  std::optional<RequestSnapshot> Cancel(RequestHandle h) {
+    return Cancel(h.id());
+  }
 
   bool HasWork() const { return !active_.empty(); }
   int working_set_size() const { return static_cast<int>(active_.size()); }
@@ -59,20 +60,25 @@ class Engine {
     return working_set_size() < config_.max_batch_size;
   }
 
-  struct StepResult {
-    std::vector<std::pair<std::int64_t, std::int32_t>> emitted;
-    std::vector<std::int64_t> finished;
-    int batch_size = 0;
-    int prefill_requests = 0;
-    int num_segments = 0;  ///< SGMV segments in this invocation
-  };
-
   /// Runs one batched model invocation (prefills first, grouped by LoRA).
+  /// The unified StepResult's `latency` is 0 — the engine is not
+  /// time-aware; EngineBackend assigns virtual-time cost.
   StepResult Step();
+
+  /// KvCache-pressure victim query (§5.3): engine-local ids (newest first)
+  /// that must be cancelled before the next step's page demand fits.
+  std::vector<std::int64_t> SelectEvictionVictims() const;
 
   /// Tokens generated so far (valid for finished requests too).
   const std::vector<std::int32_t>* Output(std::int64_t id) const;
+  const std::vector<std::int32_t>* Output(RequestHandle h) const {
+    return Output(h.id());
+  }
 
+  /// The stop token a request admitted under `spec` would run with.
+  std::int32_t ResolveEos(std::int32_t spec_eos) const;
+
+  const EngineConfig& config() const { return config_; }
   const KvCacheConfig& kv_config() const { return kv_.config(); }
   std::int32_t kv_free_pages() const { return kv_.free_pages(); }
 
@@ -81,6 +87,7 @@ class Engine {
     LoraId lora = -1;
     std::vector<std::int32_t> prompt;  ///< original prompt
     int max_new_tokens = 0;
+    std::int32_t eos_token = -1;  ///< resolved stop token for this request
     SeqId seq = -1;
     bool needs_prefill = true;
     std::int32_t resume_from = 0;  ///< generated tokens to re-prefill
@@ -89,6 +96,9 @@ class Engine {
 
   std::int64_t Admit(Slot slot, std::vector<std::int32_t> generated);
   bool IsDone(const Slot& slot, const std::vector<std::int32_t>& out) const;
+  /// The ids the next invocation would prefill (FCFS by admission, cut to
+  /// prefill_limit) — the one plan both Step and the victim query project.
+  std::vector<std::int64_t> PlannedPrefillIds() const;
 
   LlamaModel* model_;
   PagedKvCache kv_;

@@ -1,21 +1,25 @@
 // The serving request state machine shared by the runner, scheduler and
-// cluster driver.
+// cluster driver — on both tiers.
 //
-// A request arrives with a LoRA id, a prompt and (in simulation) a known
-// output length standing in for the stopping condition (end-of-sequence or
-// length limit). `generated` survives migration: the new GPU re-prefills
-// prompt + generated tokens to rebuild the KvCache (recomputation, §5.3).
+// A request arrives with a LoRA id, a prompt and a stopping condition
+// (max_new_tokens, optionally an EOS token on the numeric tier). On the
+// simulated tier the prompt is just a length; on the numeric tier
+// `prompt_tokens`/`generated_tokens` carry the real ids. Progress survives
+// migration: the new backend re-prefills prompt + generated to rebuild the
+// KvCache (recomputation, §5.3).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/segment.h"
+#include "runtime/submit_spec.h"
 
 namespace punica {
 
 enum class RequestPhase {
   kQueued,    ///< waiting at the scheduler
-  kAssigned,  ///< in some GPU's working set
+  kAssigned,  ///< in some backend's working set
   kFinished,
   kCancelled,  ///< user cancellation (not migration)
 };
@@ -26,18 +30,60 @@ struct ServingRequest {
   std::int32_t prompt_len = 0;
   std::int32_t output_len = 0;  ///< stopping condition (tokens to generate)
   double arrival_time = 0.0;
+  std::vector<std::int32_t> prompt_tokens;  ///< real ids (numeric tier only)
+  std::int32_t eos_token = -1;  ///< per-request early stop (-1 = none)
 
   // Mutable progress.
   RequestPhase phase = RequestPhase::kQueued;
   std::int32_t generated = 0;
+  std::vector<std::int32_t> generated_tokens;  ///< real ids (numeric tier)
+  bool stopped_early = false;  ///< EOS hit before output_len (numeric tier)
   double first_token_time = -1.0;
   double finish_time = -1.0;
   int migrations = 0;
 
-  bool Done() const { return generated >= output_len; }
+  bool Done() const { return stopped_early || generated >= output_len; }
   /// Tokens a re-prefill must process: original prompt + everything
   /// generated so far (the recomputation path).
   std::int32_t PrefillTokensNeeded() const { return prompt_len + generated; }
+  bool has_real_tokens() const { return !prompt_tokens.empty(); }
+
+  static ServingRequest FromSpec(std::int64_t id, const SubmitSpec& spec) {
+    ServingRequest req;
+    req.id = id;
+    req.lora_id = spec.lora;
+    req.prompt_len = spec.EffectivePromptLen();
+    req.output_len = spec.max_new_tokens;
+    req.arrival_time = spec.arrival_time;
+    req.prompt_tokens = spec.prompt_tokens;
+    req.eos_token = spec.eos_token;
+    return req;
+  }
+};
+
+/// Everything needed to resume a request elsewhere (migration, §5.3): the
+/// destination re-prefills prompt + generated. On the simulated tier the
+/// token vectors are empty and the synthetic lengths carry the state.
+struct RequestSnapshot {
+  std::int64_t request_id = -1;
+  LoraId lora = -1;
+  std::vector<std::int32_t> prompt;     ///< real ids (numeric tier)
+  std::vector<std::int32_t> generated;  ///< real ids generated so far
+  std::int32_t prompt_len = 0;          ///< synthetic lengths (both tiers)
+  std::int32_t generated_len = 0;
+  int max_new_tokens = 0;
+  std::int32_t eos_token = -1;  ///< resolved stop token at the source
+
+  static RequestSnapshot FromRequest(const ServingRequest& req) {
+    return {.request_id = req.id,
+            .lora = req.lora_id,
+            .prompt = req.prompt_tokens,
+            .generated = req.generated_tokens,
+            .prompt_len = req.prompt_len,
+            .generated_len = req.generated,
+            .max_new_tokens = req.output_len,
+            .eos_token = req.eos_token};
+  }
 };
 
 }  // namespace punica

@@ -30,7 +30,7 @@ bool GpuRunner::CanAdmit(const ServingRequest& req) const {
   return KvTokensNeeded(req) <= kv_free_tokens();
 }
 
-void GpuRunner::Add(ServingRequest* req, double now) {
+void GpuRunner::Admit(ServingRequest* req, double now) {
   PUNICA_CHECK(req != nullptr);
   PUNICA_CHECK_MSG(!slots_.contains(req->id), "request already on this GPU");
   PUNICA_CHECK_MSG(working_set_size() < config_.max_batch_size,
@@ -56,11 +56,12 @@ void GpuRunner::ReleaseSlot(std::map<std::int64_t, Slot>::iterator it) {
   slots_.erase(it);
 }
 
-bool GpuRunner::Remove(std::int64_t request_id) {
+std::optional<RequestSnapshot> GpuRunner::Cancel(std::int64_t request_id) {
   auto it = slots_.find(request_id);
-  if (it == slots_.end()) return false;
+  if (it == slots_.end()) return std::nullopt;
+  RequestSnapshot snap = RequestSnapshot::FromRequest(*it->second.req);
   ReleaseSlot(it);
-  return true;
+  return snap;
 }
 
 bool GpuRunner::HasRunnableWork(double now) const {
@@ -141,6 +142,10 @@ std::vector<std::int64_t> GpuRunner::SelectEvictionVictims(double now) const {
     return 1;
   };
 
+  // Evict strictly in order, even slots that free nothing right now (e.g.
+  // page-less prefills beyond the cut): skipping one would let it be
+  // promoted into the prefill plan after a planned prefill below it is
+  // evicted, adding growth this projection never counted.
   std::vector<std::int64_t> victims;
   for (const Slot* s : by_newest) {
     if (projected <= config_.kv_capacity_tokens) break;
@@ -182,6 +187,7 @@ StepResult GpuRunner::Step(double now) {
   result.batch_size =
       static_cast<int>(plan.prefills.size() + plan.decodes.size());
   result.prefill_requests = static_cast<int>(plan.prefills.size());
+  result.num_segments = static_cast<int>(shape.lora_segment_rows.size());
   for (auto c : shape.prefill_chunks) result.prefill_tokens += c;
 
   double completion = now + result.latency;
@@ -192,6 +198,9 @@ StepResult GpuRunner::Step(double now) {
   for (const Slot* s : plan.prefills) prefill_ids.push_back(s->req->id);
   for (const Slot* s : plan.decodes) decode_ids.push_back(s->req->id);
 
+  // The emitted "token" on this tier is the per-request sequence tag
+  // (generated count − 1): content is synthetic, ordering and timing are
+  // what the simulation is responsible for.
   for (auto id : prefill_ids) {
     Slot& slot = slots_.at(id);
     std::int64_t chunk = slot.req->PrefillTokensNeeded();
@@ -200,7 +209,7 @@ StepResult GpuRunner::Step(double now) {
     slot.needs_prefill = false;
     slot.req->generated += 1;
     ++result.new_tokens;
-    result.emitted.push_back(id);
+    result.emitted.push_back({id, slot.req->generated - 1});
     if (slot.req->first_token_time < 0.0) {
       slot.req->first_token_time = completion;
     }
@@ -211,7 +220,7 @@ StepResult GpuRunner::Step(double now) {
     kv_used_tokens_ += 1;
     slot.req->generated += 1;
     ++result.new_tokens;
-    result.emitted.push_back(id);
+    result.emitted.push_back({id, slot.req->generated - 1});
   }
 
   for (auto id : prefill_ids) {

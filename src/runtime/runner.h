@@ -6,10 +6,11 @@
 //   * KvCache token accounting with evict-newest victim selection for
 //     migration under memory pressure (§5.3).
 //
-// This runner is simulation-flavoured: step latency comes from the
-// analytical CostModel, so cluster-scale experiments run in virtual time.
-// The numeric counterpart (real tiny-model execution) lives in the examples
-// and tests, wired from the same building blocks (LlamaModel + PagedKvCache).
+// This runner is the simulated tier of the ExecutionBackend interface: step
+// latency comes from the analytical CostModel, so cluster-scale experiments
+// run in virtual time. The numeric tier (real tiny-model execution) is
+// EngineBackend over Engine; the scheduler drives either through the same
+// interface.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +20,7 @@
 
 #include "gpu/costmodel.h"
 #include "model/config.h"
+#include "runtime/backend.h"
 #include "runtime/lora_residency.h"
 #include "runtime/request.h"
 
@@ -42,17 +44,7 @@ struct RunnerConfig {
   double lora_load_latency_s = 2e-3;
 };
 
-struct StepResult {
-  double latency = 0.0;
-  int batch_size = 0;        ///< requests in the invocation
-  int prefill_requests = 0;
-  int prefill_tokens = 0;
-  int new_tokens = 0;        ///< tokens emitted (first tokens + decode)
-  std::vector<std::int64_t> emitted;   ///< ids that emitted a token
-  std::vector<std::int64_t> finished;  ///< ids that reached their stop
-};
-
-class GpuRunner {
+class GpuRunner : public ExecutionBackend {
  public:
   GpuRunner(int gpu_id, const RunnerConfig& config,
             const LlamaConfig& model_config, const CostModel* cost_model);
@@ -60,48 +52,53 @@ class GpuRunner {
   int gpu_id() const { return gpu_id_; }
   const RunnerConfig& config() const { return config_; }
 
-  // --- Admission (scheduler-facing, paper §5.1 constraints) ---
+  // --- ExecutionBackend ---
 
-  /// KvCache tokens a request needs if admitted now (prompt + already
-  /// generated + one step of headroom).
-  std::int64_t KvTokensNeeded(const ServingRequest& req) const;
+  int backend_id() const override { return gpu_id_; }
+  int max_batch_size() const override { return config_.max_batch_size; }
 
   /// Constraint check: below max batch size and enough KvCache headroom.
-  bool CanAdmit(const ServingRequest& req) const;
+  bool CanAdmit(const ServingRequest& req) const override;
 
   /// Adds a request to the working set; kicks off its LoRA load if needed.
   /// The request joins batches once its adapter is ready.
-  void Add(ServingRequest* req, double now);
+  void Admit(ServingRequest* req, double now) override;
 
   /// Removes a request (migration-evict or user cancel), releasing its
-  /// KvCache. Returns false if the id is not in the working set.
-  bool Remove(std::int64_t request_id);
-
-  // --- Execution ---
+  /// KvCache. The snapshot carries the synthetic prompt/generated lengths;
+  /// all real state lives in the caller-owned ServingRequest.
+  std::optional<RequestSnapshot> Cancel(std::int64_t request_id) override;
 
   /// True when some request could run at time `now` (adapter ready).
-  bool HasRunnableWork(double now) const;
+  bool HasRunnableWork(double now) const override;
   /// True when any request is assigned (runnable or still loading).
-  bool HasAnyWork() const { return !slots_.empty(); }
+  bool HasAnyWork() const override { return !slots_.empty(); }
   /// Earliest time a currently-blocked request becomes runnable (or nullopt).
-  std::optional<double> NextReadyTime(double now) const;
+  std::optional<double> NextReadyTime(double now) const override;
 
   /// Requests (newest first) that must be evicted before the next step fits
   /// in the KvCache — the migration victims of §5.3. Empty when the next
   /// step fits.
-  std::vector<std::int64_t> SelectEvictionVictims(double now) const;
+  std::vector<std::int64_t> SelectEvictionVictims(double now) const override;
 
-  /// Runs one batched model invocation at time `now`.
-  StepResult Step(double now);
+  /// Runs one batched model invocation at time `now`. Emitted tokens carry
+  /// the per-request sequence tag (generated count − 1), not real ids.
+  StepResult Step(double now) override;
 
-  // --- Introspection ---
-
-  int working_set_size() const { return static_cast<int>(slots_.size()); }
+  int working_set_size() const override {
+    return static_cast<int>(slots_.size());
+  }
   /// The request with this id, or nullptr when not in the working set.
-  ServingRequest* Find(std::int64_t request_id) const;
+  ServingRequest* Find(std::int64_t request_id) const override;
   /// The most recently admitted request (migration-victim order), or
   /// nullptr when the working set is empty.
-  ServingRequest* NewestRequest() const;
+  ServingRequest* NewestRequest() const override;
+
+  // --- Simulated-tier introspection ---
+
+  /// KvCache tokens a request needs if admitted now (prompt + already
+  /// generated + one step of headroom).
+  std::int64_t KvTokensNeeded(const ServingRequest& req) const;
   std::int64_t kv_used_tokens() const { return kv_used_tokens_; }
   std::int64_t kv_free_tokens() const {
     return config_.kv_capacity_tokens - kv_used_tokens_;

@@ -23,8 +23,8 @@ AutoscaleController::Decision AutoscaleController::Tick() {
   for (int g = 0; g < scheduler_->num_gpus(); ++g) {
     auto gi = static_cast<std::size_t>(g);
     bool idle = scheduler_->IsGpuEnabled(g) &&
-                scheduler_->runner(g)->working_set_size() == 0 &&
-                !scheduler_->runner(g)->HasAnyWork();
+                scheduler_->backend(g)->working_set_size() == 0 &&
+                !scheduler_->backend(g)->HasAnyWork();
     idle_ticks_[gi] = idle ? idle_ticks_[gi] + 1 : 0;
   }
 

@@ -12,30 +12,43 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 ClusterDriver::ClusterDriver(const ClusterConfig& config,
                              const CostModel* cost_model)
-    : config_(config), cost_model_(cost_model) {
+    : config_(config) {
   PUNICA_CHECK(config.num_gpus >= 1);
-  std::vector<GpuRunner*> raw;
+  PUNICA_CHECK(cost_model != nullptr);
   for (int g = 0; g < config.num_gpus; ++g) {
-    runners_.push_back(std::make_unique<GpuRunner>(
+    owned_runners_.push_back(std::make_unique<GpuRunner>(
         g, config.runner, config.model, cost_model));
-    raw.push_back(runners_.back().get());
+    backends_.push_back(owned_runners_.back().get());
   }
-  scheduler_ = std::make_unique<Scheduler>(std::move(raw));
+  Init();
+}
+
+ClusterDriver::ClusterDriver(std::vector<ExecutionBackend*> backends,
+                             const ClusterConfig& config)
+    : config_(config), backends_(std::move(backends)) {
+  PUNICA_CHECK(!backends_.empty());
+  config_.num_gpus = static_cast<int>(backends_.size());
+  Init();
+}
+
+void ClusterDriver::Init() {
+  auto n = backends_.size();
+  scheduler_ = std::make_unique<Scheduler>(backends_);
   if (config_.enable_autoscale) {
     autoscaler_ = std::make_unique<AutoscaleController>(scheduler_.get(),
                                                         config_.autoscale);
-    int initial = config_.initial_gpus < 0 ? config_.num_gpus
+    int initial = config_.initial_gpus < 0 ? static_cast<int>(n)
                                            : config_.initial_gpus;
-    PUNICA_CHECK(initial >= 1 && initial <= config_.num_gpus);
+    PUNICA_CHECK(initial >= 1 && initial <= static_cast<int>(n));
     // Start with the highest UUIDs in service (consistent with routing).
-    for (int g = 0; g < config_.num_gpus - initial; ++g) {
+    for (int g = 0; g < static_cast<int>(n) - initial; ++g) {
       scheduler_->SetGpuEnabled(g, false);
     }
   }
-  busy_.assign(static_cast<std::size_t>(config.num_gpus), false);
-  pending_wake_.assign(static_cast<std::size_t>(config.num_gpus), kInf);
-  stats_.gpu_batch.resize(static_cast<std::size_t>(config.num_gpus));
-  stats_.gpu_busy_s.assign(static_cast<std::size_t>(config.num_gpus), 0.0);
+  busy_.assign(n, false);
+  pending_wake_.assign(n, kInf);
+  stats_.gpu_batch.resize(n);
+  stats_.gpu_busy_s.assign(n, 0.0);
 }
 
 void ClusterDriver::SubmitTrace(const std::vector<TraceRequest>& trace) {
@@ -89,8 +102,19 @@ void ClusterDriver::ScheduleConsolidation() {
 
 void ClusterDriver::SubmitExternal(ServingRequest* req) {
   PUNICA_CHECK(req != nullptr);
+  // An external request cannot have arrived before the instant it is
+  // submitted: clamp so a default arrival_time of 0 on a mid-run
+  // submission neither jumps the FCFS queue nor skews latency stats.
+  req->arrival_time = std::max(req->arrival_time, events_.now());
   requests_by_id_[req->id] = req;
   OnArrival(req);
+}
+
+bool ClusterDriver::CancelExternal(std::int64_t request_id) {
+  // Forget the borrowed pointer first: once cancelled, the owner (e.g. a
+  // frontend session) may free the request.
+  requests_by_id_.erase(request_id);
+  return scheduler_->Cancel(request_id);
 }
 
 void ClusterDriver::OnArrival(ServingRequest* req) {
@@ -106,15 +130,15 @@ void ClusterDriver::WakeGpus(const std::vector<int>& gpus) {
 void ClusterDriver::MaybeStartStep(int gpu) {
   auto gi = static_cast<std::size_t>(gpu);
   if (busy_[gi]) return;
-  GpuRunner& runner = *runners_[gi];
+  ExecutionBackend& backend = *backends_[gi];
   double now = events_.now();
 
   // KvCache pressure check: migrate victims before stepping (§5.3).
   std::vector<int> touched =
       scheduler_->MigrateForKvPressure(gpu, now, &stats_.migrations);
 
-  if (runner.HasRunnableWork(now)) {
-    StepResult result = runner.Step(now);
+  if (backend.HasRunnableWork(now)) {
+    StepResult result = backend.Step(now);
     PUNICA_CHECK(result.batch_size > 0);
     busy_[gi] = true;
     stats_.gpu_batch[gi].Add(now, result.batch_size);
@@ -125,7 +149,7 @@ void ClusterDriver::MaybeStartStep(int gpu) {
       busy_[static_cast<std::size_t>(gpu)] = false;
       OnStepDone(gpu, result);
     });
-  } else if (auto ready = runner.NextReadyTime(now); ready.has_value()) {
+  } else if (auto ready = backend.NextReadyTime(now); ready.has_value()) {
     // Adapters still loading: wake when the earliest copy completes.
     if (*ready < pending_wake_[gi] - 1e-12) {
       pending_wake_[gi] = *ready;
@@ -144,13 +168,17 @@ void ClusterDriver::MaybeStartStep(int gpu) {
 
 void ClusterDriver::OnStepDone(int gpu, const StepResult& result) {
   double now = events_.now();
-  if (emission_cb_) emission_cb_(result.emitted, result.finished, now);
   stats_.tokens.Add(now, static_cast<double>(result.new_tokens));
   stats_.total_new_tokens += result.new_tokens;
   stats_.makespan = std::max(stats_.makespan, now);
+  // Record finish stats *before* the emission callback: a frontend may free
+  // a finished request's session (and thus the ServingRequest) as soon as
+  // it learns the stream ended.
   for (std::int64_t id : result.finished) {
     auto it = requests_by_id_.find(id);
-    PUNICA_CHECK(it != requests_by_id_.end());
+    // A request can be cancelled (and forgotten) while the step that
+    // finishes it is still in flight; skip it rather than touch freed state.
+    if (it == requests_by_id_.end()) continue;
     const ServingRequest& req = *it->second;
     ++stats_.finished_requests;
     stats_.request_latency.Add(req.finish_time - req.arrival_time);
@@ -159,7 +187,9 @@ void ClusterDriver::OnStepDone(int gpu, const StepResult& result) {
       stats_.first_token_latency.Add(req.first_token_time -
                                      req.arrival_time);
     }
+    requests_by_id_.erase(it);
   }
+  if (emission_cb_) emission_cb_(result, now);
   WakeGpus(scheduler_->PumpQueue(now));
   MaybeStartStep(gpu);
 }

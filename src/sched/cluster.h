@@ -1,7 +1,14 @@
-// Discrete-event cluster driver: wires runners, the scheduler and an event
-// queue into a full serving simulation (the paper's cluster deployment
+// Discrete-event cluster driver: wires execution backends, the scheduler
+// and an event queue into a full serving deployment (the paper's cluster
 // experiment, Fig. 13, and the single-GPU / tensor-parallel text-generation
-// experiments, Figs. 11–12, when configured with one runner).
+// experiments, Figs. 11–12, when configured with one backend).
+//
+// Two construction modes share every code path after the constructor:
+//   * simulated tier — the driver builds one GpuRunner per GPU from
+//     ClusterConfig (cost-model virtual time, synthetic tokens);
+//   * numeric tier — the caller passes ExecutionBackend pointers (e.g.
+//     EngineBackend over real engines), and the same scheduler, migration,
+//     consolidation and streaming machinery drives real text generation.
 #pragma once
 
 #include <deque>
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "gpu/costmodel.h"
+#include "runtime/backend.h"
 #include "runtime/runner.h"
 #include "sched/autoscale.h"
 #include "sched/scheduler.h"
@@ -57,7 +65,14 @@ struct ClusterStats {
 
 class ClusterDriver {
  public:
+  /// Simulated tier: builds `config.num_gpus` cost-model runners.
   ClusterDriver(const ClusterConfig& config, const CostModel* cost_model);
+
+  /// Any tier: drives caller-owned backends (which must outlive the
+  /// driver). `config.num_gpus`/`config.runner`/`config.model` are ignored;
+  /// the consolidation/autoscale knobs apply as usual.
+  ClusterDriver(std::vector<ExecutionBackend*> backends,
+                const ClusterConfig& config = {});
 
   /// Copies the trace into stable storage and schedules arrival events.
   void SubmitTrace(const std::vector<TraceRequest>& trace);
@@ -67,25 +82,32 @@ class ClusterDriver {
   /// request alive until it finishes or is cancelled.
   void SubmitExternal(ServingRequest* req);
 
-  /// Per-step emission callback: (ids that emitted a token, ids that
-  /// finished, completion time). Used by frontends to stream tokens back to
-  /// users.
-  using EmissionCallback = std::function<void(
-      const std::vector<std::int64_t>& emitted,
-      const std::vector<std::int64_t>& finished, double now)>;
+  /// Cancels an externally-owned request (user disconnect) and forgets it;
+  /// the caller may free the request afterwards. Returns true if it was
+  /// still queued or running.
+  bool CancelExternal(std::int64_t request_id);
+
+  /// Per-step emission callback, fired at each step's completion time with
+  /// the step's emitted tokens (real ids on the numeric tier, sequence tags
+  /// on the simulated tier) and finished ids. Used by frontends to stream
+  /// tokens back to users.
+  using EmissionCallback =
+      std::function<void(const StepResult& result, double now)>;
   void SetEmissionCallback(EmissionCallback cb) {
     emission_cb_ = std::move(cb);
   }
 
-  /// Runs the simulation until all work drains (or `horizon` passes).
+  /// Runs the deployment until all work drains (or `horizon` passes).
   void Run(double horizon = std::numeric_limits<double>::infinity());
 
   const ClusterStats& stats() const { return stats_; }
   Scheduler& scheduler() { return *scheduler_; }
   EventQueue& events() { return events_; }
   const std::deque<ServingRequest>& requests() const { return requests_; }
+  int num_backends() const { return static_cast<int>(backends_.size()); }
 
  private:
+  void Init();
   void OnArrival(ServingRequest* req);
   void MaybeStartStep(int gpu);
   void OnStepDone(int gpu, const StepResult& result);
@@ -94,8 +116,8 @@ class ClusterDriver {
   void ScheduleAutoscale();
 
   ClusterConfig config_;
-  const CostModel* cost_model_;
-  std::vector<std::unique_ptr<GpuRunner>> runners_;
+  std::vector<std::unique_ptr<GpuRunner>> owned_runners_;  ///< sim tier only
+  std::vector<ExecutionBackend*> backends_;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<AutoscaleController> autoscaler_;
   EventQueue events_;

@@ -6,15 +6,15 @@
 
 namespace punica {
 
-Scheduler::Scheduler(std::vector<GpuRunner*> runners)
-    : runners_(std::move(runners)), enabled_(runners_.size(), true) {
-  PUNICA_CHECK(!runners_.empty());
+Scheduler::Scheduler(std::vector<ExecutionBackend*> backends)
+    : backends_(std::move(backends)), enabled_(backends_.size(), true) {
+  PUNICA_CHECK(!backends_.empty());
 }
 
 void Scheduler::SetGpuEnabled(int gpu, bool enabled) {
   auto gi = static_cast<std::size_t>(gpu);
   if (!enabled) {
-    PUNICA_CHECK_MSG(runners_.at(gi)->working_set_size() == 0,
+    PUNICA_CHECK_MSG(backends_.at(gi)->working_set_size() == 0,
                      "cannot release a GPU with active requests");
   }
   enabled_.at(gi) = enabled;
@@ -34,7 +34,7 @@ int Scheduler::PickGpuFor(const ServingRequest& req, int exclude_gpu) const {
   for (int g = 0; g < num_gpus(); ++g) {
     if (g == exclude_gpu) continue;
     if (!enabled_[static_cast<std::size_t>(g)]) continue;
-    const GpuRunner* r = runners_[static_cast<std::size_t>(g)];
+    const ExecutionBackend* r = backends_[static_cast<std::size_t>(g)];
     if (!r->CanAdmit(req)) continue;
     int load = r->working_set_size();
     // Largest working set wins; ties go to the highest GPU UUID (we use the
@@ -82,7 +82,7 @@ int Scheduler::Submit(ServingRequest* req, double now, int exclude_gpu) {
     Enqueue(req);
     return -1;
   }
-  runners_[static_cast<std::size_t>(gpu)]->Add(req, now);
+  backends_[static_cast<std::size_t>(gpu)]->Admit(req, now);
   return gpu;
 }
 
@@ -93,7 +93,7 @@ std::vector<int> Scheduler::PumpQueue(double now) {
     int gpu = PickGpuFor(*head, /*exclude_gpu=*/-1);
     if (gpu < 0) break;  // FCFS: never skip the head
     queue_.pop_front();
-    runners_[static_cast<std::size_t>(gpu)]->Add(head, now);
+    backends_[static_cast<std::size_t>(gpu)]->Admit(head, now);
     touched.push_back(gpu);
   }
   return touched;
@@ -101,14 +101,14 @@ std::vector<int> Scheduler::PumpQueue(double now) {
 
 std::vector<int> Scheduler::MigrateForKvPressure(
     int gpu, double now, std::int64_t* migration_count) {
-  GpuRunner* source = runners_.at(static_cast<std::size_t>(gpu));
+  ExecutionBackend* source = backends_.at(static_cast<std::size_t>(gpu));
   std::vector<int> touched;
   for (std::int64_t id : source->SelectEvictionVictims(now)) {
     ServingRequest* req = source->Find(id);
     PUNICA_CHECK(req != nullptr);
     // Evict (cancellation primitive): the KvCache is released here; the
     // destination rebuilds it by re-prefilling prompt + generated tokens.
-    source->Remove(id);
+    source->Cancel(id);
     ++req->migrations;
     if (migration_count != nullptr) ++*migration_count;
     int dest = Submit(req, now, /*exclude_gpu=*/gpu);
@@ -125,7 +125,7 @@ int Scheduler::ConsolidateOnce(double now, std::int64_t* migration_count) {
   int donor_load = 0;
   for (int g = 0; g < num_gpus(); ++g) {
     if (!enabled_[static_cast<std::size_t>(g)]) continue;
-    int load = runners_[static_cast<std::size_t>(g)]->working_set_size();
+    int load = backends_[static_cast<std::size_t>(g)]->working_set_size();
     if (load == 0) continue;
     if (donor < 0 || load < donor_load ||
         (load == donor_load && g < donor)) {
@@ -135,7 +135,7 @@ int Scheduler::ConsolidateOnce(double now, std::int64_t* migration_count) {
   }
   if (donor < 0) return -1;
   ServingRequest* req =
-      runners_[static_cast<std::size_t>(donor)]->NewestRequest();
+      backends_[static_cast<std::size_t>(donor)]->NewestRequest();
   PUNICA_CHECK(req != nullptr);
 
   int receiver = -1;
@@ -143,7 +143,7 @@ int Scheduler::ConsolidateOnce(double now, std::int64_t* migration_count) {
   for (int g = 0; g < num_gpus(); ++g) {
     if (g == donor) continue;
     if (!enabled_[static_cast<std::size_t>(g)]) continue;
-    const GpuRunner* r = runners_[static_cast<std::size_t>(g)];
+    const ExecutionBackend* r = backends_[static_cast<std::size_t>(g)];
     if (!r->CanAdmit(*req)) continue;
     int load = r->working_set_size();
     if (load <= donor_load) continue;  // only consolidate upward
@@ -154,10 +154,10 @@ int Scheduler::ConsolidateOnce(double now, std::int64_t* migration_count) {
   }
   if (receiver < 0) return -1;
 
-  runners_[static_cast<std::size_t>(donor)]->Remove(req->id);
+  backends_[static_cast<std::size_t>(donor)]->Cancel(req->id);
   ++req->migrations;
   if (migration_count != nullptr) ++*migration_count;
-  runners_[static_cast<std::size_t>(receiver)]->Add(req, now);
+  backends_[static_cast<std::size_t>(receiver)]->Admit(req, now);
   return receiver;
 }
 
@@ -169,11 +169,11 @@ bool Scheduler::Cancel(std::int64_t request_id) {
       return true;
     }
   }
-  for (GpuRunner* r : runners_) {
+  for (ExecutionBackend* r : backends_) {
     ServingRequest* req = r->Find(request_id);
     if (req != nullptr) {
       req->phase = RequestPhase::kCancelled;
-      r->Remove(request_id);
+      r->Cancel(request_id);
       return true;
     }
   }
@@ -185,10 +185,10 @@ Scheduler::ScaleAdvice Scheduler::Advise() const {
   bool any_light = false;
   for (int g = 0; g < num_gpus(); ++g) {
     if (!enabled_[static_cast<std::size_t>(g)]) continue;
-    const GpuRunner* r = runners_[static_cast<std::size_t>(g)];
+    const ExecutionBackend* r = backends_[static_cast<std::size_t>(g)];
     int load = r->working_set_size();
     if (load == 0) advice.releasable_gpus.push_back(g);
-    if (load < (r->config().max_batch_size * 3) / 4) any_light = true;
+    if (load < (r->max_batch_size() * 3) / 4) any_light = true;
   }
   advice.need_more_gpus = !any_light;
   return advice;

@@ -1,61 +1,70 @@
 // The Punica cluster scheduler (paper §5.1, §5.3).
 //
-// Routing rule for a new request: among GPUs satisfying the constraints
+// Routing rule for a new request: among backends satisfying the constraints
 // (below max batch size, enough KvCache memory), pick the one with the
 // *largest* working set; ties go to the highest GPU UUID. This concentrates
 // load — busy GPUs stay busy, lightly loaded GPUs drain, idle GPUs stay
-// idle — enabling cluster scale-down. When no GPU qualifies, requests queue
-// and are admitted FCFS as capacity frees.
+// idle — enabling cluster scale-down. When no backend qualifies, requests
+// queue and are admitted FCFS as capacity frees.
 //
 // Migration is built from cancellation: evict (newest first, preserving
 // FCFS) + re-add elsewhere with prompt+generated recomputation.
+//
+// The scheduler is tier-agnostic: it drives ExecutionBackend, so the same
+// routing/migration/consolidation logic serves the simulated tier
+// (GpuRunner over the cost model) and the numeric tier (EngineBackend over
+// a real model).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <vector>
 
+#include "runtime/backend.h"
 #include "runtime/request.h"
-#include "runtime/runner.h"
 
 namespace punica {
 
 class Scheduler {
  public:
-  explicit Scheduler(std::vector<GpuRunner*> runners);
+  explicit Scheduler(std::vector<ExecutionBackend*> backends);
 
-  /// Routes a request. Returns the GPU index it was assigned to, or -1 when
-  /// all GPUs are full and the request was queued. `exclude_gpu` (optional,
-  /// -1 = none) prevents bouncing a migrating request back to its source.
+  /// Routes a request. Returns the backend index it was assigned to, or -1
+  /// when all backends are full and the request was queued. `exclude_gpu`
+  /// (optional, -1 = none) prevents bouncing a migrating request back to
+  /// its source.
   int Submit(ServingRequest* req, double now, int exclude_gpu = -1);
 
-  /// Admits queued requests FCFS while any GPU can take them. Returns the
-  /// set of GPU indices that received work.
+  /// Admits queued requests FCFS while any backend can take them. Returns
+  /// the set of backend indices that received work.
   std::vector<int> PumpQueue(double now);
 
-  /// Handles KvCache pressure on `gpu`: evicts that runner's chosen victims
-  /// and re-routes each one (same path as a new request). Returns GPUs that
-  /// received migrated requests. Increments `migration_count` per move.
+  /// Handles KvCache pressure on `gpu`: evicts that backend's chosen
+  /// victims and re-routes each one (same path as a new request). Returns
+  /// backends that received migrated requests. Increments `migration_count`
+  /// per move.
   std::vector<int> MigrateForKvPressure(int gpu, double now,
                                         std::int64_t* migration_count);
 
   /// One round of periodic consolidation: move the newest request of the
-  /// most lightly loaded (non-empty, non-largest) GPU to the most loaded GPU
-  /// that can admit it. Returns the receiving GPU index, or -1 if no
-  /// beneficial move exists.
+  /// most lightly loaded (non-empty, non-largest) backend to the most
+  /// loaded backend that can admit it. Returns the receiving index, or -1
+  /// if no beneficial move exists.
   int ConsolidateOnce(double now, std::int64_t* migration_count);
 
-  /// Cancels a request wherever it lives (queue or GPU). Returns true if it
-  /// was found.
+  /// Cancels a request wherever it lives (queue or backend). Returns true
+  /// if it was found.
   bool Cancel(std::int64_t request_id);
 
   std::size_t queue_size() const { return queue_.size(); }
   const std::deque<ServingRequest*>& queue() const { return queue_; }
-  GpuRunner* runner(int gpu) const { return runners_.at(static_cast<std::size_t>(gpu)); }
-  int num_gpus() const { return static_cast<int>(runners_.size()); }
+  ExecutionBackend* backend(int gpu) const {
+    return backends_.at(static_cast<std::size_t>(gpu));
+  }
+  int num_gpus() const { return static_cast<int>(backends_.size()); }
 
-  /// GPU availability (cloud allocate/deallocate, §5.1). Disabled GPUs
-  /// receive no new work; disabling requires an empty working set.
+  /// Backend availability (cloud allocate/deallocate, §5.1). Disabled
+  /// backends receive no new work; disabling requires an empty working set.
   void SetGpuEnabled(int gpu, bool enabled);
   bool IsGpuEnabled(int gpu) const {
     return enabled_.at(static_cast<std::size_t>(gpu));
@@ -74,7 +83,7 @@ class Scheduler {
   int PickGpuFor(const ServingRequest& req, int exclude_gpu) const;
   void Enqueue(ServingRequest* req);
 
-  std::vector<GpuRunner*> runners_;
+  std::vector<ExecutionBackend*> backends_;
   std::vector<bool> enabled_;
   std::deque<ServingRequest*> queue_;  ///< kept FCFS by (arrival_time, id)
 };

@@ -31,7 +31,9 @@ struct TestHarness {
                                          std::vector<std::int32_t> prompt,
                                          int tokens) {
     Engine engine = MakeEngine(1);
-    std::int64_t id = engine.AddRequest(lora, std::move(prompt), tokens);
+    RequestHandle id = engine.AddRequest({.lora = lora,
+                                          .prompt_tokens = std::move(prompt),
+                                          .max_new_tokens = tokens});
     while (engine.HasWork()) engine.Step();
     return *engine.Output(id);
   }
@@ -42,7 +44,8 @@ struct TestHarness {
 TEST(EndToEndTest, SingleRequestRunsToCompletion) {
   TestHarness h;
   Engine engine = h.MakeEngine();
-  std::int64_t id = engine.AddRequest(0, {1, 2, 3}, 6);
+  RequestHandle id = engine.AddRequest(
+      {.lora = 0, .prompt_tokens = {1, 2, 3}, .max_new_tokens = 6});
   int steps = 0;
   while (engine.HasWork()) {
     auto r = engine.Step();
@@ -72,9 +75,11 @@ TEST(EndToEndTest, CrossLoraBatchingPreservesOutputs) {
   }
   // All together in one engine, admitted up front.
   Engine engine = h.MakeEngine(8);
-  std::vector<std::int64_t> ids;
+  std::vector<RequestHandle> ids;
   for (const auto& r : reqs) {
-    ids.push_back(engine.AddRequest(r.lora, r.prompt, r.tokens));
+    ids.push_back(engine.AddRequest({.lora = r.lora,
+                                     .prompt_tokens = r.prompt,
+                                     .max_new_tokens = r.tokens}));
   }
   while (engine.HasWork()) {
     auto result = engine.Step();
@@ -90,10 +95,10 @@ TEST(EndToEndTest, SegmentsGroupSameLoraRequests) {
   TestHarness h;
   Engine engine = h.MakeEngine(8);
   // Four requests over two LoRA models, interleaved admission order.
-  engine.AddRequest(0, {1, 2}, 10);
-  engine.AddRequest(1, {3, 4}, 10);
-  engine.AddRequest(0, {5, 6}, 10);
-  engine.AddRequest(1, {7, 8}, 10);
+  engine.AddRequest({.lora = 0, .prompt_tokens = {1, 2}, .max_new_tokens = 10});
+  engine.AddRequest({.lora = 1, .prompt_tokens = {3, 4}, .max_new_tokens = 10});
+  engine.AddRequest({.lora = 0, .prompt_tokens = {5, 6}, .max_new_tokens = 10});
+  engine.AddRequest({.lora = 1, .prompt_tokens = {7, 8}, .max_new_tokens = 10});
   // Drain the prefills (one per step).
   for (int i = 0; i < 4; ++i) engine.Step();
   // Pure-decode batch of 4 rows over 2 models → exactly 2 SGMV segments.
@@ -106,27 +111,30 @@ TEST(EndToEndTest, SegmentsGroupSameLoraRequests) {
 TEST(EndToEndTest, ContinuousBatchingAdmitsMidFlight) {
   TestHarness h;
   Engine engine = h.MakeEngine(4);
-  std::int64_t a = engine.AddRequest(0, {1, 2, 3}, 12);
+  RequestHandle a = engine.AddRequest(
+      {.lora = 0, .prompt_tokens = {1, 2, 3}, .max_new_tokens = 12});
   auto solo_a = h.SoloGenerate(0, {1, 2, 3}, 12);
   // Run a few steps, then admit another request mid-flight.
   for (int i = 0; i < 4; ++i) engine.Step();
-  std::int64_t b = engine.AddRequest(1, {9, 9, 9}, 5);
+  RequestHandle b = engine.AddRequest(
+      {.lora = 1, .prompt_tokens = {9, 9, 9}, .max_new_tokens = 5});
   auto solo_b = h.SoloGenerate(1, {9, 9, 9}, 5);
   while (engine.HasWork()) engine.Step();
   EXPECT_EQ(*engine.Output(a), solo_a);  // unperturbed by the joiner
   EXPECT_EQ(*engine.Output(b), solo_b);
 }
 
-TEST(EndToEndTest, EosStopsEarly) {
+TEST(EndToEndTest, EngineWideEosStopsEarly) {
   TestHarness h;
   // Find what the model emits, then set EOS to the second token so the
-  // request stops after two tokens.
+  // request stops after two tokens — through the engine-wide default.
   auto free_run = h.SoloGenerate(0, {7, 7}, 6);
   EngineConfig cfg;
   cfg.max_batch_size = 4;
   cfg.eos_token = free_run[1];
   Engine engine(&h.model, h.model.MakeKvConfig(256), cfg);
-  std::int64_t id = engine.AddRequest(0, {7, 7}, 6);
+  RequestHandle id = engine.AddRequest(
+      {.lora = 0, .prompt_tokens = {7, 7}, .max_new_tokens = 6});
   while (engine.HasWork()) engine.Step();
   EXPECT_EQ(engine.Output(id)->size(), 2u);
   EXPECT_EQ(engine.Output(id)->back(), free_run[1]);
@@ -136,27 +144,23 @@ TEST(EndToEndTest, FcfsQueueDrainsEverything) {
   TestHarness h;
   Engine engine = h.MakeEngine(3);
   Pcg32 rng(55);
-  struct Pending {
-    LoraId lora;
-    std::vector<std::int32_t> prompt;
-    int tokens;
-  };
-  std::vector<Pending> queue;
+  std::vector<SubmitSpec> queue;
   for (int i = 0; i < 12; ++i) {
-    std::vector<std::int32_t> prompt;
+    SubmitSpec spec;
+    spec.lora = static_cast<LoraId>(rng.NextBounded(3));
     for (int j = 0; j < 2 + static_cast<int>(rng.NextBounded(4)); ++j) {
-      prompt.push_back(static_cast<std::int32_t>(rng.NextBounded(200)));
+      spec.prompt_tokens.push_back(
+          static_cast<std::int32_t>(rng.NextBounded(200)));
     }
-    queue.push_back({static_cast<LoraId>(rng.NextBounded(3)), prompt,
-                     3 + static_cast<int>(rng.NextBounded(6))});
+    spec.max_new_tokens = 3 + static_cast<std::int32_t>(rng.NextBounded(6));
+    queue.push_back(std::move(spec));
   }
   std::size_t next = 0;
   std::size_t finished = 0;
   int guard = 0;
   while (finished < queue.size()) {
     while (next < queue.size() && engine.CanAdmit()) {
-      engine.AddRequest(queue[next].lora, queue[next].prompt,
-                        queue[next].tokens);
+      engine.AddRequest(queue[next]);
       ++next;
     }
     auto r = engine.Step();
@@ -170,8 +174,9 @@ TEST(EndToEndTest, KvPagesFullyReleased) {
   TestHarness h;
   Engine engine = h.MakeEngine(4);
   std::int32_t before = engine.kv_free_pages();
-  engine.AddRequest(0, {1, 2, 3, 4, 5}, 8);
-  engine.AddRequest(1, {1, 2}, 4);
+  engine.AddRequest(
+      {.lora = 0, .prompt_tokens = {1, 2, 3, 4, 5}, .max_new_tokens = 8});
+  engine.AddRequest({.lora = 1, .prompt_tokens = {1, 2}, .max_new_tokens = 4});
   while (engine.HasWork()) engine.Step();
   EXPECT_EQ(engine.kv_free_pages(), before);  // no page leaks
 }
@@ -180,10 +185,13 @@ TEST(EndToEndTest, DeterministicAcrossEngines) {
   TestHarness h;
   auto run = [&] {
     Engine engine = h.MakeEngine(4);
-    std::vector<std::int64_t> ids;
-    ids.push_back(engine.AddRequest(0, {1, 2, 3}, 7));
-    ids.push_back(engine.AddRequest(1, {4, 5}, 7));
-    ids.push_back(engine.AddRequest(2, {6}, 7));
+    std::vector<RequestHandle> ids;
+    ids.push_back(engine.AddRequest(
+        {.lora = 0, .prompt_tokens = {1, 2, 3}, .max_new_tokens = 7}));
+    ids.push_back(engine.AddRequest(
+        {.lora = 1, .prompt_tokens = {4, 5}, .max_new_tokens = 7}));
+    ids.push_back(engine.AddRequest(
+        {.lora = 2, .prompt_tokens = {6}, .max_new_tokens = 7}));
     while (engine.HasWork()) engine.Step();
     std::vector<std::vector<std::int32_t>> outs;
     for (auto id : ids) outs.push_back(*engine.Output(id));
@@ -195,8 +203,10 @@ TEST(EndToEndTest, DeterministicAcrossEngines) {
 TEST(EndToEndDeathTest, AdmissionBeyondBatchAborts) {
   TestHarness h;
   Engine engine = h.MakeEngine(1);
-  engine.AddRequest(0, {1}, 4);
-  EXPECT_DEATH(engine.AddRequest(1, {2}, 4), "working set full");
+  engine.AddRequest({.lora = 0, .prompt_tokens = {1}, .max_new_tokens = 4});
+  EXPECT_DEATH(engine.AddRequest(
+                   {.lora = 1, .prompt_tokens = {2}, .max_new_tokens = 4}),
+               "working set full");
 }
 
 }  // namespace

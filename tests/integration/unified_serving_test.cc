@@ -1,0 +1,184 @@
+// The unified serving API end to end on the numeric tier: Frontend →
+// ClusterDriver → Scheduler → EngineBackend → Engine. The same stack that
+// runs cluster-scale simulations must stream *real* token ids to users,
+// bit-identical to driving an Engine directly, with migration and
+// continuous batching happening underneath.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.h"
+#include "model/llama.h"
+#include "runtime/engine.h"
+#include "runtime/engine_backend.h"
+#include "sched/cluster.h"
+
+namespace punica {
+namespace {
+
+class UnifiedServingTest : public ::testing::Test {
+ protected:
+  UnifiedServingTest() : model_(TinyLlama(), 2024) {
+    model_.AddLora(0, 8, 1);
+    model_.AddLora(1, 8, 2);
+    model_.AddLora(2, 4, 3);
+  }
+
+  std::vector<std::int32_t> Solo(LoraId lora,
+                                 std::vector<std::int32_t> prompt,
+                                 int tokens) {
+    Engine solo(&model_, model_.MakeKvConfig(256), {.max_batch_size = 1});
+    RequestHandle id = solo.AddRequest({.lora = lora,
+                                        .prompt_tokens = std::move(prompt),
+                                        .max_new_tokens = tokens});
+    while (solo.HasWork()) solo.Step();
+    return *solo.Output(id);
+  }
+
+  void BuildCluster(int num_backends, std::int32_t kv_pages = 256) {
+    for (int g = 0; g < num_backends; ++g) {
+      engines_.push_back(std::make_unique<Engine>(
+          &model_, model_.MakeKvConfig(kv_pages),
+          EngineConfig{.max_batch_size = 4}));
+      backends_.push_back(
+          std::make_unique<EngineBackend>(g, engines_.back().get()));
+    }
+    std::vector<ExecutionBackend*> raw;
+    for (auto& b : backends_) raw.push_back(b.get());
+    driver_ = std::make_unique<ClusterDriver>(raw);
+    Frontend::SchedulerApi api;
+    api.submit = [this](ServingRequest* req) {
+      driver_->SubmitExternal(req);
+    };
+    api.cancel = [this](std::int64_t id) {
+      return driver_->CancelExternal(id);
+    };
+    frontend_ = std::make_unique<Frontend>(0, api, /*id_base=*/500);
+    driver_->SetEmissionCallback(
+        [this](const StepResult& result, double now) {
+          frontend_->OnStep(result, now);
+        });
+  }
+
+  LlamaModel model_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::unique_ptr<EngineBackend>> backends_;
+  std::unique_ptr<ClusterDriver> driver_;
+  std::unique_ptr<Frontend> frontend_;
+  std::map<std::int64_t, std::vector<std::int32_t>> streamed_;
+};
+
+TEST_F(UnifiedServingTest, FrontendStreamsRealTokensBitIdentical) {
+  BuildCluster(2);
+  struct Req {
+    LoraId lora;
+    std::vector<std::int32_t> prompt;
+    int tokens;
+  };
+  std::vector<Req> reqs = {
+      {0, {17, 3, 42, 7}, 10}, {1, {99, 5}, 8},    {2, {8, 8, 8}, 12},
+      {-1, {1, 2, 3}, 6},      {0, {64, 32, 16}, 9},
+  };
+  std::vector<RequestHandle> handles;
+  for (const auto& r : reqs) {
+    handles.push_back(frontend_->Submit({.lora = r.lora,
+                                         .prompt_tokens = r.prompt,
+                                         .max_new_tokens = r.tokens}));
+  }
+  driver_->Run();
+  EXPECT_EQ(driver_->stats().finished_requests,
+            static_cast<std::int64_t>(reqs.size()));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    TokenStream* stream = frontend_->Stream(handles[i]);
+    ASSERT_NE(stream, nullptr);
+    EXPECT_EQ(stream->state(), StreamEnd::kFinished);
+    EXPECT_EQ(stream->DrainAll(),
+              Solo(reqs[i].lora, reqs[i].prompt, reqs[i].tokens))
+        << "request " << i << " streamed different tokens than a solo run";
+  }
+}
+
+TEST_F(UnifiedServingTest, SubscribedStreamsMatchAndSelfFree) {
+  BuildCluster(2);
+  std::vector<RequestHandle> handles;
+  struct Req {
+    LoraId lora;
+    std::vector<std::int32_t> prompt;
+    int tokens;
+  };
+  std::vector<Req> reqs = {{0, {5, 6, 7}, 7}, {1, {9}, 9}, {2, {4, 2}, 5}};
+  for (const auto& r : reqs) {
+    RequestHandle h = frontend_->Submit({.lora = r.lora,
+                                         .prompt_tokens = r.prompt,
+                                         .max_new_tokens = r.tokens});
+    handles.push_back(h);
+    ASSERT_TRUE(frontend_->Subscribe(
+        h, [this, h](std::int32_t token, double) {
+          streamed_[h.id()].push_back(token);
+        }));
+  }
+  driver_->Run();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(streamed_[handles[i].id()],
+              Solo(reqs[i].lora, reqs[i].prompt, reqs[i].tokens));
+  }
+  EXPECT_EQ(frontend_->live_sessions(), 0u);  // all self-freed on finish
+  EXPECT_EQ(frontend_->total_submitted(), reqs.size());
+}
+
+TEST_F(UnifiedServingTest, KvPressureMigrationUnderTheDriver) {
+  // A tight per-backend page pool forces driver-orchestrated migration
+  // while requests stream; outputs must still be exact.
+  BuildCluster(2, /*kv_pages=*/10);  // 10 pages × 16 slots
+  struct Req {
+    LoraId lora;
+    std::vector<std::int32_t> prompt;
+    int tokens;
+  };
+  std::vector<Req> reqs = {
+      {0, {1, 2, 3, 4, 5, 6, 7, 8}, 40},
+      {1, {9, 8, 7, 6, 5, 4, 3, 2}, 40},
+      {2, {11, 12, 13}, 40},
+      {0, {21, 22, 23, 24}, 40},
+  };
+  std::vector<RequestHandle> handles;
+  for (const auto& r : reqs) {
+    handles.push_back(frontend_->Submit({.lora = r.lora,
+                                         .prompt_tokens = r.prompt,
+                                         .max_new_tokens = r.tokens}));
+  }
+  driver_->Run();
+  EXPECT_EQ(driver_->stats().finished_requests, 4);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    TokenStream* stream = frontend_->Stream(handles[i]);
+    ASSERT_NE(stream, nullptr);
+    EXPECT_EQ(stream->DrainAll(),
+              Solo(reqs[i].lora, reqs[i].prompt, reqs[i].tokens))
+        << "request " << i;
+  }
+}
+
+TEST_F(UnifiedServingTest, DisconnectMidGenerationFreesEverything) {
+  BuildCluster(1);
+  RequestHandle keep = frontend_->Submit(
+      {.lora = 0, .prompt_tokens = {1, 2}, .max_new_tokens = 6});
+  RequestHandle drop = frontend_->Submit(
+      {.lora = 1, .prompt_tokens = {3, 4}, .max_new_tokens = 50});
+  driver_->Run(0.003);  // a few steps in
+  frontend_->Disconnect(drop);
+  EXPECT_EQ(frontend_->Stream(drop), nullptr);
+  driver_->Run();
+  TokenStream* stream = frontend_->Stream(keep);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_EQ(stream->state(), StreamEnd::kFinished);
+  EXPECT_EQ(stream->DrainAll(), Solo(0, {1, 2}, 6));
+  // The dropped request left no engine-side residue.
+  EXPECT_EQ(backends_[0]->working_set_size(), 0);
+  EXPECT_FALSE(engines_[0]->HasWork());
+}
+
+}  // namespace
+}  // namespace punica

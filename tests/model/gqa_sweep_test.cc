@@ -42,7 +42,9 @@ class GqaSweep : public ::testing::TestWithParam<GqaParam> {
     EngineConfig cfg;
     cfg.max_batch_size = max_batch;
     Engine engine(&model_, model_.MakeKvConfig(256), cfg);
-    std::int64_t id = engine.AddRequest(lora, std::move(prompt), tokens);
+    RequestHandle id = engine.AddRequest({.lora = lora,
+                                          .prompt_tokens = std::move(prompt),
+                                          .max_new_tokens = tokens});
     while (engine.HasWork()) engine.Step();
     return *engine.Output(id);
   }
@@ -69,8 +71,10 @@ TEST_P(GqaSweep, CrossLoraBatchingPreservesOutputs) {
   EngineConfig cfg;
   cfg.max_batch_size = 4;
   Engine engine(&model_, model_.MakeKvConfig(256), cfg);
-  std::int64_t a = engine.AddRequest(0, {5, 6}, 5);
-  std::int64_t b = engine.AddRequest(1, {8}, 5);
+  RequestHandle a = engine.AddRequest(
+      {.lora = 0, .prompt_tokens = {5, 6}, .max_new_tokens = 5});
+  RequestHandle b = engine.AddRequest(
+      {.lora = 1, .prompt_tokens = {8}, .max_new_tokens = 5});
   while (engine.HasWork()) engine.Step();
   EXPECT_EQ(*engine.Output(a), solo0);
   EXPECT_EQ(*engine.Output(b), solo1);

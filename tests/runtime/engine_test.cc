@@ -39,21 +39,24 @@ TEST_F(EngineTest, EmptyEngineNoWork) {
 
 TEST_F(EngineTest, PrefillEmitsFirstToken) {
   Engine e = MakeEngine();
-  std::int64_t id = e.AddRequest(0, {1, 2, 3}, 5);
+  RequestHandle id = e.AddRequest(
+      {.lora = 0, .prompt_tokens = {1, 2, 3}, .max_new_tokens = 5});
+  EXPECT_TRUE(id.valid());
   auto r = e.Step();
   EXPECT_EQ(r.batch_size, 1);
   EXPECT_EQ(r.prefill_requests, 1);
+  EXPECT_EQ(r.prefill_tokens, 3);
   ASSERT_EQ(r.emitted.size(), 1u);
-  EXPECT_EQ(r.emitted[0].first, id);
+  EXPECT_EQ(r.emitted[0].request_id, id.id());
   EXPECT_EQ(e.Output(id)->size(), 1u);
-  EXPECT_EQ(e.Output(id)->front(), r.emitted[0].second);
+  EXPECT_EQ(e.Output(id)->front(), r.emitted[0].token);
 }
 
 TEST_F(EngineTest, PrefillLimitRespected) {
   Engine e = MakeEngine(4, 2);
-  e.AddRequest(0, {1}, 4);
-  e.AddRequest(0, {2}, 4);
-  e.AddRequest(1, {3}, 4);
+  e.AddRequest({.lora = 0, .prompt_tokens = {1}, .max_new_tokens = 4});
+  e.AddRequest({.lora = 0, .prompt_tokens = {2}, .max_new_tokens = 4});
+  e.AddRequest({.lora = 1, .prompt_tokens = {3}, .max_new_tokens = 4});
   auto r = e.Step();
   EXPECT_EQ(r.prefill_requests, 2);  // limit 2
   EXPECT_EQ(r.batch_size, 2);
@@ -65,11 +68,13 @@ TEST_F(EngineTest, PrefillLimitRespected) {
 TEST_F(EngineTest, OutputOfUnknownIdIsNull) {
   Engine e = MakeEngine();
   EXPECT_EQ(e.Output(123), nullptr);
+  EXPECT_EQ(e.Output(RequestHandle()), nullptr);
 }
 
 TEST_F(EngineTest, OutputsPersistAfterFinish) {
   Engine e = MakeEngine();
-  std::int64_t id = e.AddRequest(0, {9}, 3);
+  RequestHandle id =
+      e.AddRequest({.lora = 0, .prompt_tokens = {9}, .max_new_tokens = 3});
   while (e.HasWork()) e.Step();
   ASSERT_NE(e.Output(id), nullptr);
   EXPECT_EQ(e.Output(id)->size(), 3u);
@@ -77,9 +82,9 @@ TEST_F(EngineTest, OutputsPersistAfterFinish) {
 
 TEST_F(EngineTest, SameLoraRequestsShareOneSegment) {
   Engine e = MakeEngine(4);
-  e.AddRequest(0, {1}, 8);
-  e.AddRequest(0, {2}, 8);
-  e.AddRequest(0, {3}, 8);
+  e.AddRequest({.lora = 0, .prompt_tokens = {1}, .max_new_tokens = 8});
+  e.AddRequest({.lora = 0, .prompt_tokens = {2}, .max_new_tokens = 8});
+  e.AddRequest({.lora = 0, .prompt_tokens = {3}, .max_new_tokens = 8});
   for (int i = 0; i < 3; ++i) e.Step();  // drain prefills
   auto r = e.Step();
   EXPECT_EQ(r.batch_size, 3);
@@ -88,8 +93,8 @@ TEST_F(EngineTest, SameLoraRequestsShareOneSegment) {
 
 TEST_F(EngineTest, BackboneRowsExcludedFromLoraSegments) {
   Engine e = MakeEngine(4);
-  e.AddRequest(-1, {1}, 8);  // backbone-only
-  e.AddRequest(0, {2}, 8);
+  e.AddRequest({.lora = -1, .prompt_tokens = {1}, .max_new_tokens = 8});
+  e.AddRequest({.lora = 0, .prompt_tokens = {2}, .max_new_tokens = 8});
   for (int i = 0; i < 2; ++i) e.Step();
   auto r = e.Step();
   EXPECT_EQ(r.batch_size, 2);
@@ -102,11 +107,11 @@ TEST_F(EngineTest, PrefillTailSharesSegmentWithDecodeHead) {
   // Paper §6: "The tail of Prefill requests and the head of Decode requests
   // can share a LoRA model if possible."
   Engine e = MakeEngine(4);
-  std::int64_t a = e.AddRequest(1, {1, 2}, 8);
-  (void)a;
-  e.Step();  // a prefilled, now decoding with lora 1
-  e.AddRequest(1, {3, 4}, 8);  // same lora, needs prefill
-  auto r = e.Step();           // prefill(lora 1) + decode(lora 1)
+  e.AddRequest({.lora = 1, .prompt_tokens = {1, 2}, .max_new_tokens = 8});
+  e.Step();  // prefilled, now decoding with lora 1
+  // Same lora, needs prefill.
+  e.AddRequest({.lora = 1, .prompt_tokens = {3, 4}, .max_new_tokens = 8});
+  auto r = e.Step();  // prefill(lora 1) + decode(lora 1)
   EXPECT_EQ(r.batch_size, 2);
   EXPECT_EQ(r.prefill_requests, 1);
   EXPECT_EQ(r.num_segments, 1);  // shared segment across the boundary
@@ -114,8 +119,9 @@ TEST_F(EngineTest, PrefillTailSharesSegmentWithDecodeHead) {
 
 TEST_F(EngineTest, CancelFreesCapacity) {
   Engine e = MakeEngine(2);
-  std::int64_t a = e.AddRequest(0, {1}, 50);
-  e.AddRequest(1, {2}, 50);
+  RequestHandle a =
+      e.AddRequest({.lora = 0, .prompt_tokens = {1}, .max_new_tokens = 50});
+  e.AddRequest({.lora = 1, .prompt_tokens = {2}, .max_new_tokens = 50});
   EXPECT_FALSE(e.CanAdmit());
   auto snap = e.Cancel(a);
   ASSERT_TRUE(snap.has_value());
@@ -125,7 +131,8 @@ TEST_F(EngineTest, CancelFreesCapacity) {
 
 TEST_F(EngineTest, StepAfterAllCancelledIsEmpty) {
   Engine e = MakeEngine();
-  std::int64_t a = e.AddRequest(0, {1}, 5);
+  RequestHandle a =
+      e.AddRequest({.lora = 0, .prompt_tokens = {1}, .max_new_tokens = 5});
   e.Cancel(a);
   EXPECT_FALSE(e.HasWork());
   auto r = e.Step();
@@ -134,11 +141,12 @@ TEST_F(EngineTest, StepAfterAllCancelledIsEmpty) {
 
 TEST_F(EngineTest, ManyShortRequestsAllFinish) {
   Engine e = MakeEngine(4);
-  std::vector<std::int64_t> ids;
+  std::vector<RequestHandle> ids;
   int finished = 0;
   for (int i = 0; i < 4; ++i) {
-    ids.push_back(e.AddRequest(i % 2, {static_cast<std::int32_t>(i + 1)},
-                               2 + i));
+    ids.push_back(e.AddRequest({.lora = i % 2,
+                                .prompt_tokens = {i + 1},
+                                .max_new_tokens = 2 + i}));
   }
   while (e.HasWork()) {
     finished += static_cast<int>(e.Step().finished.size());
@@ -151,16 +159,75 @@ TEST_F(EngineTest, ManyShortRequestsAllFinish) {
 
 TEST_F(EngineTest, EmittedTokensMatchOutputs) {
   Engine e = MakeEngine(3);
-  std::int64_t a = e.AddRequest(0, {5, 6}, 4);
-  std::int64_t b = e.AddRequest(1, {7}, 4);
+  RequestHandle a =
+      e.AddRequest({.lora = 0, .prompt_tokens = {5, 6}, .max_new_tokens = 4});
+  RequestHandle b =
+      e.AddRequest({.lora = 1, .prompt_tokens = {7}, .max_new_tokens = 4});
   std::map<std::int64_t, std::vector<std::int32_t>> streamed;
   while (e.HasWork()) {
     for (auto [id, tok] : e.Step().emitted) {
       streamed[id].push_back(tok);
     }
   }
-  EXPECT_EQ(streamed[a], *e.Output(a));
-  EXPECT_EQ(streamed[b], *e.Output(b));
+  EXPECT_EQ(streamed[a.id()], *e.Output(a));
+  EXPECT_EQ(streamed[b.id()], *e.Output(b));
+}
+
+TEST_F(EngineTest, PerRequestEosStopsEarly) {
+  // Find what the model emits unconstrained, then resubmit with the second
+  // token as a per-request EOS: generation must stop right there.
+  Engine free_engine = MakeEngine();
+  RequestHandle free_id = free_engine.AddRequest(
+      {.lora = 0, .prompt_tokens = {7, 7}, .max_new_tokens = 6});
+  while (free_engine.HasWork()) free_engine.Step();
+  std::int32_t stop = (*free_engine.Output(free_id))[1];
+
+  Engine e = MakeEngine();
+  RequestHandle id = e.AddRequest({.lora = 0,
+                                   .prompt_tokens = {7, 7},
+                                   .max_new_tokens = 6,
+                                   .eos_token = stop});
+  while (e.HasWork()) e.Step();
+  EXPECT_EQ(e.Output(id)->size(), 2u);
+  EXPECT_EQ(e.Output(id)->back(), stop);
+}
+
+TEST_F(EngineTest, SpecEosMustAgreeWithEngineEos) {
+  EngineConfig cfg;
+  cfg.max_batch_size = 2;
+  cfg.eos_token = 42;
+  Engine e(&model_, model_.MakeKvConfig(64), cfg);
+  // Matching spec EOS is fine; a conflicting one aborts.
+  e.AddRequest({.lora = 0,
+                .prompt_tokens = {1},
+                .max_new_tokens = 2,
+                .eos_token = 42});
+  EXPECT_DEATH(e.AddRequest({.lora = 0,
+                             .prompt_tokens = {2},
+                             .max_new_tokens = 2,
+                             .eos_token = 7}),
+               "disagree on the EOS");
+}
+
+TEST_F(EngineTest, SnapshotCarriesResolvedEos) {
+  EngineConfig cfg;
+  cfg.max_batch_size = 2;
+  cfg.eos_token = 42;
+  Engine e(&model_, model_.MakeKvConfig(64), cfg);
+  RequestHandle id =
+      e.AddRequest({.lora = 0, .prompt_tokens = {1, 2}, .max_new_tokens = 9});
+  e.Step();
+  auto snap = e.Cancel(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->eos_token, 42);  // engine-wide default was resolved in
+
+  // A destination with a different engine-wide EOS must refuse the
+  // migration instead of silently changing the stop condition.
+  EngineConfig other;
+  other.max_batch_size = 2;
+  other.eos_token = 7;
+  Engine dest(&model_, model_.MakeKvConfig(64), other);
+  EXPECT_DEATH(dest.AddMigrated(*snap), "changed the EOS");
 }
 
 TEST_F(EngineTest, DISABLED_KvExhaustionAborts) {
@@ -168,10 +235,29 @@ TEST_F(EngineTest, DISABLED_KvExhaustionAborts) {
   // tokens when the cache is exhausted (callers must migrate first). Kept
   // disabled by default because death tests on large state are slow.
   Engine tiny(&model_, model_.MakeKvConfig(1), EngineConfig{});
-  tiny.AddRequest(0, {1, 2, 3}, 100);
+  tiny.AddRequest(
+      {.lora = 0, .prompt_tokens = {1, 2, 3}, .max_new_tokens = 100});
   EXPECT_DEATH({
     while (tiny.HasWork()) tiny.Step();
   }, "KvCache exhausted");
+}
+
+TEST_F(EngineTest, EvictionVictimQueryNewestFirst) {
+  // Tight cache: page demand of the planned step exceeds the free pool, so
+  // the newest request must be named as the victim.
+  Engine e(&model_, model_.MakeKvConfig(/*num_pages=*/3, /*page_size=*/4),
+           EngineConfig{.max_batch_size = 4});
+  RequestHandle a = e.AddRequest(
+      {.lora = 0, .prompt_tokens = {1, 2, 3, 4, 5, 6}, .max_new_tokens = 20});
+  e.Step();  // a holds 2 pages (6 tokens), decodes grow it
+  EXPECT_TRUE(e.SelectEvictionVictims().empty());
+  RequestHandle b = e.AddRequest(
+      {.lora = 0, .prompt_tokens = {9, 9, 9, 9, 9}, .max_new_tokens = 20});
+  // b's prefill needs 2 pages; only 1 is free → b (newest) is the victim.
+  auto victims = e.SelectEvictionVictims();
+  ASSERT_FALSE(victims.empty());
+  EXPECT_EQ(victims[0], b.id());
+  EXPECT_NE(victims[0], a.id());
 }
 
 }  // namespace

@@ -49,7 +49,7 @@ TEST_F(RunnerTest, MaxBatchSizeEnforced) {
   for (int i = 0; i < 4; ++i) reqs.push_back(MakeRequest(i, 0, 10, 5));
   for (auto& r : reqs) {
     EXPECT_TRUE(runner.CanAdmit(r));
-    runner.Add(&r, 0.0);
+    runner.Admit(&r, 0.0);
   }
   auto extra = MakeRequest(99, 0, 10, 5);
   EXPECT_FALSE(runner.CanAdmit(extra));
@@ -59,7 +59,7 @@ TEST_F(RunnerTest, MaxBatchSizeEnforced) {
 TEST_F(RunnerTest, LoraLoadDelaysFirstStep) {
   GpuRunner runner = MakeRunner();
   auto r = MakeRequest(1, 5, 10, 3);
-  runner.Add(&r, 0.0);
+  runner.Admit(&r, 0.0);
   // Adapter copy in flight: no runnable work yet.
   EXPECT_FALSE(runner.HasRunnableWork(0.0));
   EXPECT_TRUE(runner.HasAnyWork());
@@ -72,14 +72,14 @@ TEST_F(RunnerTest, LoraLoadDelaysFirstStep) {
 TEST_F(RunnerTest, BackboneRequestRunsImmediately) {
   GpuRunner runner = MakeRunner();
   auto r = MakeRequest(1, -1, 10, 3);
-  runner.Add(&r, 0.0);
+  runner.Admit(&r, 0.0);
   EXPECT_TRUE(runner.HasRunnableWork(0.0));
 }
 
 TEST_F(RunnerTest, StepLifecyclePrefillThenDecode) {
   GpuRunner runner = MakeRunner();
   auto r = MakeRequest(1, -1, 10, 3);
-  runner.Add(&r, 0.0);
+  runner.Admit(&r, 0.0);
 
   // Step 1: prefill, emits first token.
   StepResult s1 = runner.Step(0.0);
@@ -112,7 +112,7 @@ TEST_F(RunnerTest, PrefillLimitOnePerStep) {
   GpuRunner runner = MakeRunner();
   std::vector<ServingRequest> reqs;
   for (int i = 0; i < 3; ++i) reqs.push_back(MakeRequest(i, -1, 10, 5));
-  for (auto& r : reqs) runner.Add(&r, 0.0);
+  for (auto& r : reqs) runner.Admit(&r, 0.0);
   StepResult s1 = runner.Step(0.0);
   EXPECT_EQ(s1.prefill_requests, 1);
   EXPECT_EQ(s1.batch_size, 1);  // two others still waiting for prefill
@@ -128,22 +128,27 @@ TEST_F(RunnerTest, FcfsPrefillOrder) {
   GpuRunner runner = MakeRunner();
   auto a = MakeRequest(10, -1, 5, 9);
   auto b = MakeRequest(11, -1, 5, 9);
-  runner.Add(&a, 0.0);
-  runner.Add(&b, 0.0);
+  runner.Admit(&a, 0.0);
+  runner.Admit(&b, 0.0);
   runner.Step(0.0);
   EXPECT_EQ(a.generated, 1);  // admitted first, prefilled first
   EXPECT_EQ(b.generated, 0);
 }
 
-TEST_F(RunnerTest, RemoveReleasesKv) {
+TEST_F(RunnerTest, CancelReleasesKvAndSnapshots) {
   GpuRunner runner = MakeRunner();
   auto r = MakeRequest(1, -1, 50, 10);
-  runner.Add(&r, 0.0);
+  runner.Admit(&r, 0.0);
   runner.Step(0.0);
   EXPECT_EQ(runner.kv_used_tokens(), 50);
-  EXPECT_TRUE(runner.Remove(1));
+  auto snap = runner.Cancel(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->request_id, 1);
+  EXPECT_EQ(snap->prompt_len, 50);
+  EXPECT_EQ(snap->generated_len, 1);  // prefill emitted the first token
+  EXPECT_EQ(snap->max_new_tokens, 10);
   EXPECT_EQ(runner.kv_used_tokens(), 0);
-  EXPECT_FALSE(runner.Remove(1));
+  EXPECT_FALSE(runner.Cancel(1).has_value());
 }
 
 TEST_F(RunnerTest, EvictionVictimsNewestFirst) {
@@ -151,14 +156,14 @@ TEST_F(RunnerTest, EvictionVictimsNewestFirst) {
   GpuRunner runner = MakeRunner();
   auto a = MakeRequest(1, -1, 50, 100);
   auto b = MakeRequest(2, -1, 50, 100);
-  runner.Add(&a, 0.0);
-  runner.Add(&b, 0.0);
+  runner.Admit(&a, 0.0);
+  runner.Admit(&b, 0.0);
   runner.Step(0.0);  // prefill a (kv 50)
   runner.Step(1.0);  // prefill b + decode a (kv 101)
   // Decode steps will keep growing; eventually a third request cannot fit.
   auto c = MakeRequest(3, -1, 10, 100);
   EXPECT_TRUE(runner.CanAdmit(c));
-  runner.Add(&c, 2.0);
+  runner.Admit(&c, 2.0);
   // Next step wants prefill(c)=10 + decode a,b = 12 tokens on top of 101.
   auto victims = runner.SelectEvictionVictims(2.0);
   ASSERT_FALSE(victims.empty());
@@ -168,15 +173,15 @@ TEST_F(RunnerTest, EvictionVictimsNewestFirst) {
 TEST_F(RunnerTest, MigratedRequestRePrefillsPromptPlusGenerated) {
   GpuRunner runner = MakeRunner();
   auto r = MakeRequest(1, -1, 20, 10);
-  runner.Add(&r, 0.0);
+  runner.Admit(&r, 0.0);
   runner.Step(0.0);
   runner.Step(1.0);
   runner.Step(2.0);
   EXPECT_EQ(r.generated, 3);
-  runner.Remove(1);  // migrate away
+  runner.Cancel(1);  // migrate away
 
   GpuRunner dest(1, config_, Llama7B(), &cm_);
-  dest.Add(&r, 3.0);
+  dest.Admit(&r, 3.0);
   StepResult s = dest.Step(3.0);
   EXPECT_EQ(s.prefill_requests, 1);
   EXPECT_EQ(s.prefill_tokens, 23);  // prompt 20 + 3 generated (recompute)
@@ -189,9 +194,9 @@ TEST_F(RunnerTest, MixedLoraBatchCountsSegments) {
   auto a = MakeRequest(1, 100, 10, 5);
   auto b = MakeRequest(2, 200, 10, 5);
   auto c = MakeRequest(3, 100, 10, 5);
-  runner.Add(&a, 0.0);
-  runner.Add(&b, 0.0);
-  runner.Add(&c, 0.0);
+  runner.Admit(&a, 0.0);
+  runner.Admit(&b, 0.0);
+  runner.Admit(&c, 0.0);
   // After adapters load, all can run together (cross-LoRA batching).
   double t = 3e-3;
   EXPECT_TRUE(runner.HasRunnableWork(t));
@@ -206,7 +211,7 @@ TEST_F(RunnerTest, MixedLoraBatchCountsSegments) {
 TEST_F(RunnerTest, FinishOnPrefillForSingleTokenOutput) {
   GpuRunner runner = MakeRunner();
   auto r = MakeRequest(1, -1, 10, 1);  // wants exactly one token
-  runner.Add(&r, 0.0);
+  runner.Admit(&r, 0.0);
   StepResult s = runner.Step(0.0);
   ASSERT_EQ(s.finished.size(), 1u);
   EXPECT_EQ(r.phase, RequestPhase::kFinished);
@@ -218,8 +223,8 @@ TEST_F(RunnerTest, FindAndNewest) {
   GpuRunner runner = MakeRunner();
   auto a = MakeRequest(5, -1, 10, 5);
   auto b = MakeRequest(3, -1, 10, 5);
-  runner.Add(&a, 0.0);
-  runner.Add(&b, 0.0);
+  runner.Admit(&a, 0.0);
+  runner.Admit(&b, 0.0);
   EXPECT_EQ(runner.Find(5), &a);
   EXPECT_EQ(runner.Find(3), &b);
   EXPECT_EQ(runner.Find(99), nullptr);
@@ -243,11 +248,11 @@ TEST_F(RunnerTest, KvAccountingNeverExceedsCapacity) {
         MakeRequest(i, -1, 20, 40));
     if (runner.working_set_size() < config_.max_batch_size &&
         runner.CanAdmit(*r)) {
-      runner.Add(r.get(), t);
+      runner.Admit(r.get(), t);
     }
     reqs.push_back(std::move(r));
     for (auto id : runner.SelectEvictionVictims(t)) {
-      runner.Remove(id);
+      runner.Cancel(id);
     }
     if (runner.HasRunnableWork(t)) {
       StepResult s = runner.Step(t);

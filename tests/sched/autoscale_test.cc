@@ -22,7 +22,7 @@ class AutoscaleTest : public ::testing::Test {
   }
 
   void MakeCluster(int gpus) {
-    std::vector<GpuRunner*> raw;
+    std::vector<ExecutionBackend*> raw;
     for (int g = 0; g < gpus; ++g) {
       runners_.push_back(
           std::make_unique<GpuRunner>(g, config_, Llama7B(), &cm_));
@@ -72,8 +72,8 @@ TEST_F(AutoscaleTest, ReleasesIdleGpusWithHysteresis) {
 
 TEST_F(AutoscaleTest, BusyGpusAreNotReleased) {
   MakeCluster(2);
-  runners_[0]->Add(NewRequest(), 0.0);
-  runners_[1]->Add(NewRequest(), 0.0);
+  runners_[0]->Admit(NewRequest(), 0.0);
+  runners_[1]->Admit(NewRequest(), 0.0);
   AutoscaleController ctl(sched_.get(),
                           {.min_gpus = 1, .release_after_idle_ticks = 1});
   for (int i = 0; i < 5; ++i) ctl.Tick();
@@ -108,7 +108,7 @@ TEST_F(AutoscaleTest, NeverExceedsMaxGpus) {
   // Saturate both GPUs.
   for (int g = 0; g < 2; ++g) {
     for (int i = 0; i < 4; ++i) {
-      runners_[static_cast<std::size_t>(g)]->Add(NewRequest(), 0.0);
+      runners_[static_cast<std::size_t>(g)]->Admit(NewRequest(), 0.0);
     }
   }
   auto d = ctl.Tick();
@@ -144,7 +144,7 @@ TEST_F(AutoscaleTest, AdviseIgnoresDisabledGpus) {
   MakeCluster(2);
   sched_->SetGpuEnabled(0, false);
   // GPU 1 saturated ⇒ no lightly loaded *enabled* GPU ⇒ need more.
-  for (int i = 0; i < 4; ++i) runners_[1]->Add(NewRequest(), 0.0);
+  for (int i = 0; i < 4; ++i) runners_[1]->Admit(NewRequest(), 0.0);
   auto advice = sched_->Advise();
   EXPECT_TRUE(advice.need_more_gpus);
   EXPECT_TRUE(advice.releasable_gpus.empty());  // GPU 0 not listed
@@ -229,7 +229,7 @@ TEST(AutoscaleDeathTest, ReleasingBusyGpuAborts) {
   Scheduler sched({&r0, &r1});
   ServingRequest req{.id = 1, .lora_id = -1, .prompt_len = 10,
                      .output_len = 5, .arrival_time = 0.0};
-  r0.Add(&req, 0.0);
+  r0.Admit(&req, 0.0);
   EXPECT_DEATH(sched.SetGpuEnabled(0, false), "active requests");
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gpu/specs.h"
+#include "runtime/runner.h"
 #include "util/rng.h"
 
 namespace punica {
@@ -19,7 +20,7 @@ class SchedulerTest : public ::testing::Test {
   }
 
   void MakeCluster(int gpus) {
-    std::vector<GpuRunner*> raw;
+    std::vector<ExecutionBackend*> raw;
     for (int g = 0; g < gpus; ++g) {
       runners_.push_back(
           std::make_unique<GpuRunner>(g, config_, Llama7B(), &cm_));
@@ -56,16 +57,16 @@ TEST_F(SchedulerTest, EmptyClusterTieBreaksToHighestUuid) {
 TEST_F(SchedulerTest, PrefersLargestWorkingSet) {
   MakeCluster(3);
   // Load GPU 1 with two requests directly.
-  runners_[1]->Add(NewRequest(0, 10, 5), 0.0);
-  runners_[1]->Add(NewRequest(0, 10, 5), 0.0);
-  runners_[0]->Add(NewRequest(0, 10, 5), 0.0);
+  runners_[1]->Admit(NewRequest(0, 10, 5), 0.0);
+  runners_[1]->Admit(NewRequest(0, 10, 5), 0.0);
+  runners_[0]->Admit(NewRequest(0, 10, 5), 0.0);
   int gpu = sched_->Submit(NewRequest(0, 10, 5), 0.0);
   EXPECT_EQ(gpu, 1);  // 2 > 1 > 0
 }
 
 TEST_F(SchedulerTest, SkipsFullGpus) {
   MakeCluster(2);
-  for (int i = 0; i < 4; ++i) runners_[1]->Add(NewRequest(0, 10, 5), 0.0);
+  for (int i = 0; i < 4; ++i) runners_[1]->Admit(NewRequest(0, 10, 5), 0.0);
   int gpu = sched_->Submit(NewRequest(0, 10, 5), 0.0);
   EXPECT_EQ(gpu, 0);  // GPU 1 at max batch
 }
@@ -176,9 +177,9 @@ TEST_F(SchedulerTest, ConsolidationMovesFromLightToBusy) {
   MakeCluster(2);
   // GPU 0: one request (light). GPU 1: two requests (busy).
   ServingRequest* lonely = NewRequest(-1, 10, 50);
-  runners_[0]->Add(lonely, 0.0);
-  runners_[1]->Add(NewRequest(-1, 10, 50), 0.0);
-  runners_[1]->Add(NewRequest(-1, 10, 50), 0.0);
+  runners_[0]->Admit(lonely, 0.0);
+  runners_[1]->Admit(NewRequest(-1, 10, 50), 0.0);
+  runners_[1]->Admit(NewRequest(-1, 10, 50), 0.0);
 
   std::int64_t migrations = 0;
   int receiver = sched_->ConsolidateOnce(1.0, &migrations);
@@ -193,8 +194,8 @@ TEST_F(SchedulerTest, ConsolidationNoOpWhenBalancedOrEmpty) {
   MakeCluster(2);
   std::int64_t migrations = 0;
   EXPECT_EQ(sched_->ConsolidateOnce(0.0, &migrations), -1);  // all empty
-  runners_[0]->Add(NewRequest(-1, 10, 5), 0.0);
-  runners_[1]->Add(NewRequest(-1, 10, 5), 0.0);
+  runners_[0]->Admit(NewRequest(-1, 10, 5), 0.0);
+  runners_[1]->Admit(NewRequest(-1, 10, 5), 0.0);
   // Equal load: no strictly-busier receiver.
   EXPECT_EQ(sched_->ConsolidateOnce(0.0, &migrations), -1);
   EXPECT_EQ(migrations, 0);
@@ -202,8 +203,8 @@ TEST_F(SchedulerTest, ConsolidationNoOpWhenBalancedOrEmpty) {
 
 TEST_F(SchedulerTest, ConsolidationRespectsReceiverConstraints) {
   MakeCluster(2);
-  runners_[0]->Add(NewRequest(-1, 10, 5), 0.0);
-  for (int i = 0; i < 4; ++i) runners_[1]->Add(NewRequest(-1, 10, 5), 0.0);
+  runners_[0]->Admit(NewRequest(-1, 10, 5), 0.0);
+  for (int i = 0; i < 4; ++i) runners_[1]->Admit(NewRequest(-1, 10, 5), 0.0);
   std::int64_t migrations = 0;
   // Receiver full → no move.
   EXPECT_EQ(sched_->ConsolidateOnce(0.0, &migrations), -1);
@@ -218,7 +219,7 @@ TEST_F(SchedulerTest, ScaleAdvice) {
   // Saturate both GPUs (max_batch 4, ¾ threshold = 3).
   for (int g = 0; g < 2; ++g) {
     for (int i = 0; i < 4; ++i) {
-      runners_[static_cast<std::size_t>(g)]->Add(NewRequest(-1, 10, 5), 0.0);
+      runners_[static_cast<std::size_t>(g)]->Admit(NewRequest(-1, 10, 5), 0.0);
     }
   }
   advice = sched_->Advise();
@@ -307,9 +308,9 @@ TEST_F(SchedulerTest, BusyStaysBusyProperty) {
   // The paper's consolidation attribute: new requests pile onto the busiest
   // feasible GPU, so ordering of working-set sizes is preserved.
   MakeCluster(3);
-  runners_[2]->Add(NewRequest(-1, 10, 99), 0.0);
-  runners_[2]->Add(NewRequest(-1, 10, 99), 0.0);
-  runners_[1]->Add(NewRequest(-1, 10, 99), 0.0);
+  runners_[2]->Admit(NewRequest(-1, 10, 99), 0.0);
+  runners_[2]->Admit(NewRequest(-1, 10, 99), 0.0);
+  runners_[1]->Admit(NewRequest(-1, 10, 99), 0.0);
   for (int i = 0; i < 2; ++i) {
     int gpu = sched_->Submit(NewRequest(-1, 10, 99), 0.0);
     EXPECT_EQ(gpu, 2);
