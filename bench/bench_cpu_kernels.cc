@@ -3,6 +3,12 @@
 // These measure this repo's actual numerics (not the A100 projection);
 // the relative orderings mirror Fig. 8 because the IO asymmetries are the
 // same.
+//
+// The *Threads benchmarks sweep the compute substrate's pool width over
+// 1/2/4/hardware for the hot-path kernels and a full Engine::Step decode
+// batch; `items_per_second` at each width gives the scaling curve (the
+// speedup is the ratio against the width-1 row). All widths produce
+// bit-identical outputs — the sweep measures time, never numerics.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -12,11 +18,23 @@
 #include "core/sgmv.h"
 #include "model/attention.h"
 #include "model/llama.h"
+#include "runtime/engine.h"
+#include "tensor/gemm.h"
+#include "util/compute_context.h"
 #include "util/rng.h"
 #include "workload/popularity.h"
 
 namespace punica {
 namespace {
+
+// Sweep arg: pool width (0 = ComputeContext's default resolution, i.e.
+// PUNICA_THREADS when exported, else hardware_concurrency). Wall time, not
+// CPU time: the caller sleeps while workers compute, so CPU time would
+// fabricate the scaling curve.
+void ThreadSweep(benchmark::internal::Benchmark* b) {
+  b->ArgName("threads");
+  b->Arg(1)->Arg(2)->Arg(4)->Arg(0)->UseRealTime();
+}
 
 struct OpProblem {
   std::vector<LoraAB> adapters;
@@ -160,6 +178,109 @@ BENCHMARK(BM_BatchDecodeAttention)
     ->Args({1, 128})
     ->Args({8, 128})
     ->Args({8, 1024});
+
+// --- Thread-count sweep over the numeric hot path ---
+
+void BM_GemmAccF16WThreads(benchmark::State& state) {
+  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+  const int m = 32, k = 1024, n = 1024;
+  Pcg32 rng(11);
+  Tensor<f16> w({k, n});
+  for (auto& v : w.data()) {
+    v = f16(static_cast<float>(rng.NextGaussian()) * 0.05f);
+  }
+  auto x = RandomGaussianVector(static_cast<std::size_t>(m) * k, 1.0f, rng);
+  std::vector<float> y(static_cast<std::size_t>(m) * n, 0.0f);
+  for (auto _ : state) {
+    GemmAccF16W(x, w.data(), y, m, k, n, ctx);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * m * k * n,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmAccF16WThreads)->Apply(ThreadSweep);
+
+void BM_SgmvShrinkThreads(benchmark::State& state) {
+  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+  OpProblem p = MakeOpProblem(/*num_segments=*/8, /*rows_per_segment=*/8,
+                              /*h=*/1024, /*rank=*/16);
+  std::vector<const f16*> a_ptrs;
+  for (const auto* ad : p.ptrs) a_ptrs.push_back(ad->a.raw());
+  std::vector<float> v(static_cast<std::size_t>(p.seg.back()) * 16, 0.0f);
+  // Preallocated split-K scratch, like the serving hot path.
+  std::vector<float> scratch(static_cast<std::size_t>(p.seg.back()) *
+                             static_cast<std::size_t>(kMaxSplitKPartitions) *
+                             16);
+  SgmvArgs args{v, p.x, a_ptrs, p.seg, p.h, 16};
+  for (auto _ : state) {
+    SgmvShrink(args, ctx, scratch);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.seg.back());
+}
+BENCHMARK(BM_SgmvShrinkThreads)->Apply(ThreadSweep);
+
+void BM_SgmvExpandThreads(benchmark::State& state) {
+  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+  const int rows = 64, h = 1024, rank = 16;
+  Pcg32 rng(12);
+  Tensor<f16> w({rank, h});
+  for (auto& v : w.data()) {
+    v = f16(static_cast<float>(rng.NextGaussian()) * 0.05f);
+  }
+  auto x = RandomGaussianVector(static_cast<std::size_t>(rows) * rank, 1.0f,
+                                rng);
+  std::vector<float> y(static_cast<std::size_t>(rows) * h, 0.0f);
+  const f16* ptr = w.raw();
+  std::vector<std::int32_t> seg = {0, rows};
+  SgmvArgs args{y, x, std::span<const f16* const>(&ptr, 1), seg, rank, h};
+  for (auto _ : state) {
+    SgmvExpand(args, ctx);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SgmvExpandThreads)->Apply(ThreadSweep);
+
+// A full Engine::Step over a continuous decode batch: the end-to-end
+// hot path (projections + LoRA SGMV + paged attention + LM head).
+// items_per_second is decode tokens/s at this pool width.
+void BM_EngineDecodeStepThreads(benchmark::State& state) {
+  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+  const int batch = 16;
+  LlamaModel model(TinyLlama(), 9, &ctx);
+  model.AddLora(0, 8, 1);
+  model.AddLora(1, 8, 2);
+  Engine engine(&model, model.MakeKvConfig(2048),
+                {.max_batch_size = batch, .prefill_limit = batch});
+  auto refill = [&] {
+    for (int i = 0; i < batch; ++i) {
+      std::vector<std::int32_t> prompt;
+      for (int t = 0; t < 16; ++t) {
+        prompt.push_back(static_cast<std::int32_t>((i * 17 + t) % 100));
+      }
+      engine.AddRequest({.lora = i % 2,
+                         .prompt_tokens = std::move(prompt),
+                         .max_new_tokens = 64});
+    }
+    engine.Step();  // prefill everything; timed iterations are pure decode
+  };
+  refill();
+  std::int64_t tokens = 0;
+  for (auto _ : state) {
+    if (!engine.HasWork()) {
+      state.PauseTiming();
+      refill();
+      state.ResumeTiming();
+    }
+    StepResult r = engine.Step();
+    tokens += r.new_tokens;
+  }
+  state.SetItemsProcessed(tokens);
+}
+BENCHMARK(BM_EngineDecodeStepThreads)->Apply(ThreadSweep);
 
 void BM_TinyLlamaDecodeStep(benchmark::State& state) {
   const auto batch = static_cast<int>(state.range(0));

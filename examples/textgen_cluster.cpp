@@ -20,6 +20,7 @@
 #include "runtime/engine.h"
 #include "runtime/engine_backend.h"
 #include "sched/cluster.h"
+#include "util/compute_context.h"
 
 using namespace punica;
 
@@ -34,8 +35,12 @@ std::string Render(const std::vector<std::int32_t>& tokens) {
 }  // namespace
 
 int main() {
+  // The compute substrate: one thread pool shared by every engine over this
+  // backbone (PUNICA_THREADS or hardware_concurrency wide). Streams are
+  // bit-identical whatever the width — rerun under PUNICA_THREADS=1 to see.
+  ComputeContext compute;
   // One backbone copy shared by every "GPU", plus per-tenant LoRA models.
-  LlamaModel model(TinyLlama(), /*seed=*/1234);
+  LlamaModel model(TinyLlama(), /*seed=*/1234, &compute);
   model.AddLora(0, 8, 111);
   model.AddLora(1, 8, 222);
   model.AddLora(2, 4, 333);
@@ -97,8 +102,9 @@ int main() {
   driver.Run();
 
   std::printf("Frontend → Scheduler → numeric Engine, %d backends, %zu "
-              "tenants\n\n",
-              driver.num_backends(), tenants.size());
+              "tenants, %d compute threads\n\n",
+              driver.num_backends(), tenants.size(),
+              compute.num_threads());
   bool all_equal = true;
   for (const auto& t : tenants) {
     bool equal = streamed[t.name] == reference[t.name];

@@ -30,8 +30,8 @@ void LoopLoraApply(std::span<float> y, std::span<const float> x,
                                static_cast<std::size_t>(h_out));
     std::vector<float> v(static_cast<std::size_t>(rows) *
                          static_cast<std::size_t>(ad->rank));
-    GemmAddF16W(x_seg, ad->a.data(), v, rows, h_in, ad->rank);
-    GemmAddF16W(v, ad->b.data(), y_seg, rows, ad->rank, h_out);
+    GemmAccF16W(x_seg, ad->a.data(), v, rows, h_in, ad->rank);
+    GemmAccF16W(v, ad->b.data(), y_seg, rows, ad->rank, h_out);
   }
 }
 
@@ -102,14 +102,14 @@ void GatherBmmLoraApply(std::span<float> y, std::span<const float> x,
                                           static_cast<std::size_t>(rank)],
                                static_cast<std::size_t>(h_in) *
                                    static_cast<std::size_t>(rank));
-    GemvAddF16W(x_row, a_row, v, h_in, rank);
+    GemvAccF16W(x_row, a_row, v, h_in, rank);
     auto y_row = y.subspan(ri * static_cast<std::size_t>(h_out),
                            static_cast<std::size_t>(h_out));
     std::span<const f16> b_row(&stacked_b[ri * static_cast<std::size_t>(rank) *
                                           static_cast<std::size_t>(h_out)],
                                static_cast<std::size_t>(rank) *
                                    static_cast<std::size_t>(h_out));
-    GemvAddF16W(v, b_row, y_row, rank, h_out);
+    GemvAccF16W(v, b_row, y_row, rank, h_out);
   }
 }
 

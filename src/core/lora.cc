@@ -34,7 +34,7 @@ LoraAB LoraAB::Random(int h_in, int h_out, int rank, std::uint64_t seed) {
 void BatchedLoraAddon(std::span<float> y, std::span<const float> x,
                       std::span<const LoraAB* const> adapters,
                       std::span<const std::int32_t> seg, int h_in, int h_out,
-                      std::span<float> workspace) {
+                      std::span<float> workspace, const ComputeContext& ctx) {
   PUNICA_CHECK(!seg.empty());
   PUNICA_CHECK(adapters.size() + 1 == seg.size());
   const int rows = seg.back();
@@ -73,10 +73,13 @@ void BatchedLoraAddon(std::span<float> y, std::span<const float> x,
   }
 
   if (uniform_rank) {
+    // Workspace beyond the v rows backs the shrink's split-K partials
+    // (LayerWorkspace sizes it for that); SgmvShrink allocates only when
+    // the tail is too small.
     SgmvArgs shrink{v, x, a_ptrs, seg, h_in, max_rank};
-    SgmvShrink(shrink);
+    SgmvShrink(shrink, ctx, workspace.subspan(v.size()));
     SgmvArgs expand{y, v, b_ptrs, seg, max_rank, h_out};
-    SgmvExpand(expand);
+    SgmvExpand(expand, ctx);
     return;
   }
 
@@ -102,13 +105,16 @@ void BatchedLoraAddon(std::span<float> y, std::span<const float> x,
                               static_cast<std::size_t>(seg_rows) *
                                   static_cast<std::size_t>(h_in)),
                     a_one, sub_seg, h_in, ad->rank};
-    SgmvShrink(shrink);
+    // The workspace tail is big enough for any sub-segment's partials
+    // (seg_rows <= rows, ad->rank <= max_rank), so no allocation here
+    // either.
+    SgmvShrink(shrink, ctx, workspace.subspan(v.size()));
     SgmvArgs expand{y.subspan(static_cast<std::size_t>(lo) *
                                   static_cast<std::size_t>(h_out),
                               static_cast<std::size_t>(seg_rows) *
                                   static_cast<std::size_t>(h_out)),
                     sub_v, b_one, sub_seg, ad->rank, h_out};
-    SgmvExpand(expand);
+    SgmvExpand(expand, ctx);
   }
 }
 

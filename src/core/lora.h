@@ -38,11 +38,15 @@ struct LoraAB {
 ///   y[s[i]:s[i+1]] += x[s[i]:s[i+1]] · A_i · B_i
 /// `adapters[i]` may be nullptr for a backbone-only segment (skipped).
 /// `workspace` must hold rows · max_rank floats; it is used as the
-/// intermediate v and zeroed internally.
+/// intermediate v and zeroed internally. Any extra capacity beyond that
+/// backs the shrink kernel's split-K partials (rows · kMaxSplitKPartitions
+/// · max_rank floats avoids all hot-path allocation); smaller workspaces
+/// stay correct and merely allocate inside.
 void BatchedLoraAddon(std::span<float> y, std::span<const float> x,
                       std::span<const LoraAB* const> adapters,
                       std::span<const std::int32_t> seg, int h_in, int h_out,
-                      std::span<float> workspace);
+                      std::span<float> workspace,
+                      const ComputeContext& ctx = ComputeContext::Default());
 
 /// Convenience for tests: single-adapter addon over the whole batch.
 void LoraAddonSingle(std::span<float> y, std::span<const float> x,

@@ -1,6 +1,7 @@
 #include "core/sgmv.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "util/check.h"
@@ -24,6 +25,16 @@ void ValidateArgs(const SgmvArgs& a) {
   }
 }
 
+// The weight pointer covering `row` — the gather the GPU kernel performs
+// per thread block. A binary search over the (non-decreasing) offsets so
+// parallel tasks can be indexed by row with no allocation: the last
+// segment starting at or before `row` is the non-empty one covering it.
+const f16* WeightForRow(const SgmvArgs& a, std::int64_t row) {
+  auto it = std::upper_bound(a.seg.begin(), a.seg.end(), row);
+  auto s = static_cast<std::size_t>(it - a.seg.begin()) - 1;
+  return a.weights[s];  // nullptr = backbone-only segment
+}
+
 }  // namespace
 
 int SplitKPartitions(int h_in) {
@@ -31,88 +42,112 @@ int SplitKPartitions(int h_in) {
   // partitions (the GPU heuristic caps at the SM count budget per segment).
   constexpr int kChunk = 256;
   int parts = (h_in + kChunk - 1) / kChunk;
-  return std::clamp(parts, 1, 8);
+  return std::clamp(parts, 1, kMaxSplitKPartitions);
 }
 
-void SgmvShrink(const SgmvArgs& a) {
+void SgmvShrink(const SgmvArgs& a, const ComputeContext& ctx,
+                std::span<float> scratch) {
   ValidateArgs(a);
+  const std::int64_t rows = a.seg.back();
+  if (rows == 0) return;
   const int k_parts = SplitKPartitions(a.h_in);
   const int chunk = (a.h_in + k_parts - 1) / k_parts;
-  // Phase 1: each (row, partition) computes a partial over its k-chunk —
-  // the analogue of per-threadblock partial sums before the grid sync.
-  // Phase 2: fixed-order reduction across partitions.
-  std::vector<float> partials(static_cast<std::size_t>(k_parts) *
-                              static_cast<std::size_t>(a.h_out));
-  const int num_segments = static_cast<int>(a.weights.size());
-  for (int s = 0; s < num_segments; ++s) {
-    const f16* w = a.weights[static_cast<std::size_t>(s)];
-    if (w == nullptr) continue;  // segment without a LoRA (backbone-only row)
-    for (std::int32_t row = a.seg[static_cast<std::size_t>(s)];
-         row < a.seg[static_cast<std::size_t>(s) + 1]; ++row) {
-      const float* xr =
-          &a.x[static_cast<std::size_t>(row) * static_cast<std::size_t>(a.h_in)];
-      std::fill(partials.begin(), partials.end(), 0.0f);
-      for (int p = 0; p < k_parts; ++p) {
-        int k_lo = p * chunk;
-        int k_hi = std::min(a.h_in, k_lo + chunk);
-        float* part = &partials[static_cast<std::size_t>(p) *
-                                static_cast<std::size_t>(a.h_out)];
-        for (int kk = k_lo; kk < k_hi; ++kk) {
-          float xv = xr[kk];
-          if (xv == 0.0f) continue;
-          const f16* wrow = &w[static_cast<std::size_t>(kk) *
-                               static_cast<std::size_t>(a.h_out)];
-          for (int j = 0; j < a.h_out; ++j) {
-            part[j] += xv * wrow[j].ToFloat();
-          }
+
+  // Phase 1: each (row, partition) block computes a partial over its
+  // k-chunk on whichever worker claims it — the analogue of per-threadblock
+  // partial sums before the grid sync. The partial layout depends only on
+  // (row, partition), never on the worker. Left uninitialized here: each
+  // slice has exactly one phase-1 writer, which zeroes it first, and
+  // phase 2 never reads slices of null-weight rows. Backed by the caller's
+  // scratch when it is large enough (the hot-path case).
+  const std::size_t partials_size = static_cast<std::size_t>(rows) *
+                                    static_cast<std::size_t>(k_parts) *
+                                    static_cast<std::size_t>(a.h_out);
+  std::unique_ptr<float[]> owned;
+  float* partials = scratch.data();
+  if (scratch.size() < partials_size) {
+    owned = std::make_unique_for_overwrite<float[]>(partials_size);
+    partials = owned.get();
+  }
+  ctx.ParallelFor(rows * k_parts, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t task = lo; task < hi; ++task) {
+      const auto row = static_cast<std::size_t>(task / k_parts);
+      const int p = static_cast<int>(task % k_parts);
+      const f16* w = WeightForRow(a, static_cast<std::int64_t>(row));
+      if (w == nullptr) continue;
+      const float* xr = &a.x[row * static_cast<std::size_t>(a.h_in)];
+      float* part = &partials[(row * static_cast<std::size_t>(k_parts) +
+                               static_cast<std::size_t>(p)) *
+                              static_cast<std::size_t>(a.h_out)];
+      std::fill(part, part + a.h_out, 0.0f);
+      int k_lo = p * chunk;
+      int k_hi = std::min(a.h_in, k_lo + chunk);
+      for (int kk = k_lo; kk < k_hi; ++kk) {
+        float xv = xr[kk];
+        if (xv == 0.0f) continue;
+        const f16* wrow = &w[static_cast<std::size_t>(kk) *
+                             static_cast<std::size_t>(a.h_out)];
+        for (int j = 0; j < a.h_out; ++j) {
+          part[j] += xv * wrow[j].ToFloat();
         }
       }
-      float* yr = &a.y[static_cast<std::size_t>(row) *
-                       static_cast<std::size_t>(a.h_out)];
+    }
+  });
+
+  // Phase 2: reduce partials in fixed ascending partition order — one
+  // worker per row, so each y element has exactly one writer and one
+  // summation order regardless of thread count.
+  ctx.ParallelFor(rows, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      const auto row = static_cast<std::size_t>(r);
+      if (WeightForRow(a, r) == nullptr) continue;
+      float* yr = &a.y[row * static_cast<std::size_t>(a.h_out)];
+      const float* row_part = &partials[row * static_cast<std::size_t>(
+                                                  k_parts) *
+                                        static_cast<std::size_t>(a.h_out)];
       for (int j = 0; j < a.h_out; ++j) {
         float acc = 0.0f;
         for (int p = 0; p < k_parts; ++p) {
-          acc += partials[static_cast<std::size_t>(p) *
+          acc += row_part[static_cast<std::size_t>(p) *
                               static_cast<std::size_t>(a.h_out) +
                           static_cast<std::size_t>(j)];
         }
         yr[j] += acc;
       }
     }
-  }
+  });
 }
 
-void SgmvExpand(const SgmvArgs& a) {
+void SgmvExpand(const SgmvArgs& a, const ComputeContext& ctx) {
   ValidateArgs(a);
-  // Column-split schedule: tile the (large) output dimension; each tile is
-  // computed independently, exactly like dispatching v·B^(tile) to separate
-  // thread blocks whose results concatenate.
+  const std::int64_t rows = a.seg.back();
+  if (rows == 0) return;
+  // Column-split schedule: tile the (large) output dimension; each
+  // (row, tile) block is computed independently, exactly like dispatching
+  // v·B^(tile) to separate thread blocks whose results concatenate.
   constexpr int kTile = 128;
-  const int num_segments = static_cast<int>(a.weights.size());
-  for (int s = 0; s < num_segments; ++s) {
-    const f16* w = a.weights[static_cast<std::size_t>(s)];
-    if (w == nullptr) continue;
-    for (int j_lo = 0; j_lo < a.h_out; j_lo += kTile) {
-      int j_hi = std::min(a.h_out, j_lo + kTile);
-      for (std::int32_t row = a.seg[static_cast<std::size_t>(s)];
-           row < a.seg[static_cast<std::size_t>(s) + 1]; ++row) {
-        const float* xr = &a.x[static_cast<std::size_t>(row) *
-                               static_cast<std::size_t>(a.h_in)];
-        float* yr = &a.y[static_cast<std::size_t>(row) *
-                         static_cast<std::size_t>(a.h_out)];
-        for (int j = j_lo; j < j_hi; ++j) {
-          float acc = 0.0f;
-          for (int kk = 0; kk < a.h_in; ++kk) {
-            acc += xr[kk] * w[static_cast<std::size_t>(kk) *
-                                  static_cast<std::size_t>(a.h_out) +
-                              static_cast<std::size_t>(j)]
-                                .ToFloat();
-          }
-          yr[j] += acc;
+  const std::int64_t num_tiles = (a.h_out + kTile - 1) / kTile;
+  ctx.ParallelFor(rows * num_tiles, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t task = lo; task < hi; ++task) {
+      const auto row = static_cast<std::size_t>(task / num_tiles);
+      const f16* w = WeightForRow(a, static_cast<std::int64_t>(row));
+      if (w == nullptr) continue;
+      const int j_lo = static_cast<int>(task % num_tiles) * kTile;
+      const int j_hi = std::min(a.h_out, j_lo + kTile);
+      const float* xr = &a.x[row * static_cast<std::size_t>(a.h_in)];
+      float* yr = &a.y[row * static_cast<std::size_t>(a.h_out)];
+      for (int j = j_lo; j < j_hi; ++j) {
+        float acc = 0.0f;
+        for (int kk = 0; kk < a.h_in; ++kk) {
+          acc += xr[kk] * w[static_cast<std::size_t>(kk) *
+                                static_cast<std::size_t>(a.h_out) +
+                            static_cast<std::size_t>(j)]
+                              .ToFloat();
         }
+        yr[j] += acc;
       }
     }
-  }
+  });
 }
 
 void SgmvReference(const SgmvArgs& a) {

@@ -21,6 +21,7 @@
 #include <span>
 
 #include "tensor/half.h"
+#include "util/compute_context.h"
 
 namespace punica {
 
@@ -36,11 +37,21 @@ struct SgmvArgs {
 };
 
 /// Y += X @ W[seg] with the shrink (Split-K) schedule. Requires h_out to be
-/// the small dimension in spirit but works for any shape.
-void SgmvShrink(const SgmvArgs& args);
+/// the small dimension in spirit but works for any shape. The (row,
+/// partition) blocks map onto pool workers; per-partition fp32 partials
+/// reduce in fixed partition order, so results are bit-identical for any
+/// thread count. `scratch` (optional) backs the partials when it holds at
+/// least rows · SplitKPartitions(h_in) · h_out floats — pass a reused
+/// buffer on hot paths to avoid the per-call allocation; contents need not
+/// be initialized and are clobbered.
+void SgmvShrink(const SgmvArgs& args,
+                const ComputeContext& ctx = ComputeContext::Default(),
+                std::span<float> scratch = {});
 
-/// Y += X @ W[seg] with the expand (column-split) schedule.
-void SgmvExpand(const SgmvArgs& args);
+/// Y += X @ W[seg] with the expand (column-split) schedule. The (row,
+/// column-tile) blocks are independent and map onto pool workers.
+void SgmvExpand(const SgmvArgs& args,
+                const ComputeContext& ctx = ComputeContext::Default());
 
 /// Plain reference implementation (naive loops) used as the test oracle.
 void SgmvReference(const SgmvArgs& args);
@@ -59,7 +70,9 @@ SgmvCost SgmvCostOf(std::span<const std::int32_t> seg, int h_in, int h_out);
 
 /// Number of Split-K partitions the shrink schedule uses for a given
 /// reduction length (mirrors the GPU heuristic: enough partitions to fill
-/// SMs, at least 1, reduction chunks of ~256).
+/// SMs, at least 1, reduction chunks of ~256). Never exceeds
+/// kMaxSplitKPartitions — callers sizing shrink scratch can rely on it.
 int SplitKPartitions(int h_in);
+inline constexpr int kMaxSplitKPartitions = 8;
 
 }  // namespace punica

@@ -1,5 +1,6 @@
 #include "model/attention.h"
 
+#include <array>
 #include <cmath>
 #include <vector>
 
@@ -48,25 +49,26 @@ void AttendOneHead(const PagedKvCache& kv, SeqId seq, int layer, int kv_head,
   }
 }
 
-// Attention for one token over *global* query heads [head_begin, head_end);
-// q/out hold only that slice.
-void AttendOneToken(const LlamaConfig& config, const PagedKvCache& kv,
-                    SeqId seq, int layer, std::int64_t kv_len,
-                    std::span<const float> q, std::span<float> out,
-                    int head_begin, int head_end) {
+// Attention for one token and one *local* head index (the head_begin-based
+// offset into q/out); the global head picks the shared KV head under GQA.
+void AttendTokenHead(const LlamaConfig& config, const PagedKvCache& kv,
+                     SeqId seq, int layer, std::int64_t kv_len,
+                     std::span<const float> q, std::span<float> out,
+                     int head_begin, int local_head) {
   int head_dim = config.head_dim();
   int group = config.num_heads / config.num_kv_heads;
   float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  for (int h = head_begin; h < head_end; ++h) {
-    int kv_head = h / group;
-    auto local = static_cast<std::size_t>(h - head_begin);
-    auto q_head = q.subspan(local * static_cast<std::size_t>(head_dim),
-                            static_cast<std::size_t>(head_dim));
-    auto out_head = out.subspan(local * static_cast<std::size_t>(head_dim),
-                                static_cast<std::size_t>(head_dim));
-    AttendOneHead(kv, seq, layer, kv_head, head_dim, kv_len, q_head, out_head,
-                  scale);
-  }
+  int kv_head = (head_begin + local_head) / group;
+  auto q_head =
+      q.subspan(static_cast<std::size_t>(local_head) *
+                    static_cast<std::size_t>(head_dim),
+                static_cast<std::size_t>(head_dim));
+  auto out_head =
+      out.subspan(static_cast<std::size_t>(local_head) *
+                      static_cast<std::size_t>(head_dim),
+                  static_cast<std::size_t>(head_dim));
+  AttendOneHead(kv, seq, layer, kv_head, head_dim, kv_len, q_head, out_head,
+                scale);
 }
 
 void CheckRange(const LlamaConfig& config, int head_begin, int head_end) {
@@ -83,54 +85,84 @@ void BatchPrefillAttentionRanged(const LlamaConfig& config,
                                  std::int64_t pos_offset,
                                  std::span<const float> q,
                                  std::span<float> out, int head_begin,
-                                 int head_end) {
+                                 int head_end, const ComputeContext& ctx) {
   CheckRange(config, head_begin, head_end);
-  std::size_t width = static_cast<std::size_t>(head_end - head_begin) *
+  const std::int64_t heads = head_end - head_begin;
+  std::size_t width = static_cast<std::size_t>(heads) *
                       static_cast<std::size_t>(config.head_dim());
   PUNICA_CHECK(q.size() % width == 0);
   PUNICA_CHECK(q.size() == out.size());
   auto chunk_len = static_cast<std::int64_t>(q.size() / width);
   PUNICA_CHECK(kv.SeqLen(seq) >= pos_offset + chunk_len);
-  for (std::int64_t j = 0; j < chunk_len; ++j) {
-    std::int64_t kv_len = pos_offset + j + 1;  // causal
-    AttendOneToken(config, kv, seq, layer, kv_len,
-                   q.subspan(static_cast<std::size_t>(j) * width, width),
-                   out.subspan(static_cast<std::size_t>(j) * width, width),
-                   head_begin, head_end);
-  }
+  // One (token, head) pair per task; the online-softmax pass over the cache
+  // is sequential within the task, so each out slice is order-fixed.
+  ctx.ParallelFor(chunk_len * heads, 1, [&](std::int64_t lo,
+                                            std::int64_t hi) {
+    for (std::int64_t task = lo; task < hi; ++task) {
+      std::int64_t j = task / heads;
+      int local_head = static_cast<int>(task % heads);
+      std::int64_t kv_len = pos_offset + j + 1;  // causal
+      AttendTokenHead(config, kv, seq, layer, kv_len,
+                      q.subspan(static_cast<std::size_t>(j) * width, width),
+                      out.subspan(static_cast<std::size_t>(j) * width, width),
+                      head_begin, local_head);
+    }
+  });
 }
 
 void BatchDecodeAttentionRanged(const LlamaConfig& config,
                                 const PagedKvCache& kv,
                                 std::span<const SeqId> seqs, int layer,
                                 std::span<const float> q, std::span<float> out,
-                                int head_begin, int head_end) {
+                                int head_begin, int head_end,
+                                const ComputeContext& ctx) {
   CheckRange(config, head_begin, head_end);
-  std::size_t width = static_cast<std::size_t>(head_end - head_begin) *
+  const std::int64_t heads = head_end - head_begin;
+  std::size_t width = static_cast<std::size_t>(heads) *
                       static_cast<std::size_t>(config.head_dim());
   PUNICA_CHECK(q.size() == seqs.size() * width);
   PUNICA_CHECK(q.size() == out.size());
-  for (std::size_t i = 0; i < seqs.size(); ++i) {
-    std::int64_t kv_len = kv.SeqLen(seqs[i]);
-    PUNICA_CHECK(kv_len > 0);
-    AttendOneToken(config, kv, seqs[i], layer, kv_len,
-                   q.subspan(i * width, width), out.subspan(i * width, width),
-                   head_begin, head_end);
+  // Resolve each row's cache length once, not once per (row, head) task.
+  // Stack storage for typical decode batches keeps the per-layer hot path
+  // allocation-free.
+  constexpr std::size_t kStackSeqs = 64;
+  std::array<std::int64_t, kStackSeqs> stack_lens;
+  std::vector<std::int64_t> heap_lens;
+  std::int64_t* kv_lens = stack_lens.data();
+  if (seqs.size() > kStackSeqs) {
+    heap_lens.resize(seqs.size());
+    kv_lens = heap_lens.data();
   }
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    kv_lens[i] = kv.SeqLen(seqs[i]);
+    PUNICA_CHECK(kv_lens[i] > 0);
+  }
+  ctx.ParallelFor(static_cast<std::int64_t>(seqs.size()) * heads, 1,
+                  [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t task = lo; task < hi; ++task) {
+      auto i = static_cast<std::size_t>(task / heads);
+      int local_head = static_cast<int>(task % heads);
+      AttendTokenHead(config, kv, seqs[i], layer, kv_lens[i],
+                      q.subspan(i * width, width),
+                      out.subspan(i * width, width), head_begin, local_head);
+    }
+  });
 }
 
 void BatchPrefillAttention(const LlamaConfig& config, const PagedKvCache& kv,
                            SeqId seq, int layer, std::int64_t pos_offset,
-                           std::span<const float> q, std::span<float> out) {
+                           std::span<const float> q, std::span<float> out,
+                           const ComputeContext& ctx) {
   BatchPrefillAttentionRanged(config, kv, seq, layer, pos_offset, q, out, 0,
-                              config.num_heads);
+                              config.num_heads, ctx);
 }
 
 void BatchDecodeAttention(const LlamaConfig& config, const PagedKvCache& kv,
                           std::span<const SeqId> seqs, int layer,
-                          std::span<const float> q, std::span<float> out) {
+                          std::span<const float> q, std::span<float> out,
+                          const ComputeContext& ctx) {
   BatchDecodeAttentionRanged(config, kv, seqs, layer, q, out, 0,
-                             config.num_heads);
+                             config.num_heads, ctx);
 }
 
 }  // namespace punica

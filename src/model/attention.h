@@ -10,6 +10,7 @@
 
 #include "kvcache/kvcache.h"
 #include "model/config.h"
+#include "util/compute_context.h"
 
 namespace punica {
 
@@ -18,16 +19,22 @@ namespace punica {
 /// K/V for positions [0, pos_offset + chunk_len) must already be in the
 /// cache; token j of the chunk attends causally over [0, pos_offset + j].
 /// Output overwrites `out` ([chunk_len, num_heads·head_dim]).
+/// Parallel over (token, head) pairs: each output head slice has exactly
+/// one writer, so results are thread-count invariant.
 void BatchPrefillAttention(const LlamaConfig& config, const PagedKvCache& kv,
                            SeqId seq, int layer, std::int64_t pos_offset,
-                           std::span<const float> q, std::span<float> out);
+                           std::span<const float> q, std::span<float> out,
+                           const ComputeContext& ctx =
+                               ComputeContext::Default());
 
 /// Attention for a batch of decode tokens: row i of `q` belongs to seqs[i]
 /// and attends over that sequence's entire cache [0, SeqLen). Output rows
-/// align with input rows.
+/// align with input rows. Parallel over (row, head) pairs.
 void BatchDecodeAttention(const LlamaConfig& config, const PagedKvCache& kv,
                           std::span<const SeqId> seqs, int layer,
-                          std::span<const float> q, std::span<float> out);
+                          std::span<const float> q, std::span<float> out,
+                          const ComputeContext& ctx =
+                              ComputeContext::Default());
 
 /// Head-ranged variants for tensor parallelism: the caller owns query heads
 /// [head_begin, head_end) and `q`/`out` are [..., (head_end−head_begin)·D]
@@ -38,11 +45,15 @@ void BatchPrefillAttentionRanged(const LlamaConfig& config,
                                  std::int64_t pos_offset,
                                  std::span<const float> q,
                                  std::span<float> out, int head_begin,
-                                 int head_end);
+                                 int head_end,
+                                 const ComputeContext& ctx =
+                                     ComputeContext::Default());
 void BatchDecodeAttentionRanged(const LlamaConfig& config,
                                 const PagedKvCache& kv,
                                 std::span<const SeqId> seqs, int layer,
                                 std::span<const float> q, std::span<float> out,
-                                int head_begin, int head_end);
+                                int head_begin, int head_end,
+                                const ComputeContext& ctx =
+                                    ComputeContext::Default());
 
 }  // namespace punica

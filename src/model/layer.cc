@@ -113,22 +113,31 @@ void LayerWorkspace::Resize(const LlamaConfig& config, int tokens,
   attn_out.assign(t * static_cast<std::size_t>(config.hidden_size), 0.0f);
   gate.assign(t * static_cast<std::size_t>(config.ffn_hidden), 0.0f);
   up.assign(t * static_cast<std::size_t>(config.ffn_hidden), 0.0f);
-  lora_tmp.assign(t * static_cast<std::size_t>(std::max(max_rank, 1)), 0.0f);
+  // v rows plus room for the SGMV shrink's split-K partials, so the LoRA
+  // addon never allocates inside Step (see BatchedLoraAddon's contract).
+  // resize, not assign: the addon zeroes the v prefix itself and the
+  // partials tail is documented as clobbered-uninitialized.
+  lora_tmp.resize(t * static_cast<std::size_t>(std::max(max_rank, 1)) *
+                  (1 + static_cast<std::size_t>(kMaxSplitKPartitions)));
 }
 
 namespace {
+
+/// Grain for elementwise ParallelFor loops (residual adds, SiLU·up): small
+/// enough to split across workers on big FFN buffers, large enough that a
+/// tiny decode batch runs inline.
+constexpr std::int64_t kElemGrain = 4096;
 
 /// Dense projection + batched LoRA addon for all token rows.
 void ProjectWithLora(const LlamaConfig& config, const LayerWeights& weights,
                      std::span<const LoraModelWeights* const> seg_lora,
                      const ModelBatch& batch, int layer, Proj proj,
                      std::span<const float> in, std::span<float> out,
-                     std::span<float> lora_tmp) {
+                     std::span<float> lora_tmp, const ComputeContext& ctx) {
   ProjShape shape = ShapeOf(config, proj);
   int tokens = batch.total_tokens();
-  std::fill(out.begin(), out.end(), 0.0f);
-  GemmAddF16W(in, weights.proj[static_cast<int>(proj)].data(), out, tokens,
-              shape.h_in, shape.h_out);
+  GemmSetF16W(in, weights.proj[static_cast<int>(proj)].data(), out, tokens,
+              shape.h_in, shape.h_out, ctx);
 
   std::vector<const LoraAB*> adapters(seg_lora.size(), nullptr);
   bool any = false;
@@ -142,7 +151,7 @@ void ProjectWithLora(const LlamaConfig& config, const LayerWeights& weights,
   }
   if (any) {
     BatchedLoraAddon(out, in, adapters, batch.segments.offsets, shape.h_in,
-                     shape.h_out, lora_tmp);
+                     shape.h_out, lora_tmp, ctx);
   }
 }
 
@@ -151,7 +160,8 @@ void ProjectWithLora(const LlamaConfig& config, const LayerWeights& weights,
 void LayerForward(const LlamaConfig& config, const LayerWeights& weights,
                   std::span<const LoraModelWeights* const> seg_lora,
                   const ModelBatch& batch, int layer, PagedKvCache& kv,
-                  std::span<float> x, LayerWorkspace& ws) {
+                  std::span<float> x, LayerWorkspace& ws,
+                  const ComputeContext& ctx) {
   const int tokens = batch.total_tokens();
   const auto h = static_cast<std::size_t>(config.hidden_size);
   const auto kvd = static_cast<std::size_t>(config.kv_dim());
@@ -160,39 +170,47 @@ void LayerForward(const LlamaConfig& config, const LayerWeights& weights,
                static_cast<std::size_t>(batch.segments.num_segments()));
 
   // --- Attention block ---
-  for (int t = 0; t < tokens; ++t) {
-    RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
-               weights.attn_norm.data(),
-               std::span<float>(ws.normed).subspan(
-                   static_cast<std::size_t>(t) * h, h),
-               config.rms_eps);
-  }
+  // Token rows are independent in every non-attention op of the layer, so
+  // they parallelize with one writer per row.
+  ctx.ParallelFor(tokens, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
+                 weights.attn_norm.data(),
+                 std::span<float>(ws.normed).subspan(
+                     static_cast<std::size_t>(t) * h, h),
+                 config.rms_eps);
+    }
+  });
 
   ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kQ,
-                  ws.normed, ws.q, ws.lora_tmp);
+                  ws.normed, ws.q, ws.lora_tmp, ctx);
   ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kK,
-                  ws.normed, ws.k, ws.lora_tmp);
+                  ws.normed, ws.k, ws.lora_tmp, ctx);
   ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kV,
-                  ws.normed, ws.v, ws.lora_tmp);
+                  ws.normed, ws.v, ws.lora_tmp, ctx);
 
   // RoPE on Q (all query heads) and K (KV heads), then write K/V into the
-  // paged cache at each row's absolute position.
-  for (int t = 0; t < tokens; ++t) {
-    std::int64_t pos = batch.row_pos[static_cast<std::size_t>(t)];
-    ApplyRope(std::span<float>(ws.q).subspan(static_cast<std::size_t>(t) * h,
-                                             h),
-              config.num_heads, config.head_dim(), pos, config.rope_theta);
-    ApplyRope(std::span<float>(ws.k).subspan(
-                  static_cast<std::size_t>(t) * kvd, kvd),
-              config.num_kv_heads, config.head_dim(), pos, config.rope_theta);
-    SeqId seq = batch.row_seq[static_cast<std::size_t>(t)];
-    auto k_entry = kv.Entry(seq, layer, pos, KvSlot::kKey);
-    auto v_entry = kv.Entry(seq, layer, pos, KvSlot::kValue);
-    for (std::size_t d = 0; d < kvd; ++d) {
-      k_entry[d] = f16(ws.k[static_cast<std::size_t>(t) * kvd + d]);
-      v_entry[d] = f16(ws.v[static_cast<std::size_t>(t) * kvd + d]);
+  // paged cache at each row's absolute position (distinct positions, so
+  // rows write disjoint cache entries).
+  ctx.ParallelFor(tokens, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      std::int64_t pos = batch.row_pos[static_cast<std::size_t>(t)];
+      ApplyRope(std::span<float>(ws.q).subspan(
+                    static_cast<std::size_t>(t) * h, h),
+                config.num_heads, config.head_dim(), pos, config.rope_theta);
+      ApplyRope(std::span<float>(ws.k).subspan(
+                    static_cast<std::size_t>(t) * kvd, kvd),
+                config.num_kv_heads, config.head_dim(), pos,
+                config.rope_theta);
+      SeqId seq = batch.row_seq[static_cast<std::size_t>(t)];
+      auto k_entry = kv.Entry(seq, layer, pos, KvSlot::kKey);
+      auto v_entry = kv.Entry(seq, layer, pos, KvSlot::kValue);
+      for (std::size_t d = 0; d < kvd; ++d) {
+        k_entry[d] = f16(ws.k[static_cast<std::size_t>(t) * kvd + d]);
+        v_entry[d] = f16(ws.v[static_cast<std::size_t>(t) * kvd + d]);
+      }
     }
-  }
+  });
 
   // BatchPrefill over the leading prefill chunks, BatchDecode over the tail.
   std::size_t row = 0;
@@ -202,7 +220,7 @@ void LayerForward(const LlamaConfig& config, const LayerWeights& weights,
     BatchPrefillAttention(
         config, kv, e.seq, layer, e.pos_offset,
         std::span<const float>(ws.q).subspan(row * h, chunk * h),
-        std::span<float>(ws.attn_out).subspan(row * h, chunk * h));
+        std::span<float>(ws.attn_out).subspan(row * h, chunk * h), ctx);
     row += chunk;
   }
   if (!batch.decode_seqs.empty()) {
@@ -210,32 +228,53 @@ void LayerForward(const LlamaConfig& config, const LayerWeights& weights,
     BatchDecodeAttention(
         config, kv, batch.decode_seqs, layer,
         std::span<const float>(ws.q).subspan(row * h, n_dec * h),
-        std::span<float>(ws.attn_out).subspan(row * h, n_dec * h));
+        std::span<float>(ws.attn_out).subspan(row * h, n_dec * h), ctx);
   }
 
   // Output projection (+LoRA) and residual. ws.normed is reused as the
   // projection result buffer.
   ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kO,
-                  ws.attn_out, ws.normed, ws.lora_tmp);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += ws.normed[i];
+                  ws.attn_out, ws.normed, ws.lora_tmp, ctx);
+  ctx.ParallelFor(static_cast<std::int64_t>(x.size()), kElemGrain,
+                  [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      x[static_cast<std::size_t>(i)] += ws.normed[static_cast<std::size_t>(i)];
+    }
+  });
 
   // --- MLP block (SwiGLU) ---
-  for (int t = 0; t < tokens; ++t) {
-    RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
-               weights.mlp_norm.data(),
-               std::span<float>(ws.normed).subspan(
-                   static_cast<std::size_t>(t) * h, h),
-               config.rms_eps);
-  }
+  ctx.ParallelFor(tokens, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
+                 weights.mlp_norm.data(),
+                 std::span<float>(ws.normed).subspan(
+                     static_cast<std::size_t>(t) * h, h),
+                 config.rms_eps);
+    }
+  });
   ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kGate,
-                  ws.normed, ws.gate, ws.lora_tmp);
+                  ws.normed, ws.gate, ws.lora_tmp, ctx);
   ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kUp,
-                  ws.normed, ws.up, ws.lora_tmp);
-  SiluInPlace(ws.gate);
-  for (std::size_t i = 0; i < ws.gate.size(); ++i) ws.gate[i] *= ws.up[i];
+                  ws.normed, ws.up, ws.lora_tmp, ctx);
+  ctx.ParallelFor(static_cast<std::int64_t>(ws.gate.size()), kElemGrain,
+                  [&](std::int64_t lo, std::int64_t hi) {
+    auto slice = std::span<float>(ws.gate).subspan(
+        static_cast<std::size_t>(lo), static_cast<std::size_t>(hi - lo));
+    SiluInPlace(slice);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      ws.gate[static_cast<std::size_t>(i)] *=
+          ws.up[static_cast<std::size_t>(i)];
+    }
+  });
   ProjectWithLora(config, weights, seg_lora, batch, layer, Proj::kDown,
-                  ws.gate, ws.attn_out, ws.lora_tmp);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += ws.attn_out[i];
+                  ws.gate, ws.attn_out, ws.lora_tmp, ctx);
+  ctx.ParallelFor(static_cast<std::int64_t>(x.size()), kElemGrain,
+                  [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      x[static_cast<std::size_t>(i)] +=
+          ws.attn_out[static_cast<std::size_t>(i)];
+    }
+  });
 }
 
 }  // namespace punica

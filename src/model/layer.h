@@ -16,6 +16,7 @@
 #include "kvcache/kvcache.h"
 #include "model/config.h"
 #include "tensor/tensor.h"
+#include "util/compute_context.h"
 
 namespace punica {
 
@@ -85,7 +86,9 @@ class LayerWorkspace {
   std::vector<float> attn_out;  ///< [tokens, h]
   std::vector<float> gate;      ///< [tokens, ffn]
   std::vector<float> up;        ///< [tokens, ffn]
-  std::vector<float> lora_tmp;  ///< [tokens, max_rank]
+  std::vector<float> lora_tmp;  ///< [tokens, max_rank·(1+kMaxSplitKPartitions)]
+                                ///< — v rows + SGMV split-K scratch (see
+                                ///< BatchedLoraAddon's workspace contract)
 };
 
 /// Runs one transformer layer in place over activations `x` ([tokens, h]).
@@ -96,6 +99,7 @@ class LayerWorkspace {
 void LayerForward(const LlamaConfig& config, const LayerWeights& weights,
                   std::span<const LoraModelWeights* const> seg_lora,
                   const ModelBatch& batch, int layer, PagedKvCache& kv,
-                  std::span<float> x, LayerWorkspace& ws);
+                  std::span<float> x, LayerWorkspace& ws,
+                  const ComputeContext& ctx = ComputeContext::Default());
 
 }  // namespace punica

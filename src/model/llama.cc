@@ -9,8 +9,9 @@
 
 namespace punica {
 
-LlamaModel::LlamaModel(const LlamaConfig& config, std::uint64_t seed)
-    : config_(config) {
+LlamaModel::LlamaModel(const LlamaConfig& config, std::uint64_t seed,
+                       const ComputeContext* ctx)
+    : config_(config), ctx_(ctx != nullptr ? ctx : &ComputeContext::Default()) {
   Pcg32 rng(seed);
   float embed_scale = 1.0f / std::sqrt(static_cast<float>(config.hidden_size));
   embedding_ = Tensor<f16>({config.vocab_size, config.hidden_size});
@@ -64,24 +65,29 @@ Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
     if (w != nullptr) max_rank = std::max(max_rank, w->rank);
   }
 
-  // Embedding lookup.
+  // Embedding lookup: one writer per token row.
   std::vector<float> x(static_cast<std::size_t>(tokens) * h);
   for (int t = 0; t < tokens; ++t) {
     std::int32_t id = token_ids[static_cast<std::size_t>(t)];
     PUNICA_CHECK(id >= 0 && id < config_.vocab_size);
-    auto row = embedding_.row(id);
-    for (std::size_t d = 0; d < h; ++d) {
-      x[static_cast<std::size_t>(t) * h + d] = row[d].ToFloat();
-    }
   }
+  ctx_->ParallelFor(tokens, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      auto row = embedding_.row(token_ids[static_cast<std::size_t>(t)]);
+      for (std::size_t d = 0; d < h; ++d) {
+        x[static_cast<std::size_t>(t) * h + d] = row[d].ToFloat();
+      }
+    }
+  });
 
   ws_.Resize(config_, tokens, max_rank);
   for (int l = 0; l < config_.num_layers; ++l) {
     LayerForward(config_, layers_[static_cast<std::size_t>(l)], seg_lora,
-                 batch, l, kv, x, ws_);
+                 batch, l, kv, x, ws_, *ctx_);
   }
 
-  // Final norm + LM head on each entry's last token row.
+  // Final norm + LM head on each entry's last token row. The entry loop is
+  // serial; the vocab-wide Gemv parallelizes over column tiles inside.
   auto num_entries = batch.entries.size();
   Tensor<float> logits(
       {static_cast<std::int64_t>(num_entries), config_.vocab_size});
@@ -93,9 +99,8 @@ Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
     RmsNormRow(std::span<const float>(x).subspan(last * h, h),
                final_norm_.data(), normed, config_.rms_eps);
     auto out = logits.row(static_cast<std::int64_t>(e));
-    std::fill(out.begin(), out.end(), 0.0f);
-    GemvAddF16W(normed, lm_head_.data(), out, config_.hidden_size,
-                config_.vocab_size);
+    GemmSetF16W(normed, lm_head_.data(), out, 1, config_.hidden_size,
+                config_.vocab_size, *ctx_);
   }
   return logits;
 }

@@ -20,10 +20,14 @@ namespace punica {
 
 class LlamaModel {
  public:
-  /// Builds a model with random weights (deterministic in `seed`).
-  LlamaModel(const LlamaConfig& config, std::uint64_t seed);
+  /// Builds a model with random weights (deterministic in `seed`). All
+  /// forward passes run on `ctx` (nullptr = the process-wide default
+  /// context), so every Engine sharing this model shares one thread pool.
+  LlamaModel(const LlamaConfig& config, std::uint64_t seed,
+             const ComputeContext* ctx = nullptr);
 
   const LlamaConfig& config() const { return config_; }
+  const ComputeContext& context() const { return *ctx_; }
 
   /// Registers a random LoRA model under `id`. Deterministic in (seed).
   void AddLora(LoraId id, int rank, std::uint64_t seed);
@@ -36,6 +40,11 @@ class LlamaModel {
   /// decode entries). The KvCache must already be extended so that every
   /// row position is in range. Returns next-token logits, one row per batch
   /// entry (the logits at each entry's final token).
+  ///
+  /// Not reentrant: Forward mutates the model's shared workspace, so a
+  /// model (and hence the engines over it) must be stepped by one caller
+  /// thread at a time — the shared ComputeContext only serializes the
+  /// parallel regions themselves, not whole forward passes.
   Tensor<float> Forward(const ModelBatch& batch,
                         std::span<const std::int32_t> token_ids,
                         PagedKvCache& kv);
@@ -52,6 +61,7 @@ class LlamaModel {
 
  private:
   LlamaConfig config_;
+  const ComputeContext* ctx_;  ///< never null after construction
   Tensor<f16> embedding_;  ///< [vocab, hidden]
   Tensor<f16> lm_head_;    ///< [hidden, vocab]
   Tensor<f16> final_norm_; ///< [hidden]

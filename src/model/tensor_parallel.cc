@@ -99,7 +99,7 @@ TpShardedLayer ShardLayer(const LlamaConfig& config, const LayerWeights& full,
 
 void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
                     const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
-                    std::span<float> x) {
+                    std::span<float> x, const ComputeContext& ctx) {
   const int tp = layer.tp;
   const int tokens = batch.total_tokens();
   const auto h = static_cast<std::size_t>(config.hidden_size);
@@ -134,15 +134,12 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
 
   for (int r = 0; r < tp; ++r) {
     const LayerWeights& shard = layer.ranks[static_cast<std::size_t>(r)];
-    std::fill(q.begin(), q.end(), 0.0f);
-    std::fill(k.begin(), k.end(), 0.0f);
-    std::fill(v.begin(), v.end(), 0.0f);
-    GemmAddF16W(normed, shard.proj[static_cast<int>(Proj::kQ)].data(), q,
-                tokens, config.hidden_size, heads_pr * d);
-    GemmAddF16W(normed, shard.proj[static_cast<int>(Proj::kK)].data(), k,
-                tokens, config.hidden_size, kv_heads_pr * d);
-    GemmAddF16W(normed, shard.proj[static_cast<int>(Proj::kV)].data(), v,
-                tokens, config.hidden_size, kv_heads_pr * d);
+    GemmSetF16W(normed, shard.proj[static_cast<int>(Proj::kQ)].data(), q,
+                tokens, config.hidden_size, heads_pr * d, ctx);
+    GemmSetF16W(normed, shard.proj[static_cast<int>(Proj::kK)].data(), k,
+                tokens, config.hidden_size, kv_heads_pr * d, ctx);
+    GemmSetF16W(normed, shard.proj[static_cast<int>(Proj::kV)].data(), v,
+                tokens, config.hidden_size, kv_heads_pr * d, ctx);
 
     // RoPE on this rank's heads; write this rank's KV slice of each entry.
     for (int t = 0; t < tokens; ++t) {
@@ -174,7 +171,7 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
           config, kv, e.seq, layer_idx, e.pos_offset,
           std::span<const float>(q).subspan(row * q_w, chunk * q_w),
           std::span<float>(attn_out).subspan(row * q_w, chunk * q_w),
-          head_begin, head_end);
+          head_begin, head_end, ctx);
       row += chunk;
     }
     if (!batch.decode_seqs.empty()) {
@@ -183,12 +180,12 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
           config, kv, batch.decode_seqs, layer_idx,
           std::span<const float>(q).subspan(row * q_w, n_dec * q_w),
           std::span<float>(attn_out).subspan(row * q_w, n_dec * q_w),
-          head_begin, head_end);
+          head_begin, head_end, ctx);
     }
 
     // Row-parallel O projection: partial [tokens, h], reduced across ranks.
-    GemmAddF16W(attn_out, shard.proj[static_cast<int>(Proj::kO)].data(),
-                attn_reduced, tokens, heads_pr * d, config.hidden_size);
+    GemmAccF16W(attn_out, shard.proj[static_cast<int>(Proj::kO)].data(),
+                attn_reduced, tokens, heads_pr * d, config.hidden_size, ctx);
   }
   for (std::size_t i = 0; i < x.size(); ++i) x[i] += attn_reduced[i];
 
@@ -206,16 +203,14 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
   std::vector<float> up(gate.size());
   for (int r = 0; r < tp; ++r) {
     const LayerWeights& shard = layer.ranks[static_cast<std::size_t>(r)];
-    std::fill(gate.begin(), gate.end(), 0.0f);
-    std::fill(up.begin(), up.end(), 0.0f);
-    GemmAddF16W(normed, shard.proj[static_cast<int>(Proj::kGate)].data(),
-                gate, tokens, config.hidden_size, f_pr);
-    GemmAddF16W(normed, shard.proj[static_cast<int>(Proj::kUp)].data(), up,
-                tokens, config.hidden_size, f_pr);
+    GemmSetF16W(normed, shard.proj[static_cast<int>(Proj::kGate)].data(),
+                gate, tokens, config.hidden_size, f_pr, ctx);
+    GemmSetF16W(normed, shard.proj[static_cast<int>(Proj::kUp)].data(), up,
+                tokens, config.hidden_size, f_pr, ctx);
     SiluInPlace(gate);
     for (std::size_t i = 0; i < gate.size(); ++i) gate[i] *= up[i];
-    GemmAddF16W(gate, shard.proj[static_cast<int>(Proj::kDown)].data(),
-                mlp_reduced, tokens, f_pr, config.hidden_size);
+    GemmAccF16W(gate, shard.proj[static_cast<int>(Proj::kDown)].data(),
+                mlp_reduced, tokens, f_pr, config.hidden_size, ctx);
   }
   for (std::size_t i = 0; i < x.size(); ++i) x[i] += mlp_reduced[i];
 }

@@ -47,10 +47,13 @@ LlamaConfig RankConfig(const LlamaConfig& config, int tp);
 /// Runs one backbone transformer layer under tensor parallelism: each rank
 /// computes its partial attention and MLP contributions; the two all-reduce
 /// points sum partials across ranks into the residual stream. Semantics
-/// match LayerForward with a null LoRA view (backbone-only).
+/// match LayerForward with a null LoRA view (backbone-only). The rank loop
+/// stays serial (it models the NCCL reduction order); each rank's kernels
+/// run on `ctx`.
 void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
                     const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
-                    std::span<float> x);
+                    std::span<float> x,
+                    const ComputeContext& ctx = ComputeContext::Default());
 
 /// Byte count a single rank holds for one layer (the per-GPU memory the
 /// cost model's tp division assumes).

@@ -82,6 +82,10 @@ class Engine {
   const KvCacheConfig& kv_config() const { return kv_.config(); }
   std::int32_t kv_free_pages() const { return kv_.free_pages(); }
 
+  /// The compute substrate every Step runs on — the model's context, so all
+  /// engines sharing one model (one backbone copy) share one thread pool.
+  const ComputeContext& context() const { return model_->context(); }
+
  private:
   struct Slot {
     LoraId lora = -1;

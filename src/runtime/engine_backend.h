@@ -51,6 +51,10 @@ class EngineBackend : public ExecutionBackend {
 
   Engine& engine() { return *engine_; }
 
+  /// The compute substrate this backend steps on (the engine's model's
+  /// context — shared by every backend over the same backbone).
+  const ComputeContext& context() const { return engine_->context(); }
+
  private:
   struct Slot {
     ServingRequest* req = nullptr;

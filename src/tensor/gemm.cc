@@ -2,59 +2,94 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "util/check.h"
 
 namespace punica {
+namespace {
 
-void Gemm(std::span<const float> x, std::span<const float> w,
-          std::span<float> y, int m, int k, int n) {
+// Blocking parameters. A task is one (row block, column tile) pair; the k
+// loop runs complete and in order inside the task, so the tile sizes affect
+// only locality, never numerics. kRowBlock y-row stripes (kRowBlock ×
+// kColTile × 4 B) stay L1-resident while each W k-row stripe is streamed
+// once per row block.
+constexpr int kRowBlock = 8;
+constexpr int kColTile = 128;
+
+inline std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Shared blocked micro-kernel: y[rb, jt] (+)= x[rb, :] @ w[:, jt] with the
+// reduction in ascending-k order. WElem is float or f16.
+template <typename WElem, bool kAccumulate>
+void GemmBlocked(std::span<const float> x, std::span<const WElem> w,
+                 std::span<float> y, int m, int k, int n,
+                 const ComputeContext& ctx) {
   PUNICA_CHECK(x.size() == static_cast<std::size_t>(m) * k);
   PUNICA_CHECK(w.size() == static_cast<std::size_t>(k) * n);
   PUNICA_CHECK(y.size() == static_cast<std::size_t>(m) * n);
-  std::fill(y.begin(), y.end(), 0.0f);
-  for (int i = 0; i < m; ++i) {
-    const float* xi = &x[static_cast<std::size_t>(i) * k];
-    float* yi = &y[static_cast<std::size_t>(i) * n];
-    for (int p = 0; p < k; ++p) {
-      float xv = xi[p];
-      if (xv == 0.0f) continue;
-      const float* wp = &w[static_cast<std::size_t>(p) * n];
-      for (int j = 0; j < n; ++j) {
-        yi[j] += xv * wp[j];
+  if (m == 0 || n == 0) return;
+
+  const std::int64_t row_blocks = CeilDiv(m, kRowBlock);
+  const std::int64_t col_tiles = CeilDiv(n, kColTile);
+  ctx.ParallelFor(row_blocks * col_tiles, 1, [&](std::int64_t lo,
+                                                 std::int64_t hi) {
+    for (std::int64_t task = lo; task < hi; ++task) {
+      const int i_lo = static_cast<int>(task / col_tiles) * kRowBlock;
+      const int i_hi = std::min(m, i_lo + kRowBlock);
+      const int j_lo = static_cast<int>(task % col_tiles) * kColTile;
+      const int j_hi = std::min(n, j_lo + kColTile);
+      if constexpr (!kAccumulate) {
+        for (int i = i_lo; i < i_hi; ++i) {
+          float* yi = &y[static_cast<std::size_t>(i) * n];
+          std::fill(yi + j_lo, yi + j_hi, 0.0f);
+        }
+      }
+      for (int p = 0; p < k; ++p) {
+        const WElem* wp = &w[static_cast<std::size_t>(p) * n];
+        for (int i = i_lo; i < i_hi; ++i) {
+          float xv = x[static_cast<std::size_t>(i) * k + p];
+          if (xv == 0.0f) continue;
+          float* yi = &y[static_cast<std::size_t>(i) * n];
+          for (int j = j_lo; j < j_hi; ++j) {
+            if constexpr (std::is_same_v<WElem, f16>) {
+              yi[j] += xv * wp[j].ToFloat();
+            } else {
+              yi[j] += xv * wp[j];
+            }
+          }
+        }
       }
     }
-  }
+  });
 }
 
-void GemmAddF16W(std::span<const float> x, std::span<const f16> w,
-                 std::span<float> y, int m, int k, int n) {
-  PUNICA_CHECK(x.size() == static_cast<std::size_t>(m) * k);
-  PUNICA_CHECK(w.size() == static_cast<std::size_t>(k) * n);
-  PUNICA_CHECK(y.size() == static_cast<std::size_t>(m) * n);
-  for (int i = 0; i < m; ++i) {
-    GemvAddF16W(x.subspan(static_cast<std::size_t>(i) * k,
-                          static_cast<std::size_t>(k)),
-                w,
-                y.subspan(static_cast<std::size_t>(i) * n,
-                          static_cast<std::size_t>(n)),
-                k, n);
-  }
+}  // namespace
+
+void GemmSet(std::span<const float> x, std::span<const float> w,
+             std::span<float> y, int m, int k, int n,
+             const ComputeContext& ctx) {
+  GemmBlocked<float, /*kAccumulate=*/false>(x, w, y, m, k, n, ctx);
 }
 
-void GemvAddF16W(std::span<const float> x, std::span<const f16> w,
-                 std::span<float> y, int k, int n) {
-  PUNICA_CHECK(x.size() == static_cast<std::size_t>(k));
-  PUNICA_CHECK(w.size() == static_cast<std::size_t>(k) * n);
-  PUNICA_CHECK(y.size() == static_cast<std::size_t>(n));
-  for (int p = 0; p < k; ++p) {
-    float xv = x[static_cast<std::size_t>(p)];
-    if (xv == 0.0f) continue;
-    const f16* wp = &w[static_cast<std::size_t>(p) * n];
-    for (int j = 0; j < n; ++j) {
-      y[static_cast<std::size_t>(j)] += xv * wp[j].ToFloat();
-    }
-  }
+void GemmSetF16W(std::span<const float> x, std::span<const f16> w,
+                 std::span<float> y, int m, int k, int n,
+                 const ComputeContext& ctx) {
+  GemmBlocked<f16, /*kAccumulate=*/false>(x, w, y, m, k, n, ctx);
+}
+
+void GemmAccF16W(std::span<const float> x, std::span<const f16> w,
+                 std::span<float> y, int m, int k, int n,
+                 const ComputeContext& ctx) {
+  GemmBlocked<f16, /*kAccumulate=*/true>(x, w, y, m, k, n, ctx);
+}
+
+void GemvAccF16W(std::span<const float> x, std::span<const f16> w,
+                 std::span<float> y, int k, int n,
+                 const ComputeContext& ctx) {
+  GemmBlocked<f16, /*kAccumulate=*/true>(x, w, y, 1, k, n, ctx);
 }
 
 void SoftmaxInPlace(std::span<float> row) {

@@ -1,6 +1,15 @@
-// Reference dense linear-algebra kernels (fp32 accumulate, optionally fp16
-// weights). These are the "regular GEMM" substrate the paper's backbone
-// computation uses; SGMV and the baselines are validated against them.
+// Dense linear-algebra kernels (fp32 accumulate, optionally fp16 weights)
+// on the deterministic parallel compute substrate. These are the "regular
+// GEMM" substrate the paper's backbone computation uses; SGMV and the
+// baselines are validated against them.
+//
+// Naming contract (do not mix up): *Set kernels OVERWRITE y; *Acc kernels
+// ACCUMULATE into y. The blocked implementations assert nothing silently
+// double-accumulates by keeping the contract in the name.
+//
+// Determinism: every output element is produced by exactly one worker with
+// the reduction (k) loop in fixed ascending order, so results are
+// bit-identical for any thread count and any tile partition.
 //
 // Conventions: row-major; X is [m, k], W is [k, n], Y is [m, n].
 #pragma once
@@ -8,20 +17,32 @@
 #include <span>
 
 #include "tensor/half.h"
+#include "util/compute_context.h"
 
 namespace punica {
 
-/// Y = X @ W  (overwrites Y).
-void Gemm(std::span<const float> x, std::span<const float> w,
-          std::span<float> y, int m, int k, int n);
+/// Y = X @ W  (overwrites Y). Cache-blocked over row blocks × column tiles.
+void GemmSet(std::span<const float> x, std::span<const float> w,
+             std::span<float> y, int m, int k, int n,
+             const ComputeContext& ctx = ComputeContext::Default());
+
+/// Y = X @ W with fp16 weights (overwrites Y; the zeroing happens inside
+/// the parallel blocked kernel, not as a separate serial pass).
+void GemmSetF16W(std::span<const float> x, std::span<const f16> w,
+                 std::span<float> y, int m, int k, int n,
+                 const ComputeContext& ctx = ComputeContext::Default());
 
 /// Y += X @ W with fp16 weights (the backbone/LoRA storage format).
-void GemmAddF16W(std::span<const float> x, std::span<const f16> w,
-                 std::span<float> y, int m, int k, int n);
+/// B-panel friendly: each k-row stripe of W is streamed once per row block.
+void GemmAccF16W(std::span<const float> x, std::span<const f16> w,
+                 std::span<float> y, int m, int k, int n,
+                 const ComputeContext& ctx = ComputeContext::Default());
 
 /// y += x @ W, single row (matrix-vector; the decode-step shape).
-void GemvAddF16W(std::span<const float> x, std::span<const f16> w,
-                 std::span<float> y, int k, int n);
+/// Parallel over column tiles of W.
+void GemvAccF16W(std::span<const float> x, std::span<const f16> w,
+                 std::span<float> y, int k, int n,
+                 const ComputeContext& ctx = ComputeContext::Default());
 
 /// In-place numerically-stable softmax over a contiguous row.
 void SoftmaxInPlace(std::span<float> row);

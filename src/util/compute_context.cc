@@ -1,0 +1,32 @@
+#include "util/compute_context.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace punica {
+
+int ComputeContext::ResolveThreadCount(int requested) {
+  int n = requested;
+  if (n <= 0) {
+    const char* env = std::getenv("PUNICA_THREADS");
+    if (env != nullptr && env[0] != '\0') {
+      n = std::atoi(env);
+    }
+  }
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (n < 1) n = 1;
+  if (n > kMaxThreads) n = kMaxThreads;
+  return n;
+}
+
+ComputeContext::ComputeContext(ComputeConfig config)
+    : pool_(ResolveThreadCount(config.num_threads)) {}
+
+const ComputeContext& ComputeContext::Default() {
+  static ComputeContext context;
+  return context;
+}
+
+}  // namespace punica

@@ -1,0 +1,62 @@
+// ComputeContext — the deterministic parallel compute substrate every
+// numeric-tier kernel runs on.
+//
+// A context owns one persistent ThreadPool; GEMM, SGMV, attention and the
+// layer/model loops take a context (defaulting to the process-wide
+// ComputeContext::Default()) and express their parallelism through
+// ParallelFor. LlamaModel captures a context at construction, so every
+// Engine/EngineBackend sharing that model shares one pool.
+//
+// Thread-count resolution (ResolveThreadCount):
+//   explicit config  >  PUNICA_THREADS env  >  hardware_concurrency.
+//
+// Determinism contract: kernels partition work so each output element is
+// computed by exactly one worker with a fixed internal reduction order
+// (split-K partials reduce in fixed partition order). Token streams are
+// therefore bit-identical for any thread count — asserted by
+// tests/integration/determinism_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace punica {
+
+struct ComputeConfig {
+  /// 0 = resolve from PUNICA_THREADS / hardware_concurrency.
+  int num_threads = 0;
+};
+
+class ComputeContext {
+ public:
+  explicit ComputeContext(ComputeConfig config = {});
+
+  int num_threads() const { return pool_.num_threads(); }
+
+  /// Deterministic data-parallel loop over [0, n); see ThreadPool.
+  /// Allocation-free: the callable is passed by reference, never wrapped
+  /// in a std::function.
+  template <typename Fn>
+  void ParallelFor(std::int64_t n, std::int64_t grain, Fn&& fn) const {
+    pool_.ParallelFor(n, grain, std::forward<Fn>(fn));
+  }
+
+  /// Process-wide shared context (PUNICA_THREADS / hardware default).
+  /// Created lazily on first use; persists for the process lifetime.
+  static const ComputeContext& Default();
+
+  /// `requested` <= 0 resolves via PUNICA_THREADS, then
+  /// hardware_concurrency; the result is clamped to [1, kMaxThreads].
+  static int ResolveThreadCount(int requested);
+
+  static constexpr int kMaxThreads = 256;
+
+ private:
+  // Kernels take `const ComputeContext&` — running work does not mutate the
+  // context's observable state, only the pool's internal scheduling.
+  mutable ThreadPool pool_;
+};
+
+}  // namespace punica

@@ -1,0 +1,146 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace punica {
+namespace {
+
+// True while this thread is executing chunks of a parallel region; nested
+// ParallelFor calls then run inline instead of deadlocking on the pool.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::State {
+  std::mutex run_mutex;  ///< serializes whole jobs across caller threads
+  std::mutex mutex;
+  std::condition_variable cv_work;  ///< workers wait for a new epoch
+  std::condition_variable cv_done;  ///< caller waits for done/active
+  std::uint64_t epoch = 0;
+  // The current job: fn(arg, lo, hi) over chunk c covers
+  // [c·chunk, min(n, (c+1)·chunk)).
+  ThreadPool::RangeFn fn = nullptr;
+  void* fn_arg = nullptr;
+  std::int64_t num_chunks = 0;
+  std::int64_t chunk = 0;
+  std::int64_t n = 0;
+  std::atomic<std::int64_t> next{0};  ///< next chunk to claim
+  std::atomic<std::int64_t> done{0};  ///< chunks completed
+  int active = 0;                     ///< workers inside the current job
+  bool stop = false;
+};
+
+// Claims chunks of the current job until none remain; shared by workers
+// and the participating caller.
+void ThreadPool::RunChunks(RangeFn fn, void* arg, std::int64_t num_chunks,
+                           std::int64_t chunk, std::int64_t n,
+                           std::atomic<std::int64_t>& next,
+                           std::atomic<std::int64_t>& done) {
+  t_in_parallel_region = true;
+  for (;;) {
+    std::int64_t c = next.fetch_add(1);
+    if (c >= num_chunks) break;
+    std::int64_t lo = c * chunk;
+    std::int64_t hi = lo + chunk < n ? lo + chunk : n;
+    fn(arg, lo, hi);
+    done.fetch_add(1);
+  }
+  t_in_parallel_region = false;
+}
+
+ThreadPool::ThreadPool(int num_threads) : state_(std::make_unique<State>()) {
+  PUNICA_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->cv_work.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerMain() {
+  State& s = *state_;
+  std::uint64_t seen = 0;
+  for (;;) {
+    RangeFn fn = nullptr;
+    void* arg = nullptr;
+    std::int64_t num_chunks = 0, chunk = 0, n = 0;
+    {
+      std::unique_lock<std::mutex> lock(s.mutex);
+      s.cv_work.wait(lock, [&] { return s.stop || s.epoch != seen; });
+      if (s.stop) return;
+      seen = s.epoch;
+      fn = s.fn;
+      arg = s.fn_arg;
+      num_chunks = s.num_chunks;
+      chunk = s.chunk;
+      n = s.n;
+      ++s.active;
+    }
+    RunChunks(fn, arg, num_chunks, chunk, n, s.next, s.done);
+    {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      --s.active;
+    }
+    s.cv_done.notify_all();
+  }
+}
+
+void ThreadPool::Run(std::int64_t num_chunks, std::int64_t chunk,
+                     std::int64_t n, RangeFn fn, void* arg) {
+  State& s = *state_;
+  // One job at a time: a second caller thread (engines sharing a pool may
+  // be stepped from anywhere) must not reset the shared counters while a
+  // job is in flight — its region simply serializes after the current one.
+  std::lock_guard<std::mutex> run_lock(s.run_mutex);
+  {
+    std::unique_lock<std::mutex> lock(s.mutex);
+    // Drain stragglers of the previous job before reusing the shared
+    // counters (a worker may still be between its last claim and --active).
+    s.cv_done.wait(lock, [&] { return s.active == 0; });
+    s.fn = fn;
+    s.fn_arg = arg;
+    s.num_chunks = num_chunks;
+    s.chunk = chunk;
+    s.n = n;
+    s.next.store(0);
+    s.done.store(0);
+    ++s.epoch;
+  }
+  s.cv_work.notify_all();
+  // The caller participates, so all chunks complete even if no worker ever
+  // wakes (width-1 pools, forked children).
+  RunChunks(fn, arg, num_chunks, chunk, n, s.next, s.done);
+  std::unique_lock<std::mutex> lock(s.mutex);
+  s.cv_done.wait(lock, [&] { return s.done.load() == num_chunks; });
+}
+
+void ThreadPool::ParallelForImpl(std::int64_t n, std::int64_t grain,
+                                 RangeFn fn, void* arg) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (num_threads() == 1 || n <= grain || t_in_parallel_region) {
+    fn(arg, 0, n);
+    return;
+  }
+  // Chunk size adapts to the pool width for load balance; the result does
+  // not depend on it (see the determinism contract in the header).
+  std::int64_t threads = num_threads();
+  std::int64_t chunk = (n + threads * 4 - 1) / (threads * 4);
+  if (chunk < grain) chunk = grain;
+  std::int64_t num_chunks = (n + chunk - 1) / chunk;
+  Run(num_chunks, chunk, n, fn, arg);
+}
+
+}  // namespace punica

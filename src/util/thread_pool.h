@@ -1,0 +1,78 @@
+// A persistent worker-thread pool with a deterministic ParallelFor.
+//
+// Determinism contract: ParallelFor splits [0, n) into contiguous chunks and
+// guarantees each index is visited by exactly one fn(lo, hi) invocation, in
+// ascending order within the chunk. If fn writes only outputs derived from
+// its index range (never per-worker or per-timing state), the overall result
+// is bit-identical for ANY thread count and ANY chunk assignment — the
+// property the numeric tier's migration/consolidation tests depend on.
+//
+// The calling thread participates in the work, so a pool of 1 thread (or a
+// fork()ed child whose workers are gone) degrades to a plain serial loop
+// rather than deadlocking. Nested ParallelFor calls from inside a worker run
+// inline for the same reason.
+//
+// ParallelFor is a template dispatched through a raw function pointer, not
+// std::function, so launching a region never heap-allocates — it sits on
+// the per-layer hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace punica {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller is the Nth thread).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width, caller included (always >= 1).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(lo, hi) over a chunked partition of [0, n). Chunks are at least
+  /// `grain` indices (the last may be shorter); serial when the range is
+  /// small, the pool is width 1, or the call is nested inside another
+  /// parallel region. Safe to call from multiple caller threads: whole
+  /// regions serialize, they never interleave chunks.
+  template <typename Fn>
+  void ParallelFor(std::int64_t n, std::int64_t grain, Fn&& fn) {
+    ParallelForImpl(n, grain, &InvokeRange<std::remove_reference_t<Fn>>,
+                    const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+ private:
+  /// Type-erased range callback: arg points at the caller's callable, which
+  /// outlives the region (ParallelForImpl returns only when all chunks ran).
+  using RangeFn = void (*)(void* arg, std::int64_t lo, std::int64_t hi);
+
+  template <typename Fn>
+  static void InvokeRange(void* arg, std::int64_t lo, std::int64_t hi) {
+    (*static_cast<Fn*>(arg))(lo, hi);
+  }
+
+  struct State;
+  void WorkerMain();
+  void ParallelForImpl(std::int64_t n, std::int64_t grain, RangeFn fn,
+                       void* arg);
+  /// Dispatches chunks [0, num_chunks) of width `chunk` over [0, n).
+  void Run(std::int64_t num_chunks, std::int64_t chunk, std::int64_t n,
+           RangeFn fn, void* arg);
+  static void RunChunks(RangeFn fn, void* arg, std::int64_t num_chunks,
+                        std::int64_t chunk, std::int64_t n,
+                        std::atomic<std::int64_t>& next,
+                        std::atomic<std::int64_t>& done);
+
+  std::unique_ptr<State> state_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace punica

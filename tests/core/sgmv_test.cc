@@ -71,7 +71,7 @@ TEST(SgmvTest, SingleSegmentMatchesDenseGemm) {
   SgmvShrink(p.Args(y_sgmv));
 
   auto y_gemm = p.y_init;
-  GemmAddF16W(p.x, p.weights[0].data(), y_gemm, 4, 32, 8);
+  GemmAccF16W(p.x, p.weights[0].data(), y_gemm, 4, 32, 8);
 
   for (std::size_t i = 0; i < y_sgmv.size(); ++i) {
     EXPECT_NEAR(y_sgmv[i], y_gemm[i], TolFor(32, 2.0f)) << i;
@@ -226,7 +226,7 @@ TEST_P(SgmvLoraShapeSweep, ShrinkThenExpandMatchesDense) {
   SgmvShrink(shrink);
 
   std::vector<float> v_ref(v.size(), 0.0f);
-  GemmAddF16W(shrink_p.x, shrink_p.weights[0].data(), v_ref, rows, h, rank);
+  GemmAccF16W(shrink_p.x, shrink_p.weights[0].data(), v_ref, rows, h, rank);
   float tol = TolFor(h, 2.0f);
   for (std::size_t i = 0; i < v.size(); ++i) {
     ASSERT_NEAR(v[i], v_ref[i], tol);
@@ -235,6 +235,85 @@ TEST_P(SgmvLoraShapeSweep, ShrinkThenExpandMatchesDense) {
 
 INSTANTIATE_TEST_SUITE_P(Ranks, SgmvLoraShapeSweep,
                          ::testing::Values(8, 16, 32, 64));
+
+// --- Edge-case segment layouts for the parallel schedules ---
+
+TEST(SgmvEdgeTest, WidthOneSegment) {
+  // A single row in its own segment — the smallest (row, block) task grid.
+  Pcg32 rng(21);
+  std::vector<std::int32_t> rows = {1};
+  auto p = MakeProblem(rows, 300, 16, rng);
+  auto y_shrink = p.y_init;
+  SgmvShrink(p.Args(y_shrink));
+  auto y_expand = p.y_init;
+  SgmvExpand(p.Args(y_expand));
+  auto y_ref = p.y_init;
+  SgmvReference(p.Args(y_ref));
+  float tol = TolFor(300, 4.0f);
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    ASSERT_NEAR(y_shrink[i], y_ref[i], tol);
+    ASSERT_NEAR(y_expand[i], y_ref[i], tol);
+  }
+}
+
+TEST(SgmvEdgeTest, OneSegmentSpanningAllRows) {
+  // One segment of width == rows (the Identical workload shape).
+  Pcg32 rng(22);
+  std::vector<std::int32_t> rows = {48};
+  auto p = MakeProblem(rows, 64, 8, rng);
+  auto y_shrink = p.y_init;
+  SgmvShrink(p.Args(y_shrink));
+  auto y_ref = p.y_init;
+  SgmvReference(p.Args(y_ref));
+  float tol = TolFor(64, 4.0f);
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    ASSERT_NEAR(y_shrink[i], y_ref[i], tol);
+  }
+}
+
+TEST(SgmvEdgeTest, AllSegmentsEmpty) {
+  // rows == 0 overall: nothing to do, nothing touched.
+  std::vector<float> x, y;
+  Tensor<f16> w({4, 2});
+  const f16* ptr = w.raw();
+  std::vector<std::int32_t> seg = {0, 0};
+  SgmvArgs args{y, x, std::span<const f16* const>(&ptr, 1), seg, 4, 2};
+  SgmvShrink(args);
+  SgmvExpand(args);
+}
+
+TEST(SgmvEdgeTest, OutputWidthOne) {
+  // h_out == 1 exercises the degenerate column tile.
+  Pcg32 rng(23);
+  std::vector<std::int32_t> rows = {3};
+  auto p = MakeProblem(rows, 40, 1, rng);
+  auto y_expand = p.y_init;
+  SgmvExpand(p.Args(y_expand));
+  auto y_ref = p.y_init;
+  SgmvReference(p.Args(y_ref));
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    ASSERT_NEAR(y_expand[i], y_ref[i], TolFor(40, 4.0f));
+  }
+}
+
+TEST(SgmvEdgeTest, BitIdenticalAcrossThreadCounts) {
+  Pcg32 rng(24);
+  std::vector<std::int32_t> rows = {1, 5, 0, 9};
+  auto p = MakeProblem(rows, 300, 16, rng);
+  ComputeContext ctx1({.num_threads = 1});
+  ComputeContext ctx4({.num_threads = 4});
+  auto a = p.y_init;
+  SgmvShrink(p.Args(a), ctx1);
+  auto b = p.y_init;
+  SgmvShrink(p.Args(b), ctx4);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+
+  auto c = p.y_init;
+  SgmvExpand(p.Args(c), ctx1);
+  auto d = p.y_init;
+  SgmvExpand(p.Args(d), ctx4);
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], d[i]);
+}
 
 TEST(SgmvDeathTest, MismatchedSpansAbort) {
   std::vector<float> x(8), y(3);  // wrong y size

@@ -1,0 +1,178 @@
+// Thread-count determinism regression: the compute substrate must produce
+// bit-identical token streams and request snapshots for any thread count
+// (PUNICA_THREADS=1 vs 4 and the hardware default), because migration and
+// consolidation equivalence rest on engines being exact replicas of each
+// other. Runs the unified-serving scenario (frontend → driver → scheduler →
+// EngineBackend → Engine, with KvCache-pressure migration) once per context
+// and compares everything.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.h"
+#include "model/llama.h"
+#include "runtime/engine.h"
+#include "runtime/engine_backend.h"
+#include "sched/cluster.h"
+#include "util/compute_context.h"
+
+namespace punica {
+namespace {
+
+struct Req {
+  LoraId lora;
+  std::vector<std::int32_t> prompt;
+  int tokens;
+};
+
+const std::vector<Req>& Scenario() {
+  // Tight page pools force driver-orchestrated migration mid-stream, so the
+  // comparison covers prefill, decode, re-prefill and consolidation paths.
+  static const std::vector<Req> reqs = {
+      {0, {1, 2, 3, 4, 5, 6, 7, 8}, 24},
+      {1, {9, 8, 7, 6, 5, 4, 3, 2}, 24},
+      {2, {11, 12, 13}, 20},
+      {-1, {21, 22, 23, 24}, 16},
+      {0, {42}, 12},
+  };
+  return reqs;
+}
+
+/// Builds the full numeric serving stack on `ctx` and runs the scenario,
+/// returning every request's streamed tokens.
+std::vector<std::vector<std::int32_t>> RunScenario(const ComputeContext& ctx) {
+  LlamaModel model(TinyLlama(), 2024, &ctx);
+  model.AddLora(0, 8, 1);
+  model.AddLora(1, 8, 2);
+  model.AddLora(2, 4, 3);
+
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<std::unique_ptr<EngineBackend>> backends;
+  std::vector<ExecutionBackend*> raw;
+  for (int g = 0; g < 2; ++g) {
+    engines.push_back(std::make_unique<Engine>(
+        &model, model.MakeKvConfig(/*num_pages=*/10),
+        EngineConfig{.max_batch_size = 4}));
+    backends.push_back(std::make_unique<EngineBackend>(g, engines.back().get()));
+    raw.push_back(backends.back().get());
+    // The plumbing contract: every backend over this backbone reports the
+    // one pool the model was built with.
+    EXPECT_EQ(&backends.back()->context(), &ctx);
+    EXPECT_EQ(&engines.back()->context(), &ctx);
+  }
+  ClusterDriver driver(raw);
+  Frontend::SchedulerApi api;
+  api.submit = [&](ServingRequest* req) { driver.SubmitExternal(req); };
+  api.cancel = [&](std::int64_t id) { return driver.CancelExternal(id); };
+  Frontend frontend(0, api, /*id_base=*/500);
+  driver.SetEmissionCallback([&](const StepResult& result, double now) {
+    frontend.OnStep(result, now);
+  });
+
+  std::vector<RequestHandle> handles;
+  for (const auto& r : Scenario()) {
+    handles.push_back(frontend.Submit({.lora = r.lora,
+                                       .prompt_tokens = r.prompt,
+                                       .max_new_tokens = r.tokens}));
+  }
+  driver.Run();
+
+  std::vector<std::vector<std::int32_t>> streams;
+  for (RequestHandle h : handles) {
+    TokenStream* stream = frontend.Stream(h);
+    EXPECT_NE(stream, nullptr);
+    streams.push_back(stream != nullptr ? stream->DrainAll()
+                                        : std::vector<std::int32_t>{});
+  }
+  return streams;
+}
+
+TEST(DeterminismTest, TokenStreamsBitIdenticalAcrossThreadCounts) {
+  // PUNICA_THREADS resolution is part of the contract under test: build
+  // contexts via the env var, restoring the ambient value afterwards (CI
+  // pins it for the whole test process).
+  const char* prior = std::getenv("PUNICA_THREADS");
+  std::string saved = prior != nullptr ? prior : "";
+  setenv("PUNICA_THREADS", "1", 1);
+  ComputeContext ctx1;
+  setenv("PUNICA_THREADS", "4", 1);
+  ComputeContext ctx4;
+  unsetenv("PUNICA_THREADS");
+  ComputeContext ctx_hw;  // hardware_concurrency default
+  if (prior != nullptr) setenv("PUNICA_THREADS", saved.c_str(), 1);
+  ASSERT_EQ(ctx1.num_threads(), 1);
+  ASSERT_EQ(ctx4.num_threads(), 4);
+
+  auto streams1 = RunScenario(ctx1);
+  auto streams4 = RunScenario(ctx4);
+  auto streams_hw = RunScenario(ctx_hw);
+
+  ASSERT_EQ(streams1.size(), Scenario().size());
+  for (std::size_t i = 0; i < streams1.size(); ++i) {
+    EXPECT_FALSE(streams1[i].empty()) << "request " << i << " emitted nothing";
+    EXPECT_EQ(streams1[i], streams4[i])
+        << "request " << i << " diverged between 1 and 4 threads";
+    EXPECT_EQ(streams1[i], streams_hw[i])
+        << "request " << i << " diverged between 1 and hardware threads";
+  }
+}
+
+/// Steps an engine `steps` times, then cancels the request and returns its
+/// snapshot — the migration payload whose bits must not depend on threads.
+RequestSnapshot SnapshotAfterSteps(const ComputeContext& ctx, int steps) {
+  LlamaModel model(TinyLlama(), 7, &ctx);
+  model.AddLora(0, 8, 1);
+  Engine engine(&model, model.MakeKvConfig(64));
+  RequestHandle h = engine.AddRequest(
+      {.lora = 0, .prompt_tokens = {5, 6, 7, 8}, .max_new_tokens = 32});
+  for (int s = 0; s < steps; ++s) engine.Step();
+  auto snap = engine.Cancel(h);
+  EXPECT_TRUE(snap.has_value());
+  return snap.value_or(RequestSnapshot{});
+}
+
+TEST(DeterminismTest, SnapshotsBitIdenticalAcrossThreadCounts) {
+  ComputeContext ctx1({.num_threads = 1});
+  ComputeContext ctx4({.num_threads = 4});
+  RequestSnapshot a = SnapshotAfterSteps(ctx1, 6);
+  RequestSnapshot b = SnapshotAfterSteps(ctx4, 6);
+  EXPECT_EQ(a.prompt, b.prompt);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.prompt_len, b.prompt_len);
+  EXPECT_EQ(a.generated_len, b.generated_len);
+  EXPECT_EQ(a.max_new_tokens, b.max_new_tokens);
+  EXPECT_EQ(a.eos_token, b.eos_token);
+}
+
+TEST(DeterminismTest, ModelLogitsBitIdenticalAcrossThreadCounts) {
+  // Kernel-level check one layer up from gemm/sgmv: full forward logits.
+  auto logits_for = [](const ComputeContext& ctx) {
+    LlamaModel model(TinyLlama(), 99, &ctx);
+    model.AddLora(3, 8, 4);
+    PagedKvCache kv(model.MakeKvConfig(64));
+    SeqId seq = kv.CreateSequence();
+    kv.Extend(seq, 5);
+    ModelBatch batch = ModelBatch::Build({{.seq = seq,
+                                           .lora = 3,
+                                           .num_tokens = 5,
+                                           .pos_offset = 0,
+                                           .is_prefill = true}});
+    std::vector<std::int32_t> ids = {10, 20, 30, 40, 50};
+    return model.Forward(batch, ids, kv);
+  };
+  ComputeContext ctx1({.num_threads = 1});
+  ComputeContext ctx3({.num_threads = 3});
+  Tensor<float> a = logits_for(ctx1);
+  Tensor<float> b = logits_for(ctx3);
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "logit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace punica

@@ -22,7 +22,7 @@ TEST(GemmTest, KnownSmallProduct) {
   std::vector<float> x = {1, 2, 3, 4};
   std::vector<float> w = {5, 6, 7, 8};
   std::vector<float> y(4);
-  Gemm(x, w, y, 2, 2, 2);
+  GemmSet(x, w, y, 2, 2, 2);
   EXPECT_FLOAT_EQ(y[0], 19.0f);
   EXPECT_FLOAT_EQ(y[1], 22.0f);
   EXPECT_FLOAT_EQ(y[2], 43.0f);
@@ -33,15 +33,25 @@ TEST(GemmTest, IdentityWeight) {
   std::vector<float> x = {1, 2, 3, 4, 5, 6};
   std::vector<float> eye = {1, 0, 0, 0, 1, 0, 0, 0, 1};
   std::vector<float> y(6);
-  Gemm(x, eye, y, 2, 3, 3);
+  GemmSet(x, eye, y, 2, 3, 3);
   for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
 }
 
-TEST(GemmTest, GemmAddF16WAccumulates) {
+TEST(GemmTest, GemmSetOverwritesStaleY) {
+  // The Set/Acc naming trap: GemmSet must not accumulate into garbage.
+  std::vector<float> x = {1, 2, 3, 4};
+  std::vector<float> w = {5, 6, 7, 8};
+  std::vector<float> y = {1e9f, -1e9f, 1e9f, -1e9f};
+  GemmSet(x, w, y, 2, 2, 2);
+  EXPECT_FLOAT_EQ(y[0], 19.0f);
+  EXPECT_FLOAT_EQ(y[3], 50.0f);
+}
+
+TEST(GemmTest, GemmAccF16WAccumulates) {
   std::vector<float> x = {1, 1};
   std::vector<f16> w = ToHalf({2, 3});  // [2,1] weight
   std::vector<float> y = {10.0f};
-  GemmAddF16W(x, w, y, 1, 2, 1);
+  GemmAccF16W(x, w, y, 1, 2, 1);
   EXPECT_FLOAT_EQ(y[0], 15.0f);
 }
 
@@ -53,11 +63,11 @@ TEST(GemmTest, GemvMatchesGemmRowByRow) {
   auto w = ToHalf(wf);
 
   std::vector<float> y_gemm(static_cast<std::size_t>(m) * n, 0.0f);
-  GemmAddF16W(x, w, y_gemm, m, k, n);
+  GemmAccF16W(x, w, y_gemm, m, k, n);
 
   std::vector<float> y_gemv(static_cast<std::size_t>(m) * n, 0.0f);
   for (int i = 0; i < m; ++i) {
-    GemvAddF16W(std::span<const float>(x).subspan(
+    GemvAccF16W(std::span<const float>(x).subspan(
                     static_cast<std::size_t>(i) * k, k),
                 w,
                 std::span<float>(y_gemv).subspan(
@@ -67,6 +77,92 @@ TEST(GemmTest, GemvMatchesGemmRowByRow) {
   for (std::size_t i = 0; i < y_gemm.size(); ++i) {
     EXPECT_FLOAT_EQ(y_gemm[i], y_gemv[i]);
   }
+}
+
+// --- Edge-case shapes for the blocked kernels ---
+
+TEST(GemmEdgeTest, ZeroRows) {
+  std::vector<float> x, w(6, 1.0f), y;
+  GemmSet(x, w, y, 0, 2, 3);  // no output, must not touch anything
+  std::vector<f16> wh(6, f16(1.0f));
+  GemmAccF16W(x, wh, y, 0, 2, 3);
+}
+
+TEST(GemmEdgeTest, ZeroReductionDim) {
+  // k == 0: GemmSet must still zero y; GemmAcc must leave y untouched.
+  std::vector<float> x, w;
+  std::vector<float> y = {3.0f, 4.0f, 5.0f, 6.0f, 7.0f, 8.0f};
+  GemmSet(x, w, y, 2, 0, 3);
+  for (float v : y) EXPECT_FLOAT_EQ(v, 0.0f);
+
+  std::vector<f16> wh;
+  std::vector<float> y2 = {3.0f, 4.0f, 5.0f, 6.0f, 7.0f, 8.0f};
+  GemmAccF16W(x, wh, y2, 2, 0, 3);
+  EXPECT_FLOAT_EQ(y2[0], 3.0f);
+  EXPECT_FLOAT_EQ(y2[5], 8.0f);
+}
+
+TEST(GemmEdgeTest, SingleColumn) {
+  Pcg32 rng(13);
+  int m = 7, k = 31;
+  auto x = RandomGaussianVector(static_cast<std::size_t>(m) * k, 1.0f, rng);
+  auto wf = RandomGaussianVector(static_cast<std::size_t>(k), 1.0f, rng);
+  auto w = ToHalf(wf);
+  std::vector<float> y(static_cast<std::size_t>(m), 0.0f);
+  GemmAccF16W(x, w, y, m, k, 1);
+  for (int i = 0; i < m; ++i) {
+    float ref = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      ref += x[static_cast<std::size_t>(i) * k + p] * w[p].ToFloat();
+    }
+    EXPECT_FLOAT_EQ(y[static_cast<std::size_t>(i)], ref);
+  }
+}
+
+TEST(GemmEdgeTest, NonMultipleOfTileSizes) {
+  // m, k, n all straddle the row-block/column-tile boundaries.
+  Pcg32 rng(17);
+  int m = 9, k = 130, n = 257;
+  auto x = RandomGaussianVector(static_cast<std::size_t>(m) * k, 1.0f, rng);
+  auto wf = RandomGaussianVector(static_cast<std::size_t>(k) * n, 0.1f, rng);
+  auto w = ToHalf(wf);
+  std::vector<float> y(static_cast<std::size_t>(m) * n, 0.0f);
+  GemmAccF16W(x, w, y, m, k, n);
+  // Naive reference with the same ascending-k order — results must be
+  // bit-identical, not just close.
+  std::vector<float> ref(y.size(), 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      float xv = x[static_cast<std::size_t>(i) * k + p];
+      if (xv == 0.0f) continue;
+      for (int j = 0; j < n; ++j) {
+        ref[static_cast<std::size_t>(i) * n + j] +=
+            xv * w[static_cast<std::size_t>(p) * n + j].ToFloat();
+      }
+    }
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], ref[i]);
+}
+
+TEST(GemmEdgeTest, BitIdenticalAcrossThreadCounts) {
+  Pcg32 rng(19);
+  int m = 13, k = 300, n = 191;
+  auto x = RandomGaussianVector(static_cast<std::size_t>(m) * k, 1.0f, rng);
+  auto wf = RandomGaussianVector(static_cast<std::size_t>(k) * n, 0.1f, rng);
+  auto w = ToHalf(wf);
+  ComputeContext ctx1({.num_threads = 1});
+  ComputeContext ctx4({.num_threads = 4});
+  std::vector<float> y1(static_cast<std::size_t>(m) * n, 0.5f);
+  std::vector<float> y4 = y1;
+  GemmAccF16W(x, w, y1, m, k, n, ctx1);
+  GemmAccF16W(x, w, y4, m, k, n, ctx4);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y4[i]);
+
+  std::vector<float> s1(y1.size()), s4(y1.size());
+  auto w32 = RandomGaussianVector(static_cast<std::size_t>(k) * n, 0.1f, rng);
+  GemmSet(x, w32, s1, m, k, n, ctx1);
+  GemmSet(x, w32, s4, m, k, n, ctx4);
+  for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s1[i], s4[i]);
 }
 
 TEST(GemmTest, SoftmaxSumsToOne) {
@@ -133,7 +229,7 @@ TEST(GemmTest, SiluKnownValues) {
 
 TEST(GemmDeathTest, ShapeMismatchAborts) {
   std::vector<float> x(4), w(4), y(3);
-  EXPECT_DEATH(Gemm(x, w, y, 2, 2, 2), "PUNICA_CHECK");
+  EXPECT_DEATH(GemmSet(x, w, y, 2, 2, 2), "PUNICA_CHECK");
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/compute_context.h"
+
+namespace punica {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::vector<int> hits(1, 0);
+  pool.ParallelFor(1, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ThreadPoolTest, GrainKeepsSmallRangesInline) {
+  // n <= grain must run as a single fn(0, n) call on the calling thread.
+  ThreadPool pool(4);
+  int calls = 0;
+  std::int64_t seen_lo = -1, seen_hi = -1;
+  pool.ParallelFor(100, 128, [&](std::int64_t lo, std::int64_t hi) {
+    ++calls;
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_lo, 0);
+  EXPECT_EQ(seen_hi, 100);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.ParallelFor(8, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      // A nested region must not deadlock waiting for the same workers.
+      pool.ParallelFor(10, 1, [&](std::int64_t nlo, std::int64_t nhi) {
+        total.fetch_add(nhi - nlo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int job = 0; job < 200; ++job) {
+    std::vector<int> out(64, 0);
+    pool.ParallelFor(64, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        out[static_cast<std::size_t>(i)] = job;
+      }
+    });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 64 * job);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersSerializeWholeRegions) {
+  // Two engines over one model may step from different threads; regions on
+  // the shared pool must never interleave chunks (which would skip or
+  // double-run work).
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr int kPerCaller = 500;
+  std::vector<std::atomic<int>> hits(kCallers * kPerCaller);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int repeat = 0; repeat < 20; ++repeat) {
+        pool.ParallelFor(kPerCaller, 1, [&](std::int64_t lo,
+                                            std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            hits[static_cast<std::size_t>(c * kPerCaller + i)].fetch_add(1);
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 20);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork) {
+  ThreadPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ComputeContextTest, ExplicitThreadCountWins) {
+  EXPECT_EQ(ComputeContext::ResolveThreadCount(3), 3);
+  ComputeContext ctx({.num_threads = 2});
+  EXPECT_EQ(ctx.num_threads(), 2);
+}
+
+TEST(ComputeContextTest, EnvFallbackAndClamping) {
+  // Restore the ambient value afterwards — CI pins PUNICA_THREADS for the
+  // whole test process and later tests must still see it.
+  const char* prior = std::getenv("PUNICA_THREADS");
+  std::string saved = prior != nullptr ? prior : "";
+
+  setenv("PUNICA_THREADS", "5", 1);
+  EXPECT_EQ(ComputeContext::ResolveThreadCount(0), 5);
+  // Explicit request still beats the env.
+  EXPECT_EQ(ComputeContext::ResolveThreadCount(2), 2);
+  setenv("PUNICA_THREADS", "0", 1);  // invalid → hardware fallback
+  EXPECT_GE(ComputeContext::ResolveThreadCount(0), 1);
+  setenv("PUNICA_THREADS", "999999", 1);
+  EXPECT_EQ(ComputeContext::ResolveThreadCount(0),
+            ComputeContext::kMaxThreads);
+  unsetenv("PUNICA_THREADS");
+  EXPECT_GE(ComputeContext::ResolveThreadCount(0), 1);
+
+  if (prior != nullptr) setenv("PUNICA_THREADS", saved.c_str(), 1);
+}
+
+TEST(ComputeContextTest, DefaultIsSharedAndUsable) {
+  const ComputeContext& a = ComputeContext::Default();
+  const ComputeContext& b = ComputeContext::Default();
+  EXPECT_EQ(&a, &b);
+  std::atomic<std::int64_t> sum{0};
+  a.ParallelFor(100, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+}  // namespace
+}  // namespace punica
