@@ -9,8 +9,15 @@
 // batch; `items_per_second` at each width gives the scaling curve (the
 // speedup is the ratio against the width-1 row). All widths produce
 // bit-identical outputs — the sweep measures time, never numerics.
+//
+// The *Simd benchmarks A/B the two dispatch paths (arg 0 = scalar, 1 =
+// native AVX2+FMA+F16C) at one thread on the same shapes, so a regression
+// in either path is visible independently of pool scaling. The CI bench
+// smoke runs both sweeps with --benchmark_out=BENCH_kernels.json to log
+// the GFLOP/s / tokens/s trajectory.
 #include <benchmark/benchmark.h>
 
+#include <optional>
 #include <vector>
 
 #include "baselines/lora_ops.h"
@@ -20,6 +27,7 @@
 #include "model/llama.h"
 #include "runtime/engine.h"
 #include "tensor/gemm.h"
+#include "tensor/simd.h"
 #include "util/compute_context.h"
 #include "util/rng.h"
 #include "workload/popularity.h"
@@ -34,6 +42,27 @@ namespace {
 void ThreadSweep(benchmark::internal::Benchmark* b) {
   b->ArgName("threads");
   b->Arg(1)->Arg(2)->Arg(4)->Arg(0)->UseRealTime();
+}
+
+// Sweep arg: dispatch path (0 = scalar, 1 = native). Runs single-threaded so
+// the rows compare per-core kernel throughput, not pool scaling.
+void SimdSweep(benchmark::internal::Benchmark* b) {
+  b->ArgName("native");
+  b->Arg(0)->Arg(1);
+}
+
+// Forces the dispatch path selected by a *Simd benchmark's arg for the
+// guard's lifetime; returns false (after SkipWithError) when native was
+// requested but isn't compiled/supported in this build.
+bool ForceSimdArg(benchmark::State& state,
+                  std::optional<ScopedSimdLevel>& guard) {
+  const bool native = state.range(0) == 1;
+  if (native && !NativeSimdAvailable()) {
+    state.SkipWithError("native SIMD not compiled/supported");
+    return false;
+  }
+  guard.emplace(native ? SimdLevel::kNative : SimdLevel::kScalar);
+  return true;
 }
 
 struct OpProblem {
@@ -138,10 +167,12 @@ void BM_SgmvShrinkVsExpand(benchmark::State& state) {
 }
 BENCHMARK(BM_SgmvShrinkVsExpand)->Arg(0)->Arg(1);
 
-void BM_BatchDecodeAttention(benchmark::State& state) {
+// Shared body for the decode-attention benches: the arg-shape rows and the
+// scalar-vs-native sweep must measure the identical problem.
+void RunBatchDecodeAttentionBench(benchmark::State& state,
+                                  const ComputeContext& ctx, int batch,
+                                  std::int64_t len) {
   LlamaConfig c = TinyLlama();
-  const auto batch = static_cast<int>(state.range(0));
-  const std::int64_t len = state.range(1);
   KvCacheConfig kvc{.num_layers = c.num_layers,
                     .num_kv_heads = c.num_kv_heads,
                     .head_dim = c.head_dim(),
@@ -169,10 +200,16 @@ void BM_BatchDecodeAttention(benchmark::State& state) {
                                 rng);
   std::vector<float> out(q.size());
   for (auto _ : state) {
-    BatchDecodeAttention(c, kv, seqs, 0, q, out);
+    BatchDecodeAttention(c, kv, seqs, 0, q, out, ctx);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_BatchDecodeAttention(benchmark::State& state) {
+  RunBatchDecodeAttentionBench(state, ComputeContext::Default(),
+                               static_cast<int>(state.range(0)),
+                               state.range(1));
 }
 BENCHMARK(BM_BatchDecodeAttention)
     ->Args({1, 128})
@@ -181,9 +218,12 @@ BENCHMARK(BM_BatchDecodeAttention)
 
 // --- Thread-count sweep over the numeric hot path ---
 
-void BM_GemmAccF16WThreads(benchmark::State& state) {
-  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
-  const int m = 32, k = 1024, n = 1024;
+// Shared bodies below: parameterized by context (and shape) so the
+// *Threads and *Simd sweeps measure the identical problem — drift between
+// them would make the two sweeps' rows incomparable.
+
+void RunGemmAccF16WBench(benchmark::State& state, const ComputeContext& ctx,
+                         int m, int k, int n) {
   Pcg32 rng(11);
   Tensor<f16> w({k, n});
   for (auto& v : w.data()) {
@@ -200,10 +240,14 @@ void BM_GemmAccF16WThreads(benchmark::State& state) {
       static_cast<double>(state.iterations()) * 2.0 * m * k * n,
       benchmark::Counter::kIsRate);
 }
+
+void BM_GemmAccF16WThreads(benchmark::State& state) {
+  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+  RunGemmAccF16WBench(state, ctx, 32, 1024, 1024);
+}
 BENCHMARK(BM_GemmAccF16WThreads)->Apply(ThreadSweep);
 
-void BM_SgmvShrinkThreads(benchmark::State& state) {
-  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+void RunSgmvShrinkBench(benchmark::State& state, const ComputeContext& ctx) {
   OpProblem p = MakeOpProblem(/*num_segments=*/8, /*rows_per_segment=*/8,
                               /*h=*/1024, /*rank=*/16);
   std::vector<const f16*> a_ptrs;
@@ -219,11 +263,19 @@ void BM_SgmvShrinkThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(v.data());
   }
   state.SetItemsProcessed(state.iterations() * p.seg.back());
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          SgmvCostOf(p.seg, p.h, 16).flop,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SgmvShrinkThreads(benchmark::State& state) {
+  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+  RunSgmvShrinkBench(state, ctx);
 }
 BENCHMARK(BM_SgmvShrinkThreads)->Apply(ThreadSweep);
 
-void BM_SgmvExpandThreads(benchmark::State& state) {
-  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+void RunSgmvExpandBench(benchmark::State& state, const ComputeContext& ctx) {
   const int rows = 64, h = 1024, rank = 16;
   Pcg32 rng(12);
   Tensor<f16> w({rank, h});
@@ -241,14 +293,23 @@ void BM_SgmvExpandThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * rows);
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          SgmvCostOf(seg, rank, h).flop,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SgmvExpandThreads(benchmark::State& state) {
+  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+  RunSgmvExpandBench(state, ctx);
 }
 BENCHMARK(BM_SgmvExpandThreads)->Apply(ThreadSweep);
 
 // A full Engine::Step over a continuous decode batch: the end-to-end
 // hot path (projections + LoRA SGMV + paged attention + LM head).
-// items_per_second is decode tokens/s at this pool width.
-void BM_EngineDecodeStepThreads(benchmark::State& state) {
-  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+// items_per_second is decode tokens/s.
+void RunEngineDecodeStepBench(benchmark::State& state,
+                              const ComputeContext& ctx) {
   const int batch = 16;
   LlamaModel model(TinyLlama(), 9, &ctx);
   model.AddLora(0, 8, 1);
@@ -280,7 +341,67 @@ void BM_EngineDecodeStepThreads(benchmark::State& state) {
   }
   state.SetItemsProcessed(tokens);
 }
+
+void BM_EngineDecodeStepThreads(benchmark::State& state) {
+  ComputeContext ctx({.num_threads = static_cast<int>(state.range(0))});
+  RunEngineDecodeStepBench(state, ctx);
+}
 BENCHMARK(BM_EngineDecodeStepThreads)->Apply(ThreadSweep);
+
+// --- Scalar-vs-native dispatch sweep (same shapes as the *Threads sweep,
+// one thread; the bodies are shared so the sweeps cannot drift apart) ---
+
+void BM_GemmAccF16WSimd(benchmark::State& state) {
+  std::optional<ScopedSimdLevel> level;
+  if (!ForceSimdArg(state, level)) return;
+  ComputeContext ctx({.num_threads = 1});
+  RunGemmAccF16WBench(state, ctx, 32, 1024, 1024);
+}
+BENCHMARK(BM_GemmAccF16WSimd)->Apply(SimdSweep);
+
+// The decode-projection shape the ≥4×-per-core acceptance bar is quoted on
+// (small m, LLM-scale k×n: the panel decode is amortised only 8×, so this
+// is the *least* vector-friendly GEMM shape the serving path runs).
+void BM_GemmAccF16WSimdDecodeShape(benchmark::State& state) {
+  std::optional<ScopedSimdLevel> level;
+  if (!ForceSimdArg(state, level)) return;
+  ComputeContext ctx({.num_threads = 1});
+  RunGemmAccF16WBench(state, ctx, 8, 4096, 4096);
+}
+BENCHMARK(BM_GemmAccF16WSimdDecodeShape)->Apply(SimdSweep);
+
+void BM_SgmvShrinkSimd(benchmark::State& state) {
+  std::optional<ScopedSimdLevel> level;
+  if (!ForceSimdArg(state, level)) return;
+  ComputeContext ctx({.num_threads = 1});
+  RunSgmvShrinkBench(state, ctx);
+}
+BENCHMARK(BM_SgmvShrinkSimd)->Apply(SimdSweep);
+
+void BM_SgmvExpandSimd(benchmark::State& state) {
+  std::optional<ScopedSimdLevel> level;
+  if (!ForceSimdArg(state, level)) return;
+  ComputeContext ctx({.num_threads = 1});
+  RunSgmvExpandBench(state, ctx);
+}
+BENCHMARK(BM_SgmvExpandSimd)->Apply(SimdSweep);
+
+void BM_BatchDecodeAttentionSimd(benchmark::State& state) {
+  std::optional<ScopedSimdLevel> level;
+  if (!ForceSimdArg(state, level)) return;
+  ComputeContext ctx({.num_threads = 1});
+  RunBatchDecodeAttentionBench(state, ctx, /*batch=*/8, /*len=*/1024);
+}
+BENCHMARK(BM_BatchDecodeAttentionSimd)->Apply(SimdSweep);
+
+// End-to-end single-core decode tokens/s per dispatch path.
+void BM_EngineDecodeStepSimd(benchmark::State& state) {
+  std::optional<ScopedSimdLevel> level;
+  if (!ForceSimdArg(state, level)) return;
+  ComputeContext ctx({.num_threads = 1});
+  RunEngineDecodeStepBench(state, ctx);
+}
+BENCHMARK(BM_EngineDecodeStepSimd)->Apply(SimdSweep);
 
 void BM_TinyLlamaDecodeStep(benchmark::State& state) {
   const auto batch = static_cast<int>(state.range(0));

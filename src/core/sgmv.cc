@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "tensor/simd.h"
 #include "util/check.h"
 
 namespace punica {
@@ -69,6 +70,7 @@ void SgmvShrink(const SgmvArgs& a, const ComputeContext& ctx,
     owned = std::make_unique_for_overwrite<float[]>(partials_size);
     partials = owned.get();
   }
+  const SimdOps& ops = Simd();
   ctx.ParallelFor(rows * k_parts, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t task = lo; task < hi; ++task) {
       const auto row = static_cast<std::size_t>(task / k_parts);
@@ -82,38 +84,37 @@ void SgmvShrink(const SgmvArgs& a, const ComputeContext& ctx,
       std::fill(part, part + a.h_out, 0.0f);
       int k_lo = p * chunk;
       int k_hi = std::min(a.h_in, k_lo + chunk);
+      // Fused decode + axpy across the h_out columns: each part element's
+      // reduction stays in ascending-kk order. x here is a dense hidden
+      // state, so no sparsity test in the inner loop.
       for (int kk = k_lo; kk < k_hi; ++kk) {
-        float xv = xr[kk];
-        if (xv == 0.0f) continue;
-        const f16* wrow = &w[static_cast<std::size_t>(kk) *
-                             static_cast<std::size_t>(a.h_out)];
-        for (int j = 0; j < a.h_out; ++j) {
-          part[j] += xv * wrow[j].ToFloat();
-        }
+        ops.axpy_f16(xr[kk],
+                     &w[static_cast<std::size_t>(kk) *
+                        static_cast<std::size_t>(a.h_out)],
+                     part, static_cast<std::size_t>(a.h_out));
       }
     }
   });
 
   // Phase 2: reduce partials in fixed ascending partition order — one
   // worker per row, so each y element has exactly one writer and one
-  // summation order regardless of thread count.
+  // summation order regardless of thread count. Accumulating into the
+  // partition-0 slice (scratch, documented clobbered) keeps the per-element
+  // order identical to the scalar acc loop; a == 1.0f makes the FMA exact,
+  // so this reduction is bit-identical on both dispatch paths.
   ctx.ParallelFor(rows, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t r = lo; r < hi; ++r) {
       const auto row = static_cast<std::size_t>(r);
       if (WeightForRow(a, r) == nullptr) continue;
       float* yr = &a.y[row * static_cast<std::size_t>(a.h_out)];
-      const float* row_part = &partials[row * static_cast<std::size_t>(
-                                                  k_parts) *
-                                        static_cast<std::size_t>(a.h_out)];
-      for (int j = 0; j < a.h_out; ++j) {
-        float acc = 0.0f;
-        for (int p = 0; p < k_parts; ++p) {
-          acc += row_part[static_cast<std::size_t>(p) *
-                              static_cast<std::size_t>(a.h_out) +
-                          static_cast<std::size_t>(j)];
-        }
-        yr[j] += acc;
+      const auto h_out = static_cast<std::size_t>(a.h_out);
+      float* part0 = &partials[row * static_cast<std::size_t>(k_parts) *
+                               h_out];
+      for (int p = 1; p < k_parts; ++p) {
+        ops.axpy_f32(1.0f, part0 + static_cast<std::size_t>(p) * h_out,
+                     part0, h_out);
       }
+      ops.axpy_f32(1.0f, part0, yr, h_out);
     }
   });
 }
@@ -124,28 +125,35 @@ void SgmvExpand(const SgmvArgs& a, const ComputeContext& ctx) {
   if (rows == 0) return;
   // Column-split schedule: tile the (large) output dimension; each
   // (row, tile) block is computed independently, exactly like dispatching
-  // v·B^(tile) to separate thread blocks whose results concatenate.
+  // v·B^(tile) to separate thread blocks whose results concatenate. The
+  // k (rank) loop runs outermost over a task-local accumulator panel so the
+  // fused decode + axpy vectorizes across the tile's columns while each
+  // element keeps its ascending-kk reduction order; the final yr add is
+  // exact (a == 1.0f), matching the scalar acc-then-add structure bit for
+  // bit on the scalar path.
   constexpr int kTile = 128;
+  const SimdOps& ops = Simd();
   const std::int64_t num_tiles = (a.h_out + kTile - 1) / kTile;
   ctx.ParallelFor(rows * num_tiles, 1, [&](std::int64_t lo, std::int64_t hi) {
+    alignas(32) float panel[kTile];
     for (std::int64_t task = lo; task < hi; ++task) {
       const auto row = static_cast<std::size_t>(task / num_tiles);
       const f16* w = WeightForRow(a, static_cast<std::int64_t>(row));
       if (w == nullptr) continue;
       const int j_lo = static_cast<int>(task % num_tiles) * kTile;
       const int j_hi = std::min(a.h_out, j_lo + kTile);
+      const auto tile_w = static_cast<std::size_t>(j_hi - j_lo);
       const float* xr = &a.x[row * static_cast<std::size_t>(a.h_in)];
       float* yr = &a.y[row * static_cast<std::size_t>(a.h_out)];
-      for (int j = j_lo; j < j_hi; ++j) {
-        float acc = 0.0f;
-        for (int kk = 0; kk < a.h_in; ++kk) {
-          acc += xr[kk] * w[static_cast<std::size_t>(kk) *
-                                static_cast<std::size_t>(a.h_out) +
-                            static_cast<std::size_t>(j)]
-                              .ToFloat();
-        }
-        yr[j] += acc;
+      std::fill(panel, panel + tile_w, 0.0f);
+      for (int kk = 0; kk < a.h_in; ++kk) {
+        ops.axpy_f16(xr[kk],
+                     &w[static_cast<std::size_t>(kk) *
+                            static_cast<std::size_t>(a.h_out) +
+                        static_cast<std::size_t>(j_lo)],
+                     panel, tile_w);
       }
+      ops.axpy_f32(1.0f, panel, yr + j_lo, tile_w);
     }
   });
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/simd.h"
 #include "util/check.h"
 
 namespace punica {
@@ -12,11 +13,14 @@ namespace {
 // Online-softmax single-query attention over cache positions [0, kv_len) of
 // one sequence, one query head. This is the streaming formulation
 // FlashAttention/FlashInfer use: one pass, running max and normaliser, no
-// score materialisation.
+// score materialisation. Per position, the K/V page entries are decoded in
+// bulk inside the fused SIMD ops: dot_f16 for the q·k score (decode + FMA
+// in one pass over head_dim) and scale_add_f16 for the V accumulation.
 void AttendOneHead(const PagedKvCache& kv, SeqId seq, int layer, int kv_head,
                    int head_dim, std::int64_t kv_len,
                    std::span<const float> q_head, std::span<float> out_head,
                    float scale) {
+  const SimdOps& ops = Simd();
   float running_max = -INFINITY;
   float normaliser = 0.0f;
   std::vector<float> acc(static_cast<std::size_t>(head_dim), 0.0f);
@@ -24,22 +28,16 @@ void AttendOneHead(const PagedKvCache& kv, SeqId seq, int layer, int kv_head,
                          static_cast<std::size_t>(head_dim);
   for (std::int64_t pos = 0; pos < kv_len; ++pos) {
     auto k_entry = kv.Entry(seq, layer, pos, KvSlot::kKey);
-    float score = 0.0f;
-    for (int d = 0; d < head_dim; ++d) {
-      score += q_head[static_cast<std::size_t>(d)] *
-               k_entry[head_off + static_cast<std::size_t>(d)].ToFloat();
-    }
-    score *= scale;
+    float score = ops.dot_f16(q_head.data(), k_entry.data() + head_off,
+                              static_cast<std::size_t>(head_dim)) *
+                  scale;
     float new_max = std::max(running_max, score);
     float correction = std::exp(running_max - new_max);
     float p = std::exp(score - new_max);
     normaliser = normaliser * correction + p;
     auto v_entry = kv.Entry(seq, layer, pos, KvSlot::kValue);
-    for (int d = 0; d < head_dim; ++d) {
-      acc[static_cast<std::size_t>(d)] =
-          acc[static_cast<std::size_t>(d)] * correction +
-          p * v_entry[head_off + static_cast<std::size_t>(d)].ToFloat();
-    }
+    ops.scale_add_f16(acc.data(), correction, p, v_entry.data() + head_off,
+                      static_cast<std::size_t>(head_dim));
     running_max = new_max;
   }
   float inv = normaliser > 0.0f ? 1.0f / normaliser : 0.0f;

@@ -203,12 +203,12 @@ void LayerForward(const LlamaConfig& config, const LayerWeights& weights,
                 config.num_kv_heads, config.head_dim(), pos,
                 config.rope_theta);
       SeqId seq = batch.row_seq[static_cast<std::size_t>(t)];
-      auto k_entry = kv.Entry(seq, layer, pos, KvSlot::kKey);
-      auto v_entry = kv.Entry(seq, layer, pos, KvSlot::kValue);
-      for (std::size_t d = 0; d < kvd; ++d) {
-        k_entry[d] = f16(ws.k[static_cast<std::size_t>(t) * kvd + d]);
-        v_entry[d] = f16(ws.v[static_cast<std::size_t>(t) * kvd + d]);
-      }
+      FloatToHalfN(std::span<const float>(ws.k).subspan(
+                       static_cast<std::size_t>(t) * kvd, kvd),
+                   kv.Entry(seq, layer, pos, KvSlot::kKey));
+      FloatToHalfN(std::span<const float>(ws.v).subspan(
+                       static_cast<std::size_t>(t) * kvd, kvd),
+                   kv.Entry(seq, layer, pos, KvSlot::kValue));
     }
   });
 

@@ -74,9 +74,8 @@ Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
   ctx_->ParallelFor(tokens, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t t = lo; t < hi; ++t) {
       auto row = embedding_.row(token_ids[static_cast<std::size_t>(t)]);
-      for (std::size_t d = 0; d < h; ++d) {
-        x[static_cast<std::size_t>(t) * h + d] = row[d].ToFloat();
-      }
+      HalfToFloatN(row, std::span<float>(x).subspan(
+                            static_cast<std::size_t>(t) * h, h));
     }
   });
 

@@ -154,10 +154,12 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
       auto k_entry = kv.Entry(seq, layer_idx, pos, KvSlot::kKey);
       auto v_entry = kv.Entry(seq, layer_idx, pos, KvSlot::kValue);
       std::size_t off = static_cast<std::size_t>(r) * kv_w;
-      for (std::size_t i = 0; i < kv_w; ++i) {
-        k_entry[off + i] = f16(k[static_cast<std::size_t>(t) * kv_w + i]);
-        v_entry[off + i] = f16(v[static_cast<std::size_t>(t) * kv_w + i]);
-      }
+      FloatToHalfN(std::span<const float>(k).subspan(
+                       static_cast<std::size_t>(t) * kv_w, kv_w),
+                   k_entry.subspan(off, kv_w));
+      FloatToHalfN(std::span<const float>(v).subspan(
+                       static_cast<std::size_t>(t) * kv_w, kv_w),
+                   v_entry.subspan(off, kv_w));
     }
 
     // Attention over this rank's query heads (no communication needed).

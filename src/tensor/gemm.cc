@@ -4,6 +4,7 @@
 #include <cmath>
 #include <type_traits>
 
+#include "tensor/simd.h"
 #include "util/check.h"
 
 namespace punica {
@@ -21,8 +22,15 @@ inline std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
   return (a + b - 1) / b;
 }
 
-// Shared blocked micro-kernel: y[rb, jt] (+)= x[rb, :] @ w[:, jt] with the
-// reduction in ascending-k order. WElem is float or f16.
+// Shared blocked micro-kernel: y[rb, jt] (+)= x[rb, :] @ w[:, jt] with each
+// element's reduction in ascending-k order. WElem is float or f16. An f16
+// W k-stripe of the tile is decoded into a task-local panel once per row
+// block and reused by all kRowBlock rows (the scalar kernel used to re-decode
+// it per row); the j loop is a SIMD axpy across independent output columns,
+// which leaves every element's summation order untouched. No sparsity
+// branch here: on the dense activations this path serves, testing every
+// x value poisons the vector inner loop and mispredicts — row-granular
+// skipping lives in GemvAccF16W where a hit elides a whole stripe.
 template <typename WElem, bool kAccumulate>
 void GemmBlocked(std::span<const float> x, std::span<const WElem> w,
                  std::span<float> y, int m, int k, int n,
@@ -32,34 +40,51 @@ void GemmBlocked(std::span<const float> x, std::span<const WElem> w,
   PUNICA_CHECK(y.size() == static_cast<std::size_t>(m) * n);
   if (m == 0 || n == 0) return;
 
+  const SimdOps& ops = Simd();
   const std::int64_t row_blocks = CeilDiv(m, kRowBlock);
   const std::int64_t col_tiles = CeilDiv(n, kColTile);
   ctx.ParallelFor(row_blocks * col_tiles, 1, [&](std::int64_t lo,
                                                  std::int64_t hi) {
+    alignas(32) float panel[kColTile];
     for (std::int64_t task = lo; task < hi; ++task) {
       const int i_lo = static_cast<int>(task / col_tiles) * kRowBlock;
       const int i_hi = std::min(m, i_lo + kRowBlock);
       const int j_lo = static_cast<int>(task % col_tiles) * kColTile;
       const int j_hi = std::min(n, j_lo + kColTile);
+      const auto tile_w = static_cast<std::size_t>(j_hi - j_lo);
       if constexpr (!kAccumulate) {
         for (int i = i_lo; i < i_hi; ++i) {
           float* yi = &y[static_cast<std::size_t>(i) * n];
           std::fill(yi + j_lo, yi + j_hi, 0.0f);
         }
       }
-      for (int p = 0; p < k; ++p) {
-        const WElem* wp = &w[static_cast<std::size_t>(p) * n];
-        for (int i = i_lo; i < i_hi; ++i) {
-          float xv = x[static_cast<std::size_t>(i) * k + p];
-          if (xv == 0.0f) continue;
-          float* yi = &y[static_cast<std::size_t>(i) * n];
-          for (int j = j_lo; j < j_hi; ++j) {
-            if constexpr (std::is_same_v<WElem, f16>) {
-              yi[j] += xv * wp[j].ToFloat();
-            } else {
-              yi[j] += xv * wp[j];
-            }
+      if constexpr (std::is_same_v<WElem, f16>) {
+        // Single-row block (m == 1 projections, row-count tails): the panel
+        // round-trip only pays when rows share the decode, so fuse decode
+        // and FMA into one pass — the identical operation sequence, hence
+        // identical bits on both dispatch paths.
+        if (i_hi - i_lo == 1) {
+          const float* xi = &x[static_cast<std::size_t>(i_lo) * k];
+          float* yi = &y[static_cast<std::size_t>(i_lo) * n + j_lo];
+          for (int p = 0; p < k; ++p) {
+            ops.axpy_f16(xi[p], &w[static_cast<std::size_t>(p) * n + j_lo],
+                         yi, tile_w);
           }
+          continue;
+        }
+      }
+      for (int p = 0; p < k; ++p) {
+        const WElem* wp = &w[static_cast<std::size_t>(p) * n + j_lo];
+        const float* wf;
+        if constexpr (std::is_same_v<WElem, f16>) {
+          ops.half_to_float_n(wp, panel, tile_w);
+          wf = panel;
+        } else {
+          wf = wp;
+        }
+        for (int i = i_lo; i < i_hi; ++i) {
+          ops.axpy_f32(x[static_cast<std::size_t>(i) * k + p], wf,
+                       &y[static_cast<std::size_t>(i) * n + j_lo], tile_w);
         }
       }
     }
@@ -89,7 +114,28 @@ void GemmAccF16W(std::span<const float> x, std::span<const f16> w,
 void GemvAccF16W(std::span<const float> x, std::span<const f16> w,
                  std::span<float> y, int k, int n,
                  const ComputeContext& ctx) {
-  GemmBlocked<f16, /*kAccumulate=*/true>(x, w, y, 1, k, n, ctx);
+  PUNICA_CHECK(x.size() == static_cast<std::size_t>(k));
+  PUNICA_CHECK(w.size() == static_cast<std::size_t>(k) * n);
+  PUNICA_CHECK(y.size() == static_cast<std::size_t>(n));
+  if (n == 0) return;
+  const SimdOps& ops = Simd();
+  const std::int64_t col_tiles = CeilDiv(n, kColTile);
+  ctx.ParallelFor(col_tiles, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t tile = lo; tile < hi; ++tile) {
+      const int j_lo = static_cast<int>(tile) * kColTile;
+      const int j_hi = std::min(n, j_lo + kColTile);
+      const auto tile_w = static_cast<std::size_t>(j_hi - j_lo);
+      for (int p = 0; p < k; ++p) {
+        const float xv = x[static_cast<std::size_t>(p)];
+        // Row-granular sparsity skip: with one x row, a zero activation
+        // elides the decode + FMA of an entire W stripe, which pays (unlike
+        // the per-row test inside the dense GEMM block).
+        if (xv == 0.0f) continue;
+        ops.axpy_f16(xv, &w[static_cast<std::size_t>(p) * n + j_lo],
+                     &y[static_cast<std::size_t>(j_lo)], tile_w);
+      }
+    }
+  });
 }
 
 void SoftmaxInPlace(std::span<float> row) {

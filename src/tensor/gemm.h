@@ -9,7 +9,11 @@
 //
 // Determinism: every output element is produced by exactly one worker with
 // the reduction (k) loop in fixed ascending order, so results are
-// bit-identical for any thread count and any tile partition.
+// bit-identical for any thread count and any tile partition. The inner
+// loops run on the runtime-dispatched SIMD layer (tensor/simd.h),
+// vectorized across independent output columns — which is why the per-
+// element reduction order, and hence this contract, survives
+// vectorization on both dispatch paths.
 //
 // Conventions: row-major; X is [m, k], W is [k, n], Y is [m, n].
 #pragma once
@@ -39,7 +43,11 @@ void GemmAccF16W(std::span<const float> x, std::span<const f16> w,
                  const ComputeContext& ctx = ComputeContext::Default());
 
 /// y += x @ W, single row (matrix-vector; the decode-step shape).
-/// Parallel over column tiles of W.
+/// Parallel over column tiles of W. This is the one kernel that keeps the
+/// sparsity skip: with a single x row, a zero activation elides the decode
+/// and FMA of a whole W stripe (the dense GEMM block dropped the per-row
+/// test — it poisoned the vector inner loop for no win on dense
+/// activations).
 void GemvAccF16W(std::span<const float> x, std::span<const f16> w,
                  std::span<float> y, int k, int n,
                  const ComputeContext& ctx = ComputeContext::Default());

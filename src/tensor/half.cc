@@ -2,7 +2,20 @@
 
 #include <bit>
 
+#include "tensor/simd.h"
+#include "util/check.h"
+
 namespace punica {
+
+void HalfToFloatN(std::span<const f16> src, std::span<float> dst) {
+  PUNICA_CHECK(src.size() == dst.size());
+  Simd().half_to_float_n(src.data(), dst.data(), src.size());
+}
+
+void FloatToHalfN(std::span<const float> src, std::span<f16> dst) {
+  PUNICA_CHECK(src.size() == dst.size());
+  Simd().float_to_half_n(src.data(), dst.data(), src.size());
+}
 
 std::uint16_t FloatToHalfBits(float f) {
   std::uint32_t x = std::bit_cast<std::uint32_t>(f);

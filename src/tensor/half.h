@@ -7,11 +7,22 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace punica {
 
 std::uint16_t FloatToHalfBits(float f);
 float HalfBitsToFloat(std::uint16_t bits);
+
+class f16;
+
+/// Bulk span conversions over contiguous fp16 storage (weight stripes,
+/// KV-cache entries, embedding rows). Runtime-SIMD dispatched: F16C when
+/// the native path is compiled in and the CPU supports it, the scalar loop
+/// otherwise — bit-identical either way for all non-NaN values (both round
+/// to nearest even). Spans must be equal-length.
+void HalfToFloatN(std::span<const f16> src, std::span<float> dst);
+void FloatToHalfN(std::span<const float> src, std::span<f16> dst);
 
 class f16 {
  public:

@@ -1,0 +1,120 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace punica {
+namespace {
+
+// --- Portable scalar path ---
+// These loops are the exact per-element operations the pre-vectorization
+// kernels ran, so PUNICA_SIMD=scalar reproduces those numerics bit-for-bit
+// on finite data. (The kernels themselves no longer skip zero activations
+// on the dense paths — see gemm.cc — which is observable only with
+// non-finite or signed-zero operands that the synthesized weights never
+// produce.)
+
+void HalfToFloatScalar(const f16* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i].ToFloat();
+}
+
+void FloatToHalfScalar(const float* src, f16* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = f16(src[i]);
+}
+
+void AxpyF32Scalar(float a, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void AxpyF16Scalar(float a, const f16* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i].ToFloat();
+}
+
+float DotF16Scalar(const float* a, const f16* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i].ToFloat();
+  return acc;
+}
+
+void ScaleAddF16Scalar(float* acc, float c, float p, const f16* v,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] = acc[i] * c + p * v[i].ToFloat();
+}
+
+constexpr SimdOps kScalarOps = {
+    SimdLevel::kScalar, "scalar",       HalfToFloatScalar, FloatToHalfScalar,
+    AxpyF32Scalar,      AxpyF16Scalar,  DotF16Scalar,      ScaleAddF16Scalar,
+};
+
+bool CpuSupportsNative() {
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+         __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+const SimdOps* OpsFor(SimdLevel level) {
+  if (level == SimdLevel::kNative && NativeSimdAvailable()) {
+    return simd_detail::NativeOpsOrNull();
+  }
+  return &kScalarOps;
+}
+
+SimdLevel LevelFromEnv() {
+  const char* env = std::getenv("PUNICA_SIMD");
+  // Unset: best available ("native" falls back to scalar below when the TU
+  // is absent or the CPU lacks the features).
+  if (env == nullptr || env[0] == '\0') return SimdLevel::kNative;
+  if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(env, "native") == 0) return SimdLevel::kNative;
+  // A typo here would silently invert what the pin was for (e.g. a
+  // reproduction run landing on the vector kernels) — say so once.
+  std::fprintf(stderr,
+               "punica: unrecognized PUNICA_SIMD=\"%s\" (expected \"scalar\" "
+               "or \"native\"); using the default (%s)\n",
+               env, NativeSimdAvailable() ? "native" : "scalar");
+  return SimdLevel::kNative;
+}
+
+std::atomic<const SimdOps*> g_ops{nullptr};
+
+}  // namespace
+
+const SimdOps& Simd() {
+  const SimdOps* ops = g_ops.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // First use: resolve env + cpuid exactly once, then publish. A benign
+    // race publishes the same pointer twice.
+    static const SimdOps* resolved = OpsFor(LevelFromEnv());
+    g_ops.store(resolved, std::memory_order_release);
+    ops = resolved;
+  }
+  return *ops;
+}
+
+SimdLevel ActiveSimdLevel() { return Simd().level; }
+
+const char* SimdLevelName(SimdLevel level) {
+  return level == SimdLevel::kNative ? "native" : "scalar";
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  SimdLevel prev = Simd().level;  // forces initial resolution
+  g_ops.store(OpsFor(level), std::memory_order_release);
+  return prev;
+}
+
+bool NativeSimdCompiled() { return simd_detail::NativeOpsOrNull() != nullptr; }
+
+bool NativeSimdAvailable() {
+  static const bool available = NativeSimdCompiled() && CpuSupportsNative();
+  return available;
+}
+
+}  // namespace punica

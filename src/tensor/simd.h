@@ -1,0 +1,103 @@
+// Runtime-dispatched SIMD primitives for the numeric hot path.
+//
+// Two implementations of one small ops table (SimdOps):
+//  * scalar  — portable C++, compiled everywhere. Bit-identical to the
+//              pre-vectorization kernels (same per-element operation order).
+//  * native  — AVX2+FMA+F16C (src/tensor/simd_avx2.cc), compiled only when
+//              CMake is configured with -DPUNICA_NATIVE_SIMD=ON so every
+//              other translation unit stays portable.
+//
+// Selection: cpuid at first use picks native when the TU was compiled AND
+// the CPU reports avx2+fma+f16c; the PUNICA_SIMD=scalar|native environment
+// variable overrides (native silently falls back to scalar when
+// unavailable); SetSimdLevel() swaps the table at runtime for A/B benching
+// and the scalar-vs-native equivalence tests.
+//
+// Determinism: both paths keep the substrate's contract — the operation
+// order for a given element depends only on its position, never on the
+// thread count. Kernels vectorize across *independent output columns*
+// (axpy/scale_add), so each element's k-reduction stays in ascending order
+// on both paths. Cross-path numerics: f16<->f32 conversions are
+// bit-identical (F16C and the scalar code both round to nearest even);
+// axpy/dot/scale_add differ from scalar by FMA contraction only (the
+// multiply is not rounded separately), plus dot's 8-lane accumulators —
+// bounded, documented in README "Performance", and asserted by
+// tests/tensor/simd_test.cc.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/half.h"
+
+namespace punica {
+
+enum class SimdLevel { kScalar = 0, kNative = 1 };
+
+/// The dispatch table. One instance per implementation; kernels grab the
+/// active table once per invocation (`const SimdOps& ops = Simd();`) and
+/// call through it in their inner loops.
+struct SimdOps {
+  SimdLevel level;
+  const char* name;
+
+  /// dst[0..n) = decode(src[0..n))  — exact, bit-identical across paths.
+  void (*half_to_float_n)(const f16* src, float* dst, std::size_t n);
+  /// dst[0..n) = round_to_nearest_even_f16(src[0..n)) — bit-identical
+  /// across paths for all non-NaN inputs (NaN payloads may differ).
+  void (*float_to_half_n)(const float* src, f16* dst, std::size_t n);
+  /// y[0..n) += a * x[0..n)  (exact when a == 1.0f, FMA-contracted
+  /// otherwise on the native path).
+  void (*axpy_f32)(float a, const float* x, float* y, std::size_t n);
+  /// y[0..n) += a * decode(x[0..n))  — fused decode + axpy, one pass.
+  void (*axpy_f16)(float a, const f16* x, float* y, std::size_t n);
+  /// Σ_i a[i] * decode(b[i]). Native uses 8 lane accumulators reduced in a
+  /// fixed shuffle order — deterministic, but a different summation order
+  /// than scalar.
+  float (*dot_f16)(const float* a, const f16* b, std::size_t n);
+  /// acc[0..n) = acc[0..n) * c + p * decode(v[0..n)) — the online-softmax
+  /// V accumulation step.
+  void (*scale_add_f16)(float* acc, float c, float p, const f16* v,
+                        std::size_t n);
+};
+
+/// The active table. First call resolves PUNICA_SIMD / cpuid; later calls
+/// are one atomic load.
+const SimdOps& Simd();
+
+SimdLevel ActiveSimdLevel();
+const char* SimdLevelName(SimdLevel level);
+
+/// Swaps the active table (process-wide). Returns the previously active
+/// level. Requesting kNative when unavailable resolves to kScalar. Not
+/// synchronised against kernels already running on pool workers — switch
+/// between kernel invocations, as the benches and tests do.
+SimdLevel SetSimdLevel(SimdLevel level);
+
+/// RAII guard forcing a dispatch level for a scope — the seam the
+/// scalar-vs-native equivalence tests and the A/B benches switch on.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : prev_(SetSimdLevel(level)) {}
+  ~ScopedSimdLevel() { SetSimdLevel(prev_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  SimdLevel prev_;
+};
+
+/// True when the AVX2+FMA+F16C translation unit was compiled in
+/// (CMake -DPUNICA_NATIVE_SIMD=ON).
+bool NativeSimdCompiled();
+/// True when the native TU is compiled AND cpuid reports avx2+fma+f16c.
+/// (One-off conversion call sites want the span HalfToFloatN/FloatToHalfN
+/// in tensor/half.h; kernels hoist the table and call through it.)
+bool NativeSimdAvailable();
+
+namespace simd_detail {
+/// Defined by simd_avx2.cc: the native table, or nullptr when that TU was
+/// compiled without PUNICA_NATIVE_SIMD (the portable default).
+const SimdOps* NativeOpsOrNull();
+}  // namespace simd_detail
+
+}  // namespace punica

@@ -1,0 +1,120 @@
+// The native SIMD path: AVX2 + FMA + F16C, 256-bit f32 lanes.
+//
+// This is the only translation unit in the build that may use the x86
+// vector extensions. CMake compiles it with -mavx2 -mfma -mf16c and defines
+// PUNICA_NATIVE_SIMD when configured with -DPUNICA_NATIVE_SIMD=ON; in the
+// default portable build the file compiles to a stub returning nullptr and
+// dispatch stays scalar. Runtime cpuid (simd.cc) keeps a native-enabled
+// binary safe on CPUs without the features.
+//
+// Determinism: every loop below is a fixed sequence for a given (pointer,
+// n) — full 8-lane bodies in ascending order, then a scalar tail (std::fma,
+// matching the vector body's contraction). dot's lane accumulators reduce
+// in one fixed shuffle order. No operation order ever depends on the
+// thread count.
+#include "tensor/simd.h"
+
+#if defined(PUNICA_NATIVE_SIMD) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace punica {
+namespace {
+
+inline __m128i LoadHalf8(const f16* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+void HalfToFloatAvx(const f16* src, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(LoadHalf8(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = src[i].ToFloat();
+}
+
+void FloatToHalfAvx(const float* src, f16* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(src + i),
+                                _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  for (; i < n; ++i) dst[i] = f16(src[i]);
+}
+
+void AxpyF32Avx(float a, const float* x, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), vy));
+  }
+  for (; i < n; ++i) y[i] = std::fma(a, x[i], y[i]);
+}
+
+void AxpyF16Avx(float a, const f16* x, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 vx = _mm256_cvtph_ps(LoadHalf8(x + i));
+    __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, vx, vy));
+  }
+  for (; i < n; ++i) y[i] = std::fma(a, x[i].ToFloat(), y[i]);
+}
+
+float DotF16Avx(const float* a, const f16* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 vb = _mm256_cvtph_ps(LoadHalf8(b + i));
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), vb, acc);
+  }
+  // Fixed-order horizontal reduction: (lo+hi) pairs, then within the 128-bit
+  // half.
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(acc),
+                        _mm256_extractf128_ps(acc, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  float sum = _mm_cvtss_f32(s);
+  for (; i < n; ++i) sum = std::fma(a[i], b[i].ToFloat(), sum);
+  return sum;
+}
+
+void ScaleAddF16Avx(float* acc, float c, float p, const f16* v,
+                    std::size_t n) {
+  const __m256 vc = _mm256_set1_ps(c);
+  const __m256 vp = _mm256_set1_ps(p);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 va = _mm256_mul_ps(_mm256_loadu_ps(acc + i), vc);
+    __m256 vv = _mm256_cvtph_ps(LoadHalf8(v + i));
+    _mm256_storeu_ps(acc + i, _mm256_fmadd_ps(vp, vv, va));
+  }
+  for (; i < n; ++i) acc[i] = std::fma(p, v[i].ToFloat(), acc[i] * c);
+}
+
+constexpr SimdOps kNativeOps = {
+    SimdLevel::kNative, "native",    HalfToFloatAvx, FloatToHalfAvx,
+    AxpyF32Avx,         AxpyF16Avx,  DotF16Avx,      ScaleAddF16Avx,
+};
+
+}  // namespace
+
+namespace simd_detail {
+const SimdOps* NativeOpsOrNull() { return &kNativeOps; }
+}  // namespace simd_detail
+
+}  // namespace punica
+
+#else  // portable build: no native table
+
+namespace punica::simd_detail {
+const SimdOps* NativeOpsOrNull() { return nullptr; }
+}  // namespace punica::simd_detail
+
+#endif

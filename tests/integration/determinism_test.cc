@@ -18,6 +18,7 @@
 #include "runtime/engine.h"
 #include "runtime/engine_backend.h"
 #include "sched/cluster.h"
+#include "tensor/simd.h"
 #include "util/compute_context.h"
 
 namespace punica {
@@ -91,7 +92,9 @@ std::vector<std::vector<std::int32_t>> RunScenario(const ComputeContext& ctx) {
   return streams;
 }
 
-TEST(DeterminismTest, TokenStreamsBitIdenticalAcrossThreadCounts) {
+/// The thread-count sweep: runs the scenario under PUNICA_THREADS=1, 4 and
+/// the hardware default and asserts every stream is bit-identical.
+void ExpectStreamsBitIdenticalAcrossThreadCounts() {
   // PUNICA_THREADS resolution is part of the contract under test: build
   // contexts via the env var, restoring the ambient value afterwards (CI
   // pins it for the whole test process).
@@ -119,6 +122,27 @@ TEST(DeterminismTest, TokenStreamsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(streams1[i], streams_hw[i])
         << "request " << i << " diverged between 1 and hardware threads";
   }
+}
+
+TEST(DeterminismTest, TokenStreamsBitIdenticalAcrossThreadCounts) {
+  // Ambient dispatch path (PUNICA_SIMD / cpuid), i.e. whatever this process
+  // actually serves with.
+  ExpectStreamsBitIdenticalAcrossThreadCounts();
+}
+
+TEST(DeterminismTest, TokenStreamsBitIdenticalAcrossThreadCountsScalarSimd) {
+  ScopedSimdLevel guard(SimdLevel::kScalar);
+  ExpectStreamsBitIdenticalAcrossThreadCounts();
+}
+
+TEST(DeterminismTest, TokenStreamsBitIdenticalAcrossThreadCountsNativeSimd) {
+  // The vectorized kernels must uphold the same contract: vector-across-
+  // columns keeps each element's reduction order fixed, so thread count
+  // still never changes a bit. Skipped (not silently passed) when the
+  // native TU isn't in the build — the Release CI job compiles it in.
+  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
+  ScopedSimdLevel guard(SimdLevel::kNative);
+  ExpectStreamsBitIdenticalAcrossThreadCounts();
 }
 
 /// Steps an engine `steps` times, then cancels the request and returns its

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/simd.h"
 #include "util/rng.h"
 
 namespace punica {
@@ -126,22 +127,35 @@ TEST(GemmEdgeTest, NonMultipleOfTileSizes) {
   auto x = RandomGaussianVector(static_cast<std::size_t>(m) * k, 1.0f, rng);
   auto wf = RandomGaussianVector(static_cast<std::size_t>(k) * n, 0.1f, rng);
   auto w = ToHalf(wf);
-  std::vector<float> y(static_cast<std::size_t>(m) * n, 0.0f);
-  GemmAccF16W(x, w, y, m, k, n);
-  // Naive reference with the same ascending-k order — results must be
-  // bit-identical, not just close.
-  std::vector<float> ref(y.size(), 0.0f);
+  // Naive reference with the same ascending-k order.
+  std::vector<float> ref(static_cast<std::size_t>(m) * n, 0.0f);
   for (int i = 0; i < m; ++i) {
     for (int p = 0; p < k; ++p) {
       float xv = x[static_cast<std::size_t>(i) * k + p];
-      if (xv == 0.0f) continue;
       for (int j = 0; j < n; ++j) {
         ref[static_cast<std::size_t>(i) * n + j] +=
             xv * w[static_cast<std::size_t>(p) * n + j].ToFloat();
       }
     }
   }
-  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], ref[i]);
+  {
+    // Scalar dispatch runs exactly the reference's per-element operations —
+    // results must be bit-identical, not just close.
+    ScopedSimdLevel scalar(SimdLevel::kScalar);
+    std::vector<float> y(ref.size(), 0.0f);
+    GemmAccF16W(x, w, y, m, k, n);
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], ref[i]);
+  }
+  if (NativeSimdAvailable()) {
+    // Native differs only by FMA contraction (one rounding per multiply);
+    // the dispatch-seam tolerance is asserted tightly in simd_test.cc.
+    ScopedSimdLevel native(SimdLevel::kNative);
+    std::vector<float> y(ref.size(), 0.0f);
+    GemmAccF16W(x, w, y, m, k, n);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_NEAR(y[i], ref[i], 1e-4f * (1.0f + std::abs(ref[i])));
+    }
+  }
 }
 
 TEST(GemmEdgeTest, BitIdenticalAcrossThreadCounts) {

@@ -1,0 +1,346 @@
+// The SIMD dispatch seam: level resolution/override, bit-exactness of the
+// f16<->f32 bulk conversions across paths, and the scalar-vs-native
+// kernel-equivalence suite with the documented tolerance (bit-identical
+// where no FMA reassociation is involved, bounded FMA-contraction drift
+// elsewhere). When the native TU isn't compiled in (or the CPU lacks
+// avx2+fma+f16c), the cross-path tests skip — the Release CI job builds
+// with -DPUNICA_NATIVE_SIMD=ON so they run there.
+#include "tensor/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sgmv.h"
+#include "kvcache/kvcache.h"
+#include "model/attention.h"
+#include "model/config.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+#include "util/compute_context.h"
+#include "util/rng.h"
+
+namespace punica {
+namespace {
+
+bool IsNanHalf(std::uint16_t bits) {
+  return (bits & 0x7C00U) == 0x7C00U && (bits & 0x3FFU) != 0;
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysSelectable) {
+  ScopedSimdLevel guard(SimdLevel::kScalar);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  EXPECT_STREQ(Simd().name, "scalar");
+}
+
+TEST(SimdDispatchTest, NativeSelectionFallsBackWhenUnavailable) {
+  ScopedSimdLevel guard(SimdLevel::kNative);
+  if (NativeSimdAvailable()) {
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kNative);
+    EXPECT_STREQ(Simd().name, "native");
+  } else {
+    // Requesting native without the TU/CPU support degrades to scalar
+    // rather than crashing — the PUNICA_SIMD=native-on-old-hardware case.
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  }
+}
+
+TEST(SimdDispatchTest, SetSimdLevelReturnsPrevious) {
+  SimdLevel ambient = ActiveSimdLevel();
+  SimdLevel prev = SetSimdLevel(SimdLevel::kScalar);
+  EXPECT_EQ(prev, ambient);
+  EXPECT_EQ(SetSimdLevel(ambient), SimdLevel::kScalar);
+  EXPECT_EQ(ActiveSimdLevel(), ambient);
+}
+
+TEST(SimdDispatchTest, LevelNames) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kNative), "native");
+}
+
+TEST(SimdDispatchTest, AvailabilityImpliesCompiled) {
+  if (NativeSimdAvailable()) EXPECT_TRUE(NativeSimdCompiled());
+}
+
+// --- Conversion bit-exactness across dispatch paths ---
+
+TEST(SimdConversionTest, HalfToFloatBitIdenticalForAllNonNanPatterns) {
+  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
+  std::vector<f16> src;
+  src.reserve(1 << 16);
+  for (std::uint32_t bits = 0; bits < (1U << 16); ++bits) {
+    auto b16 = static_cast<std::uint16_t>(bits);
+    // NaN payload handling is the one documented divergence (hardware
+    // quiets signalling NaNs); no kernel produces or consumes NaN halves.
+    if (IsNanHalf(b16)) continue;
+    src.push_back(f16::FromBits(b16));
+  }
+  std::vector<float> scalar_out(src.size()), native_out(src.size());
+  {
+    ScopedSimdLevel guard(SimdLevel::kScalar);
+    HalfToFloatN(src, std::span<float>(scalar_out));
+  }
+  {
+    ScopedSimdLevel guard(SimdLevel::kNative);
+    HalfToFloatN(src, std::span<float>(native_out));
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(scalar_out[i]),
+              std::bit_cast<std::uint32_t>(native_out[i]))
+        << "half bits 0x" << std::hex << src[i].bits();
+  }
+}
+
+TEST(SimdConversionTest, FloatToHalfBitIdenticalAcrossPaths) {
+  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
+  // Every rounding regime: exact halves, perturbed neighbours (round up /
+  // down / to-even ties), fp16 subnormals, underflow, overflow, ±0, ±inf.
+  std::vector<float> src;
+  for (std::uint32_t bits = 0; bits < (1U << 16); ++bits) {
+    auto b16 = static_cast<std::uint16_t>(bits);
+    if (IsNanHalf(b16)) continue;
+    float v = f16::FromBits(b16).ToFloat();
+    src.push_back(v);
+    std::uint32_t f32 = std::bit_cast<std::uint32_t>(v);
+    // Nudge the fp32 mantissa around the value so the dropped-bit patterns
+    // cover above/below/at the rounding boundary.
+    for (std::uint32_t delta : {1U, 0x1000U, 0x1FFFU, 0x2000U, 0x2001U}) {
+      src.push_back(std::bit_cast<float>(f32 + delta));
+      src.push_back(std::bit_cast<float>(f32 ^ delta));
+    }
+  }
+  Pcg32 rng(123);
+  for (int i = 0; i < 4096; ++i) {
+    src.push_back(static_cast<float>(rng.NextGaussian()) * 100.0f);
+  }
+  // Drop NaNs produced by nudging infinity's bit pattern.
+  std::erase_if(src, [](float v) { return std::isnan(v); });
+
+  std::vector<f16> scalar_out(src.size()), native_out(src.size());
+  {
+    ScopedSimdLevel guard(SimdLevel::kScalar);
+    FloatToHalfN(src, std::span<f16>(scalar_out));
+  }
+  {
+    ScopedSimdLevel guard(SimdLevel::kNative);
+    FloatToHalfN(src, std::span<f16>(native_out));
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(scalar_out[i].bits(), native_out[i].bits())
+        << "float " << src[i] << " (bits 0x" << std::hex
+        << std::bit_cast<std::uint32_t>(src[i]) << ")";
+  }
+}
+
+TEST(SimdConversionTest, OddLengthsExerciseVectorBodyAndTail) {
+  // Lengths straddling the 8-lane width, on whatever path is active.
+  Pcg32 rng(9);
+  for (std::size_t n : {0U, 1U, 7U, 8U, 9U, 16U, 17U, 31U}) {
+    auto xs = RandomGaussianVector(n, 2.0f, rng);
+    std::vector<f16> h(n);
+    std::vector<float> back(n);
+    FloatToHalfN(xs, std::span<f16>(h));
+    HalfToFloatN(h, std::span<float>(back));
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(h[i].bits(), FloatToHalfBits(xs[i])) << n << ":" << i;
+      ASSERT_EQ(back[i], f16::FromBits(h[i].bits()).ToFloat());
+    }
+  }
+}
+
+// --- Scalar-vs-native kernel equivalence ---
+//
+// Documented cross-path tolerance: the native path fuses each
+// multiply-accumulate (no separate rounding of the product) and dot_f16
+// reduces 8 lane accumulators in a fixed order, so outputs drift by at
+// most a few ULPs per reduction term. The bound below is loose against
+// that model and tight against a real bug (a wrong element, stripe or sign
+// is orders of magnitude larger).
+constexpr float kPathTolerance = 2e-4f;
+
+bool WithinPathTolerance(float a, float b) {
+  return std::abs(a - b) <= kPathTolerance * (1.0f + std::abs(a) +
+                                              std::abs(b));
+}
+
+enum class KernelUnderTest {
+  kGemmSetF16W,
+  kGemmAccF16W,
+  kGemmSetF32,
+  kGemvAccF16W,
+  kSgmvShrink,
+  kSgmvExpand,
+  kPrefillAttention,
+  kDecodeAttention,
+};
+
+const char* KernelName(KernelUnderTest k) {
+  switch (k) {
+    case KernelUnderTest::kGemmSetF16W: return "GemmSetF16W";
+    case KernelUnderTest::kGemmAccF16W: return "GemmAccF16W";
+    case KernelUnderTest::kGemmSetF32: return "GemmSetF32";
+    case KernelUnderTest::kGemvAccF16W: return "GemvAccF16W";
+    case KernelUnderTest::kSgmvShrink: return "SgmvShrink";
+    case KernelUnderTest::kSgmvExpand: return "SgmvExpand";
+    case KernelUnderTest::kPrefillAttention: return "PrefillAttention";
+    case KernelUnderTest::kDecodeAttention: return "DecodeAttention";
+  }
+  return "?";
+}
+
+// Runs one kernel on a fixed seeded problem (shapes straddle the tile and
+// lane widths) and returns its full output vector.
+std::vector<float> RunKernel(KernelUnderTest kernel) {
+  Pcg32 rng(2027);
+  ComputeContext ctx({.num_threads = 2});
+  switch (kernel) {
+    case KernelUnderTest::kGemmSetF16W:
+    case KernelUnderTest::kGemmAccF16W:
+    case KernelUnderTest::kGemmSetF32: {
+      const int m = 9, k = 67, n = 131;
+      auto x = RandomGaussianVector(static_cast<std::size_t>(m) * k, 1.0f,
+                                    rng);
+      auto wf = RandomGaussianVector(static_cast<std::size_t>(k) * n, 0.1f,
+                                     rng);
+      std::vector<float> y(static_cast<std::size_t>(m) * n, 0.25f);
+      if (kernel == KernelUnderTest::kGemmSetF32) {
+        GemmSet(x, wf, y, m, k, n, ctx);
+        return y;
+      }
+      std::vector<f16> w(wf.size());
+      for (std::size_t i = 0; i < wf.size(); ++i) w[i] = f16(wf[i]);
+      if (kernel == KernelUnderTest::kGemmSetF16W) {
+        GemmSetF16W(x, w, y, m, k, n, ctx);
+      } else {
+        GemmAccF16W(x, w, y, m, k, n, ctx);
+      }
+      return y;
+    }
+    case KernelUnderTest::kGemvAccF16W: {
+      const int k = 300, n = 157;
+      auto x = RandomGaussianVector(static_cast<std::size_t>(k), 1.0f, rng);
+      auto wf = RandomGaussianVector(static_cast<std::size_t>(k) * n, 0.1f,
+                                     rng);
+      std::vector<f16> w(wf.size());
+      for (std::size_t i = 0; i < wf.size(); ++i) w[i] = f16(wf[i]);
+      std::vector<float> y(static_cast<std::size_t>(n), -0.5f);
+      GemvAccF16W(x, w, y, k, n, ctx);
+      return y;
+    }
+    case KernelUnderTest::kSgmvShrink:
+    case KernelUnderTest::kSgmvExpand: {
+      const bool expand = kernel == KernelUnderTest::kSgmvExpand;
+      const int h_in = expand ? 16 : 517, h_out = expand ? 517 : 16;
+      std::vector<std::int32_t> seg = {0, 3, 3, 7};  // one empty segment
+      Tensor<f16> w1({h_in, h_out}), w2({h_in, h_out});
+      for (auto& v : w1.data()) {
+        v = f16(static_cast<float>(rng.NextGaussian()) * 0.05f);
+      }
+      for (auto& v : w2.data()) {
+        v = f16(static_cast<float>(rng.NextGaussian()) * 0.05f);
+      }
+      std::vector<const f16*> ptrs = {w1.raw(), nullptr, w2.raw()};
+      auto x = RandomGaussianVector(7 * static_cast<std::size_t>(h_in), 1.0f,
+                                    rng);
+      std::vector<float> y(7 * static_cast<std::size_t>(h_out), 0.125f);
+      SgmvArgs args{y, x, ptrs, seg, h_in, h_out};
+      if (expand) {
+        SgmvExpand(args, ctx);
+      } else {
+        SgmvShrink(args, ctx);
+      }
+      return y;
+    }
+    case KernelUnderTest::kPrefillAttention:
+    case KernelUnderTest::kDecodeAttention: {
+      LlamaConfig c = TinyLlama();
+      KvCacheConfig kvc{.num_layers = 1,
+                        .num_kv_heads = c.num_kv_heads,
+                        .head_dim = c.head_dim(),
+                        .page_size = 16,
+                        .num_pages = 64};
+      PagedKvCache kv(kvc);
+      const std::int64_t len = 37;
+      SeqId s = kv.CreateSequence();
+      kv.Extend(s, len);
+      for (std::int64_t pos = 0; pos < len; ++pos) {
+        for (auto slot : {KvSlot::kKey, KvSlot::kValue}) {
+          auto e = kv.Entry(s, 0, pos, slot);
+          for (auto& v : e) {
+            v = f16(static_cast<float>(rng.NextGaussian()) * 0.3f);
+          }
+        }
+      }
+      std::size_t width = static_cast<std::size_t>(c.num_heads) *
+                          static_cast<std::size_t>(c.head_dim());
+      if (kernel == KernelUnderTest::kDecodeAttention) {
+        std::vector<SeqId> seqs = {s};
+        auto q = RandomGaussianVector(width, 1.0f, rng);
+        std::vector<float> out(width);
+        BatchDecodeAttention(c, kv, seqs, 0, q, out, ctx);
+        return out;
+      }
+      const std::int64_t chunk = 5;
+      auto q = RandomGaussianVector(static_cast<std::size_t>(chunk) * width,
+                                    1.0f, rng);
+      std::vector<float> out(q.size());
+      BatchPrefillAttention(c, kv, s, 0, len - chunk, q, out, ctx);
+      return out;
+    }
+  }
+  return {};
+}
+
+class SimdKernelEquivalenceTest
+    : public ::testing::TestWithParam<KernelUnderTest> {};
+
+TEST_P(SimdKernelEquivalenceTest, ScalarVsNativeWithinTolerance) {
+  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
+  std::vector<float> scalar_out, native_out;
+  {
+    ScopedSimdLevel guard(SimdLevel::kScalar);
+    scalar_out = RunKernel(GetParam());
+  }
+  {
+    ScopedSimdLevel guard(SimdLevel::kNative);
+    native_out = RunKernel(GetParam());
+  }
+  ASSERT_FALSE(scalar_out.empty());
+  ASSERT_EQ(scalar_out.size(), native_out.size());
+  for (std::size_t i = 0; i < scalar_out.size(); ++i) {
+    ASSERT_PRED2(WithinPathTolerance, scalar_out[i], native_out[i])
+        << KernelName(GetParam()) << " element " << i;
+  }
+}
+
+TEST_P(SimdKernelEquivalenceTest, EachPathBitStableAcrossRuns) {
+  // Within one dispatch path a kernel must be a pure function — rerunning
+  // it (on a pool, with its own task interleaving) reproduces every bit.
+  auto a = RunKernel(GetParam());
+  auto b = RunKernel(GetParam());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << KernelName(GetParam()) << " element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, SimdKernelEquivalenceTest,
+    ::testing::Values(KernelUnderTest::kGemmSetF16W,
+                      KernelUnderTest::kGemmAccF16W,
+                      KernelUnderTest::kGemmSetF32,
+                      KernelUnderTest::kGemvAccF16W,
+                      KernelUnderTest::kSgmvShrink,
+                      KernelUnderTest::kSgmvExpand,
+                      KernelUnderTest::kPrefillAttention,
+                      KernelUnderTest::kDecodeAttention),
+    [](const ::testing::TestParamInfo<KernelUnderTest>& info) {
+      return std::string(KernelName(info.param));
+    });
+
+}  // namespace
+}  // namespace punica
