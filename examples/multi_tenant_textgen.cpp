@@ -2,15 +2,76 @@
 // (Fig. 11) at interactive scale. Simulates 300 requests with ShareGPT-like
 // lengths through five serving systems × four LoRA popularity
 // distributions on a modelled A100, and prints throughput plus why each
-// system behaves the way it does.
+// system behaves the way it does. A second section serves real tenants on
+// the numeric engine to show the shared-prefix KV cache working: pages in
+// use, shared pages and prefix-hit tokens per admission.
 #include <cstdio>
+#include <vector>
 
 #include "baselines/systems.h"
 #include "gpu/specs.h"
+#include "model/llama.h"
+#include "runtime/engine.h"
 #include "util/table.h"
 #include "workload/trace.h"
 
 using namespace punica;
+
+namespace {
+
+/// Real numerics: three tenants, each with its own system prompt, three
+/// requests per tenant. Prints the live cache gauges after every admission
+/// wave.
+void RunNumericSharedPrefixDemo() {
+  std::printf("\nShared-prefix KV cache on the numeric engine "
+              "(tiny Llama, real tokens):\n\n");
+  LlamaModel model(TinyLlama(), /*seed=*/2024);
+  model.AddLora(0, 8, 1);
+  model.AddLora(1, 8, 2);
+  Engine engine(&model, model.MakeKvConfig(/*num_pages=*/128, /*page_size=*/4),
+                EngineConfig{.max_batch_size = 9});
+
+  // Per-tenant system prompts (the tokens every tenant-mate repeats).
+  const std::vector<std::vector<std::int32_t>> system_prompts = {
+      {10, 11, 12, 13, 14, 15, 16, 17, 18, 19},
+      {40, 41, 42, 43, 44, 45, 46, 47},
+      {70, 71, 72, 73, 74, 75, 76, 77, 78, 79, 80, 81},
+  };
+  Table t({"admission", "prefill tokens", "hit tokens", "pages in use",
+           "shared pages"});
+  int wave = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t tenant = 0; tenant < system_prompts.size(); ++tenant) {
+      std::vector<std::int32_t> prompt = system_prompts[tenant];
+      // Each request appends its own user turn after the system prompt.
+      prompt.push_back(static_cast<std::int32_t>(100 + wave));
+      prompt.push_back(static_cast<std::int32_t>(200 + round));
+      engine.AddRequest({.lora = static_cast<LoraId>(tenant % 2),
+                         .prompt_tokens = prompt,
+                         .max_new_tokens = 4});
+      StepResult r = engine.Step();  // the admission's prefill
+      PrefixCacheStats s = engine.prefix_cache_stats();
+      t.AddRow({"tenant-" + std::to_string(tenant) + " req " +
+                    std::to_string(round),
+                std::to_string(r.prefill_tokens),
+                std::to_string(r.prefix_hit_tokens),
+                std::to_string(s.pages_in_use),
+                std::to_string(s.shared_pages)});
+      ++wave;
+    }
+  }
+  while (engine.HasWork()) engine.Step();
+  t.Print();
+  PrefixCacheStats s = engine.prefix_cache_stats();
+  std::printf("\n%s\n", s.Format().c_str());
+  std::printf(
+      "\nRound 0 prefills whole prompts (cold); later rounds prefill only\n"
+      "each request's user turn — the tenant's system prompt is served by\n"
+      "ref-counted page aliasing (the shared-pages gauge). Token streams\n"
+      "are bit-identical to cold-start runs.\n");
+}
+
+}  // namespace
 
 int main() {
   CostModel cm((A100Sxm80GB()));
@@ -54,5 +115,7 @@ int main() {
       "   nearly independent of the popularity distribution.\n"
       " * On Identical, vLLM (running backbone-only, no LoRA math at all)\n"
       "   is slightly ahead — the LoRA addon costs ~2 ms per token.\n");
+
+  RunNumericSharedPrefixDemo();
   return 0;
 }

@@ -52,6 +52,7 @@ SystemTraits TraitsOf(ServingSystem system) {
               .lora_compute = true,
               .cross_lora_batching = true,
               .continuous_batching = true,
+              .prefix_sharing = true,
               .attn_inefficiency = 1.0,
               .extra_layer_overhead_s = 0.0,
               .step_overhead_s = 4e-3};
@@ -85,6 +86,7 @@ struct SimRequest {
   std::int64_t kv_len = 0;
   std::int32_t generated = 0;
   bool prefilled = false;
+  std::int32_t prefix_hit = 0;  ///< prompt tokens served by a shared prefix
   bool Done() const { return generated >= req->output_len; }
 };
 
@@ -96,9 +98,11 @@ StepShape MakeShape(const SystemTraits& traits, const TextGenConfig& cfg,
   shape.lora_rank = cfg.lora_rank;
   std::unordered_map<LoraId, std::int32_t> rows_by_lora;
   for (const SimRequest* s : prefills) {
-    shape.prefill_chunks.push_back(s->req->prompt_len);
+    // A shared-prefix hit prefills only the uncached suffix; attention
+    // still spans the whole prompt (the cost model's prefix-hit term).
+    shape.prefill_chunks.push_back(s->req->prompt_len - s->prefix_hit);
     shape.prefill_kv_lens.push_back(s->req->prompt_len);
-    rows_by_lora[s->req->lora_id] += s->req->prompt_len;
+    rows_by_lora[s->req->lora_id] += s->req->prompt_len - s->prefix_hit;
   }
   for (const SimRequest* s : decodes) {
     shape.decode_kv_lens.push_back(s->kv_len + 1);
@@ -148,6 +152,7 @@ TextGenResult SimulateBatchToCompletion(const SystemTraits& traits,
         s.kv_len = s.req->prompt_len;
         s.generated = 1;
         ++result.tokens_generated;
+        result.prefill_tokens += s.req->prompt_len;
       }
     }
 
@@ -196,6 +201,11 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
   std::size_t idx = 0;
   std::deque<SimRequest> working;
   RunningStat decode_batch;
+  // Shared-prefix cache: tenant groups whose system prompt is resident.
+  // The closed-loop simulator has no KvCache capacity limit, so entries
+  // are never evicted — the single-GPU counterpart of the page-level LRU.
+  const bool share = traits.prefix_sharing && cfg.prefix_cache;
+  std::unordered_map<std::int64_t, std::int32_t> cached;
 
   auto can_admit_lora = [&](LoraId lora) {
     if (traits.cross_lora_batching) return true;
@@ -216,14 +226,27 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
     PUNICA_CHECK(!working.empty());
 
     // One invocation: up to prefill_limit prefills + all decodes.
-    std::vector<const SimRequest*> prefills;
-    std::vector<const SimRequest*> decodes;
+    std::vector<SimRequest*> prefills;
+    std::vector<SimRequest*> decodes;
     for (auto& s : working) {
       if (!s.prefilled &&
           static_cast<int>(prefills.size()) < cfg.prefill_limit) {
         prefills.push_back(&s);
       } else if (s.prefilled) {
         decodes.push_back(&s);
+      }
+    }
+    // Resolve prefix hits at prefill time (a group-mate's earlier prefill
+    // may have registered the prefix since this request arrived).
+    for (SimRequest* s : prefills) {
+      if (!share || s->req->prefix_group < 0 ||
+          s->req->shared_prefix_len <= 0) {
+        continue;
+      }
+      auto it = cached.find(s->req->prefix_group);
+      if (it != cached.end()) {
+        s->prefix_hit = std::min({it->second, s->req->shared_prefix_len,
+                                  s->req->prompt_len - 1});
       }
     }
     StepShape shape = MakeShape(traits, cfg, prefills, decodes);
@@ -243,6 +266,12 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
         s.kv_len = s.req->prompt_len;
         s.generated = 1;
         ++result.tokens_generated;
+        result.prefill_tokens += s.req->prompt_len - s.prefix_hit;
+        result.prefill_tokens_saved += s.prefix_hit;
+        if (share && s.req->prefix_group >= 0 &&
+            s.req->shared_prefix_len > 0) {
+          cached.try_emplace(s.req->prefix_group, s.req->shared_prefix_len);
+        }
       } else if (was_decode) {
         s.kv_len += 1;
         s.generated += 1;

@@ -42,6 +42,10 @@ struct SystemTraits {
   bool lora_compute = false;       ///< pays per-layer LoRA addon cost
   bool cross_lora_batching = false;
   bool continuous_batching = false;  ///< separable KvCache
+  bool prefix_sharing = false;  ///< ref-counted paged KvCache with a prefix
+                                ///< index (Punica); effective only when the
+                                ///< TextGenConfig opts in AND the trace
+                                ///< carries shared prefixes
   double attn_inefficiency = 1.0;  ///< ×on attention (no FlashAttention etc.)
   double extra_layer_overhead_s = 0.0;  ///< unfused elementwise ops
   double step_overhead_s = 4e-3;   ///< per-invocation framework overhead
@@ -54,6 +58,7 @@ struct TextGenConfig {
   int lora_rank = 16;
   int tp_degree = 1;
   int prefill_limit = 1;    ///< prefills per invocation (continuous systems)
+  bool prefix_cache = false;  ///< shared-prefix reuse on capable systems
 };
 
 struct TextGenResult {
@@ -65,6 +70,8 @@ struct TextGenResult {
   double mean_decode_batch = 0.0;  ///< the paper's "batch sizes (1–3)" claim
   std::int64_t wasted_decode_slots = 0;  ///< inseparable-KvCache padding
                                          ///< rows (Fig. 6's waste)
+  std::int64_t prefill_tokens = 0;       ///< prefill rows actually computed
+  std::int64_t prefill_tokens_saved = 0; ///< skipped via shared prefixes
 };
 
 /// Closed-loop single-server simulation: all requests available at t=0,

@@ -106,10 +106,15 @@ double CostModel::AttentionPrefillLatency(
   double kv_bytes = 0.0;
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     // QK^T and PV: 2 GEMMs of [chunk, d] × [d, kv] per head ⇒ 4·chunk·kv·h
-    // FLOP total; causal masking halves the average span.
+    // FLOP total. The chunk occupies the *last* `chunk` positions of the
+    // kv span (a prefix-cache hit prefills only the uncached suffix, so
+    // chunk < kv); token j of the chunk attends causally over
+    // (kv − chunk) + j + 1 positions, averaging (kv − chunk) + (chunk+1)/2.
+    // With chunk == kv this reduces to the classic kv/2 + 1/2 half-span.
     double chunk = chunks[i];
     double kv = static_cast<double>(kv_lens[i]);
-    flop += 4.0 * chunk * (kv * 0.5 + 0.5) * config.hidden_size;
+    flop += 4.0 * chunk * ((kv - chunk) + (chunk + 1.0) * 0.5) *
+            config.hidden_size;
     kv_bytes += kv * 2.0 * config.kv_dim() * 2.0;
   }
   flop /= tp;

@@ -1,5 +1,7 @@
 #include "kvcache/kvcache.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace punica {
@@ -21,28 +23,75 @@ SeqId PagedKvCache::CreateSequence() {
   return id;
 }
 
+SeqId PagedKvCache::ForkFrom(SeqId src, std::int64_t n_tokens) {
+  const SeqState& src_st = GetSeq(src);
+  PUNICA_CHECK(n_tokens >= 0);
+  PUNICA_CHECK_MSG(n_tokens <= src_st.len, "fork beyond source length");
+  SeqState st;
+  st.len = n_tokens;
+  std::int32_t pages = config_.PagesNeeded(n_tokens);
+  st.pages.reserve(static_cast<std::size_t>(pages));
+  for (std::int32_t i = 0; i < pages; ++i) {
+    PageId p = src_st.pages[static_cast<std::size_t>(i)];
+    allocator_.Retain(p);
+    st.pages.push_back(p);
+  }
+  SeqId id = next_seq_++;
+  seqs_.emplace(id, std::move(st));
+  return id;
+}
+
 bool PagedKvCache::Extend(SeqId seq, std::int64_t tokens) {
   PUNICA_CHECK(tokens >= 0);
   SeqState& st = GetSeq(seq);
+  if (tokens == 0) return true;
   std::int64_t new_len = st.len + tokens;
   std::int32_t need = config_.PagesNeeded(new_len);
+
+  // CoW: growth writes into the current tail page when it is partially
+  // filled; if that page is shared, deep-copy it first so shared pages are
+  // never written. The copy is page-granular (all layers, K and V).
+  bool cow = st.len % config_.page_size != 0 &&
+             allocator_.RefCount(st.pages.back()) > 1;
+
+  // Reserve every page this growth needs up front so failure rolls back
+  // cleanly with no partial state.
   std::vector<PageId> newly;
-  while (static_cast<std::int32_t>(st.pages.size() + newly.size()) < need) {
+  std::int32_t grow = need - static_cast<std::int32_t>(st.pages.size());
+  while (static_cast<std::int32_t>(newly.size()) < grow + (cow ? 1 : 0)) {
     auto page = allocator_.Alloc();
     if (!page.has_value()) {
-      for (PageId p : newly) allocator_.Free(p);
+      for (PageId p : newly) allocator_.Release(p);
       return false;
     }
     newly.push_back(*page);
   }
-  st.pages.insert(st.pages.end(), newly.begin(), newly.end());
+
+  std::size_t next = 0;
+  if (cow) {
+    PageId fresh = newly[next++];
+    PageId old = st.pages.back();
+    std::copy_n(storage_.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        static_cast<std::size_t>(old) * config_.page_elems()),
+                static_cast<std::ptrdiff_t>(config_.page_elems()),
+                storage_.begin() +
+                    static_cast<std::ptrdiff_t>(static_cast<std::size_t>(
+                                                    fresh) *
+                                                config_.page_elems()));
+    st.pages.back() = fresh;
+    allocator_.Release(old);
+  }
+  st.pages.insert(st.pages.end(), newly.begin() + static_cast<std::ptrdiff_t>(
+                                                      next),
+                  newly.end());
   st.len = new_len;
   return true;
 }
 
 void PagedKvCache::FreeSequence(SeqId seq) {
   SeqState& st = GetSeq(seq);
-  for (PageId p : st.pages) allocator_.Free(p);
+  for (PageId p : st.pages) allocator_.Release(p);
   seqs_.erase(seq);
 }
 
@@ -54,6 +103,14 @@ std::int64_t PagedKvCache::SeqLen(SeqId seq) const { return GetSeq(seq).len; }
 
 std::int32_t PagedKvCache::SeqPages(SeqId seq) const {
   return static_cast<std::int32_t>(GetSeq(seq).pages.size());
+}
+
+std::int32_t PagedKvCache::PageRefCount(SeqId seq,
+                                        std::int32_t page_idx) const {
+  const SeqState& st = GetSeq(seq);
+  PUNICA_CHECK(page_idx >= 0 &&
+               page_idx < static_cast<std::int32_t>(st.pages.size()));
+  return allocator_.RefCount(st.pages[static_cast<std::size_t>(page_idx)]);
 }
 
 std::size_t PagedKvCache::EntryOffset(const SeqState& st, int layer,
@@ -79,6 +136,10 @@ std::span<f16> PagedKvCache::Entry(SeqId seq, int layer, std::int64_t pos,
                                    KvSlot slot) {
   const SeqState& st = GetSeq(seq);
   std::size_t off = EntryOffset(st, layer, pos, slot);
+  PUNICA_CHECK_MSG(
+      allocator_.RefCount(
+          st.pages[static_cast<std::size_t>(pos / config_.page_size)]) == 1,
+      "write to shared page");
   return std::span<f16>(storage_).subspan(off, config_.token_entry_elems());
 }
 

@@ -8,6 +8,13 @@
 // batch independently — this is what enables continuous batching, unlike the
 // HuggingFace [L, 2, B, N, S, D] layout where requests that enter a batch
 // together must finish together (Fig. 6).
+//
+// Sharing (vLLM-style prefix reuse): ForkFrom creates a sequence whose first
+// n tokens alias another sequence's pages via reference counts — whole
+// shared pages are never copied. Copy-on-write happens at page granularity:
+// a shared page is never written, because Extend on a sequence whose partial
+// tail page is shared deep-copies that one boundary page first. The mutable
+// Entry accessor asserts the invariant.
 #pragma once
 
 #include <cstdint>
@@ -57,12 +64,22 @@ class PagedKvCache {
   /// Creates a sequence with zero tokens. Caller extends it before writing.
   SeqId CreateSequence();
 
-  /// Grows the sequence by `tokens` slots, allocating pages on demand.
-  /// Returns false (and rolls back) when the pool cannot cover the growth —
-  /// the KvCache-pressure signal that triggers migration.
+  /// Creates a sequence whose first `n_tokens` alias `src`'s cached K/V:
+  /// every covering page is shared by refcount (no data moves). Requires
+  /// n_tokens ≤ SeqLen(src). The fork itself never allocates — a partial
+  /// boundary page is deep-copied lazily by the first Extend that would
+  /// write into it (copy-on-write).
+  SeqId ForkFrom(SeqId src, std::int64_t n_tokens);
+
+  /// Grows the sequence by `tokens` slots, allocating pages on demand and
+  /// deep-copying a shared partial tail page first (CoW) so the growth can
+  /// be written. Returns false (and rolls back) when the pool cannot cover
+  /// the growth — the KvCache-pressure signal that triggers prefix-cache
+  /// eviction and then migration.
   bool Extend(SeqId seq, std::int64_t tokens);
 
-  /// Releases all pages of a sequence and forgets it.
+  /// Releases all page references of a sequence and forgets it. Pages still
+  /// aliased by other sequences stay allocated.
   void FreeSequence(SeqId seq);
 
   bool Contains(SeqId seq) const;
@@ -70,10 +87,19 @@ class PagedKvCache {
   std::int32_t SeqPages(SeqId seq) const;
   std::int32_t free_pages() const { return allocator_.free_pages(); }
   std::int32_t used_pages() const { return allocator_.used_pages(); }
+  std::int32_t shared_pages() const { return allocator_.shared_pages(); }
   std::size_t num_sequences() const { return seqs_.size(); }
+  /// Reference count of one of `seq`'s pages (sharing introspection).
+  std::int32_t PageRefCount(SeqId seq, std::int32_t page_idx) const;
+  /// Reference count by physical page id.
+  std::int32_t PageRefCount(PageId page) const {
+    return allocator_.RefCount(page);
+  }
 
   /// Mutable K or V entry for (sequence, layer, token position):
-  /// num_kv_heads·head_dim fp16 values. Position must be < SeqLen.
+  /// num_kv_heads·head_dim fp16 values. Position must be < SeqLen, and the
+  /// covering page must be exclusively owned (the CoW invariant: a shared
+  /// page is never written).
   std::span<f16> Entry(SeqId seq, int layer, std::int64_t pos, KvSlot slot);
   std::span<const f16> Entry(SeqId seq, int layer, std::int64_t pos,
                              KvSlot slot) const;

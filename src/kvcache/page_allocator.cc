@@ -5,7 +5,7 @@
 namespace punica {
 
 PageAllocator::PageAllocator(std::int32_t num_pages)
-    : capacity_(num_pages), allocated_(static_cast<std::size_t>(num_pages)) {
+    : capacity_(num_pages), ref_counts_(static_cast<std::size_t>(num_pages)) {
   PUNICA_CHECK(num_pages >= 0);
   free_list_.reserve(static_cast<std::size_t>(num_pages));
   // Push in reverse so pages are handed out in ascending order, which makes
@@ -19,20 +19,28 @@ std::optional<PageId> PageAllocator::Alloc() {
   if (free_list_.empty()) return std::nullopt;
   PageId p = free_list_.back();
   free_list_.pop_back();
-  allocated_[static_cast<std::size_t>(p)] = true;
+  ref_counts_[static_cast<std::size_t>(p)] = 1;
   return p;
 }
 
-void PageAllocator::Free(PageId page) {
+void PageAllocator::Retain(PageId page) {
   PUNICA_CHECK_MSG(page >= 0 && page < capacity_, "foreign page");
-  PUNICA_CHECK_MSG(allocated_[static_cast<std::size_t>(page)], "double free");
-  allocated_[static_cast<std::size_t>(page)] = false;
-  free_list_.push_back(page);
+  std::int32_t& rc = ref_counts_[static_cast<std::size_t>(page)];
+  PUNICA_CHECK_MSG(rc > 0, "over-retain: page is free");
+  if (++rc == 2) ++shared_pages_;
 }
 
-bool PageAllocator::IsAllocated(PageId page) const {
+void PageAllocator::Release(PageId page) {
+  PUNICA_CHECK_MSG(page >= 0 && page < capacity_, "foreign page");
+  std::int32_t& rc = ref_counts_[static_cast<std::size_t>(page)];
+  PUNICA_CHECK_MSG(rc > 0, "double free");
+  if (rc-- == 2) --shared_pages_;
+  if (rc == 0) free_list_.push_back(page);
+}
+
+std::int32_t PageAllocator::RefCount(PageId page) const {
   PUNICA_CHECK(page >= 0 && page < capacity_);
-  return allocated_[static_cast<std::size_t>(page)];
+  return ref_counts_[static_cast<std::size_t>(page)];
 }
 
 }  // namespace punica

@@ -1,0 +1,162 @@
+#include "kvcache/prefix_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace punica {
+
+PrefixIndex::Match PrefixIndex::Lookup(
+    std::span<const std::int32_t> tokens) const {
+  const Node* node = &root_;
+  std::int64_t depth = 0;
+  for (std::int32_t tok : tokens) {
+    auto it = node->children.find(tok);
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    ++depth;
+  }
+  if (depth == 0 || node->rep < 0) return {};
+  // Every entry in the subtree of the deepest matched node shares the
+  // query's first `depth` tokens, so the representative's holder sequence
+  // covers the match.
+  const Entry& e = GetEntry(node->rep);
+  return {.entry = node->rep, .seq = e.seq, .matched_tokens = depth};
+}
+
+std::optional<std::int64_t> PrefixIndex::FindExact(
+    std::span<const std::int32_t> tokens) const {
+  const Node* node = &root_;
+  for (std::int32_t tok : tokens) {
+    auto it = node->children.find(tok);
+    if (it == node->children.end()) return std::nullopt;
+    node = it->second.get();
+  }
+  if (node == &root_ || node->entry < 0) return std::nullopt;
+  return node->entry;
+}
+
+PrefixIndex::InsertResult PrefixIndex::Insert(
+    std::span<const std::int32_t> tokens, SeqId seq) {
+  PUNICA_CHECK_MSG(!tokens.empty(), "empty prefix");
+  Node* node = &root_;
+  std::vector<Node*> path;
+  path.reserve(tokens.size());
+  for (std::int32_t tok : tokens) {
+    auto it = node->children.find(tok);
+    if (it == node->children.end()) {
+      it = node->children.emplace(tok, std::make_unique<Node>()).first;
+    }
+    node = it->second.get();
+    path.push_back(node);
+  }
+  if (node->entry >= 0) {
+    Touch(node->entry);
+    return {.entry = node->entry, .inserted = false};
+  }
+  std::int64_t id = next_entry_++;
+  Entry e;
+  e.tokens.assign(tokens.begin(), tokens.end());
+  e.seq = seq;
+  e.stamp = clock_++;
+  cached_tokens_ += static_cast<std::int64_t>(tokens.size());
+  entries_.emplace(id, std::move(e));
+  node->entry = id;
+  for (Node* n : path) {
+    if (n->rep < 0 || id < n->rep) n->rep = id;
+  }
+  return {.entry = id, .inserted = true};
+}
+
+void PrefixIndex::Touch(std::int64_t entry) { GetEntry(entry).stamp = clock_++; }
+
+void PrefixIndex::Pin(std::int64_t entry) { ++GetEntry(entry).pins; }
+
+void PrefixIndex::Unpin(std::int64_t entry) {
+  Entry& e = GetEntry(entry);
+  PUNICA_CHECK_MSG(e.pins > 0, "unbalanced unpin");
+  --e.pins;
+}
+
+SeqId PrefixIndex::Erase(std::int64_t entry) {
+  Entry& e = GetEntry(entry);
+  PUNICA_CHECK_MSG(e.pins == 0, "erase of pinned entry");
+  SeqId seq = e.seq;
+
+  // Walk the entry's path, unmark it, prune childless unmarked nodes
+  // bottom-up and recompute subtree representatives for what remains.
+  std::vector<std::pair<Node*, std::int32_t>> path;  // (parent, edge token)
+  Node* node = &root_;
+  for (std::int32_t tok : e.tokens) {
+    path.emplace_back(node, tok);
+    node = node->children.at(tok).get();
+  }
+  PUNICA_CHECK(node->entry == entry);
+  node->entry = -1;
+
+  cached_tokens_ -= static_cast<std::int64_t>(e.tokens.size());
+  entries_.erase(entry);
+
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    Node* parent = it->first;
+    Node* child = parent->children.at(it->second).get();
+    if (child->entry < 0 && child->children.empty()) {
+      parent->children.erase(it->second);
+      continue;
+    }
+    std::int64_t rep = child->entry;
+    for (const auto& [tok, grand] : child->children) {
+      if (rep < 0 || (grand->rep >= 0 && grand->rep < rep)) rep = grand->rep;
+    }
+    child->rep = rep;
+  }
+  {
+    std::int64_t rep = -1;
+    for (const auto& [tok, child] : root_.children) {
+      if (rep < 0 || (child->rep >= 0 && child->rep < rep)) rep = child->rep;
+    }
+    root_.rep = rep;
+  }
+  return seq;
+}
+
+std::optional<std::int64_t> PrefixIndex::LruVictim() const {
+  std::optional<std::int64_t> best;
+  std::uint64_t best_stamp = 0;
+  for (const auto& [id, e] : entries_) {
+    if (e.pins > 0) continue;
+    if (!best.has_value() || e.stamp < best_stamp) {
+      best = id;
+      best_stamp = e.stamp;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<std::int64_t, SeqId>> PrefixIndex::EvictableEntries()
+    const {
+  std::vector<std::pair<std::int64_t, SeqId>> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    if (e.pins == 0) out.emplace_back(id, e.seq);
+  }
+  return out;
+}
+
+SeqId PrefixIndex::entry_seq(std::int64_t entry) const {
+  return GetEntry(entry).seq;
+}
+
+PrefixIndex::Entry& PrefixIndex::GetEntry(std::int64_t entry) {
+  auto it = entries_.find(entry);
+  PUNICA_CHECK_MSG(it != entries_.end(), "unknown prefix entry");
+  return it->second;
+}
+
+const PrefixIndex::Entry& PrefixIndex::GetEntry(std::int64_t entry) const {
+  auto it = entries_.find(entry);
+  PUNICA_CHECK_MSG(it != entries_.end(), "unknown prefix entry");
+  return it->second;
+}
+
+}  // namespace punica

@@ -31,7 +31,8 @@ struct StepResult {
   double latency = 0.0;      ///< virtual-time cost of the invocation
   int batch_size = 0;        ///< requests in the invocation
   int prefill_requests = 0;
-  int prefill_tokens = 0;
+  int prefill_tokens = 0;       ///< prefill tokens actually computed
+  int prefix_hit_tokens = 0;    ///< prefill tokens skipped via cached prefixes
   int new_tokens = 0;        ///< tokens emitted (first tokens + decode)
   int num_segments = 0;      ///< SGMV segments in this invocation
   std::vector<EmittedToken> emitted;
@@ -51,6 +52,14 @@ class ExecutionBackend {
   /// Constraint check: below max batch size and enough KvCache headroom for
   /// the request's re-prefill (prompt + generated + one step).
   virtual bool CanAdmit(const ServingRequest& req) const = 0;
+
+  /// Prefill tokens this backend's shared-prefix cache would serve for
+  /// `req` (0 = cold). The scheduler uses it as a routing affinity signal;
+  /// backends without a prefix cache keep the default.
+  virtual std::int64_t PrefixHitTokens(const ServingRequest& req) const {
+    (void)req;
+    return 0;
+  }
 
   /// Adds a request to the working set. The request object stays owned by
   /// the caller (the serving tier); a request with progress re-prefills

@@ -1,10 +1,39 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/check.h"
 
 namespace punica {
+namespace {
+
+/// The re-prefill chain of a request: prompt followed by the generated
+/// tokens that must be recomputed (migration resume).
+std::vector<std::int32_t> Chain(std::span<const std::int32_t> prompt,
+                                std::span<const std::int32_t> generated,
+                                std::int64_t resume) {
+  std::vector<std::int32_t> chain(prompt.begin(), prompt.end());
+  chain.insert(chain.end(), generated.begin(),
+               generated.begin() + static_cast<std::ptrdiff_t>(resume));
+  return chain;
+}
+
+/// Prefix-index key: the LoRA id leads the token string, because cached
+/// K/V bits depend on the adapter (the K/V projections carry per-request
+/// LoRA addons) — two tenants sharing literal prompt text share nothing in
+/// the cache. Every key carries the tag, so position 0 only ever compares
+/// tags against tags.
+std::vector<std::int32_t> IndexKey(LoraId lora,
+                                   std::span<const std::int32_t> chain) {
+  std::vector<std::int32_t> key;
+  key.reserve(chain.size() + 1);
+  key.push_back(static_cast<std::int32_t>(lora));
+  key.insert(key.end(), chain.begin(), chain.end());
+  return key;
+}
+
+}  // namespace
 
 Engine::Engine(LlamaModel* model, const KvCacheConfig& kv_config,
                EngineConfig config)
@@ -12,6 +41,8 @@ Engine::Engine(LlamaModel* model, const KvCacheConfig& kv_config,
   PUNICA_CHECK(model_ != nullptr);
   PUNICA_CHECK(config_.max_batch_size > 0);
   PUNICA_CHECK(config_.prefill_limit >= 1);
+  PUNICA_CHECK(config_.min_prefix_tokens >= 1);
+  PUNICA_CHECK(config_.max_cached_prefixes >= 0);
 }
 
 std::int32_t Engine::ResolveEos(std::int32_t spec_eos) const {
@@ -23,6 +54,11 @@ std::int32_t Engine::ResolveEos(std::int32_t spec_eos) const {
 }
 
 std::int64_t Engine::Admit(Slot slot, std::vector<std::int32_t> generated) {
+  // Admission-failure audit: every check precedes KvCache mutation, so a
+  // failed admission can never leak a sequence or page references. The
+  // prefix-cache lookup happens at prefill time (not here): a tenant-mate
+  // admitted in the same wave may register the prefix before this slot's
+  // prefill runs, and a fork taken now could go stale under eviction.
   PUNICA_CHECK_MSG(CanAdmit(), "working set full; queue at the caller");
   PUNICA_CHECK(!slot.prompt.empty());
   slot.seq = kv_.CreateSequence();
@@ -58,22 +94,84 @@ RequestHandle Engine::AddMigrated(const RequestSnapshot& snapshot) {
   slot.max_new_tokens = snapshot.max_new_tokens;
   slot.eos_token = snapshot.eos_token;
   slot.resume_from = static_cast<std::int32_t>(snapshot.generated.size());
+  // Admit's index lookup covers prompt + generated, so a surviving prefix
+  // (registered when this request was evicted here, or by a sibling with
+  // the same system prompt) shrinks the rebuild instead of recomputing the
+  // whole history.
   return RequestHandle(Admit(std::move(slot), snapshot.generated));
+}
+
+void Engine::RegisterPrefix(const Slot& slot,
+                            std::span<const std::int32_t> chain,
+                            std::int64_t n_tokens) {
+  if (!config_.enable_prefix_cache) return;
+  if (n_tokens < config_.min_prefix_tokens ||
+      config_.max_cached_prefixes == 0) {
+    return;
+  }
+  std::vector<std::int32_t> key = IndexKey(
+      slot.lora, chain.subspan(0, static_cast<std::size_t>(n_tokens)));
+  if (std::optional<std::int64_t> existing = prefix_.FindExact(key)) {
+    // Already cached — the hot steady-state path. Touch and stop before
+    // any fork (no Retain/Release churn over the prompt's pages) and
+    // before any cap eviction (re-registration must not thrash unrelated
+    // entries).
+    prefix_.Touch(*existing);
+    return;
+  }
+  SeqId holder = kv_.ForkFrom(slot.seq, n_tokens);
+  PrefixIndex::InsertResult r = prefix_.Insert(key, holder);
+  PUNICA_CHECK(r.inserted);
+  ++cache_stats_.insertions;
+  // Respect the entry cap (LRU yields; the just-inserted entry carries
+  // the freshest stamp, so it is only ever evicted when everything older
+  // is pinned).
+  while (static_cast<std::int32_t>(prefix_.size()) >
+         config_.max_cached_prefixes) {
+    if (!EvictOneCachedPrefix()) break;
+  }
+}
+
+bool Engine::EvictOneCachedPrefix() {
+  std::optional<std::int64_t> victim = prefix_.LruVictim();
+  if (!victim.has_value()) return false;
+  kv_.FreeSequence(prefix_.Erase(*victim));
+  ++cache_stats_.evictions;
+  return true;
+}
+
+void Engine::ExtendOrReclaim(SeqId seq, std::int64_t tokens) {
+  while (!kv_.Extend(seq, tokens)) {
+    PUNICA_CHECK_MSG(EvictOneCachedPrefix(),
+                     "KvCache exhausted; migrate requests first");
+  }
 }
 
 std::optional<RequestSnapshot> Engine::Cancel(std::int64_t id) {
   auto it = active_.find(id);
   if (it == active_.end()) return std::nullopt;
+  Slot& slot = it->second;
   RequestSnapshot snap;
   snap.request_id = id;
-  snap.lora = it->second.lora;
-  snap.prompt = it->second.prompt;
+  snap.lora = slot.lora;
+  snap.prompt = slot.prompt;
   snap.generated = outputs_.at(id);
   snap.prompt_len = static_cast<std::int32_t>(snap.prompt.size());
   snap.generated_len = static_cast<std::int32_t>(snap.generated.size());
-  snap.max_new_tokens = it->second.max_new_tokens;
-  snap.eos_token = it->second.eos_token;
-  kv_.FreeSequence(it->second.seq);
+  snap.max_new_tokens = slot.max_new_tokens;
+  snap.eos_token = slot.eos_token;
+  // The evict half of migration: register the whole computed chain before
+  // releasing it, so a re-admission (AddMigrated, consolidation bounce-back)
+  // rebuilds from the surviving prefix instead of re-prefilling everything.
+  // Skipped for never-prefilled slots — their cache holds nothing beyond
+  // what the index already has.
+  if (!slot.needs_prefill) {
+    std::vector<std::int32_t> chain =
+        Chain(slot.prompt, snap.generated,
+              static_cast<std::int64_t>(snap.generated.size()));
+    RegisterPrefix(slot, chain, kv_.SeqLen(slot.seq));
+  }
+  kv_.FreeSequence(slot.seq);
   active_.erase(it);
   return snap;
 }
@@ -99,9 +197,133 @@ std::vector<std::int64_t> Engine::PlannedPrefillIds() const {
   return ids;
 }
 
+std::int32_t Engine::NewPagesFor(std::int64_t target_len,
+                                 std::int64_t usable) const {
+  // The one pages-for-a-chain-with-hit formula: pages beyond the aliased
+  // whole pages, plus one CoW copy when the fork boundary is partial.
+  // Admission (GrowthPages, CanAdmitPages, PagesNeededForAdmission) and
+  // Step's fork+ExtendOrReclaim must agree on this arithmetic.
+  std::int32_t pages = kv_.config().PagesNeeded(target_len) -
+                       kv_.config().PagesNeeded(usable);
+  if (usable % kv_.config().page_size != 0) pages += 1;
+  return pages;
+}
+
+std::int32_t Engine::GrowthPages(std::int64_t id, const Slot& slot) const {
+  if (slot.needs_prefill) {
+    // The prefill will fork the longest cached prefix of its chain and
+    // extend to the full chain; a partial boundary page costs a CoW copy.
+    const auto& out = outputs_.at(id);
+    std::int64_t total =
+        static_cast<std::int64_t>(slot.prompt.size()) + slot.resume_from;
+    std::int64_t usable = PrefixHitTokens(
+        slot.lora, slot.prompt,
+        std::span<const std::int32_t>(out).first(
+            static_cast<std::size_t>(slot.resume_from)));
+    return NewPagesFor(total, usable);
+  }
+  std::int64_t cur = kv_.SeqLen(slot.seq);
+  std::int32_t pages =
+      kv_.config().PagesNeeded(cur + 1) - kv_.SeqPages(slot.seq);
+  // Copy-on-write: a decode that writes into a shared partial tail page
+  // (the prompt boundary aliased by a cache entry) deep-copies it first.
+  if (cur % kv_.config().page_size != 0 &&
+      kv_.PageRefCount(slot.seq, kv_.SeqPages(slot.seq) - 1) > 1) {
+    pages += 1;
+  }
+  return pages;
+}
+
+std::int32_t Engine::ReclaimableCachePages(std::int64_t exclude_entry) const {
+  // A page returns to the pool when every reference is dropped; evicting
+  // all unpinned entries frees exactly the pages whose references all come
+  // from those entries. `exclude_entry` (if ≥ 0) is treated as staying
+  // cached — the admission path uses it so a hit's own entry never doubles
+  // as evictable headroom.
+  std::unordered_map<PageId, std::int32_t> entry_refs;
+  for (const auto& [id, seq] : prefix_.EvictableEntries()) {
+    if (id == exclude_entry) continue;
+    for (PageId p : kv_.PageTable(seq)) ++entry_refs[p];
+  }
+  std::int32_t reclaimable = 0;
+  for (const auto& [page, refs] : entry_refs) {
+    if (kv_.PageRefCount(page) == refs) ++reclaimable;
+  }
+  return reclaimable;
+}
+
+std::int32_t Engine::AvailablePages() const {
+  return kv_.free_pages() + ReclaimableCachePages();
+}
+
+Engine::ChainMatch Engine::LookupChain(
+    LoraId lora, std::span<const std::int32_t> prompt,
+    std::span<const std::int32_t> generated) const {
+  ChainMatch cm;
+  if (!config_.enable_prefix_cache) return cm;
+  auto chain_len = static_cast<std::int64_t>(prompt.size()) +
+                   static_cast<std::int64_t>(generated.size());
+  if (chain_len == 0) return cm;
+  // One flat key: LoRA tag + prompt + generated, no intermediate chain
+  // copy — this runs per backend per routing decision.
+  std::vector<std::int32_t> key;
+  key.reserve(static_cast<std::size_t>(chain_len) + 1);
+  key.push_back(static_cast<std::int32_t>(lora));
+  key.insert(key.end(), prompt.begin(), prompt.end());
+  key.insert(key.end(), generated.begin(), generated.end());
+  PrefixIndex::Match m = prefix_.Lookup(key);
+  std::int64_t usable = std::min(m.matched_tokens - 1, chain_len - 1);
+  if (usable < config_.min_prefix_tokens) return cm;
+  cm.entry = m.entry;
+  cm.usable = usable;
+  return cm;
+}
+
+std::int64_t Engine::PrefixHitTokens(
+    LoraId lora, std::span<const std::int32_t> prompt,
+    std::span<const std::int32_t> generated) const {
+  return LookupChain(lora, prompt, generated).usable;
+}
+
+std::int32_t Engine::PagesNeededForAdmission(
+    LoraId lora, std::span<const std::int32_t> prompt,
+    std::span<const std::int32_t> generated) const {
+  auto chain_len = static_cast<std::int64_t>(prompt.size()) +
+                   static_cast<std::int64_t>(generated.size());
+  // Re-prefill chain plus one decode slot, net of the aliased prefix.
+  return NewPagesFor(chain_len + 1,
+                     LookupChain(lora, prompt, generated).usable);
+}
+
+bool Engine::CanAdmitPages(LoraId lora,
+                           std::span<const std::int32_t> prompt,
+                           std::span<const std::int32_t> generated) const {
+  auto chain_len = static_cast<std::int64_t>(prompt.size()) +
+                   static_cast<std::int64_t>(generated.size());
+  ChainMatch cm = LookupChain(lora, prompt, generated);
+  std::int32_t pages = NewPagesFor(chain_len + 1, cm.usable);
+  // The hit nets out the aliased pages on the assumption that its entry
+  // stays cached — so that same entry must not be counted as reclaimable
+  // headroom (double-counting admits infeasible requests, which then
+  // bounce through the migration path forever).
+  return pages <= kv_.free_pages() + ReclaimableCachePages(cm.entry);
+}
+
+PrefixCacheStats Engine::prefix_cache_stats() const {
+  PrefixCacheStats s = cache_stats_;
+  s.cached_entries = static_cast<std::int64_t>(prefix_.size());
+  s.cached_tokens = prefix_.cached_tokens();
+  s.pages_in_use = kv_.used_pages();
+  s.shared_pages = kv_.shared_pages();
+  s.free_pages = kv_.free_pages();
+  return s;
+}
+
 std::vector<std::int64_t> Engine::SelectEvictionVictims() const {
   // Project the page demand of the next step exactly as Step() will run
-  // it: the planned prefills plus every decode.
+  // it: the planned prefills plus every decode. Pages reclaimable from the
+  // prefix cache count as free — Step evicts cached prefixes on demand
+  // before any request must migrate.
   std::vector<std::int64_t> planned = PlannedPrefillIds();
   auto in_plan = [&](std::int64_t id) {
     if (!active_.at(id).needs_prefill) return true;
@@ -110,29 +332,19 @@ std::vector<std::int64_t> Engine::SelectEvictionVictims() const {
     }
     return false;
   };
-  auto growth_pages = [this](const Slot& slot) -> std::int32_t {
-    if (slot.needs_prefill) {
-      // The sequence exists but holds no pages yet; a prefill extends it
-      // by the whole re-prefill chunk.
-      std::int32_t chunk =
-          static_cast<std::int32_t>(slot.prompt.size()) + slot.resume_from;
-      return kv_.config().PagesNeeded(chunk);
-    }
-    std::int64_t len = kv_.SeqLen(slot.seq);
-    return kv_.config().PagesNeeded(len + 1) - kv_.SeqPages(slot.seq);
-  };
 
   std::int32_t demand = 0;
   for (const auto& [id, slot] : active_) {
-    if (in_plan(id)) demand += growth_pages(slot);
+    if (in_plan(id)) demand += GrowthPages(id, slot);
   }
-  std::int32_t free = kv_.free_pages();
+  std::int32_t free = AvailablePages();
   if (demand <= free) return {};
 
   // Evict the newest requests (max admit_seq) until the step fits,
-  // preserving FCFS (§5.3). Evicting releases a slot's held pages and
-  // removes its contribution to this step's growth. Strictly newest-first,
-  // even page-less prefills beyond the cut: skipping one would let it be
+  // preserving FCFS (§5.3). Evicting releases a slot's exclusively held
+  // pages (shared pages stay with their other holders) and removes its
+  // contribution to this step's growth. Strictly newest-first, even
+  // page-less prefills beyond the cut: skipping one would let it be
   // promoted into the prefill plan after a planned prefill below it is
   // evicted, adding page demand this projection never counted.
   std::vector<std::pair<std::int64_t, const Slot*>> by_newest;
@@ -145,8 +357,10 @@ std::vector<std::int64_t> Engine::SelectEvictionVictims() const {
   std::vector<std::int64_t> victims;
   for (const auto& [id, slot] : by_newest) {
     if (demand <= free) break;
-    free += kv_.SeqPages(slot->seq);
-    if (in_plan(id)) demand -= growth_pages(*slot);
+    for (std::int32_t i = 0; i < kv_.SeqPages(slot->seq); ++i) {
+      if (kv_.PageRefCount(slot->seq, i) == 1) ++free;
+    }
+    if (in_plan(id)) demand -= GrowthPages(id, *slot);
     victims.push_back(id);
   }
   return victims;
@@ -191,31 +405,79 @@ StepResult Engine::Step() {
     }
   }
 
-  // Build batch entries and token rows. KvCache is extended up front so the
-  // layer can write K/V at every row position.
-  std::vector<BatchEntry> entries;
-  std::vector<std::int32_t> token_ids;
+  // Resolve every prefill's cache hit and take its fork BEFORE any
+  // ExtendOrReclaim runs: forking is refcount-only (never allocates), and
+  // once a slot holds its aliased pages, reclaim-eviction of the source
+  // entry cannot change the slot's page demand — so the demand
+  // SelectEvictionVictims projected stays exactly the demand this step
+  // realizes. (Resolving lazily instead would let an earlier prefill's
+  // reclaim evict an entry a later prefill was projected to hit, aborting
+  // in a state the victim query declared safe.) Hits resolve at prefill
+  // time, not admission: a tenant-mate admitted in the same wave has
+  // registered its prompt by now.
+  std::vector<std::vector<std::int32_t>> prefill_chains;
+  std::vector<std::int64_t> pinned_entries;
+  prefill_chains.reserve(prefills.size());
   for (auto& [id, slot] : prefills) {
     const auto& out = outputs_.at(id);
-    std::int32_t chunk =
-        static_cast<std::int32_t>(slot->prompt.size()) + slot->resume_from;
-    PUNICA_CHECK_MSG(kv_.Extend(slot->seq, chunk),
-                     "KvCache exhausted; migrate requests first");
+    std::vector<std::int32_t> chain =
+        Chain(slot->prompt, out, slot->resume_from);
+    auto total = static_cast<std::int64_t>(chain.size());
+    if (config_.enable_prefix_cache) {
+      ++cache_stats_.lookups;
+      PrefixIndex::Match m = prefix_.Lookup(IndexKey(slot->lora, chain));
+      // matched_tokens counts the LoRA tag; the model must still see at
+      // least one token row per prefill to emit the next-token logits, so
+      // a full-chain hit reuses all but the last.
+      std::int64_t usable = std::min(m.matched_tokens - 1, total - 1);
+      if (usable >= config_.min_prefix_tokens) {
+        kv_.FreeSequence(slot->seq);
+        slot->seq = kv_.ForkFrom(m.seq, usable);
+        slot->prefix_cached = usable;
+        prefix_.Touch(m.entry);
+        // Pin the source for the rest of this step: page refcounts already
+        // keep the forked K/V alive, but pinning stops ExtendOrReclaim in
+        // this same batch from evicting an entry that is demonstrably hot.
+        prefix_.Pin(m.entry);
+        pinned_entries.push_back(m.entry);
+        ++cache_stats_.hits;
+        cache_stats_.hit_tokens += usable;
+      }
+    }
+    prefill_chains.push_back(std::move(chain));
+  }
+
+  // Build batch entries and token rows. KvCache is extended up front (the
+  // fork aliases whole shared pages; Extend deep-copies the partial
+  // boundary page — CoW — then grows) so the layer can write K/V at every
+  // row position. A prefill covers only the uncached suffix of its chain:
+  // the cached prefix's pages hold bits identical to what this prefill
+  // would have written.
+  std::vector<BatchEntry> entries;
+  std::vector<std::int32_t> token_ids;
+  for (std::size_t p = 0; p < prefills.size(); ++p) {
+    auto& [id, slot] = prefills[p];
+    const std::vector<std::int32_t>& chain = prefill_chains[p];
+    auto total = static_cast<std::int64_t>(chain.size());
+    std::int64_t suffix = total - slot->prefix_cached;
+    PUNICA_CHECK(suffix >= 1);
+    ExtendOrReclaim(slot->seq, suffix);
     entries.push_back({.seq = slot->seq,
                        .lora = slot->lora,
-                       .num_tokens = chunk,
-                       .pos_offset = 0,
+                       .num_tokens = static_cast<std::int32_t>(suffix),
+                       .pos_offset = slot->prefix_cached,
                        .is_prefill = true});
-    token_ids.insert(token_ids.end(), slot->prompt.begin(),
-                     slot->prompt.end());
-    token_ids.insert(token_ids.end(), out.begin(),
-                     out.begin() + slot->resume_from);
-    result.prefill_tokens += chunk;
+    token_ids.insert(
+        token_ids.end(),
+        chain.begin() + static_cast<std::ptrdiff_t>(slot->prefix_cached),
+        chain.end());
+    result.prefill_tokens += static_cast<int>(suffix);
+    result.prefix_hit_tokens += static_cast<int>(slot->prefix_cached);
+    cache_stats_.prefill_tokens += suffix;
   }
   for (auto& [id, slot] : decodes) {
     std::int64_t pos = kv_.SeqLen(slot->seq);
-    PUNICA_CHECK_MSG(kv_.Extend(slot->seq, 1),
-                     "KvCache exhausted; migrate requests first");
+    ExtendOrReclaim(slot->seq, 1);
     entries.push_back({.seq = slot->seq,
                        .lora = slot->lora,
                        .num_tokens = 1,
@@ -240,7 +502,13 @@ StepResult Engine::Step() {
     out.push_back(token);
     result.emitted.push_back({id, token});
     ++result.new_tokens;
-    if (was_prefill) slot->needs_prefill = false;
+    if (was_prefill) {
+      slot->needs_prefill = false;
+      // The prompt is now fully cached in this sequence — make it
+      // discoverable for the next tenant-mate (a refcount alias, no copy).
+      RegisterPrefix(*slot, slot->prompt,
+                     static_cast<std::int64_t>(slot->prompt.size()));
+    }
     if (IsDone(*slot, out)) {
       kv_.FreeSequence(slot->seq);
       result.finished.push_back(id);
@@ -249,6 +517,7 @@ StepResult Engine::Step() {
   };
   for (auto& [id, slot] : prefills) apply(id, slot, true);
   for (auto& [id, slot] : decodes) apply(id, slot, false);
+  for (std::int64_t entry : pinned_entries) prefix_.Unpin(entry);
   return result;
 }
 

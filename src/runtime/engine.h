@@ -7,17 +7,31 @@
 // SGMV segments are maximal, and cancellation/migration via prompt+generated
 // recomputation. Its outputs are bit-deterministic. To drive it through the
 // cluster scheduler, wrap it in EngineBackend (runtime/engine_backend.h).
+//
+// Shared-prefix KV cache: admissions consult a PrefixIndex over token ids;
+// on a hit the request's sequence forks from the cached holder (ref-counted
+// page aliasing, kvcache/kvcache.h) and Step prefills only the uncached
+// suffix. Completed prefills register the prompt; cancellation (the
+// migration evict) registers prompt+generated so a re-admitted request
+// rebuilds from any surviving prefix instead of recomputing from token
+// zero. Under page pressure, cached prefixes are evicted LRU before the
+// engine reports migration victims. Because cached K/V bits are exactly
+// what a cold prefill would write (one writer per element, fixed reduction
+// order), a prefix-hit stream is bit-identical to the cold-start stream.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "kvcache/kvcache.h"
+#include "kvcache/prefix_index.h"
 #include "model/llama.h"
 #include "runtime/backend.h"
 #include "runtime/submit_spec.h"
+#include "util/stats.h"
 
 namespace punica {
 
@@ -29,6 +43,12 @@ struct EngineConfig {
   /// migration path asserts this so a request never changes its stopping
   /// condition by moving between engines.
   std::int32_t eos_token = -1;
+  /// Shared-prefix KV cache (on by default; a cold index is a no-op).
+  bool enable_prefix_cache = true;
+  /// Smallest prefix worth caching or reusing, in tokens.
+  std::int32_t min_prefix_tokens = 1;
+  /// Entry cap; LRU beyond it. Page pressure evicts earlier regardless.
+  std::int32_t max_cached_prefixes = 64;
 };
 
 class Engine {
@@ -42,13 +62,15 @@ class Engine {
   /// Aborts if the working set is full — callers queue.
   RequestHandle AddRequest(const SubmitSpec& spec);
 
-  /// Re-admits a migrated request; its KvCache is rebuilt by re-prefilling
-  /// prompt + generated in its first step. Asserts the snapshot's stop
-  /// condition agrees with this engine's EngineConfig::eos_token.
+  /// Re-admits a migrated request; its KvCache is rebuilt in its first step
+  /// by re-prefilling prompt + generated — minus any surviving cached
+  /// prefix. Asserts the snapshot's stop condition agrees with this
+  /// engine's EngineConfig::eos_token.
   RequestHandle AddMigrated(const RequestSnapshot& snapshot);
 
   /// Cancels a request and returns its snapshot (empty when unknown).
-  /// Releases the KvCache immediately (the evict half of migration).
+  /// Releases the KvCache immediately (the evict half of migration) —
+  /// though its prefix may stay cached for a cheap rebuild.
   std::optional<RequestSnapshot> Cancel(std::int64_t id);
   std::optional<RequestSnapshot> Cancel(RequestHandle h) {
     return Cancel(h.id());
@@ -67,6 +89,8 @@ class Engine {
 
   /// KvCache-pressure victim query (§5.3): engine-local ids (newest first)
   /// that must be cancelled before the next step's page demand fits.
+  /// Pages reclaimable by evicting cached prefixes count as headroom — the
+  /// cache yields before requests migrate.
   std::vector<std::int64_t> SelectEvictionVictims() const;
 
   /// Tokens generated so far (valid for finished requests too).
@@ -78,9 +102,35 @@ class Engine {
   /// The stop token a request admitted under `spec` would run with.
   std::int32_t ResolveEos(std::int32_t spec_eos) const;
 
+  // --- Shared-prefix cache introspection (allocator → scheduler thread) ---
+
+  /// Cached-prefix tokens an admission with this (LoRA, prompt+generated)
+  /// chain would skip (0 = cold). Keyed on the LoRA id too: K/V bits carry
+  /// per-request adapter addons, so same text under a different adapter
+  /// shares nothing. Pure query: no recency update.
+  std::int64_t PrefixHitTokens(LoraId lora,
+                               std::span<const std::int32_t> prompt,
+                               std::span<const std::int32_t> generated) const;
+  /// New pages an admission would need for its re-prefill chain plus one
+  /// decode slot, net of the cached prefix it would alias.
+  std::int32_t PagesNeededForAdmission(
+      LoraId lora, std::span<const std::int32_t> prompt,
+      std::span<const std::int32_t> generated) const;
+  /// Page-feasibility of an admission: PagesNeededForAdmission against
+  /// free + reclaimable headroom, with the hit's own entry excluded from
+  /// the reclaimable side (it must stay cached for the hit to be real).
+  bool CanAdmitPages(LoraId lora, std::span<const std::int32_t> prompt,
+                     std::span<const std::int32_t> generated) const;
+  /// free pages + pages that evicting every unpinned cached prefix would
+  /// return to the pool.
+  std::int32_t AvailablePages() const;
+  /// Counters plus point-in-time gauges.
+  PrefixCacheStats prefix_cache_stats() const;
+
   const EngineConfig& config() const { return config_; }
   const KvCacheConfig& kv_config() const { return kv_.config(); }
   std::int32_t kv_free_pages() const { return kv_.free_pages(); }
+  std::int32_t kv_shared_pages() const { return kv_.shared_pages(); }
 
   /// The compute substrate every Step runs on — the model's context, so all
   /// engines sharing one model (one backbone copy) share one thread pool.
@@ -95,8 +145,19 @@ class Engine {
     SeqId seq = -1;
     bool needs_prefill = true;
     std::int32_t resume_from = 0;  ///< generated tokens to re-prefill
+    std::int64_t prefix_cached = 0;  ///< chain tokens served by the cache
+                                     ///< (resolved at prefill time)
     std::uint64_t admit_seq = 0;
   };
+
+  struct ChainMatch {
+    std::int64_t entry = -1;  ///< -1 = no usable cached prefix
+    std::int64_t usable = 0;  ///< chain tokens a fork would reuse
+  };
+  /// Index lookup for a (LoRA, prompt+generated) chain, with the
+  /// keep-one-token-for-logits cap and min_prefix_tokens gate applied.
+  ChainMatch LookupChain(LoraId lora, std::span<const std::int32_t> prompt,
+                         std::span<const std::int32_t> generated) const;
 
   std::int64_t Admit(Slot slot, std::vector<std::int32_t> generated);
   bool IsDone(const Slot& slot, const std::vector<std::int32_t>& out) const;
@@ -104,9 +165,29 @@ class Engine {
   /// prefill_limit) — the one plan both Step and the victim query project.
   std::vector<std::int64_t> PlannedPrefillIds() const;
 
+  /// Extends `seq`, evicting LRU cached prefixes on page exhaustion.
+  /// Aborts when the pool is short even with an empty cache — the caller
+  /// should have migrated requests first.
+  void ExtendOrReclaim(SeqId seq, std::int64_t tokens);
+  bool EvictOneCachedPrefix();
+  /// Registers the first `n_tokens` of `slot.seq`'s chain in the index.
+  void RegisterPrefix(const Slot& slot, std::span<const std::int32_t> chain,
+                      std::int64_t n_tokens);
+  /// New pages the next step needs for this slot, including a potential
+  /// copy-on-write of a shared partial tail page.
+  /// Pages a chain of `target_len` tokens needs beyond a `usable`-token
+  /// aliased prefix (including the partial-boundary CoW copy) — the one
+  /// formula admission and Step both price with.
+  std::int32_t NewPagesFor(std::int64_t target_len, std::int64_t usable) const;
+  std::int32_t GrowthPages(std::int64_t id, const Slot& slot) const;
+  /// `exclude_entry` ≥ 0 is treated as staying cached (admission math).
+  std::int32_t ReclaimableCachePages(std::int64_t exclude_entry = -1) const;
+
   LlamaModel* model_;
   PagedKvCache kv_;
   EngineConfig config_;
+  PrefixIndex prefix_;
+  PrefixCacheStats cache_stats_;  ///< counters; gauges filled on snapshot
   std::map<std::int64_t, Slot> active_;
   std::map<std::int64_t, std::vector<std::int32_t>> outputs_;
   std::int64_t next_id_ = 0;

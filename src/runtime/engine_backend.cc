@@ -17,10 +17,18 @@ int EngineBackend::max_batch_size() const {
 
 bool EngineBackend::CanAdmit(const ServingRequest& req) const {
   if (!engine_->CanAdmit()) return false;
-  // Page-granular headroom for the re-prefill chunk plus one decode slot.
-  std::int32_t pages =
-      engine_->kv_config().PagesNeeded(req.PrefillTokensNeeded() + 1);
-  return pages <= engine_->kv_free_pages();
+  // Page-granular headroom for the re-prefill chunk plus one decode slot,
+  // net of any cached prefix the admission would alias; pages reclaimable
+  // by evicting cached prefixes count as headroom (the engine reclaims
+  // them on demand inside Step), except the hit's own entry — it must
+  // stay cached for the hit to be real.
+  return engine_->CanAdmitPages(req.lora_id, req.prompt_tokens,
+                                req.generated_tokens);
+}
+
+std::int64_t EngineBackend::PrefixHitTokens(const ServingRequest& req) const {
+  return engine_->PrefixHitTokens(req.lora_id, req.prompt_tokens,
+                                  req.generated_tokens);
 }
 
 void EngineBackend::Admit(ServingRequest* req, double now) {

@@ -36,6 +36,7 @@ class EngineBackend : public ExecutionBackend {
   int max_batch_size() const override;
 
   bool CanAdmit(const ServingRequest& req) const override;
+  std::int64_t PrefixHitTokens(const ServingRequest& req) const override;
   void Admit(ServingRequest* req, double now) override;
   std::optional<RequestSnapshot> Cancel(std::int64_t request_id) override;
 

@@ -32,6 +32,11 @@ struct ServingRequest {
   double arrival_time = 0.0;
   std::vector<std::int32_t> prompt_tokens;  ///< real ids (numeric tier only)
   std::int32_t eos_token = -1;  ///< per-request early stop (-1 = none)
+  /// Shared-prefix annotation (simulated tier): the first
+  /// `shared_prefix_len` prompt tokens are the `prefix_group` tenant's
+  /// system prompt. The numeric tier matches real token ids instead.
+  std::int32_t shared_prefix_len = 0;
+  std::int64_t prefix_group = -1;
 
   // Mutable progress.
   RequestPhase phase = RequestPhase::kQueued;
@@ -57,6 +62,8 @@ struct ServingRequest {
     req.arrival_time = spec.arrival_time;
     req.prompt_tokens = spec.prompt_tokens;
     req.eos_token = spec.eos_token;
+    req.shared_prefix_len = spec.shared_prefix_len;
+    req.prefix_group = spec.prefix_group;
     return req;
   }
 };

@@ -21,13 +21,89 @@ GpuRunner::GpuRunner(int gpu_id, const RunnerConfig& config,
   PUNICA_CHECK(config.kv_capacity_tokens > 0);
 }
 
+std::int64_t GpuRunner::HitTokens(const ServingRequest& req) const {
+  if (!config_.enable_prefix_cache) return 0;
+  if (req.prefix_group < 0 || req.shared_prefix_len <= 0) return 0;
+  auto it = prefix_cache_.find(req.prefix_group);
+  if (it == prefix_cache_.end()) return 0;
+  // The cache covers the tenant's system prompt; at least one token always
+  // prefills (the numeric tier needs a row to emit logits — the simulated
+  // tier mirrors the discipline so both predict the same shapes).
+  std::int64_t cap = static_cast<std::int64_t>(req.PrefillTokensNeeded()) - 1;
+  return std::min({it->second.tokens,
+                   static_cast<std::int64_t>(req.shared_prefix_len), cap});
+}
+
+std::int64_t GpuRunner::PrefixHitTokens(const ServingRequest& req) const {
+  return HitTokens(req);
+}
+
+bool GpuRunner::GroupResident(std::int64_t group) const {
+  auto it = group_residents_.find(group);
+  return it != group_residents_.end() && it->second > 0;
+}
+
+std::int64_t GpuRunner::ReclaimableCacheTokens() const {
+  std::int64_t total = 0;
+  for (const auto& [group, entry] : prefix_cache_) {
+    if (!GroupResident(group)) total += entry.tokens;
+  }
+  return total;
+}
+
+bool GpuRunner::EvictOneCachedPrefix() {
+  // LRU over entries with no resident request (a resident request's tokens
+  // alias the entry's — evicting it would orphan their accounting).
+  std::optional<std::int64_t> victim;
+  std::uint64_t best_stamp = 0;
+  for (const auto& [group, entry] : prefix_cache_) {
+    if (GroupResident(group)) continue;
+    if (!victim.has_value() || entry.stamp < best_stamp) {
+      victim = group;
+      best_stamp = entry.stamp;
+    }
+  }
+  if (!victim.has_value()) return false;
+  kv_used_tokens_ -= prefix_cache_.at(*victim).tokens;
+  prefix_cache_.erase(*victim);
+  ++cache_stats_.evictions;
+  return true;
+}
+
+std::int64_t GpuRunner::prefix_cached_tokens() const {
+  std::int64_t total = 0;
+  for (const auto& [group, entry] : prefix_cache_) total += entry.tokens;
+  return total;
+}
+
+PrefixCacheStats GpuRunner::prefix_cache_stats() const {
+  PrefixCacheStats s = cache_stats_;
+  s.cached_entries = static_cast<std::int64_t>(prefix_cache_.size());
+  s.cached_tokens = prefix_cached_tokens();
+  // Token-denominated gauges on the simulated tier.
+  s.pages_in_use = static_cast<std::int32_t>(kv_used_tokens_);
+  s.shared_pages = static_cast<std::int32_t>(s.cached_tokens);
+  s.free_pages = static_cast<std::int32_t>(kv_free_tokens());
+  return s;
+}
+
 std::int64_t GpuRunner::KvTokensNeeded(const ServingRequest& req) const {
-  return static_cast<std::int64_t>(req.PrefillTokensNeeded()) + 1;
+  return static_cast<std::int64_t>(req.PrefillTokensNeeded()) + 1 -
+         HitTokens(req);
 }
 
 bool GpuRunner::CanAdmit(const ServingRequest& req) const {
   if (working_set_size() >= config_.max_batch_size) return false;
-  return KvTokensNeeded(req) <= kv_free_tokens();
+  // Tokens reclaimable from idle cached prefixes count as headroom — Step
+  // evicts them on demand before requests must migrate. But a hit assumes
+  // its own entry STAYS cached, so that entry must not double as evictable
+  // headroom (double-counting admits infeasible requests, which then
+  // livelock through the migration path).
+  std::int64_t reclaimable = ReclaimableCacheTokens();
+  if (HitTokens(req) > 0 && !GroupResident(req.prefix_group)) {
+    reclaimable -= prefix_cache_.at(req.prefix_group).tokens;
+  }
+  return KvTokensNeeded(req) <= kv_free_tokens() + reclaimable;
 }
 
 void GpuRunner::Admit(ServingRequest* req, double now) {
@@ -38,6 +114,10 @@ void GpuRunner::Admit(ServingRequest* req, double now) {
   Slot slot;
   slot.req = req;
   slot.admit_seq = next_admit_seq_++;
+  // The prefix hit is resolved at prefill time (PlanStep), not here — a
+  // tenant-mate admitted in the same wave registers the prefix first, and
+  // a slot evicted before it ever prefills must not record a hit.
+  if (req->prefix_group >= 0) ++group_residents_[req->prefix_group];
   if (req->lora_id >= 0) {
     slot.lora_ready_time = lora_.Touch(req->lora_id, now);
     lora_.Pin(req->lora_id);
@@ -49,7 +129,18 @@ void GpuRunner::Admit(ServingRequest* req, double now) {
 }
 
 void GpuRunner::ReleaseSlot(std::map<std::int64_t, Slot>::iterator it) {
-  kv_used_tokens_ -= it->second.kv_len;
+  // Only a prefilled slot has charged tokens: kv_len minus the tokens
+  // aliased from the tenant's cached prefix (those stay resident — and
+  // become reclaimable once the group has no resident request). A slot
+  // evicted before its prefill holds nothing, whatever its prospective
+  // prefix_hit says.
+  if (!it->second.needs_prefill) {
+    kv_used_tokens_ -= it->second.kv_len - it->second.prefix_hit;
+  }
+  if (it->second.req->prefix_group >= 0) {
+    auto g = group_residents_.find(it->second.req->prefix_group);
+    if (--g->second == 0) group_residents_.erase(g);
+  }
   if (it->second.req->lora_id >= 0) {
     lora_.Unpin(it->second.req->lora_id);
   }
@@ -105,7 +196,12 @@ GpuRunner::PlannedStep GpuRunner::PlanStep(double now) const {
   }
   plan.prefills = std::move(prefill_candidates);
   for (const Slot* s : plan.prefills) {
-    plan.kv_growth += s->req->PrefillTokensNeeded();
+    // A prefix-cache hit prefills (and allocates) only the uncached
+    // suffix. Resolved here so the step that executes this plan and the
+    // victim projection price identical shapes.
+    std::int64_t hit = HitTokens(*s->req);
+    plan.prefill_hits.push_back(hit);
+    plan.kv_growth += s->req->PrefillTokensNeeded() - hit;
   }
   plan.kv_growth += static_cast<std::int64_t>(plan.decodes.size());
   return plan;
@@ -113,12 +209,14 @@ GpuRunner::PlannedStep GpuRunner::PlanStep(double now) const {
 
 std::vector<std::int64_t> GpuRunner::SelectEvictionVictims(double now) const {
   PlannedStep plan = PlanStep(now);
-  std::int64_t projected = kv_used_tokens_ + plan.kv_growth;
+  std::int64_t projected =
+      kv_used_tokens_ + plan.kv_growth - ReclaimableCacheTokens();
   if (projected <= config_.kv_capacity_tokens) return {};
 
   // Evict the newest requests (max admit_seq) until the step fits — this
   // preserves FCFS semantics (§5.3). (kOldest inverts the order for the
-  // ablation bench.) Evicting a slot releases its cached tokens and removes
+  // ablation bench.) Evicting a slot releases its exclusively held tokens
+  // (its tenant's cached prefix stays, becoming reclaimable) and removes
   // its contribution to this step's growth.
   std::vector<const Slot*> by_newest;
   by_newest.reserve(slots_.size());
@@ -134,8 +232,10 @@ std::vector<std::int64_t> GpuRunner::SelectEvictionVictims(double now) const {
     if (s->lora_ready_time > now + 1e-12) return 0;
     if (s->needs_prefill) {
       // Only charged if it made the prefill cut.
-      for (const Slot* p : plan.prefills) {
-        if (p == s) return s->req->PrefillTokensNeeded();
+      for (std::size_t i = 0; i < plan.prefills.size(); ++i) {
+        if (plan.prefills[i] == s) {
+          return s->req->PrefillTokensNeeded() - plan.prefill_hits[i];
+        }
       }
       return 0;
     }
@@ -149,7 +249,10 @@ std::vector<std::int64_t> GpuRunner::SelectEvictionVictims(double now) const {
   std::vector<std::int64_t> victims;
   for (const Slot* s : by_newest) {
     if (projected <= config_.kv_capacity_tokens) break;
-    projected -= s->kv_len + growth_of(s);
+    // A pre-prefill slot holds no charged tokens yet (its prospective
+    // prefix_hit included).
+    std::int64_t held = s->needs_prefill ? 0 : s->kv_len - s->prefix_hit;
+    projected -= held + growth_of(s);
     victims.push_back(s->req->id);
   }
   return victims;
@@ -159,21 +262,41 @@ StepResult GpuRunner::Step(double now) {
   PlannedStep plan = PlanStep(now);
   StepResult result;
   if (plan.prefills.empty() && plan.decodes.empty()) return result;
+  while (kv_used_tokens_ + plan.kv_growth > config_.kv_capacity_tokens &&
+         EvictOneCachedPrefix()) {
+  }
   PUNICA_CHECK_MSG(
       kv_used_tokens_ + plan.kv_growth <= config_.kv_capacity_tokens,
       "step would overflow KvCache; evict victims first");
 
   // Build the cost-model shape. Token rows group by LoRA id (the runtime
   // orders same-LoRA requests consecutively before building SGMV segments).
+  // Prefix-hit prefills contribute only their uncached suffix as token
+  // rows, but attention still reads the full kv span — the prefix-hit term
+  // the cost model prices.
   StepShape shape;
   shape.tp_degree = config_.tp_degree;
   shape.lora_rank = config_.lora_rank;
   std::unordered_map<LoraId, std::int32_t> rows_by_lora;
-  for (const Slot* s : plan.prefills) {
-    auto chunk = static_cast<std::int32_t>(s->req->PrefillTokensNeeded());
+  for (std::size_t i = 0; i < plan.prefills.size(); ++i) {
+    const Slot* s = plan.prefills[i];
+    std::int64_t hit = plan.prefill_hits[i];
+    auto full = static_cast<std::int32_t>(s->req->PrefillTokensNeeded());
+    auto chunk = static_cast<std::int32_t>(full - hit);
     shape.prefill_chunks.push_back(chunk);
-    shape.prefill_kv_lens.push_back(chunk);
+    shape.prefill_kv_lens.push_back(full);
     if (s->req->lora_id >= 0) rows_by_lora[s->req->lora_id] += chunk;
+    result.prefix_hit_tokens += static_cast<int>(hit);
+    cache_stats_.prefill_tokens += chunk;
+    if (config_.enable_prefix_cache && s->req->prefix_group >= 0 &&
+        s->req->shared_prefix_len > 0) {
+      ++cache_stats_.lookups;
+      if (hit > 0) {
+        prefix_cache_.at(s->req->prefix_group).stamp = cache_clock_++;
+        ++cache_stats_.hits;
+        cache_stats_.hit_tokens += hit;
+      }
+    }
   }
   for (const Slot* s : plan.decodes) {
     shape.decode_kv_lens.push_back(s->kv_len + 1);
@@ -201,12 +324,35 @@ StepResult GpuRunner::Step(double now) {
   // The emitted "token" on this tier is the per-request sequence tag
   // (generated count − 1): content is synthetic, ordering and timing are
   // what the simulation is responsible for.
-  for (auto id : prefill_ids) {
+  for (std::size_t i = 0; i < prefill_ids.size(); ++i) {
+    auto id = prefill_ids[i];
     Slot& slot = slots_.at(id);
-    std::int64_t chunk = slot.req->PrefillTokensNeeded();
-    slot.kv_len = chunk;
-    kv_used_tokens_ += chunk;
+    // The hit resolved at plan time becomes the slot's share of the
+    // tenant's cache-owned tokens.
+    slot.prefix_hit = plan.prefill_hits[i];
+    std::int64_t full = slot.req->PrefillTokensNeeded();
+    slot.kv_len = full;
+    kv_used_tokens_ += full - slot.prefix_hit;
     slot.needs_prefill = false;
+    // The tenant's system prompt is now resident — register it so the next
+    // group-mate's prefill skips it (ownership of those tokens moves to
+    // the cache entry; memory totals are unchanged, mirroring refcounted
+    // page aliasing on the numeric tier).
+    if (config_.enable_prefix_cache && slot.req->prefix_group >= 0 &&
+        slot.req->shared_prefix_len > 0 && slot.prefix_hit == 0) {
+      auto covered = std::min(
+          full, static_cast<std::int64_t>(slot.req->shared_prefix_len));
+      auto [it, inserted] = prefix_cache_.try_emplace(
+          slot.req->prefix_group,
+          CachedPrefix{.tokens = covered, .stamp = cache_clock_});
+      ++cache_clock_;
+      if (inserted) {
+        slot.prefix_hit = covered;  // those tokens now belong to the cache
+        ++cache_stats_.insertions;
+      } else {
+        it->second.stamp = cache_clock_ - 1;
+      }
+    }
     slot.req->generated += 1;
     ++result.new_tokens;
     result.emitted.push_back({id, slot.req->generated - 1});

@@ -23,6 +23,7 @@
 #include "runtime/backend.h"
 #include "runtime/lora_residency.h"
 #include "runtime/request.h"
+#include "util/stats.h"
 
 namespace punica {
 
@@ -37,6 +38,11 @@ struct RunnerConfig {
   int prefill_limit = 1;    ///< prefill requests per invocation (paper §5)
   EvictPolicy evict_policy = EvictPolicy::kNewest;
   std::int64_t kv_capacity_tokens = 0;
+  /// Shared-prefix KV cache (token-granular counterpart of the numeric
+  /// tier's page-level sharing). Only requests annotated with a
+  /// prefix_group / shared_prefix_len participate, so traces without
+  /// shared system prompts behave exactly as before.
+  bool enable_prefix_cache = true;
   int tp_degree = 1;
   int lora_rank = 16;
   std::int64_t lora_budget_bytes = 2LL * 1024 * 1024 * 1024;
@@ -59,6 +65,10 @@ class GpuRunner : public ExecutionBackend {
 
   /// Constraint check: below max batch size and enough KvCache headroom.
   bool CanAdmit(const ServingRequest& req) const override;
+
+  /// Prefill tokens this GPU's cached tenant prefix would cover for `req`
+  /// (the scheduler's affinity signal).
+  std::int64_t PrefixHitTokens(const ServingRequest& req) const override;
 
   /// Adds a request to the working set; kicks off its LoRA load if needed.
   /// The request joins batches once its adapter is ready.
@@ -105,30 +115,60 @@ class GpuRunner : public ExecutionBackend {
   }
   std::vector<std::int64_t> WorkingIds() const;
   const LoraResidency& lora_residency() const { return lora_; }
+  /// Counters plus point-in-time gauges (token-denominated on this tier:
+  /// pages_in_use/free report tokens, shared_pages reports cached tokens).
+  PrefixCacheStats prefix_cache_stats() const;
+  std::int64_t prefix_cached_tokens() const;
 
  private:
   struct Slot {
     ServingRequest* req = nullptr;
     std::int64_t kv_len = 0;   ///< tokens cached on this GPU
     bool needs_prefill = true;
+    std::int64_t prefix_hit = 0;  ///< prefill tokens served by the cache
     std::uint64_t admit_seq = 0;
     double lora_ready_time = 0.0;
   };
 
+  /// A cached tenant prefix: `tokens` KvCache tokens owned by the cache
+  /// (charged once, shared by every resident request of the group).
+  struct CachedPrefix {
+    std::int64_t tokens = 0;
+    std::uint64_t stamp = 0;  ///< logical recency (deterministic LRU)
+  };
+
   struct PlannedStep {
     std::vector<const Slot*> prefills;
+    /// Cache hit per planned prefill (aligned with `prefills`), resolved
+    /// at plan time — the numeric tier resolves at prefill time too, so
+    /// tenant-mates admitted in one wave still hit once the first
+    /// registers.
+    std::vector<std::int64_t> prefill_hits;
     std::vector<const Slot*> decodes;
     std::int64_t kv_growth = 0;
   };
   PlannedStep PlanStep(double now) const;
 
   void ReleaseSlot(std::map<std::int64_t, Slot>::iterator it);
+  /// Prefill tokens the cache covers for `req` right now (0 = cold).
+  std::int64_t HitTokens(const ServingRequest& req) const;
+  /// Cached tokens held by groups with no resident request — reclaimable
+  /// without touching live state (the token analogue of exclusively
+  /// entry-held pages).
+  std::int64_t ReclaimableCacheTokens() const;
+  bool EvictOneCachedPrefix();
+  /// True when any resident slot belongs to `group`.
+  bool GroupResident(std::int64_t group) const;
 
   int gpu_id_;
   RunnerConfig config_;
   LlamaConfig model_config_;
   const CostModel* cost_model_;
   std::map<std::int64_t, Slot> slots_;  ///< ordered by request id (stable)
+  std::map<std::int64_t, CachedPrefix> prefix_cache_;  ///< by prefix_group
+  std::map<std::int64_t, int> group_residents_;  ///< resident slots per group
+  PrefixCacheStats cache_stats_;
+  std::uint64_t cache_clock_ = 0;
   std::int64_t kv_used_tokens_ = 0;
   std::uint64_t next_admit_seq_ = 0;
   LoraResidency lora_;

@@ -28,6 +28,13 @@ struct SubmitSpec {
   std::int32_t max_new_tokens = 0;
   double arrival_time = 0.0;
 
+  /// Shared-prefix annotation for the simulated tier: the first
+  /// `shared_prefix_len` prompt tokens are a per-tenant system prompt
+  /// identified by `prefix_group` (e.g. the LoRA/tenant id). The numeric
+  /// tier ignores these — its prefix index matches real token ids.
+  std::int32_t shared_prefix_len = 0;
+  std::int64_t prefix_group = -1;  ///< -1 = no shared prefix
+
   /// Optional stop condition: generation ends early when this token is
   /// emitted (-1 = length-only stopping). Only meaningful on the numeric
   /// tier; must agree with the engine-wide EngineConfig::eos_token when

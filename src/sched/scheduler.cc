@@ -31,17 +31,26 @@ int Scheduler::num_enabled_gpus() const {
 int Scheduler::PickGpuFor(const ServingRequest& req, int exclude_gpu) const {
   int best = -1;
   int best_load = -1;
+  std::int64_t best_hit = -1;
   for (int g = 0; g < num_gpus(); ++g) {
     if (g == exclude_gpu) continue;
     if (!enabled_[static_cast<std::size_t>(g)]) continue;
     const ExecutionBackend* r = backends_[static_cast<std::size_t>(g)];
     if (!r->CanAdmit(req)) continue;
+    // Prefix affinity first: a backend whose shared-prefix cache already
+    // holds this request's prefix turns prefill compute into page aliasing,
+    // and steering tenant-mates together is also what *creates* such
+    // backends. Then largest working set (load concentration for
+    // scale-down); ties go to the highest GPU UUID (we use the GPU index
+    // as the UUID ordering). Backends without a prefix cache report 0
+    // everywhere, preserving the original routing exactly.
+    std::int64_t hit = r->PrefixHitTokens(req);
     int load = r->working_set_size();
-    // Largest working set wins; ties go to the highest GPU UUID (we use the
-    // GPU index as the UUID ordering).
-    if (load > best_load || (load == best_load && g > best)) {
+    if (hit > best_hit || (hit == best_hit && load > best_load) ||
+        (hit == best_hit && load == best_load && g > best)) {
       best = g;
       best_load = load;
+      best_hit = hit;
     }
   }
   return best;

@@ -1,11 +1,14 @@
 // The Punica cluster scheduler (paper §5.1, §5.3).
 //
 // Routing rule for a new request: among backends satisfying the constraints
-// (below max batch size, enough KvCache memory), pick the one with the
-// *largest* working set; ties go to the highest GPU UUID. This concentrates
-// load — busy GPUs stay busy, lightly loaded GPUs drain, idle GPUs stay
-// idle — enabling cluster scale-down. When no backend qualifies, requests
-// queue and are admitted FCFS as capacity frees.
+// (below max batch size, enough KvCache memory), prefer the one whose
+// shared-prefix KV cache covers the most of the request's prefill
+// (prefix affinity — tenant-mates co-locate, so system prompts are paid
+// once per GPU); then the *largest* working set; ties go to the highest
+// GPU UUID. This concentrates load — busy GPUs stay busy, lightly loaded
+// GPUs drain, idle GPUs stay idle — enabling cluster scale-down. When no
+// backend qualifies, requests queue and are admitted FCFS as capacity
+// frees.
 //
 // Migration is built from cancellation: evict (newest first, preserving
 // FCFS) + re-add elsewhere with prompt+generated recomputation.

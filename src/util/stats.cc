@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "util/check.h"
 
@@ -92,6 +93,35 @@ std::string Histogram::Sparkline() const {
     out += kLevels[level];
   }
   return out;
+}
+
+double PrefixCacheStats::HitRate() const {
+  return lookups > 0 ? static_cast<double>(hits) /
+                           static_cast<double>(lookups)
+                     : 0.0;
+}
+
+double PrefixCacheStats::TokenSaveRate() const {
+  std::int64_t would_be = hit_tokens + prefill_tokens;
+  return would_be > 0 ? static_cast<double>(hit_tokens) /
+                            static_cast<double>(would_be)
+                      : 0.0;
+}
+
+std::string PrefixCacheStats::Format() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "prefix cache: %lld/%lld hits (%.0f%%), %lld tokens saved (%.0f%% of "
+      "prefill), %lld entries / %lld tokens cached, %lld evictions; pages "
+      "%d used / %d shared / %d free",
+      static_cast<long long>(hits), static_cast<long long>(lookups),
+      100.0 * HitRate(), static_cast<long long>(hit_tokens),
+      100.0 * TokenSaveRate(), static_cast<long long>(cached_entries),
+      static_cast<long long>(cached_tokens),
+      static_cast<long long>(evictions), pages_in_use, shared_pages,
+      free_pages);
+  return std::string(buf);
 }
 
 void TimeSeries::Add(double t, double value) {

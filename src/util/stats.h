@@ -59,6 +59,33 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+/// Shared-prefix KV-cache observability: counters accumulated by a serving
+/// backend (numeric Engine or simulated GpuRunner) plus point-in-time
+/// gauges filled when the snapshot is taken. One struct on both tiers so
+/// benches and examples print identical reports.
+struct PrefixCacheStats {
+  // Counters.
+  std::int64_t lookups = 0;     ///< admissions that consulted the index
+  std::int64_t hits = 0;        ///< admissions with a usable cached prefix
+  std::int64_t hit_tokens = 0;  ///< prefill tokens skipped via cache hits
+  std::int64_t prefill_tokens = 0;  ///< prefill tokens actually computed
+  std::int64_t insertions = 0;  ///< prefixes registered
+  std::int64_t evictions = 0;   ///< entries dropped (LRU, page pressure)
+  // Gauges (state at snapshot time).
+  std::int64_t cached_entries = 0;
+  std::int64_t cached_tokens = 0;
+  std::int32_t pages_in_use = 0;
+  std::int32_t shared_pages = 0;
+  std::int32_t free_pages = 0;
+
+  double HitRate() const;
+  /// Fraction of would-be prefill tokens served from cache:
+  /// hit_tokens / (hit_tokens + prefill_tokens).
+  double TokenSaveRate() const;
+  /// One-line human-readable report.
+  std::string Format() const;
+};
+
 /// Accumulates (time, value) samples and reduces them into fixed windows —
 /// e.g. tokens/s per 60-second bucket for the Fig. 13 time series.
 class TimeSeries {

@@ -4,6 +4,33 @@
 
 namespace punica {
 
+std::int32_t TenantSystemPromptLen(const SharedPrefixSpec& spec,
+                                   std::uint64_t seed, LoraId tenant) {
+  if (!spec.enabled) return 0;
+  PUNICA_CHECK(spec.min_tokens >= 1);
+  PUNICA_CHECK(spec.max_tokens >= spec.min_tokens);
+  // Hash (seed, tenant) into its own stream so the length depends only on
+  // the tenant, not on how many requests preceded it in the trace.
+  Pcg32 rng(seed ^ (0xA24BAED4963EE407ULL +
+                    static_cast<std::uint64_t>(tenant) * 0x9E3779B97F4A7C15ULL));
+  auto range =
+      static_cast<std::uint32_t>(spec.max_tokens - spec.min_tokens + 1);
+  return spec.min_tokens + static_cast<std::int32_t>(rng.NextBounded(range));
+}
+
+namespace {
+
+void ApplySharedPrefix(const SharedPrefixSpec& spec, std::uint64_t seed,
+                       TraceRequest& r) {
+  std::int32_t sys = TenantSystemPromptLen(spec, seed, r.lora_id);
+  if (sys <= 0) return;
+  r.prompt_len += sys;
+  r.shared_prefix_len = sys;
+  r.prefix_group = r.lora_id;
+}
+
+}  // namespace
+
 std::vector<TraceRequest> GenerateClosedLoopTrace(const TraceSpec& spec) {
   PUNICA_CHECK(spec.num_requests >= 1);
   Pcg32 id_rng(spec.seed);
@@ -21,13 +48,15 @@ std::vector<TraceRequest> GenerateClosedLoopTrace(const TraceSpec& spec) {
                      .lora_id = lora_ids[static_cast<std::size_t>(i)],
                      .prompt_len = len.prompt_len,
                      .output_len = len.output_len});
+    ApplySharedPrefix(spec.shared_prefix, spec.seed, trace.back());
   }
   return trace;
 }
 
 std::vector<TraceRequest> GenerateOpenLoopTrace(
     std::vector<double> arrival_times, int num_models, double zipf_alpha,
-    std::uint64_t seed, ShareGptLengthSampler::Params lengths) {
+    std::uint64_t seed, ShareGptLengthSampler::Params lengths,
+    SharedPrefixSpec shared_prefix) {
   Pcg32 rng(seed);
   ShareGptLengthSampler sampler(lengths);
   ZipfAlphaSampler zipf(num_models, zipf_alpha);
@@ -40,6 +69,7 @@ std::vector<TraceRequest> GenerateOpenLoopTrace(
                      .lora_id = zipf.Sample(rng),
                      .prompt_len = len.prompt_len,
                      .output_len = len.output_len});
+    ApplySharedPrefix(shared_prefix, seed, trace.back());
   }
   return trace;
 }
@@ -47,6 +77,12 @@ std::vector<TraceRequest> GenerateOpenLoopTrace(
 std::int64_t TotalOutputTokens(const std::vector<TraceRequest>& trace) {
   std::int64_t total = 0;
   for (const auto& r : trace) total += r.output_len;
+  return total;
+}
+
+std::int64_t TotalPromptTokens(const std::vector<TraceRequest>& trace) {
+  std::int64_t total = 0;
+  for (const auto& r : trace) total += r.prompt_len;
   return total;
 }
 

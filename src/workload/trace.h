@@ -16,6 +16,22 @@ struct TraceRequest {
   LoraId lora_id = 0;
   std::int32_t prompt_len = 0;
   std::int32_t output_len = 0;
+  /// The first `shared_prefix_len` prompt tokens are the tenant's system
+  /// prompt, shared by every request with the same `prefix_group` — the
+  /// prefix-cache workload knob (0 / -1 = nothing shared).
+  std::int32_t shared_prefix_len = 0;
+  std::int64_t prefix_group = -1;
+};
+
+/// Per-tenant shared system prompts: each tenant (LoRA id) gets a system
+/// prompt of a length drawn once per tenant from [min_tokens, max_tokens];
+/// every request of that tenant carries it as a shared prefix on top of its
+/// sampled per-request prompt. This is the multi-tenant reality the paper's
+/// workload abstracts away — and what a shared-prefix KV cache exploits.
+struct SharedPrefixSpec {
+  bool enabled = false;
+  std::int32_t min_tokens = 128;
+  std::int32_t max_tokens = 512;
 };
 
 struct TraceSpec {
@@ -24,6 +40,7 @@ struct TraceSpec {
   double zipf_alpha = 1.5;
   std::uint64_t seed = 0xC0FFEE;
   ShareGptLengthSampler::Params lengths = {};
+  SharedPrefixSpec shared_prefix = {};
 };
 
 /// Closed-loop trace (paper §7.2: "We generate 1000 requests … batch in a
@@ -34,9 +51,18 @@ std::vector<TraceRequest> GenerateClosedLoopTrace(const TraceSpec& spec);
 /// Poisson process; LoRA ids drawn online from Zipf-α over `num_models`.
 std::vector<TraceRequest> GenerateOpenLoopTrace(
     std::vector<double> arrival_times, int num_models, double zipf_alpha,
-    std::uint64_t seed, ShareGptLengthSampler::Params lengths = {});
+    std::uint64_t seed, ShareGptLengthSampler::Params lengths = {},
+    SharedPrefixSpec shared_prefix = {});
 
 /// Total output tokens of a trace (the throughput denominator).
 std::int64_t TotalOutputTokens(const std::vector<TraceRequest>& trace);
+
+/// Total prompt tokens (the prefill-work denominator for cache benches).
+std::int64_t TotalPromptTokens(const std::vector<TraceRequest>& trace);
+
+/// The system-prompt length of `tenant` under `spec` — deterministic in
+/// (seed, tenant), independent of request order. 0 when disabled.
+std::int32_t TenantSystemPromptLen(const SharedPrefixSpec& spec,
+                                   std::uint64_t seed, LoraId tenant);
 
 }  // namespace punica

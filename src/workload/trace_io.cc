@@ -10,7 +10,12 @@
 namespace punica {
 
 namespace {
-constexpr const char* kHeader = "id,arrival_time,lora_id,prompt_len,output_len";
+// v2 appends the shared-prefix columns; v1 files still load (fields default
+// to "nothing shared").
+constexpr const char* kHeader =
+    "id,arrival_time,lora_id,prompt_len,output_len,shared_prefix_len,"
+    "prefix_group";
+constexpr const char* kHeaderV1 = "id,arrival_time,lora_id,prompt_len,output_len";
 }  // namespace
 
 std::string TraceToCsv(const std::vector<TraceRequest>& trace) {
@@ -19,8 +24,9 @@ std::string TraceToCsv(const std::vector<TraceRequest>& trace) {
   char line[128];
   for (const auto& r : trace) {
     std::snprintf(line, sizeof(line),
-                  "%" PRId64 ",%.9g,%" PRId64 ",%d,%d\n", r.id,
-                  r.arrival_time, r.lora_id, r.prompt_len, r.output_len);
+                  "%" PRId64 ",%.9g,%" PRId64 ",%d,%d,%d,%" PRId64 "\n",
+                  r.id, r.arrival_time, r.lora_id, r.prompt_len, r.output_len,
+                  r.shared_prefix_len, r.prefix_group);
     out += line;
   }
   return out;
@@ -31,17 +37,20 @@ std::vector<TraceRequest> TraceFromCsv(const std::string& csv) {
   std::string line;
   PUNICA_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
                    "empty trace file");
-  PUNICA_CHECK_MSG(line == kHeader, "unexpected trace header");
+  bool v1 = line == kHeaderV1;
+  PUNICA_CHECK_MSG(line == kHeader || v1, "unexpected trace header");
   std::vector<TraceRequest> trace;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     TraceRequest r;
     long long id = 0;
     long long lora = 0;
-    int parsed = std::sscanf(line.c_str(), "%lld,%lf,%lld,%d,%d", &id,
-                             &r.arrival_time, &lora, &r.prompt_len,
-                             &r.output_len);
-    PUNICA_CHECK_MSG(parsed == 5, "malformed trace row");
+    long long group = -1;
+    int parsed = std::sscanf(line.c_str(), "%lld,%lf,%lld,%d,%d,%d,%lld",
+                             &id, &r.arrival_time, &lora, &r.prompt_len,
+                             &r.output_len, &r.shared_prefix_len, &group);
+    PUNICA_CHECK_MSG(parsed == (v1 ? 5 : 7), "malformed trace row");
+    r.prefix_group = group;
     r.id = id;
     r.lora_id = lora;
     PUNICA_CHECK_MSG(r.prompt_len > 0 && r.output_len > 0,

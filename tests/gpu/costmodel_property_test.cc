@@ -135,5 +135,47 @@ TEST_P(SegmentShapeGrid, RankMonotone) {
 INSTANTIATE_TEST_SUITE_P(Batches, SegmentShapeGrid,
                          ::testing::Values(4, 8, 16, 32, 64));
 
+// --- Shared-prefix prefill (the prefix-hit term) ---
+
+class PrefixHitGrid : public ::testing::TestWithParam<int> {
+ protected:
+  CostModel cm_{A100Sxm80GB()};
+};
+
+TEST_P(PrefixHitGrid, SuffixPrefillCheaperThanColdNeverFree) {
+  // A chunk that is the suffix of a longer cached span must cost less than
+  // prefilling the whole span cold, but more than a cold prefill of just
+  // the chunk (it attends over the full cached kv).
+  int kv = GetParam();
+  LlamaConfig c = Llama7B();
+  std::vector<std::int32_t> chunk = {kv / 2};
+  std::vector<std::int64_t> full_kv = {kv};
+  std::vector<std::int64_t> chunk_kv = {kv / 2};
+  std::vector<std::int32_t> full_chunk = {kv};
+  double hit = cm_.AttentionPrefillLatency(c, chunk, full_kv, 1);
+  double cold_full = cm_.AttentionPrefillLatency(c, full_chunk, full_kv, 1);
+  double cold_half = cm_.AttentionPrefillLatency(c, chunk, chunk_kv, 1);
+  // At short kv the kernel is KV-read-bound and both stream the same full
+  // span — hence ≤, with strict savings once compute matters (kv ≥ 512).
+  EXPECT_LE(hit, cold_full);
+  if (kv >= 512) EXPECT_LT(hit, cold_full);
+  EXPECT_GE(hit, cold_half);
+}
+
+TEST_P(PrefixHitGrid, HitShavesWholeStepLatency) {
+  // Through StepLatency: the same request with a cached prefix is cheaper.
+  int kv = GetParam();
+  LlamaConfig c = Llama7B();
+  StepShape cold;
+  cold.prefill_chunks = {static_cast<std::int32_t>(kv)};
+  cold.prefill_kv_lens = {kv};
+  StepShape hit = cold;
+  hit.prefill_chunks = {static_cast<std::int32_t>(kv / 4)};
+  EXPECT_LT(cm_.StepLatency(c, hit), cm_.StepLatency(c, cold));
+}
+
+INSTANTIATE_TEST_SUITE_P(KvLens, PrefixHitGrid,
+                         ::testing::Values(128, 512, 2048));
+
 }  // namespace
 }  // namespace punica

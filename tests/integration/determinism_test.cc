@@ -33,19 +33,29 @@ struct Req {
 const std::vector<Req>& Scenario() {
   // Tight page pools force driver-orchestrated migration mid-stream, so the
   // comparison covers prefill, decode, re-prefill and consolidation paths.
+  // The last three requests share a tenant system prompt, so the sweep also
+  // covers prefix-cache hits: forked pages, CoW boundary copies and
+  // suffix-only prefills must be bit-identical at every thread count.
   static const std::vector<Req> reqs = {
       {0, {1, 2, 3, 4, 5, 6, 7, 8}, 24},
       {1, {9, 8, 7, 6, 5, 4, 3, 2}, 24},
       {2, {11, 12, 13}, 20},
       {-1, {21, 22, 23, 24}, 16},
       {0, {42}, 12},
+      {1, {70, 71, 72, 73, 74, 75, 76, 77, 78, 79, 80, 81}, 10},
+      {1, {70, 71, 72, 73, 74, 75, 76, 77, 78, 79, 80, 81}, 10},
+      {2, {70, 71, 72, 73, 74, 75, 76, 77, 78, 79, 91, 92, 93}, 8},
   };
   return reqs;
 }
 
 /// Builds the full numeric serving stack on `ctx` and runs the scenario,
-/// returning every request's streamed tokens.
-std::vector<std::vector<std::int32_t>> RunScenario(const ComputeContext& ctx) {
+/// returning every request's streamed tokens. `prefix_cache` toggles the
+/// shared-prefix KV cache on the engines; `hit_tokens` (optional)
+/// accumulates the cache hits actually realized.
+std::vector<std::vector<std::int32_t>> RunScenario(
+    const ComputeContext& ctx, bool prefix_cache = true,
+    std::int64_t* hit_tokens = nullptr) {
   LlamaModel model(TinyLlama(), 2024, &ctx);
   model.AddLora(0, 8, 1);
   model.AddLora(1, 8, 2);
@@ -57,7 +67,8 @@ std::vector<std::vector<std::int32_t>> RunScenario(const ComputeContext& ctx) {
   for (int g = 0; g < 2; ++g) {
     engines.push_back(std::make_unique<Engine>(
         &model, model.MakeKvConfig(/*num_pages=*/10),
-        EngineConfig{.max_batch_size = 4}));
+        EngineConfig{.max_batch_size = 4,
+                     .enable_prefix_cache = prefix_cache}));
     backends.push_back(std::make_unique<EngineBackend>(g, engines.back().get()));
     raw.push_back(backends.back().get());
     // The plumbing contract: every backend over this backbone reports the
@@ -88,6 +99,11 @@ std::vector<std::vector<std::int32_t>> RunScenario(const ComputeContext& ctx) {
     EXPECT_NE(stream, nullptr);
     streams.push_back(stream != nullptr ? stream->DrainAll()
                                         : std::vector<std::int32_t>{});
+  }
+  if (hit_tokens != nullptr) {
+    for (const auto& e : engines) {
+      *hit_tokens += e->prefix_cache_stats().hit_tokens;
+    }
   }
   return streams;
 }
@@ -143,6 +159,42 @@ TEST(DeterminismTest, TokenStreamsBitIdenticalAcrossThreadCountsNativeSimd) {
   if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
   ScopedSimdLevel guard(SimdLevel::kNative);
   ExpectStreamsBitIdenticalAcrossThreadCounts();
+}
+
+/// The shared-prefix contract: a prefix-hit stream must be bit-identical to
+/// the cold-start stream — cached pages hold exactly the bits a cold
+/// prefill would write, and suffix-only prefills change no reduction
+/// order. Checked at several thread counts; the scenario's repeated tenant
+/// prompts guarantee the enabled run actually takes the hit path.
+void ExpectPrefixHitStreamsEqualColdStreams() {
+  for (int threads : {1, 4}) {
+    ComputeContext ctx({.num_threads = threads});
+    std::int64_t hits = 0;
+    auto with_cache = RunScenario(ctx, /*prefix_cache=*/true, &hits);
+    auto cold = RunScenario(ctx, /*prefix_cache=*/false);
+    EXPECT_GT(hits, 0) << "scenario exercised no prefix hits";
+    ASSERT_EQ(with_cache.size(), cold.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+      EXPECT_EQ(with_cache[i], cold[i])
+          << "request " << i << " diverged between prefix-hit and "
+          << "cold-start runs at " << threads << " threads";
+    }
+  }
+}
+
+TEST(DeterminismTest, PrefixHitStreamsBitIdenticalToColdStart) {
+  ExpectPrefixHitStreamsEqualColdStreams();
+}
+
+TEST(DeterminismTest, PrefixHitStreamsBitIdenticalToColdStartScalarSimd) {
+  ScopedSimdLevel guard(SimdLevel::kScalar);
+  ExpectPrefixHitStreamsEqualColdStreams();
+}
+
+TEST(DeterminismTest, PrefixHitStreamsBitIdenticalToColdStartNativeSimd) {
+  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
+  ScopedSimdLevel guard(SimdLevel::kNative);
+  ExpectPrefixHitStreamsEqualColdStreams();
 }
 
 /// Steps an engine `steps` times, then cancels the request and returns its

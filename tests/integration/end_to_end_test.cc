@@ -178,7 +178,21 @@ TEST(EndToEndTest, KvPagesFullyReleased) {
       {.lora = 0, .prompt_tokens = {1, 2, 3, 4, 5}, .max_new_tokens = 8});
   engine.AddRequest({.lora = 1, .prompt_tokens = {1, 2}, .max_new_tokens = 4});
   while (engine.HasWork()) engine.Step();
-  EXPECT_EQ(engine.kv_free_pages(), before);  // no page leaks
+  // Finished requests leave their prompt prefixes cached by design, but
+  // every held page must be reclaimable — no leaked references.
+  EXPECT_EQ(engine.AvailablePages(), before);
+}
+
+TEST(EndToEndTest, KvPagesFullyReleasedWithoutPrefixCache) {
+  TestHarness h;
+  Engine engine(&h.model, h.model.MakeKvConfig(64, 4),
+                EngineConfig{.enable_prefix_cache = false});
+  std::int32_t before = engine.kv_free_pages();
+  engine.AddRequest(
+      {.lora = 0, .prompt_tokens = {1, 2, 3, 4, 5}, .max_new_tokens = 8});
+  engine.AddRequest({.lora = 1, .prompt_tokens = {1, 2}, .max_new_tokens = 4});
+  while (engine.HasWork()) engine.Step();
+  EXPECT_EQ(engine.kv_free_pages(), before);  // no page leaks at all
 }
 
 TEST(EndToEndTest, DeterministicAcrossEngines) {

@@ -154,7 +154,17 @@ TEST(MigrationTest, SourceKvReleasedOnCancel) {
   for (int i = 0; i < 5; ++i) e.Step();
   EXPECT_LT(e.kv_free_pages(), before);
   e.Cancel(id);
-  EXPECT_EQ(e.kv_free_pages(), before);
+  // The evict half of migration releases the request's references; the
+  // computed chain stays registered as a cached prefix (so a bounce-back
+  // rebuild is cheap), but every held page must remain reclaimable.
+  EXPECT_EQ(e.AvailablePages(), before);
+  // (7, not 8: a hit always leaves at least one token to prefill so the
+  // model emits the next-token logits.)
+  EXPECT_EQ(e.PrefixHitTokens(0,
+                              std::vector<std::int32_t>{1, 2, 3, 4, 5, 6, 7,
+                                                        8},
+                              {}),
+            7);
 }
 
 // --- Scheduler-level migration over numeric backends (unified API) ---

@@ -161,6 +161,149 @@ TEST(KvCacheTest, ManySequencesInterleaved) {
   }
 }
 
+// --- Sharing: ForkFrom + copy-on-write ---
+
+TEST(KvCacheForkTest, ForkAliasesWholePagesByReference) {
+  PagedKvCache kv(SmallConfig());  // page size 4
+  SeqId src = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(src, 10));  // 3 pages (2 full + 1 partial)
+  ASSERT_EQ(kv.used_pages(), 3);
+
+  SeqId fork = kv.ForkFrom(src, 10);
+  EXPECT_EQ(kv.SeqLen(fork), 10);
+  EXPECT_EQ(kv.SeqPages(fork), 3);
+  // No data moved: the fork holds the same physical pages.
+  auto src_table = kv.PageTable(src);
+  auto fork_table = kv.PageTable(fork);
+  ASSERT_EQ(src_table.size(), fork_table.size());
+  for (std::size_t i = 0; i < src_table.size(); ++i) {
+    EXPECT_EQ(src_table[i], fork_table[i]);
+  }
+  EXPECT_EQ(kv.used_pages(), 3);
+  EXPECT_EQ(kv.shared_pages(), 3);
+  EXPECT_EQ(kv.PageRefCount(fork, 0), 2);
+
+  // Reads through the fork see the source's K/V bits (same storage).
+  const PagedKvCache& ckv = kv;
+  EXPECT_EQ(ckv.Entry(fork, 0, 9, KvSlot::kKey).data(),
+            ckv.Entry(src, 0, 9, KvSlot::kKey).data());
+}
+
+TEST(KvCacheForkTest, PartialPrefixForkSharesOnlyCoveringPages) {
+  PagedKvCache kv(SmallConfig());
+  SeqId src = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(src, 10));
+  SeqId fork = kv.ForkFrom(src, 5);  // 2 pages: 1 full + 1 partial boundary
+  EXPECT_EQ(kv.SeqLen(fork), 5);
+  EXPECT_EQ(kv.SeqPages(fork), 2);
+  EXPECT_EQ(kv.shared_pages(), 2);
+  EXPECT_EQ(kv.PageRefCount(src, 2), 1);  // src's tail stays exclusive
+}
+
+TEST(KvCacheForkTest, ExtendCopiesSharedBoundaryPageBeforeWriting) {
+  PagedKvCache kv(SmallConfig(/*pages=*/8));
+  SeqId src = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(src, 6));  // page 0 full, page 1 half
+  // Tag the boundary slot the fork will inherit.
+  kv.Entry(src, 0, 5, KvSlot::kKey)[0] = f16(55.0f);
+  kv.Entry(src, 1, 4, KvSlot::kValue)[0] = f16(44.0f);
+
+  SeqId fork = kv.ForkFrom(src, 6);
+  ASSERT_EQ(kv.used_pages(), 2);
+  // Growing the fork writes into the shared partial tail page → the fork
+  // must deep-copy that one page (CoW) and leave the source untouched.
+  ASSERT_TRUE(kv.Extend(fork, 3));  // len 9: CoW page 1 + one fresh page
+  EXPECT_EQ(kv.used_pages(), 4);
+  EXPECT_EQ(kv.shared_pages(), 1);  // only the full page 0 is still shared
+  EXPECT_NE(kv.PageTable(fork)[1], kv.PageTable(src)[1]);
+  EXPECT_EQ(kv.PageTable(fork)[0], kv.PageTable(src)[0]);
+
+  // The copy carried the inherited bits...
+  const PagedKvCache& ckv = kv;
+  EXPECT_EQ(ckv.Entry(fork, 0, 5, KvSlot::kKey)[0].ToFloat(), 55.0f);
+  EXPECT_EQ(ckv.Entry(fork, 1, 4, KvSlot::kValue)[0].ToFloat(), 44.0f);
+  // ...and diverging writes stay private to the fork.
+  kv.Entry(fork, 0, 7, KvSlot::kKey)[0] = f16(77.0f);
+  ASSERT_TRUE(kv.Extend(src, 2));  // src grows into its own page 1 (no CoW
+                                   // needed: src's tail is exclusive again)
+  EXPECT_EQ(kv.used_pages(), 4);
+  kv.Entry(src, 0, 7, KvSlot::kKey)[0] = f16(11.0f);
+  EXPECT_EQ(ckv.Entry(fork, 0, 7, KvSlot::kKey)[0].ToFloat(), 77.0f);
+  EXPECT_EQ(ckv.Entry(src, 0, 7, KvSlot::kKey)[0].ToFloat(), 11.0f);
+}
+
+TEST(KvCacheForkTest, PageAlignedForkExtendsWithoutCopy) {
+  PagedKvCache kv(SmallConfig());
+  SeqId src = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(src, 8));  // 2 full pages
+  SeqId fork = kv.ForkFrom(src, 8);
+  EXPECT_EQ(kv.used_pages(), 2);
+  ASSERT_TRUE(kv.Extend(fork, 1));  // growth starts a fresh page — no CoW
+  EXPECT_EQ(kv.used_pages(), 3);
+  EXPECT_EQ(kv.shared_pages(), 2);
+}
+
+TEST(KvCacheForkTest, CowExhaustionRollsBackCleanly) {
+  PagedKvCache kv(SmallConfig(/*pages=*/2));
+  SeqId src = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(src, 6));  // both pages in use, page 1 partial
+  SeqId fork = kv.ForkFrom(src, 6);
+  // Extending the fork needs the CoW copy of page 1, but the pool is empty.
+  EXPECT_FALSE(kv.Extend(fork, 1));
+  EXPECT_EQ(kv.SeqLen(fork), 6);
+  EXPECT_EQ(kv.SeqPages(fork), 2);
+  EXPECT_EQ(kv.PageTable(fork)[1], kv.PageTable(src)[1]);  // still aliased
+  EXPECT_EQ(kv.free_pages(), 0);
+  // Freeing the source's references doesn't free shared pages...
+  kv.FreeSequence(src);
+  EXPECT_EQ(kv.free_pages(), 0);
+  EXPECT_EQ(kv.shared_pages(), 0);
+  // ...but now the fork owns its tail exclusively: no copy needed. The
+  // fork still cannot grow (no free page for slot 6? it CAN: len 6 % 4 != 0
+  // and page is exclusive → writes land in page 1 directly).
+  EXPECT_TRUE(kv.Extend(fork, 2));
+  EXPECT_EQ(kv.SeqLen(fork), 8);
+  kv.FreeSequence(fork);
+  EXPECT_EQ(kv.free_pages(), 2);
+}
+
+TEST(KvCacheForkTest, FreeOrderIndependence) {
+  PagedKvCache kv(SmallConfig());
+  SeqId src = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(src, 7));
+  SeqId f1 = kv.ForkFrom(src, 7);
+  SeqId f2 = kv.ForkFrom(src, 4);
+  EXPECT_EQ(kv.used_pages(), 2);
+  kv.FreeSequence(src);  // forks keep the pages alive
+  EXPECT_EQ(kv.used_pages(), 2);
+  const PagedKvCache& ckv = kv;
+  (void)ckv.Entry(f1, 1, 6, KvSlot::kValue);  // still addressable
+  kv.FreeSequence(f1);
+  EXPECT_EQ(kv.used_pages(), 1);  // page 0 held by f2
+  kv.FreeSequence(f2);
+  EXPECT_EQ(kv.used_pages(), 0);
+  EXPECT_EQ(kv.free_pages(), 8);
+}
+
+TEST(KvCacheForkDeathTest, WritingSharedPageAborts) {
+  PagedKvCache kv(SmallConfig());
+  SeqId src = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(src, 4));
+  SeqId fork = kv.ForkFrom(src, 4);
+  (void)fork;
+  // The CoW invariant is enforced, not advisory: mutable access to a shared
+  // page is a programming error on either sequence.
+  EXPECT_DEATH(kv.Entry(src, 0, 0, KvSlot::kKey), "shared page");
+  EXPECT_DEATH(kv.Entry(fork, 0, 3, KvSlot::kKey), "shared page");
+}
+
+TEST(KvCacheForkDeathTest, ForkBeyondSourceLengthAborts) {
+  PagedKvCache kv(SmallConfig());
+  SeqId src = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(src, 4));
+  EXPECT_DEATH(kv.ForkFrom(src, 5), "fork beyond source length");
+}
+
 TEST(KvCacheDeathTest, OutOfRangeAccessAborts) {
   PagedKvCache kv(SmallConfig());
   SeqId s = kv.CreateSequence();

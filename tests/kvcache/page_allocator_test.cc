@@ -20,18 +20,19 @@ TEST(PageAllocatorTest, AllocatesAllPagesExactlyOnce) {
     EXPECT_TRUE(seen.insert(*p).second) << "duplicate page " << *p;
     EXPECT_GE(*p, 0);
     EXPECT_LT(*p, 16);
+    EXPECT_EQ(alloc.RefCount(*p), 1);
   }
   EXPECT_FALSE(alloc.Alloc().has_value());
   EXPECT_EQ(alloc.free_pages(), 0);
   EXPECT_EQ(alloc.used_pages(), 16);
 }
 
-TEST(PageAllocatorTest, FreeMakesPageReusable) {
+TEST(PageAllocatorTest, ReleaseMakesPageReusable) {
   PageAllocator alloc(1);
   auto p = alloc.Alloc();
   ASSERT_TRUE(p.has_value());
   EXPECT_FALSE(alloc.Alloc().has_value());
-  alloc.Free(*p);
+  alloc.Release(*p);
   EXPECT_EQ(alloc.free_pages(), 1);
   auto q = alloc.Alloc();
   ASSERT_TRUE(q.has_value());
@@ -49,52 +50,136 @@ TEST(PageAllocatorTest, IsAllocatedTracksState) {
   auto p = alloc.Alloc();
   ASSERT_TRUE(p.has_value());
   EXPECT_TRUE(alloc.IsAllocated(*p));
-  alloc.Free(*p);
+  alloc.Release(*p);
   EXPECT_FALSE(alloc.IsAllocated(*p));
+}
+
+TEST(PageAllocatorTest, RetainReleaseCountsAndSharedGauge) {
+  PageAllocator alloc(4);
+  auto p = alloc.Alloc();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(alloc.shared_pages(), 0);
+  alloc.Retain(*p);
+  EXPECT_EQ(alloc.RefCount(*p), 2);
+  EXPECT_EQ(alloc.shared_pages(), 1);
+  alloc.Retain(*p);
+  EXPECT_EQ(alloc.RefCount(*p), 3);
+  EXPECT_EQ(alloc.shared_pages(), 1);  // shared is a >1 gauge, not a sum
+  alloc.Release(*p);
+  EXPECT_EQ(alloc.shared_pages(), 1);
+  alloc.Release(*p);
+  EXPECT_EQ(alloc.shared_pages(), 0);
+  EXPECT_TRUE(alloc.IsAllocated(*p));  // one reference left
+  EXPECT_EQ(alloc.free_pages(), 3);
+  alloc.Release(*p);
+  EXPECT_EQ(alloc.free_pages(), 4);
+}
+
+// A retained page must survive releases by other holders: exhaustion then
+// release returns exactly the zero-refcount pages to the pool, in a reusable
+// state.
+TEST(PageAllocatorTest, ExhaustionThenReleaseReuse) {
+  PageAllocator alloc(4);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 4; ++i) {
+    auto p = alloc.Alloc();
+    ASSERT_TRUE(p.has_value());
+    pages.push_back(*p);
+  }
+  ASSERT_FALSE(alloc.Alloc().has_value());
+
+  // Share page 0 (refcount 2); then drop one reference on every page.
+  alloc.Retain(pages[0]);
+  for (PageId p : pages) alloc.Release(p);
+  // Pages 1..3 are free again; page 0 is still held by the second reference.
+  EXPECT_EQ(alloc.free_pages(), 3);
+  EXPECT_TRUE(alloc.IsAllocated(pages[0]));
+
+  std::set<PageId> reused;
+  for (int i = 0; i < 3; ++i) {
+    auto p = alloc.Alloc();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NE(*p, pages[0]) << "allocator handed out a still-referenced page";
+    EXPECT_TRUE(reused.insert(*p).second);
+  }
+  EXPECT_FALSE(alloc.Alloc().has_value());
+  alloc.Release(pages[0]);
+  auto p = alloc.Alloc();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, pages[0]);
 }
 
 TEST(PageAllocatorDeathTest, DoubleFreeAborts) {
   PageAllocator alloc(4);
   auto p = alloc.Alloc();
   ASSERT_TRUE(p.has_value());
-  alloc.Free(*p);
-  EXPECT_DEATH(alloc.Free(*p), "double free");
+  alloc.Release(*p);
+  EXPECT_DEATH(alloc.Release(*p), "double free");
+}
+
+TEST(PageAllocatorDeathTest, OverRetainAborts) {
+  PageAllocator alloc(4);
+  auto p = alloc.Alloc();
+  ASSERT_TRUE(p.has_value());
+  alloc.Release(*p);
+  // Retaining a page that holds no references resurrects freed memory — the
+  // over-retain programming error.
+  EXPECT_DEATH(alloc.Retain(*p), "over-retain");
 }
 
 TEST(PageAllocatorDeathTest, ForeignPageAborts) {
   PageAllocator alloc(4);
-  EXPECT_DEATH(alloc.Free(99), "foreign page");
-  EXPECT_DEATH(alloc.Free(-1), "foreign page");
+  EXPECT_DEATH(alloc.Release(99), "foreign page");
+  EXPECT_DEATH(alloc.Release(-1), "foreign page");
+  EXPECT_DEATH(alloc.Retain(99), "foreign page");
 }
 
-// Property test: random alloc/free churn never double-allocates, never
-// leaks, and the free count always equals capacity − live.
+// Property test: random alloc/retain/release churn never double-allocates,
+// never leaks, and a page returns to the free list exactly when its last
+// reference drops.
 TEST(PageAllocatorPropertyTest, RandomChurnInvariants) {
   Pcg32 rng(123);
   PageAllocator alloc(64);
-  std::vector<PageId> live;
+  std::vector<PageId> live;  // one element per outstanding reference
   for (int step = 0; step < 20000; ++step) {
-    bool do_alloc = live.empty() || (rng.NextDouble() < 0.55 &&
-                                     alloc.free_pages() > 0);
-    if (do_alloc) {
+    double roll = rng.NextDouble();
+    if (live.empty() || (roll < 0.40 && alloc.free_pages() > 0)) {
       auto p = alloc.Alloc();
       if (p.has_value()) {
-        // Must not already be live.
+        // A fresh page must not have an outstanding reference.
         EXPECT_EQ(std::count(live.begin(), live.end(), *p), 0);
         live.push_back(*p);
       } else {
-        EXPECT_EQ(static_cast<int>(live.size()), 64);
+        EXPECT_EQ(alloc.used_pages(), 64);
       }
+    } else if (roll < 0.55 && !live.empty()) {
+      std::size_t idx = rng.NextBounded(
+          static_cast<std::uint32_t>(live.size()));
+      alloc.Retain(live[idx]);
+      live.push_back(live[idx]);
     } else if (!live.empty()) {
       std::size_t idx = rng.NextBounded(
           static_cast<std::uint32_t>(live.size()));
-      alloc.Free(live[idx]);
+      alloc.Release(live[idx]);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
     }
-    ASSERT_EQ(alloc.used_pages(), static_cast<std::int32_t>(live.size()));
     ASSERT_EQ(alloc.free_pages() + alloc.used_pages(), 64);
+    if (step % 250 != 0) continue;
+    // Full sweep (periodically — it is quadratic in outstanding refs):
+    // used == distinct live pages, refcounts match reference multiplicity,
+    // shared gauge == pages with multiplicity > 1.
+    std::set<PageId> distinct(live.begin(), live.end());
+    ASSERT_EQ(alloc.used_pages(), static_cast<std::int32_t>(distinct.size()));
+    std::int32_t shared = 0;
+    for (PageId p : distinct) {
+      auto refs = static_cast<std::int32_t>(
+          std::count(live.begin(), live.end(), p));
+      ASSERT_EQ(alloc.RefCount(p), refs);
+      if (refs > 1) ++shared;
+    }
+    ASSERT_EQ(alloc.shared_pages(), shared);
   }
-  for (PageId p : live) alloc.Free(p);
+  for (PageId p : live) alloc.Release(p);
   EXPECT_EQ(alloc.free_pages(), 64);
 }
 

@@ -1,0 +1,176 @@
+#include "kvcache/prefix_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace punica {
+namespace {
+
+std::vector<std::int32_t> Toks(std::initializer_list<std::int32_t> xs) {
+  return std::vector<std::int32_t>(xs);
+}
+
+TEST(PrefixIndexTest, EmptyIndexMissesEverything) {
+  PrefixIndex idx;
+  EXPECT_EQ(idx.size(), 0u);
+  auto m = idx.Lookup(Toks({1, 2, 3}));
+  EXPECT_EQ(m.entry, -1);
+  EXPECT_EQ(m.matched_tokens, 0);
+}
+
+TEST(PrefixIndexTest, ExactAndPartialMatch) {
+  PrefixIndex idx;
+  auto r = idx.Insert(Toks({1, 2, 3, 4}), /*seq=*/7);
+  ASSERT_TRUE(r.inserted);
+
+  auto exact = idx.Lookup(Toks({1, 2, 3, 4}));
+  EXPECT_EQ(exact.entry, r.entry);
+  EXPECT_EQ(exact.seq, 7);
+  EXPECT_EQ(exact.matched_tokens, 4);
+
+  // Query longer than the entry: matches the whole entry.
+  auto longer = idx.Lookup(Toks({1, 2, 3, 4, 9, 9}));
+  EXPECT_EQ(longer.entry, r.entry);
+  EXPECT_EQ(longer.matched_tokens, 4);
+
+  // Query diverging mid-entry: matches the common prefix — the caller can
+  // still fork the entry's sequence at that depth.
+  auto partial = idx.Lookup(Toks({1, 2, 9}));
+  EXPECT_EQ(partial.entry, r.entry);
+  EXPECT_EQ(partial.matched_tokens, 2);
+
+  // Divergence at the first token: miss.
+  EXPECT_EQ(idx.Lookup(Toks({2, 1})).matched_tokens, 0);
+}
+
+TEST(PrefixIndexTest, LongestOfSeveralEntriesWins) {
+  PrefixIndex idx;
+  idx.Insert(Toks({5, 6}), 1);
+  auto deep = idx.Insert(Toks({5, 6, 7, 8}), 2);
+  idx.Insert(Toks({5, 9}), 3);
+
+  auto m = idx.Lookup(Toks({5, 6, 7, 8, 100}));
+  EXPECT_EQ(m.entry, deep.entry);
+  EXPECT_EQ(m.seq, 2);
+  EXPECT_EQ(m.matched_tokens, 4);
+
+  // A query stopping between the two nested entries matches depth 3; the
+  // returned holder must still cover those 3 tokens (the deep entry does).
+  auto mid = idx.Lookup(Toks({5, 6, 7, 42}));
+  EXPECT_EQ(mid.entry, deep.entry);
+  EXPECT_EQ(mid.matched_tokens, 3);
+}
+
+TEST(PrefixIndexTest, DuplicateInsertTouchesInsteadOfDuplicating) {
+  PrefixIndex idx;
+  auto a = idx.Insert(Toks({1, 2}), 10);
+  auto b = idx.Insert(Toks({3, 4}), 11);
+  ASSERT_TRUE(a.inserted);
+  ASSERT_TRUE(b.inserted);
+  // Re-inserting {1,2} touches entry a — so b becomes the LRU victim.
+  auto dup = idx.Insert(Toks({1, 2}), 99);
+  EXPECT_FALSE(dup.inserted);
+  EXPECT_EQ(dup.entry, a.entry);
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.entry_seq(a.entry), 10);  // original holder kept
+  ASSERT_TRUE(idx.LruVictim().has_value());
+  EXPECT_EQ(*idx.LruVictim(), b.entry);
+}
+
+TEST(PrefixIndexTest, LruOrderFollowsTouches) {
+  PrefixIndex idx;
+  auto a = idx.Insert(Toks({1}), 1);
+  auto b = idx.Insert(Toks({2}), 2);
+  auto c = idx.Insert(Toks({3}), 3);
+  EXPECT_EQ(*idx.LruVictim(), a.entry);
+  idx.Touch(a.entry);
+  EXPECT_EQ(*idx.LruVictim(), b.entry);
+  idx.Touch(b.entry);
+  EXPECT_EQ(*idx.LruVictim(), c.entry);
+}
+
+TEST(PrefixIndexTest, PinBlocksEviction) {
+  PrefixIndex idx;
+  auto a = idx.Insert(Toks({1}), 1);
+  auto b = idx.Insert(Toks({2}), 2);
+  idx.Pin(a.entry);
+  EXPECT_EQ(*idx.LruVictim(), b.entry);
+  idx.Pin(b.entry);
+  EXPECT_FALSE(idx.LruVictim().has_value());
+  EXPECT_TRUE(idx.EvictableEntries().empty());
+  idx.Unpin(a.entry);
+  EXPECT_EQ(*idx.LruVictim(), a.entry);
+  idx.Unpin(b.entry);
+  EXPECT_EQ(idx.EvictableEntries().size(), 2u);
+}
+
+TEST(PrefixIndexTest, EraseReturnsSeqAndRestructuresTrie) {
+  PrefixIndex idx;
+  auto shallow = idx.Insert(Toks({5, 6}), 1);
+  auto deep = idx.Insert(Toks({5, 6, 7, 8}), 2);
+  EXPECT_EQ(idx.cached_tokens(), 6);
+
+  // Erasing the deep entry must re-point lookups at the shallow one.
+  EXPECT_EQ(idx.Erase(deep.entry), 2);
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_EQ(idx.cached_tokens(), 2);
+  auto m = idx.Lookup(Toks({5, 6, 7, 8}));
+  EXPECT_EQ(m.entry, shallow.entry);
+  EXPECT_EQ(m.matched_tokens, 2);
+
+  // And erasing the last entry empties the index completely.
+  EXPECT_EQ(idx.Erase(shallow.entry), 1);
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.cached_tokens(), 0);
+  EXPECT_EQ(idx.Lookup(Toks({5, 6})).matched_tokens, 0);
+}
+
+TEST(PrefixIndexTest, EraseShallowKeepsDeepReachable) {
+  PrefixIndex idx;
+  auto shallow = idx.Insert(Toks({5, 6}), 1);
+  auto deep = idx.Insert(Toks({5, 6, 7, 8}), 2);
+  idx.Erase(shallow.entry);
+  auto m = idx.Lookup(Toks({5, 6, 9}));
+  EXPECT_EQ(m.entry, deep.entry);
+  EXPECT_EQ(m.matched_tokens, 2);  // common prefix with the deep entry
+}
+
+TEST(PrefixIndexTest, EraseSiblingKeepsOthers) {
+  PrefixIndex idx;
+  auto a = idx.Insert(Toks({1, 2, 3}), 1);
+  auto b = idx.Insert(Toks({1, 2, 4}), 2);
+  idx.Erase(a.entry);
+  auto m = idx.Lookup(Toks({1, 2, 4}));
+  EXPECT_EQ(m.entry, b.entry);
+  EXPECT_EQ(m.matched_tokens, 3);
+  // The shared {1,2} path must survive and still route to b.
+  EXPECT_EQ(idx.Lookup(Toks({1, 2, 3})).entry, b.entry);
+  EXPECT_EQ(idx.Lookup(Toks({1, 2, 3})).matched_tokens, 2);
+}
+
+TEST(PrefixIndexTest, FindExactMatchesWholeKeysOnly) {
+  PrefixIndex idx;
+  auto a = idx.Insert(Toks({1, 2, 3}), 1);
+  idx.Insert(Toks({1, 2, 3, 4}), 2);
+  EXPECT_EQ(idx.FindExact(Toks({1, 2, 3})), a.entry);
+  EXPECT_FALSE(idx.FindExact(Toks({1, 2})).has_value());      // prefix only
+  EXPECT_FALSE(idx.FindExact(Toks({1, 2, 3, 9})).has_value());
+  EXPECT_FALSE(idx.FindExact({}).has_value());
+  idx.Erase(a.entry);
+  EXPECT_FALSE(idx.FindExact(Toks({1, 2, 3})).has_value());
+}
+
+TEST(PrefixIndexDeathTest, Misuse) {
+  PrefixIndex idx;
+  EXPECT_DEATH(idx.Insert({}, 1), "empty prefix");
+  EXPECT_DEATH(idx.Touch(42), "unknown prefix entry");
+  auto a = idx.Insert(Toks({1}), 1);
+  idx.Pin(a.entry);
+  EXPECT_DEATH(idx.Erase(a.entry), "pinned");
+  idx.Unpin(a.entry);
+  EXPECT_DEATH(idx.Unpin(a.entry), "unbalanced unpin");
+}
+
+}  // namespace
+}  // namespace punica

@@ -260,5 +260,217 @@ TEST_F(EngineTest, EvictionVictimQueryNewestFirst) {
   EXPECT_NE(victims[0], a.id());
 }
 
+// --- Shared-prefix KV cache ---
+
+TEST_F(EngineTest, SharedPromptSecondRequestPrefillsOnlySuffix) {
+  Engine e = MakeEngine();
+  const std::vector<std::int32_t> sys = {7, 8, 9, 10, 11, 12, 13, 14,
+                                         15, 16, 17, 18};
+  RequestHandle a =
+      e.AddRequest({.lora = 0, .prompt_tokens = sys, .max_new_tokens = 3});
+  while (e.HasWork()) e.Step();
+  std::vector<std::int32_t> expected = *e.Output(a);
+
+  // Same tenant prompt again: the prefill must alias the cached prefix and
+  // compute only the final token row (≥ 50% prefill-token reduction — here
+  // 11 of 12 tokens are served from cache).
+  RequestHandle b =
+      e.AddRequest({.lora = 0, .prompt_tokens = sys, .max_new_tokens = 3});
+  auto r = e.Step();
+  EXPECT_EQ(r.prefill_requests, 1);
+  EXPECT_EQ(r.prefill_tokens, 1);
+  EXPECT_EQ(r.prefix_hit_tokens, 11);
+  while (e.HasWork()) e.Step();
+  // Bit-identical to the cold run — cached K/V are exactly the bits a cold
+  // prefill would have written.
+  EXPECT_EQ(*e.Output(b), expected);
+
+  PrefixCacheStats s = e.prefix_cache_stats();
+  EXPECT_EQ(s.lookups, 2);
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.hit_tokens, 11);
+  EXPECT_GE(s.insertions, 1);
+  EXPECT_GT(s.TokenSaveRate(), 0.4);
+}
+
+TEST_F(EngineTest, PrefixHitMidBatchMatchesColdEngine) {
+  // Hits with other requests in flight: the batch mixes a suffix-prefill
+  // with decodes. Streams must equal a cache-disabled engine's.
+  auto run = [&](bool enable) {
+    EngineConfig cfg;
+    cfg.max_batch_size = 4;
+    cfg.enable_prefix_cache = enable;
+    Engine e(&model_, model_.MakeKvConfig(256), cfg);
+    std::vector<RequestHandle> ids;
+    ids.push_back(e.AddRequest({.lora = 0,
+                                .prompt_tokens = {5, 5, 5, 5, 5, 5, 5, 5},
+                                .max_new_tokens = 8}));
+    ids.push_back(e.AddRequest(
+        {.lora = 1, .prompt_tokens = {9, 1, 9}, .max_new_tokens = 6}));
+    e.Step();
+    e.Step();
+    // Same tenant prompt as the first request, admitted mid-flight.
+    ids.push_back(e.AddRequest({.lora = 0,
+                                .prompt_tokens = {5, 5, 5, 5, 5, 5, 5, 5},
+                                .max_new_tokens = 8}));
+    while (e.HasWork()) e.Step();
+    std::vector<std::vector<std::int32_t>> outs;
+    for (auto id : ids) outs.push_back(*e.Output(id));
+    return outs;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST_F(EngineTest, CancelRegistersChainForCheapMigrationRebuild) {
+  const std::vector<std::int32_t> prompt = {3, 1, 4, 1, 5, 9, 2, 6};
+  // Uninterrupted reference.
+  Engine ref = MakeEngine();
+  RequestHandle r0 = ref.AddRequest(
+      {.lora = 0, .prompt_tokens = prompt, .max_new_tokens = 10});
+  while (ref.HasWork()) ref.Step();
+  std::vector<std::int32_t> expected = *ref.Output(r0);
+
+  Engine e = MakeEngine();
+  RequestHandle id = e.AddRequest(
+      {.lora = 0, .prompt_tokens = prompt, .max_new_tokens = 10});
+  for (int i = 0; i < 5; ++i) e.Step();  // prefill + 4 decodes
+  auto snap = e.Cancel(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->generated.size(), 5u);
+
+  // The evicted chain stays cached: the rebuild prefills one token instead
+  // of prompt + generated.
+  RequestHandle back = e.AddMigrated(*snap);
+  auto r = e.Step();
+  EXPECT_EQ(r.prefill_tokens, 1);
+  // The cancelled sequence covered prompt (8) + 4 decoded positions = 12
+  // tokens; the 13-token rebuild chain hits all of them.
+  EXPECT_EQ(r.prefix_hit_tokens, 12);
+  while (e.HasWork()) e.Step();
+  EXPECT_EQ(*e.Output(back), expected);
+}
+
+TEST_F(EngineTest, CacheYieldsUnderPagePressureInsteadOfAborting) {
+  // Pool sized so that cached prefixes must be evicted to run the second
+  // request — the engine reclaims LRU entries instead of aborting or
+  // naming migration victims.
+  Engine e(&model_, model_.MakeKvConfig(/*num_pages=*/6, /*page_size=*/4),
+           EngineConfig{.max_batch_size = 2});
+  RequestHandle a = e.AddRequest({.lora = 0,
+                                  .prompt_tokens = {1, 2, 3, 4, 5, 6, 7, 8},
+                                  .max_new_tokens = 4});
+  while (e.HasWork()) e.Step();
+  EXPECT_GT(e.prefix_cache_stats().cached_entries, 0);
+
+  RequestHandle b = e.AddRequest(
+      {.lora = 1,
+       .prompt_tokens = {21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32,
+                         33, 34, 35, 36},
+       .max_new_tokens = 6});
+  while (e.HasWork()) e.Step();
+  ASSERT_NE(e.Output(b), nullptr);
+  EXPECT_EQ(e.Output(b)->size(), 6u);
+  EXPECT_GT(e.prefix_cache_stats().evictions, 0);
+  (void)a;
+}
+
+TEST_F(EngineTest, AdmissionFailurePathsLeakNothing) {
+  // The admission-failure audit: every admission-path check fires before
+  // any KvCache mutation, so cancel-after-admit always restores the pool
+  // regardless of fork/cold path, and a full working set never strands
+  // pages.
+  Engine e(&model_, model_.MakeKvConfig(64, 4),
+           EngineConfig{.max_batch_size = 2});
+  std::int32_t before = e.AvailablePages();
+  RequestHandle a = e.AddRequest({.lora = 0,
+                                  .prompt_tokens = {1, 2, 3, 4, 5, 6},
+                                  .max_new_tokens = 8});
+  e.Step();
+  // Admit a fork-path request (hits a's registered prompt), then cancel it
+  // before its prefill ever runs.
+  RequestHandle b = e.AddRequest({.lora = 0,
+                                  .prompt_tokens = {1, 2, 3, 4, 5, 6},
+                                  .max_new_tokens = 8});
+  EXPECT_FALSE(e.CanAdmit());  // working set full — callers must queue
+  auto snap = e.Cancel(b);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(snap->generated.empty());
+  auto snap_a = e.Cancel(a);
+  ASSERT_TRUE(snap_a.has_value());
+  // All request references released; whatever the cache retains is
+  // reclaimable.
+  EXPECT_EQ(e.AvailablePages(), before);
+}
+
+TEST_F(EngineTest, HitEntryNotDoubleCountedAsReclaimablePages) {
+  // Regression: CanAdmitPages must not count the hit's own entry as
+  // evictable headroom while simultaneously netting out its aliased
+  // pages — that admits infeasible requests which then livelock through
+  // the migration path.
+  Engine e(&model_, model_.MakeKvConfig(/*num_pages=*/3, /*page_size=*/4),
+           EngineConfig{.max_batch_size = 2});
+  const std::vector<std::int32_t> prompt = {1, 2, 3, 4, 5, 6, 7, 8};
+  RequestHandle a =
+      e.AddRequest({.lora = 0, .prompt_tokens = prompt, .max_new_tokens = 1});
+  while (e.HasWork()) e.Step();
+  (void)a;
+  // The cached prompt holds 2 pages; 1 page is free.
+  ASSERT_EQ(e.kv_free_pages(), 1);
+  ASSERT_EQ(e.PrefixHitTokens(0, prompt, {}), 7);
+  // The naive math says feasible (needs 2 net pages ≤ 1 free + 2
+  // "reclaimable") — but those reclaimable pages ARE the hit:
+  EXPECT_LE(e.PagesNeededForAdmission(0, prompt, {}), e.AvailablePages());
+  // CanAdmitPages excludes the hit's entry and refuses.
+  EXPECT_FALSE(e.CanAdmitPages(0, prompt, {}));
+  // A request that fits without the contradiction is still admissible.
+  const std::vector<std::int32_t> small = {1, 2, 3};
+  EXPECT_TRUE(e.CanAdmitPages(0, small, {}));
+}
+
+TEST_F(EngineTest, DuplicateRegistrationAtCapDoesNotThrash) {
+  // Regression: at max_cached_prefixes, re-registering an already-cached
+  // prompt (the steady-state hot-tenant case) must not evict unrelated
+  // entries.
+  EngineConfig cfg;
+  cfg.max_batch_size = 4;
+  cfg.max_cached_prefixes = 2;
+  Engine e(&model_, model_.MakeKvConfig(256), cfg);
+  const std::vector<std::int32_t> pa = {1, 1, 1, 1, 1};
+  const std::vector<std::int32_t> pb = {2, 2, 2, 2, 2};
+  auto run = [&](const std::vector<std::int32_t>& p) {
+    e.AddRequest({.lora = 0, .prompt_tokens = p, .max_new_tokens = 2});
+    while (e.HasWork()) e.Step();
+  };
+  run(pa);
+  run(pb);  // cache at cap: {pa, pb}
+  for (int i = 0; i < 3; ++i) run(pa);  // hot tenant re-registers pa
+  PrefixCacheStats s = e.prefix_cache_stats();
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(s.cached_entries, 2);
+  EXPECT_EQ(e.PrefixHitTokens(0, pb, {}), 4);  // pb survived
+}
+
+TEST_F(EngineTest, PrefixHitTokensQueryIsPureAndPageAware) {
+  Engine e(&model_, model_.MakeKvConfig(64, /*page_size=*/4), EngineConfig{});
+  const std::vector<std::int32_t> prompt = {4, 4, 4, 4, 4, 4, 4, 4};
+  EXPECT_EQ(e.PrefixHitTokens(0, prompt, {}), 0);
+  auto lookups_before = e.prefix_cache_stats().lookups;
+  RequestHandle id =
+      e.AddRequest({.lora = 0, .prompt_tokens = prompt, .max_new_tokens = 2});
+  while (e.HasWork()) e.Step();
+  (void)id;
+  EXPECT_EQ(e.PrefixHitTokens(0, prompt, {}), 7);
+  // Same text under a different adapter shares nothing: K/V bits carry the
+  // LoRA addon.
+  EXPECT_EQ(e.PrefixHitTokens(1, prompt, {}), 0);
+  // The query is pure: it never counts as a lookup.
+  EXPECT_EQ(e.prefix_cache_stats().lookups, lookups_before + 1);
+  // Admission needs fewer pages with the prefix cached than the cold
+  // formula would claim.
+  EXPECT_LT(e.PagesNeededForAdmission(0, prompt, {}),
+            e.kv_config().PagesNeeded(
+                static_cast<std::int64_t>(prompt.size()) + 1));
+}
+
 }  // namespace
 }  // namespace punica

@@ -262,5 +262,154 @@ TEST_F(RunnerTest, KvAccountingNeverExceedsCapacity) {
   }
 }
 
+// --- Shared-prefix cache (simulated tier) ---
+
+TEST_F(RunnerTest, SharedPrefixSecondPrefillChargesOnlySuffix) {
+  GpuRunner runner = MakeRunner();
+  auto annotate = [](ServingRequest r) {
+    r.shared_prefix_len = 60;
+    r.prefix_group = 7;
+    return r;
+  };
+  auto a = annotate(MakeRequest(1, 0, 100, 4));
+  runner.Admit(&a, 0.0);
+  double t = 2e-3;  // adapter loaded
+  StepResult s1 = runner.Step(t);
+  EXPECT_EQ(s1.prefill_tokens, 100);  // cold: full prompt, registers prefix
+  EXPECT_EQ(s1.prefix_hit_tokens, 0);
+  EXPECT_EQ(runner.prefix_cached_tokens(), 60);
+  EXPECT_EQ(runner.kv_used_tokens(), 100);  // sharing never double-charges
+
+  auto b = annotate(MakeRequest(2, 0, 100, 4));
+  EXPECT_EQ(runner.PrefixHitTokens(b), 60);
+  EXPECT_EQ(runner.KvTokensNeeded(b), 41);  // 100 + 1 − 60
+  runner.Admit(&b, t);
+  StepResult s2 = runner.Step(t);
+  EXPECT_EQ(s2.prefill_tokens, 40);  // only the uncached suffix
+  EXPECT_EQ(s2.prefix_hit_tokens, 60);
+  // a decoded once (its kv grew by 1); b charged 40.
+  EXPECT_EQ(runner.kv_used_tokens(), 141);
+
+  PrefixCacheStats st = runner.prefix_cache_stats();
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.hit_tokens, 60);
+  EXPECT_EQ(st.insertions, 1);
+  EXPECT_EQ(st.cached_entries, 1);
+}
+
+TEST_F(RunnerTest, PrefixHitStepIsCheaperThanCold) {
+  // The cost model's prefix-hit term: the same request is strictly cheaper
+  // when the tenant prefix is cached.
+  auto run_two = [&](bool share) {
+    GpuRunner runner = MakeRunner();
+    auto mk = [&](std::int64_t id) {
+      auto r = MakeRequest(id, -1, 200, 2);
+      if (share) {
+        r.shared_prefix_len = 150;
+        r.prefix_group = 1;
+      }
+      return r;
+    };
+    auto a = mk(1);
+    runner.Admit(&a, 0.0);
+    runner.Step(0.0);  // a prefill (registers when sharing)
+    auto b = mk(2);
+    runner.Admit(&b, 0.0);
+    // Drain a so only b's prefill remains.
+    runner.Cancel(1);
+    return runner.Step(0.0).latency;
+  };
+  EXPECT_LT(run_two(true), run_two(false));
+}
+
+TEST_F(RunnerTest, IdleCachedPrefixesReclaimedUnderPressure) {
+  config_.kv_capacity_tokens = 200;
+  GpuRunner runner = MakeRunner();
+  auto a = MakeRequest(1, -1, 100, 1);
+  a.shared_prefix_len = 80;
+  a.prefix_group = 3;
+  runner.Admit(&a, 0.0);
+  runner.Step(0.0);  // prefill + finish (output_len 1) → group idle
+  EXPECT_EQ(runner.working_set_size(), 0);
+  EXPECT_EQ(runner.prefix_cached_tokens(), 80);
+  EXPECT_EQ(runner.kv_used_tokens(), 80);  // the cache holds the prefix
+
+  // A fat cold request needs the cached tokens back: admission succeeds
+  // (reclaimable counts as headroom) and Step evicts the idle entry
+  // instead of aborting.
+  auto big = MakeRequest(2, -1, 180, 2);
+  EXPECT_TRUE(runner.CanAdmit(big));
+  runner.Admit(&big, 0.0);
+  EXPECT_TRUE(runner.SelectEvictionVictims(0.0).empty());
+  StepResult s = runner.Step(0.0);
+  EXPECT_EQ(s.prefill_tokens, 180);
+  EXPECT_EQ(runner.prefix_cached_tokens(), 0);
+  EXPECT_EQ(runner.prefix_cache_stats().evictions, 1);
+  EXPECT_LE(runner.kv_used_tokens(), 200);
+}
+
+TEST_F(RunnerTest, CancelBeforePrefillLeavesAccountingIntact) {
+  // Regression: a slot evicted before its prefill holds no tokens — its
+  // prospective prefix_hit must not be "released" into kv_used_tokens_.
+  GpuRunner runner = MakeRunner();
+  auto a = MakeRequest(1, -1, 100, 2);
+  a.shared_prefix_len = 60;
+  a.prefix_group = 7;
+  runner.Admit(&a, 0.0);
+  runner.Step(0.0);  // registers the prefix; a stays resident
+  std::int64_t used = runner.kv_used_tokens();
+
+  auto b = MakeRequest(2, -1, 100, 2);
+  b.shared_prefix_len = 60;
+  b.prefix_group = 7;
+  runner.Admit(&b, 0.0);  // prefix hit recorded at admission
+  runner.Cancel(2);       // evicted before any prefill ran
+  EXPECT_EQ(runner.kv_used_tokens(), used);
+  // And the victim projection treats such a slot the same way.
+  auto c = MakeRequest(3, -1, 100, 2);
+  c.shared_prefix_len = 60;
+  c.prefix_group = 7;
+  runner.Admit(&c, 0.0);
+  EXPECT_TRUE(runner.SelectEvictionVictims(0.0).empty());
+}
+
+TEST_F(RunnerTest, HitEntryNotDoubleCountedAsReclaimable) {
+  // Regression: a hit assumes its entry stays cached, so the entry's
+  // tokens cannot simultaneously serve as evictable headroom.
+  config_.kv_capacity_tokens = 520;
+  GpuRunner runner = MakeRunner();
+  auto a = MakeRequest(1, -1, 510, 1);
+  a.shared_prefix_len = 500;
+  a.prefix_group = 9;
+  runner.Admit(&a, 0.0);
+  runner.Step(0.0);  // finishes; entry (500 tokens) idle, used=500, free=20
+  EXPECT_EQ(runner.kv_used_tokens(), 500);
+
+  auto b = MakeRequest(2, -1, 600, 2);
+  b.shared_prefix_len = 500;
+  b.prefix_group = 9;
+  // Needs 101 tokens beyond the hit; only 20 are free and the hit's own
+  // entry is not evictable headroom → must queue, not livelock.
+  EXPECT_FALSE(runner.CanAdmit(b));
+  // A cold request that genuinely fits after reclaiming the idle entry is
+  // still admissible.
+  auto c = MakeRequest(3, -1, 400, 2);
+  EXPECT_TRUE(runner.CanAdmit(c));
+}
+
+TEST_F(RunnerTest, ResidentGroupPrefixNotReclaimed) {
+  config_.kv_capacity_tokens = 150;
+  GpuRunner runner = MakeRunner();
+  auto a = MakeRequest(1, -1, 100, 50);
+  a.shared_prefix_len = 80;
+  a.prefix_group = 3;
+  runner.Admit(&a, 0.0);
+  runner.Step(0.0);  // a resident, prefix registered
+  // A request that would only fit by stealing the resident group's prefix
+  // must NOT be admissible — those tokens are live.
+  auto big = MakeRequest(2, -1, 120, 2);
+  EXPECT_FALSE(runner.CanAdmit(big));
+}
+
 }  // namespace
 }  // namespace punica

@@ -320,5 +320,29 @@ TEST_F(SchedulerTest, BusyStaysBusyProperty) {
   EXPECT_EQ(runners_[0]->working_set_size(), 0);  // idle stays idle
 }
 
+TEST_F(SchedulerTest, PrefixAffinityOverridesLoadConcentration) {
+  MakeCluster(2);
+  // GPU 0 serves (and finishes) a tenant-7 request, leaving its system
+  // prompt cached there; GPU 1 is busier.
+  ServingRequest* warm = NewRequest(-1, 100, 1);
+  warm->shared_prefix_len = 60;
+  warm->prefix_group = 7;
+  runners_[0]->Admit(warm, 0.0);
+  runners_[0]->Step(0.0);  // prefill + finish → prefix cached, GPU 0 idle
+  ASSERT_EQ(runners_[0]->working_set_size(), 0);
+  runners_[1]->Admit(NewRequest(-1, 10, 99), 0.0);
+
+  // Load concentration alone would route to GPU 1 (largest working set);
+  // the cached tenant prefix on GPU 0 must win.
+  ServingRequest* mate = NewRequest(-1, 100, 5);
+  mate->shared_prefix_len = 60;
+  mate->prefix_group = 7;
+  EXPECT_EQ(sched_->Submit(mate, 0.0), 0);
+
+  // A tenant with no cached prefix anywhere still follows load
+  // concentration.
+  EXPECT_EQ(sched_->Submit(NewRequest(-1, 10, 5), 0.0), 1);
+}
+
 }  // namespace
 }  // namespace punica

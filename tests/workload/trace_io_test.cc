@@ -12,6 +12,7 @@ std::vector<TraceRequest> SampleTrace() {
   TraceSpec spec;
   spec.num_requests = 50;
   spec.popularity = Popularity::kSkewed;
+  spec.shared_prefix = {.enabled = true, .min_tokens = 32, .max_tokens = 64};
   auto trace = GenerateClosedLoopTrace(spec);
   // Give some non-trivial arrival times.
   for (std::size_t i = 0; i < trace.size(); ++i) {
@@ -30,14 +31,31 @@ TEST(TraceIoTest, CsvRoundTrip) {
     EXPECT_EQ(back[i].lora_id, trace[i].lora_id);
     EXPECT_EQ(back[i].prompt_len, trace[i].prompt_len);
     EXPECT_EQ(back[i].output_len, trace[i].output_len);
+    EXPECT_EQ(back[i].shared_prefix_len, trace[i].shared_prefix_len);
+    EXPECT_EQ(back[i].prefix_group, trace[i].prefix_group);
   }
 }
 
 TEST(TraceIoTest, EmptyTraceIsHeaderOnly) {
   std::vector<TraceRequest> empty;
   std::string csv = TraceToCsv(empty);
-  EXPECT_EQ(csv, "id,arrival_time,lora_id,prompt_len,output_len\n");
+  EXPECT_EQ(csv,
+            "id,arrival_time,lora_id,prompt_len,output_len,"
+            "shared_prefix_len,prefix_group\n");
   EXPECT_TRUE(TraceFromCsv(csv).empty());
+}
+
+TEST(TraceIoTest, LoadsLegacyV1Files) {
+  // Pre-sharing traces (five columns) still load; the shared-prefix fields
+  // default to "nothing shared".
+  std::string csv =
+      "id,arrival_time,lora_id,prompt_len,output_len\n3,1.5,2,10,20\n";
+  auto trace = TraceFromCsv(csv);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].id, 3);
+  EXPECT_EQ(trace[0].prompt_len, 10);
+  EXPECT_EQ(trace[0].shared_prefix_len, 0);
+  EXPECT_EQ(trace[0].prefix_group, -1);
 }
 
 TEST(TraceIoTest, FileRoundTrip) {

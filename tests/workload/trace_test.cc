@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <set>
+#include <map>\n#include <set>
 
 #include "sim/arrivals.h"
 
@@ -90,6 +90,54 @@ TEST(TraceTest, DistinctPopularityGivesPerRequestModels) {
   std::set<LoraId> models;
   for (const auto& r : trace) models.insert(r.lora_id);
   EXPECT_EQ(models.size(), 50u);
+}
+
+TEST(TraceTest, SharedPrefixesArePerTenantAndStable) {
+  TraceSpec spec;
+  spec.num_requests = 400;
+  spec.popularity = Popularity::kUniform;
+  spec.shared_prefix = {.enabled = true, .min_tokens = 64, .max_tokens = 256};
+  auto trace = GenerateClosedLoopTrace(spec);
+
+  std::map<std::int64_t, std::int32_t> by_group;
+  for (const auto& r : trace) {
+    ASSERT_EQ(r.prefix_group, r.lora_id);
+    ASSERT_GE(r.shared_prefix_len, 64);
+    ASSERT_LE(r.shared_prefix_len, 256);
+    // The system prompt sits on top of a non-empty per-request prompt.
+    ASSERT_GT(r.prompt_len, r.shared_prefix_len);
+    auto [it, first] = by_group.emplace(r.prefix_group, r.shared_prefix_len);
+    // Every request of a tenant carries the same system prompt length.
+    ASSERT_EQ(it->second, r.shared_prefix_len);
+    (void)first;
+  }
+  EXPECT_GT(by_group.size(), 1u);
+
+  // The tenant length helper matches what the generator embedded.
+  for (const auto& [group, len] : by_group) {
+    EXPECT_EQ(TenantSystemPromptLen(spec.shared_prefix, spec.seed, group),
+              len);
+  }
+
+  // Disabled spec leaves traces unannotated (bit-compatible with pre-cache
+  // workloads).
+  TraceSpec off = spec;
+  off.shared_prefix.enabled = false;
+  for (const auto& r : GenerateClosedLoopTrace(off)) {
+    EXPECT_EQ(r.shared_prefix_len, 0);
+    EXPECT_EQ(r.prefix_group, -1);
+  }
+}
+
+TEST(TraceTest, OpenLoopSharedPrefixes) {
+  auto trace = GenerateOpenLoopTrace({0.0, 0.5, 1.0, 1.5}, 2, 1.5, 7, {},
+                                     {.enabled = true,
+                                      .min_tokens = 32,
+                                      .max_tokens = 32});
+  for (const auto& r : trace) {
+    EXPECT_EQ(r.shared_prefix_len, 32);
+    EXPECT_EQ(r.prefix_group, r.lora_id);
+  }
 }
 
 }  // namespace
