@@ -14,6 +14,10 @@
 // carries a per-tenant system prompt, with and without the prefix index —
 // reporting prefill tokens saved and the resulting tok/s. --shared-prefix-
 // only skips the (slower) five-system figure tables for CI smoke runs.
+//
+// The chunked-prefill variant (Figure 11c, always printed) sweeps the
+// per-step token budget over a long-prompt mix: decode p95 inter-token
+// latency vs aggregate tok/s — the SLO tradeoff max_step_tokens buys.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -144,9 +148,74 @@ void RunSharedPrefix(int prefill_limit, const char* json_path) {
       "   work, so tok/s can only improve.\n");
   if (json != nullptr) {
     std::fprintf(json, "\n  ]\n}\n");
-    std::fclose(json);
+    // A full disk or dead pipe must fail the run: CI archives this file as
+    // the perf-trajectory artifact, and a silent short write would gate
+    // future PRs against a stale or truncated baseline.
+    if (std::ferror(json) != 0 || std::fclose(json) != 0) {
+      std::fprintf(stderr, "error writing %s\n", json_path);
+      std::exit(1);
+    }
     std::printf("\nwrote %s\n", json_path);
   }
+}
+
+/// Chunked prefill (Figure 11c): Punica over a long-prompt arrival mix,
+/// sweeping the per-step token budget. Decode p95 inter-token latency is
+/// the SLO the budget buys; tok/s is what it costs (per-invocation
+/// overhead). Budget 0 is the atomic-prefill baseline.
+void RunChunkedPrefill() {
+  bench::PrintHeader("Figure 11c",
+                     "Chunked prefill: decode tail latency vs step token "
+                     "budget (Punica, long-prompt mix)");
+  CostModel cm((A100Sxm80GB()));
+  LlamaConfig model = Llama7B();
+
+  TraceSpec spec;
+  spec.num_requests = 500;
+  spec.popularity = Popularity::kUniform;
+  spec.seed = 0xC0FFEE;
+  // Long-prompt mix: median prompt ≈ 500 tokens, heavy 2048-clipped tail —
+  // the workload where one atomic prefill stalls every decode stream.
+  spec.lengths.prompt_mu = 6.2;
+  spec.lengths.prompt_sigma = 0.7;
+  spec.lengths.output_mu = 3.4;
+  spec.lengths.output_sigma = 0.6;
+  auto trace = GenerateClosedLoopTrace(spec);
+
+  struct Point {
+    int prefill_limit;
+    std::int64_t budget;
+  };
+  Table t({"prefill limit", "budget", "tok/s", "p95 ITL", "max ITL",
+           "invocations", "mean decode batch"});
+  for (Point pt : {Point{1, 0}, Point{4, 0}, Point{4, 1024}, Point{4, 768},
+                   Point{4, 512}, Point{1, 256}}) {
+    TextGenConfig cfg;
+    cfg.prefill_limit = pt.prefill_limit;
+    cfg.max_step_tokens = pt.budget;
+    TextGenResult r =
+        SimulateTextGen(ServingSystem::kPunica, trace, model, cm, cfg);
+    t.AddRow({std::to_string(pt.prefill_limit),
+              pt.budget == 0 ? "off" : std::to_string(pt.budget),
+              FormatDouble(r.throughput_tok_s, 0),
+              FormatDouble(r.p95_inter_token_s * 1e3, 1) + " ms",
+              FormatDouble(r.max_inter_token_s * 1e3, 1) + " ms",
+              std::to_string(r.invocations),
+              FormatDouble(r.mean_decode_batch, 1)});
+  }
+  t.Print();
+  std::printf(
+      "\nReading the table:\n"
+      " * The budget caps token rows per invocation (decodes included), so\n"
+      "   a long prompt prefills as several chunks that share each step\n"
+      "   with every in-flight decode - the decode stall shrinks from\n"
+      "   whole-prompt to one chunk.\n"
+      " * With the budget on, prefill_limit can rise (the budget, not the\n"
+      "   request count, bounds the step): limit 4 at 768-1024 beats its\n"
+      "   own atomic baseline and holds aggregate tok/s within ~0.3%% of\n"
+      "   the best atomic config while cutting p95 inter-token latency\n"
+      "   ~2x; smaller budgets keep buying tail at a growing\n"
+      "   per-invocation overhead cost (the SLO knob).\n");
 }
 
 }  // namespace
@@ -170,5 +239,6 @@ int main(int argc, char** argv) {
   if (prefill_limit < 1) prefill_limit = 1;
   if (!shared_only) punica::Run(prefill_limit);
   punica::RunSharedPrefix(prefill_limit, json_path);
+  punica::RunChunkedPrefill();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/chunking.h"
 #include "util/check.h"
 #include "util/stats.h"
 
@@ -83,26 +84,34 @@ namespace {
 
 struct SimRequest {
   const TraceRequest* req;
-  std::int64_t kv_len = 0;
+  std::int64_t kv_len = 0;  ///< resident tokens (aliased prefix + chunks)
   std::int32_t generated = 0;
   bool prefilled = false;
   std::int32_t prefix_hit = 0;  ///< prompt tokens served by a shared prefix
+  double last_emit = -1.0;  ///< completion time of the latest emitted token
   bool Done() const { return generated >= req->output_len; }
 };
 
+/// One prefill chunk of a step shape: `chunk` token rows attending over
+/// `kv_len` cache positions (the causal-span term the cost model prices for
+/// prefix hits and budget chunks alike).
+struct PrefillChunkShape {
+  std::int32_t chunk = 0;
+  std::int64_t kv_len = 0;
+  LoraId lora = 0;
+};
+
 StepShape MakeShape(const SystemTraits& traits, const TextGenConfig& cfg,
-                    std::span<const SimRequest* const> prefills,
+                    std::span<const PrefillChunkShape> prefills,
                     std::span<const SimRequest* const> decodes) {
   StepShape shape;
   shape.tp_degree = cfg.tp_degree;
   shape.lora_rank = cfg.lora_rank;
   std::unordered_map<LoraId, std::int32_t> rows_by_lora;
-  for (const SimRequest* s : prefills) {
-    // A shared-prefix hit prefills only the uncached suffix; attention
-    // still spans the whole prompt (the cost model's prefix-hit term).
-    shape.prefill_chunks.push_back(s->req->prompt_len - s->prefix_hit);
-    shape.prefill_kv_lens.push_back(s->req->prompt_len);
-    rows_by_lora[s->req->lora_id] += s->req->prompt_len - s->prefix_hit;
+  for (const PrefillChunkShape& p : prefills) {
+    shape.prefill_chunks.push_back(p.chunk);
+    shape.prefill_kv_lens.push_back(p.kv_len);
+    rows_by_lora[p.lora] += p.chunk;
   }
   for (const SimRequest* s : decodes) {
     shape.decode_kv_lens.push_back(s->kv_len + 1);
@@ -114,6 +123,21 @@ StepShape MakeShape(const SystemTraits& traits, const TextGenConfig& cfg,
     }
   }
   return shape;
+}
+
+/// Fills the inter-token latency digest from the collected emission gaps.
+/// p95 uses util/stats Percentile so every tail metric in the codebase
+/// shares one definition.
+void FinishInterTokenStats(std::vector<double>& gaps, TextGenResult& result) {
+  if (gaps.empty()) return;
+  double sum = 0.0, max = 0.0;
+  for (double g : gaps) {
+    sum += g;
+    max = std::max(max, g);
+  }
+  result.mean_inter_token_s = sum / static_cast<double>(gaps.size());
+  result.p95_inter_token_s = Percentile(gaps, 95.0);
+  result.max_inter_token_s = max;
 }
 
 /// Batch-to-completion systems (HF / DeepSpeed / FasterTransformer):
@@ -142,8 +166,12 @@ TextGenResult SimulateBatchToCompletion(const SystemTraits& traits,
 
     // Batched prefill (one invocation; these systems prefill whole batches).
     {
-      std::vector<const SimRequest*> prefills;
-      for (auto& s : batch) prefills.push_back(&s);
+      std::vector<PrefillChunkShape> prefills;
+      for (auto& s : batch) {
+        prefills.push_back({.chunk = s.req->prompt_len,
+                            .kv_len = s.req->prompt_len,
+                            .lora = s.req->lora_id});
+      }
       StepShape shape = MakeShape(traits, cfg, prefills, {});
       t += SystemStepLatency(traits, model, cm, shape);
       ++result.invocations;
@@ -215,6 +243,8 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
     return true;
   };
 
+  std::vector<double> gaps;  ///< inter-token latency samples
+
   while (idx < trace.size() || !working.empty()) {
     // Admit FCFS while the head is compatible and the batch has room.
     while (idx < trace.size() &&
@@ -225,7 +255,9 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
     }
     PUNICA_CHECK(!working.empty());
 
-    // One invocation: up to prefill_limit prefills + all decodes.
+    // One invocation: up to prefill_limit prefills + all decodes, the
+    // prefills chunked under the step token budget (a mid-prefill request
+    // resumes at kv_len; a fresh one starts at its prefix hit).
     std::vector<SimRequest*> prefills;
     std::vector<SimRequest*> decodes;
     for (auto& s : working) {
@@ -237,46 +269,70 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
       }
     }
     // Resolve prefix hits at prefill time (a group-mate's earlier prefill
-    // may have registered the prefix since this request arrived).
-    for (SimRequest* s : prefills) {
-      if (!share || s->req->prefix_group < 0 ||
-          s->req->shared_prefix_len <= 0) {
-        continue;
+    // may have registered the prefix since this request arrived); committed
+    // to the request only when its first chunk actually runs.
+    std::vector<std::int32_t> hits(prefills.size(), 0);
+    std::vector<std::int64_t> remaining;
+    for (std::size_t i = 0; i < prefills.size(); ++i) {
+      SimRequest* s = prefills[i];
+      if (s->kv_len == 0 && share && s->req->prefix_group >= 0 &&
+          s->req->shared_prefix_len > 0) {
+        auto it = cached.find(s->req->prefix_group);
+        if (it != cached.end()) {
+          hits[i] = std::min({it->second, s->req->shared_prefix_len,
+                              s->req->prompt_len - 1});
+        }
       }
-      auto it = cached.find(s->req->prefix_group);
-      if (it != cached.end()) {
-        s->prefix_hit = std::min({it->second, s->req->shared_prefix_len,
-                                  s->req->prompt_len - 1});
-      }
+      std::int64_t start = s->kv_len == 0 ? hits[i] : s->kv_len;
+      remaining.push_back(s->req->prompt_len - start);
     }
-    StepShape shape = MakeShape(traits, cfg, prefills, decodes);
+    std::vector<std::int64_t> chunks = SplitPrefillChunks(
+        remaining, static_cast<std::int64_t>(decodes.size()),
+        cfg.max_step_tokens);
+
+    std::vector<PrefillChunkShape> chunk_shapes;
+    for (std::size_t i = 0; i < prefills.size(); ++i) {
+      if (chunks[i] == 0) continue;  // budget-deferred this step
+      std::int64_t start =
+          prefills[i]->kv_len == 0 ? hits[i] : prefills[i]->kv_len;
+      chunk_shapes.push_back(
+          {.chunk = static_cast<std::int32_t>(chunks[i]),
+           .kv_len = start + chunks[i],
+           .lora = prefills[i]->req->lora_id});
+    }
+    StepShape shape = MakeShape(traits, cfg, chunk_shapes, decodes);
     t += SystemStepLatency(traits, model, cm, shape);
     ++result.invocations;
     if (!decodes.empty()) {
       decode_batch.Add(static_cast<double>(decodes.size()));
     }
 
-    for (auto& s : working) {
-      bool was_prefill =
-          std::find(prefills.begin(), prefills.end(), &s) != prefills.end();
-      bool was_decode =
-          std::find(decodes.begin(), decodes.end(), &s) != decodes.end();
-      if (was_prefill) {
-        s.prefilled = true;
-        s.kv_len = s.req->prompt_len;
-        s.generated = 1;
-        ++result.tokens_generated;
-        result.prefill_tokens += s.req->prompt_len - s.prefix_hit;
+    for (std::size_t i = 0; i < prefills.size(); ++i) {
+      if (chunks[i] == 0) continue;
+      SimRequest& s = *prefills[i];
+      bool first_chunk = s.kv_len == 0;
+      if (first_chunk) {
+        s.prefix_hit = hits[i];
         result.prefill_tokens_saved += s.prefix_hit;
-        if (share && s.req->prefix_group >= 0 &&
-            s.req->shared_prefix_len > 0) {
-          cached.try_emplace(s.req->prefix_group, s.req->shared_prefix_len);
-        }
-      } else if (was_decode) {
-        s.kv_len += 1;
-        s.generated += 1;
-        ++result.tokens_generated;
       }
+      std::int64_t start = first_chunk ? hits[i] : s.kv_len;
+      s.kv_len = start + chunks[i];
+      result.prefill_tokens += chunks[i];
+      if (s.kv_len < s.req->prompt_len) continue;  // mid-prefill
+      s.prefilled = true;
+      s.generated = 1;
+      ++result.tokens_generated;
+      s.last_emit = t;  // first token: no gap sample yet
+      if (share && s.req->prefix_group >= 0 && s.req->shared_prefix_len > 0) {
+        cached.try_emplace(s.req->prefix_group, s.req->shared_prefix_len);
+      }
+    }
+    for (SimRequest* s : decodes) {
+      s->kv_len += 1;
+      s->generated += 1;
+      ++result.tokens_generated;
+      if (s->last_emit >= 0.0) gaps.push_back(t - s->last_emit);
+      s->last_emit = t;
     }
     // Continuous batching: finished requests leave immediately.
     std::erase_if(working, [](const SimRequest& s) { return s.Done(); });
@@ -286,6 +342,7 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
       static_cast<double>(result.tokens_generated) / std::max(t, 1e-12);
   result.mean_decode_batch = decode_batch.count() > 0 ? decode_batch.mean()
                                                       : 0.0;
+  FinishInterTokenStats(gaps, result);
   return result;
 }
 

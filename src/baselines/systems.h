@@ -59,6 +59,12 @@ struct TextGenConfig {
   int tp_degree = 1;
   int prefill_limit = 1;    ///< prefills per invocation (continuous systems)
   bool prefix_cache = false;  ///< shared-prefix reuse on capable systems
+  /// Chunked-prefill step token budget (0 = unlimited) on continuous
+  /// systems: decodes always all run; pending prefills consume what
+  /// remains of the budget FCFS as chunks (runtime/chunking.h — the same
+  /// split the Engine and GpuRunner step with). Bounds the decode stall a
+  /// long prompt can inject.
+  std::int64_t max_step_tokens = 0;
 };
 
 struct TextGenResult {
@@ -72,6 +78,12 @@ struct TextGenResult {
                                          ///< rows (Fig. 6's waste)
   std::int64_t prefill_tokens = 0;       ///< prefill rows actually computed
   std::int64_t prefill_tokens_saved = 0; ///< skipped via shared prefixes
+  /// Inter-token latency over every consecutive same-request emission pair
+  /// (the decode-stall distribution a long prefill inflates; continuous
+  /// systems only — 0 when fewer than 2 samples).
+  double mean_inter_token_s = 0.0;
+  double p95_inter_token_s = 0.0;
+  double max_inter_token_s = 0.0;
 };
 
 /// Closed-loop single-server simulation: all requests available at t=0,

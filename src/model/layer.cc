@@ -88,6 +88,7 @@ ModelBatch ModelBatch::Build(std::vector<BatchEntry> entries) {
       prefill_lengths.push_back(e.num_tokens);
     } else {
       PUNICA_CHECK_MSG(e.num_tokens == 1, "decode entries are single-token");
+      PUNICA_CHECK_MSG(e.emit_logits, "decode entries always emit");
       seen_decode = true;
       batch.decode_seqs.push_back(e.seq);
     }

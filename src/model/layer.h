@@ -55,6 +55,10 @@ struct BatchEntry {
   std::int32_t num_tokens = 0;  ///< chunk length (1 for decode)
   std::int64_t pos_offset = 0;  ///< cache position of the chunk's first token
   bool is_prefill = false;
+  /// False for a non-final prefill chunk (chunked prefill): the entry's
+  /// last row is mid-prompt, so its next-token logits are meaningless —
+  /// the model skips the LM head for it and emits nothing.
+  bool emit_logits = true;
 };
 
 /// Batch metadata built once per model invocation and reused by every layer

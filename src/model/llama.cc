@@ -87,6 +87,9 @@ Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
 
   // Final norm + LM head on each entry's last token row. The entry loop is
   // serial; the vocab-wide Gemv parallelizes over column tiles inside.
+  // Non-emitting entries (a chunked prefill's non-final chunks) skip the
+  // whole head — their last row is mid-prompt — and keep a zeroed logits
+  // row, so the vocab-wide Gemv is only ever paid for rows that sample.
   auto num_entries = batch.entries.size();
   Tensor<float> logits(
       {static_cast<std::int64_t>(num_entries), config_.vocab_size});
@@ -94,6 +97,7 @@ Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
   std::size_t row = 0;
   for (std::size_t e = 0; e < num_entries; ++e) {
     row += static_cast<std::size_t>(batch.entries[e].num_tokens);
+    if (!batch.entries[e].emit_logits) continue;
     std::size_t last = row - 1;
     RmsNormRow(std::span<const float>(x).subspan(last * h, h),
                final_norm_.data(), normed, config_.rms_eps);
@@ -111,7 +115,11 @@ std::vector<std::int32_t> LlamaModel::ForwardGreedy(
   std::vector<std::int32_t> out;
   out.reserve(batch.entries.size());
   for (std::int64_t e = 0; e < logits.dim(0); ++e) {
-    out.push_back(ArgMax(logits.row(e)));
+    // -1 for non-emitting entries: using a partial chunk's "token" is a
+    // caller bug, and -1 fails the embedding range check loudly.
+    out.push_back(batch.entries[static_cast<std::size_t>(e)].emit_logits
+                      ? ArgMax(logits.row(e))
+                      : -1);
   }
   return out;
 }

@@ -39,7 +39,9 @@ class LlamaModel {
   /// (prompt tokens for prefill entries, the previous output token for
   /// decode entries). The KvCache must already be extended so that every
   /// row position is in range. Returns next-token logits, one row per batch
-  /// entry (the logits at each entry's final token).
+  /// entry (the logits at each entry's final token). Entries with
+  /// emit_logits=false (non-final chunks of a chunked prefill) still write
+  /// K/V but skip the LM head; their logits row stays zero.
   ///
   /// Not reentrant: Forward mutates the model's shared workspace, so a
   /// model (and hence the engines over it) must be stepped by one caller

@@ -30,9 +30,15 @@ struct EmittedToken {
 struct StepResult {
   double latency = 0.0;      ///< virtual-time cost of the invocation
   int batch_size = 0;        ///< requests in the invocation
-  int prefill_requests = 0;
+  int prefill_requests = 0;  ///< prefill entries (chunks count, even partial)
   int prefill_tokens = 0;       ///< prefill tokens actually computed
   int prefix_hit_tokens = 0;    ///< prefill tokens skipped via cached prefixes
+  /// Prefill entries whose chunk did NOT finish the prompt this step
+  /// (chunked prefill): they emitted nothing and will take further chunks.
+  int partial_prefills = 0;
+  /// Prefill tokens still pending across the working set after this step —
+  /// the backlog a step-token budget is amortizing.
+  std::int64_t deferred_prefill_tokens = 0;
   int new_tokens = 0;        ///< tokens emitted (first tokens + decode)
   int num_segments = 0;      ///< SGMV segments in this invocation
   std::vector<EmittedToken> emitted;

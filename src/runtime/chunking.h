@@ -1,0 +1,55 @@
+// Chunked-prefill budget arithmetic — the ONE definition of how a step's
+// token budget splits pending prefills into chunks, shared by every tier:
+// the numeric Engine, the simulated GpuRunner and the closed-loop text-gen
+// simulator all call SplitPrefillChunks, so a budget produces identical
+// chunk sequences (and hence identical cost-model shapes and page/token
+// demand projections) everywhere. tests/runtime/chunking_test.cc pins the
+// semantics and asserts the tiers agree step by step.
+//
+// Semantics: a step carries at most `max_step_tokens` token rows, decode
+// rows included. Decodes are never trimmed — they are the latency-sensitive
+// work the budget exists to protect — so the prefill share of the budget is
+// what remains after one row per runnable decode. Prefills consume that
+// share FCFS; the head prefill always gets at least one token even when
+// decodes alone exceed the budget (prefill must make progress, or a full
+// decode batch would starve admissions forever). max_step_tokens <= 0 means
+// unlimited: every prefill runs its whole remaining suffix in one chunk,
+// which is exactly the pre-chunking behaviour.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace punica {
+
+/// Splits a step's prefill token budget over the planned prefills.
+/// `remaining[i]` is prefill i's uncomputed suffix length (FCFS order);
+/// `num_decodes` is the count of decode rows sharing the step. Returns one
+/// chunk length per prefill, aligned with `remaining`; a 0 means the
+/// prefill sits this step out entirely (budget exhausted by earlier
+/// prefills). Chunks never exceed `remaining[i]`.
+inline std::vector<std::int64_t> SplitPrefillChunks(
+    std::span<const std::int64_t> remaining, std::int64_t num_decodes,
+    std::int64_t max_step_tokens) {
+  std::vector<std::int64_t> chunks(remaining.size(), 0);
+  if (remaining.empty()) return chunks;
+  if (max_step_tokens <= 0) {
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      chunks[i] = remaining[i];
+    }
+    return chunks;
+  }
+  // The progress floor: at least one prefill token per step, whatever the
+  // decode batch size.
+  std::int64_t budget =
+      std::max<std::int64_t>(max_step_tokens - num_decodes, 1);
+  for (std::size_t i = 0; i < remaining.size() && budget > 0; ++i) {
+    chunks[i] = std::min(remaining[i], budget);
+    budget -= chunks[i];
+  }
+  return chunks;
+}
+
+}  // namespace punica

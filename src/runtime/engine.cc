@@ -1,8 +1,10 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
+#include <tuple>
 #include <unordered_map>
 
+#include "runtime/chunking.h"
 #include "util/check.h"
 
 namespace punica {
@@ -140,11 +142,16 @@ bool Engine::EvictOneCachedPrefix() {
   return true;
 }
 
-void Engine::ExtendOrReclaim(SeqId seq, std::int64_t tokens) {
+bool Engine::TryExtendOrReclaim(SeqId seq, std::int64_t tokens) {
   while (!kv_.Extend(seq, tokens)) {
-    PUNICA_CHECK_MSG(EvictOneCachedPrefix(),
-                     "KvCache exhausted; migrate requests first");
+    if (!EvictOneCachedPrefix()) return false;
   }
+  return true;
+}
+
+void Engine::ExtendOrReclaim(SeqId seq, std::int64_t tokens) {
+  PUNICA_CHECK_MSG(TryExtendOrReclaim(seq, tokens),
+                   "KvCache exhausted; migrate requests first");
 }
 
 std::optional<RequestSnapshot> Engine::Cancel(std::int64_t id) {
@@ -160,12 +167,14 @@ std::optional<RequestSnapshot> Engine::Cancel(std::int64_t id) {
   snap.generated_len = static_cast<std::int32_t>(snap.generated.size());
   snap.max_new_tokens = slot.max_new_tokens;
   snap.eos_token = slot.eos_token;
-  // The evict half of migration: register the whole computed chain before
+  // The evict half of migration: register the computed chain prefix before
   // releasing it, so a re-admission (AddMigrated, consolidation bounce-back)
   // rebuilds from the surviving prefix instead of re-prefilling everything.
-  // Skipped for never-prefilled slots — their cache holds nothing beyond
-  // what the index already has.
-  if (!slot.needs_prefill) {
+  // Chunk-granular: a mid-prefill slot registers exactly the tokens its
+  // chunks (plus any forked prefix) have written so far — the partial chain
+  // a chunked prefill leaves behind is just as rebuildable as a whole one.
+  // Never-stepped slots hold nothing.
+  if (kv_.SeqLen(slot.seq) > 0) {
     std::vector<std::int32_t> chain =
         Chain(slot.prompt, snap.generated,
               static_cast<std::int64_t>(snap.generated.size()));
@@ -183,45 +192,113 @@ bool Engine::IsDone(const Slot& slot,
          out.back() == slot.eos_token;
 }
 
-std::vector<std::int64_t> Engine::PlannedPrefillIds() const {
-  std::vector<std::int64_t> ids;
+Engine::StepPlan Engine::PlanStep(
+    const std::vector<std::int64_t>* exclude,
+    std::map<std::int64_t, ChainMatch>* hit_memo) const {
+  auto excluded = [&](std::int64_t id) {
+    return exclude != nullptr &&
+           std::find(exclude->begin(), exclude->end(), id) != exclude->end();
+  };
+  StepPlan plan;
+  std::vector<std::int64_t> prefill_ids;
   for (const auto& [id, slot] : active_) {
-    if (slot.needs_prefill) ids.push_back(id);
+    if (excluded(id)) continue;
+    if (slot.needs_prefill) {
+      prefill_ids.push_back(id);
+    } else {
+      plan.decode_ids.push_back(id);
+    }
   }
-  std::sort(ids.begin(), ids.end(), [this](std::int64_t a, std::int64_t b) {
-    return active_.at(a).admit_seq < active_.at(b).admit_seq;
-  });
-  if (static_cast<int>(ids.size()) > config_.prefill_limit) {
-    ids.resize(static_cast<std::size_t>(config_.prefill_limit));
+  // FCFS by admission, cut to prefill_limit. A mid-prefill slot is by
+  // construction among the oldest pending prefills (it made the cut when
+  // its first chunk ran and the cut is stable), so it keeps its place in
+  // the plan until its final chunk completes.
+  std::sort(prefill_ids.begin(), prefill_ids.end(),
+            [this](std::int64_t a, std::int64_t b) {
+              return active_.at(a).admit_seq < active_.at(b).admit_seq;
+            });
+  if (static_cast<int>(prefill_ids.size()) > config_.prefill_limit) {
+    prefill_ids.resize(static_cast<std::size_t>(config_.prefill_limit));
   }
-  return ids;
+  std::vector<std::int64_t> remaining;
+  for (std::int64_t id : prefill_ids) {
+    const Slot& slot = active_.at(id);
+    PlannedPrefill p;
+    p.id = id;
+    p.total =
+        static_cast<std::int64_t>(slot.prompt.size()) + slot.resume_from;
+    std::int64_t consumed = kv_.SeqLen(slot.seq);
+    p.first_chunk = consumed == 0;
+    if (p.first_chunk) {
+      // The fork the first chunk will take. Pure query; the index cannot
+      // change between this plan and the fork inside the same Step, so
+      // Step reuses the match verbatim instead of repeating the O(chain)
+      // lookup — and the victim loop memoizes it across its replans.
+      bool memoized = false;
+      if (hit_memo != nullptr) {
+        auto it = hit_memo->find(id);
+        if (it != hit_memo->end()) {
+          p.hit = it->second;
+          memoized = true;
+        }
+      }
+      if (!memoized) {
+        const auto& out = outputs_.at(id);
+        p.hit = LookupChain(slot.lora, slot.prompt,
+                            std::span<const std::int32_t>(out).first(
+                                static_cast<std::size_t>(slot.resume_from)));
+        if (hit_memo != nullptr) (*hit_memo)[id] = p.hit;
+      }
+      p.start = p.hit.usable;
+    } else {
+      p.start = consumed;
+    }
+    remaining.push_back(p.total - p.start);
+    plan.prefills.push_back(p);
+  }
+  std::vector<std::int64_t> chunks = SplitPrefillChunks(
+      remaining, static_cast<std::int64_t>(plan.decode_ids.size()),
+      config_.max_step_tokens);
+  for (std::size_t i = 0; i < plan.prefills.size(); ++i) {
+    plan.prefills[i].chunk = chunks[i];
+  }
+  return plan;
 }
 
 std::int32_t Engine::NewPagesFor(std::int64_t target_len,
                                  std::int64_t usable) const {
   // The one pages-for-a-chain-with-hit formula: pages beyond the aliased
   // whole pages, plus one CoW copy when the fork boundary is partial.
-  // Admission (GrowthPages, CanAdmitPages, PagesNeededForAdmission) and
-  // Step's fork+ExtendOrReclaim must agree on this arithmetic.
+  // Admission (CanAdmitPages, PagesNeededForAdmission), the victim
+  // projection (PagesForPlannedPrefill's first-chunk branch) and Step's
+  // fork+ExtendOrReclaim must agree on this arithmetic.
   std::int32_t pages = kv_.config().PagesNeeded(target_len) -
                        kv_.config().PagesNeeded(usable);
   if (usable % kv_.config().page_size != 0) pages += 1;
   return pages;
 }
 
-std::int32_t Engine::GrowthPages(std::int64_t id, const Slot& slot) const {
-  if (slot.needs_prefill) {
-    // The prefill will fork the longest cached prefix of its chain and
-    // extend to the full chain; a partial boundary page costs a CoW copy.
-    const auto& out = outputs_.at(id);
-    std::int64_t total =
-        static_cast<std::int64_t>(slot.prompt.size()) + slot.resume_from;
-    std::int64_t usable = PrefixHitTokens(
-        slot.lora, slot.prompt,
-        std::span<const std::int32_t>(out).first(
-            static_cast<std::size_t>(slot.resume_from)));
-    return NewPagesFor(total, usable);
+std::int32_t Engine::PagesForPlannedPrefill(const PlannedPrefill& p) const {
+  if (p.chunk == 0) return 0;
+  if (p.first_chunk) {
+    // The chunk forks the cached prefix at `start` and extends to
+    // start+chunk; a partial fork boundary costs a CoW copy.
+    return NewPagesFor(p.start + p.chunk, p.start);
   }
+  const Slot& slot = active_.at(p.id);
+  std::int32_t pages = kv_.config().PagesNeeded(p.start + p.chunk) -
+                       kv_.SeqPages(slot.seq);
+  // After a chunk has extended the sequence its tail page is exclusively
+  // owned (Extend deep-copies a shared boundary before growing), but price
+  // the CoW copy if it ever weren't.
+  if (p.start % kv_.config().page_size != 0 &&
+      kv_.PageRefCount(slot.seq, kv_.SeqPages(slot.seq) - 1) > 1) {
+    pages += 1;
+  }
+  return pages;
+}
+
+std::int32_t Engine::DecodeGrowthPages(const Slot& slot) const {
   std::int64_t cur = kv_.SeqLen(slot.seq);
   std::int32_t pages =
       kv_.config().PagesNeeded(cur + 1) - kv_.SeqPages(slot.seq);
@@ -275,6 +352,7 @@ Engine::ChainMatch Engine::LookupChain(
   std::int64_t usable = std::min(m.matched_tokens - 1, chain_len - 1);
   if (usable < config_.min_prefix_tokens) return cm;
   cm.entry = m.entry;
+  cm.seq = m.seq;
   cm.usable = usable;
   return cm;
 }
@@ -320,48 +398,50 @@ PrefixCacheStats Engine::prefix_cache_stats() const {
 }
 
 std::vector<std::int64_t> Engine::SelectEvictionVictims() const {
-  // Project the page demand of the next step exactly as Step() will run
-  // it: the planned prefills plus every decode. Pages reclaimable from the
-  // prefix cache count as free — Step evicts cached prefixes on demand
-  // before any request must migrate.
-  std::vector<std::int64_t> planned = PlannedPrefillIds();
-  auto in_plan = [&](std::int64_t id) {
-    if (!active_.at(id).needs_prefill) return true;
-    for (std::int64_t pid : planned) {
-      if (pid == id) return true;
-    }
-    return false;
-  };
-
-  std::int32_t demand = 0;
-  for (const auto& [id, slot] : active_) {
-    if (in_plan(id)) demand += GrowthPages(id, slot);
-  }
-  std::int32_t free = AvailablePages();
-  if (demand <= free) return {};
-
-  // Evict the newest requests (max admit_seq) until the step fits,
-  // preserving FCFS (§5.3). Evicting releases a slot's exclusively held
-  // pages (shared pages stay with their other holders) and removes its
-  // contribution to this step's growth. Strictly newest-first, even
-  // page-less prefills beyond the cut: skipping one would let it be
-  // promoted into the prefill plan after a planned prefill below it is
-  // evicted, adding page demand this projection never counted.
-  std::vector<std::pair<std::int64_t, const Slot*>> by_newest;
-  for (const auto& [id, slot] : active_) by_newest.emplace_back(id, &slot);
-  std::sort(by_newest.begin(), by_newest.end(),
-            [](const auto& a, const auto& b) {
-              return a.second->admit_seq > b.second->admit_seq;
-            });
-
+  // Project the page demand of the next step exactly as Step() will run it
+  // after the caller cancels the victims: chunk-granular prefill growth
+  // (prefill is NOT atomic — only the next chunk's pages are demanded)
+  // plus one token per decode. Pages reclaimable from the prefix cache
+  // count as free — Step evicts cached prefixes on demand before any
+  // request must migrate. Evicting a victim changes the plan itself (its
+  // budget share is redistributed to the remaining chunks, a pending
+  // prefill may be promoted into the prefill_limit cut), so every eviction
+  // triggers a full replan instead of decrementing a stale demand total —
+  // the projection and the realized step can never disagree.
   std::vector<std::int64_t> victims;
-  for (const auto& [id, slot] : by_newest) {
-    if (demand <= free) break;
-    for (std::int32_t i = 0; i < kv_.SeqPages(slot->seq); ++i) {
-      if (kv_.PageRefCount(slot->seq, i) == 1) ++free;
+  std::map<std::int64_t, ChainMatch> hit_memo;
+  std::int32_t available = AvailablePages();
+  while (true) {
+    StepPlan plan = PlanStep(&victims, &hit_memo);
+    std::int32_t demand = 0;
+    for (const PlannedPrefill& p : plan.prefills) {
+      demand += PagesForPlannedPrefill(p);
     }
-    if (in_plan(id)) demand -= GrowthPages(id, *slot);
-    victims.push_back(id);
+    for (std::int64_t id : plan.decode_ids) {
+      demand += DecodeGrowthPages(active_.at(id));
+    }
+    if (demand <= available) break;
+
+    // Evict the newest remaining request (max admit_seq), preserving FCFS
+    // (§5.3). A cancel frees the victim's exclusively held pages; shared
+    // pages stay with their other holders (at worst becoming
+    // cache-reclaimable, which this projection conservatively ignores).
+    std::int64_t victim_id = -1;
+    const Slot* victim = nullptr;
+    for (const auto& [id, slot] : active_) {
+      if (std::find(victims.begin(), victims.end(), id) != victims.end()) {
+        continue;
+      }
+      if (victim == nullptr || slot.admit_seq > victim->admit_seq) {
+        victim = &slot;
+        victim_id = id;
+      }
+    }
+    if (victim == nullptr) break;  // nothing left to evict
+    for (std::int32_t i = 0; i < kv_.SeqPages(victim->seq); ++i) {
+      if (kv_.PageRefCount(victim->seq, i) == 1) ++available;
+    }
+    victims.push_back(victim_id);
   }
   return victims;
 }
@@ -370,32 +450,43 @@ StepResult Engine::Step() {
   StepResult result;
   if (active_.empty()) return result;
 
-  // Select up to prefill_limit prefills (FCFS) and all decodes — the same
-  // plan SelectEvictionVictims projects page demand for.
-  std::vector<std::pair<std::int64_t, Slot*>> prefills;
-  std::vector<std::pair<std::int64_t, Slot*>> decodes;
-  for (std::int64_t id : PlannedPrefillIds()) {
-    prefills.emplace_back(id, &active_.at(id));
+  // The one step plan SelectEvictionVictims projects page demand for:
+  // up to prefill_limit prefills (FCFS), chunked by max_step_tokens, plus
+  // all decodes. Budget-deferred prefills (chunk 0) sit this step out.
+  StepPlan plan = PlanStep();
+  struct PrefillWork {
+    std::int64_t id = -1;
+    Slot* slot = nullptr;
+    PlannedPrefill planned;
+  };
+  std::vector<PrefillWork> prefills;
+  for (const PlannedPrefill& p : plan.prefills) {
+    if (p.chunk > 0) prefills.push_back({p.id, &active_.at(p.id), p});
   }
-  for (auto& [id, slot] : active_) {
-    if (!slot.needs_prefill) decodes.emplace_back(id, &slot);
+  std::vector<std::pair<std::int64_t, Slot*>> decodes;
+  for (std::int64_t id : plan.decode_ids) {
+    decodes.emplace_back(id, &active_.at(id));
   }
   if (prefills.empty() && decodes.empty()) return result;
 
   // Group by LoRA id within each section so SGMV segments are maximal; the
-  // prefill tail and decode head can then share a segment (paper §6).
-  auto by_lora = [](const auto& a, const auto& b) {
-    if (a.second->lora != b.second->lora) {
-      return a.second->lora < b.second->lora;
-    }
-    return a.second->admit_seq < b.second->admit_seq;
+  // prefill tail and decode head can then share a segment (paper §6). One
+  // ordering definition, two container-shaped adapters.
+  auto slot_order = [](const Slot* a, const Slot* b) {
+    return std::tie(a->lora, a->admit_seq) < std::tie(b->lora, b->admit_seq);
   };
-  std::stable_sort(prefills.begin(), prefills.end(), by_lora);
-  std::stable_sort(decodes.begin(), decodes.end(), by_lora);
+  std::stable_sort(prefills.begin(), prefills.end(),
+                   [&](const PrefillWork& a, const PrefillWork& b) {
+                     return slot_order(a.slot, b.slot);
+                   });
+  std::stable_sort(decodes.begin(), decodes.end(),
+                   [&](const auto& a, const auto& b) {
+                     return slot_order(a.second, b.second);
+                   });
   if (!prefills.empty() && !decodes.empty()) {
     // Rotate decodes so the head shares the last prefill's LoRA when one
     // exists.
-    LoraId tail = prefills.back().second->lora;
+    LoraId tail = prefills.back().slot->lora;
     auto match = std::find_if(decodes.begin(), decodes.end(),
                               [&](const auto& d) {
                                 return d.second->lora == tail;
@@ -405,78 +496,95 @@ StepResult Engine::Step() {
     }
   }
 
-  // Resolve every prefill's cache hit and take its fork BEFORE any
-  // ExtendOrReclaim runs: forking is refcount-only (never allocates), and
-  // once a slot holds its aliased pages, reclaim-eviction of the source
-  // entry cannot change the slot's page demand — so the demand
+  // Resolve every first-chunk prefill's cache hit and take its fork BEFORE
+  // any ExtendOrReclaim runs: forking is refcount-only (never allocates),
+  // and once a slot holds its aliased pages, reclaim-eviction of the
+  // source entry cannot change the slot's page demand — so the demand
   // SelectEvictionVictims projected stays exactly the demand this step
   // realizes. (Resolving lazily instead would let an earlier prefill's
   // reclaim evict an entry a later prefill was projected to hit, aborting
   // in a state the victim query declared safe.) Hits resolve at prefill
   // time, not admission: a tenant-mate admitted in the same wave has
-  // registered its prompt by now.
-  std::vector<std::vector<std::int32_t>> prefill_chains;
+  // registered its prompt by now. Later chunks resume the fork taken here.
   std::vector<std::int64_t> pinned_entries;
-  prefill_chains.reserve(prefills.size());
-  for (auto& [id, slot] : prefills) {
-    const auto& out = outputs_.at(id);
-    std::vector<std::int32_t> chain =
-        Chain(slot->prompt, out, slot->resume_from);
-    auto total = static_cast<std::int64_t>(chain.size());
-    if (config_.enable_prefix_cache) {
-      ++cache_stats_.lookups;
-      PrefixIndex::Match m = prefix_.Lookup(IndexKey(slot->lora, chain));
-      // matched_tokens counts the LoRA tag; the model must still see at
-      // least one token row per prefill to emit the next-token logits, so
-      // a full-chain hit reuses all but the last.
-      std::int64_t usable = std::min(m.matched_tokens - 1, total - 1);
-      if (usable >= config_.min_prefix_tokens) {
-        kv_.FreeSequence(slot->seq);
-        slot->seq = kv_.ForkFrom(m.seq, usable);
-        slot->prefix_cached = usable;
-        prefix_.Touch(m.entry);
-        // Pin the source for the rest of this step: page refcounts already
-        // keep the forked K/V alive, but pinning stops ExtendOrReclaim in
-        // this same batch from evicting an entry that is demonstrably hot.
-        prefix_.Pin(m.entry);
-        pinned_entries.push_back(m.entry);
-        ++cache_stats_.hits;
-        cache_stats_.hit_tokens += usable;
-      }
+  for (PrefillWork& pw : prefills) {
+    if (!pw.planned.first_chunk || !config_.enable_prefix_cache) continue;
+    Slot* slot = pw.slot;
+    ++cache_stats_.lookups;
+    // The match resolved at plan time IS the fork taken — nothing touched
+    // the index between PlanStep and here.
+    const ChainMatch& cm = pw.planned.hit;
+    if (cm.entry >= 0) {
+      kv_.FreeSequence(slot->seq);
+      slot->seq = kv_.ForkFrom(cm.seq, cm.usable);
+      slot->prefix_cached = cm.usable;
+      prefix_.Touch(cm.entry);
+      // Pin the source for the rest of this step: page refcounts already
+      // keep the forked K/V alive, but pinning stops ExtendOrReclaim in
+      // this same batch from evicting an entry that is demonstrably hot.
+      prefix_.Pin(cm.entry);
+      pinned_entries.push_back(cm.entry);
+      ++cache_stats_.hits;
+      cache_stats_.hit_tokens += cm.usable;
+      // Credit the skip at the fork, where it is realized — a first chunk
+      // deferred by pool drift after forking still reported its hit.
+      result.prefix_hit_tokens += static_cast<int>(cm.usable);
     }
-    prefill_chains.push_back(std::move(chain));
   }
 
-  // Build batch entries and token rows. KvCache is extended up front (the
-  // fork aliases whole shared pages; Extend deep-copies the partial
+  // Build batch entries and token rows. KvCache is extended chunk-by-chunk
+  // (the fork aliases whole shared pages; Extend deep-copies the partial
   // boundary page — CoW — then grows) so the layer can write K/V at every
-  // row position. A prefill covers only the uncached suffix of its chain:
-  // the cached prefix's pages hold bits identical to what this prefill
-  // would have written.
+  // row position. A chunk covers rows [start, start+chunk) of its chain
+  // and attends over everything before it via pos_offset; only the final
+  // chunk emits logits.
   std::vector<BatchEntry> entries;
   std::vector<std::int32_t> token_ids;
-  for (std::size_t p = 0; p < prefills.size(); ++p) {
-    auto& [id, slot] = prefills[p];
-    const std::vector<std::int32_t>& chain = prefill_chains[p];
-    auto total = static_cast<std::int64_t>(chain.size());
-    std::int64_t suffix = total - slot->prefix_cached;
-    PUNICA_CHECK(suffix >= 1);
-    ExtendOrReclaim(slot->seq, suffix);
+  std::vector<PrefillWork> ran_prefills;  ///< chunks that made it in
+  for (PrefillWork& pw : prefills) {
+    Slot* slot = pw.slot;
+    PUNICA_CHECK(kv_.SeqLen(slot->seq) == pw.planned.start);
+    PUNICA_CHECK(pw.planned.chunk >= 1);
+    // Graceful degradation when the world drifted between the victim
+    // projection and this step: cancelling a victim REGISTERS its chain,
+    // and a planned prefill hitting that fresh entry redistributes the
+    // budget to later prefills — demanding pages the projection never
+    // counted. Chunk boundaries never change bits, so shrink the chunk to
+    // what the pool actually holds (halving keeps the probe logarithmic)
+    // and defer the prefill entirely when not even one token fits.
+    std::int64_t chunk = pw.planned.chunk;
+    while (chunk > 0 && !TryExtendOrReclaim(slot->seq, chunk)) {
+      chunk /= 2;
+    }
+    if (chunk == 0) continue;  // deferred; decodes still run
+    pw.planned.chunk = chunk;
+    bool final_chunk = pw.planned.start + chunk == pw.planned.total;
     entries.push_back({.seq = slot->seq,
                        .lora = slot->lora,
-                       .num_tokens = static_cast<std::int32_t>(suffix),
-                       .pos_offset = slot->prefix_cached,
-                       .is_prefill = true});
-    token_ids.insert(
-        token_ids.end(),
-        chain.begin() + static_cast<std::ptrdiff_t>(slot->prefix_cached),
-        chain.end());
-    result.prefill_tokens += static_cast<int>(suffix);
-    result.prefix_hit_tokens += static_cast<int>(slot->prefix_cached);
-    cache_stats_.prefill_tokens += suffix;
+                       .num_tokens = static_cast<std::int32_t>(chunk),
+                       .pos_offset = pw.planned.start,
+                       .is_prefill = true,
+                       .emit_logits = final_chunk});
+    // Rows [start, start+chunk) of the chain prompt ⧺ generated[:resume] —
+    // indexed in place, no per-chunk chain copy.
+    const auto& out = outputs_.at(pw.id);
+    auto prompt_len = static_cast<std::int64_t>(slot->prompt.size());
+    for (std::int64_t i = pw.planned.start; i < pw.planned.start + chunk;
+         ++i) {
+      token_ids.push_back(
+          i < prompt_len
+              ? slot->prompt[static_cast<std::size_t>(i)]
+              : out[static_cast<std::size_t>(i - prompt_len)]);
+    }
+    result.prefill_tokens += static_cast<int>(chunk);
+    cache_stats_.prefill_tokens += chunk;
+    ran_prefills.push_back(pw);
   }
   for (auto& [id, slot] : decodes) {
     std::int64_t pos = kv_.SeqLen(slot->seq);
+    // A decode must run — if its one token cannot fit even with an empty
+    // cache, the engine is genuinely over-committed and the caller failed
+    // to migrate first.
     ExtendOrReclaim(slot->seq, 1);
     entries.push_back({.seq = slot->seq,
                        .lora = slot->lora,
@@ -485,16 +593,20 @@ StepResult Engine::Step() {
                        .is_prefill = false});
     token_ids.push_back(outputs_.at(id).back());
   }
+  PUNICA_CHECK_MSG(!entries.empty(),
+                   "KvCache exhausted; migrate requests first");
 
   ModelBatch batch = ModelBatch::Build(std::move(entries));
   result.num_segments = batch.segments.num_segments();
-  result.batch_size = static_cast<int>(prefills.size() + decodes.size());
-  result.prefill_requests = static_cast<int>(prefills.size());
+  result.batch_size = static_cast<int>(ran_prefills.size() + decodes.size());
+  result.prefill_requests = static_cast<int>(ran_prefills.size());
 
   std::vector<std::int32_t> next = model_->ForwardGreedy(batch, token_ids,
                                                          kv_);
 
-  // Apply results in entry order: prefills first, then decodes.
+  // Apply results in entry order: prefill chunks first, then decodes. A
+  // non-final chunk consumes its (zeroed) logits row and emits nothing —
+  // the slot stays in the prefilling phase with its progress in SeqLen.
   std::size_t out_idx = 0;
   auto apply = [&](std::int64_t id, Slot* slot, bool was_prefill) {
     std::int32_t token = next[out_idx++];
@@ -515,9 +627,24 @@ StepResult Engine::Step() {
       active_.erase(id);
     }
   };
-  for (auto& [id, slot] : prefills) apply(id, slot, true);
+  for (PrefillWork& pw : ran_prefills) {
+    bool final_chunk =
+        pw.planned.start + pw.planned.chunk == pw.planned.total;
+    if (final_chunk) {
+      apply(pw.id, pw.slot, true);
+    } else {
+      ++out_idx;  // skip the non-emitting entry's logits row
+      ++result.partial_prefills;
+    }
+  }
   for (auto& [id, slot] : decodes) apply(id, slot, false);
   for (std::int64_t entry : pinned_entries) prefix_.Unpin(entry);
+  for (const auto& [id, slot] : active_) {
+    if (!slot.needs_prefill) continue;
+    result.deferred_prefill_tokens +=
+        static_cast<std::int64_t>(slot.prompt.size()) + slot.resume_from -
+        kv_.SeqLen(slot.seq);
+  }
   return result;
 }
 

@@ -8,6 +8,17 @@
 // recomputation. Its outputs are bit-deterministic. To drive it through the
 // cluster scheduler, wrap it in EngineBackend (runtime/engine_backend.h).
 //
+// Chunked prefill (EngineConfig::max_step_tokens): instead of prefilling a
+// request's whole uncached suffix in one invocation — stalling every
+// in-flight decode stream behind a long prompt — Step splits pending
+// prefills into budget-sized chunks that share each invocation with all
+// runnable decodes (runtime/chunking.h holds the split definition shared
+// with the simulated tier). A chunk attends over all previously written KV
+// via the BatchPrefillAttention pos_offset path; non-final chunks skip the
+// LM head and emit nothing. Page demand, victim projection and mid-prefill
+// cancellation are all chunk-granular: a partially-prefilled chain is
+// registered in the prefix index on Cancel, so migration rebuilds from it.
+//
 // Shared-prefix KV cache: admissions consult a PrefixIndex over token ids;
 // on a hit the request's sequence forks from the cached holder (ref-counted
 // page aliasing, kvcache/kvcache.h) and Step prefills only the uncached
@@ -38,6 +49,15 @@ namespace punica {
 struct EngineConfig {
   int max_batch_size = 32;
   int prefill_limit = 1;
+  /// Per-step token budget for chunked prefill (0 = unlimited, the
+  /// unchunked behaviour). A step carries at most this many token rows,
+  /// decode rows included: decodes always all run, and pending prefills
+  /// consume what remains of the budget FCFS as chunks (see
+  /// runtime/chunking.h for the shared split definition). SLO-derivable:
+  /// budget ≈ tolerable inter-token stall / per-token step cost. Chunked
+  /// streams are bit-identical to unchunked streams at any budget — only
+  /// step boundaries move, never K/V bits or reduction orders.
+  std::int64_t max_step_tokens = 0;
   /// Engine-wide early-stop token (-1 = none). A SubmitSpec may carry its
   /// own `eos_token`; when both are set they must agree — the snapshot /
   /// migration path asserts this so a request never changes its stopping
@@ -82,8 +102,10 @@ class Engine {
     return working_set_size() < config_.max_batch_size;
   }
 
-  /// Runs one batched model invocation (prefills first, grouped by LoRA).
-  /// The unified StepResult's `latency` is 0 — the engine is not
+  /// Runs one batched model invocation (prefill chunks first, grouped by
+  /// LoRA, then every decode). Under a max_step_tokens budget a prefill may
+  /// span several steps; it emits its first token only when its final chunk
+  /// runs. The unified StepResult's `latency` is 0 — the engine is not
   /// time-aware; EngineBackend assigns virtual-time cost.
   StepResult Step();
 
@@ -137,6 +159,12 @@ class Engine {
   const ComputeContext& context() const { return model_->context(); }
 
  private:
+  /// Slot phases: `needs_prefill` is true from admission until the final
+  /// prefill chunk completes. Mid-prefill (the chunked-prefill state) is
+  /// `needs_prefill && SeqLen(seq) > 0`: the cache holds the chain's first
+  /// SeqLen tokens (cached-prefix alias + computed chunks) and the next
+  /// chunk resumes at that position. The prefix-cache hit is resolved and
+  /// forked at the FIRST chunk only.
   struct Slot {
     LoraId lora = -1;
     std::vector<std::int32_t> prompt;  ///< original prompt
@@ -146,12 +174,13 @@ class Engine {
     bool needs_prefill = true;
     std::int32_t resume_from = 0;  ///< generated tokens to re-prefill
     std::int64_t prefix_cached = 0;  ///< chain tokens served by the cache
-                                     ///< (resolved at prefill time)
+                                     ///< (resolved at the first chunk)
     std::uint64_t admit_seq = 0;
   };
 
   struct ChainMatch {
     std::int64_t entry = -1;  ///< -1 = no usable cached prefix
+    SeqId seq = -1;           ///< the entry's holder sequence
     std::int64_t usable = 0;  ///< chain tokens a fork would reuse
   };
   /// Index lookup for a (LoRA, prompt+generated) chain, with the
@@ -161,14 +190,46 @@ class Engine {
 
   std::int64_t Admit(Slot slot, std::vector<std::int32_t> generated);
   bool IsDone(const Slot& slot, const std::vector<std::int32_t>& out) const;
-  /// The ids the next invocation would prefill (FCFS by admission, cut to
-  /// prefill_limit) — the one plan both Step and the victim query project.
-  std::vector<std::int64_t> PlannedPrefillIds() const;
+
+  /// One planned prefill of the next step: resume point, chunk length and
+  /// whether the prefix-cache hit is still unresolved (first chunk). The
+  /// first chunk's index match rides along so Step never repeats the
+  /// O(chain) lookup the plan already did.
+  struct PlannedPrefill {
+    std::int64_t id = -1;
+    std::int64_t start = 0;  ///< chain tokens already in KV (fork boundary
+                             ///< for a first chunk)
+    std::int64_t chunk = 0;  ///< tokens this step (0 = budget-deferred)
+    std::int64_t total = 0;  ///< full re-prefill chain length
+    bool first_chunk = false;
+    ChainMatch hit;          ///< first chunk only: the fork to take
+  };
+  /// The step everyone projects: planned prefills (FCFS, cut to
+  /// prefill_limit, chunked by max_step_tokens) plus every decode. Slots in
+  /// `exclude` (victim simulation) are treated as already evicted.
+  /// `hit_memo` (optional) caches first-chunk index lookups per slot id —
+  /// the victim loop replans repeatedly while the index cannot change, so
+  /// each O(chain) trie walk should run once, not once per candidate.
+  struct StepPlan {
+    std::vector<PlannedPrefill> prefills;
+    std::vector<std::int64_t> decode_ids;
+  };
+  StepPlan PlanStep(const std::vector<std::int64_t>* exclude = nullptr,
+                    std::map<std::int64_t, ChainMatch>* hit_memo =
+                        nullptr) const;
+  /// New pages this step needs for one planned prefill chunk, including the
+  /// fork-boundary CoW copy on a first chunk.
+  std::int32_t PagesForPlannedPrefill(const PlannedPrefill& p) const;
 
   /// Extends `seq`, evicting LRU cached prefixes on page exhaustion.
   /// Aborts when the pool is short even with an empty cache — the caller
   /// should have migrated requests first.
   void ExtendOrReclaim(SeqId seq, std::int64_t tokens);
+  /// Non-fatal variant: false when the pool cannot cover the growth even
+  /// after evicting every unpinned cached prefix. Prefill chunks use it to
+  /// shrink/defer gracefully when the world drifted between the victim
+  /// projection and this step (see Step).
+  bool TryExtendOrReclaim(SeqId seq, std::int64_t tokens);
   bool EvictOneCachedPrefix();
   /// Registers the first `n_tokens` of `slot.seq`'s chain in the index.
   void RegisterPrefix(const Slot& slot, std::span<const std::int32_t> chain,
@@ -179,7 +240,9 @@ class Engine {
   /// aliased prefix (including the partial-boundary CoW copy) — the one
   /// formula admission and Step both price with.
   std::int32_t NewPagesFor(std::int64_t target_len, std::int64_t usable) const;
-  std::int32_t GrowthPages(std::int64_t id, const Slot& slot) const;
+  /// New pages the next step needs for one decode slot (one token, plus a
+  /// potential CoW copy of a shared partial tail page).
+  std::int32_t DecodeGrowthPages(const Slot& slot) const;
   /// `exclude_entry` ≥ 0 is treated as staying cached (admission math).
   std::int32_t ReclaimableCachePages(std::int64_t exclude_entry = -1) const;
 

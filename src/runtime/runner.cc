@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "runtime/chunking.h"
 #include "util/check.h"
 
 namespace punica {
@@ -129,14 +130,13 @@ void GpuRunner::Admit(ServingRequest* req, double now) {
 }
 
 void GpuRunner::ReleaseSlot(std::map<std::int64_t, Slot>::iterator it) {
-  // Only a prefilled slot has charged tokens: kv_len minus the tokens
-  // aliased from the tenant's cached prefix (those stay resident — and
-  // become reclaimable once the group has no resident request). A slot
-  // evicted before its prefill holds nothing, whatever its prospective
-  // prefix_hit says.
-  if (!it->second.needs_prefill) {
-    kv_used_tokens_ -= it->second.kv_len - it->second.prefix_hit;
-  }
+  // A slot's charged tokens are kv_len minus the tokens aliased from the
+  // tenant's cached prefix (those stay resident — and become reclaimable
+  // once the group has no resident request). Chunk-granular: a mid-prefill
+  // slot holds exactly its consumed chunks; a slot evicted before its
+  // first chunk holds nothing (kv_len and prefix_hit both still 0,
+  // whatever its prospective hit would have been).
+  kv_used_tokens_ -= it->second.kv_len - it->second.prefix_hit;
   if (it->second.req->prefix_group >= 0) {
     auto g = group_residents_.find(it->second.req->prefix_group);
     if (--g->second == 0) group_residents_.erase(g);
@@ -174,10 +174,16 @@ std::optional<double> GpuRunner::NextReadyTime(double now) const {
   return best;
 }
 
-GpuRunner::PlannedStep GpuRunner::PlanStep(double now) const {
+GpuRunner::PlannedStep GpuRunner::PlanStep(
+    double now, const std::vector<std::int64_t>* exclude) const {
+  auto excluded = [&](std::int64_t id) {
+    return exclude != nullptr &&
+           std::find(exclude->begin(), exclude->end(), id) != exclude->end();
+  };
   PlannedStep plan;
   std::vector<const Slot*> prefill_candidates;
   for (const auto& [id, slot] : slots_) {
+    if (excluded(id)) continue;
     if (slot.lora_ready_time > now + 1e-12) continue;  // adapter in flight
     if (slot.needs_prefill) {
       prefill_candidates.push_back(&slot);
@@ -194,66 +200,66 @@ GpuRunner::PlannedStep GpuRunner::PlanStep(double now) const {
   if (static_cast<int>(prefill_candidates.size()) > config_.prefill_limit) {
     prefill_candidates.resize(static_cast<std::size_t>(config_.prefill_limit));
   }
-  plan.prefills = std::move(prefill_candidates);
-  for (const Slot* s : plan.prefills) {
+  std::vector<std::int64_t> remaining;
+  for (const Slot* s : prefill_candidates) {
     // A prefix-cache hit prefills (and allocates) only the uncached
-    // suffix. Resolved here so the step that executes this plan and the
-    // victim projection price identical shapes.
-    std::int64_t hit = HitTokens(*s->req);
-    plan.prefill_hits.push_back(hit);
-    plan.kv_growth += s->req->PrefillTokensNeeded() - hit;
+    // suffix; a mid-prefill slot resumes at its consumed length. Resolved
+    // here so the step that executes this plan and the victim projection
+    // price identical shapes.
+    PlannedPrefill p;
+    p.slot = s;
+    p.total = s->req->PrefillTokensNeeded();
+    p.first_chunk = s->kv_len == 0;
+    p.start = p.first_chunk ? HitTokens(*s->req) : s->kv_len;
+    remaining.push_back(p.total - p.start);
+    plan.prefills.push_back(p);
+  }
+  std::vector<std::int64_t> chunks = SplitPrefillChunks(
+      remaining, static_cast<std::int64_t>(plan.decodes.size()),
+      config_.max_step_tokens);
+  for (std::size_t i = 0; i < plan.prefills.size(); ++i) {
+    plan.prefills[i].chunk = chunks[i];
+    plan.kv_growth += chunks[i];
   }
   plan.kv_growth += static_cast<std::int64_t>(plan.decodes.size());
   return plan;
 }
 
 std::vector<std::int64_t> GpuRunner::SelectEvictionVictims(double now) const {
-  PlannedStep plan = PlanStep(now);
-  std::int64_t projected =
-      kv_used_tokens_ + plan.kv_growth - ReclaimableCacheTokens();
-  if (projected <= config_.kv_capacity_tokens) return {};
-
-  // Evict the newest requests (max admit_seq) until the step fits — this
-  // preserves FCFS semantics (§5.3). (kOldest inverts the order for the
-  // ablation bench.) Evicting a slot releases its exclusively held tokens
-  // (its tenant's cached prefix stays, becoming reclaimable) and removes
-  // its contribution to this step's growth.
-  std::vector<const Slot*> by_newest;
-  by_newest.reserve(slots_.size());
-  for (const auto& [id, slot] : slots_) by_newest.push_back(&slot);
+  // Project the token demand of the next step exactly as Step() will run
+  // it after the caller evicts the victims: chunk-granular prefill growth
+  // (prefill is NOT atomic — only the next chunk's tokens are demanded)
+  // plus one token per decode. Evicting a victim changes the plan itself
+  // (its budget share redistributes to the remaining chunks, a pending
+  // prefill may be promoted into the prefill_limit cut), so every eviction
+  // triggers a full replan instead of decrementing a stale total. Victims
+  // go newest-first (max admit_seq), preserving FCFS (§5.3); kOldest
+  // inverts the order for the ablation bench. An evicted slot releases its
+  // exclusively held tokens — its tenant's cached prefix stays, becoming
+  // reclaimable (which this projection conservatively ignores).
   const bool newest_first = config_.evict_policy == EvictPolicy::kNewest;
-  std::sort(by_newest.begin(), by_newest.end(),
-            [newest_first](const Slot* a, const Slot* b) {
-              return newest_first ? a->admit_seq > b->admit_seq
-                                  : a->admit_seq < b->admit_seq;
-            });
-
-  auto growth_of = [&](const Slot* s) -> std::int64_t {
-    if (s->lora_ready_time > now + 1e-12) return 0;
-    if (s->needs_prefill) {
-      // Only charged if it made the prefill cut.
-      for (std::size_t i = 0; i < plan.prefills.size(); ++i) {
-        if (plan.prefills[i] == s) {
-          return s->req->PrefillTokensNeeded() - plan.prefill_hits[i];
-        }
-      }
-      return 0;
-    }
-    return 1;
-  };
-
-  // Evict strictly in order, even slots that free nothing right now (e.g.
-  // page-less prefills beyond the cut): skipping one would let it be
-  // promoted into the prefill plan after a planned prefill below it is
-  // evicted, adding growth this projection never counted.
   std::vector<std::int64_t> victims;
-  for (const Slot* s : by_newest) {
+  std::int64_t freed = 0;
+  while (true) {
+    PlannedStep plan = PlanStep(now, &victims);
+    std::int64_t projected = kv_used_tokens_ - freed + plan.kv_growth -
+                             ReclaimableCacheTokens();
     if (projected <= config_.kv_capacity_tokens) break;
-    // A pre-prefill slot holds no charged tokens yet (its prospective
-    // prefix_hit included).
-    std::int64_t held = s->needs_prefill ? 0 : s->kv_len - s->prefix_hit;
-    projected -= held + growth_of(s);
-    victims.push_back(s->req->id);
+
+    const Slot* victim = nullptr;
+    for (const auto& [id, slot] : slots_) {
+      if (std::find(victims.begin(), victims.end(), id) != victims.end()) {
+        continue;
+      }
+      if (victim == nullptr ||
+          (newest_first ? slot.admit_seq > victim->admit_seq
+                        : slot.admit_seq < victim->admit_seq)) {
+        victim = &slot;
+      }
+    }
+    if (victim == nullptr) break;  // nothing left to evict
+    freed += victim->kv_len - victim->prefix_hit;
+    victims.push_back(victim->req->id);
   }
   return victims;
 }
@@ -271,30 +277,36 @@ StepResult GpuRunner::Step(double now) {
 
   // Build the cost-model shape. Token rows group by LoRA id (the runtime
   // orders same-LoRA requests consecutively before building SGMV segments).
-  // Prefix-hit prefills contribute only their uncached suffix as token
-  // rows, but attention still reads the full kv span — the prefix-hit term
-  // the cost model prices.
+  // A prefill contributes only its chunk as token rows — the uncached
+  // suffix slice the budget grants it this step — but attention still
+  // reads the whole kv span up to the chunk's end: the
+  // (kv − chunk) + (chunk+1)/2 causal-span term the cost model prices, for
+  // prefix hits and budget chunks alike (one shared definition).
   StepShape shape;
   shape.tp_degree = config_.tp_degree;
   shape.lora_rank = config_.lora_rank;
   std::unordered_map<LoraId, std::int32_t> rows_by_lora;
-  for (std::size_t i = 0; i < plan.prefills.size(); ++i) {
-    const Slot* s = plan.prefills[i];
-    std::int64_t hit = plan.prefill_hits[i];
-    auto full = static_cast<std::int32_t>(s->req->PrefillTokensNeeded());
-    auto chunk = static_cast<std::int32_t>(full - hit);
-    shape.prefill_chunks.push_back(chunk);
-    shape.prefill_kv_lens.push_back(full);
-    if (s->req->lora_id >= 0) rows_by_lora[s->req->lora_id] += chunk;
-    result.prefix_hit_tokens += static_cast<int>(hit);
-    cache_stats_.prefill_tokens += chunk;
-    if (config_.enable_prefix_cache && s->req->prefix_group >= 0 &&
-        s->req->shared_prefix_len > 0) {
-      ++cache_stats_.lookups;
-      if (hit > 0) {
-        prefix_cache_.at(s->req->prefix_group).stamp = cache_clock_++;
-        ++cache_stats_.hits;
-        cache_stats_.hit_tokens += hit;
+  int chunked_prefills = 0;
+  for (const PlannedPrefill& p : plan.prefills) {
+    if (p.chunk == 0) continue;  // budget-deferred this step
+    const Slot* s = p.slot;
+    ++chunked_prefills;
+    shape.prefill_chunks.push_back(static_cast<std::int32_t>(p.chunk));
+    shape.prefill_kv_lens.push_back(p.start + p.chunk);
+    if (s->req->lora_id >= 0) {
+      rows_by_lora[s->req->lora_id] += static_cast<std::int32_t>(p.chunk);
+    }
+    cache_stats_.prefill_tokens += p.chunk;
+    if (p.first_chunk) {
+      result.prefix_hit_tokens += static_cast<int>(p.start);
+      if (config_.enable_prefix_cache && s->req->prefix_group >= 0 &&
+          s->req->shared_prefix_len > 0) {
+        ++cache_stats_.lookups;
+        if (p.start > 0) {
+          prefix_cache_.at(s->req->prefix_group).stamp = cache_clock_++;
+          ++cache_stats_.hits;
+          cache_stats_.hit_tokens += p.start;
+        }
       }
     }
   }
@@ -308,31 +320,40 @@ StepResult GpuRunner::Step(double now) {
 
   result.latency = cost_model_->StepLatency(model_config_, shape);
   result.batch_size =
-      static_cast<int>(plan.prefills.size() + plan.decodes.size());
-  result.prefill_requests = static_cast<int>(plan.prefills.size());
+      static_cast<int>(chunked_prefills + plan.decodes.size());
+  result.prefill_requests = chunked_prefills;
   result.num_segments = static_cast<int>(shape.lora_segment_rows.size());
   for (auto c : shape.prefill_chunks) result.prefill_tokens += c;
 
   double completion = now + result.latency;
 
-  // Apply state transitions. Collect ids first: releasing mutates slots_.
-  std::vector<std::int64_t> prefill_ids;
+  // Apply state transitions. Collect the plan by id first: releasing
+  // mutates slots_.
+  std::vector<PlannedPrefill> prefill_plan;
   std::vector<std::int64_t> decode_ids;
-  for (const Slot* s : plan.prefills) prefill_ids.push_back(s->req->id);
+  for (const PlannedPrefill& p : plan.prefills) {
+    if (p.chunk > 0) prefill_plan.push_back(p);
+  }
   for (const Slot* s : plan.decodes) decode_ids.push_back(s->req->id);
 
   // The emitted "token" on this tier is the per-request sequence tag
   // (generated count − 1): content is synthetic, ordering and timing are
-  // what the simulation is responsible for.
-  for (std::size_t i = 0; i < prefill_ids.size(); ++i) {
-    auto id = prefill_ids[i];
+  // what the simulation is responsible for. A non-final chunk emits
+  // nothing — the request's first token waits for its last chunk.
+  for (const PlannedPrefill& p : prefill_plan) {
+    std::int64_t id = p.slot->req->id;
     Slot& slot = slots_.at(id);
-    // The hit resolved at plan time becomes the slot's share of the
-    // tenant's cache-owned tokens.
-    slot.prefix_hit = plan.prefill_hits[i];
-    std::int64_t full = slot.req->PrefillTokensNeeded();
-    slot.kv_len = full;
-    kv_used_tokens_ += full - slot.prefix_hit;
+    if (p.first_chunk) {
+      // The hit resolved at plan time becomes the slot's share of the
+      // tenant's cache-owned tokens.
+      slot.prefix_hit = p.start;
+    }
+    slot.kv_len = p.start + p.chunk;
+    kv_used_tokens_ += p.chunk;
+    if (slot.kv_len < p.total) {
+      ++result.partial_prefills;
+      continue;
+    }
     slot.needs_prefill = false;
     // The tenant's system prompt is now resident — register it so the next
     // group-mate's prefill skips it (ownership of those tokens moves to
@@ -341,7 +362,7 @@ StepResult GpuRunner::Step(double now) {
     if (config_.enable_prefix_cache && slot.req->prefix_group >= 0 &&
         slot.req->shared_prefix_len > 0 && slot.prefix_hit == 0) {
       auto covered = std::min(
-          full, static_cast<std::int64_t>(slot.req->shared_prefix_len));
+          p.total, static_cast<std::int64_t>(slot.req->shared_prefix_len));
       auto [it, inserted] = prefix_cache_.try_emplace(
           slot.req->prefix_group,
           CachedPrefix{.tokens = covered, .stamp = cache_clock_});
@@ -369,12 +390,12 @@ StepResult GpuRunner::Step(double now) {
     result.emitted.push_back({id, slot.req->generated - 1});
   }
 
-  for (auto id : prefill_ids) {
-    auto it = slots_.find(id);
+  for (const PlannedPrefill& p : prefill_plan) {
+    auto it = slots_.find(p.slot->req->id);
     if (it->second.req->Done()) {
       it->second.req->phase = RequestPhase::kFinished;
       it->second.req->finish_time = completion;
-      result.finished.push_back(id);
+      result.finished.push_back(it->first);
       ReleaseSlot(it);
     }
   }
@@ -386,6 +407,11 @@ StepResult GpuRunner::Step(double now) {
       result.finished.push_back(id);
       ReleaseSlot(it);
     }
+  }
+  for (const auto& [id, slot] : slots_) {
+    if (!slot.needs_prefill) continue;
+    result.deferred_prefill_tokens +=
+        slot.req->PrefillTokensNeeded() - slot.kv_len;
   }
   return result;
 }

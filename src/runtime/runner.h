@@ -1,6 +1,8 @@
 // The per-GPU Punica runner (paper §5): a continuous-batching execution loop
 // over a working set of requests, with
 //   * mixed prefill + decode invocations (prefill batch limited to 1, §5),
+//     chunked under an optional per-step token budget (max_step_tokens)
+//     using the same split definition as the numeric Engine,
 //   * LoRA-grouped batch ordering feeding SGMV segments,
 //   * on-demand LoRA loading overlapped with compute (§5.2),
 //   * KvCache token accounting with evict-newest victim selection for
@@ -36,6 +38,12 @@ enum class EvictPolicy { kNewest, kOldest };
 struct RunnerConfig {
   int max_batch_size = 32;  ///< profiled sweet spot on A100 (paper §5.1)
   int prefill_limit = 1;    ///< prefill requests per invocation (paper §5)
+  /// Per-step token budget for chunked prefill (0 = unlimited). Decode
+  /// rows count against it and are never trimmed; pending prefills consume
+  /// the remainder FCFS as chunks — the same SplitPrefillChunks definition
+  /// (runtime/chunking.h) the numeric Engine steps with, so both tiers
+  /// produce identical chunk sequences for identical workloads.
+  std::int64_t max_step_tokens = 0;
   EvictPolicy evict_policy = EvictPolicy::kNewest;
   std::int64_t kv_capacity_tokens = 0;
   /// Shared-prefix KV cache (token-granular counterpart of the numeric
@@ -121,11 +129,16 @@ class GpuRunner : public ExecutionBackend {
   std::int64_t prefix_cached_tokens() const;
 
  private:
+  /// `needs_prefill` is true from admission until the final prefill chunk;
+  /// mid-prefill (chunked prefill) is `needs_prefill && kv_len > 0` —
+  /// kv_len tracks the tokens resident so far (cache-aliased prefix
+  /// included), growing chunk by chunk.
   struct Slot {
     ServingRequest* req = nullptr;
     std::int64_t kv_len = 0;   ///< tokens cached on this GPU
     bool needs_prefill = true;
     std::int64_t prefix_hit = 0;  ///< prefill tokens served by the cache
+                                  ///< (resolved at the first chunk)
     std::uint64_t admit_seq = 0;
     double lora_ready_time = 0.0;
   };
@@ -137,17 +150,28 @@ class GpuRunner : public ExecutionBackend {
     std::uint64_t stamp = 0;  ///< logical recency (deterministic LRU)
   };
 
+  /// One planned prefill: resume point and chunk length under the step
+  /// token budget. The cache hit is resolved at the first chunk (plan
+  /// time) — the numeric tier resolves at prefill time too, so
+  /// tenant-mates admitted in one wave still hit once the first registers.
+  struct PlannedPrefill {
+    const Slot* slot = nullptr;
+    std::int64_t start = 0;  ///< tokens already resident (the hit, for a
+                             ///< first chunk)
+    std::int64_t chunk = 0;  ///< tokens this step (0 = budget-deferred)
+    std::int64_t total = 0;  ///< full re-prefill length
+    bool first_chunk = false;
+  };
   struct PlannedStep {
-    std::vector<const Slot*> prefills;
-    /// Cache hit per planned prefill (aligned with `prefills`), resolved
-    /// at plan time — the numeric tier resolves at prefill time too, so
-    /// tenant-mates admitted in one wave still hit once the first
-    /// registers.
-    std::vector<std::int64_t> prefill_hits;
+    std::vector<PlannedPrefill> prefills;
     std::vector<const Slot*> decodes;
     std::int64_t kv_growth = 0;
   };
-  PlannedStep PlanStep(double now) const;
+  /// Plans the next step; requests in `exclude` (victim simulation) are
+  /// treated as already evicted.
+  PlannedStep PlanStep(double now,
+                       const std::vector<std::int64_t>* exclude =
+                           nullptr) const;
 
   void ReleaseSlot(std::map<std::int64_t, Slot>::iterator it);
   /// Prefill tokens the cache covers for `req` right now (0 = cold).

@@ -52,10 +52,11 @@ const std::vector<Req>& Scenario() {
 /// Builds the full numeric serving stack on `ctx` and runs the scenario,
 /// returning every request's streamed tokens. `prefix_cache` toggles the
 /// shared-prefix KV cache on the engines; `hit_tokens` (optional)
-/// accumulates the cache hits actually realized.
+/// accumulates the cache hits actually realized; `max_step_tokens` chunks
+/// prefills under a per-step token budget (0 = unchunked).
 std::vector<std::vector<std::int32_t>> RunScenario(
     const ComputeContext& ctx, bool prefix_cache = true,
-    std::int64_t* hit_tokens = nullptr) {
+    std::int64_t* hit_tokens = nullptr, std::int64_t max_step_tokens = 0) {
   LlamaModel model(TinyLlama(), 2024, &ctx);
   model.AddLora(0, 8, 1);
   model.AddLora(1, 8, 2);
@@ -68,6 +69,7 @@ std::vector<std::vector<std::int32_t>> RunScenario(
     engines.push_back(std::make_unique<Engine>(
         &model, model.MakeKvConfig(/*num_pages=*/10),
         EngineConfig{.max_batch_size = 4,
+                     .max_step_tokens = max_step_tokens,
                      .enable_prefix_cache = prefix_cache}));
     backends.push_back(std::make_unique<EngineBackend>(g, engines.back().get()));
     raw.push_back(backends.back().get());
@@ -195,6 +197,45 @@ TEST(DeterminismTest, PrefixHitStreamsBitIdenticalToColdStartNativeSimd) {
   if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
   ScopedSimdLevel guard(SimdLevel::kNative);
   ExpectPrefixHitStreamsEqualColdStreams();
+}
+
+/// The chunked-prefill contract: a step token budget moves invocation
+/// boundaries but never K/V bits or reduction orders, so chunked streams
+/// must be bit-identical to unchunked streams at any budget and any thread
+/// count. Budgets 16 and 128 chunk the scenario's longer prompts (and, at
+/// 16, force multi-step prefills with decodes interleaved); ∞ (0) is the
+/// reference.
+void ExpectChunkedStreamsEqualUnchunked() {
+  for (int threads : {1, 4}) {
+    ComputeContext ctx({.num_threads = threads});
+    auto unchunked = RunScenario(ctx, /*prefix_cache=*/true, nullptr,
+                                 /*max_step_tokens=*/0);
+    for (std::int64_t budget : {16, 128}) {
+      auto chunked = RunScenario(ctx, /*prefix_cache=*/true, nullptr,
+                                 budget);
+      ASSERT_EQ(chunked.size(), unchunked.size());
+      for (std::size_t i = 0; i < unchunked.size(); ++i) {
+        EXPECT_EQ(chunked[i], unchunked[i])
+            << "request " << i << " diverged at budget " << budget << ", "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, ChunkedPrefillStreamsBitIdenticalToUnchunked) {
+  ExpectChunkedStreamsEqualUnchunked();
+}
+
+TEST(DeterminismTest, ChunkedPrefillStreamsBitIdenticalToUnchunkedScalarSimd) {
+  ScopedSimdLevel guard(SimdLevel::kScalar);
+  ExpectChunkedStreamsEqualUnchunked();
+}
+
+TEST(DeterminismTest, ChunkedPrefillStreamsBitIdenticalToUnchunkedNativeSimd) {
+  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
+  ScopedSimdLevel guard(SimdLevel::kNative);
+  ExpectChunkedStreamsEqualUnchunked();
 }
 
 /// Steps an engine `steps` times, then cancels the request and returns its

@@ -1,0 +1,109 @@
+// SplitPrefillChunks is the ONE chunked-prefill split definition every tier
+// steps with (numeric Engine, simulated GpuRunner, closed-loop text-gen
+// simulator). These tests pin its semantics and assert the two serving
+// tiers realize identical chunk sequences for the same workload — the
+// "shared definition" contract of the chunked-prefill substrate.
+#include "runtime/chunking.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/costmodel.h"
+#include "gpu/specs.h"
+#include "model/config.h"
+#include "runtime/engine.h"
+#include "runtime/runner.h"
+
+namespace punica {
+namespace {
+
+std::vector<std::int64_t> Split(std::vector<std::int64_t> remaining,
+                                std::int64_t decodes, std::int64_t budget) {
+  return SplitPrefillChunks(remaining, decodes, budget);
+}
+
+TEST(SplitPrefillChunksTest, UnlimitedBudgetRunsWholeSuffixes) {
+  EXPECT_EQ(Split({100, 7}, 5, 0), (std::vector<std::int64_t>{100, 7}));
+  EXPECT_EQ(Split({100}, 31, -3), (std::vector<std::int64_t>{100}));
+}
+
+TEST(SplitPrefillChunksTest, DecodesComeOffTheTopOfTheBudget) {
+  // 64-token budget, 16 decodes → 48 prefill tokens FCFS.
+  EXPECT_EQ(Split({100}, 16, 64), (std::vector<std::int64_t>{48}));
+  EXPECT_EQ(Split({30, 100}, 16, 64), (std::vector<std::int64_t>{30, 18}));
+}
+
+TEST(SplitPrefillChunksTest, BudgetExhaustedDefersLaterPrefills) {
+  EXPECT_EQ(Split({100, 50}, 0, 64), (std::vector<std::int64_t>{64, 0}));
+  EXPECT_EQ(Split({64, 50}, 0, 64), (std::vector<std::int64_t>{64, 0}));
+}
+
+TEST(SplitPrefillChunksTest, ProgressFloorWhenDecodesSaturateBudget) {
+  // Decodes alone exceed the budget: the head prefill still gets one token,
+  // later prefills get none — prefill can never starve behind a full
+  // decode batch.
+  EXPECT_EQ(Split({100, 50}, 64, 64), (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(Split({100}, 1000, 8), (std::vector<std::int64_t>{1}));
+}
+
+TEST(SplitPrefillChunksTest, ChunksNeverExceedRemaining) {
+  EXPECT_EQ(Split({3, 2, 10}, 0, 8), (std::vector<std::int64_t>{3, 2, 3}));
+}
+
+TEST(SplitPrefillChunksTest, NoPrefillsIsEmpty) {
+  EXPECT_TRUE(Split({}, 12, 64).empty());
+}
+
+/// Cross-tier agreement: a single long prefill stepped under the same
+/// budget must produce the same per-step prefill-token sequence on the
+/// numeric Engine and the simulated GpuRunner — both call the shared
+/// split, and neither may drift from it.
+TEST(SplitPrefillChunksTest, EngineAndRunnerRealizeIdenticalChunkSequences) {
+  constexpr std::int64_t kBudget = 24;
+  constexpr int kPromptLen = 100;
+
+  // Numeric tier.
+  LlamaModel model(TinyLlama(), 11);
+  Engine engine(&model, model.MakeKvConfig(/*num_pages=*/64),
+                EngineConfig{.max_step_tokens = kBudget,
+                             .enable_prefix_cache = false});
+  std::vector<std::int32_t> prompt(kPromptLen);
+  for (int i = 0; i < kPromptLen; ++i) prompt[i] = (i * 7 + 3) % 97;
+  engine.AddRequest({.prompt_tokens = prompt, .max_new_tokens = 2});
+  std::vector<int> engine_chunks;
+  while (engine.HasWork()) {
+    StepResult r = engine.Step();
+    if (r.prefill_tokens > 0) engine_chunks.push_back(r.prefill_tokens);
+  }
+
+  // Simulated tier, identical shape: one cold prefill, no decodes.
+  CostModel cm((A100Sxm80GB()));
+  GpuRunner runner(0,
+                   {.max_step_tokens = kBudget,
+                    .kv_capacity_tokens = 4096,
+                    .enable_prefix_cache = false},
+                   Llama7B(), &cm);
+  ServingRequest req;
+  req.id = 1;
+  req.lora_id = -1;
+  req.prompt_len = kPromptLen;
+  req.output_len = 2;
+  runner.Admit(&req, 0.0);
+  std::vector<int> runner_chunks;
+  double now = 0.0;
+  while (runner.HasAnyWork()) {
+    StepResult r = runner.Step(now);
+    now += r.latency;
+    if (r.prefill_tokens > 0) runner_chunks.push_back(r.prefill_tokens);
+  }
+
+  EXPECT_EQ(engine_chunks, runner_chunks);
+  // And the sequence is what the shared definition says: full-budget
+  // chunks (no decodes in flight), then the 4-token remainder.
+  EXPECT_EQ(engine_chunks, (std::vector<int>{24, 24, 24, 24, 4}));
+}
+
+}  // namespace
+}  // namespace punica

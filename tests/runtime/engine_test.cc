@@ -472,5 +472,143 @@ TEST_F(EngineTest, PrefixHitTokensQueryIsPureAndPageAware) {
                 static_cast<std::int64_t>(prompt.size()) + 1));
 }
 
+// --- Chunked prefill (EngineConfig::max_step_tokens) ---
+
+std::vector<std::int32_t> LongPrompt(int len) {
+  std::vector<std::int32_t> p(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    p[static_cast<std::size_t>(i)] = (i * 13 + 7) % 97;
+  }
+  return p;
+}
+
+TEST_F(EngineTest, ChunkedPrefillEmitsNothingUntilFinalChunk) {
+  EngineConfig cfg;
+  cfg.max_step_tokens = 8;
+  Engine e(&model_, model_.MakeKvConfig(256), cfg);
+  RequestHandle id = e.AddRequest(
+      {.lora = 0, .prompt_tokens = LongPrompt(20), .max_new_tokens = 3});
+  // 20 tokens at budget 8: chunks of 8, 8, 4 — the first two steps carry a
+  // partial chunk and emit nothing.
+  for (int expected : {8, 8}) {
+    auto r = e.Step();
+    EXPECT_EQ(r.prefill_tokens, expected);
+    EXPECT_EQ(r.partial_prefills, 1);
+    EXPECT_TRUE(r.emitted.empty());
+    EXPECT_EQ(r.new_tokens, 0);
+  }
+  EXPECT_EQ(e.Output(id)->size(), 0u);
+  auto r = e.Step();
+  EXPECT_EQ(r.prefill_tokens, 4);
+  EXPECT_EQ(r.partial_prefills, 0);
+  ASSERT_EQ(r.emitted.size(), 1u);
+  EXPECT_EQ(r.emitted[0].request_id, id.id());
+  EXPECT_EQ(r.deferred_prefill_tokens, 0);
+}
+
+TEST_F(EngineTest, ChunkedStreamsBitIdenticalToUnchunked) {
+  auto run = [&](std::int64_t budget) {
+    EngineConfig cfg;
+    cfg.max_step_tokens = budget;
+    Engine e(&model_, model_.MakeKvConfig(256), cfg);
+    RequestHandle a = e.AddRequest(
+        {.lora = 0, .prompt_tokens = LongPrompt(33), .max_new_tokens = 6});
+    RequestHandle b = e.AddRequest(
+        {.lora = 1, .prompt_tokens = {4, 2}, .max_new_tokens = 8});
+    while (e.HasWork()) e.Step();
+    return std::vector<std::vector<std::int32_t>>{*e.Output(a),
+                                                  *e.Output(b)};
+  };
+  auto unchunked = run(0);
+  for (std::int64_t budget : {5, 16, 128}) {
+    EXPECT_EQ(run(budget), unchunked) << "budget " << budget;
+  }
+}
+
+TEST_F(EngineTest, DecodesShareEveryStepWithPrefillChunks) {
+  EngineConfig cfg;
+  cfg.max_step_tokens = 6;
+  Engine e(&model_, model_.MakeKvConfig(256), cfg);
+  // Get one request decoding first.
+  RequestHandle dec = e.AddRequest(
+      {.lora = 0, .prompt_tokens = {1, 2}, .max_new_tokens = 32});
+  e.Step();
+  // A long prompt arrives: every subsequent step must mix a prefill chunk
+  // with the in-flight decode (no decode stall behind the prompt).
+  e.AddRequest(
+      {.lora = 0, .prompt_tokens = LongPrompt(20), .max_new_tokens = 2});
+  std::size_t before = e.Output(dec)->size();
+  int chunk_steps = 0;
+  while (e.Output(dec) != nullptr &&
+         static_cast<int>(e.Output(dec)->size()) < 8) {
+    auto r = e.Step();
+    if (r.partial_prefills > 0) {
+      ++chunk_steps;
+      // The decode emitted in the same invocation as the partial chunk.
+      ASSERT_EQ(r.emitted.size(), 1u);
+      EXPECT_EQ(r.emitted[0].request_id, dec.id());
+      // Budget 6 with one decode row → 5-token chunks.
+      EXPECT_EQ(r.prefill_tokens, 5);
+    }
+  }
+  EXPECT_GT(chunk_steps, 2);
+  EXPECT_GT(e.Output(dec)->size(), before);
+}
+
+TEST_F(EngineTest, MidPrefillCancelRegistersPartialChainAndRebuilds) {
+  const std::vector<std::int32_t> prompt = LongPrompt(24);
+  // Uninterrupted reference stream.
+  Engine ref = MakeEngine();
+  RequestHandle r0 = ref.AddRequest(
+      {.lora = 0, .prompt_tokens = prompt, .max_new_tokens = 5});
+  while (ref.HasWork()) ref.Step();
+  std::vector<std::int32_t> expected = *ref.Output(r0);
+
+  EngineConfig cfg;
+  cfg.max_step_tokens = 8;
+  Engine e(&model_, model_.MakeKvConfig(256), cfg);
+  RequestHandle id = e.AddRequest(
+      {.lora = 0, .prompt_tokens = prompt, .max_new_tokens = 5});
+  e.Step();  // one 8-token chunk; the prefill is mid-flight
+  auto snap = e.Cancel(id);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(snap->generated.empty());  // no token emitted yet
+
+  // The partially-prefilled chain was registered: the rebuild forks the 8
+  // consumed tokens and prefills only the remaining 16.
+  EXPECT_EQ(e.PrefixHitTokens(0, prompt, {}), 8);
+  RequestHandle back = e.AddMigrated(*snap);
+  auto r = e.Step();
+  EXPECT_EQ(r.prefix_hit_tokens, 8);
+  EXPECT_EQ(r.prefill_tokens, 8);  // budget-sized chunk of the suffix
+  while (e.HasWork()) e.Step();
+  EXPECT_EQ(*e.Output(back), expected);
+}
+
+TEST_F(EngineTest, VictimProjectionIsChunkGranular) {
+  // Pool sized so the WHOLE prompt cannot fit next to the resident
+  // request, but the next chunk can: with chunked prefill the victim
+  // query must not name victims for pages the next step does not demand.
+  EngineConfig cfg;
+  cfg.max_step_tokens = 8;
+  cfg.enable_prefix_cache = false;
+  Engine e(&model_, model_.MakeKvConfig(/*num_pages=*/6, /*page_size=*/4),
+           cfg);
+  RequestHandle small = e.AddRequest(
+      {.lora = 0, .prompt_tokens = {1, 2, 3}, .max_new_tokens = 2});
+  e.Step();  // small prefilled: 1 page (3 tokens of 4 slots)
+  e.AddRequest(
+      {.lora = 0, .prompt_tokens = LongPrompt(16), .max_new_tokens = 2});
+  // An atomic projection would price the whole 16-token prefill + a decode
+  // slot (5 pages) against the 5 free pages alongside small's growth. The
+  // chunked projection demands only the next chunk: budget 8 minus one
+  // decode row = 7 tokens → 2 pages, plus small's decode (0 new pages:
+  // 3+1 fits its page). 5 free → no victims.
+  EXPECT_TRUE(e.SelectEvictionVictims().empty());
+  auto r = e.Step();
+  EXPECT_EQ(r.prefill_tokens, 7);  // budget 8 minus one decode row
+  (void)small;
+}
+
 }  // namespace
 }  // namespace punica

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -409,6 +410,120 @@ TEST_F(RunnerTest, ResidentGroupPrefixNotReclaimed) {
   // must NOT be admissible — those tokens are live.
   auto big = MakeRequest(2, -1, 120, 2);
   EXPECT_FALSE(runner.CanAdmit(big));
+}
+
+// --- Chunked prefill (RunnerConfig::max_step_tokens) ---
+
+TEST_F(RunnerTest, ChunkedPrefillSpansStepsAndEmitsAtTheEnd) {
+  config_.max_step_tokens = 32;
+  GpuRunner runner = MakeRunner();
+  auto req = MakeRequest(1, -1, 100, 3);
+  runner.Admit(&req, 0.0);
+  double now = 0.0;
+  // 100 tokens at budget 32 (no decodes): 32, 32, 32, 4.
+  for (int expected : {32, 32, 32}) {
+    auto r = runner.Step(now);
+    now += r.latency;
+    EXPECT_EQ(r.prefill_tokens, expected);
+    EXPECT_EQ(r.partial_prefills, 1);
+    EXPECT_TRUE(r.emitted.empty());
+    EXPECT_EQ(req.generated, 0);
+    EXPECT_GT(r.deferred_prefill_tokens, 0);
+  }
+  auto r = runner.Step(now);
+  EXPECT_EQ(r.prefill_tokens, 4);
+  EXPECT_EQ(r.partial_prefills, 0);
+  ASSERT_EQ(r.emitted.size(), 1u);
+  EXPECT_EQ(req.generated, 1);
+  EXPECT_EQ(runner.kv_used_tokens(), 100);
+}
+
+TEST_F(RunnerTest, ChunkedPrefillStepsAreCheaperThanAtomicPrefill) {
+  // The point of the budget: no single invocation carries the whole
+  // prompt, so the worst-case decode stall shrinks accordingly.
+  auto max_step_latency = [&](std::int64_t budget) {
+    config_.max_step_tokens = budget;
+    GpuRunner runner = MakeRunner();
+    auto req = MakeRequest(1, -1, 600, 4);
+    runner.Admit(&req, 0.0);
+    double now = 0.0, worst = 0.0;
+    while (runner.HasAnyWork()) {
+      auto r = runner.Step(now);
+      now += r.latency;
+      worst = std::max(worst, r.latency);
+    }
+    return worst;
+  };
+  EXPECT_LT(max_step_latency(64), max_step_latency(0));
+}
+
+TEST_F(RunnerTest, DecodesJoinEveryChunkStep) {
+  config_.max_step_tokens = 16;
+  GpuRunner runner = MakeRunner();
+  auto dec = MakeRequest(1, -1, 4, 40);
+  runner.Admit(&dec, 0.0);
+  double now = 0.0;
+  now += runner.Step(now).latency;  // dec prefilled
+  auto longreq = MakeRequest(2, -1, 60, 2);
+  runner.Admit(&longreq, 0.0);
+  int chunk_steps = 0;
+  while (longreq.generated == 0) {
+    auto r = runner.Step(now);
+    now += r.latency;
+    // Every chunk step also advanced the in-flight decode.
+    EXPECT_GE(r.new_tokens, 1);
+    if (r.partial_prefills > 0) {
+      ++chunk_steps;
+      EXPECT_EQ(r.prefill_tokens, 15);  // budget 16 minus one decode row
+    }
+  }
+  EXPECT_GT(chunk_steps, 1);
+}
+
+TEST_F(RunnerTest, MidPrefillEvictionReleasesConsumedTokensOnly) {
+  config_.max_step_tokens = 32;
+  GpuRunner runner = MakeRunner();
+  auto req = MakeRequest(1, -1, 100, 3);
+  runner.Admit(&req, 0.0);
+  double now = 0.0;
+  now += runner.Step(now).latency;  // one 32-token chunk consumed
+  EXPECT_EQ(runner.kv_used_tokens(), 32);
+  auto snap = runner.Cancel(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(runner.kv_used_tokens(), 0);
+  EXPECT_EQ(snap->generated_len, 0);  // nothing emitted mid-prefill
+}
+
+TEST_F(RunnerTest, VictimProjectionIsChunkGranularUnderBudget) {
+  // 140-token prompt into a 120-token pool with a resident decode: the
+  // atomic projection would evict, but with a 32-token budget the next
+  // chunk always fits until the pool truly runs out.
+  config_.kv_capacity_tokens = 120;
+  config_.max_step_tokens = 32;
+  GpuRunner runner = MakeRunner();
+  auto dec = MakeRequest(1, -1, 10, 30);
+  runner.Admit(&dec, 0.0);
+  double now = 0.0;
+  now += runner.Step(now).latency;
+  auto longreq = MakeRequest(2, -1, 100, 30);
+  runner.Admit(&longreq, 0.0);
+  // Next step: 31-token chunk + 1 decode on 11 used tokens — fits.
+  EXPECT_TRUE(runner.SelectEvictionVictims(now).empty());
+  auto r = runner.Step(now);
+  EXPECT_EQ(r.prefill_tokens, 31);
+  now += r.latency;
+  // Eventually the pool fills mid-prefill and the newest request (the
+  // long prompt itself) is named, releasing only its consumed chunks.
+  std::vector<std::int64_t> victims;
+  while (victims.empty() && runner.HasAnyWork()) {
+    victims = runner.SelectEvictionVictims(now);
+    if (victims.empty()) {
+      auto s = runner.Step(now);
+      now += s.latency;
+    }
+  }
+  ASSERT_FALSE(victims.empty());
+  EXPECT_EQ(victims.front(), 2);
 }
 
 }  // namespace
