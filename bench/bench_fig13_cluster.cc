@@ -99,8 +99,8 @@ void Run(int max_batch, double peak_rate) {
   s.AddRow({"mean request latency",
             FormatSeconds(stats.request_latency.mean())});
   s.AddRow({"p50 / p99 request latency",
-            FormatSeconds(Percentile(stats.request_latencies, 50)) + " / " +
-                FormatSeconds(Percentile(stats.request_latencies, 99))});
+            FormatSeconds(stats.request_latency.p50()) + " / " +
+                FormatSeconds(stats.request_latency.p99())});
   s.AddRow({"mean time-to-first-token",
             FormatSeconds(stats.first_token_latency.mean())});
   s.AddRow({"makespan", FormatSeconds(stats.makespan)});

@@ -1,0 +1,117 @@
+// Open-loop serving walkthrough: the same Poisson workload served twice
+// through src/serving/ —
+//
+//   1. virtual time: ServingLoop::RunVirtual replays arrivals on the
+//      discrete-event clock (deterministic; what bench_serving sweeps);
+//   2. real threads: a TraceSubmitter fleet sleeps until each wall-clock
+//      arrival (compressed 100x) and pushes into a bounded ArrivalQueue
+//      that ServingLoop::RunThreaded drains — the backpressure path.
+//
+// Both runs print the same SLO scorecard: TTFT, queueing delay, e2e and
+// goodput, with the low-priority tenant class shed first under overload.
+#include <cstdio>
+
+#include "gpu/costmodel.h"
+#include "gpu/specs.h"
+#include "runtime/runner.h"
+#include "serving/load_generator.h"
+#include "serving/serving_loop.h"
+#include "util/table.h"
+
+using namespace punica;
+
+namespace {
+
+void PrintScorecard(const char* mode, const ServingMetrics& m,
+                    double duration_s) {
+  double tok_s = duration_s > 0.0
+                     ? static_cast<double>(m.total_new_tokens) / duration_s
+                     : 0.0;
+  std::printf(
+      "%s:\n"
+      "  offered %lld, finished %lld, shed %lld, goodput %.3f\n"
+      "  TTFT p50/p95      %7.1f / %7.1f ms\n"
+      "  queue wait mean   %7.1f ms\n"
+      "  e2e p50/p95       %7.1f / %7.1f ms\n"
+      "  ITL p95           %7.1f ms\n"
+      "  throughput        %7.0f tok/s over %.2f s\n\n",
+      mode, static_cast<long long>(m.offered),
+      static_cast<long long>(m.finished), static_cast<long long>(m.shed),
+      m.goodput(), m.ttft.p50() * 1e3, m.ttft.p95() * 1e3,
+      m.queue_wait.mean() * 1e3, m.e2e.p50() * 1e3, m.e2e.p95() * 1e3,
+      m.itl.p95() * 1e3, tok_s, duration_s);
+}
+
+struct Cluster {
+  CostModel cm{A100Sxm80GB()};
+  std::vector<std::unique_ptr<GpuRunner>> runners;
+  std::vector<ExecutionBackend*> backends;
+
+  explicit Cluster(int gpus) {
+    RunnerConfig cfg;
+    cfg.prefill_limit = 4;
+    cfg.max_step_tokens = 768;
+    cfg.kv_capacity_tokens = 400000;
+    for (int g = 0; g < gpus; ++g) {
+      runners.push_back(std::make_unique<GpuRunner>(g, cfg, Llama7B(), &cm));
+      backends.push_back(runners.back().get());
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  // Offered load just past the single-GPU knee (~3 rps for this mix), with
+  // two priority classes: class 1 is protected, class 0 is shed first.
+  OpenLoopSpec load;
+  load.rate_rps = 5.0;
+  load.num_requests = 200;
+  load.priority_classes = 2;
+  auto trace = GenerateOpenLoopLoad(load);
+  std::printf("workload: %zu requests at %.1f rps, Zipf-1.5 over %d LoRA "
+              "models, 2 priority classes\n\n",
+              trace.size(), load.rate_rps, load.num_models);
+
+  ServingLoopConfig cfg;
+  cfg.slo = {.ttft_target_s = 1.0, .itl_target_s = 0.25};
+
+  // --- Virtual time: deterministic discrete-event replay. ---
+  {
+    Cluster cluster(1);
+    ServingLoop loop(cluster.backends, cfg);
+    loop.RunVirtual(trace);
+    PrintScorecard("virtual time (1 GPU, overloaded)", loop.metrics(),
+                   loop.end_time());
+  }
+
+  // A second GPU moves the knee past the offered rate: goodput recovers.
+  {
+    Cluster cluster(2);
+    ServingLoop loop(cluster.backends, cfg);
+    loop.RunVirtual(trace);
+    PrintScorecard("virtual time (2 GPUs, under capacity)", loop.metrics(),
+                   loop.end_time());
+  }
+
+  // --- Real threads: submitter fleet -> bounded queue -> serving loop. ---
+  // Wall-clock time is compressed 100x, so the ~40 simulated seconds of
+  // arrivals replay in ~0.4 s; SLO stamps are wall-clock and the arrival
+  // stamps are rescaled to match, so the scorecard stays self-consistent
+  // (virtual service latencies do not rescale, so this mode demonstrates
+  // the machinery, not comparable absolute numbers).
+  {
+    Cluster cluster(2);
+    std::vector<SubmitSpec> specs;
+    for (const auto& r : trace) specs.push_back(SpecFromTrace(r));
+    ArrivalQueue queue(64);
+    TraceSubmitter submitter(specs, /*time_scale=*/0.01);
+    submitter.Start(&queue, /*num_threads=*/4);
+    ServingLoop loop(cluster.backends, cfg);
+    loop.RunThreaded(queue);
+    submitter.Join();
+    PrintScorecard("real threads (2 GPUs, 4 submitters, 100x compressed)",
+                   loop.metrics(), loop.end_time());
+  }
+  return 0;
+}

@@ -24,6 +24,10 @@ The threshold can also come from the BENCH_REGRESSION_THRESHOLD env var
   * fig11b files: tok_s_on and saved_fraction per popularity row
     (zero-valued baseline metrics are skipped: Distinct saves nothing by
     construction).
+  * serving_open_loop files (bench_serving --json): goodput and tok_s per
+    offered-rate row, plus 1/ttft_p95_s and 1/queue_mean_s so every gated
+    metric stays higher-is-better. Virtual-time output is deterministic,
+    so these gate at the strict default threshold.
 """
 
 import argparse
@@ -79,9 +83,29 @@ def fig11b_metrics(doc):
     return metrics
 
 
+def serving_metrics(doc):
+    """{row key: (value, kind)} for the open-loop serving sweep.
+
+    Latencies invert so the comparison stays uniformly higher-is-better;
+    zero-valued latencies (an idle queue) are skipped rather than divided.
+    """
+    metrics = {}
+    for row in doc.get("rows", []):
+        key = f"rps{row.get('offered_rps', '?'):g}"
+        for field in ("goodput", "tok_s"):
+            if field in row:
+                metrics[f"{key}/{field}"] = (row[field], field)
+        for field in ("ttft_p95_s", "queue_mean_s"):
+            if row.get(field, 0) > 0:
+                metrics[f"{key}/1/{field}"] = (1.0 / row[field], "1/s")
+    return metrics
+
+
 def extract_metrics(doc):
     if "benchmarks" in doc:
         return google_benchmark_metrics(doc)
+    if doc.get("bench") == "serving_open_loop":
+        return serving_metrics(doc)
     if "rows" in doc:
         return fig11b_metrics(doc)
     raise ValueError("unrecognized bench JSON format")

@@ -88,6 +88,7 @@ struct SimRequest {
   std::int32_t generated = 0;
   bool prefilled = false;
   std::int32_t prefix_hit = 0;  ///< prompt tokens served by a shared prefix
+  double admit_time = 0.0;  ///< when the request joined the working set
   double last_emit = -1.0;  ///< completion time of the latest emitted token
   bool Done() const { return generated >= req->output_len; }
 };
@@ -126,18 +127,13 @@ StepShape MakeShape(const SystemTraits& traits, const TextGenConfig& cfg,
 }
 
 /// Fills the inter-token latency digest from the collected emission gaps.
-/// p95 uses util/stats Percentile so every tail metric in the codebase
-/// shares one definition.
-void FinishInterTokenStats(std::vector<double>& gaps, TextGenResult& result) {
-  if (gaps.empty()) return;
-  double sum = 0.0, max = 0.0;
-  for (double g : gaps) {
-    sum += g;
-    max = std::max(max, g);
-  }
-  result.mean_inter_token_s = sum / static_cast<double>(gaps.size());
-  result.p95_inter_token_s = Percentile(gaps, 95.0);
-  result.max_inter_token_s = max;
+/// LatencyRecorder quantiles share util/stats Percentile, so every tail
+/// metric in the codebase uses one definition.
+void FinishInterTokenStats(const LatencyRecorder& itl, TextGenResult& result) {
+  if (itl.empty()) return;
+  result.mean_inter_token_s = itl.mean();
+  result.p95_inter_token_s = itl.p95();
+  result.max_inter_token_s = itl.max();
 }
 
 /// Batch-to-completion systems (HF / DeepSpeed / FasterTransformer):
@@ -243,14 +239,25 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
     return true;
   };
 
-  std::vector<double> gaps;  ///< inter-token latency samples
+  LatencyRecorder itl;         ///< inter-token emission gaps
+  LatencyRecorder ttft;        ///< first token − arrival
+  LatencyRecorder queue_wait;  ///< admission − arrival
 
   while (idx < trace.size() || !working.empty()) {
-    // Admit FCFS while the head is compatible and the batch has room.
-    while (idx < trace.size() &&
+    // Open-loop traces: a request only exists once it has arrived. When the
+    // server drains ahead of the next arrival, fast-forward the clock to it
+    // (closed-loop traces all arrive at 0, so this never fires there).
+    if (working.empty() && idx < trace.size()) {
+      t = std::max(t, trace[idx].arrival_time);
+    }
+    // Admit FCFS while the head has arrived, is compatible and the batch
+    // has room.
+    while (idx < trace.size() && trace[idx].arrival_time <= t &&
            static_cast<int>(working.size()) < cfg.max_batch_size &&
            can_admit_lora(trace[idx].lora_id)) {
       working.push_back(SimRequest{&trace[idx]});
+      working.back().admit_time = t;
+      queue_wait.Add(t - trace[idx].arrival_time);
       ++idx;
     }
     PUNICA_CHECK(!working.empty());
@@ -323,6 +330,7 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
       s.generated = 1;
       ++result.tokens_generated;
       s.last_emit = t;  // first token: no gap sample yet
+      ttft.Add(t - s.req->arrival_time);
       if (share && s.req->prefix_group >= 0 && s.req->shared_prefix_len > 0) {
         cached.try_emplace(s.req->prefix_group, s.req->shared_prefix_len);
       }
@@ -331,7 +339,7 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
       s->kv_len += 1;
       s->generated += 1;
       ++result.tokens_generated;
-      if (s->last_emit >= 0.0) gaps.push_back(t - s->last_emit);
+      if (s->last_emit >= 0.0) itl.Add(t - s->last_emit);
       s->last_emit = t;
     }
     // Continuous batching: finished requests leave immediately.
@@ -342,7 +350,10 @@ TextGenResult SimulateContinuous(const SystemTraits& traits,
       static_cast<double>(result.tokens_generated) / std::max(t, 1e-12);
   result.mean_decode_batch = decode_batch.count() > 0 ? decode_batch.mean()
                                                       : 0.0;
-  FinishInterTokenStats(gaps, result);
+  FinishInterTokenStats(itl, result);
+  result.ttft_p50_s = ttft.p50();
+  result.ttft_p95_s = ttft.p95();
+  result.queue_wait_mean_s = queue_wait.mean();
   return result;
 }
 

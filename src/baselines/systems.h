@@ -84,6 +84,14 @@ struct TextGenResult {
   double mean_inter_token_s = 0.0;
   double p95_inter_token_s = 0.0;
   double max_inter_token_s = 0.0;
+  /// SLO view (continuous systems only): TTFT and admission wait are dated
+  /// from each request's *arrival time*, so open-loop traces charge the
+  /// time spent waiting to join the working set. Closed-loop traces (all
+  /// arrivals at 0) date from the start of the run — the FCFS queueing
+  /// delay — which is why these are quantiles, not means alone.
+  double ttft_p50_s = 0.0;
+  double ttft_p95_s = 0.0;
+  double queue_wait_mean_s = 0.0;  ///< admission − arrival
 };
 
 /// Closed-loop single-server simulation: all requests available at t=0,

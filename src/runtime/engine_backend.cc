@@ -32,8 +32,8 @@ std::int64_t EngineBackend::PrefixHitTokens(const ServingRequest& req) const {
 }
 
 void EngineBackend::Admit(ServingRequest* req, double now) {
-  (void)now;
   PUNICA_CHECK(req != nullptr);
+  if (req->admit_time < 0.0) req->admit_time = now;
   PUNICA_CHECK_MSG(req->has_real_tokens(),
                    "the numeric tier needs real prompt tokens; "
                    "set SubmitSpec::prompt_tokens");

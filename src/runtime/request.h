@@ -37,12 +37,19 @@ struct ServingRequest {
   /// system prompt. The numeric tier matches real token ids instead.
   std::int32_t shared_prefix_len = 0;
   std::int64_t prefix_group = -1;
+  /// SLO class (higher = more important); the serving front door uses it to
+  /// order admission and pick shedding victims.
+  std::int32_t priority = 0;
 
   // Mutable progress.
   RequestPhase phase = RequestPhase::kQueued;
   std::int32_t generated = 0;
   std::vector<std::int32_t> generated_tokens;  ///< real ids (numeric tier)
   bool stopped_early = false;  ///< EOS hit before output_len (numeric tier)
+  /// When a backend first admitted the request (-1 until then). With
+  /// `arrival_time` this gives the queueing delay; it is not reset by
+  /// migration, so TTFT stays dated from the first admission.
+  double admit_time = -1.0;
   double first_token_time = -1.0;
   double finish_time = -1.0;
   int migrations = 0;
@@ -64,6 +71,7 @@ struct ServingRequest {
     req.eos_token = spec.eos_token;
     req.shared_prefix_len = spec.shared_prefix_len;
     req.prefix_group = spec.prefix_group;
+    req.priority = spec.priority;
     return req;
   }
 };

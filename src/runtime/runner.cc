@@ -112,6 +112,7 @@ void GpuRunner::Admit(ServingRequest* req, double now) {
   PUNICA_CHECK_MSG(!slots_.contains(req->id), "request already on this GPU");
   PUNICA_CHECK_MSG(working_set_size() < config_.max_batch_size,
                    "admission beyond max batch size");
+  if (req->admit_time < 0.0) req->admit_time = now;
   Slot slot;
   slot.req = req;
   slot.admit_seq = next_admit_seq_++;

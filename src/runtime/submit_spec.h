@@ -27,6 +27,9 @@ struct SubmitSpec {
 
   std::int32_t max_new_tokens = 0;
   double arrival_time = 0.0;
+  /// SLO class (higher = more important). Only the open-loop serving front
+  /// door acts on it — backends treat all admitted requests the same.
+  std::int32_t priority = 0;
 
   /// Shared-prefix annotation for the simulated tier: the first
   /// `shared_prefix_len` prompt tokens are a per-tenant system prompt

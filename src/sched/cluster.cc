@@ -182,7 +182,6 @@ void ClusterDriver::OnStepDone(int gpu, const StepResult& result) {
     const ServingRequest& req = *it->second;
     ++stats_.finished_requests;
     stats_.request_latency.Add(req.finish_time - req.arrival_time);
-    stats_.request_latencies.push_back(req.finish_time - req.arrival_time);
     if (req.first_token_time >= 0.0) {
       stats_.first_token_latency.Add(req.first_token_time -
                                      req.arrival_time);

@@ -52,10 +52,9 @@ struct ClusterStats {
   std::int64_t migrations = 0;
   std::int64_t total_new_tokens = 0;
   std::int64_t total_steps = 0;
-  RunningStat request_latency;       ///< finish − arrival
-  RunningStat first_token_latency;
+  LatencyRecorder request_latency;     ///< finish − arrival
+  LatencyRecorder first_token_latency; ///< TTFT, dated from arrival
   RunningStat step_batch_size;
-  std::vector<double> request_latencies;  ///< per request, for percentiles
   double makespan = 0.0;
   std::vector<double> gpu_busy_s;    ///< per GPU accumulated busy time
   TimeSeries active_gpus;            ///< (autoscale tick, GPUs in service)

@@ -1,0 +1,72 @@
+#include "serving/arrival_queue.h"
+
+#include "util/check.h"
+
+namespace punica {
+
+ArrivalQueue::ArrivalQueue(std::size_t capacity) : capacity_(capacity) {
+  PUNICA_CHECK_MSG(capacity >= 1, "arrival queue needs a positive bound");
+}
+
+bool ArrivalQueue::Push(SubmitSpec spec) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return shutdown_ || items_.size() < capacity_; });
+  if (shutdown_) return false;
+  items_.push_back(std::move(spec));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool ArrivalQueue::TryPush(SubmitSpec spec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(spec));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<SubmitSpec> ArrivalQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return shutdown_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // shut down and drained
+  SubmitSpec spec = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return spec;
+}
+
+std::optional<SubmitSpec> ArrivalQueue::TryPop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (items_.empty()) return std::nullopt;
+  SubmitSpec spec = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return spec;
+}
+
+void ArrivalQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t ArrivalQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool ArrivalQueue::shutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+}  // namespace punica

@@ -1,0 +1,60 @@
+// Thread-safe bounded arrival queue: the hand-off point between request
+// submitters (frontend threads, the open-loop load generator) and the
+// serving loop that drains them into the engine.
+//
+// The bound is the backpressure mechanism: when the consumer falls behind,
+// producers either block in Push (closed-loop client behaviour) or get a
+// refusal from TryPush (open-loop shed-at-the-door behaviour). Shutdown
+// wakes every blocked thread; Pops keep draining the residue so accepted
+// work is never silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "runtime/submit_spec.h"
+
+namespace punica {
+
+class ArrivalQueue {
+ public:
+  explicit ArrivalQueue(std::size_t capacity);
+
+  ArrivalQueue(const ArrivalQueue&) = delete;
+  ArrivalQueue& operator=(const ArrivalQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `spec`) when
+  /// the queue is shut down before space frees up.
+  bool Push(SubmitSpec spec);
+
+  /// Non-blocking: false when the queue is full or shut down.
+  bool TryPush(SubmitSpec spec);
+
+  /// Blocks while the queue is empty. Returns nullopt only when the queue
+  /// is shut down *and* fully drained.
+  std::optional<SubmitSpec> Pop();
+
+  /// Non-blocking: nullopt when currently empty (shut down or not).
+  std::optional<SubmitSpec> TryPop();
+
+  /// Irreversible: wakes all blocked producers and consumers. Subsequent
+  /// pushes fail; pops drain whatever was already accepted.
+  void Shutdown();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  bool shutdown() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<SubmitSpec> items_;
+  bool shutdown_ = false;
+};
+
+}  // namespace punica

@@ -1,0 +1,34 @@
+#include "serving/metrics.h"
+
+#include "util/check.h"
+
+namespace punica {
+
+bool MeetsSlo(const ServingRequest& req, const SloSpec& slo) {
+  if (req.phase != RequestPhase::kFinished) return false;
+  if (req.first_token_time < 0.0 || req.finish_time < 0.0) return false;
+  double ttft = req.first_token_time - req.arrival_time;
+  if (ttft > slo.ttft_target_s) return false;
+  if (req.generated > 1) {
+    double tpot = (req.finish_time - req.first_token_time) /
+                  static_cast<double>(req.generated - 1);
+    if (tpot > slo.itl_target_s) return false;
+  }
+  return true;
+}
+
+void ServingMetrics::RecordFinished(const ServingRequest& req,
+                                    const SloSpec& slo) {
+  PUNICA_CHECK_MSG(req.first_token_time >= req.arrival_time &&
+                       req.finish_time >= req.first_token_time,
+                   "finished request with inconsistent timestamps");
+  ++finished;
+  ttft.Add(req.first_token_time - req.arrival_time);
+  e2e.Add(req.finish_time - req.arrival_time);
+  if (req.admit_time >= 0.0) {
+    queue_wait.Add(req.admit_time - req.arrival_time);
+  }
+  if (MeetsSlo(req, slo)) ++good;
+}
+
+}  // namespace punica

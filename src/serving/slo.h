@@ -1,0 +1,20 @@
+// Per-request service-level objectives for open-loop serving.
+//
+// Goodput — the fraction of *offered* requests that finish within their
+// targets — is the paper-style headline for a multi-tenant deployment:
+// unlike raw throughput it cannot be gamed by starving latecomers, and
+// unlike mean latency it counts shed requests against the system.
+#pragma once
+
+namespace punica {
+
+struct SloSpec {
+  /// Time-to-first-token target (seconds from *arrival*, so queueing at the
+  /// front door counts against it).
+  double ttft_target_s = 1.0;
+  /// Per-output-token target: a finished request must average at most this
+  /// between tokens ((e2e − ttft) / (tokens − 1), the TPOT form).
+  double itl_target_s = 0.25;
+};
+
+}  // namespace punica

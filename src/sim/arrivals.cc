@@ -19,6 +19,23 @@ std::vector<double> PoissonArrivals(double rate, double horizon, Pcg32& rng) {
   return times;
 }
 
+std::vector<double> PoissonArrivalsKeyed(double rate, std::size_t n,
+                                         std::uint64_t seed) {
+  PUNICA_CHECK(rate > 0.0);
+  std::vector<double> times;
+  times.reserve(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same (seed, key)→stream construction as TenantSystemPromptLen: each
+    // gap gets its own generator, so gap i is a pure function of (seed, i).
+    Pcg32 rng(seed ^ (0x6C62272E07BB0142ULL +
+                      static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL));
+    t += rng.NextExponential(rate);
+    times.push_back(t);
+  }
+  return times;
+}
+
 std::vector<double> PoissonArrivals(
     const std::function<double(double)>& rate, double rate_max,
     double horizon, Pcg32& rng) {

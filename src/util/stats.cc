@@ -95,6 +95,29 @@ std::string Histogram::Sparkline() const {
   return out;
 }
 
+void LatencyRecorder::Add(double seconds) {
+  stat_.Add(seconds);
+  samples_.push_back(seconds);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  stat_.Merge(other.stat_);
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+double LatencyRecorder::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  return Percentile(samples_, q);
+}
+
+Histogram LatencyRecorder::ToHistogram(double lo, double hi,
+                                       std::size_t buckets) const {
+  Histogram h(lo, hi, buckets);
+  for (double s : samples_) h.Add(s);
+  return h;
+}
+
 double PrefixCacheStats::HitRate() const {
   return lookups > 0 ? static_cast<double>(hits) /
                            static_cast<double>(lookups)

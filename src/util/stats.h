@@ -59,6 +59,40 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+/// Latency sample recorder shared by every per-request latency metric in
+/// the serving stack: inter-token latency (ITL), time-to-first-token
+/// (TTFT), queueing delay and end-to-end latency all accumulate into one of
+/// these, so mean/percentile/max definitions are identical everywhere a
+/// tail is quoted. Keeps every sample (percentiles need them) plus a
+/// RunningStat for O(1) moments; Quantile() shares util/stats Percentile.
+class LatencyRecorder {
+ public:
+  void Add(double seconds);
+  void Merge(const LatencyRecorder& other);
+
+  std::size_t count() const { return stat_.count(); }
+  bool empty() const { return stat_.count() == 0; }
+  double mean() const { return stat_.mean(); }
+  double min() const { return stat_.min(); }
+  double max() const { return stat_.max(); }
+  double sum() const { return stat_.sum(); }
+  /// Percentile q in [0, 100] with linear interpolation; 0.0 when empty
+  /// (metrics print before any sample exists — e.g. TTFT when every
+  /// request was shed).
+  double Quantile(double q) const;
+  double p50() const { return Quantile(50.0); }
+  double p95() const { return Quantile(95.0); }
+  double p99() const { return Quantile(99.0); }
+
+  std::span<const double> samples() const { return samples_; }
+  /// Fixed-width histogram of the samples over [lo, hi).
+  Histogram ToHistogram(double lo, double hi, std::size_t buckets) const;
+
+ private:
+  RunningStat stat_;
+  std::vector<double> samples_;
+};
+
 /// Shared-prefix KV-cache observability: counters accumulated by a serving
 /// backend (numeric Engine or simulated GpuRunner) plus point-in-time
 /// gauges filled when the snapshot is taken. One struct on both tiers so

@@ -1,5 +1,6 @@
 #include "workload/trace.h"
 
+#include "sim/arrivals.h"
 #include "util/check.h"
 
 namespace punica {
@@ -16,6 +17,23 @@ std::int32_t TenantSystemPromptLen(const SharedPrefixSpec& spec,
   auto range =
       static_cast<std::uint32_t>(spec.max_tokens - spec.min_tokens + 1);
   return spec.min_tokens + static_cast<std::int32_t>(rng.NextBounded(range));
+}
+
+std::int32_t TenantPriority(std::int32_t classes, std::uint64_t seed,
+                            LoraId tenant) {
+  if (classes <= 1) return 0;
+  Pcg32 rng(seed ^ (0x27D4EB2F165667C5ULL +
+                    static_cast<std::uint64_t>(tenant) * 0x9E3779B97F4A7C15ULL));
+  return static_cast<std::int32_t>(
+      rng.NextBounded(static_cast<std::uint32_t>(classes)));
+}
+
+void AssignPoissonArrivals(std::vector<TraceRequest>& trace, double rate,
+                           std::uint64_t seed) {
+  std::vector<double> times = PoissonArrivalsKeyed(rate, trace.size(), seed);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].arrival_time = times[i];
+  }
 }
 
 namespace {
@@ -49,6 +67,8 @@ std::vector<TraceRequest> GenerateClosedLoopTrace(const TraceSpec& spec) {
                      .prompt_len = len.prompt_len,
                      .output_len = len.output_len});
     ApplySharedPrefix(spec.shared_prefix, spec.seed, trace.back());
+    trace.back().priority =
+        TenantPriority(spec.priority_classes, spec.seed, trace.back().lora_id);
   }
   return trace;
 }
@@ -56,7 +76,7 @@ std::vector<TraceRequest> GenerateClosedLoopTrace(const TraceSpec& spec) {
 std::vector<TraceRequest> GenerateOpenLoopTrace(
     std::vector<double> arrival_times, int num_models, double zipf_alpha,
     std::uint64_t seed, ShareGptLengthSampler::Params lengths,
-    SharedPrefixSpec shared_prefix) {
+    SharedPrefixSpec shared_prefix, std::int32_t priority_classes) {
   Pcg32 rng(seed);
   ShareGptLengthSampler sampler(lengths);
   ZipfAlphaSampler zipf(num_models, zipf_alpha);
@@ -70,6 +90,8 @@ std::vector<TraceRequest> GenerateOpenLoopTrace(
                      .prompt_len = len.prompt_len,
                      .output_len = len.output_len});
     ApplySharedPrefix(shared_prefix, seed, trace.back());
+    trace.back().priority =
+        TenantPriority(priority_classes, seed, trace.back().lora_id);
   }
   return trace;
 }

@@ -21,6 +21,10 @@ struct TraceRequest {
   /// prefix-cache workload knob (0 / -1 = nothing shared).
   std::int32_t shared_prefix_len = 0;
   std::int64_t prefix_group = -1;
+  /// SLO class for open-loop admission (higher = more important). The
+  /// serving front door defers and, under overload, sheds priority-0
+  /// traffic first; 0 (the default) keeps closed-loop traces unchanged.
+  std::int32_t priority = 0;
 };
 
 /// Per-tenant shared system prompts: each tenant (LoRA id) gets a system
@@ -41,6 +45,10 @@ struct TraceSpec {
   std::uint64_t seed = 0xC0FFEE;
   ShareGptLengthSampler::Params lengths = {};
   SharedPrefixSpec shared_prefix = {};
+  /// SLO classes: each tenant is assigned a priority in [0, classes) drawn
+  /// deterministically from (seed, tenant). 1 (the default) keeps every
+  /// request at priority 0 — the closed-loop behaviour.
+  std::int32_t priority_classes = 1;
 };
 
 /// Closed-loop trace (paper §7.2: "We generate 1000 requests … batch in a
@@ -52,7 +60,7 @@ std::vector<TraceRequest> GenerateClosedLoopTrace(const TraceSpec& spec);
 std::vector<TraceRequest> GenerateOpenLoopTrace(
     std::vector<double> arrival_times, int num_models, double zipf_alpha,
     std::uint64_t seed, ShareGptLengthSampler::Params lengths = {},
-    SharedPrefixSpec shared_prefix = {});
+    SharedPrefixSpec shared_prefix = {}, std::int32_t priority_classes = 1);
 
 /// Total output tokens of a trace (the throughput denominator).
 std::int64_t TotalOutputTokens(const std::vector<TraceRequest>& trace);
@@ -64,5 +72,18 @@ std::int64_t TotalPromptTokens(const std::vector<TraceRequest>& trace);
 /// (seed, tenant), independent of request order. 0 when disabled.
 std::int32_t TenantSystemPromptLen(const SharedPrefixSpec& spec,
                                    std::uint64_t seed, LoraId tenant);
+
+/// The SLO class of `tenant`: uniform in [0, classes), deterministic in
+/// (seed, tenant), independent of request order. 0 when classes <= 1.
+std::int32_t TenantPriority(std::int32_t classes, std::uint64_t seed,
+                            LoraId tenant);
+
+/// Stamps an open-loop Poisson arrival schedule (`rate` req/s) onto a
+/// trace, replacing its arrival times. Gaps come from PoissonArrivalsKeyed,
+/// so request i's arrival depends only on (seed, rate, i) and a saved v3
+/// CSV replays bit-identically. The trace keeps its FCFS order (arrival
+/// times are non-decreasing by construction).
+void AssignPoissonArrivals(std::vector<TraceRequest>& trace, double rate,
+                           std::uint64_t seed);
 
 }  // namespace punica

@@ -10,9 +10,18 @@
 namespace punica {
 
 namespace {
-// v2 appends the shared-prefix columns; v1 files still load (fields default
-// to "nothing shared").
+// Format history (every version serialises the open-loop arrival timestamp
+// in the `arrival_time` column — second field since v1):
+//   v1  id,arrival_time,lora_id,prompt_len,output_len
+//   v2  + shared_prefix_len,prefix_group   (shared system prompts)
+//   v3  + priority                         (SLO class for open-loop
+//                                           admission: shed/defer order)
+// Older files still load; missing fields default to "nothing shared" /
+// priority 0.
 constexpr const char* kHeader =
+    "id,arrival_time,lora_id,prompt_len,output_len,shared_prefix_len,"
+    "prefix_group,priority";
+constexpr const char* kHeaderV2 =
     "id,arrival_time,lora_id,prompt_len,output_len,shared_prefix_len,"
     "prefix_group";
 constexpr const char* kHeaderV1 = "id,arrival_time,lora_id,prompt_len,output_len";
@@ -21,12 +30,12 @@ constexpr const char* kHeaderV1 = "id,arrival_time,lora_id,prompt_len,output_len
 std::string TraceToCsv(const std::vector<TraceRequest>& trace) {
   std::string out = kHeader;
   out += '\n';
-  char line[128];
+  char line[160];
   for (const auto& r : trace) {
     std::snprintf(line, sizeof(line),
-                  "%" PRId64 ",%.9g,%" PRId64 ",%d,%d,%d,%" PRId64 "\n",
+                  "%" PRId64 ",%.9g,%" PRId64 ",%d,%d,%d,%" PRId64 ",%d\n",
                   r.id, r.arrival_time, r.lora_id, r.prompt_len, r.output_len,
-                  r.shared_prefix_len, r.prefix_group);
+                  r.shared_prefix_len, r.prefix_group, r.priority);
     out += line;
   }
   return out;
@@ -37,8 +46,10 @@ std::vector<TraceRequest> TraceFromCsv(const std::string& csv) {
   std::string line;
   PUNICA_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
                    "empty trace file");
-  bool v1 = line == kHeaderV1;
-  PUNICA_CHECK_MSG(line == kHeader || v1, "unexpected trace header");
+  int version = line == kHeaderV1 ? 1 : line == kHeaderV2 ? 2
+                : line == kHeader ? 3 : 0;
+  PUNICA_CHECK_MSG(version != 0, "unexpected trace header");
+  int expected_fields = version == 1 ? 5 : version == 2 ? 7 : 8;
   std::vector<TraceRequest> trace;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -46,10 +57,11 @@ std::vector<TraceRequest> TraceFromCsv(const std::string& csv) {
     long long id = 0;
     long long lora = 0;
     long long group = -1;
-    int parsed = std::sscanf(line.c_str(), "%lld,%lf,%lld,%d,%d,%d,%lld",
+    int parsed = std::sscanf(line.c_str(), "%lld,%lf,%lld,%d,%d,%d,%lld,%d",
                              &id, &r.arrival_time, &lora, &r.prompt_len,
-                             &r.output_len, &r.shared_prefix_len, &group);
-    PUNICA_CHECK_MSG(parsed == (v1 ? 5 : 7), "malformed trace row");
+                             &r.output_len, &r.shared_prefix_len, &group,
+                             &r.priority);
+    PUNICA_CHECK_MSG(parsed == expected_fields, "malformed trace row");
     r.prefix_group = group;
     r.id = id;
     r.lora_id = lora;

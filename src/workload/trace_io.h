@@ -1,8 +1,10 @@
 // Trace record/replay: CSV serialisation of request traces so experiments
 // can be rerun bit-identically, shared, or regenerated against other
-// systems. Format (one header + one row per request):
+// systems. Format (one header + one row per request; v3 — v2/v1 files
+// load with the missing fields defaulted):
 //
-//   id,arrival_time,lora_id,prompt_len,output_len
+//   id,arrival_time,lora_id,prompt_len,output_len,shared_prefix_len,
+//   prefix_group,priority
 #pragma once
 
 #include <string>

@@ -18,6 +18,8 @@
 #include "runtime/engine.h"
 #include "runtime/engine_backend.h"
 #include "sched/cluster.h"
+#include "serving/serving_loop.h"
+#include "sim/arrivals.h"
 #include "tensor/simd.h"
 #include "util/compute_context.h"
 
@@ -236,6 +238,102 @@ TEST(DeterminismTest, ChunkedPrefillStreamsBitIdenticalToUnchunkedNativeSimd) {
   if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
   ScopedSimdLevel guard(SimdLevel::kNative);
   ExpectChunkedStreamsEqualUnchunked();
+}
+
+/// Open-loop serving determinism: the virtual-time ServingLoop replays a
+/// keyed Poisson arrival schedule against numeric EngineBackends. Both the
+/// token streams AND every SLO metric (TTFT/queue/e2e/ITL samples, goodput
+/// counters) must be bit-identical for any thread count — virtual time is
+/// event-driven, so wall-clock speed must never leak into a measurement.
+struct OpenLoopServingRun {
+  std::map<std::int64_t, std::vector<std::int32_t>> streams;
+  ServingMetrics metrics;
+};
+
+OpenLoopServingRun RunOpenLoopServing(const ComputeContext& ctx) {
+  LlamaModel model(TinyLlama(), 2024, &ctx);
+  model.AddLora(0, 8, 1);
+  model.AddLora(1, 8, 2);
+  model.AddLora(2, 4, 3);
+
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<std::unique_ptr<EngineBackend>> backends;
+  std::vector<ExecutionBackend*> raw;
+  for (int g = 0; g < 2; ++g) {
+    engines.push_back(std::make_unique<Engine>(
+        &model, model.MakeKvConfig(/*num_pages=*/10),
+        EngineConfig{.max_batch_size = 4}));
+    backends.push_back(
+        std::make_unique<EngineBackend>(g, engines.back().get()));
+    raw.push_back(backends.back().get());
+  }
+
+  ServingLoopConfig cfg;
+  cfg.slo = {.ttft_target_s = 0.5, .itl_target_s = 0.25};
+  ServingLoop loop(raw, cfg);
+
+  // Bursty arrivals (mean gap 5 ms ≪ the 10 ms engine step) so the door
+  // actually queues and defers — the paths whose ordering must not depend
+  // on the compute substrate. Alternating priorities exercise the
+  // class-ordered admission sort.
+  std::vector<double> arrivals =
+      PoissonArrivalsKeyed(200.0, Scenario().size(), /*seed=*/42);
+  std::vector<SubmitSpec> specs;
+  for (std::size_t i = 0; i < Scenario().size(); ++i) {
+    const Req& r = Scenario()[i];
+    specs.push_back({.lora = r.lora,
+                     .prompt_tokens = r.prompt,
+                     .max_new_tokens = r.tokens,
+                     .arrival_time = arrivals[i],
+                     .priority = static_cast<std::int32_t>(i % 2)});
+  }
+  loop.RunVirtual(specs);
+  return {loop.streams(), loop.metrics()};
+}
+
+void ExpectSameSamples(const LatencyRecorder& a, const LatencyRecorder& b,
+                       const char* what) {
+  ASSERT_EQ(a.count(), b.count()) << what;
+  for (std::size_t i = 0; i < a.count(); ++i) {
+    EXPECT_EQ(a.samples()[i], b.samples()[i]) << what << " sample " << i;
+  }
+}
+
+void ExpectOpenLoopServingDeterministicAcrossThreadCounts() {
+  ComputeContext ctx1({.num_threads = 1});
+  ComputeContext ctx4({.num_threads = 4});
+  OpenLoopServingRun a = RunOpenLoopServing(ctx1);
+  OpenLoopServingRun b = RunOpenLoopServing(ctx4);
+
+  ASSERT_EQ(a.streams.size(), Scenario().size());
+  EXPECT_EQ(a.streams, b.streams) << "token streams diverged";
+  EXPECT_EQ(a.metrics.offered, b.metrics.offered);
+  EXPECT_EQ(a.metrics.finished, b.metrics.finished);
+  EXPECT_EQ(a.metrics.shed, b.metrics.shed);
+  EXPECT_EQ(a.metrics.good, b.metrics.good);
+  EXPECT_EQ(a.metrics.total_new_tokens, b.metrics.total_new_tokens);
+  ExpectSameSamples(a.metrics.ttft, b.metrics.ttft, "ttft");
+  ExpectSameSamples(a.metrics.queue_wait, b.metrics.queue_wait, "queue_wait");
+  ExpectSameSamples(a.metrics.e2e, b.metrics.e2e, "e2e");
+  ExpectSameSamples(a.metrics.itl, b.metrics.itl, "itl");
+  // The workload actually serves: everything finishes on the virtual clock.
+  EXPECT_EQ(a.metrics.finished, a.metrics.offered);
+  EXPECT_GT(a.metrics.ttft.count(), 0u);
+}
+
+TEST(DeterminismTest, OpenLoopServingDeterministicAcrossThreadCounts) {
+  ExpectOpenLoopServingDeterministicAcrossThreadCounts();
+}
+
+TEST(DeterminismTest, OpenLoopServingDeterministicScalarSimd) {
+  ScopedSimdLevel guard(SimdLevel::kScalar);
+  ExpectOpenLoopServingDeterministicAcrossThreadCounts();
+}
+
+TEST(DeterminismTest, OpenLoopServingDeterministicNativeSimd) {
+  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
+  ScopedSimdLevel guard(SimdLevel::kNative);
+  ExpectOpenLoopServingDeterministicAcrossThreadCounts();
 }
 
 /// Steps an engine `steps` times, then cancels the request and returns its

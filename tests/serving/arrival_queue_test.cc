@@ -1,0 +1,151 @@
+#include "serving/arrival_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace punica {
+namespace {
+
+// Payload convention for these tests: `lora` tags the producer, and
+// `prompt_len` carries the per-producer sequence number.
+SubmitSpec Tagged(int producer, int seq) {
+  SubmitSpec spec;
+  spec.lora = producer;
+  spec.prompt_len = seq;
+  spec.max_new_tokens = 1;
+  return spec;
+}
+
+TEST(ArrivalQueueTest, SingleThreadRoundTrip) {
+  ArrivalQueue q(4);
+  EXPECT_TRUE(q.Push(Tagged(0, 1)));
+  EXPECT_TRUE(q.Push(Tagged(0, 2)));
+  EXPECT_EQ(q.size(), 2u);
+  auto a = q.Pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->prompt_len, 1);
+  auto b = q.TryPop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->prompt_len, 2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(ArrivalQueueTest, TryPushRefusesWhenFull) {
+  ArrivalQueue q(2);
+  EXPECT_TRUE(q.TryPush(Tagged(0, 1)));
+  EXPECT_TRUE(q.TryPush(Tagged(0, 2)));
+  EXPECT_FALSE(q.TryPush(Tagged(0, 3)));  // bounded: the shed-at-door path
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(Tagged(0, 3)));
+}
+
+TEST(ArrivalQueueTest, BoundedPushBlocksUntilConsumerDrains) {
+  ArrivalQueue q(1);
+  ASSERT_TRUE(q.Push(Tagged(0, 0)));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push(Tagged(0, 1)));  // must block: queue is full
+    pushed.store(true);
+  });
+  // The producer cannot complete until we pop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  auto first = q.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->prompt_len, 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop()->prompt_len, 1);
+}
+
+TEST(ArrivalQueueTest, ShutdownWakesBlockedConsumer) {
+  ArrivalQueue q(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.Pop().has_value());  // blocked, then woken empty-handed
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  q.Shutdown();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(ArrivalQueueTest, ShutdownWakesBlockedProducer) {
+  ArrivalQueue q(1);
+  ASSERT_TRUE(q.Push(Tagged(0, 0)));
+  std::atomic<bool> refused{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(q.Push(Tagged(0, 1)));  // blocked on full, woken by shutdown
+    refused.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Shutdown();
+  producer.join();
+  EXPECT_TRUE(refused.load());
+  // Work accepted before shutdown still drains.
+  auto residue = q.Pop();
+  ASSERT_TRUE(residue.has_value());
+  EXPECT_EQ(residue->prompt_len, 0);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(ArrivalQueueTest, MpscStressDeliversEverythingExactlyOnce) {
+  const int kProducers = 4;
+  const int kPerProducer = 500;
+  ArrivalQueue q(8);  // small bound: forces constant blocking contention
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(Tagged(p, i)));
+      }
+    });
+  }
+  // Single consumer: count deliveries and check per-producer FIFO (a
+  // producer's items must arrive in the order it pushed them).
+  std::vector<int> next_seq(kProducers, 0);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    auto spec = q.Pop();
+    ASSERT_TRUE(spec.has_value());
+    int p = static_cast<int>(spec->lora);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(spec->prompt_len, next_seq[static_cast<std::size_t>(p)]);
+    ++next_seq[static_cast<std::size_t>(p)];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.size(), 0u);
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_seq[static_cast<std::size_t>(p)], kPerProducer);
+  }
+}
+
+TEST(ArrivalQueueTest, FifoUnderSingleProducerContention) {
+  ArrivalQueue q(3);
+  const int kItems = 1000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.Push(Tagged(0, i)));
+    q.Shutdown();
+  });
+  int expected = 0;
+  while (auto spec = q.Pop()) {
+    EXPECT_EQ(spec->prompt_len, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+TEST(ArrivalQueueDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH(ArrivalQueue q(0), "positive bound");
+}
+
+}  // namespace
+}  // namespace punica

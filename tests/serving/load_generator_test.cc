@@ -1,0 +1,89 @@
+#include "serving/load_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/arrivals.h"
+
+namespace punica {
+namespace {
+
+TEST(LoadGeneratorTest, OpenLoopLoadIsDeterministicAndOrdered) {
+  OpenLoopSpec spec;
+  spec.rate_rps = 10.0;
+  spec.num_requests = 64;
+  spec.priority_classes = 3;
+  auto a = GenerateOpenLoopLoad(spec);
+  auto b = GenerateOpenLoopLoad(spec);
+  ASSERT_EQ(a.size(), 64u);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_EQ(a[i].lora_id, b[i].lora_id);
+    EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+    EXPECT_EQ(a[i].priority, b[i].priority);
+    EXPECT_GT(a[i].arrival_time, prev);
+    prev = a[i].arrival_time;
+    EXPECT_GE(a[i].priority, 0);
+    EXPECT_LT(a[i].priority, 3);
+  }
+  // The schedule is exactly the keyed Poisson process for (rate, seed).
+  auto times = PoissonArrivalsKeyed(spec.rate_rps, a.size(), spec.seed);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, times[i]);
+  }
+}
+
+TEST(LoadGeneratorTest, SpecFromTraceCopiesEveryField) {
+  TraceRequest r{.id = 5,
+                 .arrival_time = 1.25,
+                 .lora_id = 3,
+                 .prompt_len = 40,
+                 .output_len = 12,
+                 .shared_prefix_len = 16,
+                 .prefix_group = 3,
+                 .priority = 2};
+  SubmitSpec spec = SpecFromTrace(r);
+  EXPECT_EQ(spec.lora, 3);
+  EXPECT_EQ(spec.prompt_len, 40);
+  EXPECT_EQ(spec.max_new_tokens, 12);
+  EXPECT_DOUBLE_EQ(spec.arrival_time, 1.25);
+  EXPECT_EQ(spec.shared_prefix_len, 16);
+  EXPECT_EQ(spec.prefix_group, 3);
+  EXPECT_EQ(spec.priority, 2);
+  EXPECT_TRUE(spec.prompt_tokens.empty());  // synthetic prompt
+}
+
+TEST(LoadGeneratorTest, TraceSubmitterDeliversWholeTraceAndShutsDown) {
+  OpenLoopSpec gen;
+  gen.rate_rps = 50.0;
+  gen.num_requests = 40;
+  auto trace = GenerateOpenLoopLoad(gen);
+  std::vector<SubmitSpec> specs;
+  for (const auto& r : trace) specs.push_back(SpecFromTrace(r));
+
+  ArrivalQueue queue(8);
+  TraceSubmitter submitter(specs, /*time_scale=*/0.01);
+  submitter.Start(&queue, /*num_threads=*/3);
+
+  // Consume on this thread; Pop returns nullopt once the last submitter
+  // finishes and shuts the queue down.
+  std::map<int, int> by_prompt_len;
+  int received = 0;
+  while (auto spec = queue.Pop()) {
+    ++by_prompt_len[spec->prompt_len];
+    // Arrival stamps were rescaled to the submitter's wall clock, so the
+    // consumer's timeline is self-consistent.
+    EXPECT_LE(spec->arrival_time, trace[39].arrival_time * 0.01 + 1e-9);
+    ++received;
+  }
+  submitter.Join();
+  EXPECT_EQ(received, 40);
+  std::map<int, int> expected;
+  for (const auto& r : trace) ++expected[r.prompt_len];
+  EXPECT_EQ(by_prompt_len, expected);
+}
+
+}  // namespace
+}  // namespace punica

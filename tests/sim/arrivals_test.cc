@@ -41,6 +41,45 @@ TEST(ArrivalsTest, InterarrivalGapsAreExponential) {
   EXPECT_NEAR(gaps.stddev(), 0.5, 0.03);
 }
 
+TEST(ArrivalsTest, KeyedArrivalsAreDeterministic) {
+  auto a = PoissonArrivalsKeyed(4.0, 32, 0xFEED);
+  auto b = PoissonArrivalsKeyed(4.0, 32, 0xFEED);
+  ASSERT_EQ(a.size(), 32u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+  auto c = PoissonArrivalsKeyed(4.0, 32, 0xFEED + 1);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(ArrivalsTest, KeyedArrivalsArePrefixStable) {
+  // Arrival i is a pure function of (seed, rate, i): extending the trace
+  // must not move earlier arrivals.
+  auto short_run = PoissonArrivalsKeyed(2.0, 10, 77);
+  auto long_run = PoissonArrivalsKeyed(2.0, 100, 77);
+  for (std::size_t i = 0; i < short_run.size(); ++i) {
+    EXPECT_DOUBLE_EQ(short_run[i], long_run[i]);
+  }
+}
+
+TEST(ArrivalsTest, KeyedArrivalsIncreaseWithSaneMeanGap) {
+  double rate = 8.0;
+  auto times = PoissonArrivalsKeyed(rate, 20000, 42);
+  RunningStat gaps;
+  double prev = 0.0;
+  for (double t : times) {
+    EXPECT_GT(t, prev);
+    gaps.Add(t - prev);
+    prev = t;
+  }
+  EXPECT_NEAR(gaps.mean(), 1.0 / rate, 0.01);
+  EXPECT_NEAR(gaps.stddev(), 1.0 / rate, 0.01);
+}
+
+TEST(ArrivalsDeathTest, KeyedArrivalsRequirePositiveRate) {
+  EXPECT_DEATH(PoissonArrivalsKeyed(0.0, 4, 1), "rate");
+}
+
 TEST(ArrivalsTest, ThinningMatchesRateFunction) {
   Pcg32 rng(4);
   double horizon = 10000.0;

@@ -52,6 +52,52 @@ TEST(RunningStatTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(c.mean(), 2.0);
 }
 
+TEST(LatencyRecorderTest, MomentsAndQuantilesMatchPrimitives) {
+  LatencyRecorder r;
+  std::vector<double> xs = {0.9, 0.1, 0.5, 0.3, 0.7};
+  for (double x : xs) r.Add(x);
+  EXPECT_EQ(r.count(), xs.size());
+  EXPECT_NEAR(r.mean(), 0.5, 1e-12);
+  EXPECT_EQ(r.min(), 0.1);
+  EXPECT_EQ(r.max(), 0.9);
+  EXPECT_NEAR(r.sum(), 2.5, 1e-12);
+  // Quantile must be exactly util/stats Percentile over the samples — one
+  // tail definition everywhere.
+  EXPECT_DOUBLE_EQ(r.p50(), Percentile(xs, 50.0));
+  EXPECT_DOUBLE_EQ(r.p95(), Percentile(xs, 95.0));
+  EXPECT_DOUBLE_EQ(r.Quantile(25.0), Percentile(xs, 25.0));
+}
+
+TEST(LatencyRecorderTest, EmptyQuantileIsZeroNotAbort) {
+  LatencyRecorder r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.p95(), 0.0);
+  EXPECT_EQ(r.mean(), 0.0);
+  EXPECT_EQ(r.max(), 0.0);
+}
+
+TEST(LatencyRecorderTest, MergeEqualsSequential) {
+  LatencyRecorder a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = 0.01 * i;
+    (i % 3 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.p95(), all.p95());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(LatencyRecorderTest, HistogramHoldsEverySample) {
+  LatencyRecorder r;
+  for (int i = 0; i < 40; ++i) r.Add(0.025 * i);
+  Histogram h = r.ToHistogram(0.0, 1.0, 10);
+  EXPECT_EQ(h.total(), 40u);
+  EXPECT_EQ(h.bucket(0), 4u);  // 0.000..0.075 → 0.000,0.025,0.050,0.075
+}
+
 TEST(PercentileTest, KnownValues) {
   std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
   EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);

@@ -13,6 +13,7 @@ std::vector<TraceRequest> SampleTrace() {
   spec.num_requests = 50;
   spec.popularity = Popularity::kSkewed;
   spec.shared_prefix = {.enabled = true, .min_tokens = 32, .max_tokens = 64};
+  spec.priority_classes = 3;
   auto trace = GenerateClosedLoopTrace(spec);
   // Give some non-trivial arrival times.
   for (std::size_t i = 0; i < trace.size(); ++i) {
@@ -33,7 +34,16 @@ TEST(TraceIoTest, CsvRoundTrip) {
     EXPECT_EQ(back[i].output_len, trace[i].output_len);
     EXPECT_EQ(back[i].shared_prefix_len, trace[i].shared_prefix_len);
     EXPECT_EQ(back[i].prefix_group, trace[i].prefix_group);
+    EXPECT_EQ(back[i].priority, trace[i].priority);
   }
+}
+
+TEST(TraceIoTest, RoundTripsNonZeroPriority) {
+  TraceRequest r{.id = 9, .arrival_time = 2.25, .lora_id = 4,
+                 .prompt_len = 16, .output_len = 8, .priority = 3};
+  auto back = TraceFromCsv(TraceToCsv({r}));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].priority, 3);
 }
 
 TEST(TraceIoTest, EmptyTraceIsHeaderOnly) {
@@ -41,7 +51,7 @@ TEST(TraceIoTest, EmptyTraceIsHeaderOnly) {
   std::string csv = TraceToCsv(empty);
   EXPECT_EQ(csv,
             "id,arrival_time,lora_id,prompt_len,output_len,"
-            "shared_prefix_len,prefix_group\n");
+            "shared_prefix_len,prefix_group,priority\n");
   EXPECT_TRUE(TraceFromCsv(csv).empty());
 }
 
@@ -56,6 +66,20 @@ TEST(TraceIoTest, LoadsLegacyV1Files) {
   EXPECT_EQ(trace[0].prompt_len, 10);
   EXPECT_EQ(trace[0].shared_prefix_len, 0);
   EXPECT_EQ(trace[0].prefix_group, -1);
+  EXPECT_EQ(trace[0].priority, 0);
+}
+
+TEST(TraceIoTest, LoadsLegacyV2Files) {
+  // Pre-priority traces (seven columns) still load; priority defaults to 0.
+  std::string csv =
+      "id,arrival_time,lora_id,prompt_len,output_len,shared_prefix_len,"
+      "prefix_group\n7,0.5,1,40,12,32,1\n";
+  auto trace = TraceFromCsv(csv);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].id, 7);
+  EXPECT_EQ(trace[0].shared_prefix_len, 32);
+  EXPECT_EQ(trace[0].prefix_group, 1);
+  EXPECT_EQ(trace[0].priority, 0);
 }
 
 TEST(TraceIoTest, FileRoundTrip) {

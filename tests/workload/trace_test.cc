@@ -2,7 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include <map>\n#include <set>
+#include <map>
+#include <set>
 
 #include "sim/arrivals.h"
 
@@ -138,6 +139,59 @@ TEST(TraceTest, OpenLoopSharedPrefixes) {
     EXPECT_EQ(r.shared_prefix_len, 32);
     EXPECT_EQ(r.prefix_group, r.lora_id);
   }
+}
+
+TEST(TraceTest, TenantPriorityIsStableAndInRange) {
+  const std::int32_t classes = 4;
+  std::set<std::int32_t> seen;
+  for (LoraId tenant = 0; tenant < 64; ++tenant) {
+    std::int32_t p = TenantPriority(classes, 123, tenant);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, classes);
+    // Pure function of (seed, tenant).
+    EXPECT_EQ(p, TenantPriority(classes, 123, tenant));
+    seen.insert(p);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(classes));
+  // One class (the default) pins everything to 0.
+  EXPECT_EQ(TenantPriority(1, 123, 17), 0);
+  EXPECT_EQ(TenantPriority(0, 123, 17), 0);
+}
+
+TEST(TraceTest, GeneratorsStampTenantPriorities) {
+  TraceSpec spec;
+  spec.num_requests = 200;
+  spec.popularity = Popularity::kUniform;
+  spec.priority_classes = 3;
+  std::map<LoraId, std::int32_t> by_tenant;
+  for (const auto& r : GenerateClosedLoopTrace(spec)) {
+    EXPECT_EQ(r.priority,
+              TenantPriority(spec.priority_classes, spec.seed, r.lora_id));
+    auto [it, first] = by_tenant.emplace(r.lora_id, r.priority);
+    ASSERT_EQ(it->second, r.priority);  // priority is a tenant attribute
+    (void)first;
+  }
+  // Default spec keeps every request at priority 0.
+  for (const auto& r : GenerateClosedLoopTrace(TraceSpec{})) {
+    EXPECT_EQ(r.priority, 0);
+  }
+}
+
+TEST(TraceTest, AssignPoissonArrivalsIsReproducible) {
+  TraceSpec spec;
+  spec.num_requests = 50;
+  auto a = GenerateClosedLoopTrace(spec);
+  auto b = a;
+  AssignPoissonArrivals(a, 6.0, 31337);
+  AssignPoissonArrivals(b, 6.0, 31337);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_time, b[i].arrival_time);
+    EXPECT_GT(a[i].arrival_time, prev);
+    prev = a[i].arrival_time;
+  }
+  EXPECT_DOUBLE_EQ(a[0].arrival_time,
+                   PoissonArrivalsKeyed(6.0, 1, 31337)[0]);
 }
 
 }  // namespace
