@@ -10,11 +10,19 @@
 // speedup is the ratio against the width-1 row). All widths produce
 // bit-identical outputs — the sweep measures time, never numerics.
 //
-// The *Simd benchmarks A/B the two dispatch paths (arg 0 = scalar, 1 =
-// native AVX2+FMA+F16C) at one thread on the same shapes, so a regression
-// in either path is visible independently of pool scaling. The CI bench
-// smoke runs both sweeps with --benchmark_out=BENCH_kernels.json to log
-// the GFLOP/s / tokens/s trajectory.
+// The *Simd benchmarks A/B scalar against the best vector dispatch path
+// (arg 0 = scalar, 1 = best of avx2/avx512) at one thread on the same
+// shapes, so a regression in either path is visible independently of pool
+// scaling. The CI bench smoke runs both sweeps with
+// --benchmark_out=BENCH_kernels.json to log the GFLOP/s / tokens/s
+// trajectory.
+//
+// The *Quant benchmarks sweep weight dtype (0=f16, 1=q8_0, 2=q4_0) ×
+// explicit dispatch level (simd 0=scalar, 1=avx2, 2=avx512) on the decode
+// acceptance shape, at one thread. They are written to a SEPARATE baseline
+// file (BENCH_kernels_quant.json, --benchmark_filter='Quant'); their names
+// deliberately avoid the "Threads"/"Simd" substrings so the existing
+// BENCH_kernels.json filter never picks them up.
 #include <benchmark/benchmark.h>
 
 #include <optional>
@@ -44,24 +52,50 @@ void ThreadSweep(benchmark::internal::Benchmark* b) {
   b->Arg(1)->Arg(2)->Arg(4)->Arg(0)->UseRealTime();
 }
 
-// Sweep arg: dispatch path (0 = scalar, 1 = native). Runs single-threaded so
-// the rows compare per-core kernel throughput, not pool scaling.
+// Sweep arg: dispatch path (0 = scalar, 1 = best vector level). Runs
+// single-threaded so the rows compare per-core kernel throughput, not pool
+// scaling.
 void SimdSweep(benchmark::internal::Benchmark* b) {
   b->ArgName("native");
   b->Arg(0)->Arg(1);
 }
 
 // Forces the dispatch path selected by a *Simd benchmark's arg for the
-// guard's lifetime; returns false (after SkipWithError) when native was
-// requested but isn't compiled/supported in this build.
+// guard's lifetime; returns false (after SkipWithError) when a vector path
+// was requested but none is compiled/supported in this build.
 bool ForceSimdArg(benchmark::State& state,
                   std::optional<ScopedSimdLevel>& guard) {
   const bool native = state.range(0) == 1;
-  if (native && !NativeSimdAvailable()) {
-    state.SkipWithError("native SIMD not compiled/supported");
+  if (native && BestSimdLevel() == SimdLevel::kScalar) {
+    state.SkipWithError("no vector SIMD compiled/supported");
     return false;
   }
-  guard.emplace(native ? SimdLevel::kNative : SimdLevel::kScalar);
+  guard.emplace(native ? BestSimdLevel() : SimdLevel::kScalar);
+  return true;
+}
+
+// --- Quant sweep plumbing ---
+
+// Args: {dtype (WeightDtype: 0=f16, 1=q8_0, 2=q4_0),
+//        simd  (SimdLevel: 0=scalar, 1=avx2, 2=avx512)}.
+// Unavailable levels SkipWithError (the extractor drops errored rows), so
+// one baseline schema serves hosts with and without avx512.
+void QuantSweep(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"dtype", "simd"});
+  for (int d = 0; d < 3; ++d) {
+    for (int s = 0; s < kNumSimdLevels; ++s) b->Args({d, s});
+  }
+}
+
+// Forces the explicit dispatch level in a *Quant benchmark's arg 1.
+bool ForceSimdLevelArg(benchmark::State& state,
+                       std::optional<ScopedSimdLevel>& guard) {
+  auto level = static_cast<SimdLevel>(state.range(1));
+  if (!SimdLevelAvailable(level)) {
+    state.SkipWithError("SIMD level not compiled/supported on this host");
+    return false;
+  }
+  guard.emplace(level);
   return true;
 }
 
@@ -309,9 +343,12 @@ BENCHMARK(BM_SgmvExpandThreads)->Apply(ThreadSweep);
 // hot path (projections + LoRA SGMV + paged attention + LM head).
 // items_per_second is decode tokens/s.
 void RunEngineDecodeStepBench(benchmark::State& state,
-                              const ComputeContext& ctx) {
+                              const ComputeContext& ctx,
+                              WeightDtype dtype = WeightDtype::kF16) {
   const int batch = 16;
-  LlamaModel model(TinyLlama(), 9, &ctx);
+  LlamaConfig config = TinyLlama();
+  config.weight_dtype = dtype;
+  LlamaModel model(config, 9, &ctx);
   model.AddLora(0, 8, 1);
   model.AddLora(1, 8, 2);
   Engine engine(&model, model.MakeKvConfig(2048),
@@ -402,6 +439,126 @@ void BM_EngineDecodeStepSimd(benchmark::State& state) {
   RunEngineDecodeStepBench(state, ctx);
 }
 BENCHMARK(BM_EngineDecodeStepSimd)->Apply(SimdSweep);
+
+// --- Quantized-weight sweeps (separate BENCH_kernels_quant.json baseline;
+// names avoid the "Threads"/"Simd" substrings on purpose) ---
+
+/// Seeded weights at `dtype`, drawn from the same f16 master regardless of
+/// dtype so every (dtype, simd) row streams the same parameters.
+WeightMatrix MakeBenchWeights(int k, int n, WeightDtype dtype) {
+  Pcg32 rng(11);
+  Tensor<f16> w({k, n});
+  for (auto& v : w.data()) {
+    v = f16(static_cast<float>(rng.NextGaussian()) * 0.05f);
+  }
+  return WeightMatrix::FromF16(std::move(w), dtype);
+}
+
+// Replica rotation: a serving host streams every weight matrix from DRAM
+// each decode step — a real model's parameters never fit cache, so the
+// kernels run byte-starved. A single 4096×4096 bench matrix (9–32 MB by
+// dtype) would instead sit resident in a large LLC and turn the sweep into
+// a pure-ALU benchmark that hides exactly the bytes quantization saves.
+// Rotating across enough identical replicas to overflow any LLC (~768 MB
+// working set) restores the DRAM-streaming regime the q8_vs_f16 /
+// q4_vs_f16 floors are defined in.
+constexpr std::size_t kLlcOverflowBytes = 768ull << 20;
+
+std::vector<WeightMatrix> MakeWeightReplicas(int k, int n, WeightDtype dtype) {
+  WeightMatrix master = MakeBenchWeights(k, n, dtype);
+  const std::size_t count =
+      (kLlcOverflowBytes + master.byte_size() - 1) / master.byte_size();
+  std::vector<WeightMatrix> replicas(count - 1, master);
+  replicas.push_back(std::move(master));
+  return replicas;
+}
+
+// `weight_passes` = how many times one iteration streams the whole
+// (dtype-sized) matrix: m for the per-row GEMV loop, 1 for the panel GEMM
+// (which decodes each stripe once and reuses it across the m rows).
+void AddWeightTrafficCounters(benchmark::State& state, int m, int k, int n,
+                              int weight_passes, const WeightMatrix& w) {
+  state.SetItemsProcessed(state.iterations() * m);
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * m * k * n,
+      benchmark::Counter::kIsRate);
+  state.counters["weight_bytes"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * weight_passes *
+          static_cast<double>(w.byte_size()),
+      benchmark::Counter::kIsRate);
+}
+
+// The acceptance bench: decode GEMV at m=8/k=4096/n=4096 — m independent
+// GemvAccW row calls, exactly what the LM head / decode projections run.
+// The committed baseline locks the q8_vs_f16 / q4_vs_f16 speedups at the
+// vector levels (see scripts/check_bench.py --min and the CI gate). The
+// attainable ratio is host-physics-dependent: the bytes ratio (1.8× q8,
+// 3.4× q4) is the ceiling only where per-core DRAM bandwidth is scarce
+// (many cores sharing one memory system); on a host that gives one core
+// the whole memory system, f16 streams at full DRAM rate and the fused
+// dequant kernels hit their ALU ceiling first — see README "Performance".
+void BM_QuantGemvDecodeShape(benchmark::State& state) {
+  std::optional<ScopedSimdLevel> guard;
+  if (!ForceSimdLevelArg(state, guard)) return;
+  const auto dtype = static_cast<WeightDtype>(state.range(0));
+  const int m = 8, k = 4096, n = 4096;
+  ComputeContext ctx({.num_threads = 1});
+  std::vector<WeightMatrix> ws = MakeWeightReplicas(k, n, dtype);
+  Pcg32 rng(13);
+  auto x = RandomGaussianVector(static_cast<std::size_t>(m) * k, 1.0f, rng);
+  std::vector<float> y(static_cast<std::size_t>(m) * n, 0.0f);
+  std::size_t r = 0;
+  for (auto _ : state) {
+    const WeightMatrix& w = ws[r];
+    r = (r + 1) % ws.size();
+    for (int i = 0; i < m; ++i) {
+      GemvAccW(std::span<const float>(x).subspan(
+                   static_cast<std::size_t>(i) * k, k),
+               w,
+               std::span<float>(y).subspan(static_cast<std::size_t>(i) * n,
+                                           n),
+               k, n, ctx);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  AddWeightTrafficCounters(state, m, k, n, m, ws[0]);
+}
+BENCHMARK(BM_QuantGemvDecodeShape)->Apply(QuantSweep);
+
+// The same shape through the batched panel GEMM (m>1 amortises each
+// decoded block-panel across rows).
+void BM_QuantGemmDecodeShape(benchmark::State& state) {
+  std::optional<ScopedSimdLevel> guard;
+  if (!ForceSimdLevelArg(state, guard)) return;
+  const auto dtype = static_cast<WeightDtype>(state.range(0));
+  const int m = 8, k = 4096, n = 4096;
+  ComputeContext ctx({.num_threads = 1});
+  std::vector<WeightMatrix> ws = MakeWeightReplicas(k, n, dtype);
+  Pcg32 rng(13);
+  auto x = RandomGaussianVector(static_cast<std::size_t>(m) * k, 1.0f, rng);
+  std::vector<float> y(static_cast<std::size_t>(m) * n, 0.0f);
+  std::size_t r = 0;
+  for (auto _ : state) {
+    GemmAccW(x, ws[r], y, m, k, n, ctx);
+    r = (r + 1) % ws.size();
+    benchmark::DoNotOptimize(y.data());
+  }
+  AddWeightTrafficCounters(state, m, k, n, 1, ws[0]);
+}
+BENCHMARK(BM_QuantGemmDecodeShape)->Apply(QuantSweep);
+
+// End-to-end single-core decode tokens/s per weight dtype, on the ambient
+// dispatch path (whatever this host serves with).
+void BM_QuantEngineDecodeStep(benchmark::State& state) {
+  const auto dtype = static_cast<WeightDtype>(state.range(0));
+  ComputeContext ctx({.num_threads = 1});
+  RunEngineDecodeStepBench(state, ctx, dtype);
+}
+BENCHMARK(BM_QuantEngineDecodeStep)
+    ->ArgName("dtype")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
 
 void BM_TinyLlamaDecodeStep(benchmark::State& state) {
   const auto batch = static_cast<int>(state.range(0));

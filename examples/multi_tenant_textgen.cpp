@@ -6,12 +6,15 @@
 // the numeric engine to show the shared-prefix KV cache working: pages in
 // use, shared pages and prefix-hit tokens per admission.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "baselines/systems.h"
 #include "gpu/specs.h"
 #include "model/llama.h"
 #include "runtime/engine.h"
+#include "tensor/quant.h"
+#include "tensor/simd.h"
 #include "util/table.h"
 #include "workload/trace.h"
 
@@ -21,11 +24,16 @@ namespace {
 
 /// Real numerics: three tenants, each with its own system prompt, three
 /// requests per tenant. Prints the live cache gauges after every admission
-/// wave.
-void RunNumericSharedPrefixDemo() {
+/// wave. The numeric backbone stores its dense projections at
+/// `weight_dtype`; the shared-prefix machinery is dtype-oblivious.
+void RunNumericSharedPrefixDemo(WeightDtype weight_dtype) {
   std::printf("\nShared-prefix KV cache on the numeric engine "
-              "(tiny Llama, real tokens):\n\n");
-  LlamaModel model(TinyLlama(), /*seed=*/2024);
+              "(tiny Llama, real tokens):\n");
+  std::printf("backbone weights: %s, simd dispatch: %s\n\n",
+              WeightDtypeName(weight_dtype), Simd().name);
+  LlamaConfig config = TinyLlama();
+  config.weight_dtype = weight_dtype;
+  LlamaModel model(config, /*seed=*/2024);
   model.AddLora(0, 8, 1);
   model.AddLora(1, 8, 2);
   Engine engine(&model, model.MakeKvConfig(/*num_pages=*/128, /*page_size=*/4),
@@ -71,9 +79,30 @@ void RunNumericSharedPrefixDemo() {
       "are bit-identical to cold-start runs.\n");
 }
 
+// --weight-dtype f16|q8_0|q4_0 (default f16): storage for the numeric
+// demo's backbone. The simulated section is cost-model-only and unaffected.
+WeightDtype ParseArgs(int argc, char** argv) {
+  WeightDtype dtype = WeightDtype::kF16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--weight-dtype") == 0 && i + 1 < argc) {
+      if (!ParseWeightDtype(argv[++i], &dtype)) {
+        std::fprintf(stderr, "unknown weight dtype '%s' (f16|q8_0|q4_0)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--weight-dtype f16|q8_0|q4_0]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return dtype;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  WeightDtype weight_dtype = ParseArgs(argc, argv);
   CostModel cm((A100Sxm80GB()));
   LlamaConfig model = Llama7B();
 
@@ -116,6 +145,6 @@ int main() {
       " * On Identical, vLLM (running backbone-only, no LoRA math at all)\n"
       "   is slightly ahead — the LoRA addon costs ~2 ms per token.\n");
 
-  RunNumericSharedPrefixDemo();
+  RunNumericSharedPrefixDemo(weight_dtype);
   return 0;
 }

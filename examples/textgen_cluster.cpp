@@ -9,8 +9,9 @@
 // must be bit-identical to driving an Engine directly with the same seed.
 //
 //     cmake -B build -G Ninja && cmake --build build
-//     ./build/examples/textgen_cluster
+//     ./build/examples/textgen_cluster [--weight-dtype f16|q8_0|q4_0]
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "runtime/engine.h"
 #include "runtime/engine_backend.h"
 #include "sched/cluster.h"
+#include "tensor/quant.h"
+#include "tensor/simd.h"
 #include "util/compute_context.h"
 
 using namespace punica;
@@ -32,15 +35,40 @@ std::string Render(const std::vector<std::int32_t>& tokens) {
   return s;
 }
 
+// --weight-dtype f16|q8_0|q4_0 (default f16): backbone weight storage.
+WeightDtype ParseArgs(int argc, char** argv) {
+  WeightDtype dtype = WeightDtype::kF16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--weight-dtype") == 0 && i + 1 < argc) {
+      if (!ParseWeightDtype(argv[++i], &dtype)) {
+        std::fprintf(stderr, "unknown weight dtype '%s' (f16|q8_0|q4_0)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--weight-dtype f16|q8_0|q4_0]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return dtype;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // The compute substrate: one thread pool shared by every engine over this
   // backbone (PUNICA_THREADS or hardware_concurrency wide). Streams are
   // bit-identical whatever the width — rerun under PUNICA_THREADS=1 to see.
   ComputeContext compute;
   // One backbone copy shared by every "GPU", plus per-tenant LoRA models.
-  LlamaModel model(TinyLlama(), /*seed=*/1234, &compute);
+  // The backbone stores its dense projections at --weight-dtype; the solo
+  // reference engines below share the same model object, so the
+  // bit-identity check holds at every dtype (quantized decode is
+  // deterministic too, it is just a different model than f16).
+  LlamaConfig config = TinyLlama();
+  config.weight_dtype = ParseArgs(argc, argv);
+  LlamaModel model(config, /*seed=*/1234, &compute);
   model.AddLora(0, 8, 111);
   model.AddLora(1, 8, 222);
   model.AddLora(2, 4, 333);
@@ -102,9 +130,11 @@ int main() {
   driver.Run();
 
   std::printf("Frontend → Scheduler → numeric Engine, %d backends, %zu "
-              "tenants, %d compute threads\n\n",
+              "tenants, %d compute threads\n",
               driver.num_backends(), tenants.size(),
               compute.num_threads());
+  std::printf("backbone weights: %s, simd dispatch: %s\n\n",
+              WeightDtypeName(config.weight_dtype), Simd().name);
   bool all_equal = true;
   for (const auto& t : tenants) {
     bool equal = streamed[t.name] == reference[t.name];

@@ -13,7 +13,8 @@ are reported and never fail; to ratchet the trajectory forward, rerun with
 
 Usage:
     check_bench.py [--baseline-dir bench/baselines] [--threshold 0.15]
-                   [--update] FRESH.json [FRESH2.json ...]
+                   [--update] [--min PATTERN:VALUE ...]
+                   FRESH.json [FRESH2.json ...]
 
 The threshold can also come from the BENCH_REGRESSION_THRESHOLD env var
 (the flag wins). Metrics compared:
@@ -21,6 +22,10 @@ The threshold can also come from the BENCH_REGRESSION_THRESHOLD env var
     bytes_per_second per benchmark name; falls back to 1/real_time.
     A benchmark present in the baseline but missing from the fresh run
     fails the gate — silently dropping a bench is how regressions hide.
+  * kernels_quant files (Google format, filename contains
+    "kernels_quant"): same per-benchmark metrics, plus derived
+    q8_vs_f16 / q4_vs_f16 throughput ratios per (family, simd) pair —
+    the keys the quant speedup floors (--min) gate against.
   * fig11b files: tok_s_on and saved_fraction per popularity row
     (zero-valued baseline metrics are skipped: Distinct saves nothing by
     construction).
@@ -57,6 +62,10 @@ def google_benchmark_metrics(doc):
     metrics = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
+            continue
+        if b.get("error_occurred"):
+            # SkipWithError rows: the quant sweeps skip SIMD levels the
+            # host cannot run; an absent level is not a regression.
             continue
         name = b.get("run_name", b["name"])
         if "items_per_second" in b:
@@ -101,8 +110,40 @@ def serving_metrics(doc):
     return metrics
 
 
-def extract_metrics(doc):
+def kernels_quant_metrics(doc):
+    """Google metrics plus derived quant-vs-f16 throughput ratios.
+
+    The quant sweeps run every (dtype, simd) pair of one shape under one
+    family name, e.g. BM_QuantGemvDecodeShape/dtype:1/simd:2. For each
+    family and SIMD level with both a dtype:0 (f16) and a quantized row,
+    a 'q8_vs_f16' / 'q4_vs_f16' ratio metric is derived — the quantity
+    the acceptance floors (--min) gate: fused-dequant speedup must come
+    from bytes saved, measured against f16 on the same host and path.
+    """
+    metrics = google_benchmark_metrics(doc)
+    dtype_names = {1: "q8_vs_f16", 2: "q4_vs_f16"}
+    pat = re.compile(r"^(?P<family>[^/]+)/dtype:(?P<dtype>\d+)(?P<rest>.*)$")
+    groups = {}
+    for key, (value, _kind) in metrics.items():
+        m = pat.match(key)
+        if m:
+            groups.setdefault((m.group("family"), m.group("rest")),
+                              {})[int(m.group("dtype"))] = value
+    for (family, rest), by_dtype in groups.items():
+        f16 = by_dtype.get(0)
+        if not f16:
+            continue
+        for dtype, label in dtype_names.items():
+            if dtype in by_dtype:
+                metrics[f"{family}{rest}/{label}"] = (
+                    by_dtype[dtype] / f16, "ratio")
+    return metrics
+
+
+def extract_metrics(doc, path=""):
     if "benchmarks" in doc:
+        if "kernels_quant" in os.path.basename(path):
+            return kernels_quant_metrics(doc)
         return google_benchmark_metrics(doc)
     if doc.get("bench") == "serving_open_loop":
         return serving_metrics(doc)
@@ -157,8 +198,20 @@ def main():
         help="regex of metric keys to skip (repeatable). CI excludes the "
              "multi-thread scaling sweeps: how fast threads:4 runs depends "
              "on the runner's free cores, not on the code under test")
+    parser.add_argument(
+        "--min", action="append", default=[], metavar="PATTERN:VALUE",
+        help="absolute floor (repeatable): every fresh metric whose key "
+             "matches the regex must be >= VALUE, and at least one such "
+             "metric must exist. Gates ratios that must hold on any host, "
+             "e.g. the quant speedup floors q8_vs_f16 >= 1.7")
     args = parser.parse_args()
     exclude = [re.compile(p) for p in args.exclude]
+    floors = []
+    for spec in args.min:
+        pattern, sep, value = spec.rpartition(":")
+        if not sep:
+            parser.error(f"--min needs PATTERN:VALUE, got '{spec}'")
+        floors.append((re.compile(pattern), float(value)))
 
     if args.update:
         os.makedirs(args.baseline_dir, exist_ok=True)
@@ -169,6 +222,7 @@ def main():
         return 0
 
     all_failures = []
+    union_fresh = {}
     for path in args.fresh:
         base_path = os.path.join(args.baseline_dir, os.path.basename(path))
         if not os.path.exists(base_path):
@@ -178,13 +232,28 @@ def main():
             continue
         print(f"{path} vs {base_path} (threshold {args.threshold:.0%}):")
         try:
-            baseline = extract_metrics(load(base_path))
-            fresh = extract_metrics(load(path))
+            baseline = extract_metrics(load(base_path), base_path)
+            fresh = extract_metrics(load(path), path)
         except (ValueError, KeyError, json.JSONDecodeError) as e:
             all_failures.append(f"{path}: unreadable bench JSON: {e}")
             continue
+        union_fresh.update(fresh)
         all_failures.extend(compare(os.path.basename(path), baseline,
                                     fresh, args.threshold, exclude))
+
+    for pattern, floor in floors:
+        matched = {k: v for k, (v, _) in union_fresh.items()
+                   if pattern.search(k)}
+        if not matched:
+            all_failures.append(
+                f"--min {pattern.pattern}: no fresh metric matches")
+            continue
+        for key, value in sorted(matched.items()):
+            status = "ok" if value >= floor else "BELOW FLOOR"
+            print(f"  {status:>11}  {value:8.3f} >= {floor:g}  {key}")
+            if value < floor:
+                all_failures.append(
+                    f"--min: '{key}' = {value:.4g} below floor {floor:g}")
 
     if all_failures:
         print("\nbench-regression gate FAILED:", file=sys.stderr)

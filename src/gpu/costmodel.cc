@@ -165,9 +165,14 @@ double CostModel::StepLatency(const LlamaConfig& config,
   int tokens = shape.total_tokens();
   if (tokens == 0) return 0.0;
   double t = LayerLatency(config, shape) * config.num_layers;
-  // Embedding + LM head: stream both tables once.
-  double head_bytes = 2.0 * static_cast<double>(config.vocab_size) *
-                      config.hidden_size * 2.0 / shape.tp_degree;
+  // Embedding + LM head: stream both tables once. The embedding is always
+  // f16 (gather path); the LM head is stored in config.weight_dtype.
+  const std::int64_t head_params =
+      static_cast<std::int64_t>(config.vocab_size) * config.hidden_size;
+  double head_bytes =
+      (static_cast<double>(head_params) * 2.0 +
+       static_cast<double>(WeightBytesFor(head_params, config.weight_dtype))) /
+      shape.tp_degree;
   t += head_bytes / (gpu_.hbm_bytes_per_s * params_.weight_stream_eff);
   return t + params_.step_overhead_s;
 }

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "tensor/quant.h"
+
 namespace punica {
 
 struct LlamaConfig {
@@ -21,6 +23,11 @@ struct LlamaConfig {
   int vocab_size = 0;
   float rope_theta = 10000.0f;
   float rms_eps = 1e-5f;
+  /// Storage format of the dense projections + LM head (tensor/quant.h).
+  /// Embeddings, norms and LoRA adapters stay f16. Weights are quantized
+  /// deterministically from the same seeded f16 master weights, so two
+  /// models differing only in dtype share the underlying parameters.
+  WeightDtype weight_dtype = WeightDtype::kF16;
 
   int head_dim() const { return hidden_size / num_heads; }
   int kv_dim() const { return num_kv_heads * head_dim(); }
@@ -32,9 +39,20 @@ struct LlamaConfig {
   /// Whole-model parameters (layers + embedding + lm head).
   std::int64_t total_params() const;
 
-  /// fp16 bytes of one layer's dense projections.
-  std::int64_t layer_weight_bytes() const { return params_per_layer() * 2; }
-  std::int64_t total_weight_bytes() const { return total_params() * 2; }
+  /// Stored bytes of one layer's dense projections under weight_dtype
+  /// (2 B/param at f16; 34/64ths of that at q8_0, 18/64ths at q4_0) — the
+  /// term every capacity/latency account downstream scales by.
+  std::int64_t layer_weight_bytes() const {
+    return WeightBytesFor(params_per_layer(), weight_dtype);
+  }
+  /// Whole-model stored bytes: quantized layers + LM head, f16 embedding.
+  std::int64_t total_weight_bytes() const {
+    const std::int64_t embed =
+        static_cast<std::int64_t>(vocab_size) * hidden_size;
+    return WeightBytesFor(params_per_layer() * num_layers + embed,
+                          weight_dtype) +
+           embed * 2;
+  }
 
   /// LoRA adapter parameters for one layer at rank r: each of the 7
   /// projections gets A [h_in, r] + B [r, h_out].

@@ -30,7 +30,20 @@ LayerWeights LayerWeights::Random(const LlamaConfig& config,
   for (int p = 0; p < kNumProj; ++p) {
     ProjShape s = ShapeOf(config, static_cast<Proj>(p));
     float scale = 1.0f / std::sqrt(static_cast<float>(s.h_in));
-    w.proj[p] = RandomF16({s.h_in, s.h_out}, scale, rng);
+    // Residual scaling (GPT-2-style, depth-linear): the two projections
+    // that write into the residual stream shrink by 1/(2·num_layers), so
+    // with random weights the stream stays dominated by the token
+    // embedding instead of accumulated layer noise. Without it the final
+    // hidden state is mostly noise and greedy argmax sits on razor-thin
+    // margins — every downstream stream comparison then measures
+    // tie-breaking luck instead of numerics.
+    if (static_cast<Proj>(p) == Proj::kO || static_cast<Proj>(p) == Proj::kDown) {
+      scale /= 2.0f * static_cast<float>(config.num_layers);
+    }
+    // Draw the f16 master weights from the same RNG stream at every dtype,
+    // then quantize: the dtype selects the storage, never the parameters.
+    w.proj[p] = WeightMatrix::FromF16(RandomF16({s.h_in, s.h_out}, scale, rng),
+                                      config.weight_dtype);
   }
   w.attn_norm = Tensor<f16>({config.hidden_size});
   w.mlp_norm = Tensor<f16>({config.hidden_size});
@@ -137,8 +150,8 @@ void ProjectWithLora(const LlamaConfig& config, const LayerWeights& weights,
                      std::span<float> lora_tmp, const ComputeContext& ctx) {
   ProjShape shape = ShapeOf(config, proj);
   int tokens = batch.total_tokens();
-  GemmSetF16W(in, weights.proj[static_cast<int>(proj)].data(), out, tokens,
-              shape.h_in, shape.h_out, ctx);
+  GemmSetW(in, weights.proj[static_cast<int>(proj)], out, tokens, shape.h_in,
+           shape.h_out, ctx);
 
   std::vector<const LoraAB*> adapters(seg_lora.size(), nullptr);
   bool any = false;

@@ -20,12 +20,17 @@
 
 namespace punica {
 
-/// Dense weights of one transformer layer (fp16, row-major [h_in, h_out]).
+/// Dense weights of one transformer layer, row-major [h_in, h_out] in the
+/// config's weight_dtype (f16 or a tensor/quant.h groupwise format). The
+/// norms stay f16 — they are O(hidden) and feed exact per-element scaling.
 struct LayerWeights {
-  Tensor<f16> proj[kNumProj];
+  WeightMatrix proj[kNumProj];
   Tensor<f16> attn_norm;  ///< [hidden]
   Tensor<f16> mlp_norm;   ///< [hidden]
 
+  /// Draws the same seeded f16 master weights regardless of dtype, then
+  /// quantizes per config.weight_dtype — deterministic, and dtype variants
+  /// of one (config, seed) share the underlying parameters.
   static LayerWeights Random(const LlamaConfig& config, std::uint64_t seed);
 };
 

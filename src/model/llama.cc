@@ -15,13 +15,28 @@ LlamaModel::LlamaModel(const LlamaConfig& config, std::uint64_t seed,
   Pcg32 rng(seed);
   float embed_scale = 1.0f / std::sqrt(static_cast<float>(config.hidden_size));
   embedding_ = Tensor<f16>({config.vocab_size, config.hidden_size});
-  lm_head_ = Tensor<f16>({config.hidden_size, config.vocab_size});
   for (auto& v : embedding_.data()) {
     v = f16(static_cast<float>(rng.NextGaussian()) * embed_scale);
   }
-  for (auto& v : lm_head_.data()) {
-    v = f16(static_cast<float>(rng.NextGaussian()) * embed_scale);
+  // Shift-tied LM head (weight tying à la GPT-2/Gemma, shifted by one):
+  // head column v is the embedding row of token v-1, so the residual
+  // stream's embedding component makes "input token + 1" the well-separated
+  // greedy argmax. An untied random head scores a random hidden state
+  // against random directions — near-uniform logits whose argmax flips
+  // under any perturbation, so stream comparisons (the quant quality gate,
+  // the determinism suites) would measure tie-breaking luck instead of
+  // model numerics. The head stays its own tensor: it is stored — and
+  // quantized — separately, so shapes and byte accounting are unchanged.
+  Tensor<f16> lm_head({config.hidden_size, config.vocab_size});
+  for (std::int64_t v = 0; v < config.vocab_size; ++v) {
+    std::int64_t src = (v + config.vocab_size - 1) % config.vocab_size;
+    for (std::int64_t i = 0; i < config.hidden_size; ++i) {
+      lm_head.at({i, v}) = embedding_.at({src, i});
+    }
   }
+  // Same f16 draw at every dtype; quantization only changes the storage.
+  // The embedding stays f16 — it is a per-row gather, not a GEMM operand.
+  lm_head_ = WeightMatrix::FromF16(std::move(lm_head), config.weight_dtype);
   final_norm_ = Tensor<f16>({config.hidden_size});
   for (auto& v : final_norm_.data()) v = f16(1.0f);
   layers_.reserve(static_cast<std::size_t>(config.num_layers));
@@ -102,8 +117,8 @@ Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
     RmsNormRow(std::span<const float>(x).subspan(last * h, h),
                final_norm_.data(), normed, config_.rms_eps);
     auto out = logits.row(static_cast<std::int64_t>(e));
-    GemmSetF16W(normed, lm_head_.data(), out, 1, config_.hidden_size,
-                config_.vocab_size, *ctx_);
+    GemmSetW(normed, lm_head_, out, 1, config_.hidden_size,
+             config_.vocab_size, *ctx_);
   }
   return logits;
 }

@@ -64,8 +64,8 @@ class LlamaModel {
  private:
   LlamaConfig config_;
   const ComputeContext* ctx_;  ///< never null after construction
-  Tensor<f16> embedding_;  ///< [vocab, hidden]
-  Tensor<f16> lm_head_;    ///< [hidden, vocab]
+  Tensor<f16> embedding_;  ///< [vocab, hidden] — always f16 (gather path)
+  WeightMatrix lm_head_;   ///< [hidden, vocab] in config.weight_dtype
   Tensor<f16> final_norm_; ///< [hidden]
   std::vector<LayerWeights> layers_;
   std::unordered_map<LoraId, std::unique_ptr<LoraModelWeights>> loras_;

@@ -56,6 +56,17 @@ LlamaConfig RankConfig(const LlamaConfig& config, int tp) {
 TpShardedLayer ShardLayer(const LlamaConfig& config, const LayerWeights& full,
                           int tp) {
   RankConfig(config, tp);  // validates divisibility
+  // Shards are sliced from f16 MASTER weights and quantized per shard
+  // afterwards. Slicing quantized blocks directly would be lossy anyway
+  // (dequant→f16 re-rounds d·q), and post-slice quantization keeps each
+  // rank's block boundaries local to its own columns.
+  PUNICA_CHECK_MSG(
+      full.proj[0].dtype() == WeightDtype::kF16,
+      "ShardLayer slices f16 master weights; shards are quantized "
+      "to config.weight_dtype after the slice");
+  const auto quantize = [&config](Tensor<f16> t) {
+    return WeightMatrix::FromF16(std::move(t), config.weight_dtype);
+  };
   TpShardedLayer sharded;
   sharded.tp = tp;
   int d = config.head_dim();
@@ -65,27 +76,27 @@ TpShardedLayer ShardLayer(const LlamaConfig& config, const LayerWeights& full,
   std::int64_t f_cols = config.ffn_hidden / tp;
   for (int r = 0; r < tp; ++r) {
     LayerWeights shard;
-    shard.proj[static_cast<int>(Proj::kQ)] =
-        SliceColumns(full.proj[static_cast<int>(Proj::kQ)], r * q_cols,
-                     (r + 1) * q_cols);
-    shard.proj[static_cast<int>(Proj::kK)] =
-        SliceColumns(full.proj[static_cast<int>(Proj::kK)], r * kv_cols,
-                     (r + 1) * kv_cols);
-    shard.proj[static_cast<int>(Proj::kV)] =
-        SliceColumns(full.proj[static_cast<int>(Proj::kV)], r * kv_cols,
-                     (r + 1) * kv_cols);
-    shard.proj[static_cast<int>(Proj::kO)] =
-        SliceRows(full.proj[static_cast<int>(Proj::kO)], r * q_cols,
-                  (r + 1) * q_cols);
-    shard.proj[static_cast<int>(Proj::kGate)] =
-        SliceColumns(full.proj[static_cast<int>(Proj::kGate)], r * f_cols,
-                     (r + 1) * f_cols);
-    shard.proj[static_cast<int>(Proj::kUp)] =
-        SliceColumns(full.proj[static_cast<int>(Proj::kUp)], r * f_cols,
-                     (r + 1) * f_cols);
-    shard.proj[static_cast<int>(Proj::kDown)] =
-        SliceRows(full.proj[static_cast<int>(Proj::kDown)], r * f_cols,
-                  (r + 1) * f_cols);
+    shard.proj[static_cast<int>(Proj::kQ)] = quantize(
+        SliceColumns(full.proj[static_cast<int>(Proj::kQ)].f16_tensor(),
+                     r * q_cols, (r + 1) * q_cols));
+    shard.proj[static_cast<int>(Proj::kK)] = quantize(
+        SliceColumns(full.proj[static_cast<int>(Proj::kK)].f16_tensor(),
+                     r * kv_cols, (r + 1) * kv_cols));
+    shard.proj[static_cast<int>(Proj::kV)] = quantize(
+        SliceColumns(full.proj[static_cast<int>(Proj::kV)].f16_tensor(),
+                     r * kv_cols, (r + 1) * kv_cols));
+    shard.proj[static_cast<int>(Proj::kO)] = quantize(
+        SliceRows(full.proj[static_cast<int>(Proj::kO)].f16_tensor(),
+                  r * q_cols, (r + 1) * q_cols));
+    shard.proj[static_cast<int>(Proj::kGate)] = quantize(
+        SliceColumns(full.proj[static_cast<int>(Proj::kGate)].f16_tensor(),
+                     r * f_cols, (r + 1) * f_cols));
+    shard.proj[static_cast<int>(Proj::kUp)] = quantize(
+        SliceColumns(full.proj[static_cast<int>(Proj::kUp)].f16_tensor(),
+                     r * f_cols, (r + 1) * f_cols));
+    shard.proj[static_cast<int>(Proj::kDown)] = quantize(
+        SliceRows(full.proj[static_cast<int>(Proj::kDown)].f16_tensor(),
+                  r * f_cols, (r + 1) * f_cols));
     sharded.ranks.push_back(std::move(shard));
   }
   sharded.attn_norm = Tensor<f16>({config.hidden_size});
@@ -134,12 +145,12 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
 
   for (int r = 0; r < tp; ++r) {
     const LayerWeights& shard = layer.ranks[static_cast<std::size_t>(r)];
-    GemmSetF16W(normed, shard.proj[static_cast<int>(Proj::kQ)].data(), q,
-                tokens, config.hidden_size, heads_pr * d, ctx);
-    GemmSetF16W(normed, shard.proj[static_cast<int>(Proj::kK)].data(), k,
-                tokens, config.hidden_size, kv_heads_pr * d, ctx);
-    GemmSetF16W(normed, shard.proj[static_cast<int>(Proj::kV)].data(), v,
-                tokens, config.hidden_size, kv_heads_pr * d, ctx);
+    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kQ)], q, tokens,
+             config.hidden_size, heads_pr * d, ctx);
+    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kK)], k, tokens,
+             config.hidden_size, kv_heads_pr * d, ctx);
+    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kV)], v, tokens,
+             config.hidden_size, kv_heads_pr * d, ctx);
 
     // RoPE on this rank's heads; write this rank's KV slice of each entry.
     for (int t = 0; t < tokens; ++t) {
@@ -186,8 +197,8 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
     }
 
     // Row-parallel O projection: partial [tokens, h], reduced across ranks.
-    GemmAccF16W(attn_out, shard.proj[static_cast<int>(Proj::kO)].data(),
-                attn_reduced, tokens, heads_pr * d, config.hidden_size, ctx);
+    GemmAccW(attn_out, shard.proj[static_cast<int>(Proj::kO)], attn_reduced,
+             tokens, heads_pr * d, config.hidden_size, ctx);
   }
   for (std::size_t i = 0; i < x.size(); ++i) x[i] += attn_reduced[i];
 
@@ -205,14 +216,14 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
   std::vector<float> up(gate.size());
   for (int r = 0; r < tp; ++r) {
     const LayerWeights& shard = layer.ranks[static_cast<std::size_t>(r)];
-    GemmSetF16W(normed, shard.proj[static_cast<int>(Proj::kGate)].data(),
-                gate, tokens, config.hidden_size, f_pr, ctx);
-    GemmSetF16W(normed, shard.proj[static_cast<int>(Proj::kUp)].data(), up,
-                tokens, config.hidden_size, f_pr, ctx);
+    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kGate)], gate, tokens,
+             config.hidden_size, f_pr, ctx);
+    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kUp)], up, tokens,
+             config.hidden_size, f_pr, ctx);
     SiluInPlace(gate);
     for (std::size_t i = 0; i < gate.size(); ++i) gate[i] *= up[i];
-    GemmAccF16W(gate, shard.proj[static_cast<int>(Proj::kDown)].data(),
-                mlp_reduced, tokens, f_pr, config.hidden_size, ctx);
+    GemmAccW(gate, shard.proj[static_cast<int>(Proj::kDown)], mlp_reduced,
+             tokens, f_pr, config.hidden_size, ctx);
   }
   for (std::size_t i = 0; i < x.size(); ++i) x[i] += mlp_reduced[i];
 }

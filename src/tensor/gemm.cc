@@ -18,34 +18,148 @@ namespace {
 constexpr int kRowBlock = 8;
 constexpr int kColTile = 128;
 
+// Column tiles must start on quant-block boundaries so the quantized
+// kernels can address stripes as whole blocks.
+static_assert(kColTile % kQuantBlock == 0);
+
 inline std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
   return (a + b - 1) / b;
 }
 
+// Per-element-type glue for the blocked kernel: how a W k-stripe of
+// `width` elements starting at column j_lo of row p is addressed, decoded
+// into a task-local panel, and fused into a single-row axpy. The quantized
+// stripes are addressed in blocks (j_lo is always a multiple of kColTile,
+// hence block-aligned).
+template <typename WElem>
+struct WStripe;
+
+template <>
+struct WStripe<float> {
+  static const float* Ptr(const float* w, std::int64_t /*stride*/,
+                          std::int64_t p, int j_lo, std::int64_t n) {
+    return w + p * n + j_lo;
+  }
+  static std::size_t Count(int k, int n) {
+    return static_cast<std::size_t>(k) * n;
+  }
+  static std::size_t RowBytes(std::size_t width) {
+    return width * sizeof(float);
+  }
+};
+
+template <>
+struct WStripe<f16> {
+  static const f16* Ptr(const f16* w, std::int64_t /*stride*/, std::int64_t p,
+                        int j_lo, std::int64_t n) {
+    return w + p * n + j_lo;
+  }
+  static std::size_t Count(int k, int n) {
+    return static_cast<std::size_t>(k) * n;
+  }
+  static std::size_t RowBytes(std::size_t width) { return width * sizeof(f16); }
+  static void Decode(const SimdOps& ops, const f16* wp, float* panel,
+                     std::size_t width) {
+    ops.half_to_float_n(wp, panel, width);
+  }
+  static void Axpy(const SimdOps& ops, float a, const f16* wp, float* y,
+                   std::size_t width) {
+    ops.axpy_f16(a, wp, y, width);
+  }
+};
+
+template <>
+struct WStripe<BlockQ8_0> {
+  static const BlockQ8_0* Ptr(const BlockQ8_0* w, std::int64_t bpr,
+                              std::int64_t p, int j_lo, std::int64_t /*n*/) {
+    return w + p * bpr + j_lo / kQuantBlock;
+  }
+  static std::size_t Count(int k, int n) {
+    return static_cast<std::size_t>(k) * QuantBlocksPerRow(n);
+  }
+  static std::size_t RowBytes(std::size_t width) {
+    return static_cast<std::size_t>(
+               CeilDiv(static_cast<std::int64_t>(width), kQuantBlock)) *
+           sizeof(BlockQ8_0);
+  }
+  static void Decode(const SimdOps& ops, const BlockQ8_0* wp, float* panel,
+                     std::size_t width) {
+    ops.dequant_q8(wp, panel, width);
+  }
+  static void Axpy(const SimdOps& ops, float a, const BlockQ8_0* wp, float* y,
+                   std::size_t width) {
+    ops.axpy_q8(a, wp, y, width);
+  }
+};
+
+template <>
+struct WStripe<BlockQ4_0> {
+  static const BlockQ4_0* Ptr(const BlockQ4_0* w, std::int64_t bpr,
+                              std::int64_t p, int j_lo, std::int64_t /*n*/) {
+    return w + p * bpr + j_lo / kQuantBlock;
+  }
+  static std::size_t Count(int k, int n) {
+    return static_cast<std::size_t>(k) * QuantBlocksPerRow(n);
+  }
+  static std::size_t RowBytes(std::size_t width) {
+    return static_cast<std::size_t>(
+               CeilDiv(static_cast<std::int64_t>(width), kQuantBlock)) *
+           sizeof(BlockQ4_0);
+  }
+  static void Decode(const SimdOps& ops, const BlockQ4_0* wp, float* panel,
+                     std::size_t width) {
+    ops.dequant_q4(wp, panel, width);
+  }
+  static void Axpy(const SimdOps& ops, float a, const BlockQ4_0* wp, float* y,
+                   std::size_t width) {
+    ops.axpy_q4(a, wp, y, width);
+  }
+};
+
+// Software-prefetch the W stripe a few k-rows ahead of the one being
+// processed. A column tile narrower than the matrix turns W traffic into
+// short bursts separated by an n-element jump; once the decode/FMA work
+// between loads fills the out-of-order window, the hardware streamer stops
+// running ahead across those jumps and the k loop goes demand-miss-bound
+// (~1 GB/s observed at the m=8/k=4096/n=4096 shape when W rotates past the
+// LLC, vs ~7 GB/s for the same stride pattern with overlapped misses).
+// Pure hint: never touches numerics.
+constexpr int kPrefetchRowsAhead = 16;
+
+template <typename Stripe, typename WElem>
+inline void PrefetchStripe(const WElem* wp, std::size_t width) {
+  const char* p = reinterpret_cast<const char*>(wp);
+  const std::size_t bytes = Stripe::RowBytes(width);
+  for (std::size_t off = 0; off < bytes; off += 64) __builtin_prefetch(p + off);
+}
+
 // Shared blocked micro-kernel: y[rb, jt] (+)= x[rb, :] @ w[:, jt] with each
-// element's reduction in ascending-k order. WElem is float or f16. An f16
-// W k-stripe of the tile is decoded into a task-local panel once per row
-// block and reused by all kRowBlock rows (the scalar kernel used to re-decode
-// it per row); the j loop is a SIMD axpy across independent output columns,
-// which leaves every element's summation order untouched. No sparsity
-// branch here: on the dense activations this path serves, testing every
-// x value poisons the vector inner loop and mispredicts — row-granular
-// skipping lives in GemvAccF16W where a hit elides a whole stripe.
+// element's reduction in ascending-k order. WElem is float, f16, or a
+// quant block type. A W k-stripe of the tile is decoded into a task-local
+// panel once per row block and reused by all kRowBlock rows (the scalar
+// kernel used to re-decode it per row); the j loop is a SIMD axpy across
+// independent output columns, which leaves every element's summation order
+// untouched. No sparsity branch here: on the dense activations this path
+// serves, testing every x value poisons the vector inner loop and
+// mispredicts — row-granular skipping lives in the Gemv kernels where a
+// hit elides a whole stripe.
 template <typename WElem, bool kAccumulate>
 void GemmBlocked(std::span<const float> x, std::span<const WElem> w,
                  std::span<float> y, int m, int k, int n,
                  const ComputeContext& ctx) {
+  using Stripe = WStripe<WElem>;
   PUNICA_CHECK(x.size() == static_cast<std::size_t>(m) * k);
-  PUNICA_CHECK(w.size() == static_cast<std::size_t>(k) * n);
+  PUNICA_CHECK(w.size() == Stripe::Count(k, n));
   PUNICA_CHECK(y.size() == static_cast<std::size_t>(m) * n);
   if (m == 0 || n == 0) return;
 
   const SimdOps& ops = Simd();
+  const std::int64_t bpr = QuantBlocksPerRow(n);
   const std::int64_t row_blocks = CeilDiv(m, kRowBlock);
   const std::int64_t col_tiles = CeilDiv(n, kColTile);
   ctx.ParallelFor(row_blocks * col_tiles, 1, [&](std::int64_t lo,
                                                  std::int64_t hi) {
-    alignas(32) float panel[kColTile];
+    alignas(64) float panel[kColTile];
     for (std::int64_t task = lo; task < hi; ++task) {
       const int i_lo = static_cast<int>(task / col_tiles) * kRowBlock;
       const int i_hi = std::min(m, i_lo + kRowBlock);
@@ -58,34 +172,88 @@ void GemmBlocked(std::span<const float> x, std::span<const WElem> w,
           std::fill(yi + j_lo, yi + j_hi, 0.0f);
         }
       }
-      if constexpr (std::is_same_v<WElem, f16>) {
+      if constexpr (!std::is_same_v<WElem, float>) {
         // Single-row block (m == 1 projections, row-count tails): the panel
         // round-trip only pays when rows share the decode, so fuse decode
         // and FMA into one pass — the identical operation sequence, hence
-        // identical bits on both dispatch paths.
+        // identical bits on each dispatch path.
         if (i_hi - i_lo == 1) {
           const float* xi = &x[static_cast<std::size_t>(i_lo) * k];
           float* yi = &y[static_cast<std::size_t>(i_lo) * n + j_lo];
           for (int p = 0; p < k; ++p) {
-            ops.axpy_f16(xi[p], &w[static_cast<std::size_t>(p) * n + j_lo],
+            if (p + kPrefetchRowsAhead < k) {
+              PrefetchStripe<Stripe>(
+                  Stripe::Ptr(w.data(), bpr, p + kPrefetchRowsAhead, j_lo, n),
+                  tile_w);
+            }
+            Stripe::Axpy(ops, xi[p], Stripe::Ptr(w.data(), bpr, p, j_lo, n),
                          yi, tile_w);
           }
           continue;
         }
       }
       for (int p = 0; p < k; ++p) {
-        const WElem* wp = &w[static_cast<std::size_t>(p) * n + j_lo];
+        if (p + kPrefetchRowsAhead < k) {
+          PrefetchStripe<Stripe>(
+              Stripe::Ptr(w.data(), bpr, p + kPrefetchRowsAhead, j_lo, n),
+              tile_w);
+        }
+        const WElem* wp = Stripe::Ptr(w.data(), bpr, p, j_lo, n);
         const float* wf;
-        if constexpr (std::is_same_v<WElem, f16>) {
-          ops.half_to_float_n(wp, panel, tile_w);
-          wf = panel;
-        } else {
+        if constexpr (std::is_same_v<WElem, float>) {
           wf = wp;
+        } else {
+          Stripe::Decode(ops, wp, panel, tile_w);
+          wf = panel;
         }
         for (int i = i_lo; i < i_hi; ++i) {
           ops.axpy_f32(x[static_cast<std::size_t>(i) * k + p], wf,
                        &y[static_cast<std::size_t>(i) * n + j_lo], tile_w);
         }
+      }
+    }
+  });
+}
+
+// Single-row y += x @ W over any decoded element type, parallel over column
+// tiles, with the zero-activation stripe skip.
+template <typename WElem>
+void GemvBlocked(std::span<const float> x, std::span<const WElem> w,
+                 std::span<float> y, int k, int n, const ComputeContext& ctx) {
+  using Stripe = WStripe<WElem>;
+  PUNICA_CHECK(x.size() == static_cast<std::size_t>(k));
+  PUNICA_CHECK(w.size() == Stripe::Count(k, n));
+  PUNICA_CHECK(y.size() == static_cast<std::size_t>(n));
+  if (n == 0) return;
+  const SimdOps& ops = Simd();
+  const std::int64_t bpr = QuantBlocksPerRow(n);
+  // One tile per thread, as wide as possible (block-aligned so quantized
+  // stripes stay whole blocks). Narrow tiles re-walk the row-major W with a
+  // multi-KB stride between consecutive k rows, which defeats the hardware
+  // prefetcher and leaves the single-row kernel latency-bound; a
+  // thread-wide tile streams its W columns near-sequentially. The width
+  // never affects numerics: each y element's k-reduction runs complete and
+  // ascending inside its one tile at any width, so outputs stay
+  // bit-identical across thread counts.
+  const std::int64_t threads = std::max(1, ctx.num_threads());
+  const std::int64_t tile_cols =
+      CeilDiv(CeilDiv(static_cast<std::int64_t>(n), threads), kQuantBlock) *
+      kQuantBlock;
+  const std::int64_t col_tiles = CeilDiv(n, tile_cols);
+  ctx.ParallelFor(col_tiles, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t tile = lo; tile < hi; ++tile) {
+      const int j_lo = static_cast<int>(tile * tile_cols);
+      const int j_hi = static_cast<int>(
+          std::min<std::int64_t>(n, j_lo + tile_cols));
+      const auto tile_w = static_cast<std::size_t>(j_hi - j_lo);
+      for (int p = 0; p < k; ++p) {
+        const float xv = x[static_cast<std::size_t>(p)];
+        // Row-granular sparsity skip: with one x row, a zero activation
+        // elides the decode + FMA of an entire W stripe, which pays (unlike
+        // the per-row test inside the dense GEMM block).
+        if (xv == 0.0f) continue;
+        Stripe::Axpy(ops, xv, Stripe::Ptr(w.data(), bpr, p, j_lo, n),
+                     &y[static_cast<std::size_t>(j_lo)], tile_w);
       }
     }
   });
@@ -114,28 +282,101 @@ void GemmAccF16W(std::span<const float> x, std::span<const f16> w,
 void GemvAccF16W(std::span<const float> x, std::span<const f16> w,
                  std::span<float> y, int k, int n,
                  const ComputeContext& ctx) {
-  PUNICA_CHECK(x.size() == static_cast<std::size_t>(k));
-  PUNICA_CHECK(w.size() == static_cast<std::size_t>(k) * n);
-  PUNICA_CHECK(y.size() == static_cast<std::size_t>(n));
-  if (n == 0) return;
-  const SimdOps& ops = Simd();
-  const std::int64_t col_tiles = CeilDiv(n, kColTile);
-  ctx.ParallelFor(col_tiles, 1, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t tile = lo; tile < hi; ++tile) {
-      const int j_lo = static_cast<int>(tile) * kColTile;
-      const int j_hi = std::min(n, j_lo + kColTile);
-      const auto tile_w = static_cast<std::size_t>(j_hi - j_lo);
-      for (int p = 0; p < k; ++p) {
-        const float xv = x[static_cast<std::size_t>(p)];
-        // Row-granular sparsity skip: with one x row, a zero activation
-        // elides the decode + FMA of an entire W stripe, which pays (unlike
-        // the per-row test inside the dense GEMM block).
-        if (xv == 0.0f) continue;
-        ops.axpy_f16(xv, &w[static_cast<std::size_t>(p) * n + j_lo],
-                     &y[static_cast<std::size_t>(j_lo)], tile_w);
-      }
-    }
-  });
+  GemvBlocked<f16>(x, w, y, k, n, ctx);
+}
+
+void GemmSetQW(std::span<const float> x, std::span<const BlockQ8_0> w,
+               std::span<float> y, int m, int k, int n,
+               const ComputeContext& ctx) {
+  GemmBlocked<BlockQ8_0, /*kAccumulate=*/false>(x, w, y, m, k, n, ctx);
+}
+
+void GemmSetQW(std::span<const float> x, std::span<const BlockQ4_0> w,
+               std::span<float> y, int m, int k, int n,
+               const ComputeContext& ctx) {
+  GemmBlocked<BlockQ4_0, /*kAccumulate=*/false>(x, w, y, m, k, n, ctx);
+}
+
+void GemmAccQW(std::span<const float> x, std::span<const BlockQ8_0> w,
+               std::span<float> y, int m, int k, int n,
+               const ComputeContext& ctx) {
+  GemmBlocked<BlockQ8_0, /*kAccumulate=*/true>(x, w, y, m, k, n, ctx);
+}
+
+void GemmAccQW(std::span<const float> x, std::span<const BlockQ4_0> w,
+               std::span<float> y, int m, int k, int n,
+               const ComputeContext& ctx) {
+  GemmBlocked<BlockQ4_0, /*kAccumulate=*/true>(x, w, y, m, k, n, ctx);
+}
+
+void GemvAccQW(std::span<const float> x, std::span<const BlockQ8_0> w,
+               std::span<float> y, int k, int n, const ComputeContext& ctx) {
+  GemvBlocked<BlockQ8_0>(x, w, y, k, n, ctx);
+}
+
+void GemvAccQW(std::span<const float> x, std::span<const BlockQ4_0> w,
+               std::span<float> y, int k, int n, const ComputeContext& ctx) {
+  GemvBlocked<BlockQ4_0>(x, w, y, k, n, ctx);
+}
+
+namespace {
+
+// Shape guard shared by the WeightMatrix dispatch wrappers.
+void CheckWShape(const WeightMatrix& w, int k, int n) {
+  PUNICA_CHECK(w.rows() == k);
+  PUNICA_CHECK(w.cols() == n);
+}
+
+}  // namespace
+
+void GemmSetW(std::span<const float> x, const WeightMatrix& w,
+              std::span<float> y, int m, int k, int n,
+              const ComputeContext& ctx) {
+  CheckWShape(w, k, n);
+  switch (w.dtype()) {
+    case WeightDtype::kF16:
+      GemmSetF16W(x, w.f16_data(), y, m, k, n, ctx);
+      return;
+    case WeightDtype::kQ8_0:
+      GemmSetQW(x, w.q8_data(), y, m, k, n, ctx);
+      return;
+    case WeightDtype::kQ4_0:
+      GemmSetQW(x, w.q4_data(), y, m, k, n, ctx);
+      return;
+  }
+}
+
+void GemmAccW(std::span<const float> x, const WeightMatrix& w,
+              std::span<float> y, int m, int k, int n,
+              const ComputeContext& ctx) {
+  CheckWShape(w, k, n);
+  switch (w.dtype()) {
+    case WeightDtype::kF16:
+      GemmAccF16W(x, w.f16_data(), y, m, k, n, ctx);
+      return;
+    case WeightDtype::kQ8_0:
+      GemmAccQW(x, w.q8_data(), y, m, k, n, ctx);
+      return;
+    case WeightDtype::kQ4_0:
+      GemmAccQW(x, w.q4_data(), y, m, k, n, ctx);
+      return;
+  }
+}
+
+void GemvAccW(std::span<const float> x, const WeightMatrix& w,
+              std::span<float> y, int k, int n, const ComputeContext& ctx) {
+  CheckWShape(w, k, n);
+  switch (w.dtype()) {
+    case WeightDtype::kF16:
+      GemvAccF16W(x, w.f16_data(), y, k, n, ctx);
+      return;
+    case WeightDtype::kQ8_0:
+      GemvAccQW(x, w.q8_data(), y, k, n, ctx);
+      return;
+    case WeightDtype::kQ4_0:
+      GemvAccQW(x, w.q4_data(), y, k, n, ctx);
+      return;
+  }
 }
 
 void SoftmaxInPlace(std::span<float> row) {

@@ -21,6 +21,7 @@
 #include <span>
 
 #include "tensor/half.h"
+#include "tensor/quant.h"
 #include "util/compute_context.h"
 
 namespace punica {
@@ -51,6 +52,58 @@ void GemmAccF16W(std::span<const float> x, std::span<const f16> w,
 void GemvAccF16W(std::span<const float> x, std::span<const f16> w,
                  std::span<float> y, int k, int n,
                  const ComputeContext& ctx = ComputeContext::Default());
+
+// --- Groupwise-quantized weight kernels (tensor/quant.h) ---
+// W is k rows of QuantBlocksPerRow(n) blocks; the column-tile width is a
+// multiple of kQuantBlock, so every stripe the kernels touch starts
+// block-aligned. Same blocking, same one-writer/fixed-k-order determinism
+// contract as the f16 kernels: the dequantized panel is bit-identical on
+// every dispatch path (int code × f16 scale is exact in f32), and the
+// fused axpy differs across paths by FMA contraction only.
+
+/// Y = X @ dequant(W)  (overwrites Y).
+void GemmSetQW(std::span<const float> x, std::span<const BlockQ8_0> w,
+               std::span<float> y, int m, int k, int n,
+               const ComputeContext& ctx = ComputeContext::Default());
+void GemmSetQW(std::span<const float> x, std::span<const BlockQ4_0> w,
+               std::span<float> y, int m, int k, int n,
+               const ComputeContext& ctx = ComputeContext::Default());
+
+/// Y += X @ dequant(W).
+void GemmAccQW(std::span<const float> x, std::span<const BlockQ8_0> w,
+               std::span<float> y, int m, int k, int n,
+               const ComputeContext& ctx = ComputeContext::Default());
+void GemmAccQW(std::span<const float> x, std::span<const BlockQ4_0> w,
+               std::span<float> y, int m, int k, int n,
+               const ComputeContext& ctx = ComputeContext::Default());
+
+/// y += x @ dequant(W), single row — the decode-step shape, with the same
+/// zero-activation stripe skip as GemvAccF16W.
+void GemvAccQW(std::span<const float> x, std::span<const BlockQ8_0> w,
+               std::span<float> y, int k, int n,
+               const ComputeContext& ctx = ComputeContext::Default());
+void GemvAccQW(std::span<const float> x, std::span<const BlockQ4_0> w,
+               std::span<float> y, int k, int n,
+               const ComputeContext& ctx = ComputeContext::Default());
+
+// --- Dtype dispatch over WeightMatrix ---
+// One call site per projection regardless of storage format. Shapes are
+// checked against the matrix ([k, n] == [w.rows(), w.cols()]).
+
+/// Y = X @ W (overwrites Y).
+void GemmSetW(std::span<const float> x, const WeightMatrix& w,
+              std::span<float> y, int m, int k, int n,
+              const ComputeContext& ctx = ComputeContext::Default());
+
+/// Y += X @ W.
+void GemmAccW(std::span<const float> x, const WeightMatrix& w,
+              std::span<float> y, int m, int k, int n,
+              const ComputeContext& ctx = ComputeContext::Default());
+
+/// y += x @ W, single row.
+void GemvAccW(std::span<const float> x, const WeightMatrix& w,
+              std::span<float> y, int k, int n,
+              const ComputeContext& ctx = ComputeContext::Default());
 
 /// In-place numerically-stable softmax over a contiguous row.
 void SoftmaxInPlace(std::span<float> row);

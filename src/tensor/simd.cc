@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "tensor/quant.h"
+
 namespace punica {
 namespace {
 
@@ -43,12 +45,80 @@ void ScaleAddF16Scalar(float* acc, float c, float p, const f16* v,
   for (std::size_t i = 0; i < n; ++i) acc[i] = acc[i] * c + p * v[i].ToFloat();
 }
 
+// --- Scalar quantized-weight kernels ---
+// Element i of a block row decodes as d * q_i; the product is exact in f32
+// (≤ 7 significand bits from the code × 11 from the f16 scale), so the
+// decode below defines the numbers every vector path must reproduce
+// bit-for-bit.
+
+inline float Q8Value(const BlockQ8_0& b, std::size_t e) {
+  return b.scale.ToFloat() * static_cast<float>(b.qs[e]);
+}
+
+inline float Q4Value(const BlockQ4_0& b, std::size_t e) {
+  const std::uint8_t byte = b.qs[e & (kQuantBlock / 2 - 1)];
+  const int code = e < kQuantBlock / 2 ? (byte & 0x0F) : (byte >> 4);
+  return b.scale.ToFloat() * static_cast<float>(code - 8);
+}
+
+void DequantQ8Scalar(const BlockQ8_0* w, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = Q8Value(w[i / kQuantBlock], i % kQuantBlock);
+  }
+}
+
+void DequantQ4Scalar(const BlockQ4_0* w, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = Q4Value(w[i / kQuantBlock], i % kQuantBlock);
+  }
+}
+
+void AxpyQ8Scalar(float a, const BlockQ8_0* w, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += a * Q8Value(w[i / kQuantBlock], i % kQuantBlock);
+  }
+}
+
+void AxpyQ4Scalar(float a, const BlockQ4_0* w, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += a * Q4Value(w[i / kQuantBlock], i % kQuantBlock);
+  }
+}
+
+float DotQ8Scalar(const float* a, const BlockQ8_0* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += a[i] * Q8Value(b[i / kQuantBlock], i % kQuantBlock);
+  }
+  return acc;
+}
+
+float DotQ4Scalar(const float* a, const BlockQ4_0* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += a[i] * Q4Value(b[i / kQuantBlock], i % kQuantBlock);
+  }
+  return acc;
+}
+
 constexpr SimdOps kScalarOps = {
-    SimdLevel::kScalar, "scalar",       HalfToFloatScalar, FloatToHalfScalar,
-    AxpyF32Scalar,      AxpyF16Scalar,  DotF16Scalar,      ScaleAddF16Scalar,
+    .level = SimdLevel::kScalar,
+    .name = "scalar",
+    .half_to_float_n = HalfToFloatScalar,
+    .float_to_half_n = FloatToHalfScalar,
+    .axpy_f32 = AxpyF32Scalar,
+    .axpy_f16 = AxpyF16Scalar,
+    .dot_f16 = DotF16Scalar,
+    .scale_add_f16 = ScaleAddF16Scalar,
+    .dequant_q8 = DequantQ8Scalar,
+    .dequant_q4 = DequantQ4Scalar,
+    .axpy_q8 = AxpyQ8Scalar,
+    .axpy_q4 = AxpyQ4Scalar,
+    .dot_q8 = DotQ8Scalar,
+    .dot_q4 = DotQ4Scalar,
 };
 
-bool CpuSupportsNative() {
+bool CpuSupportsAvx2() {
 #if (defined(__GNUC__) || defined(__clang__)) && \
     (defined(__x86_64__) || defined(__i386__))
   __builtin_cpu_init();
@@ -59,27 +129,59 @@ bool CpuSupportsNative() {
 #endif
 }
 
+bool CpuSupportsAvx512() {
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+  // The TU is compiled with f/bw/vl; gate on all three even though the
+  // kernels only strictly need F, so any instruction the compiler picks
+  // from those sets is safe.
+  return CpuSupportsAvx2() && __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+/// The level's table if its TU was compiled, else nullptr.
+const SimdOps* TableFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &kScalarOps;
+    case SimdLevel::kAvx2:
+      return simd_detail::Avx2OpsOrNull();
+    case SimdLevel::kAvx512:
+      return simd_detail::Avx512OpsOrNull();
+  }
+  return &kScalarOps;
+}
+
+/// Resolves a requested level to the best available one at or below it
+/// (the silent-degradation rule).
 const SimdOps* OpsFor(SimdLevel level) {
-  if (level == SimdLevel::kNative && NativeSimdAvailable()) {
-    return simd_detail::NativeOpsOrNull();
+  for (int l = static_cast<int>(level); l > 0; --l) {
+    const auto candidate = static_cast<SimdLevel>(l);
+    if (SimdLevelAvailable(candidate)) return TableFor(candidate);
   }
   return &kScalarOps;
 }
 
 SimdLevel LevelFromEnv() {
   const char* env = std::getenv("PUNICA_SIMD");
-  // Unset: best available ("native" falls back to scalar below when the TU
-  // is absent or the CPU lacks the features).
-  if (env == nullptr || env[0] == '\0') return SimdLevel::kNative;
+  // Unset (or "native"): best available — request the top tier and let
+  // OpsFor degrade through whatever is missing.
+  if (env == nullptr || env[0] == '\0') return SimdLevel::kAvx512;
   if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
-  if (std::strcmp(env, "native") == 0) return SimdLevel::kNative;
+  if (std::strcmp(env, "avx2") == 0) return SimdLevel::kAvx2;
+  if (std::strcmp(env, "avx512") == 0) return SimdLevel::kAvx512;
+  if (std::strcmp(env, "native") == 0) return SimdLevel::kAvx512;
   // A typo here would silently invert what the pin was for (e.g. a
   // reproduction run landing on the vector kernels) — say so once.
   std::fprintf(stderr,
-               "punica: unrecognized PUNICA_SIMD=\"%s\" (expected \"scalar\" "
-               "or \"native\"); using the default (%s)\n",
-               env, NativeSimdAvailable() ? "native" : "scalar");
-  return SimdLevel::kNative;
+               "punica: unrecognized PUNICA_SIMD=\"%s\" (expected \"scalar\", "
+               "\"avx2\", \"avx512\" or \"native\"); using the default (%s)\n",
+               env, SimdLevelName(BestSimdLevel()));
+  return SimdLevel::kAvx512;
 }
 
 std::atomic<const SimdOps*> g_ops{nullptr};
@@ -101,20 +203,43 @@ const SimdOps& Simd() {
 SimdLevel ActiveSimdLevel() { return Simd().level; }
 
 const char* SimdLevelName(SimdLevel level) {
-  return level == SimdLevel::kNative ? "native" : "scalar";
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
 }
+
+bool SimdLevelCompiled(SimdLevel level) { return TableFor(level) != nullptr; }
+
+bool SimdLevelAvailable(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2: {
+      static const bool ok =
+          SimdLevelCompiled(SimdLevel::kAvx2) && CpuSupportsAvx2();
+      return ok;
+    }
+    case SimdLevel::kAvx512: {
+      static const bool ok =
+          SimdLevelCompiled(SimdLevel::kAvx512) && CpuSupportsAvx512();
+      return ok;
+    }
+  }
+  return false;
+}
+
+SimdLevel BestSimdLevel() { return OpsFor(SimdLevel::kAvx512)->level; }
 
 SimdLevel SetSimdLevel(SimdLevel level) {
   SimdLevel prev = Simd().level;  // forces initial resolution
   g_ops.store(OpsFor(level), std::memory_order_release);
   return prev;
-}
-
-bool NativeSimdCompiled() { return simd_detail::NativeOpsOrNull() != nullptr; }
-
-bool NativeSimdAvailable() {
-  static const bool available = NativeSimdCompiled() && CpuSupportsNative();
-  return available;
 }
 
 }  // namespace punica

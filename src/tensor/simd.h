@@ -1,26 +1,32 @@
 // Runtime-dispatched SIMD primitives for the numeric hot path.
 //
-// Two implementations of one small ops table (SimdOps):
+// Three implementations of one small ops table (SimdOps):
 //  * scalar  — portable C++, compiled everywhere. Bit-identical to the
 //              pre-vectorization kernels (same per-element operation order).
-//  * native  — AVX2+FMA+F16C (src/tensor/simd_avx2.cc), compiled only when
-//              CMake is configured with -DPUNICA_NATIVE_SIMD=ON so every
-//              other translation unit stays portable.
+//  * avx2    — AVX2+FMA+F16C, 256-bit lanes (src/tensor/simd_avx2.cc).
+//  * avx512  — AVX-512 F/BW/VL, 512-bit lanes (src/tensor/simd_avx512.cc).
+// The vector TUs are compiled only when CMake is configured with
+// -DPUNICA_NATIVE_SIMD=ON so every other translation unit stays portable.
 //
-// Selection: cpuid at first use picks native when the TU was compiled AND
-// the CPU reports avx2+fma+f16c; the PUNICA_SIMD=scalar|native environment
-// variable overrides (native silently falls back to scalar when
-// unavailable); SetSimdLevel() swaps the table at runtime for A/B benching
-// and the scalar-vs-native equivalence tests.
+// Selection: cpuid at first use picks the highest level whose TU was
+// compiled AND whose features the CPU reports. The PUNICA_SIMD environment
+// variable overrides: "scalar" | "avx2" | "avx512" pin an explicit level
+// ("native" is an alias for best-available); a pinned level the CPU or
+// build lacks silently degrades to the next available one, so a binary
+// pinned to avx512 still runs (on avx2, then scalar) on older hardware.
+// SetSimdLevel() swaps the table at runtime for A/B benching and the
+// cross-path equivalence tests.
 //
-// Determinism: both paths keep the substrate's contract — the operation
+// Determinism: every path keeps the substrate's contract — the operation
 // order for a given element depends only on its position, never on the
 // thread count. Kernels vectorize across *independent output columns*
 // (axpy/scale_add), so each element's k-reduction stays in ascending order
-// on both paths. Cross-path numerics: f16<->f32 conversions are
-// bit-identical (F16C and the scalar code both round to nearest even);
-// axpy/dot/scale_add differ from scalar by FMA contraction only (the
-// multiply is not rounded separately), plus dot's 8-lane accumulators —
+// on every path. Cross-path numerics: f16<->f32 conversions are
+// bit-identical (F16C, AVX-512 and the scalar code all round to nearest
+// even), and the quantized dequant kernels are bit-identical too (an
+// int8/int4 code times an f16 scale is exact in f32). axpy/dot/scale_add
+// differ from scalar by FMA contraction only (the multiply is not rounded
+// separately), plus dot's fixed 8- or 16-lane accumulator reduction —
 // bounded, documented in README "Performance", and asserted by
 // tests/tensor/simd_test.cc.
 #pragma once
@@ -31,7 +37,14 @@
 
 namespace punica {
 
-enum class SimdLevel { kScalar = 0, kNative = 1 };
+struct BlockQ8_0;
+struct BlockQ4_0;
+
+/// Dispatch tiers, ordered: a higher value strictly extends the ISA of the
+/// one below. Degradation walks downwards.
+enum class SimdLevel { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+inline constexpr int kNumSimdLevels = 3;
 
 /// The dispatch table. One instance per implementation; kernels grab the
 /// active table once per invocation (`const SimdOps& ops = Simd();`) and
@@ -46,18 +59,31 @@ struct SimdOps {
   /// across paths for all non-NaN inputs (NaN payloads may differ).
   void (*float_to_half_n)(const float* src, f16* dst, std::size_t n);
   /// y[0..n) += a * x[0..n)  (exact when a == 1.0f, FMA-contracted
-  /// otherwise on the native path).
+  /// otherwise on the vector paths).
   void (*axpy_f32)(float a, const float* x, float* y, std::size_t n);
   /// y[0..n) += a * decode(x[0..n))  — fused decode + axpy, one pass.
   void (*axpy_f16)(float a, const f16* x, float* y, std::size_t n);
-  /// Σ_i a[i] * decode(b[i]). Native uses 8 lane accumulators reduced in a
-  /// fixed shuffle order — deterministic, but a different summation order
+  /// Σ_i a[i] * decode(b[i]). Vector paths use lane accumulators reduced in
+  /// a fixed shuffle order — deterministic, but a different summation order
   /// than scalar.
   float (*dot_f16)(const float* a, const f16* b, std::size_t n);
   /// acc[0..n) = acc[0..n) * c + p * decode(v[0..n)) — the online-softmax
   /// V accumulation step.
   void (*scale_add_f16)(float* acc, float c, float p, const f16* v,
                         std::size_t n);
+
+  // Groupwise-quantized weight kernels (tensor/quant.h blocks). `w`/`b`
+  // point at the block containing element 0 (callers keep stripe starts
+  // block-aligned); n is in ELEMENTS and may end mid-block.
+  /// dst[0..n) = d * q — EXACT in f32, so bit-identical across paths.
+  void (*dequant_q8)(const BlockQ8_0* w, float* dst, std::size_t n);
+  void (*dequant_q4)(const BlockQ4_0* w, float* dst, std::size_t n);
+  /// y[0..n) += a * dequant(w)[0..n) — fused dequant + axpy, one pass.
+  void (*axpy_q8)(float a, const BlockQ8_0* w, float* y, std::size_t n);
+  void (*axpy_q4)(float a, const BlockQ4_0* w, float* y, std::size_t n);
+  /// Σ_i a[i] * dequant(b)[i], fixed lane-reduction order per path.
+  float (*dot_q8)(const float* a, const BlockQ8_0* b, std::size_t n);
+  float (*dot_q4)(const float* a, const BlockQ4_0* b, std::size_t n);
 };
 
 /// The active table. First call resolves PUNICA_SIMD / cpuid; later calls
@@ -67,14 +93,23 @@ const SimdOps& Simd();
 SimdLevel ActiveSimdLevel();
 const char* SimdLevelName(SimdLevel level);
 
+/// True when the level's translation unit was compiled in (kScalar always;
+/// the vector TUs under CMake -DPUNICA_NATIVE_SIMD=ON on x86).
+bool SimdLevelCompiled(SimdLevel level);
+/// True when the level is compiled AND cpuid reports its features
+/// (avx2+fma+f16c; avx512 additionally f+bw+vl).
+bool SimdLevelAvailable(SimdLevel level);
+/// Highest available level — what "native" and the unset default resolve to.
+SimdLevel BestSimdLevel();
+
 /// Swaps the active table (process-wide). Returns the previously active
-/// level. Requesting kNative when unavailable resolves to kScalar. Not
-/// synchronised against kernels already running on pool workers — switch
-/// between kernel invocations, as the benches and tests do.
+/// level. An unavailable level degrades to the next available one below.
+/// Not synchronised against kernels already running on pool workers —
+/// switch between kernel invocations, as the benches and tests do.
 SimdLevel SetSimdLevel(SimdLevel level);
 
 /// RAII guard forcing a dispatch level for a scope — the seam the
-/// scalar-vs-native equivalence tests and the A/B benches switch on.
+/// cross-path equivalence tests and the A/B benches switch on.
 class ScopedSimdLevel {
  public:
   explicit ScopedSimdLevel(SimdLevel level) : prev_(SetSimdLevel(level)) {}
@@ -86,18 +121,12 @@ class ScopedSimdLevel {
   SimdLevel prev_;
 };
 
-/// True when the AVX2+FMA+F16C translation unit was compiled in
-/// (CMake -DPUNICA_NATIVE_SIMD=ON).
-bool NativeSimdCompiled();
-/// True when the native TU is compiled AND cpuid reports avx2+fma+f16c.
-/// (One-off conversion call sites want the span HalfToFloatN/FloatToHalfN
-/// in tensor/half.h; kernels hoist the table and call through it.)
-bool NativeSimdAvailable();
-
 namespace simd_detail {
-/// Defined by simd_avx2.cc: the native table, or nullptr when that TU was
-/// compiled without PUNICA_NATIVE_SIMD (the portable default).
-const SimdOps* NativeOpsOrNull();
+/// Defined by simd_avx2.cc / simd_avx512.cc: the level's table, or nullptr
+/// when that TU was compiled without PUNICA_NATIVE_SIMD (the portable
+/// default).
+const SimdOps* Avx2OpsOrNull();
+const SimdOps* Avx512OpsOrNull();
 }  // namespace simd_detail
 
 }  // namespace punica

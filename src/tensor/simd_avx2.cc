@@ -1,17 +1,18 @@
-// The native SIMD path: AVX2 + FMA + F16C, 256-bit f32 lanes.
+// The avx2 SIMD path: AVX2 + FMA + F16C, 256-bit f32 lanes.
 //
-// This is the only translation unit in the build that may use the x86
-// vector extensions. CMake compiles it with -mavx2 -mfma -mf16c and defines
+// CMake compiles this TU with -mavx2 -mfma -mf16c and defines
 // PUNICA_NATIVE_SIMD when configured with -DPUNICA_NATIVE_SIMD=ON; in the
 // default portable build the file compiles to a stub returning nullptr and
-// dispatch stays scalar. Runtime cpuid (simd.cc) keeps a native-enabled
-// binary safe on CPUs without the features.
+// dispatch degrades. Runtime cpuid (simd.cc) keeps a vector-enabled binary
+// safe on CPUs without the features. simd_avx512.cc follows the same
+// pattern one tier up.
 //
 // Determinism: every loop below is a fixed sequence for a given (pointer,
 // n) — full 8-lane bodies in ascending order, then a scalar tail (std::fma,
 // matching the vector body's contraction). dot's lane accumulators reduce
 // in one fixed shuffle order. No operation order ever depends on the
-// thread count.
+// thread count. The quantized dequant bodies compute d * q exactly (both
+// factors fit f32), so their output is bit-identical to the scalar path.
 #include "tensor/simd.h"
 
 #if defined(PUNICA_NATIVE_SIMD) && \
@@ -20,6 +21,8 @@
 #include <immintrin.h>
 
 #include <cmath>
+
+#include "tensor/quant.h"
 
 namespace punica {
 namespace {
@@ -67,6 +70,16 @@ void AxpyF16Avx(float a, const f16* x, float* y, std::size_t n) {
   for (; i < n; ++i) y[i] = std::fma(a, x[i].ToFloat(), y[i]);
 }
 
+// Fixed-order horizontal reduction: (lo+hi) pairs, then within the 128-bit
+// half.
+inline float ReduceAdd8(__m256 acc) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(acc),
+                        _mm256_extractf128_ps(acc, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
 float DotF16Avx(const float* a, const f16* b, std::size_t n) {
   __m256 acc = _mm256_setzero_ps();
   std::size_t i = 0;
@@ -74,13 +87,7 @@ float DotF16Avx(const float* a, const f16* b, std::size_t n) {
     __m256 vb = _mm256_cvtph_ps(LoadHalf8(b + i));
     acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), vb, acc);
   }
-  // Fixed-order horizontal reduction: (lo+hi) pairs, then within the 128-bit
-  // half.
-  __m128 s = _mm_add_ps(_mm256_castps256_ps128(acc),
-                        _mm256_extractf128_ps(acc, 1));
-  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
-  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
-  float sum = _mm_cvtss_f32(s);
+  float sum = ReduceAdd8(acc);
   for (; i < n; ++i) sum = std::fma(a[i], b[i].ToFloat(), sum);
   return sum;
 }
@@ -98,23 +105,194 @@ void ScaleAddF16Avx(float* acc, float c, float p, const f16* v,
   for (; i < n; ++i) acc[i] = std::fma(p, v[i].ToFloat(), acc[i] * c);
 }
 
-constexpr SimdOps kNativeOps = {
-    SimdLevel::kNative, "native",    HalfToFloatAvx, FloatToHalfAvx,
-    AxpyF32Avx,         AxpyF16Avx,  DotF16Avx,      ScaleAddF16Avx,
+// --- Quantized-weight kernels ---
+// A Q8_0 block is 4 groups of 8 int8; a Q4_0 block is 4 groups of 8
+// nibbles. Each group decodes to one 256-bit f32 vector: sign-extend to
+// int32, convert, multiply by the broadcast scale (exact — both factors fit
+// f32's significand). Tail elements past the last full block go through the
+// same scalar decode (also exact) with std::fma.
+//
+// dequant_* keep the exact d·q product and are bit-identical to the scalar
+// path. The fused axpy_* instead fold the row activation into the block
+// scale — y += (a·d)·q with one extra rounding on a·d — trading the exact
+// form for one multiply less per 8 lanes; the divergence from the scalar
+// path stays inside the documented dispatch-seam tolerance, and within
+// this path results are a fixed operation sequence, hence bit-stable. The
+// scalar tail of a partial block only ever covers the same absolute
+// elements (tiles are block-aligned), so path determinism survives any
+// tiling.
+
+/// Scale decode via F16C: bit-identical to the software HalfBitsToFloat
+/// (f16 -> f32 is exact for every finite value incl. subnormals) without
+/// the out-of-line call per block.
+inline float ScaleF32(f16 h) {
+  return _mm_cvtss_f32(_mm_cvtph_ps(_mm_cvtsi32_si128(h.bits())));
+}
+
+inline float Q8ValueRef(const BlockQ8_0* w, std::size_t i) {
+  const BlockQ8_0& b = w[i / kQuantBlock];
+  return b.scale.ToFloat() * static_cast<float>(b.qs[i % kQuantBlock]);
+}
+
+inline float Q4ValueRef(const BlockQ4_0* w, std::size_t i) {
+  const BlockQ4_0& b = w[i / kQuantBlock];
+  const std::size_t e = i % kQuantBlock;
+  const std::uint8_t byte = b.qs[e & (kQuantBlock / 2 - 1)];
+  const int code = e < kQuantBlock / 2 ? (byte & 0x0F) : (byte >> 4);
+  return b.scale.ToFloat() * static_cast<float>(code - 8);
+}
+
+/// Decoded f32 vector for elements [8g, 8g+8) of a Q8_0 block (g in 0..3),
+/// before the scale multiply.
+inline __m256 Q8Codes8(const BlockQ8_0& b, int g) {
+  __m128i q8 = _mm_loadl_epi64(
+      reinterpret_cast<const __m128i*>(b.qs + 8 * g));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q8));
+}
+
+/// Decoded f32 vector for elements [8g, 8g+8) of a Q4_0 block (g in 0..3),
+/// before the scale multiply. Byte j holds element j (lo nibble) and
+/// element j+16 (hi nibble).
+inline __m256 Q4Codes8(const BlockQ4_0& b, int g) {
+  __m128i raw = _mm_loadl_epi64(
+      reinterpret_cast<const __m128i*>(b.qs + (g & 1) * 8));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  __m128i nib = g < 2 ? _mm_and_si128(raw, mask)
+                      : _mm_and_si128(_mm_srli_epi16(raw, 4), mask);
+  __m128i codes = _mm_sub_epi8(nib, _mm_set1_epi8(8));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(codes));
+}
+
+void DequantQ8Avx(const BlockQ8_0* w, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kQuantBlock <= n; i += kQuantBlock) {
+    const BlockQ8_0& b = w[i / kQuantBlock];
+    const __m256 vd = _mm256_set1_ps(ScaleF32(b.scale));
+    for (int g = 0; g < 4; ++g) {
+      _mm256_storeu_ps(dst + i + 8 * g, _mm256_mul_ps(Q8Codes8(b, g), vd));
+    }
+  }
+  for (; i < n; ++i) dst[i] = Q8ValueRef(w, i);
+}
+
+void DequantQ4Avx(const BlockQ4_0* w, float* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kQuantBlock <= n; i += kQuantBlock) {
+    const BlockQ4_0& b = w[i / kQuantBlock];
+    const __m256 vd = _mm256_set1_ps(ScaleF32(b.scale));
+    for (int g = 0; g < 4; ++g) {
+      _mm256_storeu_ps(dst + i + 8 * g, _mm256_mul_ps(Q4Codes8(b, g), vd));
+    }
+  }
+  for (; i < n; ++i) dst[i] = Q4ValueRef(w, i);
+}
+
+void AxpyQ8Avx(float a, const BlockQ8_0* w, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kQuantBlock <= n; i += kQuantBlock) {
+    const BlockQ8_0& b = w[i / kQuantBlock];
+    // Keep the streamed weight blocks a few cache lines ahead of the
+    // decode: the cvt/FMA work between block loads is long enough that
+    // demand misses stop overlapping when w does not fit cache.
+    _mm_prefetch(reinterpret_cast<const char*>(&b) + 256, _MM_HINT_T0);
+    const __m256 vf = _mm256_set1_ps(a * ScaleF32(b.scale));
+    for (int g = 0; g < 4; ++g) {
+      __m256 vq = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(b.qs + 8 * g))));
+      __m256 vy = _mm256_loadu_ps(y + i + 8 * g);
+      _mm256_storeu_ps(y + i + 8 * g, _mm256_fmadd_ps(vf, vq, vy));
+    }
+  }
+  for (; i < n; ++i) y[i] = std::fma(a, Q8ValueRef(w, i), y[i]);
+}
+
+void AxpyQ4Avx(float a, const BlockQ4_0* w, float* y, std::size_t n) {
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  const __m128i bias = _mm_set1_epi8(8);
+  std::size_t i = 0;
+  for (; i + kQuantBlock <= n; i += kQuantBlock) {
+    const BlockQ4_0& b = w[i / kQuantBlock];
+    _mm_prefetch(reinterpret_cast<const char*>(&b) + 256, _MM_HINT_T0);
+    const __m256 vf = _mm256_set1_ps(a * ScaleF32(b.scale));
+    // One 16-byte load decodes the whole block: lo nibbles are elements
+    // 0..15, hi nibbles elements 16..31.
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.qs));
+    const __m128i lo = _mm_sub_epi8(_mm_and_si128(raw, mask), bias);
+    const __m128i hi = _mm_sub_epi8(
+        _mm_and_si128(_mm_srli_epi16(raw, 4), mask), bias);
+    const __m128i grp[4] = {lo, _mm_srli_si128(lo, 8), hi,
+                            _mm_srli_si128(hi, 8)};
+    for (int g = 0; g < 4; ++g) {
+      __m256 vq = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(grp[g]));
+      __m256 vy = _mm256_loadu_ps(y + i + 8 * g);
+      _mm256_storeu_ps(y + i + 8 * g, _mm256_fmadd_ps(vf, vq, vy));
+    }
+  }
+  for (; i < n; ++i) y[i] = std::fma(a, Q4ValueRef(w, i), y[i]);
+}
+
+float DotQ8Avx(const float* a, const BlockQ8_0* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kQuantBlock <= n; i += kQuantBlock) {
+    const BlockQ8_0& blk = b[i / kQuantBlock];
+    const __m256 vd = _mm256_set1_ps(ScaleF32(blk.scale));
+    for (int g = 0; g < 4; ++g) {
+      __m256 vw = _mm256_mul_ps(Q8Codes8(blk, g), vd);
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8 * g), vw, acc);
+    }
+  }
+  float sum = ReduceAdd8(acc);
+  for (; i < n; ++i) sum = std::fma(a[i], Q8ValueRef(b, i), sum);
+  return sum;
+}
+
+float DotQ4Avx(const float* a, const BlockQ4_0* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kQuantBlock <= n; i += kQuantBlock) {
+    const BlockQ4_0& blk = b[i / kQuantBlock];
+    const __m256 vd = _mm256_set1_ps(ScaleF32(blk.scale));
+    for (int g = 0; g < 4; ++g) {
+      __m256 vw = _mm256_mul_ps(Q4Codes8(blk, g), vd);
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8 * g), vw, acc);
+    }
+  }
+  float sum = ReduceAdd8(acc);
+  for (; i < n; ++i) sum = std::fma(a[i], Q4ValueRef(b, i), sum);
+  return sum;
+}
+
+constexpr SimdOps kAvx2Ops = {
+    .level = SimdLevel::kAvx2,
+    .name = "avx2",
+    .half_to_float_n = HalfToFloatAvx,
+    .float_to_half_n = FloatToHalfAvx,
+    .axpy_f32 = AxpyF32Avx,
+    .axpy_f16 = AxpyF16Avx,
+    .dot_f16 = DotF16Avx,
+    .scale_add_f16 = ScaleAddF16Avx,
+    .dequant_q8 = DequantQ8Avx,
+    .dequant_q4 = DequantQ4Avx,
+    .axpy_q8 = AxpyQ8Avx,
+    .axpy_q4 = AxpyQ4Avx,
+    .dot_q8 = DotQ8Avx,
+    .dot_q4 = DotQ4Avx,
 };
 
 }  // namespace
 
 namespace simd_detail {
-const SimdOps* NativeOpsOrNull() { return &kNativeOps; }
+const SimdOps* Avx2OpsOrNull() { return &kAvx2Ops; }
 }  // namespace simd_detail
 
 }  // namespace punica
 
-#else  // portable build: no native table
+#else  // portable build: no avx2 table
 
 namespace punica::simd_detail {
-const SimdOps* NativeOpsOrNull() { return nullptr; }
+const SimdOps* Avx2OpsOrNull() { return nullptr; }
 }  // namespace punica::simd_detail
 
 #endif

@@ -147,6 +147,27 @@ TEST(CostModelTest, KvCapacityPositiveAndOrdered) {
   EXPECT_LT(cap7, 300000);
 }
 
+TEST(CostModelTest, QuantizedWeightsFreeKvCapacity) {
+  // Capacity accounting is weight-bytes-aware: q4 weights occupy ~4× less
+  // HBM than f16, so the same card holds strictly more KvCache tokens.
+  CostModel cm = Cm();
+  LlamaConfig f16c = Llama7B();
+  LlamaConfig q8c = Llama7B();
+  q8c.weight_dtype = WeightDtype::kQ8_0;
+  LlamaConfig q4c = Llama7B();
+  q4c.weight_dtype = WeightDtype::kQ4_0;
+  std::int64_t cap_f16 = cm.KvCacheCapacityTokens(f16c);
+  std::int64_t cap_q8 = cm.KvCacheCapacityTokens(q8c);
+  std::int64_t cap_q4 = cm.KvCacheCapacityTokens(q4c);
+  EXPECT_GT(cap_q8, cap_f16);
+  EXPECT_GT(cap_q4, cap_q8);
+  // 70B f16 (~140 GB) cannot fit one 80 GB card; q4 (~39 GB) can.
+  LlamaConfig big_q4 = Llama70B();
+  big_q4.weight_dtype = WeightDtype::kQ4_0;
+  EXPECT_EQ(cm.KvCacheCapacityTokens(Llama70B(), 1), 0);
+  EXPECT_GT(cm.KvCacheCapacityTokens(big_q4, 1), 0);
+}
+
 TEST(CostModelTest, Kv70BNeedsTensorParallelism) {
   CostModel cm(A100Sxm40GB());
   EXPECT_EQ(cm.KvCacheCapacityTokens(Llama70B(), 1), 0);  // does not fit

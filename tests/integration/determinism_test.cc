@@ -55,11 +55,16 @@ const std::vector<Req>& Scenario() {
 /// returning every request's streamed tokens. `prefix_cache` toggles the
 /// shared-prefix KV cache on the engines; `hit_tokens` (optional)
 /// accumulates the cache hits actually realized; `max_step_tokens` chunks
-/// prefills under a per-step token budget (0 = unchunked).
+/// prefills under a per-step token budget (0 = unchunked); `dtype` selects
+/// the backbone weight storage (quantized backbones must uphold the same
+/// bit-identity contract as f16).
 std::vector<std::vector<std::int32_t>> RunScenario(
     const ComputeContext& ctx, bool prefix_cache = true,
-    std::int64_t* hit_tokens = nullptr, std::int64_t max_step_tokens = 0) {
-  LlamaModel model(TinyLlama(), 2024, &ctx);
+    std::int64_t* hit_tokens = nullptr, std::int64_t max_step_tokens = 0,
+    WeightDtype dtype = WeightDtype::kF16) {
+  LlamaConfig config = TinyLlama();
+  config.weight_dtype = dtype;
+  LlamaModel model(config, 2024, &ctx);
   model.AddLora(0, 8, 1);
   model.AddLora(1, 8, 2);
   model.AddLora(2, 4, 3);
@@ -155,14 +160,48 @@ TEST(DeterminismTest, TokenStreamsBitIdenticalAcrossThreadCountsScalarSimd) {
   ExpectStreamsBitIdenticalAcrossThreadCounts();
 }
 
-TEST(DeterminismTest, TokenStreamsBitIdenticalAcrossThreadCountsNativeSimd) {
+TEST(DeterminismTest, TokenStreamsBitIdenticalAcrossThreadCountsVectorSimd) {
   // The vectorized kernels must uphold the same contract: vector-across-
   // columns keeps each element's reduction order fixed, so thread count
-  // still never changes a bit. Skipped (not silently passed) when the
-  // native TU isn't in the build — the Release CI job compiles it in.
-  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
-  ScopedSimdLevel guard(SimdLevel::kNative);
-  ExpectStreamsBitIdenticalAcrossThreadCounts();
+  // still never changes a bit. Every compiled-and-runnable vector level
+  // (avx2, avx512) is swept; skipped (not silently passed) when none is in
+  // the build — the Release CI job compiles them in.
+  bool any = false;
+  for (int l = 1; l < kNumSimdLevels; ++l) {
+    auto level = static_cast<SimdLevel>(l);
+    if (!SimdLevelAvailable(level)) continue;
+    any = true;
+    SCOPED_TRACE(SimdLevelName(level));
+    ScopedSimdLevel guard(level);
+    ExpectStreamsBitIdenticalAcrossThreadCounts();
+  }
+  if (!any) GTEST_SKIP() << "no vector SIMD available";
+}
+
+TEST(DeterminismTest, QuantStreamsBitIdenticalAcrossThreadCountsAllLevels) {
+  // The quantized backbones inherit the full determinism contract: for
+  // every (weight dtype, dispatch path), streams are bit-identical at any
+  // thread count. Cross-dtype and cross-path streams MAY differ — the
+  // contract is per (dtype, path), matching the f16 per-path contract.
+  for (WeightDtype dtype : {WeightDtype::kQ8_0, WeightDtype::kQ4_0}) {
+    for (int l = 0; l < kNumSimdLevels; ++l) {
+      auto level = static_cast<SimdLevel>(l);
+      if (!SimdLevelAvailable(level)) continue;
+      SCOPED_TRACE(std::string(WeightDtypeName(dtype)) + "/" +
+                   SimdLevelName(level));
+      ScopedSimdLevel guard(level);
+      ComputeContext ctx1({.num_threads = 1});
+      ComputeContext ctx4({.num_threads = 4});
+      auto s1 = RunScenario(ctx1, /*prefix_cache=*/true, nullptr, 0, dtype);
+      auto s4 = RunScenario(ctx4, /*prefix_cache=*/true, nullptr, 0, dtype);
+      ASSERT_EQ(s1.size(), Scenario().size());
+      for (std::size_t i = 0; i < s1.size(); ++i) {
+        EXPECT_FALSE(s1[i].empty()) << "request " << i << " emitted nothing";
+        EXPECT_EQ(s1[i], s4[i])
+            << "request " << i << " diverged between 1 and 4 threads";
+      }
+    }
+  }
 }
 
 /// The shared-prefix contract: a prefix-hit stream must be bit-identical to
@@ -195,9 +234,11 @@ TEST(DeterminismTest, PrefixHitStreamsBitIdenticalToColdStartScalarSimd) {
   ExpectPrefixHitStreamsEqualColdStreams();
 }
 
-TEST(DeterminismTest, PrefixHitStreamsBitIdenticalToColdStartNativeSimd) {
-  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
-  ScopedSimdLevel guard(SimdLevel::kNative);
+TEST(DeterminismTest, PrefixHitStreamsBitIdenticalToColdStartVectorSimd) {
+  if (BestSimdLevel() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no vector SIMD available";
+  }
+  ScopedSimdLevel guard(BestSimdLevel());
   ExpectPrefixHitStreamsEqualColdStreams();
 }
 
@@ -234,9 +275,11 @@ TEST(DeterminismTest, ChunkedPrefillStreamsBitIdenticalToUnchunkedScalarSimd) {
   ExpectChunkedStreamsEqualUnchunked();
 }
 
-TEST(DeterminismTest, ChunkedPrefillStreamsBitIdenticalToUnchunkedNativeSimd) {
-  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
-  ScopedSimdLevel guard(SimdLevel::kNative);
+TEST(DeterminismTest, ChunkedPrefillStreamsBitIdenticalToUnchunkedVectorSimd) {
+  if (BestSimdLevel() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no vector SIMD available";
+  }
+  ScopedSimdLevel guard(BestSimdLevel());
   ExpectChunkedStreamsEqualUnchunked();
 }
 
@@ -330,9 +373,11 @@ TEST(DeterminismTest, OpenLoopServingDeterministicScalarSimd) {
   ExpectOpenLoopServingDeterministicAcrossThreadCounts();
 }
 
-TEST(DeterminismTest, OpenLoopServingDeterministicNativeSimd) {
-  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
-  ScopedSimdLevel guard(SimdLevel::kNative);
+TEST(DeterminismTest, OpenLoopServingDeterministicVectorSimd) {
+  if (BestSimdLevel() == SimdLevel::kScalar) {
+    GTEST_SKIP() << "no vector SIMD available";
+  }
+  ScopedSimdLevel guard(BestSimdLevel());
   ExpectOpenLoopServingDeterministicAcrossThreadCounts();
 }
 

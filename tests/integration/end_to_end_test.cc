@@ -126,18 +126,24 @@ TEST(EndToEndTest, ContinuousBatchingAdmitsMidFlight) {
 
 TEST(EndToEndTest, EngineWideEosStopsEarly) {
   TestHarness h;
-  // Find what the model emits, then set EOS to the second token so the
-  // request stops after two tokens — through the engine-wide default.
+  // Find what the model emits, then set EOS to the first token that
+  // differs from the opener (streams may repeat a token) so the request
+  // stops exactly there — through the engine-wide default.
   auto free_run = h.SoloGenerate(0, {7, 7}, 6);
+  std::size_t stop_at = 1;
+  while (stop_at < free_run.size() && free_run[stop_at] == free_run[0]) {
+    ++stop_at;
+  }
+  ASSERT_LT(stop_at, free_run.size());
   EngineConfig cfg;
   cfg.max_batch_size = 4;
-  cfg.eos_token = free_run[1];
+  cfg.eos_token = free_run[stop_at];
   Engine engine(&h.model, h.model.MakeKvConfig(256), cfg);
   RequestHandle id = engine.AddRequest(
       {.lora = 0, .prompt_tokens = {7, 7}, .max_new_tokens = 6});
   while (engine.HasWork()) engine.Step();
-  EXPECT_EQ(engine.Output(id)->size(), 2u);
-  EXPECT_EQ(engine.Output(id)->back(), free_run[1]);
+  EXPECT_EQ(engine.Output(id)->size(), stop_at + 1);
+  EXPECT_EQ(engine.Output(id)->back(), free_run[stop_at]);
 }
 
 TEST(EndToEndTest, FcfsQueueDrainsEverything) {

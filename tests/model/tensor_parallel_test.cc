@@ -69,6 +69,70 @@ TEST(ShardLayerTest, ShardsPartitionTheFullMatrix) {
   }
 }
 
+TEST(ShardLayerTest, QuantizedShardsKeepDtypeAndScaledBytes) {
+  // The master weights stay f16; ShardLayer slices the f16 tensor and
+  // quantizes each shard to config.weight_dtype (shard-local blocks).
+  LlamaConfig c = TinyLlama();
+  c.weight_dtype = WeightDtype::kQ8_0;
+  LayerWeights full = LayerWeights::Random(TinyLlama(), 5);
+  TpShardedLayer sharded = ShardLayer(c, full, 2);
+  ASSERT_EQ(sharded.ranks.size(), 2u);
+  for (const auto& rank : sharded.ranks) {
+    for (int p = 0; p < kNumProj; ++p) {
+      EXPECT_EQ(rank.proj[p].dtype(), WeightDtype::kQ8_0);
+    }
+    // Column-sharded Gate keeps block-multiple rows: bytes halve exactly.
+    const auto& gate = rank.proj[static_cast<int>(Proj::kGate)];
+    EXPECT_EQ(gate.byte_size(),
+              WeightBytesFor(c.hidden_size * c.ffn_hidden / 2,
+                             WeightDtype::kQ8_0));
+  }
+  // The per-rank accounting helper scales with the dtype too.
+  EXPECT_LT(RankLayerBytes(c, 2), RankLayerBytes(TinyLlama(), 2));
+}
+
+TEST(TpEquivalenceTest, QuantizedShardsMatchF16WithinQuantTolerance) {
+  // Shards quantize their own column/row slices (block boundaries differ
+  // from the full matrix), so the TP forward is only close to — not
+  // bit-equal with — the single-GPU f16 forward. The gap must stay at the
+  // q8 quantization noise floor.
+  LlamaConfig f16c = TinyLlama();
+  LlamaConfig qc = TinyLlama();
+  qc.weight_dtype = WeightDtype::kQ8_0;
+  LayerWeights full_f16 = LayerWeights::Random(f16c, 17);
+  TpShardedLayer sharded = ShardLayer(qc, full_f16, 2);
+
+  auto setup = [&](PagedKvCache& kv, ModelBatch* batch) {
+    SeqId s = kv.CreateSequence();
+    EXPECT_TRUE(kv.Extend(s, 3));
+    *batch = ModelBatch::Build({{.seq = s, .lora = -1, .num_tokens = 3,
+                                 .pos_offset = 0, .is_prefill = true}});
+  };
+  Pcg32 rng(9);
+  auto h = static_cast<std::size_t>(f16c.hidden_size);
+  auto x0 = RandomGaussianVector(3 * h, 1.0f, rng);
+
+  PagedKvCache kv_ref(KvCfg(f16c));
+  ModelBatch batch_ref;
+  setup(kv_ref, &batch_ref);
+  auto x_ref = x0;
+  std::vector<const LoraModelWeights*> no_lora(
+      static_cast<std::size_t>(batch_ref.segments.num_segments()), nullptr);
+  LayerWorkspace ws;
+  ws.Resize(f16c, 3, 1);
+  LayerForward(f16c, full_f16, no_lora, batch_ref, 0, kv_ref, x_ref, ws);
+
+  PagedKvCache kv_tp(KvCfg(qc));
+  ModelBatch batch_tp;
+  setup(kv_tp, &batch_tp);
+  auto x_tp = x0;
+  TpLayerForward(qc, sharded, batch_tp, 0, kv_tp, x_tp);
+
+  for (std::size_t i = 0; i < x_ref.size(); ++i) {
+    ASSERT_NEAR(x_tp[i], x_ref[i], 5e-2f) << "activation " << i;
+  }
+}
+
 struct TpCase {
   LlamaConfig config;
   int tp;

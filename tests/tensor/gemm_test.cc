@@ -146,14 +146,18 @@ TEST(GemmEdgeTest, NonMultipleOfTileSizes) {
     GemmAccF16W(x, w, y, m, k, n);
     for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], ref[i]);
   }
-  if (NativeSimdAvailable()) {
-    // Native differs only by FMA contraction (one rounding per multiply);
-    // the dispatch-seam tolerance is asserted tightly in simd_test.cc.
-    ScopedSimdLevel native(SimdLevel::kNative);
+  for (int l = 1; l < kNumSimdLevels; ++l) {
+    auto level = static_cast<SimdLevel>(l);
+    if (!SimdLevelAvailable(level)) continue;
+    // Vector paths differ only by FMA contraction (one rounding per
+    // multiply); the dispatch-seam tolerance is asserted tightly in
+    // simd_test.cc.
+    ScopedSimdLevel guard(level);
     std::vector<float> y(ref.size(), 0.0f);
     GemmAccF16W(x, w, y, m, k, n);
     for (std::size_t i = 0; i < y.size(); ++i) {
-      EXPECT_NEAR(y[i], ref[i], 1e-4f * (1.0f + std::abs(ref[i])));
+      EXPECT_NEAR(y[i], ref[i], 1e-4f * (1.0f + std::abs(ref[i])))
+          << SimdLevelName(level);
     }
   }
 }

@@ -1,10 +1,11 @@
 // The SIMD dispatch seam: level resolution/override, bit-exactness of the
-// f16<->f32 bulk conversions across paths, and the scalar-vs-native
-// kernel-equivalence suite with the documented tolerance (bit-identical
-// where no FMA reassociation is involved, bounded FMA-contraction drift
-// elsewhere). When the native TU isn't compiled in (or the CPU lacks
-// avx2+fma+f16c), the cross-path tests skip — the Release CI job builds
-// with -DPUNICA_NATIVE_SIMD=ON so they run there.
+// f16<->f32 bulk conversions and groupwise dequant across paths, and the
+// scalar-vs-vector kernel-equivalence suite with the documented tolerance
+// (bit-identical where no FMA reassociation is involved, bounded
+// FMA-contraction drift elsewhere). Every compiled-and-runnable level is
+// swept; when the vector TUs aren't compiled in (or the CPU lacks the
+// feature set), the cross-path tests skip — the Release CI job builds with
+// -DPUNICA_NATIVE_SIMD=ON so they run there.
 #include "tensor/simd.h"
 
 #include <gtest/gtest.h>
@@ -12,6 +13,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "model/attention.h"
 #include "model/config.h"
 #include "tensor/gemm.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "util/compute_context.h"
 #include "util/rng.h"
@@ -28,7 +31,24 @@ namespace punica {
 namespace {
 
 bool IsNanHalf(std::uint16_t bits) {
-  return (bits & 0x7C00U) == 0x7C00U && (bits & 0x3FFU) != 0;
+  return (bits & 0x7C00U) == 0x7C00U && (bits & 0x3FFUL) != 0;
+}
+
+/// Every level that can actually run on this build+CPU, ascending.
+std::vector<SimdLevel> AvailableLevels() {
+  std::vector<SimdLevel> out;
+  for (int l = 0; l < kNumSimdLevels; ++l) {
+    auto level = static_cast<SimdLevel>(l);
+    if (SimdLevelAvailable(level)) out.push_back(level);
+  }
+  return out;
+}
+
+/// Vector levels (everything above scalar) that can run here.
+std::vector<SimdLevel> AvailableVectorLevels() {
+  auto levels = AvailableLevels();
+  levels.erase(levels.begin());  // scalar is always index 0
+  return levels;
 }
 
 TEST(SimdDispatchTest, ScalarAlwaysSelectable) {
@@ -37,16 +57,10 @@ TEST(SimdDispatchTest, ScalarAlwaysSelectable) {
   EXPECT_STREQ(Simd().name, "scalar");
 }
 
-TEST(SimdDispatchTest, NativeSelectionFallsBackWhenUnavailable) {
-  ScopedSimdLevel guard(SimdLevel::kNative);
-  if (NativeSimdAvailable()) {
-    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kNative);
-    EXPECT_STREQ(Simd().name, "native");
-  } else {
-    // Requesting native without the TU/CPU support degrades to scalar
-    // rather than crashing — the PUNICA_SIMD=native-on-old-hardware case.
-    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
-  }
+TEST(SimdDispatchTest, LevelNames) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx512), "avx512");
 }
 
 TEST(SimdDispatchTest, SetSimdLevelReturnsPrevious) {
@@ -57,19 +71,43 @@ TEST(SimdDispatchTest, SetSimdLevelReturnsPrevious) {
   EXPECT_EQ(ActiveSimdLevel(), ambient);
 }
 
-TEST(SimdDispatchTest, LevelNames) {
-  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
-  EXPECT_STREQ(SimdLevelName(SimdLevel::kNative), "native");
+TEST(SimdDispatchTest, AvailabilityImpliesCompiled) {
+  for (int l = 0; l < kNumSimdLevels; ++l) {
+    auto level = static_cast<SimdLevel>(l);
+    if (SimdLevelAvailable(level)) EXPECT_TRUE(SimdLevelCompiled(level));
+  }
 }
 
-TEST(SimdDispatchTest, AvailabilityImpliesCompiled) {
-  if (NativeSimdAvailable()) EXPECT_TRUE(NativeSimdCompiled());
+TEST(SimdDispatchTest, BestLevelIsTheHighestAvailable) {
+  EXPECT_TRUE(SimdLevelAvailable(BestSimdLevel()));
+  for (int l = static_cast<int>(BestSimdLevel()) + 1; l < kNumSimdLevels;
+       ++l) {
+    EXPECT_FALSE(SimdLevelAvailable(static_cast<SimdLevel>(l)));
+  }
+}
+
+TEST(SimdDispatchTest, RequestsDegradeToNearestAvailableLevel) {
+  // Requesting any level resolves to the highest available level at or
+  // below it — the PUNICA_SIMD=avx512-on-an-avx2-box case degrades
+  // silently rather than crashing.
+  for (int req = 0; req < kNumSimdLevels; ++req) {
+    SimdLevel expected = SimdLevel::kScalar;
+    for (int l = req; l > 0; --l) {
+      if (SimdLevelAvailable(static_cast<SimdLevel>(l))) {
+        expected = static_cast<SimdLevel>(l);
+        break;
+      }
+    }
+    ScopedSimdLevel guard(static_cast<SimdLevel>(req));
+    EXPECT_EQ(ActiveSimdLevel(), expected) << "requested level " << req;
+    EXPECT_STREQ(Simd().name, SimdLevelName(expected));
+  }
 }
 
 // --- Conversion bit-exactness across dispatch paths ---
 
 TEST(SimdConversionTest, HalfToFloatBitIdenticalForAllNonNanPatterns) {
-  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
+  if (AvailableVectorLevels().empty()) GTEST_SKIP() << "no vector SIMD";
   std::vector<f16> src;
   src.reserve(1 << 16);
   for (std::uint32_t bits = 0; bits < (1U << 16); ++bits) {
@@ -79,24 +117,26 @@ TEST(SimdConversionTest, HalfToFloatBitIdenticalForAllNonNanPatterns) {
     if (IsNanHalf(b16)) continue;
     src.push_back(f16::FromBits(b16));
   }
-  std::vector<float> scalar_out(src.size()), native_out(src.size());
+  std::vector<float> scalar_out(src.size());
   {
     ScopedSimdLevel guard(SimdLevel::kScalar);
     HalfToFloatN(src, std::span<float>(scalar_out));
   }
-  {
-    ScopedSimdLevel guard(SimdLevel::kNative);
-    HalfToFloatN(src, std::span<float>(native_out));
-  }
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    ASSERT_EQ(std::bit_cast<std::uint32_t>(scalar_out[i]),
-              std::bit_cast<std::uint32_t>(native_out[i]))
-        << "half bits 0x" << std::hex << src[i].bits();
+  for (SimdLevel level : AvailableVectorLevels()) {
+    std::vector<float> vec_out(src.size());
+    ScopedSimdLevel guard(level);
+    HalfToFloatN(src, std::span<float>(vec_out));
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(scalar_out[i]),
+                std::bit_cast<std::uint32_t>(vec_out[i]))
+          << SimdLevelName(level) << ": half bits 0x" << std::hex
+          << src[i].bits();
+    }
   }
 }
 
 TEST(SimdConversionTest, FloatToHalfBitIdenticalAcrossPaths) {
-  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
+  if (AvailableVectorLevels().empty()) GTEST_SKIP() << "no vector SIMD";
   // Every rounding regime: exact halves, perturbed neighbours (round up /
   // down / to-even ties), fp16 subnormals, underflow, overflow, ±0, ±inf.
   std::vector<float> src;
@@ -120,46 +160,115 @@ TEST(SimdConversionTest, FloatToHalfBitIdenticalAcrossPaths) {
   // Drop NaNs produced by nudging infinity's bit pattern.
   std::erase_if(src, [](float v) { return std::isnan(v); });
 
-  std::vector<f16> scalar_out(src.size()), native_out(src.size());
+  std::vector<f16> scalar_out(src.size());
   {
     ScopedSimdLevel guard(SimdLevel::kScalar);
     FloatToHalfN(src, std::span<f16>(scalar_out));
   }
-  {
-    ScopedSimdLevel guard(SimdLevel::kNative);
-    FloatToHalfN(src, std::span<f16>(native_out));
-  }
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    ASSERT_EQ(scalar_out[i].bits(), native_out[i].bits())
-        << "float " << src[i] << " (bits 0x" << std::hex
-        << std::bit_cast<std::uint32_t>(src[i]) << ")";
-  }
-}
-
-TEST(SimdConversionTest, OddLengthsExerciseVectorBodyAndTail) {
-  // Lengths straddling the 8-lane width, on whatever path is active.
-  Pcg32 rng(9);
-  for (std::size_t n : {0U, 1U, 7U, 8U, 9U, 16U, 17U, 31U}) {
-    auto xs = RandomGaussianVector(n, 2.0f, rng);
-    std::vector<f16> h(n);
-    std::vector<float> back(n);
-    FloatToHalfN(xs, std::span<f16>(h));
-    HalfToFloatN(h, std::span<float>(back));
-    for (std::size_t i = 0; i < n; ++i) {
-      ASSERT_EQ(h[i].bits(), FloatToHalfBits(xs[i])) << n << ":" << i;
-      ASSERT_EQ(back[i], f16::FromBits(h[i].bits()).ToFloat());
+  for (SimdLevel level : AvailableVectorLevels()) {
+    std::vector<f16> vec_out(src.size());
+    ScopedSimdLevel guard(level);
+    FloatToHalfN(src, std::span<f16>(vec_out));
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      ASSERT_EQ(scalar_out[i].bits(), vec_out[i].bits())
+          << SimdLevelName(level) << ": float " << src[i] << " (bits 0x"
+          << std::hex << std::bit_cast<std::uint32_t>(src[i]) << ")";
     }
   }
 }
 
-// --- Scalar-vs-native kernel equivalence ---
+TEST(SimdConversionTest, OddLengthsExerciseVectorBodyAndTail) {
+  // Lengths straddling the 8- and 16-lane widths, on every available path.
+  Pcg32 rng(9);
+  for (SimdLevel level : AvailableLevels()) {
+    ScopedSimdLevel guard(level);
+    for (std::size_t n : {0U, 1U, 7U, 8U, 9U, 15U, 16U, 17U, 31U, 33U}) {
+      auto xs = RandomGaussianVector(n, 2.0f, rng);
+      std::vector<f16> h(n);
+      std::vector<float> back(n);
+      FloatToHalfN(xs, std::span<f16>(h));
+      HalfToFloatN(h, std::span<float>(back));
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(h[i].bits(), FloatToHalfBits(xs[i]))
+            << SimdLevelName(level) << " " << n << ":" << i;
+        ASSERT_EQ(back[i], f16::FromBits(h[i].bits()).ToFloat());
+      }
+    }
+  }
+}
+
+// --- Groupwise dequant bit-exactness across dispatch paths ---
 //
-// Documented cross-path tolerance: the native path fuses each
-// multiply-accumulate (no separate rounding of the product) and dot_f16
-// reduces 8 lane accumulators in a fixed order, so outputs drift by at
-// most a few ULPs per reduction term. The bound below is loose against
-// that model and tight against a real bug (a wrong element, stripe or sign
-// is orders of magnitude larger).
+// int8/int4 code × f16 scale is exact in f32 arithmetic (≤7+11 significand
+// bits), so dequant output must be bit-identical on every path — including
+// block tails when n is not a multiple of kQuantBlock.
+
+TEST(SimdQuantTest, DequantQ8BitIdenticalAcrossPaths) {
+  Pcg32 rng(31);
+  for (std::size_t n : {1U, 31U, 32U, 33U, 64U, 97U, 256U}) {
+    auto xs = RandomGaussianVector(n, 3.0f, rng);
+    std::vector<BlockQ8_0> blocks(QuantBlocksPerRow(
+        static_cast<std::int64_t>(n)));
+    QuantizeRowQ8(xs, blocks.data());
+    std::vector<float> ref(n);
+    {
+      ScopedSimdLevel guard(SimdLevel::kScalar);
+      Simd().dequant_q8(blocks.data(), ref.data(), n);
+    }
+    std::vector<float> ref2(n);
+    DequantRowQ8Ref(blocks.data(), ref2);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(ref[i], ref2[i]);
+    for (SimdLevel level : AvailableVectorLevels()) {
+      std::vector<float> out(n);
+      ScopedSimdLevel guard(level);
+      Simd().dequant_q8(blocks.data(), out.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(ref[i]),
+                  std::bit_cast<std::uint32_t>(out[i]))
+            << SimdLevelName(level) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdQuantTest, DequantQ4BitIdenticalAcrossPaths) {
+  Pcg32 rng(32);
+  for (std::size_t n : {1U, 15U, 16U, 17U, 31U, 32U, 33U, 96U, 257U}) {
+    auto xs = RandomGaussianVector(n, 3.0f, rng);
+    std::vector<BlockQ4_0> blocks(QuantBlocksPerRow(
+        static_cast<std::int64_t>(n)));
+    QuantizeRowQ4(xs, blocks.data());
+    std::vector<float> ref(n);
+    {
+      ScopedSimdLevel guard(SimdLevel::kScalar);
+      Simd().dequant_q4(blocks.data(), ref.data(), n);
+    }
+    std::vector<float> ref2(n);
+    DequantRowQ4Ref(blocks.data(), ref2);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(ref[i], ref2[i]);
+    for (SimdLevel level : AvailableVectorLevels()) {
+      std::vector<float> out(n);
+      ScopedSimdLevel guard(level);
+      Simd().dequant_q4(blocks.data(), out.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(ref[i]),
+                  std::bit_cast<std::uint32_t>(out[i]))
+            << SimdLevelName(level) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// --- Scalar-vs-vector kernel equivalence ---
+//
+// Documented cross-path tolerance: the vector paths fuse each
+// multiply-accumulate (no separate rounding of the product) and the dot
+// kernels reduce their lane accumulators in a fixed order, so outputs
+// drift by at most a few ULPs per reduction term. The bound below is loose
+// against that model and tight against a real bug (a wrong element, stripe
+// or sign is orders of magnitude larger). The quant kernels compare the
+// SAME quantized blocks across paths, so quantization error cancels and
+// only FMA-contraction drift remains.
 constexpr float kPathTolerance = 2e-4f;
 
 bool WithinPathTolerance(float a, float b) {
@@ -172,6 +281,12 @@ enum class KernelUnderTest {
   kGemmAccF16W,
   kGemmSetF32,
   kGemvAccF16W,
+  kGemmSetQ8W,
+  kGemmAccQ8W,
+  kGemvAccQ8W,
+  kGemmSetQ4W,
+  kGemmAccQ4W,
+  kGemvAccQ4W,
   kSgmvShrink,
   kSgmvExpand,
   kPrefillAttention,
@@ -184,12 +299,28 @@ const char* KernelName(KernelUnderTest k) {
     case KernelUnderTest::kGemmAccF16W: return "GemmAccF16W";
     case KernelUnderTest::kGemmSetF32: return "GemmSetF32";
     case KernelUnderTest::kGemvAccF16W: return "GemvAccF16W";
+    case KernelUnderTest::kGemmSetQ8W: return "GemmSetQ8W";
+    case KernelUnderTest::kGemmAccQ8W: return "GemmAccQ8W";
+    case KernelUnderTest::kGemvAccQ8W: return "GemvAccQ8W";
+    case KernelUnderTest::kGemmSetQ4W: return "GemmSetQ4W";
+    case KernelUnderTest::kGemmAccQ4W: return "GemmAccQ4W";
+    case KernelUnderTest::kGemvAccQ4W: return "GemvAccQ4W";
     case KernelUnderTest::kSgmvShrink: return "SgmvShrink";
     case KernelUnderTest::kSgmvExpand: return "SgmvExpand";
     case KernelUnderTest::kPrefillAttention: return "PrefillAttention";
     case KernelUnderTest::kDecodeAttention: return "DecodeAttention";
   }
   return "?";
+}
+
+/// Builds a quantized weight matrix from a seeded f16 draw.
+WeightMatrix MakeQuantWeights(std::int64_t k, std::int64_t n,
+                              WeightDtype dtype, Pcg32& rng) {
+  Tensor<f16> w({k, n});
+  for (auto& v : w.data()) {
+    v = f16(static_cast<float>(rng.NextGaussian()) * 0.1f);
+  }
+  return WeightMatrix::FromF16(std::move(w), dtype);
 }
 
 // Runs one kernel on a fixed seeded problem (shapes straddle the tile and
@@ -229,6 +360,40 @@ std::vector<float> RunKernel(KernelUnderTest kernel) {
       for (std::size_t i = 0; i < wf.size(); ++i) w[i] = f16(wf[i]);
       std::vector<float> y(static_cast<std::size_t>(n), -0.5f);
       GemvAccF16W(x, w, y, k, n, ctx);
+      return y;
+    }
+    case KernelUnderTest::kGemmSetQ8W:
+    case KernelUnderTest::kGemmAccQ8W:
+    case KernelUnderTest::kGemmSetQ4W:
+    case KernelUnderTest::kGemmAccQ4W: {
+      // n deliberately not a multiple of kQuantBlock: the last block of
+      // every stripe row is a padded tail.
+      const int m = 9, k = 67, n = 131;
+      const bool q8 = kernel == KernelUnderTest::kGemmSetQ8W ||
+                      kernel == KernelUnderTest::kGemmAccQ8W;
+      const bool set = kernel == KernelUnderTest::kGemmSetQ8W ||
+                       kernel == KernelUnderTest::kGemmSetQ4W;
+      auto x = RandomGaussianVector(static_cast<std::size_t>(m) * k, 1.0f,
+                                    rng);
+      WeightMatrix w = MakeQuantWeights(
+          k, n, q8 ? WeightDtype::kQ8_0 : WeightDtype::kQ4_0, rng);
+      std::vector<float> y(static_cast<std::size_t>(m) * n, 0.25f);
+      if (set) {
+        GemmSetW(x, w, y, m, k, n, ctx);
+      } else {
+        GemmAccW(x, w, y, m, k, n, ctx);
+      }
+      return y;
+    }
+    case KernelUnderTest::kGemvAccQ8W:
+    case KernelUnderTest::kGemvAccQ4W: {
+      const int k = 300, n = 157;
+      const bool q8 = kernel == KernelUnderTest::kGemvAccQ8W;
+      auto x = RandomGaussianVector(static_cast<std::size_t>(k), 1.0f, rng);
+      WeightMatrix w = MakeQuantWeights(
+          k, n, q8 ? WeightDtype::kQ8_0 : WeightDtype::kQ4_0, rng);
+      std::vector<float> y(static_cast<std::size_t>(n), -0.5f);
+      GemvAccW(x, w, y, k, n, ctx);
       return y;
     }
     case KernelUnderTest::kSgmvShrink:
@@ -298,33 +463,41 @@ std::vector<float> RunKernel(KernelUnderTest kernel) {
 class SimdKernelEquivalenceTest
     : public ::testing::TestWithParam<KernelUnderTest> {};
 
-TEST_P(SimdKernelEquivalenceTest, ScalarVsNativeWithinTolerance) {
-  if (!NativeSimdAvailable()) GTEST_SKIP() << "native SIMD unavailable";
-  std::vector<float> scalar_out, native_out;
+TEST_P(SimdKernelEquivalenceTest, ScalarVsEachVectorLevelWithinTolerance) {
+  if (AvailableVectorLevels().empty()) GTEST_SKIP() << "no vector SIMD";
+  std::vector<float> scalar_out;
   {
     ScopedSimdLevel guard(SimdLevel::kScalar);
     scalar_out = RunKernel(GetParam());
   }
-  {
-    ScopedSimdLevel guard(SimdLevel::kNative);
-    native_out = RunKernel(GetParam());
-  }
   ASSERT_FALSE(scalar_out.empty());
-  ASSERT_EQ(scalar_out.size(), native_out.size());
-  for (std::size_t i = 0; i < scalar_out.size(); ++i) {
-    ASSERT_PRED2(WithinPathTolerance, scalar_out[i], native_out[i])
-        << KernelName(GetParam()) << " element " << i;
+  for (SimdLevel level : AvailableVectorLevels()) {
+    std::vector<float> vec_out;
+    {
+      ScopedSimdLevel guard(level);
+      vec_out = RunKernel(GetParam());
+    }
+    ASSERT_EQ(scalar_out.size(), vec_out.size());
+    for (std::size_t i = 0; i < scalar_out.size(); ++i) {
+      ASSERT_PRED2(WithinPathTolerance, scalar_out[i], vec_out[i])
+          << KernelName(GetParam()) << " on " << SimdLevelName(level)
+          << " element " << i;
+    }
   }
 }
 
 TEST_P(SimdKernelEquivalenceTest, EachPathBitStableAcrossRuns) {
   // Within one dispatch path a kernel must be a pure function — rerunning
   // it (on a pool, with its own task interleaving) reproduces every bit.
-  auto a = RunKernel(GetParam());
-  auto b = RunKernel(GetParam());
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a[i], b[i]) << KernelName(GetParam()) << " element " << i;
+  for (SimdLevel level : AvailableLevels()) {
+    ScopedSimdLevel guard(level);
+    auto a = RunKernel(GetParam());
+    auto b = RunKernel(GetParam());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << KernelName(GetParam()) << " on "
+                            << SimdLevelName(level) << " element " << i;
+    }
   }
 }
 
@@ -334,6 +507,12 @@ INSTANTIATE_TEST_SUITE_P(
                       KernelUnderTest::kGemmAccF16W,
                       KernelUnderTest::kGemmSetF32,
                       KernelUnderTest::kGemvAccF16W,
+                      KernelUnderTest::kGemmSetQ8W,
+                      KernelUnderTest::kGemmAccQ8W,
+                      KernelUnderTest::kGemvAccQ8W,
+                      KernelUnderTest::kGemmSetQ4W,
+                      KernelUnderTest::kGemmAccQ4W,
+                      KernelUnderTest::kGemvAccQ4W,
                       KernelUnderTest::kSgmvShrink,
                       KernelUnderTest::kSgmvExpand,
                       KernelUnderTest::kPrefillAttention,
