@@ -5,9 +5,21 @@
 // Paper anchors: Punica ≈ 441–446 tok/s regardless of distribution; vLLM ≈
 // 21–25 tok/s on the multi-LoRA workloads and ≈ 457 tok/s on Identical
 // (where the two systems' parallel schemes coincide).
+//
+// Second half: a *measured* numeric-tier TP sweep. The same Engine decode
+// workload runs at tp ∈ {1, 2, 4, 8} over one fixed-size thread pool, so
+// the only variable is how the worker-group executor carves the pool into
+// rank groups. --json PATH emits BENCH_tp.json ("bench": "tp_scaling");
+// scripts/check_bench.py gates the tp=4 speedup floor in release CI.
+#include <cstring>
+#include <memory>
+
 #include "bench_common.h"
 #include "baselines/systems.h"
 #include "gpu/specs.h"
+#include "model/llama.h"
+#include "runtime/engine.h"
+#include "util/compute_context.h"
 #include "workload/trace.h"
 
 namespace punica {
@@ -41,10 +53,172 @@ void Run() {
                   cm.KvCacheCapacityTokens(model, 8) * 8));
 }
 
+/// The measured sweep's model: big enough that per-rank GEMMs dominate the
+/// fixed per-step costs, with heads/KV-heads/ffn divisible by every swept
+/// degree. Matches tests/model/tp_costmodel_agreement_test.cc.
+LlamaConfig MeasuredConfig() {
+  return {.name = "tp-bench",
+          .hidden_size = 256,
+          .num_layers = 4,
+          .num_heads = 8,
+          .num_kv_heads = 8,
+          .ffn_hidden = 1024,
+          .vocab_size = 512};
+}
+
+struct MeasuredPoint {
+  int tp = 0;
+  double tok_s = 0.0;
+  std::int64_t tokens = 0;
+};
+
+/// Runs 8 decode-heavy streams (8-token prompts, 64 new tokens each)
+/// through a real Engine at the given TP degree on a pool of `threads`
+/// workers and returns the best-of-`reps` throughput. tp > 1 splits the
+/// pool into tp disjoint rank groups running concurrently, with the
+/// deterministic fixed-rank-order all-reduce at the O/Down seams.
+MeasuredPoint MeasureTp(int tp, int threads, int reps) {
+  LlamaConfig config = MeasuredConfig();
+  ComputeContext ctx({.num_threads = threads});
+  LlamaModel model(config, /*seed=*/7, &ctx, tp, /*tp_concurrent=*/tp > 1);
+
+  double best = 1e30;
+  std::int64_t tokens = 0;
+  for (int r = 0; r < reps; ++r) {
+    Engine engine(&model, model.MakeKvConfig(/*num_pages=*/512),
+                  EngineConfig{.max_batch_size = 8});
+    for (int s = 0; s < 8; ++s) {
+      std::vector<std::int32_t> prompt;
+      for (int i = 0; i < 8; ++i) prompt.push_back((s * 17 + i * 3) % 256);
+      engine.AddRequest(
+          {.lora = -1, .prompt_tokens = prompt, .max_new_tokens = 64});
+    }
+    std::int64_t emitted = 0;
+    auto start = std::chrono::steady_clock::now();
+    while (engine.HasWork()) emitted += engine.Step().new_tokens;
+    auto stop = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(stop - start).count();
+    if (secs < best) best = secs;
+    tokens = emitted;
+  }
+  return {tp, static_cast<double>(tokens) / best, tokens};
+}
+
+void RunMeasured(const char* json_path, int total_threads, int reps) {
+  std::printf("\nMeasured numeric-tier TP sweep (real CPU execution)\n");
+  std::printf("model: %d hidden / %d layers / %d heads, f16; pool fixed at "
+              "%d threads; best of %d\n\n",
+              MeasuredConfig().hidden_size, MeasuredConfig().num_layers,
+              MeasuredConfig().num_heads, total_threads, reps);
+
+  // The cost model's overhead-free roofline predicts near-ideal division of
+  // the compute terms (see TpCostModelAgreement.RooflinePredicts...): quote
+  // it next to the measurement as the cross-validation column.
+  CostModel roofline((A100Sxm80GB()));
+  auto& p = roofline.mutable_params();
+  p.kernel_launch_s = 0.0;
+  p.attn_kernel_overhead_s = 0.0;
+  p.layer_overhead_s = 0.0;
+  p.step_overhead_s = 0.0;
+  p.allreduce_overhead_s = 0.0;
+  double pred1 = roofline.DecodeStepLatency(MeasuredConfig(), 8, 64, 1);
+
+  FILE* json = nullptr;
+  if (json_path != nullptr) {
+    json = std::fopen(json_path, "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      std::exit(1);
+    }
+    std::fprintf(json,
+                 "{\n  \"bench\": \"tp_scaling\",\n"
+                 "  \"total_threads\": %d,\n  \"rows\": [\n",
+                 total_threads);
+  }
+
+  // Two sweeps over the same provisioned pool size:
+  //  * per_rank — rank r gets exactly one worker, so tp=N occupies N of the
+  //    machine's workers: the classic "1 GPU vs N GPUs" TP scaling curve,
+  //    the one the cost model's roofline prediction cross-validates.
+  //  * fixed_pool — the pool stays `total_threads` workers at every degree
+  //    and tp=N re-partitions it into N groups of total_threads/N: speedup
+  //    here isolates the execution *schedule* (smaller sync domains, ranks
+  //    overlapping) with zero extra hardware.
+  Table t({"mode", "tp", "tok/s", "speedup", "roofline speedup"});
+  bool first = true;
+  for (const char* mode : {"per_rank", "fixed_pool"}) {
+    bool per_rank = std::strcmp(mode, "per_rank") == 0;
+    MeasuredPoint base;
+    for (int tp : {1, 2, 4, 8}) {
+      MeasuredPoint pt =
+          MeasureTp(tp, per_rank ? tp : total_threads, reps);
+      if (tp == 1) base = pt;
+      double speedup = pt.tok_s / base.tok_s;
+      double predicted =
+          pred1 / roofline.DecodeStepLatency(MeasuredConfig(), 8, 64, tp);
+      t.AddRow({mode, std::to_string(tp), FormatDouble(pt.tok_s, 0),
+                FormatDouble(speedup, 2) + "x",
+                FormatDouble(predicted, 2) + "x"});
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "%s    {\"mode\": \"%s\", \"tp\": %d, "
+                     "\"tok_s\": %.2f, \"speedup\": %.4f, "
+                     "\"predicted_speedup\": %.4f}",
+                     first ? "" : ",\n", mode, tp, pt.tok_s, speedup,
+                     predicted);
+        first = false;
+      }
+    }
+  }
+  t.Print();
+  std::printf(
+      "\nReading the table:\n"
+      " * per_rank gives every rank one worker (tp=N uses N workers): the\n"
+      "   measured analogue of the roofline column, which predicts\n"
+      "   near-ideal N since every compute term shards. The gap is the\n"
+      "   unsharded embedding/LM-head fraction plus scheduling; with fewer\n"
+      "   than N free cores the curve flattens — the ratio measures the\n"
+      "   machine's real parallelism, which is exactly what CI's speedup\n"
+      "   floors assert (>= 2.0 at tp=4 on a 4-core runner).\n"
+      " * fixed_pool never grows the pool (%d workers at every degree):\n"
+      "   speedup comes only from the execution schedule — per-rank\n"
+      "   kernels sized 1/N synchronizing at the two all-reduce seams\n"
+      "   instead of pool-wide barriers per region. On a single-core host\n"
+      "   both modes measure ~1.0x by construction.\n"
+      " * Absolute tok/s is machine-class specific; CI gates the same-run\n"
+      "   speedup ratios (runner speed cancels), not the rates.\n",
+      total_threads);
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    if (std::ferror(json) != 0 || std::fclose(json) != 0) {
+      std::fprintf(stderr, "error writing %s\n", json_path);
+      std::exit(1);
+    }
+    std::printf("\nwrote %s\n", json_path);
+  }
+}
+
 }  // namespace
 }  // namespace punica
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  int total_threads = 8;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      total_threads = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[i + 1]);
+    }
+  }
+  if (total_threads < 1) total_threads = 1;
+  if (reps < 1) reps = 1;
   punica::Run();
+  punica::RunMeasured(json_path, total_threads, reps);
   return 0;
 }

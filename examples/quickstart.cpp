@@ -6,32 +6,68 @@
 // batches, paged KvCache). Build and run:
 //
 //     cmake -B build -G Ninja && cmake --build build
-//     ./build/examples/quickstart
+//     ./build/examples/quickstart [--tp N]
+//
+// --tp N (1, 2 or 4) shards the backbone Megatron-style over N ranks
+// running concurrently on disjoint worker groups — the CPU analogue of N
+// GPUs. TP mode is backbone-only, so the LoRA tenants run without adapters
+// there.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "model/llama.h"
+#include "model/tensor_parallel.h"
 #include "runtime/engine.h"
 
 using namespace punica;
 
-int main() {
+int main(int argc, char** argv) {
+  int tp = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tp") == 0 && i + 1 < argc) {
+      tp = std::atoi(argv[++i]);
+    }
+  }
+  if (tp != 1 && tp != 2 && tp != 4) {
+    std::fprintf(stderr, "usage: %s [--tp 1|2|4]\n", argv[0]);
+    return 2;
+  }
+
   // 1. One backbone model, shared by every tenant (the paper's key memory
   //    saving: a GPU holds a single copy of the pre-trained weights).
   LlamaConfig config = TinyLlama();
-  LlamaModel model(config, /*seed=*/1234);
+  if (tp > 1) config.num_kv_heads = config.num_heads;  // tp must divide KV
+  LlamaModel model(config, /*seed=*/1234, /*ctx=*/nullptr, tp);
   std::printf("Backbone: %s (%lld params, %d layers)\n",
               config.name.c_str(),
               static_cast<long long>(config.total_params()),
               config.num_layers);
+  if (tp > 1) {
+    LlamaConfig rank = RankConfig(config, tp);
+    std::printf("Tensor parallel: %d concurrent ranks, per-rank shard "
+                "%d heads / %d kv / %d ffn (%lld bytes per layer)\n",
+                tp, rank.num_heads, rank.num_kv_heads, rank.ffn_hidden,
+                static_cast<long long>(RankLayerBytes(config, tp)));
+    for (int r = 0; r < tp; ++r) {
+      const ComputeContext* rc = model.rank_context(r);
+      std::printf("  rank %d → worker group %d (%d worker%s)\n", r,
+                  rc != nullptr ? rc->group_index() : -1,
+                  rc != nullptr ? rc->num_threads() : 0,
+                  rc != nullptr && rc->num_threads() == 1 ? "" : "s");
+    }
+  }
 
   // 2. Register LoRA adapters — one per tenant. Each is ~1% of the
   //    backbone's size (A [h_in, r] and B [r, h_out] per projection per
-  //    layer).
-  model.AddLora(/*id=*/0, /*rank=*/8, /*seed=*/111);
-  model.AddLora(/*id=*/1, /*rank=*/8, /*seed=*/222);
-  model.AddLora(/*id=*/2, /*rank=*/4, /*seed=*/333);
+  //    layer). Skipped under TP: batches there are backbone-only.
+  if (tp == 1) {
+    model.AddLora(/*id=*/0, /*rank=*/8, /*seed=*/111);
+    model.AddLora(/*id=*/1, /*rank=*/8, /*seed=*/222);
+    model.AddLora(/*id=*/2, /*rank=*/4, /*seed=*/333);
+  }
   std::printf("Registered %zu LoRA adapters (rank-8 adapter: %lld bytes vs "
               "%lld-byte backbone)\n\n",
               model.num_loras(),
@@ -54,6 +90,9 @@ int main() {
       {"tenant-C (lora 2)", 2, {8, 8, 8}},
       {"tenant-D (backbone)", -1, {1, 2, 3}},
   };
+  if (tp > 1) {
+    for (auto& s : submissions) s.lora = -1;  // TP is backbone-only
+  }
   std::vector<RequestHandle> ids;
   for (const auto& s : submissions) {
     ids.push_back(engine.AddRequest(

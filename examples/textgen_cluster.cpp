@@ -10,6 +10,14 @@
 //
 //     cmake -B build -G Ninja && cmake --build build
 //     ./build/examples/textgen_cluster [--weight-dtype f16|q8_0|q4_0]
+//                                      [--tp N]
+//
+// --tp N shards the backbone Megatron-style over N ranks, each running
+// concurrently on its own disjoint worker group of the shared pool (the
+// CPU analogue of N GPUs). TP is backbone-only, so the tenants all run
+// without LoRA in that mode — and every stream must STILL be bit-identical
+// to the solo single-engine runs, because the fixed-rank-order all-reduce
+// keeps TP execution deterministic.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -18,6 +26,7 @@
 
 #include "frontend/frontend.h"
 #include "model/llama.h"
+#include "model/tensor_parallel.h"
 #include "runtime/engine.h"
 #include "runtime/engine_backend.h"
 #include "sched/cluster.h"
@@ -35,23 +44,36 @@ std::string Render(const std::vector<std::int32_t>& tokens) {
   return s;
 }
 
-// --weight-dtype f16|q8_0|q4_0 (default f16): backbone weight storage.
-WeightDtype ParseArgs(int argc, char** argv) {
+struct Args {
   WeightDtype dtype = WeightDtype::kF16;
+  int tp = 1;
+};
+
+// --weight-dtype f16|q8_0|q4_0 (default f16): backbone weight storage.
+// --tp N (default 1): tensor-parallel degree.
+Args ParseArgs(int argc, char** argv) {
+  Args args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--weight-dtype") == 0 && i + 1 < argc) {
-      if (!ParseWeightDtype(argv[++i], &dtype)) {
+      if (!ParseWeightDtype(argv[++i], &args.dtype)) {
         std::fprintf(stderr, "unknown weight dtype '%s' (f16|q8_0|q4_0)\n",
                      argv[i]);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--tp") == 0 && i + 1 < argc) {
+      args.tp = std::atoi(argv[++i]);
+      if (args.tp < 1 || args.tp > 4 || (args.tp & (args.tp - 1)) != 0) {
+        std::fprintf(stderr, "--tp must be 1, 2 or 4\n");
+        std::exit(2);
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--weight-dtype f16|q8_0|q4_0]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--weight-dtype f16|q8_0|q4_0] [--tp N]\n",
                    argv[0]);
       std::exit(2);
     }
   }
-  return dtype;
+  return args;
 }
 
 }  // namespace
@@ -66,12 +88,20 @@ int main(int argc, char** argv) {
   // reference engines below share the same model object, so the
   // bit-identity check holds at every dtype (quantized decode is
   // deterministic too, it is just a different model than f16).
+  Args args = ParseArgs(argc, argv);
   LlamaConfig config = TinyLlama();
-  config.weight_dtype = ParseArgs(argc, argv);
-  LlamaModel model(config, /*seed=*/1234, &compute);
-  model.AddLora(0, 8, 111);
-  model.AddLora(1, 8, 222);
-  model.AddLora(2, 4, 333);
+  config.weight_dtype = args.dtype;
+  if (args.tp > 1) {
+    // Every swept degree must divide the KV heads; TinyLlama's 4:2 GQA
+    // only divides by 2, so TP mode runs the 1:1-heads variant.
+    config.num_kv_heads = config.num_heads;
+  }
+  LlamaModel model(config, /*seed=*/1234, &compute, args.tp);
+  if (args.tp == 1) {
+    model.AddLora(0, 8, 111);
+    model.AddLora(1, 8, 222);
+    model.AddLora(2, 4, 333);
+  }
 
   struct Tenant {
     const char* name;
@@ -86,6 +116,10 @@ int main(int argc, char** argv) {
       {"tenant-D (backbone)", -1, {1, 2, 3}, 6},
       {"tenant-E (lora 0)", 0, {64, 32, 16}, 9},
   };
+  if (args.tp > 1) {
+    // TP is backbone-only: every tenant drops to the shared backbone.
+    for (auto& t : tenants) t.lora = -1;
+  }
 
   // Reference: each request alone on a dedicated engine.
   std::map<std::string, std::vector<std::int32_t>> reference;
@@ -133,8 +167,27 @@ int main(int argc, char** argv) {
               "tenants, %d compute threads\n",
               driver.num_backends(), tenants.size(),
               compute.num_threads());
-  std::printf("backbone weights: %s, simd dispatch: %s\n\n",
+  std::printf("backbone weights: %s, simd dispatch: %s\n",
               WeightDtypeName(config.weight_dtype), Simd().name);
+  if (model.tp() > 1) {
+    LlamaConfig rank = RankConfig(config, model.tp());
+    std::printf("tensor parallel: tp=%d (%s), per-rank shard %d heads / "
+                "%d kv / %d ffn, %.1f KiB per layer\n",
+                model.tp(),
+                model.tp_concurrent() ? "concurrent worker groups"
+                                      : "serial rank loop",
+                rank.num_heads, rank.num_kv_heads, rank.ffn_hidden,
+                static_cast<double>(RankLayerBytes(config, model.tp())) /
+                    1024.0);
+    for (int r = 0; r < model.tp(); ++r) {
+      const ComputeContext* rc = model.rank_context(r);
+      std::printf("  rank %d → worker group %d (%d worker%s)\n", r,
+                  rc != nullptr ? rc->group_index() : -1,
+                  rc != nullptr ? rc->num_threads() : 0,
+                  rc != nullptr && rc->num_threads() == 1 ? "" : "s");
+    }
+  }
+  std::printf("\n");
   bool all_equal = true;
   for (const auto& t : tenants) {
     bool equal = streamed[t.name] == reference[t.name];

@@ -33,6 +33,12 @@ The threshold can also come from the BENCH_REGRESSION_THRESHOLD env var
     offered-rate row, plus 1/ttft_p95_s and 1/queue_mean_s so every gated
     metric stays higher-is-better. Virtual-time output is deterministic,
     so these gate at the strict default threshold.
+  * tp_scaling files (bench_fig12_70b_tp --json): tok_s, speedup and
+    predicted_speedup per (mode, tp) row. tok_s is wall-clock; speedup is
+    a same-run ratio (runner speed cancels but core count does not — it
+    measures the machine's real parallelism), the quantity the CI speedup
+    floors (--min) gate; predicted_speedup is deterministic cost-model
+    output and gates at the strict threshold.
 """
 
 import argparse
@@ -110,6 +116,17 @@ def serving_metrics(doc):
     return metrics
 
 
+def tp_scaling_metrics(doc):
+    """{row key: (value, kind)} for the measured tensor-parallel sweep."""
+    metrics = {}
+    for row in doc.get("rows", []):
+        key = f"{row.get('mode', 'default')}/tp{row.get('tp', '?')}"
+        for field in ("tok_s", "speedup", "predicted_speedup"):
+            if field in row:
+                metrics[f"{key}/{field}"] = (row[field], field)
+    return metrics
+
+
 def kernels_quant_metrics(doc):
     """Google metrics plus derived quant-vs-f16 throughput ratios.
 
@@ -147,6 +164,8 @@ def extract_metrics(doc, path=""):
         return google_benchmark_metrics(doc)
     if doc.get("bench") == "serving_open_loop":
         return serving_metrics(doc)
+    if doc.get("bench") == "tp_scaling":
+        return tp_scaling_metrics(doc)
     if "rows" in doc:
         return fig11b_metrics(doc)
     raise ValueError("unrecognized bench JSON format")

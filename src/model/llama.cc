@@ -10,8 +10,11 @@
 namespace punica {
 
 LlamaModel::LlamaModel(const LlamaConfig& config, std::uint64_t seed,
-                       const ComputeContext* ctx)
-    : config_(config), ctx_(ctx != nullptr ? ctx : &ComputeContext::Default()) {
+                       const ComputeContext* ctx, int tp, bool tp_concurrent)
+    : config_(config),
+      ctx_(ctx != nullptr ? ctx : &ComputeContext::Default()),
+      tp_(tp) {
+  PUNICA_CHECK(tp >= 1);
   Pcg32 rng(seed);
   float embed_scale = 1.0f / std::sqrt(static_cast<float>(config.hidden_size));
   embedding_ = Tensor<f16>({config.vocab_size, config.hidden_size});
@@ -39,10 +42,32 @@ LlamaModel::LlamaModel(const LlamaConfig& config, std::uint64_t seed,
   lm_head_ = WeightMatrix::FromF16(std::move(lm_head), config.weight_dtype);
   final_norm_ = Tensor<f16>({config.hidden_size});
   for (auto& v : final_norm_.data()) v = f16(1.0f);
-  layers_.reserve(static_cast<std::size_t>(config.num_layers));
-  for (int l = 0; l < config.num_layers; ++l) {
-    layers_.push_back(LayerWeights::Random(
-        config, seed * 7919 + static_cast<std::uint64_t>(l) + 1));
+  if (tp == 1) {
+    layers_.reserve(static_cast<std::size_t>(config.num_layers));
+    for (int l = 0; l < config.num_layers; ++l) {
+      layers_.push_back(LayerWeights::Random(
+          config, seed * 7919 + static_cast<std::uint64_t>(l) + 1));
+    }
+  } else {
+    // Same seeded f16 master draw as tp=1 (LayerWeights::Random draws f16
+    // masters regardless of dtype), sharded Megatron-style per rank and
+    // quantized to config.weight_dtype after the slice — so tp changes the
+    // execution schedule, never the parameters.
+    LlamaConfig master_config = config;
+    master_config.weight_dtype = WeightDtype::kF16;
+    tp_layers_.reserve(static_cast<std::size_t>(config.num_layers));
+    for (int l = 0; l < config.num_layers; ++l) {
+      LayerWeights full = LayerWeights::Random(
+          master_config, seed * 7919 + static_cast<std::uint64_t>(l) + 1);
+      tp_layers_.push_back(ShardLayer(config_, full, tp));
+    }
+    if (tp_concurrent) {
+      rank_ctxs_ = ctx_->Split(tp);
+      rank_ctx_ptrs_.reserve(rank_ctxs_.size());
+      for (const auto& view : rank_ctxs_) {
+        rank_ctx_ptrs_.push_back(view.get());
+      }
+    }
   }
 }
 
@@ -73,6 +98,9 @@ Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
   seg_lora.reserve(batch.segments.lora_ids.size());
   int max_rank = 1;
   for (LoraId id : batch.segments.lora_ids) {
+    PUNICA_CHECK_MSG(tp_ == 1 || id < 0,
+                     "LoRA batches are not supported under tensor "
+                     "parallelism (backbone only)");
     const LoraModelWeights* w = id >= 0 ? GetLora(id) : nullptr;
     PUNICA_CHECK_MSG(id < 0 || w != nullptr,
                      "batch references an unloaded LoRA model");
@@ -94,10 +122,18 @@ Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
     }
   });
 
-  ws_.Resize(config_, tokens, max_rank);
-  for (int l = 0; l < config_.num_layers; ++l) {
-    LayerForward(config_, layers_[static_cast<std::size_t>(l)], seg_lora,
-                 batch, l, kv, x, ws_, *ctx_);
+  if (tp_ == 1) {
+    ws_.Resize(config_, tokens, max_rank);
+    for (int l = 0; l < config_.num_layers; ++l) {
+      LayerForward(config_, layers_[static_cast<std::size_t>(l)], seg_lora,
+                   batch, l, kv, x, ws_, *ctx_);
+    }
+  } else {
+    for (int l = 0; l < config_.num_layers; ++l) {
+      TpLayerForward(config_, tp_layers_[static_cast<std::size_t>(l)], batch,
+                     l, kv, x, tp_ws_, *ctx_,
+                     std::span<const ComputeContext* const>(rank_ctx_ptrs_));
+    }
   }
 
   // Final norm + LM head on each entry's last token row. The entry loop is

@@ -14,6 +14,7 @@
 #include "kvcache/kvcache.h"
 #include "model/config.h"
 #include "model/layer.h"
+#include "model/tensor_parallel.h"
 #include "tensor/tensor.h"
 
 namespace punica {
@@ -23,11 +24,31 @@ class LlamaModel {
   /// Builds a model with random weights (deterministic in `seed`). All
   /// forward passes run on `ctx` (nullptr = the process-wide default
   /// context), so every Engine sharing this model shares one thread pool.
+  ///
+  /// `tp` > 1 stores each layer Megatron-sharded over tp ranks and runs
+  /// layers through TpLayerForward: concurrently by default (rank r's
+  /// kernels pinned to worker group r of ctx's pool via ctx->Split(tp)),
+  /// or — with tp_concurrent=false — as the serial rank loop, which is
+  /// bit-identical to concurrent execution by the fixed-rank-order
+  /// all-reduce construction. The same seed draws the same f16 master
+  /// weights at every tp, so tp changes only the execution schedule.
+  /// LoRA batches are not supported under tp > 1 (backbone only).
   LlamaModel(const LlamaConfig& config, std::uint64_t seed,
-             const ComputeContext* ctx = nullptr);
+             const ComputeContext* ctx = nullptr, int tp = 1,
+             bool tp_concurrent = true);
 
   const LlamaConfig& config() const { return config_; }
   const ComputeContext& context() const { return *ctx_; }
+  /// Tensor-parallel degree (1 = single-GPU execution).
+  int tp() const { return tp_; }
+  /// True when TP ranks execute concurrently on disjoint worker groups.
+  bool tp_concurrent() const { return !rank_ctx_ptrs_.empty(); }
+  /// Rank r's worker-group view context (nullptr unless tp-concurrent).
+  const ComputeContext* rank_context(int r) const {
+    return r >= 0 && r < static_cast<int>(rank_ctx_ptrs_.size())
+               ? rank_ctx_ptrs_[static_cast<std::size_t>(r)]
+               : nullptr;
+  }
 
   /// Registers a random LoRA model under `id`. Deterministic in (seed).
   void AddLora(LoraId id, int rank, std::uint64_t seed);
@@ -64,12 +85,18 @@ class LlamaModel {
  private:
   LlamaConfig config_;
   const ComputeContext* ctx_;  ///< never null after construction
+  int tp_ = 1;
   Tensor<f16> embedding_;  ///< [vocab, hidden] — always f16 (gather path)
   WeightMatrix lm_head_;   ///< [hidden, vocab] in config.weight_dtype
   Tensor<f16> final_norm_; ///< [hidden]
-  std::vector<LayerWeights> layers_;
+  std::vector<LayerWeights> layers_;       ///< tp == 1
+  std::vector<TpShardedLayer> tp_layers_;  ///< tp > 1
   std::unordered_map<LoraId, std::unique_ptr<LoraModelWeights>> loras_;
   LayerWorkspace ws_;
+  TpWorkspace tp_ws_;
+  /// Worker-group views from ctx_->Split(tp) (empty = serial rank loop).
+  std::vector<std::unique_ptr<ComputeContext>> rank_ctxs_;
+  std::vector<const ComputeContext*> rank_ctx_ptrs_;
 };
 
 }  // namespace punica

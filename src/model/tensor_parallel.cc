@@ -108,14 +108,42 @@ TpShardedLayer ShardLayer(const LlamaConfig& config, const LayerWeights& full,
   return sharded;
 }
 
+void TpWorkspace::Resize(const LlamaConfig& config, int tp, int tokens) {
+  const auto t = static_cast<std::size_t>(tokens);
+  const auto h = static_cast<std::size_t>(config.hidden_size);
+  const auto d = static_cast<std::size_t>(config.head_dim());
+  const auto p = static_cast<std::size_t>(tp);
+  const std::size_t q_w = static_cast<std::size_t>(config.num_heads / tp) * d;
+  const std::size_t kv_w =
+      static_cast<std::size_t>(config.num_kv_heads / tp) * d;
+  const std::size_t f_pr = static_cast<std::size_t>(config.ffn_hidden / tp);
+  auto grow = [](std::vector<float>& v, std::size_t n) {
+    if (v.size() < n) v.resize(n);
+  };
+  grow(normed, t * h);
+  grow(q, p * t * q_w);
+  grow(k, p * t * kv_w);
+  grow(v, p * t * kv_w);
+  grow(attn_out, p * t * q_w);
+  grow(gate, p * t * f_pr);
+  grow(up, p * t * f_pr);
+  grow(partial, p * t * h);
+}
+
 void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
                     const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
-                    std::span<float> x, const ComputeContext& ctx) {
+                    std::span<float> x, TpWorkspace& ws,
+                    const ComputeContext& ctx,
+                    std::span<const ComputeContext* const> rank_ctxs) {
   const int tp = layer.tp;
   const int tokens = batch.total_tokens();
   const auto h = static_cast<std::size_t>(config.hidden_size);
   PUNICA_CHECK(x.size() == static_cast<std::size_t>(tokens) * h);
   PUNICA_CHECK(static_cast<int>(layer.ranks.size()) == tp);
+  const bool concurrent = !rank_ctxs.empty();
+  if (concurrent) {
+    PUNICA_CHECK(static_cast<int>(rank_ctxs.size()) == tp);
+  }
   const int d = config.head_dim();
   const int heads_pr = config.num_heads / tp;
   const int kv_heads_pr = config.num_kv_heads / tp;
@@ -124,54 +152,97 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
                    static_cast<std::size_t>(d);
   const auto kv_w = static_cast<std::size_t>(kv_heads_pr) *
                     static_cast<std::size_t>(d);
+  ws.Resize(config, tp, tokens);
+  const std::size_t q_stride = static_cast<std::size_t>(tokens) * q_w;
+  const std::size_t kv_stride = static_cast<std::size_t>(tokens) * kv_w;
+  const std::size_t f_stride =
+      static_cast<std::size_t>(tokens) * static_cast<std::size_t>(f_pr);
+  const std::size_t h_stride = static_cast<std::size_t>(tokens) * h;
+  const std::span<float> normed(ws.normed.data(), h_stride);
+
+  // Runs rank_fn(r, rank_ctx) for every rank: concurrently on disjoint
+  // worker groups, or as a plain serial loop on the root context. Both
+  // paths execute the identical per-element fp32 expression — ranks write
+  // disjoint workspace slices and meet only at the reduce below — so the
+  // modes are bit-identical by construction.
+  const auto for_each_rank = [&](const auto& rank_fn) {
+    if (concurrent) {
+      ctx.RunGroupTasks(tp, [&](int r) {
+        rank_fn(r, *rank_ctxs[static_cast<std::size_t>(r)]);
+      });
+    } else {
+      for (int r = 0; r < tp; ++r) rank_fn(r, ctx);
+    }
+  };
+
+  // The deterministic all-reduce: per-rank partials sum into the residual
+  // stream in fixed ascending rank order, whatever order the ranks
+  // *finished* in (a deterministic stand-in for NCCL's fixed ring order).
+  const auto reduce_partials = [&] {
+    const float* partial = ws.partial.data();
+    ctx.ParallelFor(static_cast<std::int64_t>(x.size()), 2048,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        auto u = static_cast<std::size_t>(i);
+                        float acc = partial[u];
+                        for (int r = 1; r < tp; ++r) {
+                          acc += partial[static_cast<std::size_t>(r) *
+                                             h_stride +
+                                         u];
+                        }
+                        x[u] += acc;
+                      }
+                    });
+  };
 
   // --- Attention block ---
-  std::vector<float> normed(static_cast<std::size_t>(tokens) * h);
-  for (int t = 0; t < tokens; ++t) {
-    RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
-               layer.attn_norm.data(),
-               std::span<float>(normed).subspan(
-                   static_cast<std::size_t>(t) * h, h),
-               config.rms_eps);
-  }
-
-  // The all-reduce accumulator: partial O-projection outputs sum here in
-  // rank order (a deterministic stand-in for NCCL's reduction).
-  std::vector<float> attn_reduced(x.size(), 0.0f);
-  std::vector<float> q(static_cast<std::size_t>(tokens) * q_w);
-  std::vector<float> k(static_cast<std::size_t>(tokens) * kv_w);
-  std::vector<float> v(static_cast<std::size_t>(tokens) * kv_w);
-  std::vector<float> attn_out(q.size());
-
-  for (int r = 0; r < tp; ++r) {
-    const LayerWeights& shard = layer.ranks[static_cast<std::size_t>(r)];
-    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kQ)], q, tokens,
-             config.hidden_size, heads_pr * d, ctx);
-    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kK)], k, tokens,
-             config.hidden_size, kv_heads_pr * d, ctx);
-    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kV)], v, tokens,
-             config.hidden_size, kv_heads_pr * d, ctx);
-
-    // RoPE on this rank's heads; write this rank's KV slice of each entry.
-    for (int t = 0; t < tokens; ++t) {
-      std::int64_t pos = batch.row_pos[static_cast<std::size_t>(t)];
-      ApplyRope(std::span<float>(q).subspan(
-                    static_cast<std::size_t>(t) * q_w, q_w),
-                heads_pr, d, pos, config.rope_theta);
-      ApplyRope(std::span<float>(k).subspan(
-                    static_cast<std::size_t>(t) * kv_w, kv_w),
-                kv_heads_pr, d, pos, config.rope_theta);
-      SeqId seq = batch.row_seq[static_cast<std::size_t>(t)];
-      auto k_entry = kv.Entry(seq, layer_idx, pos, KvSlot::kKey);
-      auto v_entry = kv.Entry(seq, layer_idx, pos, KvSlot::kValue);
-      std::size_t off = static_cast<std::size_t>(r) * kv_w;
-      FloatToHalfN(std::span<const float>(k).subspan(
-                       static_cast<std::size_t>(t) * kv_w, kv_w),
-                   k_entry.subspan(off, kv_w));
-      FloatToHalfN(std::span<const float>(v).subspan(
-                       static_cast<std::size_t>(t) * kv_w, kv_w),
-                   v_entry.subspan(off, kv_w));
+  ctx.ParallelFor(tokens, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
+                 layer.attn_norm.data(),
+                 normed.subspan(static_cast<std::size_t>(t) * h, h),
+                 config.rms_eps);
     }
+  });
+
+  for_each_rank([&](int r, const ComputeContext& rctx) {
+    const auto ur = static_cast<std::size_t>(r);
+    const LayerWeights& shard = layer.ranks[ur];
+    const std::span<float> q(ws.q.data() + ur * q_stride, q_stride);
+    const std::span<float> k(ws.k.data() + ur * kv_stride, kv_stride);
+    const std::span<float> v(ws.v.data() + ur * kv_stride, kv_stride);
+    const std::span<float> attn_out(ws.attn_out.data() + ur * q_stride,
+                                    q_stride);
+    const std::span<float> partial(ws.partial.data() + ur * h_stride,
+                                   h_stride);
+    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kQ)], q, tokens,
+             config.hidden_size, heads_pr * d, rctx);
+    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kK)], k, tokens,
+             config.hidden_size, kv_heads_pr * d, rctx);
+    GemmSetW(normed, shard.proj[static_cast<int>(Proj::kV)], v, tokens,
+             config.hidden_size, kv_heads_pr * d, rctx);
+
+    // RoPE on this rank's heads; write this rank's KV slice of each entry
+    // (disjoint across ranks, so concurrent ranks never share a writer).
+    rctx.ParallelFor(tokens, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t t = lo; t < hi; ++t) {
+        std::int64_t pos = batch.row_pos[static_cast<std::size_t>(t)];
+        ApplyRope(q.subspan(static_cast<std::size_t>(t) * q_w, q_w),
+                  heads_pr, d, pos, config.rope_theta);
+        ApplyRope(k.subspan(static_cast<std::size_t>(t) * kv_w, kv_w),
+                  kv_heads_pr, d, pos, config.rope_theta);
+        SeqId seq = batch.row_seq[static_cast<std::size_t>(t)];
+        auto k_entry = kv.Entry(seq, layer_idx, pos, KvSlot::kKey);
+        auto v_entry = kv.Entry(seq, layer_idx, pos, KvSlot::kValue);
+        std::size_t off = ur * kv_w;
+        FloatToHalfN(std::span<const float>(k).subspan(
+                         static_cast<std::size_t>(t) * kv_w, kv_w),
+                     k_entry.subspan(off, kv_w));
+        FloatToHalfN(std::span<const float>(v).subspan(
+                         static_cast<std::size_t>(t) * kv_w, kv_w),
+                     v_entry.subspan(off, kv_w));
+      }
+    });
 
     // Attention over this rank's query heads (no communication needed).
     int head_begin = r * heads_pr;
@@ -183,8 +254,8 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
       BatchPrefillAttentionRanged(
           config, kv, e.seq, layer_idx, e.pos_offset,
           std::span<const float>(q).subspan(row * q_w, chunk * q_w),
-          std::span<float>(attn_out).subspan(row * q_w, chunk * q_w),
-          head_begin, head_end, ctx);
+          attn_out.subspan(row * q_w, chunk * q_w), head_begin, head_end,
+          rctx);
       row += chunk;
     }
     if (!batch.decode_seqs.empty()) {
@@ -192,40 +263,50 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
       BatchDecodeAttentionRanged(
           config, kv, batch.decode_seqs, layer_idx,
           std::span<const float>(q).subspan(row * q_w, n_dec * q_w),
-          std::span<float>(attn_out).subspan(row * q_w, n_dec * q_w),
-          head_begin, head_end, ctx);
+          attn_out.subspan(row * q_w, n_dec * q_w), head_begin, head_end,
+          rctx);
     }
 
-    // Row-parallel O projection: partial [tokens, h], reduced across ranks.
-    GemmAccW(attn_out, shard.proj[static_cast<int>(Proj::kO)], attn_reduced,
-             tokens, heads_pr * d, config.hidden_size, ctx);
-  }
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += attn_reduced[i];
+    // Row-parallel O projection: this rank's partial [tokens, h].
+    GemmSetW(attn_out, shard.proj[static_cast<int>(Proj::kO)], partial,
+             tokens, heads_pr * d, config.hidden_size, rctx);
+  });
+  reduce_partials();
 
   // --- MLP block ---
-  for (int t = 0; t < tokens; ++t) {
-    RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
-               layer.mlp_norm.data(),
-               std::span<float>(normed).subspan(
-                   static_cast<std::size_t>(t) * h, h),
-               config.rms_eps);
-  }
-  std::vector<float> mlp_reduced(x.size(), 0.0f);
-  std::vector<float> gate(static_cast<std::size_t>(tokens) *
-                          static_cast<std::size_t>(f_pr));
-  std::vector<float> up(gate.size());
-  for (int r = 0; r < tp; ++r) {
-    const LayerWeights& shard = layer.ranks[static_cast<std::size_t>(r)];
+  ctx.ParallelFor(tokens, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      RmsNormRow(x.subspan(static_cast<std::size_t>(t) * h, h),
+                 layer.mlp_norm.data(),
+                 normed.subspan(static_cast<std::size_t>(t) * h, h),
+                 config.rms_eps);
+    }
+  });
+  for_each_rank([&](int r, const ComputeContext& rctx) {
+    const auto ur = static_cast<std::size_t>(r);
+    const LayerWeights& shard = layer.ranks[ur];
+    const std::span<float> gate(ws.gate.data() + ur * f_stride, f_stride);
+    const std::span<float> up(ws.up.data() + ur * f_stride, f_stride);
+    const std::span<float> partial(ws.partial.data() + ur * h_stride,
+                                   h_stride);
     GemmSetW(normed, shard.proj[static_cast<int>(Proj::kGate)], gate, tokens,
-             config.hidden_size, f_pr, ctx);
+             config.hidden_size, f_pr, rctx);
     GemmSetW(normed, shard.proj[static_cast<int>(Proj::kUp)], up, tokens,
-             config.hidden_size, f_pr, ctx);
+             config.hidden_size, f_pr, rctx);
     SiluInPlace(gate);
     for (std::size_t i = 0; i < gate.size(); ++i) gate[i] *= up[i];
-    GemmAccW(gate, shard.proj[static_cast<int>(Proj::kDown)], mlp_reduced,
-             tokens, f_pr, config.hidden_size, ctx);
-  }
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += mlp_reduced[i];
+    // Row-parallel Down projection: this rank's partial [tokens, h].
+    GemmSetW(gate, shard.proj[static_cast<int>(Proj::kDown)], partial,
+             tokens, f_pr, config.hidden_size, rctx);
+  });
+  reduce_partials();
+}
+
+void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
+                    const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
+                    std::span<float> x, const ComputeContext& ctx) {
+  TpWorkspace ws;
+  TpLayerForward(config, layer, batch, layer_idx, kv, x, ws, ctx, {});
 }
 
 std::int64_t RankLayerBytes(const LlamaConfig& config, int tp) {

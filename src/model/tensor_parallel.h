@@ -14,9 +14,17 @@
 // Each rank writes its own slice of every KvCache entry and attends over
 // its own heads, so attention needs no communication.
 //
-// Executed sequentially rank-by-rank on CPU (simulated SPMD); the result is
-// numerically equivalent (up to fp32 reduction order) to the single-GPU
-// LayerForward, which the tests assert.
+// Execution: each rank computes its partials into its own slice of a
+// TpWorkspace — either sequentially rank-by-rank (serial mode) or
+// concurrently, one rank per disjoint ComputeContext worker group. The two
+// all-reduce seams (after O and after Down) then sum the per-rank partial
+// buffers in **fixed ascending rank order** on the root context — the same
+// one-writer/fixed-reduction-order construction the split-K kernels use —
+// so the result is bit-identical between serial and concurrent execution
+// at any thread count, SIMD level and weight dtype. Relative to the
+// single-GPU LayerForward the per-rank regrouping changes the fp32
+// summation order at the two seams, so activations agree only numerically
+// (column-parallel outputs, including the KV cache, stay bit-exact).
 #pragma once
 
 #include <cstdint>
@@ -44,12 +52,40 @@ TpShardedLayer ShardLayer(const LlamaConfig& config,
 /// local GEMM shapes.
 LlamaConfig RankConfig(const LlamaConfig& config, int tp);
 
+/// Per-rank activation buffers for TpLayerForward, stacked rank-major so
+/// concurrent ranks write disjoint slices. Resize only grows; steady-state
+/// forward passes are allocation-free.
+struct TpWorkspace {
+  std::vector<float> normed;    ///< [tokens, h] — shared, read-only in ranks
+  std::vector<float> q;         ///< [tp][tokens, heads_pr·d]
+  std::vector<float> k;         ///< [tp][tokens, kv_heads_pr·d]
+  std::vector<float> v;         ///< [tp][tokens, kv_heads_pr·d]
+  std::vector<float> attn_out;  ///< [tp][tokens, heads_pr·d]
+  std::vector<float> gate;      ///< [tp][tokens, ffn_pr]
+  std::vector<float> up;        ///< [tp][tokens, ffn_pr]
+  std::vector<float> partial;   ///< [tp][tokens, h] — all-reduce inputs
+  void Resize(const LlamaConfig& config, int tp, int tokens);
+};
+
 /// Runs one backbone transformer layer under tensor parallelism: each rank
-/// computes its partial attention and MLP contributions; the two all-reduce
-/// points sum partials across ranks into the residual stream. Semantics
-/// match LayerForward with a null LoRA view (backbone-only). The rank loop
-/// stays serial (it models the NCCL reduction order); each rank's kernels
-/// run on `ctx`.
+/// computes its partial attention and MLP contributions into `ws`; the two
+/// all-reduce seams sum partials across ranks into the residual stream in
+/// fixed ascending rank order. Semantics match LayerForward with a null
+/// LoRA view (backbone-only).
+///
+/// `rank_ctxs` empty: the rank loop runs serially, every rank's kernels on
+/// `ctx` (models the SPMD schedule without concurrency). `rank_ctxs` with
+/// tp group-view contexts (from ctx.Split(tp)): ranks run concurrently,
+/// rank r's kernels confined to worker group r. Both modes compute the
+/// identical fp32 expression per element, so their outputs — and hence
+/// decoded streams — are bit-identical.
+void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
+                    const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
+                    std::span<float> x, TpWorkspace& ws,
+                    const ComputeContext& ctx,
+                    std::span<const ComputeContext* const> rank_ctxs = {});
+
+/// Convenience overload for tests: serial rank loop, local workspace.
 void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
                     const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
                     std::span<float> x,

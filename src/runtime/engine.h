@@ -158,6 +158,9 @@ class Engine {
   /// engines sharing one model (one backbone copy) share one thread pool.
   const ComputeContext& context() const { return model_->context(); }
 
+  /// The model's tensor-parallel degree (1 = single-GPU execution).
+  int tp() const { return model_->tp(); }
+
  private:
   /// Slot phases: `needs_prefill` is true from admission until the final
   /// prefill chunk completes. Mid-prefill (the chunked-prefill state) is

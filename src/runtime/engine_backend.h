@@ -56,6 +56,9 @@ class EngineBackend : public ExecutionBackend {
   /// context — shared by every backend over the same backbone).
   const ComputeContext& context() const { return engine_->context(); }
 
+  /// The engine's tensor-parallel degree (1 = single-GPU execution).
+  int tp() const { return engine_->tp(); }
+
  private:
   struct Slot {
     ServingRequest* req = nullptr;

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "util/check.h"
+
 namespace punica {
 
 int ComputeContext::ResolveThreadCount(int requested) {
@@ -22,7 +24,23 @@ int ComputeContext::ResolveThreadCount(int requested) {
 }
 
 ComputeContext::ComputeContext(ComputeConfig config)
-    : pool_(ResolveThreadCount(config.num_threads)) {}
+    : owned_pool_(
+          std::make_unique<ThreadPool>(ResolveThreadCount(config.num_threads))),
+      pool_(owned_pool_.get()) {}
+
+std::vector<std::unique_ptr<ComputeContext>> ComputeContext::Split(
+    int k) const {
+  PUNICA_CHECK_MSG(group_ < 0, "Split on a group view is not supported");
+  PUNICA_CHECK(k >= 1);
+  pool_->Partition(k);
+  std::vector<std::unique_ptr<ComputeContext>> views;
+  views.reserve(static_cast<std::size_t>(k));
+  for (int g = 0; g < k; ++g) {
+    views.push_back(
+        std::unique_ptr<ComputeContext>(new ComputeContext(pool_, g)));
+  }
+  return views;
+}
 
 const ComputeContext& ComputeContext::Default() {
   static ComputeContext context;

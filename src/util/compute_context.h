@@ -10,6 +10,14 @@
 // Thread-count resolution (ResolveThreadCount):
 //   explicit config  >  PUNICA_THREADS env  >  hardware_concurrency.
 //
+// Tensor parallelism: Split(k) partitions the pool's threads into k
+// disjoint worker groups and returns k *view* contexts, one pinned to each
+// group. RunGroupTasks(k, fn) runs fn(rank) concurrently with rank r's
+// ParallelFors confined to group r, so k TP ranks execute simultaneously
+// without sharing threads. Views borrow the root context's pool: they must
+// not outlive it, and Split only re-points the partition (calling it while
+// regions are in flight is a caller error).
+//
 // Determinism contract: kernels partition work so each output element is
 // computed by exactly one worker with a fixed internal reduction order
 // (split-K partials reduce in fixed partition order). Token streams are
@@ -18,7 +26,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "util/thread_pool.h"
 
@@ -33,15 +43,48 @@ class ComputeContext {
  public:
   explicit ComputeContext(ComputeConfig config = {});
 
-  int num_threads() const { return pool_.num_threads(); }
+  /// Root context: pool width. Group view: the group's thread count
+  /// (at least 1 — a virtual group's work runs serially on the caller).
+  int num_threads() const {
+    if (group_ < 0) return pool_->num_threads();
+    int w = pool_->group_width(group_);
+    return w > 0 ? w : 1;
+  }
 
   /// Deterministic data-parallel loop over [0, n); see ThreadPool.
   /// Allocation-free: the callable is passed by reference, never wrapped
-  /// in a std::function.
+  /// in a std::function. On a group view the region is confined to that
+  /// group's threads.
   template <typename Fn>
   void ParallelFor(std::int64_t n, std::int64_t grain, Fn&& fn) const {
-    pool_.ParallelFor(n, grain, std::forward<Fn>(fn));
+    if (group_ >= 0) {
+      pool_->ParallelForGroup(group_, n, grain, std::forward<Fn>(fn));
+    } else {
+      pool_->ParallelFor(n, grain, std::forward<Fn>(fn));
+    }
   }
+
+  /// Partitions the pool into `k` disjoint worker groups and returns k view
+  /// contexts, view r pinned to group r (see file comment). Views borrow
+  /// this context's pool and must not outlive it. Must be called on a root
+  /// context.
+  std::vector<std::unique_ptr<ComputeContext>> Split(int k) const;
+
+  /// Runs fn(rank) for rank in [0, k) concurrently, rank r pinned to worker
+  /// group r (repartitioning the pool to k groups if needed). ParallelFor
+  /// calls inside fn(rank) — directly or via a group view — stay inside
+  /// group r. Blocks until all ranks return.
+  template <typename Fn>
+  void RunGroupTasks(int k, Fn&& fn) const {
+    pool_->RunGroupTasks(k, std::forward<Fn>(fn));
+  }
+
+  /// True for a Split() view pinned to one worker group.
+  bool is_group_view() const { return group_ >= 0; }
+  /// The pinned group index (-1 on a root context).
+  int group_index() const { return group_; }
+  /// Threads in group `g` under the pool's current partition.
+  int group_width(int g) const { return pool_->group_width(g); }
 
   /// Process-wide shared context (PUNICA_THREADS / hardware default).
   /// Created lazily on first use; persists for the process lifetime.
@@ -54,9 +97,14 @@ class ComputeContext {
   static constexpr int kMaxThreads = 256;
 
  private:
+  ComputeContext(ThreadPool* pool, int group)
+      : pool_(pool), group_(group) {}
+
+  std::unique_ptr<ThreadPool> owned_pool_;
   // Kernels take `const ComputeContext&` — running work does not mutate the
   // context's observable state, only the pool's internal scheduling.
-  mutable ThreadPool pool_;
+  ThreadPool* pool_;
+  int group_ = -1;  ///< pinned worker group; -1 = root (whole pool)
 };
 
 }  // namespace punica

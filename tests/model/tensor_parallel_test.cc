@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "model/attention.h"
@@ -267,6 +270,101 @@ TEST(TpEquivalenceTest, MultiLayerStackMatches) {
     ASSERT_NEAR(x_tp[i], x_ref[i], scale * 5e-3f + 1e-3f) << i;
   }
 }
+
+// The tentpole contract: concurrent rank execution (one rank per disjoint
+// worker group) is BIT-identical to the serial rank loop — same activations,
+// same KvCache bytes — at any thread count, because both modes compute the
+// identical fp32 expression per element and meet only at the
+// fixed-rank-order all-reduce.
+class TpConcurrencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpConcurrencySweep, ConcurrentMatchesSerialBitExact) {
+  const int tp = GetParam();
+  LlamaConfig c = tp == 3 ? TinyLlama4L() : TinyLlama();
+  LayerWeights full = LayerWeights::Random(c, 17);
+  TpShardedLayer sharded = ShardLayer(c, full, tp);
+
+  auto setup = [&](PagedKvCache& kv, ModelBatch* batch) {
+    SeqId sa = kv.CreateSequence();
+    EXPECT_TRUE(kv.Extend(sa, 3));
+    SeqId sb = kv.CreateSequence();
+    EXPECT_TRUE(kv.Extend(sb, 3));
+    Pcg32 kv_rng(70);
+    for (std::int64_t p = 0; p < 2; ++p) {
+      auto ke = kv.Entry(sb, 0, p, KvSlot::kKey);
+      auto ve = kv.Entry(sb, 0, p, KvSlot::kValue);
+      for (std::size_t d = 0; d < ke.size(); ++d) {
+        ke[d] = f16(static_cast<float>(kv_rng.NextGaussian()) * 0.3f);
+        ve[d] = f16(static_cast<float>(kv_rng.NextGaussian()) * 0.3f);
+      }
+    }
+    *batch = ModelBatch::Build(
+        {{.seq = sa, .lora = -1, .num_tokens = 3, .pos_offset = 0,
+          .is_prefill = true},
+         {.seq = sb, .lora = -1, .num_tokens = 1, .pos_offset = 2,
+          .is_prefill = false}});
+  };
+
+  Pcg32 rng(9);
+  auto h = static_cast<std::size_t>(c.hidden_size);
+  auto x0 = RandomGaussianVector(4 * h, 1.0f, rng);
+
+  auto bits = [](float v) {
+    std::uint32_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+  };
+
+  // Reference: serial rank loop on a width-1 context.
+  ComputeContext ctx1({.num_threads = 1});
+  PagedKvCache kv_ref(KvCfg(c));
+  ModelBatch b_ref;
+  setup(kv_ref, &b_ref);
+  auto x_ref = x0;
+  TpWorkspace ws_ref;
+  TpLayerForward(c, sharded, b_ref, 0, kv_ref, x_ref, ws_ref, ctx1, {});
+
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ComputeContext ctx({.num_threads = threads});
+    for (bool concurrent : {false, true}) {
+      SCOPED_TRACE(concurrent ? "concurrent" : "serial");
+      std::vector<std::unique_ptr<ComputeContext>> views;
+      std::vector<const ComputeContext*> ptrs;
+      if (concurrent) {
+        views = ctx.Split(tp);
+        for (const auto& v : views) ptrs.push_back(v.get());
+      }
+      PagedKvCache kv(KvCfg(c));
+      ModelBatch b;
+      setup(kv, &b);
+      auto x = x0;
+      TpWorkspace ws;
+      TpLayerForward(c, sharded, b, 0, kv, x, ws, ctx,
+                     std::span<const ComputeContext* const>(ptrs));
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        ASSERT_EQ(bits(x[i]), bits(x_ref[i])) << "activation " << i;
+      }
+      for (std::size_t e = 0; e < b.entries.size(); ++e) {
+        SeqId s = b.entries[e].seq;
+        SeqId s_ref = b_ref.entries[e].seq;
+        for (std::int64_t pos = 0; pos < kv.SeqLen(s); ++pos) {
+          for (auto slot : {KvSlot::kKey, KvSlot::kValue}) {
+            auto got = kv.Entry(s, 0, pos, slot);
+            auto want = kv_ref.Entry(s_ref, 0, pos, slot);
+            ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                                  got.size() * sizeof(f16)),
+                      0)
+                << "kv entry seq=" << e << " pos=" << pos;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, TpConcurrencySweep,
+                         ::testing::Values(2, 3));
 
 TEST(RangedAttentionTest, SliceConcatenationEqualsFull) {
   LlamaConfig c = TinyLlama();  // 4 heads

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/compute_context.h"
@@ -111,6 +115,178 @@ TEST(ThreadPoolTest, MoreThreadsThanWork) {
     for (std::int64_t i = lo; i < hi; ++i) {
       hits[static_cast<std::size_t>(i)].fetch_add(1);
     }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// --- Worker groups (tensor parallelism substrate) ---
+
+TEST(ThreadPoolGroupTest, PartitionWidthsCoverThePool) {
+  ThreadPool pool(5);
+  pool.Partition(2);
+  EXPECT_EQ(pool.num_groups(), 2);
+  EXPECT_EQ(pool.group_width(0) + pool.group_width(1), 5);
+  // Balanced: widths differ by at most one, group 0 gets the remainder.
+  EXPECT_EQ(pool.group_width(0), 3);
+  EXPECT_EQ(pool.group_width(1), 2);
+  pool.Partition(8);  // k > T: trailing groups are virtual (width 0)
+  EXPECT_EQ(pool.num_groups(), 8);
+  int total = 0;
+  for (int g = 0; g < 8; ++g) total += pool.group_width(g);
+  EXPECT_EQ(total, 5);
+  EXPECT_EQ(pool.group_width(7), 0);
+  pool.Partition(1);
+  EXPECT_EQ(pool.group_width(0), 5);
+}
+
+TEST(ThreadPoolGroupTest, RunGroupTasksRunsEveryGroupExactlyOnce) {
+  ThreadPool pool(4);
+  for (int k : {1, 2, 3, 4, 7}) {
+    std::vector<std::atomic<int>> ran(static_cast<std::size_t>(k));
+    pool.RunGroupTasks(k, [&](int g) {
+      ran[static_cast<std::size_t>(g)].fetch_add(1);
+    });
+    for (int g = 0; g < k; ++g) EXPECT_EQ(ran[g].load(), 1) << "k=" << k;
+  }
+}
+
+TEST(ThreadPoolGroupTest, GroupRegionsCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  pool.Partition(2);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(2 * kN);
+  pool.RunGroupTasks(2, [&](int g) {
+    pool.ParallelFor(kN, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        hits[static_cast<std::size_t>(g * kN + i)].fetch_add(1);
+      }
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolGroupTest, GroupIsolationUnderNestedParallelFor) {
+  // The satellite-f contract: a ParallelFor issued from inside group g's
+  // task must execute only on group g's threads — never steal a sibling
+  // group's workers. Record every executing thread per group across many
+  // rounds of oversized regions and assert the sets are disjoint.
+  ThreadPool pool(4);
+  pool.Partition(2);
+  std::mutex mu;
+  std::array<std::set<std::thread::id>, 2> thread_sets;
+  for (int round = 0; round < 50; ++round) {
+    pool.RunGroupTasks(2, [&](int g) {
+      pool.ParallelFor(256, 1, [&](std::int64_t, std::int64_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        thread_sets[static_cast<std::size_t>(g)].insert(
+            std::this_thread::get_id());
+      });
+    });
+  }
+  for (std::thread::id id : thread_sets[0]) {
+    EXPECT_EQ(thread_sets[1].count(id), 0u)
+        << "a thread executed regions for both groups";
+  }
+  // Sanity: each group used no more threads than its width.
+  EXPECT_LE(thread_sets[0].size(), static_cast<std::size_t>(2));
+  EXPECT_LE(thread_sets[1].size(), static_cast<std::size_t>(2));
+}
+
+TEST(ThreadPoolGroupTest, DoublyNestedRegionsInsideTasksRunInline) {
+  // Region inside a region inside a task: innermost must inline, nothing
+  // deadlocks, every index is still covered exactly once.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.RunGroupTasks(2, [&](int) {
+    pool.ParallelFor(8, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        pool.ParallelFor(10, 1, [&](std::int64_t nlo, std::int64_t nhi) {
+          total.fetch_add(nhi - nlo);
+        });
+      }
+    });
+  });
+  EXPECT_EQ(total.load(), 2 * 80);
+}
+
+TEST(ThreadPoolGroupTest, RootParallelForOnPartitionedPoolCoversRange) {
+  // A root-level region on a partitioned pool decomposes into per-group
+  // spans; every index must still be visited exactly once.
+  ThreadPool pool(4);
+  pool.Partition(3);
+  std::vector<std::atomic<int>> hits(997);  // prime: uneven spans
+  pool.ParallelFor(997, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolGroupTest, RepartitionBetweenJobsIsSafe) {
+  ThreadPool pool(4);
+  for (int k : {1, 2, 4, 2, 3, 1}) {
+    pool.Partition(k);
+    std::vector<std::atomic<int>> hits(500);
+    pool.RunGroupTasks(k, [&](int g) {
+      if (g != 0) return;  // one writer group, others idle
+      pool.ParallelFor(500, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+        }
+      });
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "k=" << k;
+  }
+}
+
+TEST(ThreadPoolGroupTest, Width1PoolRunsEverythingSerially) {
+  ThreadPool pool(1);
+  std::vector<int> ran(4, 0);
+  pool.RunGroupTasks(4, [&](int g) {
+    pool.ParallelFor(10, 1, [&](std::int64_t lo, std::int64_t hi) {
+      ran[static_cast<std::size_t>(g)] += static_cast<int>(hi - lo);
+    });
+  });
+  for (int g = 0; g < 4; ++g) EXPECT_EQ(ran[g], 10);
+}
+
+TEST(ComputeContextTest, SplitViewsPinGroupsAndReportWidths) {
+  ComputeContext ctx({.num_threads = 4});
+  auto views = ctx.Split(2);
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_FALSE(ctx.is_group_view());
+  int total = 0;
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_TRUE(views[r]->is_group_view());
+    EXPECT_EQ(views[r]->group_index(), r);
+    total += views[r]->num_threads();
+  }
+  EXPECT_EQ(total, 4);
+  // A view's ParallelFor covers its range exactly once.
+  std::vector<std::atomic<int>> hits(300);
+  views[1]->ParallelFor(300, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ComputeContextTest, RunGroupTasksWithViewsKeepsRanksConcurrent) {
+  // The TP execution shape: RunGroupTasks(k) with rank r's kernels on view
+  // r. All ranks' writes land, each exactly once.
+  ComputeContext ctx({.num_threads = 4});
+  auto views = ctx.Split(2);
+  constexpr int kN = 400;
+  std::vector<std::atomic<int>> hits(2 * kN);
+  ctx.RunGroupTasks(2, [&](int r) {
+    views[static_cast<std::size_t>(r)]->ParallelFor(
+        kN, 1, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            hits[static_cast<std::size_t>(r * kN + i)].fetch_add(1);
+          }
+        });
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
