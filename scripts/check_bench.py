@@ -39,6 +39,10 @@ The threshold can also come from the BENCH_REGRESSION_THRESHOLD env var
     measures the machine's real parallelism), the quantity the CI speedup
     floors (--min) gate; predicted_speedup is deterministic cost-model
     output and gates at the strict threshold.
+  * attention files (bench_attention --json): per-shape speedup of the
+    page-run split-KV decode kernel over the pre-rewrite serial kernel (a
+    same-run ratio, gated by the --min floor at b1/kv4096), plus
+    wall-clock pos_per_s rows that CI excludes from the baseline compare.
 """
 
 import argparse
@@ -127,6 +131,29 @@ def tp_scaling_metrics(doc):
     return metrics
 
 
+def attention_metrics(doc):
+    """{row key: (value, kind)} for the decode-attention rewrite bench.
+
+    speedup is a same-run ratio of the pre-rewrite serial kernel to the
+    page-run split-KV kernel (runner speed cancels) — the quantity the CI
+    floor gates. pos_per_s (decode and split-sweep rows) is wall-clock;
+    CI excludes it from the baseline compare.
+    """
+    metrics = {}
+    for row in doc.get("rows", []):
+        kind = row.get("kind")
+        if kind == "decode":
+            key = f"decode/b{row.get('batch', '?')}/kv{row.get('kv_len', '?')}"
+            for field in ("speedup", "pos_per_s"):
+                if field in row:
+                    metrics[f"{key}/{field}"] = (row[field], field)
+        elif kind == "split":
+            if "pos_per_s" in row:
+                metrics[f"split/s{row.get('split', '?')}/pos_per_s"] = (
+                    row["pos_per_s"], "pos_per_s")
+    return metrics
+
+
 def kernels_quant_metrics(doc):
     """Google metrics plus derived quant-vs-f16 throughput ratios.
 
@@ -166,6 +193,8 @@ def extract_metrics(doc, path=""):
         return serving_metrics(doc)
     if doc.get("bench") == "tp_scaling":
         return tp_scaling_metrics(doc)
+    if doc.get("bench") == "attention":
+        return attention_metrics(doc)
     if "rows" in doc:
         return fig11b_metrics(doc)
     raise ValueError("unrecognized bench JSON format")

@@ -134,6 +134,19 @@ double CostModel::AttentionDecodeLatency(
   }
   kv_bytes /= tp;
   double memory = kv_bytes / (gpu_.hbm_bytes_per_s * params_.attn_mem_eff);
+  // Occupancy (split-KV parallel fraction): the memory roofline assumes
+  // every SM streams cache bytes. Split-KV chunking achieves that for any
+  // batch shape, so the default is the plain roofline. The serial kernel
+  // runs one CTA per (sequence, kv_head) per rank and stalls on a
+  // fraction of the machine at small batch — scale its latency by the
+  // idle fraction.
+  if (!params_.attn_split_kv) {
+    double ctas = static_cast<double>(kv_lens.size()) *
+                  (static_cast<double>(config.num_kv_heads) / tp);
+    double fraction =
+        std::min(1.0, ctas / static_cast<double>(gpu_.sm_count));
+    if (fraction > 0.0) memory /= fraction;
+  }
   return memory + params_.attn_kernel_overhead_s;
 }
 

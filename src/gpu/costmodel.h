@@ -54,6 +54,16 @@ struct CostModelParams {
   // Tensor parallelism.
   double allreduce_overhead_s = 150e-6;  ///< per all-reduce latency (NCCL
                                          ///< small-message floor + sync)
+  // Split-KV decode attention (the FlashDecoding shape the CPU kernel now
+  // implements). With splitting (the default, matching the modelled
+  // FlashInfer kernels), chunking each (sequence, kv_head) range restores
+  // full SM occupancy and the pure memory roofline above applies as-is —
+  // the term is neutral. Setting attn_split_kv = false models the serial
+  // kernel — one CTA per (sequence, kv_head) — whose decode latency
+  // divides by the achieved parallel fraction min(1, ctas / sm_count):
+  // the honesty check that a single-sequence long-context decode cannot
+  // hit the roofline without splitting.
+  bool attn_split_kv = true;
 };
 
 /// One model invocation's shape, as seen by the cost model: a (possibly

@@ -8,7 +8,8 @@ GpuSpec A100Sxm80GB() {
           .hbm_bytes_per_s = 1.935e12,
           .memory_bytes = 80LL * 1000 * 1000 * 1000,
           .pcie_bytes_per_s = 25e9,    // PCIe Gen4 x16, effective
-          .nvlink_bytes_per_s = 600e9};
+          .nvlink_bytes_per_s = 600e9,
+          .sm_count = 108};  // GA100, both SXM variants
 }
 
 GpuSpec A100Sxm40GB() {

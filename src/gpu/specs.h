@@ -18,6 +18,8 @@ struct GpuSpec {
   std::int64_t memory_bytes = 0;  ///< device memory
   double pcie_bytes_per_s = 0.0;  ///< effective host→device bandwidth
   double nvlink_bytes_per_s = 0.0;  ///< per-GPU NvSwitch bandwidth
+  int sm_count = 108;             ///< streaming multiprocessors (occupancy
+                                  ///< denominator for the split-KV term)
 };
 
 GpuSpec A100Sxm80GB();

@@ -156,6 +156,53 @@ std::span<const PageId> PagedKvCache::PageTable(SeqId seq) const {
   return GetSeq(seq).pages;
 }
 
+KvRunCursor::KvRunCursor(const PagedKvCache& kv, SeqId seq, int layer,
+                         KvSlot slot, std::size_t prefetch_elem_off) {
+  const KvCacheConfig& config = kv.config_;
+  PUNICA_CHECK(layer >= 0 && layer < config.num_layers);
+  const PagedKvCache::SeqState& st = kv.GetSeq(seq);
+  storage_ = kv.storage_.data();
+  pages_ = st.pages.data();
+  page_elems_ = config.page_elems();
+  entry_ = config.token_entry_elems();
+  ls_off_ = static_cast<std::size_t>(layer) * 2 * entry_ *
+                static_cast<std::size_t>(config.page_size) +
+            static_cast<std::size_t>(slot) * entry_ *
+                static_cast<std::size_t>(config.page_size);
+  prefetch_off_ = prefetch_elem_off;
+  page_size_ = config.page_size;
+  seq_len_ = st.len;
+}
+
+bool KvRunCursor::Next(std::int64_t limit, KvRun* run) {
+  if (limit > seq_len_) limit = seq_len_;
+  if (pos_ >= limit) return false;
+  const std::int64_t page_idx = pos_ / page_size_;
+  const std::int64_t slot_idx = pos_ % page_size_;
+  const std::int64_t run_end =
+      std::min(limit, (page_idx + 1) * page_size_);
+  run->data = storage_ +
+              static_cast<std::size_t>(pages_[page_idx]) * page_elems_ +
+              ls_off_ + static_cast<std::size_t>(slot_idx) * entry_;
+  run->first_pos = pos_;
+  run->len = static_cast<std::int32_t>(run_end - pos_);
+  if (run_end < limit) {
+#if defined(__GNUC__) || defined(__clang__)
+    // The next page will be consumed by a following Next(): start its head
+    // slice towards the caller now (4 lines ≈ one f16 head_dim=128 slice).
+    const char* next = reinterpret_cast<const char*>(
+        storage_ +
+        static_cast<std::size_t>(pages_[page_idx + 1]) * page_elems_ +
+        ls_off_ + prefetch_off_);
+    for (int line = 0; line < 4; ++line) {
+      __builtin_prefetch(next + 64 * line, 0, 3);
+    }
+#endif
+  }
+  pos_ = run_end;
+  return true;
+}
+
 const PagedKvCache::SeqState& PagedKvCache::GetSeq(SeqId seq) const {
   auto it = seqs_.find(seq);
   PUNICA_CHECK_MSG(it != seqs_.end(), "unknown sequence");

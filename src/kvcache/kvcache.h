@@ -55,6 +55,55 @@ struct KvCacheConfig {
 
 enum class KvSlot : int { kKey = 0, kValue = 1 };
 
+/// One contiguous strip of K or V entries: `len` consecutive token
+/// positions starting at `first_pos`, whose entries sit token_entry_elems()
+/// apart in page storage (the P axis of the [L, 2, N, P, D] page layout).
+struct KvRun {
+  const f16* data = nullptr;  ///< entry of first_pos (num_kv_heads·head_dim)
+  std::int64_t first_pos = 0;
+  std::int32_t len = 0;
+};
+
+class PagedKvCache;
+
+/// Forward iterator over the contiguous page runs of one (sequence, layer,
+/// K|V) column. Construction resolves the sequence (one hash lookup) and
+/// the layer/slot offset once; each Next() then costs one page-table index
+/// and yields up to page_size positions — amortizing the per-position
+/// lookup + bounds checks the Entry accessor pays, which is where the
+/// serial decode-attention kernel spent its time. When a run ends at a page
+/// boundary with more positions ahead, Next() software-prefetches the next
+/// page's slice at `prefetch_elem_off` (callers pass their head offset) so
+/// DRAM-resident pages are in flight before the SIMD strip reaches them.
+///
+/// Snapshot semantics: the cursor caches raw storage pointers; Extend /
+/// FreeSequence / CoW on the cache invalidate it. Read-only and safe to use
+/// from many threads over one cache concurrently.
+class KvRunCursor {
+ public:
+  KvRunCursor(const PagedKvCache& kv, SeqId seq, int layer, KvSlot slot,
+              std::size_t prefetch_elem_off = 0);
+
+  /// Jumps to an absolute position in [0, SeqLen].
+  void Seek(std::int64_t pos) { pos_ = pos; }
+  std::int64_t pos() const { return pos_; }
+
+  /// Yields the next run, clipped at min(limit, SeqLen); false once the
+  /// cursor has reached it. Advances past the returned run.
+  bool Next(std::int64_t limit, KvRun* run);
+
+ private:
+  const f16* storage_ = nullptr;
+  const PageId* pages_ = nullptr;
+  std::size_t page_elems_ = 0;
+  std::size_t entry_ = 0;    ///< token entry stride (elements)
+  std::size_t ls_off_ = 0;   ///< (layer, slot) offset within a page
+  std::size_t prefetch_off_ = 0;
+  std::int64_t page_size_ = 0;
+  std::int64_t seq_len_ = 0;
+  std::int64_t pos_ = 0;
+};
+
 class PagedKvCache {
  public:
   explicit PagedKvCache(const KvCacheConfig& config);
@@ -117,6 +166,8 @@ class PagedKvCache {
                           KvSlot slot) const;
   const SeqState& GetSeq(SeqId seq) const;
   SeqState& GetSeq(SeqId seq);
+
+  friend class KvRunCursor;  ///< reads SeqState + storage once at setup
 
   KvCacheConfig config_;
   PageAllocator allocator_;

@@ -1,72 +1,334 @@
 #include "model/attention.h"
 
-#include <array>
+#include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "tensor/simd.h"
 #include "util/check.h"
+#include "util/small_buffer.h"
 
 namespace punica {
 namespace {
 
-// Online-softmax single-query attention over cache positions [0, kv_len) of
-// one sequence, one query head. This is the streaming formulation
-// FlashAttention/FlashInfer use: one pass, running max and normaliser, no
-// score materialisation. Per position, the K/V page entries are decoded in
-// bulk inside the fused SIMD ops: dot_f16 for the q·k score (decode + FMA
-// in one pass over head_dim) and scale_add_f16 for the V accumulation.
-void AttendOneHead(const PagedKvCache& kv, SeqId seq, int layer, int kv_head,
-                   int head_dim, std::int64_t kv_len,
-                   std::span<const float> q_head, std::span<float> out_head,
-                   float scale) {
-  const SimdOps& ops = Simd();
-  float running_max = -INFINITY;
-  float normaliser = 0.0f;
-  std::vector<float> acc(static_cast<std::size_t>(head_dim), 0.0f);
-  std::size_t head_off = static_cast<std::size_t>(kv_head) *
-                         static_cast<std::size_t>(head_dim);
-  for (std::int64_t pos = 0; pos < kv_len; ++pos) {
-    auto k_entry = kv.Entry(seq, layer, pos, KvSlot::kKey);
-    float score = ops.dot_f16(q_head.data(), k_entry.data() + head_off,
-                              static_cast<std::size_t>(head_dim)) *
-                  scale;
-    float new_max = std::max(running_max, score);
-    float correction = std::exp(running_max - new_max);
-    float p = std::exp(score - new_max);
-    normaliser = normaliser * correction + p;
-    auto v_entry = kv.Entry(seq, layer, pos, KvSlot::kValue);
-    ops.scale_add_f16(acc.data(), correction, p, v_entry.data() + head_off,
-                      static_cast<std::size_t>(head_dim));
-    running_max = new_max;
+// Inline capacity for per-call metadata: decode batches up to this many
+// rows resolve kv lengths and split offsets on the stack (the hot path);
+// bigger batches and long prefill chunks spill to reused heap storage.
+constexpr std::size_t kStackRows = 64;
+
+/// One attention row: a query token and the cache range it attends over.
+struct RowInfo {
+  SeqId seq = 0;
+  std::int64_t kv_len = 0;
+};
+
+/// Query heads per task: GQA query heads sharing one KV head are evaluated
+/// together, block-interleaved, so each K/V cache block is streamed from
+/// memory once per task instead of once per query head (the cache bytes
+/// are the decode roofline). Capped so the per-task stack scratch stays
+/// bounded; a wider GQA group becomes several tasks over the same KV head.
+constexpr int kMaxSegHeads = 8;
+
+/// A run of consecutive local query heads sharing one KV head.
+struct HeadSeg {
+  std::int32_t lo = 0;  ///< first local head
+  std::int32_t hi = 0;  ///< one past the last local head
+};
+
+/// Computes the softmax partials of cache positions [begin, end) — one math
+/// block — for `n_h` consecutive query heads sharing one KV head. Two
+/// passes over the block's page runs: scores for every position
+/// (dot_f16_strip per K run per head, so a run is loaded once for the whole
+/// group while L1-hot), the exact block max per head, then the softmax·V
+/// accumulation (softmax_accum_f16 per V run per head) in ascending
+/// position order. Per head this is exactly the single-head sequence — run
+/// boundaries are fixed by the page geometry and the absolute block grid,
+/// never by the split, thread count or head grouping, so each head's
+/// partial is a fixed arithmetic sequence. Head t's partial is written to
+/// out0[t·out_stride]: {m, s, acc[0..d)} (acc zeroed here). `scores` needs
+/// n_h · kAttnBlockLen floats.
+void ComputeBlockPartialGroup(const SimdOps& ops, KvRunCursor& kcur,
+                              KvRunCursor& vcur, const float* q0, int n_h,
+                              std::size_t head_off, std::size_t stride,
+                              int d, std::int64_t begin, std::int64_t end,
+                              float scale, float* scores, float* out0,
+                              std::size_t out_stride) {
+  kcur.Seek(begin);
+  vcur.Seek(begin);
+  KvRun run;
+  std::int64_t done = 0;
+  while (kcur.Next(end, &run)) {
+    for (int t = 0; t < n_h; ++t) {
+      ops.dot_f16_strip(q0 + static_cast<std::size_t>(t) * d,
+                        run.data + head_off, stride,
+                        static_cast<std::size_t>(d),
+                        static_cast<std::size_t>(run.len), scale,
+                        scores + static_cast<std::size_t>(t) * kAttnBlockLen +
+                            done);
+    }
+    done += run.len;
   }
-  float inv = normaliser > 0.0f ? 1.0f / normaliser : 0.0f;
-  for (int d = 0; d < head_dim; ++d) {
-    out_head[static_cast<std::size_t>(d)] =
-        acc[static_cast<std::size_t>(d)] * inv;
+  const std::int64_t n = end - begin;
+  for (int t = 0; t < n_h; ++t) {
+    const float* sp = scores + static_cast<std::size_t>(t) * kAttnBlockLen;
+    float m = -INFINITY;
+    for (std::int64_t j = 0; j < n; ++j) m = std::max(m, sp[j]);
+    float* slot = out0 + static_cast<std::size_t>(t) * out_stride;
+    slot[0] = m;
+    slot[1] = 0.0f;
+    std::fill(slot + 2, slot + 2 + d, 0.0f);
+  }
+  std::int64_t off = 0;
+  while (vcur.Next(end, &run)) {
+    for (int t = 0; t < n_h; ++t) {
+      float* slot = out0 + static_cast<std::size_t>(t) * out_stride;
+      slot[1] += ops.softmax_accum_f16(
+          scores + static_cast<std::size_t>(t) * kAttnBlockLen + off,
+          slot[0], run.data + head_off, stride, static_cast<std::size_t>(d),
+          static_cast<std::size_t>(run.len), slot + 2);
+    }
+    off += run.len;
   }
 }
 
-// Attention for one token and one *local* head index (the head_begin-based
-// offset into q/out); the global head picks the shared KV head under GQA.
-void AttendTokenHead(const LlamaConfig& config, const PagedKvCache& kv,
-                     SeqId seq, int layer, std::int64_t kv_len,
-                     std::span<const float> q, std::span<float> out,
-                     int head_begin, int local_head) {
-  int head_dim = config.head_dim();
-  int group = config.num_heads / config.num_kv_heads;
-  float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  int kv_head = (head_begin + local_head) / group;
-  auto q_head =
-      q.subspan(static_cast<std::size_t>(local_head) *
-                    static_cast<std::size_t>(head_dim),
-                static_cast<std::size_t>(head_dim));
-  auto out_head =
-      out.subspan(static_cast<std::size_t>(local_head) *
-                      static_cast<std::size_t>(head_dim),
-                  static_cast<std::size_t>(head_dim));
-  AttendOneHead(kv, seq, layer, kv_head, head_dim, kv_len, q_head, out_head,
-                scale);
+/// Folds one block partial into the running (m, s, acc) state. This is the
+/// ONLY way partials ever combine — a left fold in ascending block order —
+/// on both the inline path and the split-KV path, so the non-associative
+/// softmax merge is always the same arithmetic sequence. Seeded with
+/// (m = −inf, s = 0, acc = 0): exp(−inf − m') = 0 makes the first fold an
+/// exact copy-in.
+inline void FoldBlock(float bm, float bs, const float* bacc, int d, float* m,
+                      float* s, float* acc) {
+  const float new_m = std::max(*m, bm);
+  const float alpha = std::exp(*m - new_m);
+  const float beta = std::exp(bm - new_m);
+  for (int i = 0; i < d; ++i) acc[i] = acc[i] * alpha + beta * bacc[i];
+  *s = *s * alpha + beta * bs;
+  *m = new_m;
+}
+
+inline void NormalizeOut(float s, int d, float* out_head) {
+  const float inv = s > 0.0f ? 1.0f / s : 0.0f;
+  for (int i = 0; i < d; ++i) out_head[i] *= inv;
+}
+
+/// The unsplit path: every block of one (row, head-segment) task computed
+/// and folded inline. Each head's output slice doubles as its fold
+/// accumulator — no per-task heap allocation anywhere (the old kernel's
+/// std::vector acc). Per head the block/fold sequence is identical to a
+/// one-head-per-task schedule; grouping only changes which task runs it.
+void AttendSegInline(const SimdOps& ops, const PagedKvCache& kv,
+                     const RowInfo& row, int layer, const HeadSeg& seg,
+                     std::size_t head_off, std::size_t stride, int d,
+                     const float* q0, float* out0, float scale) {
+  const int n_h = seg.hi - seg.lo;
+  KvRunCursor kcur(kv, row.seq, layer, KvSlot::kKey, head_off);
+  KvRunCursor vcur(kv, row.seq, layer, KvSlot::kValue, head_off);
+  float scores[kMaxSegHeads * kAttnBlockLen];
+  // Per-head block partial {m, s, acc[d]} plus the running fold (m, s).
+  float partial[kMaxSegHeads * (2 + kMaxAttnHeadDim)];
+  const std::size_t pstride = static_cast<std::size_t>(d) + 2;
+  float m[kMaxSegHeads];
+  float s[kMaxSegHeads];
+  for (int t = 0; t < n_h; ++t) {
+    m[t] = -INFINITY;
+    s[t] = 0.0f;
+    float* oh = out0 + static_cast<std::size_t>(t) * d;
+    std::fill(oh, oh + d, 0.0f);
+  }
+  for (std::int64_t b0 = 0; b0 < row.kv_len; b0 += kAttnBlockLen) {
+    const std::int64_t b1 = std::min(row.kv_len, b0 + kAttnBlockLen);
+    ComputeBlockPartialGroup(ops, kcur, vcur, q0, n_h, head_off, stride, d,
+                             b0, b1, scale, scores, partial, pstride);
+    for (int t = 0; t < n_h; ++t) {
+      const float* slot = partial + static_cast<std::size_t>(t) * pstride;
+      FoldBlock(slot[0], slot[1], slot + 2, d, &m[t], &s[t],
+                out0 + static_cast<std::size_t>(t) * d);
+    }
+  }
+  for (int t = 0; t < n_h; ++t) {
+    NormalizeOut(s[t], d, out0 + static_cast<std::size_t>(t) * d);
+  }
+}
+
+/// Work-size heuristic (split-KV chunk count): split only when the batch's
+/// (row × head-segment) tasks under-fill the worker pool — the long-context
+/// single-sequence decode that otherwise leaves most workers idle — and
+/// the longest row spans at least two blocks. Any S computes the identical
+/// stream (the block math is fixed), so this is purely a scheduling choice
+/// and may depend on the thread count without breaking determinism.
+int PickSplit(const ComputeContext& ctx, std::int64_t tasks,
+              std::int64_t max_kv_len) {
+  const int forced = ctx.attn_split();
+  if (forced > 0) return forced;
+  const auto threads = static_cast<std::int64_t>(ctx.num_threads());
+  if (threads <= 1 || tasks <= 0) return 1;
+  if (tasks >= 2 * threads) return 1;
+  if (max_kv_len < 2 * kAttnBlockLen) return 1;
+  // Oversubscribe ~3 chunks per worker: chunk costs vary (tail blocks,
+  // page effects) and the pool assigns chunks dynamically.
+  const std::int64_t s = (3 * threads + tasks - 1) / tasks;
+  return static_cast<int>(
+      std::clamp<std::int64_t>(s, 1, ComputeContext::kMaxAttnSplit));
+}
+
+/// Shared core of all four entry points: attention of `rows` query tokens
+/// over their cache ranges, for local heads [0, heads) mapping to global
+/// heads [head_begin, head_begin + heads).
+void AttendRowsRanged(const LlamaConfig& config, const PagedKvCache& kv,
+                      std::span<const RowInfo> rows, int layer,
+                      std::span<const float> q, std::span<float> out,
+                      int head_begin, int heads, const ComputeContext& ctx,
+                      std::vector<float>* scratch) {
+  const SimdOps& ops = Simd();
+  const int d = config.head_dim();
+  PUNICA_CHECK(d <= kMaxAttnHeadDim);
+  const int group = config.num_heads / config.num_kv_heads;
+  const std::size_t width = static_cast<std::size_t>(heads) *
+                            static_cast<std::size_t>(d);
+  const std::size_t stride = kv.config().token_entry_elems();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const auto n_rows = static_cast<std::int64_t>(rows.size());
+  const std::int64_t pairs = n_rows * heads;
+
+  std::int64_t max_kv_len = 0;
+  for (const RowInfo& r : rows) max_kv_len = std::max(max_kv_len, r.kv_len);
+
+  const auto head_off_of = [&](int local_head) {
+    return static_cast<std::size_t>((head_begin + local_head) / group) *
+           static_cast<std::size_t>(d);
+  };
+
+  // Head segments: maximal runs of local query heads sharing one KV head
+  // (capped at kMaxSegHeads). Tasks are (row, segment), so one task streams
+  // each cache block once for its whole GQA group. A rank's head range need
+  // not be group-aligned — the first/last segments may be partial groups.
+  SmallBuffer<HeadSeg, 64> segs(static_cast<std::size_t>(heads));
+  std::int64_t n_segs = 0;
+  for (int lh = 0; lh < heads;) {
+    const int gh = head_begin + lh;
+    const int group_end = (gh / group + 1) * group - head_begin;
+    const int hi = std::min({heads, group_end, lh + kMaxSegHeads});
+    segs[static_cast<std::size_t>(n_segs++)] = {lh, hi};
+    lh = hi;
+  }
+  const std::int64_t n_tasks = n_rows * n_segs;
+
+  const int S = PickSplit(ctx, n_tasks, max_kv_len);
+
+  // Per-row block counts and per-row chunk counts (min(S, blocks)), as
+  // prefix sums so tasks and partial slots index by flat offset.
+  SmallBuffer<std::int64_t, kStackRows + 1> block_off;
+  SmallBuffer<std::int64_t, kStackRows + 1> chunk_off;
+  std::int64_t total_blocks = 0;
+  std::int64_t total_chunks = 0;
+  if (S > 1) {
+    block_off.Resize(static_cast<std::size_t>(n_rows) + 1);
+    chunk_off.Resize(static_cast<std::size_t>(n_rows) + 1);
+    block_off[0] = chunk_off[0] = 0;
+    for (std::int64_t i = 0; i < n_rows; ++i) {
+      const std::int64_t blocks =
+          (rows[static_cast<std::size_t>(i)].kv_len + kAttnBlockLen - 1) /
+          kAttnBlockLen;
+      total_blocks += blocks;
+      total_chunks += std::min<std::int64_t>(S, blocks);
+      block_off[static_cast<std::size_t>(i) + 1] = total_blocks;
+      chunk_off[static_cast<std::size_t>(i) + 1] = total_chunks;
+    }
+  }
+
+  if (S <= 1 || total_chunks == n_rows) {
+    // One task per (row, head segment) — the whole-range inline fold; each
+    // out slice has exactly one writer.
+    ctx.ParallelFor(n_tasks, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t task = lo; task < hi; ++task) {
+        const auto row = static_cast<std::size_t>(task / n_segs);
+        const HeadSeg seg = segs[static_cast<std::size_t>(task % n_segs)];
+        AttendSegInline(
+            ops, kv, rows[row], layer, seg, head_off_of(seg.lo), stride, d,
+            q.data() + row * width + static_cast<std::size_t>(seg.lo) * d,
+            out.data() + row * width + static_cast<std::size_t>(seg.lo) * d,
+            scale);
+      }
+    });
+    return;
+  }
+
+  // Split-KV: phase A computes every block's raw partial into workspace
+  // scratch — never pre-folded, so the fold below is the same sequence the
+  // inline path runs — and phase B folds them in ascending block order.
+  // Partial slot layout: [total_blocks][heads][2 + d] floats (m, s, acc).
+  const std::size_t slot_elems = static_cast<std::size_t>(d) + 2;
+  const std::size_t need =
+      static_cast<std::size_t>(total_blocks * heads) * slot_elems;
+  SmallBuffer<float, 4096> local_partials;
+  float* partials;
+  if (scratch != nullptr) {
+    if (scratch->size() < need) scratch->resize(need);
+    partials = scratch->data();
+  } else {
+    local_partials.Resize(need);
+    partials = local_partials.data();
+  }
+
+  ctx.ParallelFor(total_chunks * n_segs, 1, [&](std::int64_t lo,
+                                                std::int64_t hi) {
+    for (std::int64_t task = lo; task < hi; ++task) {
+      const std::int64_t cg = task / n_segs;
+      const HeadSeg seg = segs[static_cast<std::size_t>(task % n_segs)];
+      // Row containing global chunk cg: chunk_off[row] <= cg < [row + 1].
+      const std::int64_t row =
+          std::upper_bound(chunk_off.data() + 1, chunk_off.data() + n_rows + 1,
+                           cg) -
+          (chunk_off.data() + 1);
+      const auto ri = static_cast<std::size_t>(row);
+      const std::int64_t c = cg - chunk_off[ri];
+      const std::int64_t blocks = block_off[ri + 1] - block_off[ri];
+      const std::int64_t chunks = chunk_off[ri + 1] - chunk_off[ri];
+      const std::int64_t b_lo = c * blocks / chunks;
+      const std::int64_t b_hi = (c + 1) * blocks / chunks;
+      const std::size_t head_off = head_off_of(seg.lo);
+      const float* q0 =
+          q.data() + ri * width + static_cast<std::size_t>(seg.lo) * d;
+      KvRunCursor kcur(kv, rows[ri].seq, layer, KvSlot::kKey, head_off);
+      KvRunCursor vcur(kv, rows[ri].seq, layer, KvSlot::kValue, head_off);
+      float scores[kMaxSegHeads * kAttnBlockLen];
+      for (std::int64_t b = b_lo; b < b_hi; ++b) {
+        const std::int64_t p0 = b * kAttnBlockLen;
+        const std::int64_t p1 =
+            std::min(rows[ri].kv_len, p0 + kAttnBlockLen);
+        float* slot0 =
+            partials + (static_cast<std::size_t>(block_off[ri] + b) *
+                            static_cast<std::size_t>(heads) +
+                        static_cast<std::size_t>(seg.lo)) *
+                           slot_elems;
+        ComputeBlockPartialGroup(ops, kcur, vcur, q0, seg.hi - seg.lo,
+                                 head_off, stride, d, p0, p1, scale, scores,
+                                 slot0, slot_elems);
+      }
+    }
+  });
+
+  ctx.ParallelFor(pairs, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t task = lo; task < hi; ++task) {
+      const auto ri = static_cast<std::size_t>(task / heads);
+      const int lh = static_cast<int>(task % heads);
+      float* out_head =
+          out.data() + ri * width + static_cast<std::size_t>(lh) * d;
+      std::fill(out_head, out_head + d, 0.0f);
+      float m = -INFINITY;
+      float s = 0.0f;
+      const std::int64_t blocks = block_off[ri + 1] - block_off[ri];
+      for (std::int64_t b = 0; b < blocks; ++b) {
+        const float* slot_p =
+            partials + (static_cast<std::size_t>(block_off[ri] + b) *
+                            static_cast<std::size_t>(heads) +
+                        static_cast<std::size_t>(lh)) *
+                           slot_elems;
+        FoldBlock(slot_p[0], slot_p[1], slot_p + 2, d, &m, &s, out_head);
+      }
+      NormalizeOut(s, d, out_head);
+    }
+  });
 }
 
 void CheckRange(const LlamaConfig& config, int head_begin, int head_end) {
@@ -83,29 +345,22 @@ void BatchPrefillAttentionRanged(const LlamaConfig& config,
                                  std::int64_t pos_offset,
                                  std::span<const float> q,
                                  std::span<float> out, int head_begin,
-                                 int head_end, const ComputeContext& ctx) {
+                                 int head_end, const ComputeContext& ctx,
+                                 std::vector<float>* scratch) {
   CheckRange(config, head_begin, head_end);
-  const std::int64_t heads = head_end - head_begin;
-  std::size_t width = static_cast<std::size_t>(heads) *
-                      static_cast<std::size_t>(config.head_dim());
+  const int heads = head_end - head_begin;
+  const std::size_t width = static_cast<std::size_t>(heads) *
+                            static_cast<std::size_t>(config.head_dim());
   PUNICA_CHECK(q.size() % width == 0);
   PUNICA_CHECK(q.size() == out.size());
-  auto chunk_len = static_cast<std::int64_t>(q.size() / width);
+  const auto chunk_len = static_cast<std::int64_t>(q.size() / width);
   PUNICA_CHECK(kv.SeqLen(seq) >= pos_offset + chunk_len);
-  // One (token, head) pair per task; the online-softmax pass over the cache
-  // is sequential within the task, so each out slice is order-fixed.
-  ctx.ParallelFor(chunk_len * heads, 1, [&](std::int64_t lo,
-                                            std::int64_t hi) {
-    for (std::int64_t task = lo; task < hi; ++task) {
-      std::int64_t j = task / heads;
-      int local_head = static_cast<int>(task % heads);
-      std::int64_t kv_len = pos_offset + j + 1;  // causal
-      AttendTokenHead(config, kv, seq, layer, kv_len,
-                      q.subspan(static_cast<std::size_t>(j) * width, width),
-                      out.subspan(static_cast<std::size_t>(j) * width, width),
-                      head_begin, local_head);
-    }
-  });
+  SmallBuffer<RowInfo, kStackRows> rows(static_cast<std::size_t>(chunk_len));
+  for (std::int64_t j = 0; j < chunk_len; ++j) {
+    rows[static_cast<std::size_t>(j)] = {seq, pos_offset + j + 1};  // causal
+  }
+  AttendRowsRanged(config, kv, {rows.data(), rows.size()}, layer, q, out,
+                   head_begin, heads, ctx, scratch);
 }
 
 void BatchDecodeAttentionRanged(const LlamaConfig& config,
@@ -113,54 +368,40 @@ void BatchDecodeAttentionRanged(const LlamaConfig& config,
                                 std::span<const SeqId> seqs, int layer,
                                 std::span<const float> q, std::span<float> out,
                                 int head_begin, int head_end,
-                                const ComputeContext& ctx) {
+                                const ComputeContext& ctx,
+                                std::vector<float>* scratch) {
   CheckRange(config, head_begin, head_end);
-  const std::int64_t heads = head_end - head_begin;
-  std::size_t width = static_cast<std::size_t>(heads) *
-                      static_cast<std::size_t>(config.head_dim());
+  const int heads = head_end - head_begin;
+  const std::size_t width = static_cast<std::size_t>(heads) *
+                            static_cast<std::size_t>(config.head_dim());
   PUNICA_CHECK(q.size() == seqs.size() * width);
   PUNICA_CHECK(q.size() == out.size());
   // Resolve each row's cache length once, not once per (row, head) task.
-  // Stack storage for typical decode batches keeps the per-layer hot path
-  // allocation-free.
-  constexpr std::size_t kStackSeqs = 64;
-  std::array<std::int64_t, kStackSeqs> stack_lens;
-  std::vector<std::int64_t> heap_lens;
-  std::int64_t* kv_lens = stack_lens.data();
-  if (seqs.size() > kStackSeqs) {
-    heap_lens.resize(seqs.size());
-    kv_lens = heap_lens.data();
-  }
+  SmallBuffer<RowInfo, kStackRows> rows(seqs.size());
   for (std::size_t i = 0; i < seqs.size(); ++i) {
-    kv_lens[i] = kv.SeqLen(seqs[i]);
-    PUNICA_CHECK(kv_lens[i] > 0);
+    rows[i] = {seqs[i], kv.SeqLen(seqs[i])};
+    PUNICA_CHECK(rows[i].kv_len > 0);
   }
-  ctx.ParallelFor(static_cast<std::int64_t>(seqs.size()) * heads, 1,
-                  [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t task = lo; task < hi; ++task) {
-      auto i = static_cast<std::size_t>(task / heads);
-      int local_head = static_cast<int>(task % heads);
-      AttendTokenHead(config, kv, seqs[i], layer, kv_lens[i],
-                      q.subspan(i * width, width),
-                      out.subspan(i * width, width), head_begin, local_head);
-    }
-  });
+  AttendRowsRanged(config, kv, {rows.data(), rows.size()}, layer, q, out,
+                   head_begin, heads, ctx, scratch);
 }
 
 void BatchPrefillAttention(const LlamaConfig& config, const PagedKvCache& kv,
                            SeqId seq, int layer, std::int64_t pos_offset,
                            std::span<const float> q, std::span<float> out,
-                           const ComputeContext& ctx) {
+                           const ComputeContext& ctx,
+                           std::vector<float>* scratch) {
   BatchPrefillAttentionRanged(config, kv, seq, layer, pos_offset, q, out, 0,
-                              config.num_heads, ctx);
+                              config.num_heads, ctx, scratch);
 }
 
 void BatchDecodeAttention(const LlamaConfig& config, const PagedKvCache& kv,
                           std::span<const SeqId> seqs, int layer,
                           std::span<const float> q, std::span<float> out,
-                          const ComputeContext& ctx) {
+                          const ComputeContext& ctx,
+                          std::vector<float>* scratch) {
   BatchDecodeAttentionRanged(config, kv, seqs, layer, q, out, 0,
-                             config.num_heads, ctx);
+                             config.num_heads, ctx, scratch);
 }
 
 }  // namespace punica

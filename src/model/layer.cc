@@ -234,7 +234,8 @@ void LayerForward(const LlamaConfig& config, const LayerWeights& weights,
     BatchPrefillAttention(
         config, kv, e.seq, layer, e.pos_offset,
         std::span<const float>(ws.q).subspan(row * h, chunk * h),
-        std::span<float>(ws.attn_out).subspan(row * h, chunk * h), ctx);
+        std::span<float>(ws.attn_out).subspan(row * h, chunk * h), ctx,
+        &ws.attn_scratch);
     row += chunk;
   }
   if (!batch.decode_seqs.empty()) {
@@ -242,7 +243,8 @@ void LayerForward(const LlamaConfig& config, const LayerWeights& weights,
     BatchDecodeAttention(
         config, kv, batch.decode_seqs, layer,
         std::span<const float>(ws.q).subspan(row * h, n_dec * h),
-        std::span<float>(ws.attn_out).subspan(row * h, n_dec * h), ctx);
+        std::span<float>(ws.attn_out).subspan(row * h, n_dec * h), ctx,
+        &ws.attn_scratch);
   }
 
   // Output projection (+LoRA) and residual. ws.normed is reused as the

@@ -98,6 +98,9 @@ class LayerWorkspace {
   std::vector<float> lora_tmp;  ///< [tokens, max_rank·(1+kMaxSplitKPartitions)]
                                 ///< — v rows + SGMV split-K scratch (see
                                 ///< BatchedLoraAddon's workspace contract)
+  std::vector<float> attn_scratch;  ///< split-KV softmax partials; grown on
+                                    ///< demand by the attention kernels and
+                                    ///< reused across layers/invocations
 };
 
 /// Runs one transformer layer in place over activations `x` ([tokens, h]).

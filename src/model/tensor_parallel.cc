@@ -128,6 +128,9 @@ void TpWorkspace::Resize(const LlamaConfig& config, int tp, int tokens) {
   grow(gate, p * t * f_pr);
   grow(up, p * t * f_pr);
   grow(partial, p * t * h);
+  // One split-KV attention scratch per rank (grown on demand by the
+  // attention kernels): concurrent ranks must never share partial buffers.
+  if (attn_scratch.size() < p) attn_scratch.resize(p);
 }
 
 void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
@@ -255,7 +258,7 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
           config, kv, e.seq, layer_idx, e.pos_offset,
           std::span<const float>(q).subspan(row * q_w, chunk * q_w),
           attn_out.subspan(row * q_w, chunk * q_w), head_begin, head_end,
-          rctx);
+          rctx, &ws.attn_scratch[ur]);
       row += chunk;
     }
     if (!batch.decode_seqs.empty()) {
@@ -264,7 +267,7 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
           config, kv, batch.decode_seqs, layer_idx,
           std::span<const float>(q).subspan(row * q_w, n_dec * q_w),
           attn_out.subspan(row * q_w, n_dec * q_w), head_begin, head_end,
-          rctx);
+          rctx, &ws.attn_scratch[ur]);
     }
 
     // Row-parallel O projection: this rank's partial [tokens, h].

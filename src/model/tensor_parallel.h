@@ -64,6 +64,10 @@ struct TpWorkspace {
   std::vector<float> gate;      ///< [tp][tokens, ffn_pr]
   std::vector<float> up;        ///< [tp][tokens, ffn_pr]
   std::vector<float> partial;   ///< [tp][tokens, h] — all-reduce inputs
+  std::vector<std::vector<float>> attn_scratch;  ///< per-rank split-KV
+                                                 ///< partials (disjoint so
+                                                 ///< concurrent ranks never
+                                                 ///< share scratch)
   void Resize(const LlamaConfig& config, int tp, int tokens);
 };
 

@@ -1,6 +1,7 @@
 #include "tensor/simd.h"
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +44,26 @@ float DotF16Scalar(const float* a, const f16* b, std::size_t n) {
 void ScaleAddF16Scalar(float* acc, float c, float p, const f16* v,
                        std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) acc[i] = acc[i] * c + p * v[i].ToFloat();
+}
+
+void DotF16StripScalar(const float* q, const f16* k, std::size_t stride,
+                       std::size_t d, std::size_t n_pos, float scale,
+                       float* scores) {
+  for (std::size_t j = 0; j < n_pos; ++j) {
+    scores[j] = DotF16Scalar(q, k + j * stride, d) * scale;
+  }
+}
+
+float SoftmaxAccumF16Scalar(const float* scores, float m, const f16* v,
+                            std::size_t stride, std::size_t d,
+                            std::size_t n_pos, float* acc) {
+  float sum = 0.0f;
+  for (std::size_t j = 0; j < n_pos; ++j) {
+    float p = std::exp(scores[j] - m);
+    AxpyF16Scalar(p, v + j * stride, acc, d);
+    sum += p;
+  }
+  return sum;
 }
 
 // --- Scalar quantized-weight kernels ---
@@ -110,6 +131,8 @@ constexpr SimdOps kScalarOps = {
     .axpy_f16 = AxpyF16Scalar,
     .dot_f16 = DotF16Scalar,
     .scale_add_f16 = ScaleAddF16Scalar,
+    .dot_f16_strip = DotF16StripScalar,
+    .softmax_accum_f16 = SoftmaxAccumF16Scalar,
     .dequant_q8 = DequantQ8Scalar,
     .dequant_q4 = DequantQ4Scalar,
     .axpy_q8 = AxpyQ8Scalar,

@@ -72,6 +72,23 @@ struct SimdOps {
   void (*scale_add_f16)(float* acc, float c, float p, const f16* v,
                         std::size_t n);
 
+  // Page-run attention strips: one call processes a whole contiguous run of
+  // cache positions (KvRunCursor runs), entries `stride` elements apart.
+  // Per position both ops run this level's dot_f16 / axpy_f16 body, so how
+  // a KV range is segmented into strip calls never changes the numerics —
+  // the property the split-KV determinism contract rests on.
+  /// scores[j] = scale · Σ_t q[t] · decode(k[j·stride + t]) for ascending
+  /// j in [0, n_pos).
+  void (*dot_f16_strip)(const float* q, const f16* k, std::size_t stride,
+                        std::size_t d, std::size_t n_pos, float scale,
+                        float* scores);
+  /// The post-max softmax·V pass over one run: for ascending j,
+  /// p = exp(scores[j] − m); acc[0..d) += p · decode(v[j·stride .. +d)).
+  /// Returns Σ p. exp is scalar libm on every path.
+  float (*softmax_accum_f16)(const float* scores, float m, const f16* v,
+                             std::size_t stride, std::size_t d,
+                             std::size_t n_pos, float* acc);
+
   // Groupwise-quantized weight kernels (tensor/quant.h blocks). `w`/`b`
   // point at the block containing element 0 (callers keep stripe starts
   // block-aligned); n is in ELEMENTS and may end mid-block.

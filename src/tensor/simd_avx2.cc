@@ -105,6 +105,39 @@ void ScaleAddF16Avx(float* acc, float c, float p, const f16* v,
   for (; i < n; ++i) acc[i] = std::fma(p, v[i].ToFloat(), acc[i] * c);
 }
 
+// Page-run strips: each position runs the level's dot/axpy body above (so
+// run segmentation never changes numerics); the only additions are a
+// prefetch a couple of entries ahead, keeping the f16 stream in flight
+// while the current entry's FMA chain drains.
+
+void DotF16StripAvx(const float* q, const f16* k, std::size_t stride,
+                    std::size_t d, std::size_t n_pos, float scale,
+                    float* scores) {
+  for (std::size_t j = 0; j < n_pos; ++j) {
+    if (j + 2 < n_pos) {
+      _mm_prefetch(reinterpret_cast<const char*>(k + (j + 2) * stride),
+                   _MM_HINT_T0);
+    }
+    scores[j] = DotF16Avx(q, k + j * stride, d) * scale;
+  }
+}
+
+float SoftmaxAccumF16Avx(const float* scores, float m, const f16* v,
+                         std::size_t stride, std::size_t d, std::size_t n_pos,
+                         float* acc) {
+  float sum = 0.0f;
+  for (std::size_t j = 0; j < n_pos; ++j) {
+    if (j + 2 < n_pos) {
+      _mm_prefetch(reinterpret_cast<const char*>(v + (j + 2) * stride),
+                   _MM_HINT_T0);
+    }
+    float p = std::exp(scores[j] - m);
+    AxpyF16Avx(p, v + j * stride, acc, d);
+    sum += p;
+  }
+  return sum;
+}
+
 // --- Quantized-weight kernels ---
 // A Q8_0 block is 4 groups of 8 int8; a Q4_0 block is 4 groups of 8
 // nibbles. Each group decodes to one 256-bit f32 vector: sign-extend to
@@ -273,6 +306,8 @@ constexpr SimdOps kAvx2Ops = {
     .axpy_f16 = AxpyF16Avx,
     .dot_f16 = DotF16Avx,
     .scale_add_f16 = ScaleAddF16Avx,
+    .dot_f16_strip = DotF16StripAvx,
+    .softmax_accum_f16 = SoftmaxAccumF16Avx,
     .dequant_q8 = DequantQ8Avx,
     .dequant_q4 = DequantQ4Avx,
     .axpy_q8 = AxpyQ8Avx,

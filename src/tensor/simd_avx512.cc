@@ -112,6 +112,37 @@ void ScaleAddF16Avx512(float* acc, float c, float p, const f16* v,
   for (; i < n; ++i) acc[i] = std::fma(p, v[i].ToFloat(), acc[i] * c);
 }
 
+// Page-run strips: per position the level's dot/axpy body above, plus a
+// prefetch two entries ahead (same rationale as the avx2 path).
+
+void DotF16StripAvx512(const float* q, const f16* k, std::size_t stride,
+                       std::size_t d, std::size_t n_pos, float scale,
+                       float* scores) {
+  for (std::size_t j = 0; j < n_pos; ++j) {
+    if (j + 2 < n_pos) {
+      _mm_prefetch(reinterpret_cast<const char*>(k + (j + 2) * stride),
+                   _MM_HINT_T0);
+    }
+    scores[j] = DotF16Avx512(q, k + j * stride, d) * scale;
+  }
+}
+
+float SoftmaxAccumF16Avx512(const float* scores, float m, const f16* v,
+                            std::size_t stride, std::size_t d,
+                            std::size_t n_pos, float* acc) {
+  float sum = 0.0f;
+  for (std::size_t j = 0; j < n_pos; ++j) {
+    if (j + 2 < n_pos) {
+      _mm_prefetch(reinterpret_cast<const char*>(v + (j + 2) * stride),
+                   _MM_HINT_T0);
+    }
+    float p = std::exp(scores[j] - m);
+    AxpyF16Avx512(p, v + j * stride, acc, d);
+    sum += p;
+  }
+  return sum;
+}
+
 // --- Quantized-weight kernels ---
 // A Q8_0 block is 2 groups of 16 int8; a Q4_0 block's 16 bytes hold
 // elements 0..15 in the low nibbles and 16..31 in the high nibbles, so each
@@ -268,6 +299,8 @@ constexpr SimdOps kAvx512Ops = {
     .axpy_f16 = AxpyF16Avx512,
     .dot_f16 = DotF16Avx512,
     .scale_add_f16 = ScaleAddF16Avx512,
+    .dot_f16_strip = DotF16StripAvx512,
+    .softmax_accum_f16 = SoftmaxAccumF16Avx512,
     .dequant_q8 = DequantQ8Avx512,
     .dequant_q4 = DequantQ4Avx512,
     .axpy_q8 = AxpyQ8Avx512,

@@ -23,10 +23,24 @@ int ComputeContext::ResolveThreadCount(int requested) {
   return n;
 }
 
+int ComputeContext::ResolveAttnSplit(int requested) {
+  int s = requested;
+  if (s <= 0) {
+    const char* env = std::getenv("PUNICA_ATTN_SPLIT");
+    if (env != nullptr && env[0] != '\0') {
+      s = std::atoi(env);
+    }
+  }
+  if (s < 0) s = 0;
+  if (s > kMaxAttnSplit) s = kMaxAttnSplit;
+  return s;
+}
+
 ComputeContext::ComputeContext(ComputeConfig config)
     : owned_pool_(
           std::make_unique<ThreadPool>(ResolveThreadCount(config.num_threads))),
-      pool_(owned_pool_.get()) {}
+      pool_(owned_pool_.get()),
+      attn_split_(ResolveAttnSplit(config.attn_split)) {}
 
 std::vector<std::unique_ptr<ComputeContext>> ComputeContext::Split(
     int k) const {
@@ -36,8 +50,8 @@ std::vector<std::unique_ptr<ComputeContext>> ComputeContext::Split(
   std::vector<std::unique_ptr<ComputeContext>> views;
   views.reserve(static_cast<std::size_t>(k));
   for (int g = 0; g < k; ++g) {
-    views.push_back(
-        std::unique_ptr<ComputeContext>(new ComputeContext(pool_, g)));
+    views.push_back(std::unique_ptr<ComputeContext>(
+        new ComputeContext(pool_, g, attn_split_)));
   }
   return views;
 }

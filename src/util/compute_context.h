@@ -37,6 +37,12 @@ namespace punica {
 struct ComputeConfig {
   /// 0 = resolve from PUNICA_THREADS / hardware_concurrency.
   int num_threads = 0;
+  /// Split-KV chunk count for decode attention. 0 = resolve from
+  /// PUNICA_ATTN_SPLIT, else the work-size heuristic picks per batch shape;
+  /// > 0 forces that split (tests / benches). Purely a scheduling knob:
+  /// the attention math is fixed-block, so streams are bit-identical at
+  /// any value.
+  int attn_split = 0;
 };
 
 class ComputeContext {
@@ -79,6 +85,10 @@ class ComputeContext {
     pool_->RunGroupTasks(k, std::forward<Fn>(fn));
   }
 
+  /// Forced split-KV chunk count for decode attention (0 = heuristic).
+  /// Group views inherit the root's value.
+  int attn_split() const { return attn_split_; }
+
   /// True for a Split() view pinned to one worker group.
   bool is_group_view() const { return group_ >= 0; }
   /// The pinned group index (-1 on a root context).
@@ -94,17 +104,23 @@ class ComputeContext {
   /// hardware_concurrency; the result is clamped to [1, kMaxThreads].
   static int ResolveThreadCount(int requested);
 
+  /// `requested` <= 0 resolves via PUNICA_ATTN_SPLIT (absent/invalid = 0,
+  /// the heuristic); the result is clamped to [0, kMaxAttnSplit].
+  static int ResolveAttnSplit(int requested);
+
   static constexpr int kMaxThreads = 256;
+  static constexpr int kMaxAttnSplit = 64;
 
  private:
-  ComputeContext(ThreadPool* pool, int group)
-      : pool_(pool), group_(group) {}
+  ComputeContext(ThreadPool* pool, int group, int attn_split)
+      : pool_(pool), group_(group), attn_split_(attn_split) {}
 
   std::unique_ptr<ThreadPool> owned_pool_;
   // Kernels take `const ComputeContext&` — running work does not mutate the
   // context's observable state, only the pool's internal scheduling.
   ThreadPool* pool_;
   int group_ = -1;  ///< pinned worker group; -1 = root (whole pool)
+  int attn_split_ = 0;  ///< forced split-KV chunks; 0 = heuristic
 };
 
 }  // namespace punica

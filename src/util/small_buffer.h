@@ -1,0 +1,61 @@
+// SmallBuffer<T, N> — inline-storage-then-heap scratch for hot-path
+// kernels: sized per call, stack-backed for the typical case, heap-backed
+// past N elements. This is the stack/heap resolution pattern the attention
+// kernels use for per-batch metadata (row lengths, chunk offsets) and for
+// the split-KV softmax partials when no persistent workspace is supplied —
+// hoisted here so each call site is one Resize instead of an array + vector
+// + pointer dance.
+//
+// Semantics: Resize never shrinks the heap allocation (scratch reuse), and
+// element values are NOT preserved across Resize — this is scratch, not a
+// container. Elements are default-initialized (i.e. uninitialized for
+// trivial T on the inline path); callers fill what they read. Non-copyable:
+// data() pointers must never alias a moved-from buffer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace punica {
+
+template <typename T, std::size_t N>
+class SmallBuffer {
+ public:
+  SmallBuffer() = default;
+  explicit SmallBuffer(std::size_t n) { Resize(n); }
+  SmallBuffer(const SmallBuffer&) = delete;
+  SmallBuffer& operator=(const SmallBuffer&) = delete;
+
+  /// Makes [0, n) addressable. Contents are unspecified after a Resize.
+  void Resize(std::size_t n) {
+    if (n > N) {
+      if (heap_.size() < n) heap_.resize(n);
+      data_ = heap_.data();
+    } else {
+      data_ = inline_;
+    }
+    size_ = n;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  static constexpr std::size_t inline_capacity() { return N; }
+  bool is_inline() const { return data_ == inline_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  T inline_[N];
+  std::vector<T> heap_;
+  T* data_ = inline_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace punica

@@ -174,6 +174,60 @@ TEST(CostModelTest, Kv70BNeedsTensorParallelism) {
   EXPECT_GT(cm.KvCacheCapacityTokens(Llama70B(), 8), 0);
 }
 
+TEST(SpecsTest, A100SmCount) {
+  EXPECT_EQ(A100Sxm80GB().sm_count, 108);
+  EXPECT_EQ(A100Sxm40GB().sm_count, 108);  // same GA100 die
+}
+
+TEST(CostModelTest, SerialKvDecodePaysOccupancyPenaltyAtSmallBatch) {
+  // One CTA per (sequence, kv_head): a single 7B sequence fills 32 of 108
+  // SMs, so the serial kernel's latency scales by the idle fraction. The
+  // default (split-KV) model is the plain roofline and must be cheaper.
+  CostModel split = Cm();
+  CostModel serial = Cm();
+  serial.mutable_params().attn_split_kv = false;
+  LlamaConfig c = Llama7B();  // 32 kv heads
+  std::vector<std::int64_t> one_seq = {8192};
+  double t_split = split.AttentionDecodeLatency(c, one_seq, 1);
+  double t_serial = serial.AttentionDecodeLatency(c, one_seq, 1);
+  EXPECT_GT(t_serial, t_split);
+  // fraction = 32/108; only the memory term scales, so the ratio of the
+  // memory portions is exactly 108/32.
+  double overhead = split.params().attn_kernel_overhead_s;
+  EXPECT_NEAR((t_serial - overhead) / (t_split - overhead), 108.0 / 32.0,
+              1e-9);
+}
+
+TEST(CostModelTest, SerialKvPenaltyVanishesWhenCtasSaturate) {
+  // 4 sequences × 32 kv heads = 128 CTAs ≥ 108 SMs: both kernels hit the
+  // roofline and the models agree exactly.
+  CostModel split = Cm();
+  CostModel serial = Cm();
+  serial.mutable_params().attn_split_kv = false;
+  LlamaConfig c = Llama7B();
+  std::vector<std::int64_t> batch(4, 4096);
+  EXPECT_DOUBLE_EQ(serial.AttentionDecodeLatency(c, batch, 1),
+                   split.AttentionDecodeLatency(c, batch, 1));
+}
+
+TEST(CostModelTest, SerialKvPenaltyWorsensUnderTensorParallelism) {
+  // TP shards kv heads across ranks, shrinking per-rank CTA counts — the
+  // serial kernel's occupancy gap widens with tp while the split-KV model
+  // keeps scaling. Ratio serial/split must grow monotonically in tp.
+  CostModel split = Cm();
+  CostModel serial = Cm();
+  serial.mutable_params().attn_split_kv = false;
+  LlamaConfig c = Llama70B();  // 8 kv heads (GQA)
+  std::vector<std::int64_t> one_seq = {8192};
+  double prev_ratio = 0.0;
+  for (int tp : {1, 2, 4, 8}) {
+    double ratio = serial.AttentionDecodeLatency(c, one_seq, tp) /
+                   split.AttentionDecodeLatency(c, one_seq, tp);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+}
+
 TEST(CostModelTest, StepShapeHelpers) {
   StepShape s;
   s.prefill_chunks = {100, 50};

@@ -283,6 +283,38 @@ TEST(DeterminismTest, ChunkedPrefillStreamsBitIdenticalToUnchunkedVectorSimd) {
   ExpectChunkedStreamsEqualUnchunked();
 }
 
+TEST(DeterminismTest, StreamsBitIdenticalAcrossSplitKvSizes) {
+  // The split-KV contract: attention math is fixed-block with an ascending
+  // fold, so the split count is pure scheduling — streams must be
+  // bit-identical across attn_split ∈ {heuristic, forced 1, forced 3} at
+  // every thread count, within each SIMD dispatch path.
+  for (int l = 0; l < kNumSimdLevels; ++l) {
+    auto level = static_cast<SimdLevel>(l);
+    if (!SimdLevelAvailable(level)) continue;
+    ScopedSimdLevel guard(level);
+    std::vector<std::vector<std::int32_t>> reference;
+    for (int threads : {1, 4}) {
+      for (int split : {0, 1, 3}) {
+        SCOPED_TRACE(std::string(SimdLevelName(level)) + "/threads=" +
+                     std::to_string(threads) + "/split=" +
+                     std::to_string(split));
+        ComputeContext ctx({.num_threads = threads, .attn_split = split});
+        auto streams = RunScenario(ctx);
+        ASSERT_EQ(streams.size(), Scenario().size());
+        if (reference.empty()) {
+          for (const auto& s : streams) EXPECT_FALSE(s.empty());
+          reference = streams;
+          continue;
+        }
+        for (std::size_t i = 0; i < streams.size(); ++i) {
+          EXPECT_EQ(streams[i], reference[i])
+              << "request " << i << " diverged from the first configuration";
+        }
+      }
+    }
+  }
+}
+
 /// Open-loop serving determinism: the virtual-time ServingLoop replays a
 /// keyed Poisson arrival schedule against numeric EngineBackends. Both the
 /// token streams AND every SLO metric (TTFT/queue/e2e/ITL samples, goodput

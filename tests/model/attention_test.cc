@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "tensor/gemm.h"
@@ -273,6 +275,158 @@ TEST(AttentionTest, UniformValuesGiveUniformOutput) {
   std::vector<SeqId> seqs = {seq};
   BatchDecodeAttention(c, kv, seqs, 0, q, out);
   for (float v : out) EXPECT_NEAR(v, 0.75f, 1e-3f);
+}
+
+TEST(AttentionTest, DecodeAtPageAndBlockBoundaries) {
+  // kv_len landing exactly on / one past a page boundary (page_size 4) and
+  // on / one past the fixed softmax block (kAttnBlockLen) must all match
+  // the oracle — the run iterator's edge cases.
+  LlamaConfig c = TestConfig();
+  for (std::int64_t len :
+       {std::int64_t{4}, std::int64_t{5}, std::int64_t{8}, std::int64_t{9},
+        kAttnBlockLen, kAttnBlockLen + 1}) {
+    PagedKvCache kv(KvConfigFor(c));
+    Pcg32 rng(100 + static_cast<std::uint64_t>(len));
+    SeqId seq = kv.CreateSequence();
+    ASSERT_TRUE(kv.Extend(seq, len));
+    DenseKv dense = FillRandomKv(kv, seq, 0, len, c, rng);
+    std::size_t width = static_cast<std::size_t>(c.num_heads) *
+                        static_cast<std::size_t>(c.head_dim());
+    auto q = RandomGaussianVector(width, 1.0f, rng);
+    std::vector<float> out(width);
+    std::vector<SeqId> seqs = {seq};
+    BatchDecodeAttention(c, kv, seqs, 0, q, out);
+    auto ref = DenseAttend(c, dense, len, q);
+    for (std::size_t i = 0; i < width; ++i) {
+      EXPECT_NEAR(out[i], ref[i], 2e-3f) << "len " << len << " elt " << i;
+    }
+  }
+}
+
+TEST(AttentionTest, ForcedSplitsBitIdenticalAndMatchOracle) {
+  // Split size is purely a scheduling knob: forced S ∈ {1, 3, huge} must
+  // produce bit-identical outputs (fixed-block fold) and match the oracle.
+  LlamaConfig c = TestConfig();
+  PagedKvCache kv(KvConfigFor(c));
+  Pcg32 rng(11);
+  SeqId seq = kv.CreateSequence();
+  const std::int64_t len = 200;  // spans two kAttnBlockLen blocks
+  ASSERT_TRUE(kv.Extend(seq, len));
+  DenseKv dense = FillRandomKv(kv, seq, 0, len, c, rng);
+  std::size_t width = static_cast<std::size_t>(c.num_heads) *
+                      static_cast<std::size_t>(c.head_dim());
+  auto q = RandomGaussianVector(width, 1.0f, rng);
+  std::vector<SeqId> seqs = {seq};
+
+  ComputeContext base({.num_threads = 4, .attn_split = 1});
+  std::vector<float> ref_out(width);
+  BatchDecodeAttention(c, kv, seqs, 0, q, ref_out, base);
+  auto oracle = DenseAttend(c, dense, len, q);
+  for (std::size_t i = 0; i < width; ++i) {
+    EXPECT_NEAR(ref_out[i], oracle[i], 2e-3f) << i;
+  }
+
+  // heads × kv_len = 800 requested; the resolver clamps to kMaxAttnSplit,
+  // far beyond the 2 available blocks — the degenerate oversplit case.
+  for (int s : {3, c.num_heads * static_cast<int>(len)}) {
+    ComputeContext ctx({.num_threads = 4, .attn_split = s});
+    std::vector<float> out(width);
+    BatchDecodeAttention(c, kv, seqs, 0, q, out, ctx);
+    EXPECT_EQ(std::memcmp(out.data(), ref_out.data(),
+                          width * sizeof(float)),
+              0)
+        << "split " << s << " changed the stream";
+  }
+}
+
+TEST(AttentionTest, RangedGqaMatchesFullUnderSplit) {
+  // Each TP rank's head range, computed under a forced split, must be
+  // bit-identical to its slice of the full-width result: per-(row, head)
+  // math is independent and the fold order is fixed.
+  LlamaConfig c = TestConfig();  // 4 heads, 2 kv heads (GQA group 2)
+  PagedKvCache kv(KvConfigFor(c));
+  Pcg32 rng(12);
+  SeqId s1 = kv.CreateSequence();
+  SeqId s2 = kv.CreateSequence();
+  ASSERT_TRUE(kv.Extend(s1, 150));
+  ASSERT_TRUE(kv.Extend(s2, 33));
+  FillRandomKv(kv, s1, 0, 150, c, rng);
+  FillRandomKv(kv, s2, 0, 33, c, rng);
+
+  int hd = c.head_dim();
+  std::size_t width = static_cast<std::size_t>(c.num_heads * hd);
+  auto q = RandomGaussianVector(2 * width, 1.0f, rng);
+  std::vector<SeqId> seqs = {s1, s2};
+  ComputeContext ctx({.num_threads = 4, .attn_split = 3});
+  std::vector<float> full(q.size());
+  BatchDecodeAttention(c, kv, seqs, 0, q, full, ctx);
+
+  for (int head_begin : {0, 2}) {  // the two GQA groups
+    int head_end = head_begin + 2;
+    std::size_t part = static_cast<std::size_t>(2 * hd);
+    std::vector<float> qr(2 * part), outr(2 * part);
+    for (int row = 0; row < 2; ++row) {
+      std::copy_n(q.begin() + row * width +
+                      static_cast<std::size_t>(head_begin * hd),
+                  part, qr.begin() + static_cast<std::size_t>(row) * part);
+    }
+    BatchDecodeAttentionRanged(c, kv, seqs, 0, qr, outr, head_begin,
+                               head_end, ctx);
+    for (int row = 0; row < 2; ++row) {
+      EXPECT_EQ(std::memcmp(
+                    outr.data() + static_cast<std::size_t>(row) * part,
+                    full.data() + row * width +
+                        static_cast<std::size_t>(head_begin * hd),
+                    part * sizeof(float)),
+                0)
+          << "row " << row << " heads [" << head_begin << "," << head_end
+          << ")";
+    }
+  }
+}
+
+TEST(AttentionTest, PrefillRangedHonoursSplitAndMatchesFull) {
+  // The ranged prefill variant goes through the same split machinery; a
+  // forced split must leave its stream bit-identical to the full result.
+  LlamaConfig c = TestConfig();
+  PagedKvCache kv(KvConfigFor(c));
+  Pcg32 rng(13);
+  SeqId seq = kv.CreateSequence();
+  const std::int64_t total = 140, offset = 132;  // rows see > 1 block
+  ASSERT_TRUE(kv.Extend(seq, total));
+  FillRandomKv(kv, seq, 0, total, c, rng);
+
+  int hd = c.head_dim();
+  std::size_t width = static_cast<std::size_t>(c.num_heads * hd);
+  std::int64_t chunk = total - offset;
+  auto q = RandomGaussianVector(static_cast<std::size_t>(chunk) * width,
+                                1.0f, rng);
+  std::vector<float> full(q.size());
+  BatchPrefillAttention(c, kv, seq, 0, offset, q, full,
+                        ComputeContext({.num_threads = 4, .attn_split = 1}));
+
+  ComputeContext ctx({.num_threads = 4, .attn_split = 3});
+  std::size_t part = static_cast<std::size_t>(2 * hd);
+  for (int head_begin : {0, 2}) {
+    std::vector<float> qr(static_cast<std::size_t>(chunk) * part);
+    std::vector<float> outr(qr.size());
+    for (std::int64_t j = 0; j < chunk; ++j) {
+      std::copy_n(q.begin() + static_cast<std::size_t>(j) * width +
+                      static_cast<std::size_t>(head_begin * hd),
+                  part, qr.begin() + static_cast<std::size_t>(j) * part);
+    }
+    BatchPrefillAttentionRanged(c, kv, seq, 0, offset, qr, outr, head_begin,
+                                head_begin + 2, ctx);
+    for (std::int64_t j = 0; j < chunk; ++j) {
+      EXPECT_EQ(std::memcmp(
+                    outr.data() + static_cast<std::size_t>(j) * part,
+                    full.data() + static_cast<std::size_t>(j) * width +
+                        static_cast<std::size_t>(head_begin * hd),
+                    part * sizeof(float)),
+                0)
+          << "token " << j << " head_begin " << head_begin;
+    }
+  }
 }
 
 }  // namespace

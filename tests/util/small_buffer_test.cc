@@ -1,0 +1,58 @@
+#include "util/small_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+namespace punica {
+namespace {
+
+TEST(SmallBufferTest, StaysInlineUpToCapacity) {
+  SmallBuffer<std::int32_t, 8> buf;
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.is_inline());
+  buf.Resize(8);
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_TRUE(buf.is_inline());
+  std::iota(buf.begin(), buf.end(), 0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(buf[i], static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(SmallBufferTest, SpillsToHeapPastCapacity) {
+  SmallBuffer<float, 4> buf(9);
+  EXPECT_EQ(buf.size(), 9u);
+  EXPECT_FALSE(buf.is_inline());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<float>(i) * 0.5f;
+  }
+  EXPECT_EQ(buf.end() - buf.begin(),
+            static_cast<std::ptrdiff_t>(buf.size()));
+}
+
+TEST(SmallBufferTest, HeapAllocationIsReusedNotShrunk) {
+  // The scratch-reuse contract: once spilled, growing again within the
+  // high-water mark must not reallocate (pointer stability across the
+  // shrink/regrow cycle a steady-state serving loop performs).
+  SmallBuffer<double, 2> buf;
+  buf.Resize(100);
+  const double* big = buf.data();
+  buf.Resize(50);
+  EXPECT_EQ(buf.data(), big);
+  EXPECT_EQ(buf.size(), 50u);
+  buf.Resize(100);
+  EXPECT_EQ(buf.data(), big);
+  buf.Resize(1);  // back under the inline capacity
+  EXPECT_TRUE(buf.is_inline());
+  buf.Resize(80);  // spills again — still within the high-water mark
+  EXPECT_EQ(buf.data(), big);
+}
+
+TEST(SmallBufferTest, InlineCapacityIsStatic) {
+  EXPECT_EQ((SmallBuffer<int, 64>::inline_capacity()), 64u);
+}
+
+}  // namespace
+}  // namespace punica
