@@ -76,6 +76,29 @@ void Run() {
     std::printf("\n");
   }
 
+  // Projected tensor-parallel sweep of the in-forward addon: the adapter
+  // shards follow the backbone's Megatron split, so SGMV kernel IO divides
+  // by tp while the seven pipelined launches per layer do not (see
+  // bench_lora_tp for the measured counterpart).
+  std::printf("SGMV addon under tensor parallelism — projected per-layer "
+              "latency\n(Llama-7B seams, Uniform popularity, r=%d):\n",
+              rank);
+  {
+    LlamaConfig model = Llama7B();
+    Table t({"batch", "tp=1", "tp=2", "tp=4", "tp=8"});
+    for (int b : {8, 32, 64}) {
+      auto rows = bench::SegmentRowsFor(Popularity::kUniform, b);
+      std::vector<std::string> row = {std::to_string(b)};
+      for (int tp : {1, 2, 4, 8}) {
+        row.push_back(
+            FormatSeconds(cm.LoraLayerAddonLatency(model, rows, rank, tp)));
+      }
+      t.AddRow(row);
+    }
+    t.Print();
+    std::printf("\n");
+  }
+
   // Real CPU kernels at a reduced h to keep runtime sensible; same shapes.
   const int h_cpu = 512;
   std::printf("Measured CPU wall-clock of the numeric kernels (h=%d, r=%d).\n"

@@ -30,14 +30,17 @@
 namespace punica {
 namespace {
 
-void Run(int prefill_limit) {
-  bench::PrintHeader("Figure 11", "Single-GPU text generation (1000 reqs, "
-                                  "max batch 32)");
+void Run(int prefill_limit, int tp) {
+  bench::PrintHeader("Figure 11",
+                     tp > 1 ? "Text generation, tensor parallel (1000 reqs, "
+                              "max batch 32)"
+                            : "Single-GPU text generation (1000 reqs, "
+                              "max batch 32)");
   CostModel cm((A100Sxm80GB()));
 
   for (const LlamaConfig& model : {Llama7B(), Llama13B()}) {
-    std::printf("%s (prefill limit %d):\n", model.name.c_str(),
-                prefill_limit);
+    std::printf("%s (prefill limit %d, tp %d):\n", model.name.c_str(),
+                prefill_limit, tp);
     Table t({"system", "Distinct", "Uniform", "Skewed", "Identical",
              "mean decode batch (Uniform)"});
     for (ServingSystem sys : kAllServingSystems) {
@@ -51,6 +54,7 @@ void Run(int prefill_limit) {
         auto trace = GenerateClosedLoopTrace(spec);
         TextGenConfig cfg;
         cfg.prefill_limit = prefill_limit;
+        cfg.tp_degree = tp;
         TextGenResult r = SimulateTextGen(sys, trace, model, cm, cfg);
         row.push_back(FormatDouble(r.throughput_tok_s, 0) + " tok/s");
         if (pop == Popularity::kUniform) {
@@ -274,11 +278,19 @@ void RunOpenLoopSlo() {
 
 int main(int argc, char** argv) {
   int prefill_limit = 1;
+  int tp = 1;
   const char* json_path = nullptr;
   bool shared_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--prefill-limit") == 0 && i + 1 < argc) {
       prefill_limit = std::atoi(argv[i + 1]);
+    }
+    // --tp N runs the figure tables tensor-parallel: every simulated step
+    // pays the sharded per-GPU kernel terms plus the two all-reduce seams
+    // (the multi-tenant rows keep their LoRA segments — adapters shard
+    // with the backbone, adding no extra communication).
+    if (std::strcmp(argv[i], "--tp") == 0 && i + 1 < argc) {
+      tp = std::atoi(argv[i + 1]);
     }
     if (std::strcmp(argv[i], "--prefix-json") == 0 && i + 1 < argc) {
       json_path = argv[i + 1];
@@ -288,7 +300,8 @@ int main(int argc, char** argv) {
     }
   }
   if (prefill_limit < 1) prefill_limit = 1;
-  if (!shared_only) punica::Run(prefill_limit);
+  if (tp < 1) tp = 1;
+  if (!shared_only) punica::Run(prefill_limit, tp);
   punica::RunSharedPrefix(prefill_limit, json_path);
   punica::RunChunkedPrefill();
   punica::RunOpenLoopSlo();

@@ -26,16 +26,46 @@ namespace {
 /// requests per tenant. Prints the live cache gauges after every admission
 /// wave. The numeric backbone stores its dense projections at
 /// `weight_dtype`; the shared-prefix machinery is dtype-oblivious.
-void RunNumericSharedPrefixDemo(WeightDtype weight_dtype) {
+void RunNumericSharedPrefixDemo(WeightDtype weight_dtype, int tp) {
   std::printf("\nShared-prefix KV cache on the numeric engine "
               "(tiny Llama, real tokens):\n");
-  std::printf("backbone weights: %s, simd dispatch: %s\n\n",
-              WeightDtypeName(weight_dtype), Simd().name);
+  std::printf("backbone weights: %s, simd dispatch: %s, tp: %d\n\n",
+              WeightDtypeName(weight_dtype), Simd().name, tp);
   LlamaConfig config = TinyLlama();
   config.weight_dtype = weight_dtype;
-  LlamaModel model(config, /*seed=*/2024);
+  if (tp > 1) {
+    // Every swept degree must divide the KV heads; TinyLlama's 4:2 GQA
+    // only divides by 2, so TP mode runs the 1:1-heads variant.
+    config.num_kv_heads = config.num_heads;
+  }
+  LlamaModel model(config, /*seed=*/2024, /*ctx=*/nullptr, tp);
+  // At tp > 1 each adapter is also distributed over the ranks: B
+  // column-sliced at the Q/K/V/Gate/Up seams, A row-sliced at O/Down.
   model.AddLora(0, 8, 1);
   model.AddLora(1, 8, 2);
+  for (LoraId id : {LoraId{0}, LoraId{1}}) {
+    const TpShardedLora* s = model.GetLoraShards(id);
+    if (s == nullptr) continue;
+    for (int r = 0; r < model.tp(); ++r) {
+      const LoraLayerWeights& l0 =
+          s->ranks[static_cast<std::size_t>(r)].layers.front();
+      const LoraAB& q = l0.proj[static_cast<int>(Proj::kQ)];
+      const LoraAB& o = l0.proj[static_cast<int>(Proj::kO)];
+      std::printf("lora %d rank-shard %d: Q A[%lld,%lld] B[%lld,%lld] "
+                  "(col-sliced B) | O A[%lld,%lld] B[%lld,%lld] "
+                  "(row-sliced A)\n",
+                  static_cast<int>(id), r,
+                  static_cast<long long>(q.a.dim(0)),
+                  static_cast<long long>(q.a.dim(1)),
+                  static_cast<long long>(q.b.dim(0)),
+                  static_cast<long long>(q.b.dim(1)),
+                  static_cast<long long>(o.a.dim(0)),
+                  static_cast<long long>(o.a.dim(1)),
+                  static_cast<long long>(o.b.dim(0)),
+                  static_cast<long long>(o.b.dim(1)));
+    }
+  }
+  if (tp > 1) std::printf("\n");
   Engine engine(&model, model.MakeKvConfig(/*num_pages=*/128, /*page_size=*/4),
                 EngineConfig{.max_batch_size = 9});
 
@@ -79,30 +109,44 @@ void RunNumericSharedPrefixDemo(WeightDtype weight_dtype) {
       "are bit-identical to cold-start runs.\n");
 }
 
-// --weight-dtype f16|q8_0|q4_0 (default f16): storage for the numeric
-// demo's backbone. The simulated section is cost-model-only and unaffected.
-WeightDtype ParseArgs(int argc, char** argv) {
+struct Args {
   WeightDtype dtype = WeightDtype::kF16;
+  int tp = 1;
+};
+
+// --weight-dtype f16|q8_0|q4_0 (default f16): storage for the numeric
+// demo's backbone. --tp N (default 1) runs the numeric demo
+// tensor-parallel, with both tenants' adapters sharded over the ranks.
+// The simulated section is cost-model-only and unaffected by either.
+Args ParseArgs(int argc, char** argv) {
+  Args args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--weight-dtype") == 0 && i + 1 < argc) {
-      if (!ParseWeightDtype(argv[++i], &dtype)) {
+      if (!ParseWeightDtype(argv[++i], &args.dtype)) {
         std::fprintf(stderr, "unknown weight dtype '%s' (f16|q8_0|q4_0)\n",
                      argv[i]);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--tp") == 0 && i + 1 < argc) {
+      args.tp = std::atoi(argv[++i]);
+      if (args.tp < 1 || args.tp > 4 || (args.tp & (args.tp - 1)) != 0) {
+        std::fprintf(stderr, "--tp must be 1, 2 or 4\n");
+        std::exit(2);
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--weight-dtype f16|q8_0|q4_0]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--weight-dtype f16|q8_0|q4_0] [--tp N]\n",
                    argv[0]);
       std::exit(2);
     }
   }
-  return dtype;
+  return args;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  WeightDtype weight_dtype = ParseArgs(argc, argv);
+  Args args = ParseArgs(argc, argv);
   CostModel cm((A100Sxm80GB()));
   LlamaConfig model = Llama7B();
 
@@ -145,6 +189,6 @@ int main(int argc, char** argv) {
       " * On Identical, vLLM (running backbone-only, no LoRA math at all)\n"
       "   is slightly ahead — the LoRA addon costs ~2 ms per token.\n");
 
-  RunNumericSharedPrefixDemo(weight_dtype);
+  RunNumericSharedPrefixDemo(args.dtype, args.tp);
   return 0;
 }

@@ -14,10 +14,12 @@
 //
 // --tp N shards the backbone Megatron-style over N ranks, each running
 // concurrently on its own disjoint worker group of the shared pool (the
-// CPU analogue of N GPUs). TP is backbone-only, so the tenants all run
-// without LoRA in that mode — and every stream must STILL be bit-identical
-// to the solo single-engine runs, because the fixed-rank-order all-reduce
-// keeps TP execution deterministic.
+// CPU analogue of N GPUs). The tenants' LoRA adapters shard right along
+// with it — B column-parallel at the Q/K/V/Gate/Up seams, A row-parallel
+// at O/Down, each rank's SGMV delta folding through the backbone's
+// existing all-reduce — and every multi-tenant stream must STILL be
+// bit-identical to the solo single-engine runs, because the
+// fixed-rank-order all-reduce keeps TP execution deterministic.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -97,11 +99,12 @@ int main(int argc, char** argv) {
     config.num_kv_heads = config.num_heads;
   }
   LlamaModel model(config, /*seed=*/1234, &compute, args.tp);
-  if (args.tp == 1) {
-    model.AddLora(0, 8, 111);
-    model.AddLora(1, 8, 222);
-    model.AddLora(2, 4, 333);
-  }
+  // At tp > 1 AddLora also distributes each adapter over the ranks
+  // (ShardLoraModel); rank 4 at tp 4 exercises the rank-not-divisible
+  // case — the rank dimension never shards, only the seam dimensions do.
+  model.AddLora(0, 8, 111);
+  model.AddLora(1, 8, 222);
+  model.AddLora(2, 4, 333);
 
   struct Tenant {
     const char* name;
@@ -116,11 +119,6 @@ int main(int argc, char** argv) {
       {"tenant-D (backbone)", -1, {1, 2, 3}, 6},
       {"tenant-E (lora 0)", 0, {64, 32, 16}, 9},
   };
-  if (args.tp > 1) {
-    // TP is backbone-only: every tenant drops to the shared backbone.
-    for (auto& t : tenants) t.lora = -1;
-  }
-
   // Reference: each request alone on a dedicated engine.
   std::map<std::string, std::vector<std::int32_t>> reference;
   for (const auto& t : tenants) {
@@ -185,6 +183,31 @@ int main(int argc, char** argv) {
                   rc != nullptr ? rc->group_index() : -1,
                   rc != nullptr ? rc->num_threads() : 0,
                   rc != nullptr && rc->num_threads() == 1 ? "" : "s");
+    }
+    // Per-rank adapter shard shapes (layer 0; all layers are identical):
+    // the column seam slices B, the row seam slices A, and the rank
+    // dimension never shards — CI greps these lines.
+    for (LoraId id : {LoraId{0}, LoraId{1}, LoraId{2}}) {
+      const TpShardedLora* s = model.GetLoraShards(id);
+      if (s == nullptr) continue;
+      for (int r = 0; r < model.tp(); ++r) {
+        const LoraLayerWeights& l0 = s->ranks[static_cast<std::size_t>(r)]
+                                         .layers.front();
+        const LoraAB& q = l0.proj[static_cast<int>(Proj::kQ)];
+        const LoraAB& o = l0.proj[static_cast<int>(Proj::kO)];
+        std::printf("  lora %d rank-shard %d: Q A[%lld,%lld] B[%lld,%lld] "
+                    "(col-sliced B) | O A[%lld,%lld] B[%lld,%lld] "
+                    "(row-sliced A)\n",
+                    static_cast<int>(id), r,
+                    static_cast<long long>(q.a.dim(0)),
+                    static_cast<long long>(q.a.dim(1)),
+                    static_cast<long long>(q.b.dim(0)),
+                    static_cast<long long>(q.b.dim(1)),
+                    static_cast<long long>(o.a.dim(0)),
+                    static_cast<long long>(o.a.dim(1)),
+                    static_cast<long long>(o.b.dim(0)),
+                    static_cast<long long>(o.b.dim(1)));
+      }
     }
   }
   std::printf("\n");

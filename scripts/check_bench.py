@@ -39,6 +39,10 @@ The threshold can also come from the BENCH_REGRESSION_THRESHOLD env var
     measures the machine's real parallelism), the quantity the CI speedup
     floors (--min) gate; predicted_speedup is deterministic cost-model
     output and gates at the strict threshold.
+  * lora_tp files (bench_lora_tp --json): identical schema to tp_scaling
+    for the LoRA-active Engine sweep — every stream decodes on a
+    Megatron-sharded adapter, so its per_rank floor gates the sharded
+    SGMV path specifically.
   * attention files (bench_attention --json): per-shape speedup of the
     page-run split-KV decode kernel over the pre-rewrite serial kernel (a
     same-run ratio, gated by the --min floor at b1/kv4096), plus
@@ -131,6 +135,20 @@ def tp_scaling_metrics(doc):
     return metrics
 
 
+def lora_tp_metrics(doc):
+    """{row key: (value, kind)} for the measured LoRA-under-TP sweep.
+
+    Same row schema as tp_scaling by construction (bench_lora_tp measures
+    the identical Engine decode loop with every stream on a sharded
+    adapter): tok_s is wall-clock, speedup a same-run ratio the CI floors
+    gate — the per_rank tp=4 floor catches sharded-SGMV execution
+    collapsing to a serial schedule while the backbone still scales — and
+    predicted_speedup is deterministic cost-model output (roofline with
+    the LoRA segment shape threaded through StepShape) gated strictly.
+    """
+    return tp_scaling_metrics(doc)
+
+
 def attention_metrics(doc):
     """{row key: (value, kind)} for the decode-attention rewrite bench.
 
@@ -193,6 +211,8 @@ def extract_metrics(doc, path=""):
         return serving_metrics(doc)
     if doc.get("bench") == "tp_scaling":
         return tp_scaling_metrics(doc)
+    if doc.get("bench") == "lora_tp":
+        return lora_tp_metrics(doc)
     if doc.get("bench") == "attention":
         return attention_metrics(doc)
     if "rows" in doc:

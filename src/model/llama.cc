@@ -78,12 +78,23 @@ void LlamaModel::AddLora(LoraId id, int rank, std::uint64_t seed) {
 void LlamaModel::AddLora(LoraId id, LoraModelWeights weights) {
   PUNICA_CHECK(weights.layers.size() ==
                static_cast<std::size_t>(config_.num_layers));
+  if (tp_ > 1) {
+    // Distribute the adapter over the ranks up front (the per-GPU load
+    // step), so Forward only gathers pointers.
+    tp_loras_[id] =
+        std::make_unique<TpShardedLora>(ShardLoraModel(config_, weights, tp_));
+  }
   loras_[id] = std::make_unique<LoraModelWeights>(std::move(weights));
 }
 
 const LoraModelWeights* LlamaModel::GetLora(LoraId id) const {
   auto it = loras_.find(id);
   return it == loras_.end() ? nullptr : it->second.get();
+}
+
+const TpShardedLora* LlamaModel::GetLoraShards(LoraId id) const {
+  auto it = tp_loras_.find(id);
+  return it == tp_loras_.end() ? nullptr : it->second.get();
 }
 
 Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
@@ -98,9 +109,6 @@ Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
   seg_lora.reserve(batch.segments.lora_ids.size());
   int max_rank = 1;
   for (LoraId id : batch.segments.lora_ids) {
-    PUNICA_CHECK_MSG(tp_ == 1 || id < 0,
-                     "LoRA batches are not supported under tensor "
-                     "parallelism (backbone only)");
     const LoraModelWeights* w = id >= 0 ? GetLora(id) : nullptr;
     PUNICA_CHECK_MSG(id < 0 || w != nullptr,
                      "batch references an unloaded LoRA model");
@@ -129,10 +137,20 @@ Tensor<float> LlamaModel::Forward(const ModelBatch& batch,
                    batch, l, kv, x, ws_, *ctx_);
     }
   } else {
+    // Gather each segment's per-rank adapter shards (built at AddLora).
+    std::vector<const TpShardedLora*> seg_shards;
+    seg_shards.reserve(batch.segments.lora_ids.size());
+    for (LoraId id : batch.segments.lora_ids) {
+      const TpShardedLora* s = id >= 0 ? GetLoraShards(id) : nullptr;
+      PUNICA_CHECK_MSG(id < 0 || s != nullptr,
+                       "batch references a LoRA model with no TP shards");
+      seg_shards.push_back(s);
+    }
     for (int l = 0; l < config_.num_layers; ++l) {
       TpLayerForward(config_, tp_layers_[static_cast<std::size_t>(l)], batch,
                      l, kv, x, tp_ws_, *ctx_,
-                     std::span<const ComputeContext* const>(rank_ctx_ptrs_));
+                     std::span<const ComputeContext* const>(rank_ctx_ptrs_),
+                     seg_shards);
     }
   }
 

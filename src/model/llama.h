@@ -32,7 +32,10 @@ class LlamaModel {
   /// bit-identical to concurrent execution by the fixed-rank-order
   /// all-reduce construction. The same seed draws the same f16 master
   /// weights at every tp, so tp changes only the execution schedule.
-  /// LoRA batches are not supported under tp > 1 (backbone only).
+  /// LoRA batches run at any tp: AddLora shards each adapter over the
+  /// ranks (ShardLoraModel) and every rank runs its own SGMV
+  /// shrink/expand, the row-parallel deltas folding through the existing
+  /// all-reduce.
   LlamaModel(const LlamaConfig& config, std::uint64_t seed,
              const ComputeContext* ctx = nullptr, int tp = 1,
              bool tp_concurrent = true);
@@ -54,6 +57,8 @@ class LlamaModel {
   void AddLora(LoraId id, int rank, std::uint64_t seed);
   void AddLora(LoraId id, LoraModelWeights weights);
   const LoraModelWeights* GetLora(LoraId id) const;
+  /// Per-rank adapter shards for `id` (nullptr when tp == 1 or unknown).
+  const TpShardedLora* GetLoraShards(LoraId id) const;
   std::size_t num_loras() const { return loras_.size(); }
 
   /// Runs one batched invocation. `token_ids` has one id per token row
@@ -92,6 +97,10 @@ class LlamaModel {
   std::vector<LayerWeights> layers_;       ///< tp == 1
   std::vector<TpShardedLayer> tp_layers_;  ///< tp > 1
   std::unordered_map<LoraId, std::unique_ptr<LoraModelWeights>> loras_;
+  /// tp > 1: each registered adapter sharded over the ranks alongside the
+  /// full copy in loras_ (which stays the source of truth for byte
+  /// accounting and re-sharding).
+  std::unordered_map<LoraId, std::unique_ptr<TpShardedLora>> tp_loras_;
   LayerWorkspace ws_;
   TpWorkspace tp_ws_;
   /// Worker-group views from ctx_->Split(tp) (empty = serial rank loop).

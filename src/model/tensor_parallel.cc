@@ -64,8 +64,9 @@ TpShardedLayer ShardLayer(const LlamaConfig& config, const LayerWeights& full,
       full.proj[0].dtype() == WeightDtype::kF16,
       "ShardLayer slices f16 master weights; shards are quantized "
       "to config.weight_dtype after the slice");
-  const auto quantize = [&config](Tensor<f16> t) {
-    return WeightMatrix::FromF16(std::move(t), config.weight_dtype);
+  const auto quantize = [&config](WeightMatrix sliced) {
+    if (config.weight_dtype == WeightDtype::kF16) return sliced;
+    return sliced.Requantize(config.weight_dtype);
   };
   TpShardedLayer sharded;
   sharded.tp = tp;
@@ -76,27 +77,27 @@ TpShardedLayer ShardLayer(const LlamaConfig& config, const LayerWeights& full,
   std::int64_t f_cols = config.ffn_hidden / tp;
   for (int r = 0; r < tp; ++r) {
     LayerWeights shard;
-    shard.proj[static_cast<int>(Proj::kQ)] = quantize(
-        SliceColumns(full.proj[static_cast<int>(Proj::kQ)].f16_tensor(),
-                     r * q_cols, (r + 1) * q_cols));
-    shard.proj[static_cast<int>(Proj::kK)] = quantize(
-        SliceColumns(full.proj[static_cast<int>(Proj::kK)].f16_tensor(),
-                     r * kv_cols, (r + 1) * kv_cols));
-    shard.proj[static_cast<int>(Proj::kV)] = quantize(
-        SliceColumns(full.proj[static_cast<int>(Proj::kV)].f16_tensor(),
-                     r * kv_cols, (r + 1) * kv_cols));
-    shard.proj[static_cast<int>(Proj::kO)] = quantize(
-        SliceRows(full.proj[static_cast<int>(Proj::kO)].f16_tensor(),
-                  r * q_cols, (r + 1) * q_cols));
-    shard.proj[static_cast<int>(Proj::kGate)] = quantize(
-        SliceColumns(full.proj[static_cast<int>(Proj::kGate)].f16_tensor(),
-                     r * f_cols, (r + 1) * f_cols));
-    shard.proj[static_cast<int>(Proj::kUp)] = quantize(
-        SliceColumns(full.proj[static_cast<int>(Proj::kUp)].f16_tensor(),
-                     r * f_cols, (r + 1) * f_cols));
-    shard.proj[static_cast<int>(Proj::kDown)] = quantize(
-        SliceRows(full.proj[static_cast<int>(Proj::kDown)].f16_tensor(),
-                  r * f_cols, (r + 1) * f_cols));
+    shard.proj[static_cast<int>(Proj::kQ)] =
+        quantize(full.proj[static_cast<int>(Proj::kQ)].SliceCols(
+            r * q_cols, (r + 1) * q_cols));
+    shard.proj[static_cast<int>(Proj::kK)] =
+        quantize(full.proj[static_cast<int>(Proj::kK)].SliceCols(
+            r * kv_cols, (r + 1) * kv_cols));
+    shard.proj[static_cast<int>(Proj::kV)] =
+        quantize(full.proj[static_cast<int>(Proj::kV)].SliceCols(
+            r * kv_cols, (r + 1) * kv_cols));
+    shard.proj[static_cast<int>(Proj::kO)] =
+        quantize(full.proj[static_cast<int>(Proj::kO)].SliceRows(
+            r * q_cols, (r + 1) * q_cols));
+    shard.proj[static_cast<int>(Proj::kGate)] =
+        quantize(full.proj[static_cast<int>(Proj::kGate)].SliceCols(
+            r * f_cols, (r + 1) * f_cols));
+    shard.proj[static_cast<int>(Proj::kUp)] =
+        quantize(full.proj[static_cast<int>(Proj::kUp)].SliceCols(
+            r * f_cols, (r + 1) * f_cols));
+    shard.proj[static_cast<int>(Proj::kDown)] =
+        quantize(full.proj[static_cast<int>(Proj::kDown)].SliceRows(
+            r * f_cols, (r + 1) * f_cols));
     sharded.ranks.push_back(std::move(shard));
   }
   sharded.attn_norm = Tensor<f16>({config.hidden_size});
@@ -108,7 +109,77 @@ TpShardedLayer ShardLayer(const LlamaConfig& config, const LayerWeights& full,
   return sharded;
 }
 
-void TpWorkspace::Resize(const LlamaConfig& config, int tp, int tokens) {
+TpShardedLora ShardLoraModel(const LlamaConfig& config,
+                             const LoraModelWeights& full, int tp) {
+  RankConfig(config, tp);  // validates divisibility of the dense seams
+  TpShardedLora sharded;
+  sharded.tp = tp;
+  sharded.rank = full.rank;
+  const int d = config.head_dim();
+  const std::int64_t q_cols =
+      static_cast<std::int64_t>(config.num_heads / tp) * d;
+  const std::int64_t kv_cols =
+      static_cast<std::int64_t>(config.num_kv_heads / tp) * d;
+  const std::int64_t f_cols = config.ffn_hidden / tp;
+  // Column-parallel seam: B column-sliced to the rank's output columns,
+  // A replicated (each rank re-runs the cheap h_in→r shrink itself — the
+  // redundant FLOPs are r/h_out of the projection, far below an extra
+  // all-gather of v).
+  const auto col_shard = [](const LoraAB& ab, std::int64_t b, std::int64_t e) {
+    LoraAB out;
+    out.rank = ab.rank;
+    out.h_in = ab.h_in;
+    out.h_out = static_cast<int>(e - b);
+    out.a = SliceRows(ab.a, 0, ab.a.dim(0));  // replicated copy
+    out.b = SliceColumns(ab.b, b, e);
+    return out;
+  };
+  // Row-parallel seam: A row-sliced to match the rank's dense input rows,
+  // B replicated; the delta sums across ranks inside the existing
+  // all-reduce (Σ_r x_r·A_r·B = x·A·B).
+  const auto row_shard = [](const LoraAB& ab, std::int64_t b, std::int64_t e) {
+    LoraAB out;
+    out.rank = ab.rank;
+    out.h_in = static_cast<int>(e - b);
+    out.h_out = ab.h_out;
+    out.a = SliceRows(ab.a, b, e);
+    out.b = SliceColumns(ab.b, 0, ab.b.dim(1));  // replicated copy
+    return out;
+  };
+  for (int r = 0; r < tp; ++r) {
+    LoraModelWeights rank_w;
+    rank_w.rank = full.rank;
+    rank_w.layers.reserve(full.layers.size());
+    for (const LoraLayerWeights& layer : full.layers) {
+      LoraLayerWeights lw;
+      lw.proj[static_cast<int>(Proj::kQ)] = col_shard(
+          layer.proj[static_cast<int>(Proj::kQ)], r * q_cols, (r + 1) * q_cols);
+      lw.proj[static_cast<int>(Proj::kK)] =
+          col_shard(layer.proj[static_cast<int>(Proj::kK)], r * kv_cols,
+                    (r + 1) * kv_cols);
+      lw.proj[static_cast<int>(Proj::kV)] =
+          col_shard(layer.proj[static_cast<int>(Proj::kV)], r * kv_cols,
+                    (r + 1) * kv_cols);
+      lw.proj[static_cast<int>(Proj::kO)] = row_shard(
+          layer.proj[static_cast<int>(Proj::kO)], r * q_cols, (r + 1) * q_cols);
+      lw.proj[static_cast<int>(Proj::kGate)] =
+          col_shard(layer.proj[static_cast<int>(Proj::kGate)], r * f_cols,
+                    (r + 1) * f_cols);
+      lw.proj[static_cast<int>(Proj::kUp)] =
+          col_shard(layer.proj[static_cast<int>(Proj::kUp)], r * f_cols,
+                    (r + 1) * f_cols);
+      lw.proj[static_cast<int>(Proj::kDown)] =
+          row_shard(layer.proj[static_cast<int>(Proj::kDown)], r * f_cols,
+                    (r + 1) * f_cols);
+      rank_w.layers.push_back(std::move(lw));
+    }
+    sharded.ranks.push_back(std::move(rank_w));
+  }
+  return sharded;
+}
+
+void TpWorkspace::Resize(const LlamaConfig& config, int tp, int tokens,
+                         int max_rank) {
   const auto t = static_cast<std::size_t>(tokens);
   const auto h = static_cast<std::size_t>(config.hidden_size);
   const auto d = static_cast<std::size_t>(config.head_dim());
@@ -131,13 +202,24 @@ void TpWorkspace::Resize(const LlamaConfig& config, int tp, int tokens) {
   // One split-KV attention scratch per rank (grown on demand by the
   // attention kernels): concurrent ranks must never share partial buffers.
   if (attn_scratch.size() < p) attn_scratch.resize(p);
+  // One SGMV workspace per rank (v rows + split-K partials, the
+  // BatchedLoraAddon contract), so concurrent ranks never share the shrink
+  // buffer and the addon never allocates in the forward hot path.
+  if (lora_tmp.size() < p) lora_tmp.resize(p);
+  const std::size_t lt =
+      t * static_cast<std::size_t>(std::max(max_rank, 1)) *
+      (1 + static_cast<std::size_t>(kMaxSplitKPartitions));
+  for (auto& per_rank : lora_tmp) {
+    if (per_rank.size() < lt) per_rank.resize(lt);
+  }
 }
 
 void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
                     const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
                     std::span<float> x, TpWorkspace& ws,
                     const ComputeContext& ctx,
-                    std::span<const ComputeContext* const> rank_ctxs) {
+                    std::span<const ComputeContext* const> rank_ctxs,
+                    std::span<const TpShardedLora* const> seg_lora) {
   const int tp = layer.tp;
   const int tokens = batch.total_tokens();
   const auto h = static_cast<std::size_t>(config.hidden_size);
@@ -147,6 +229,21 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
   if (concurrent) {
     PUNICA_CHECK(static_cast<int>(rank_ctxs.size()) == tp);
   }
+  bool any_lora = false;
+  if (!seg_lora.empty()) {
+    PUNICA_CHECK(seg_lora.size() ==
+                 static_cast<std::size_t>(batch.segments.num_segments()));
+    for (const TpShardedLora* l : seg_lora) {
+      if (l == nullptr) continue;
+      PUNICA_CHECK_MSG(l->tp == tp,
+                       "LoRA shards were built for a different tp degree");
+      any_lora = true;
+    }
+  }
+  int max_rank = 1;
+  for (const TpShardedLora* l : seg_lora) {
+    if (l != nullptr) max_rank = std::max(max_rank, l->rank);
+  }
   const int d = config.head_dim();
   const int heads_pr = config.num_heads / tp;
   const int kv_heads_pr = config.num_kv_heads / tp;
@@ -155,7 +252,33 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
                    static_cast<std::size_t>(d);
   const auto kv_w = static_cast<std::size_t>(kv_heads_pr) *
                     static_cast<std::size_t>(d);
-  ws.Resize(config, tp, tokens);
+  ws.Resize(config, tp, tokens, max_rank);
+
+  // Rank r's batched SGMV addon for one projection: y += x·A_r·B_r over the
+  // batch's unchanged segment grouping, through rank r's private workspace.
+  // On column-parallel seams y is the rank's output slice; on row-parallel
+  // seams y is the rank's pre-all-reduce partial, so the reduce folds the
+  // adapter delta alongside the dense partials.
+  const auto lora_addon = [&](int r, Proj proj, std::span<const float> in,
+                              std::span<float> out, int h_in, int h_out,
+                              const ComputeContext& rctx) {
+    if (!any_lora) return;
+    std::vector<const LoraAB*> adapters(seg_lora.size(), nullptr);
+    bool any = false;
+    for (std::size_t i = 0; i < seg_lora.size(); ++i) {
+      if (seg_lora[i] != nullptr) {
+        adapters[i] = &seg_lora[i]
+                           ->ranks[static_cast<std::size_t>(r)]
+                           .layers[static_cast<std::size_t>(layer_idx)]
+                           .proj[static_cast<int>(proj)];
+        any = true;
+      }
+    }
+    if (any) {
+      BatchedLoraAddon(out, in, adapters, batch.segments.offsets, h_in, h_out,
+                       ws.lora_tmp[static_cast<std::size_t>(r)], rctx);
+    }
+  };
   const std::size_t q_stride = static_cast<std::size_t>(tokens) * q_w;
   const std::size_t kv_stride = static_cast<std::size_t>(tokens) * kv_w;
   const std::size_t f_stride =
@@ -224,6 +347,14 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
              config.hidden_size, kv_heads_pr * d, rctx);
     GemmSetW(normed, shard.proj[static_cast<int>(Proj::kV)], v, tokens,
              config.hidden_size, kv_heads_pr * d, rctx);
+    // Column-parallel LoRA: B is sliced to this rank's output columns, A is
+    // replicated — the addon lands before RoPE, matching LayerForward.
+    lora_addon(r, Proj::kQ, normed, q, config.hidden_size, heads_pr * d,
+               rctx);
+    lora_addon(r, Proj::kK, normed, k, config.hidden_size, kv_heads_pr * d,
+               rctx);
+    lora_addon(r, Proj::kV, normed, v, config.hidden_size, kv_heads_pr * d,
+               rctx);
 
     // RoPE on this rank's heads; write this rank's KV slice of each entry
     // (disjoint across ranks, so concurrent ranks never share a writer).
@@ -270,9 +401,13 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
           rctx, &ws.attn_scratch[ur]);
     }
 
-    // Row-parallel O projection: this rank's partial [tokens, h].
+    // Row-parallel O projection: this rank's partial [tokens, h]. The LoRA
+    // delta (A row-sliced, B replicated) adds into the partial, so the
+    // fixed-rank-order all-reduce folds it with the dense partials.
     GemmSetW(attn_out, shard.proj[static_cast<int>(Proj::kO)], partial,
              tokens, heads_pr * d, config.hidden_size, rctx);
+    lora_addon(r, Proj::kO, attn_out, partial, heads_pr * d,
+               config.hidden_size, rctx);
   });
   reduce_partials();
 
@@ -296,20 +431,28 @@ void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
              config.hidden_size, f_pr, rctx);
     GemmSetW(normed, shard.proj[static_cast<int>(Proj::kUp)], up, tokens,
              config.hidden_size, f_pr, rctx);
+    // Column-parallel LoRA on the FFN seams, before the SwiGLU nonlinearity.
+    lora_addon(r, Proj::kGate, normed, gate, config.hidden_size, f_pr, rctx);
+    lora_addon(r, Proj::kUp, normed, up, config.hidden_size, f_pr, rctx);
     SiluInPlace(gate);
     for (std::size_t i = 0; i < gate.size(); ++i) gate[i] *= up[i];
-    // Row-parallel Down projection: this rank's partial [tokens, h].
+    // Row-parallel Down projection: this rank's partial [tokens, h]; the
+    // LoRA delta folds through the second all-reduce like O above.
     GemmSetW(gate, shard.proj[static_cast<int>(Proj::kDown)], partial,
              tokens, f_pr, config.hidden_size, rctx);
+    lora_addon(r, Proj::kDown, gate, partial, f_pr, config.hidden_size,
+               rctx);
   });
   reduce_partials();
 }
 
 void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
                     const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
-                    std::span<float> x, const ComputeContext& ctx) {
+                    std::span<float> x, const ComputeContext& ctx,
+                    std::span<const TpShardedLora* const> seg_lora) {
   TpWorkspace ws;
-  TpLayerForward(config, layer, batch, layer_idx, kv, x, ws, ctx, {});
+  TpLayerForward(config, layer, batch, layer_idx, kv, x, ws, ctx, {},
+                 seg_lora);
 }
 
 std::int64_t RankLayerBytes(const LlamaConfig& config, int tp) {

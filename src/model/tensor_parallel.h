@@ -14,6 +14,17 @@
 // Each rank writes its own slice of every KvCache entry and attends over
 // its own heads, so attention needs no communication.
 //
+// LoRA adapters shard the same way (ShardLoraModel): on the column-parallel
+// seams B is column-sliced and A replicated — each rank runs its own SGMV
+// shrink over the replicated input and expands into its own output slice;
+// on the row-parallel seams A is row-sliced to match the dense input rows
+// and B replicated — rank r's delta x_r·A_r·B lands in its pre-all-reduce
+// partial, and Σ_r x_r·A_r·B = x·A·B by linearity, so the existing
+// fixed-rank-order all-reduce folds the adapter delta at no extra
+// communication cost. The LoRA rank dimension is never sharded, so any
+// adapter rank (divisible by tp or not) shards exactly; adapters stay f16,
+// so LoRA sharding adds no quantization exemptions at any tp.
+//
 // Execution: each rank computes its partials into its own slice of a
 // TpWorkspace — either sequentially rank-by-rank (serial mode) or
 // concurrently, one rank per disjoint ComputeContext worker group. The two
@@ -52,6 +63,24 @@ TpShardedLayer ShardLayer(const LlamaConfig& config,
 /// local GEMM shapes.
 LlamaConfig RankConfig(const LlamaConfig& config, int tp);
 
+/// A LoRA adapter model sharded over tp ranks, mirroring the dense split.
+/// ranks[r].layers[l].proj[p] is rank r's (A, B) slice for that projection:
+/// column-parallel seams (Q/K/V/Gate/Up) hold A replicated + B
+/// column-sliced; row-parallel seams (O/Down) hold A row-sliced + B
+/// replicated. `rank` is the (unsharded) LoRA rank dimension.
+struct TpShardedLora {
+  std::vector<LoraModelWeights> ranks;
+  int rank = 0;
+  int tp = 1;
+};
+
+/// Slices a full adapter model into tp shards along the dense seams.
+/// Requires the same divisibility as ShardLayer; the LoRA rank itself need
+/// not divide tp (it is never split). Adapters are f16, so every slice is
+/// exact — no block-alignment constraint, unlike quantized backbone shards.
+TpShardedLora ShardLoraModel(const LlamaConfig& config,
+                             const LoraModelWeights& full, int tp);
+
 /// Per-rank activation buffers for TpLayerForward, stacked rank-major so
 /// concurrent ranks write disjoint slices. Resize only grows; steady-state
 /// forward passes are allocation-free.
@@ -68,32 +97,45 @@ struct TpWorkspace {
                                                  ///< partials (disjoint so
                                                  ///< concurrent ranks never
                                                  ///< share scratch)
-  void Resize(const LlamaConfig& config, int tp, int tokens);
+  std::vector<std::vector<float>> lora_tmp;  ///< per-rank SGMV v rows +
+                                             ///< split-K scratch (see
+                                             ///< BatchedLoraAddon's
+                                             ///< workspace contract);
+                                             ///< disjoint per rank so
+                                             ///< concurrent ranks never
+                                             ///< share the shrink buffer
+  void Resize(const LlamaConfig& config, int tp, int tokens,
+              int max_rank = 1);
 };
 
-/// Runs one backbone transformer layer under tensor parallelism: each rank
-/// computes its partial attention and MLP contributions into `ws`; the two
+/// Runs one transformer layer under tensor parallelism: each rank computes
+/// its partial attention and MLP contributions into `ws`; the two
 /// all-reduce seams sum partials across ranks into the residual stream in
-/// fixed ascending rank order. Semantics match LayerForward with a null
-/// LoRA view (backbone-only).
+/// fixed ascending rank order. Semantics match LayerForward over the same
+/// per-segment LoRA view: `seg_lora[i]` is the sharded adapter for segment
+/// i (nullptr = backbone-only; empty span = all-backbone batch). Each rank
+/// runs its own SGMV shrink/expand over its shard with the batch's segment
+/// grouping unchanged.
 ///
 /// `rank_ctxs` empty: the rank loop runs serially, every rank's kernels on
 /// `ctx` (models the SPMD schedule without concurrency). `rank_ctxs` with
 /// tp group-view contexts (from ctx.Split(tp)): ranks run concurrently,
 /// rank r's kernels confined to worker group r. Both modes compute the
 /// identical fp32 expression per element, so their outputs — and hence
-/// decoded streams — are bit-identical.
+/// decoded streams — are bit-identical, with or without LoRA segments.
 void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
                     const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
                     std::span<float> x, TpWorkspace& ws,
                     const ComputeContext& ctx,
-                    std::span<const ComputeContext* const> rank_ctxs = {});
+                    std::span<const ComputeContext* const> rank_ctxs = {},
+                    std::span<const TpShardedLora* const> seg_lora = {});
 
 /// Convenience overload for tests: serial rank loop, local workspace.
 void TpLayerForward(const LlamaConfig& config, const TpShardedLayer& layer,
                     const ModelBatch& batch, int layer_idx, PagedKvCache& kv,
                     std::span<float> x,
-                    const ComputeContext& ctx = ComputeContext::Default());
+                    const ComputeContext& ctx = ComputeContext::Default(),
+                    std::span<const TpShardedLora* const> seg_lora = {});
 
 /// Byte count a single rank holds for one layer (the per-GPU memory the
 /// cost model's tp division assumes).

@@ -203,6 +203,89 @@ std::span<const BlockQ4_0> WeightMatrix::q4_data() const {
   return q4_;
 }
 
+WeightMatrix WeightMatrix::SliceRows(std::int64_t row_begin,
+                                     std::int64_t row_end) const {
+  PUNICA_CHECK_MSG(row_begin >= 0 && row_end <= rows_ && row_begin < row_end,
+                   "row slice out of range");
+  WeightMatrix m;
+  m.dtype_ = dtype_;
+  m.rows_ = row_end - row_begin;
+  m.cols_ = cols_;
+  m.bpr_ = bpr_;
+  switch (dtype_) {
+    case WeightDtype::kF16: {
+      m.f16_ = Tensor<f16>({m.rows_, cols_});
+      for (std::int64_t r = row_begin; r < row_end; ++r) {
+        auto src = f16_.row(r);
+        auto dst = m.f16_.row(r - row_begin);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+      break;
+    }
+    case WeightDtype::kQ8_0:
+      // Whole block rows: bit-exact at any row boundary.
+      m.q8_.assign(q8_.begin() + row_begin * bpr_, q8_.begin() + row_end * bpr_);
+      break;
+    case WeightDtype::kQ4_0:
+      m.q4_.assign(q4_.begin() + row_begin * bpr_, q4_.begin() + row_end * bpr_);
+      break;
+  }
+  return m;
+}
+
+WeightMatrix WeightMatrix::SliceCols(std::int64_t col_begin,
+                                     std::int64_t col_end) const {
+  PUNICA_CHECK_MSG(col_begin >= 0 && col_end <= cols_ && col_begin < col_end,
+                   "column slice out of range");
+  WeightMatrix m;
+  m.dtype_ = dtype_;
+  m.rows_ = rows_;
+  m.cols_ = col_end - col_begin;
+  if (dtype_ == WeightDtype::kF16) {
+    m.f16_ = Tensor<f16>({rows_, m.cols_});
+    for (std::int64_t r = 0; r < rows_; ++r) {
+      auto src = f16_.row(r);
+      auto dst = m.f16_.row(r);
+      std::copy(src.begin() + col_begin, src.begin() + col_end, dst.begin());
+    }
+    return m;
+  }
+  // Quantized: blocks are column-groupwise, so the slice must copy whole
+  // blocks. A mid-block boundary would force requantization with different
+  // group extrema — refuse loudly rather than silently change precision.
+  PUNICA_CHECK_MSG(col_begin % kQuantBlock == 0,
+                   "quantized column slice must start on a 32-block boundary");
+  PUNICA_CHECK_MSG(col_end % kQuantBlock == 0 || col_end == cols_,
+                   "quantized column slice must end on a 32-block boundary "
+                   "(or span to the full width)");
+  const std::int64_t b_begin = col_begin / kQuantBlock;
+  const std::int64_t b_end = QuantBlocksPerRow(col_end);
+  m.bpr_ = b_end - b_begin;
+  if (dtype_ == WeightDtype::kQ8_0) {
+    m.q8_.resize(static_cast<std::size_t>(rows_ * m.bpr_));
+    for (std::int64_t r = 0; r < rows_; ++r) {
+      std::copy(q8_.begin() + r * bpr_ + b_begin, q8_.begin() + r * bpr_ + b_end,
+                m.q8_.begin() + r * m.bpr_);
+    }
+  } else {
+    m.q4_.resize(static_cast<std::size_t>(rows_ * m.bpr_));
+    for (std::int64_t r = 0; r < rows_; ++r) {
+      std::copy(q4_.begin() + r * bpr_ + b_begin, q4_.begin() + r * bpr_ + b_end,
+                m.q4_.begin() + r * m.bpr_);
+    }
+  }
+  return m;
+}
+
+WeightMatrix WeightMatrix::Requantize(WeightDtype dtype) const {
+  PUNICA_CHECK_MSG(dtype_ == WeightDtype::kF16,
+                   "Requantize re-encodes an f16 master; requantizing a "
+                   "quantized matrix would compound rounding");
+  Tensor<f16> copy({rows_, cols_});
+  std::copy(f16_.data().begin(), f16_.data().end(), copy.data().begin());
+  return FromF16(std::move(copy), dtype);
+}
+
 void WeightMatrix::DequantRow(std::int64_t r, std::span<float> out) const {
   PUNICA_CHECK_MSG(r >= 0 && r < rows_, "row out of range");
   PUNICA_CHECK_MSG(static_cast<std::int64_t>(out.size()) == cols_,

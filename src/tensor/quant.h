@@ -121,6 +121,33 @@ class WeightMatrix {
   /// kernels compute with, on any path.
   void DequantRow(std::int64_t r, std::span<float> out) const;
 
+  /// Slices rows [row_begin, row_end), preserving the dtype. Quantization
+  /// blocks run along the column dimension, so a row slice copies whole
+  /// block rows at ANY boundary — the sliced shard is bit-identical to
+  /// quantizing the sliced f16 master (quantize and row-slice commute).
+  /// This is why the row-parallel shards (O/Down, and LoRA A row slices)
+  /// never pay a requantization penalty.
+  WeightMatrix SliceRows(std::int64_t row_begin, std::int64_t row_end) const;
+
+  /// Slices columns [col_begin, col_end), preserving the dtype. f16 slices
+  /// at any boundary. Quantized formats require col_begin to be a multiple
+  /// of kQuantBlock and col_end a multiple or the full width: an aligned
+  /// slice copies whole blocks (bit-identical to quantize-after-slice; the
+  /// padded tail block of a non-multiple width travels with the last
+  /// shard), while a mid-block slice would have to requantize with
+  /// different per-group extrema — a silent precision change. Misaligned
+  /// quantized requests abort (PUNICA_CHECK); callers that genuinely need a
+  /// mid-block column split must slice the f16 master and requantize,
+  /// accepting the documented shard-local-blocks exemption (see the q8_0
+  /// tp=4 case in tests/integration/determinism_test.cc).
+  WeightMatrix SliceCols(std::int64_t col_begin, std::int64_t col_end) const;
+
+  /// Re-encodes this matrix's payload under `dtype` via the f16 master
+  /// (f16 source only — requantizing an already-quantized matrix would
+  /// silently compound rounding). The shard path: slice the f16 master,
+  /// then quantize shard-locally.
+  WeightMatrix Requantize(WeightDtype dtype) const;
+
  private:
   WeightDtype dtype_ = WeightDtype::kF16;
   std::int64_t rows_ = 0;

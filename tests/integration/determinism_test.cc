@@ -425,14 +425,20 @@ LlamaConfig TinyLlamaTp() {
 /// RunScenario's tensor-parallel sibling: the same unified serving stack
 /// (frontend → driver → migration → EngineBackend → Engine) over a model
 /// sharded at `tp`, executed either as the serial rank loop or concurrently
-/// on disjoint worker groups. TP is backbone-only, so every request runs
-/// with lora=-1.
+/// on disjoint worker groups. LoRA-active by default: requests carry the
+/// scenario's adapter ids (ranks 8/8/4, sharded over the ranks at
+/// registration), so the sweeps cover the per-rank SGMV shrink/expand and
+/// the adapter deltas folding through the all-reduce — `with_lora=false`
+/// reproduces the backbone-only runs.
 std::vector<std::vector<std::int32_t>> RunTpScenario(
     const ComputeContext& ctx, int tp, bool concurrent,
-    WeightDtype dtype = WeightDtype::kF16) {
+    WeightDtype dtype = WeightDtype::kF16, bool with_lora = true) {
   LlamaConfig config = TinyLlamaTp();
   config.weight_dtype = dtype;
   LlamaModel model(config, 2024, &ctx, tp, concurrent);
+  model.AddLora(0, 8, 1);
+  model.AddLora(1, 8, 2);
+  model.AddLora(2, 4, 3);
 
   std::vector<std::unique_ptr<Engine>> engines;
   std::vector<std::unique_ptr<EngineBackend>> backends;
@@ -456,7 +462,7 @@ std::vector<std::vector<std::int32_t>> RunTpScenario(
 
   std::vector<RequestHandle> handles;
   for (const auto& r : Scenario()) {
-    handles.push_back(frontend.Submit({.lora = -1,
+    handles.push_back(frontend.Submit({.lora = with_lora ? r.lora : -1,
                                        .prompt_tokens = r.prompt,
                                        .max_new_tokens = r.tokens}));
   }
@@ -473,10 +479,13 @@ std::vector<std::vector<std::int32_t>> RunTpScenario(
 }
 
 TEST(DeterminismTest, TpStreamsBitIdenticalSerialVsConcurrent) {
-  // The tentpole contract end-to-end: for every (weight dtype, dispatch
-  // path, tp degree), the concurrent worker-group execution streams
-  // bit-identically to the serial rank loop at every thread count — the
-  // fixed-rank-order all-reduce makes rank scheduling unobservable.
+  // The tentpole contract end-to-end, now LoRA-active: for every (weight
+  // dtype, dispatch path, tp degree), the concurrent worker-group execution
+  // streams bit-identically to the serial rank loop at every thread count —
+  // the fixed-rank-order all-reduce makes rank scheduling unobservable.
+  // Requests carry real adapters (ranks 8/8/4 sharded over the ranks), so
+  // each rank's SGMV shrink/expand and the row-parallel adapter deltas
+  // inherit the same contract as the dense partials.
   for (WeightDtype dtype : {WeightDtype::kF16, WeightDtype::kQ8_0}) {
     for (int l = 0; l < kNumSimdLevels; ++l) {
       auto level = static_cast<SimdLevel>(l);
@@ -519,10 +528,14 @@ TEST(DeterminismTest, TpStreamsMatchSingleGpuExecution) {
   // TP vs tp=1 is an *argmax-level* equivalence, not a bit-level one: the
   // all-reduce at the O/Down seams regroups the fp32 accumulation, so
   // logits differ in ulps while the shift-tied LM head's well-separated
-  // argmax keeps greedy streams identical. q8_0 is compared at tp=2 only:
-  // at tp=4 this config's O projection row-slices at offset 16, mid-block
-  // for 32-wide quant groups, so shard quantization legitimately differs
-  // from whole-matrix quantization (see ShardLayer's alignment note).
+  // argmax keeps greedy streams identical. LoRA-active: adapters stay f16,
+  // so their shards are exact at every seam and add NO per-dtype exemption
+  // — the streams below carry real adapter segments. q8_0 is compared at
+  // tp=2 only: at tp=4 this config's O projection row-slices the dense
+  // BACKBONE at offset 16, mid-block for 32-wide quant groups, so shard
+  // quantization legitimately differs from whole-matrix quantization (see
+  // ShardLayer's alignment note) — an exemption of the quantized backbone,
+  // not of the LoRA path.
   for (int threads : {1, 4}) {
     ComputeContext ctx({.num_threads = threads});
     auto single_f16 = RunTpScenario(ctx, 1, false, WeightDtype::kF16);

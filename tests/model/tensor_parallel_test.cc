@@ -366,6 +366,208 @@ TEST_P(TpConcurrencySweep, ConcurrentMatchesSerialBitExact) {
 INSTANTIATE_TEST_SUITE_P(Degrees, TpConcurrencySweep,
                          ::testing::Values(2, 3));
 
+TEST(ShardLoraModelTest, SeamShapesAndReplication) {
+  LlamaConfig c = TinyLlama();  // H=4, N=2, F=128
+  const int rank = 5;  // odd on purpose: the rank dim is never sharded
+  LoraModelWeights full = LoraModelWeights::Random(c, rank, 7);
+  TpShardedLora sharded = ShardLoraModel(c, full, 2);
+  ASSERT_EQ(sharded.ranks.size(), 2u);
+  EXPECT_EQ(sharded.rank, rank);
+  const auto& l0 = sharded.ranks[0].layers[0];
+  const int d = c.head_dim();
+  // Column-parallel seams: A replicated [h_in, rank], B sliced [rank,
+  // h_out/tp].
+  const auto& q = l0.proj[static_cast<int>(Proj::kQ)];
+  EXPECT_EQ(q.a.dim(0), c.hidden_size);
+  EXPECT_EQ(q.a.dim(1), rank);
+  EXPECT_EQ(q.b.dim(0), rank);
+  EXPECT_EQ(q.b.dim(1), (c.num_heads / 2) * d);
+  const auto& gate = l0.proj[static_cast<int>(Proj::kGate)];
+  EXPECT_EQ(gate.b.dim(1), c.ffn_hidden / 2);
+  // Row-parallel seams: A sliced [h_in/tp, rank], B replicated [rank,
+  // h_out].
+  const auto& o = l0.proj[static_cast<int>(Proj::kO)];
+  EXPECT_EQ(o.a.dim(0), (c.num_heads / 2) * d);
+  EXPECT_EQ(o.a.dim(1), rank);
+  EXPECT_EQ(o.b.dim(0), rank);
+  EXPECT_EQ(o.b.dim(1), c.hidden_size);
+  const auto& down = l0.proj[static_cast<int>(Proj::kDown)];
+  EXPECT_EQ(down.a.dim(0), c.ffn_hidden / 2);
+  EXPECT_EQ(down.b.dim(1), c.hidden_size);
+  // Replicated tensors are bit-equal across ranks; sliced ones partition
+  // the master (spot-check B of Q: rank r owns columns [r·h/2, (r+1)·h/2)).
+  const auto& full_q = full.layers[0].proj[static_cast<int>(Proj::kQ)];
+  for (int r = 0; r < 2; ++r) {
+    const auto& shard_q =
+        sharded.ranks[static_cast<std::size_t>(r)].layers[0]
+            .proj[static_cast<int>(Proj::kQ)];
+    for (std::int64_t i = 0; i < full_q.a.dim(0); ++i) {
+      for (std::int64_t j = 0; j < rank; ++j) {
+        EXPECT_TRUE(shard_q.a.at({i, j}) == full_q.a.at({i, j}));
+      }
+    }
+    std::int64_t half = full_q.b.dim(1) / 2;
+    for (std::int64_t i = 0; i < rank; ++i) {
+      for (std::int64_t j = 0; j < half; ++j) {
+        EXPECT_TRUE(shard_q.b.at({i, j}) == full_q.b.at({i, j + r * half}));
+      }
+    }
+  }
+}
+
+// The LoRA tentpole contract: a TP layer over sharded adapters matches the
+// single-GPU layer over the full adapters (up to fp32 reduction-order
+// error at the two all-reduce seams), with the batch's segment grouping
+// unchanged. Uses a rank NOT divisible by tp — the rank dim is never
+// split, so any adapter rank shards exactly.
+TEST(TpLoraEquivalenceTest, MatchesSingleGpuLayerWithLoraSegments) {
+  LlamaConfig c = TinyLlama();
+  const int tp = 2;
+  LayerWeights full = LayerWeights::Random(c, 17);
+  TpShardedLayer sharded = ShardLayer(c, full, tp);
+  LoraModelWeights lora_a = LoraModelWeights::Random(c, 5, 21);
+  LoraModelWeights lora_b = LoraModelWeights::Random(c, 8, 22);
+  TpShardedLora lora_a_tp = ShardLoraModel(c, lora_a, tp);
+  TpShardedLora lora_b_tp = ShardLoraModel(c, lora_b, tp);
+
+  // Mixed batch: lora 0 prefill, backbone prefill, lora 1 decode.
+  auto setup = [&](PagedKvCache& kv, ModelBatch* batch) {
+    SeqId sa = kv.CreateSequence();
+    EXPECT_TRUE(kv.Extend(sa, 3));
+    SeqId sb = kv.CreateSequence();
+    EXPECT_TRUE(kv.Extend(sb, 2));
+    SeqId sc = kv.CreateSequence();
+    EXPECT_TRUE(kv.Extend(sc, 3));
+    Pcg32 kv_rng(70);
+    for (std::int64_t p = 0; p < 2; ++p) {
+      auto ke = kv.Entry(sc, 0, p, KvSlot::kKey);
+      auto ve = kv.Entry(sc, 0, p, KvSlot::kValue);
+      for (std::size_t d = 0; d < ke.size(); ++d) {
+        ke[d] = f16(static_cast<float>(kv_rng.NextGaussian()) * 0.3f);
+        ve[d] = f16(static_cast<float>(kv_rng.NextGaussian()) * 0.3f);
+      }
+    }
+    *batch = ModelBatch::Build(
+        {{.seq = sa, .lora = 0, .num_tokens = 3, .pos_offset = 0,
+          .is_prefill = true},
+         {.seq = sb, .lora = -1, .num_tokens = 2, .pos_offset = 0,
+          .is_prefill = true},
+         {.seq = sc, .lora = 1, .num_tokens = 1, .pos_offset = 2,
+          .is_prefill = false}});
+  };
+
+  Pcg32 rng(9);
+  auto h = static_cast<std::size_t>(c.hidden_size);
+  auto x0 = RandomGaussianVector(6 * h, 1.0f, rng);
+
+  PagedKvCache kv_ref(KvCfg(c));
+  ModelBatch b_ref;
+  setup(kv_ref, &b_ref);
+  ASSERT_EQ(b_ref.segments.num_segments(), 3);
+  std::vector<const LoraModelWeights*> seg_full;
+  for (LoraId id : b_ref.segments.lora_ids) {
+    seg_full.push_back(id == 0 ? &lora_a : id == 1 ? &lora_b : nullptr);
+  }
+  auto x_ref = x0;
+  LayerWorkspace ws;
+  ws.Resize(c, 6, 8);
+  LayerForward(c, full, seg_full, b_ref, 0, kv_ref, x_ref, ws);
+
+  PagedKvCache kv_tp(KvCfg(c));
+  ModelBatch b_tp;
+  setup(kv_tp, &b_tp);
+  std::vector<const TpShardedLora*> seg_tp;
+  for (LoraId id : b_tp.segments.lora_ids) {
+    seg_tp.push_back(id == 0 ? &lora_a_tp : id == 1 ? &lora_b_tp : nullptr);
+  }
+  auto x_tp = x0;
+  TpLayerForward(c, sharded, b_tp, 0, kv_tp, x_tp,
+                 ComputeContext::Default(),
+                 std::span<const TpShardedLora* const>(seg_tp));
+
+  for (std::size_t i = 0; i < x_ref.size(); ++i) {
+    ASSERT_NEAR(x_tp[i], x_ref[i], 2e-3f) << "activation " << i;
+  }
+}
+
+// LoRA-active concurrent rank execution stays BIT-identical to the serial
+// rank loop: each rank's SGMV shrink/expand runs through its own private
+// workspace and the adapter deltas meet only at the fixed-rank-order
+// all-reduce, exactly like the dense partials.
+TEST(TpLoraConcurrencyTest, ConcurrentMatchesSerialBitExactWithLora) {
+  LlamaConfig c = TinyLlama();
+  const int tp = 2;
+  LayerWeights full = LayerWeights::Random(c, 17);
+  TpShardedLayer sharded = ShardLayer(c, full, tp);
+  LoraModelWeights lora = LoraModelWeights::Random(c, 8, 31);
+  TpShardedLora lora_tp = ShardLoraModel(c, lora, tp);
+
+  auto setup = [&](PagedKvCache& kv, ModelBatch* batch) {
+    SeqId sa = kv.CreateSequence();
+    EXPECT_TRUE(kv.Extend(sa, 3));
+    SeqId sb = kv.CreateSequence();
+    EXPECT_TRUE(kv.Extend(sb, 1));
+    *batch = ModelBatch::Build(
+        {{.seq = sa, .lora = 0, .num_tokens = 3, .pos_offset = 0,
+          .is_prefill = true},
+         {.seq = sb, .lora = -1, .num_tokens = 1, .pos_offset = 0,
+          .is_prefill = true}});
+  };
+
+  Pcg32 rng(9);
+  auto h = static_cast<std::size_t>(c.hidden_size);
+  auto x0 = RandomGaussianVector(4 * h, 1.0f, rng);
+  auto bits = [](float v) {
+    std::uint32_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+  };
+
+  auto seg_for = [&](const ModelBatch& b) {
+    std::vector<const TpShardedLora*> seg;
+    for (LoraId id : b.segments.lora_ids) {
+      seg.push_back(id == 0 ? &lora_tp : nullptr);
+    }
+    return seg;
+  };
+
+  ComputeContext ctx1({.num_threads = 1});
+  PagedKvCache kv_ref(KvCfg(c));
+  ModelBatch b_ref;
+  setup(kv_ref, &b_ref);
+  auto seg_ref = seg_for(b_ref);
+  auto x_ref = x0;
+  TpWorkspace ws_ref;
+  TpLayerForward(c, sharded, b_ref, 0, kv_ref, x_ref, ws_ref, ctx1, {},
+                 std::span<const TpShardedLora* const>(seg_ref));
+
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ComputeContext ctx({.num_threads = threads});
+    for (bool concurrent : {false, true}) {
+      SCOPED_TRACE(concurrent ? "concurrent" : "serial");
+      std::vector<std::unique_ptr<ComputeContext>> views;
+      std::vector<const ComputeContext*> ptrs;
+      if (concurrent) {
+        views = ctx.Split(tp);
+        for (const auto& v : views) ptrs.push_back(v.get());
+      }
+      PagedKvCache kv(KvCfg(c));
+      ModelBatch b;
+      setup(kv, &b);
+      auto seg = seg_for(b);
+      auto x = x0;
+      TpWorkspace ws;
+      TpLayerForward(c, sharded, b, 0, kv, x, ws, ctx,
+                     std::span<const ComputeContext* const>(ptrs),
+                     std::span<const TpShardedLora* const>(seg));
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        ASSERT_EQ(bits(x[i]), bits(x_ref[i])) << "activation " << i;
+      }
+    }
+  }
+}
+
 TEST(RangedAttentionTest, SliceConcatenationEqualsFull) {
   LlamaConfig c = TinyLlama();  // 4 heads
   PagedKvCache kv(KvCfg(c));

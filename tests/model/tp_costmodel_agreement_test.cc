@@ -137,6 +137,82 @@ TEST(TpCostModelAgreement, RooflinePredictsNearIdealComputeScaling) {
   }
 }
 
+TEST(TpCostModelAgreement, LoraAddonKernelTimeDividesByTp) {
+  // The SGMV addon follows the backbone's Megatron split: B column-sharded
+  // at the Q/K/V/Gate/Up seams, A row-sharded at O/Down. Kernel IO and
+  // FLOPs divide by tp; the per-pair pipelined launch overhead does not.
+  // With that overhead zeroed the division must be exact — this is the
+  // analytic half of the per-rank SGMV speedup the lora_tp bench measures.
+  LlamaConfig c = Llama70B();
+  std::vector<std::int32_t> segs = {8, 8, 8, 8};
+  CostModel kernels_only(A100Sxm80GB());
+  kernels_only.mutable_params().sgmv_pipelined_overhead_s = 0.0;
+  double base = kernels_only.LoraLayerAddonLatency(c, segs, /*rank=*/16, 1);
+  for (int tp : {2, 4, 8}) {
+    EXPECT_DOUBLE_EQ(base / tp,
+                     kernels_only.LoraLayerAddonLatency(c, segs, 16, tp))
+        << "tp=" << tp;
+  }
+  // With the launch overheads back, the addon keeps a non-sharding floor of
+  // seven pipelined pairs per layer — speedup must bend below ideal.
+  CostModel cm(A100Sxm80GB());
+  double t1 = cm.LoraLayerAddonLatency(c, segs, 16, 1);
+  for (int tp : {2, 4, 8}) {
+    double t = cm.LoraLayerAddonLatency(c, segs, 16, tp);
+    EXPECT_GT(t, t1 / tp) << "tp=" << tp;
+    EXPECT_GE(t, 7.0 * cm.params().sgmv_pipelined_overhead_s);
+  }
+}
+
+TEST(TpCostModelAgreement, LoraDeltaAddsNoAllReduceTerm) {
+  // The execution tier folds every rank's row-parallel LoRA delta into the
+  // backbone's existing post-attention / post-MLP all-reduces (x·A_r·B
+  // summed over ranks IS x·A·B), so serving adapters under TP costs zero
+  // extra communication. Cross-validate that the model agrees: the LoRA
+  // delta — step(lora) − step(backbone) at identical token shape — must be
+  // independent of the all-reduce overhead at every degree (to fp rounding:
+  // an actual extra per-layer all-reduce would move the delta by ~24 ms,
+  // fifteen orders of magnitude above the tolerance).
+  StepShape backbone;
+  backbone.decode_kv_lens.assign(kBatch, kKvLen);
+  StepShape lora = backbone;
+  lora.lora_segment_rows = {8, 8, 8, 8};
+  lora.lora_rank = 16;
+  LlamaConfig c = Llama70B();
+  CostModel with(A100Sxm80GB());
+  CostModel without(A100Sxm80GB());
+  without.mutable_params().allreduce_overhead_s = 0.0;
+  for (int tp : {1, 2, 4, 8}) {
+    backbone.tp_degree = tp;
+    lora.tp_degree = tp;
+    double delta_with = with.StepLatency(c, lora) - with.StepLatency(c, backbone);
+    double delta_without =
+        without.StepLatency(c, lora) - without.StepLatency(c, backbone);
+    EXPECT_NEAR(delta_with, delta_without, 1e-12) << "tp=" << tp;
+    EXPECT_GT(delta_with, 0.0) << "tp=" << tp;
+    if (tp > 1) {
+      // …while the all-reduce term itself stays visible in the LoRA step.
+      EXPECT_LT(without.StepLatency(c, lora), with.StepLatency(c, lora))
+          << "tp=" << tp;
+    }
+  }
+  // And the delta is pure SGMV: with every overhead zeroed it divides by tp
+  // exactly, layer count and all.
+  CostModel roofline = RooflineOnly();
+  roofline.mutable_params().sgmv_pipelined_overhead_s = 0.0;
+  backbone.tp_degree = 1;
+  lora.tp_degree = 1;
+  double delta1 =
+      roofline.StepLatency(c, lora) - roofline.StepLatency(c, backbone);
+  for (int tp : {2, 4, 8}) {
+    backbone.tp_degree = tp;
+    lora.tp_degree = tp;
+    double delta =
+        roofline.StepLatency(c, lora) - roofline.StepLatency(c, backbone);
+    EXPECT_NEAR(delta, delta1 / tp, 1e-12) << "tp=" << tp;
+  }
+}
+
 /// Median-free best-of-N timing of `steps` decode Forward calls.
 double TimeDecodeSteps(LlamaModel& model, const ModelBatch& batch,
                        std::span<const std::int32_t> ids, PagedKvCache& kv,
@@ -207,6 +283,79 @@ TEST(TpCostModelAgreement, MeasuredPerRankScalingTracksRoofline) {
         pred1 / roofline.DecodeStepLatency(c, kSeqs, kHist, tp);
     double ratio = measured / predicted;
     RecordProperty("measured_speedup_tp" + std::to_string(tp), measured);
+    EXPECT_GT(ratio, 0.30) << "tp=" << tp << " measured " << measured
+                           << "x vs predicted " << predicted << "x";
+    EXPECT_LT(ratio, 1.25) << "tp=" << tp << " measured " << measured
+                           << "x vs predicted " << predicted << "x";
+  }
+}
+
+TEST(TpCostModelAgreement, MeasuredLoraTpScalingTracksRoofline) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "timing test: Release builds only";
+#endif
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 4) GTEST_SKIP() << "needs >= 4 hardware threads, have " << hw;
+
+  // The LoRA-active analogue of the per-rank scaling test above: half the
+  // decode batch runs adapter 0, half adapter 1, so every step pays the
+  // sharded SGMV shrink/expand on all seven seams plus the backbone. The
+  // roofline prediction threads the same lora_segment_rows through
+  // StepShape; agreement here pins the measured execution tier to the
+  // cost-model term the lora_tp CI gate freezes.
+  LlamaConfig c = BenchConfig();
+  CostModel roofline = RooflineOnly();
+  const int kSeqs = 8;
+  const std::int64_t kHist = 64;
+  const int kRank = 16;
+
+  auto measure = [&](int tp) {
+    ComputeContext ctx({.num_threads = tp});
+    LlamaModel model(c, 7, &ctx, tp, /*tp_concurrent=*/tp > 1);
+    model.AddLora(0, kRank, /*seed=*/21);
+    model.AddLora(1, kRank, /*seed=*/22);
+    PagedKvCache kv(model.MakeKvConfig(/*num_pages=*/256, /*page_size=*/16));
+    Pcg32 rng(11);
+    std::vector<BatchEntry> specs;
+    for (int s = 0; s < kSeqs; ++s) {
+      SeqId id = kv.CreateSequence();
+      EXPECT_TRUE(kv.Extend(id, kHist + 1));
+      for (int l = 0; l < c.num_layers; ++l) {
+        for (std::int64_t p = 0; p < kHist; ++p) {
+          for (auto slot : {KvSlot::kKey, KvSlot::kValue}) {
+            auto e = kv.Entry(id, l, p, slot);
+            for (auto& v : e) {
+              v = f16(static_cast<float>(rng.NextGaussian()) * 0.25f);
+            }
+          }
+        }
+      }
+      specs.push_back({.seq = id, .lora = s < kSeqs / 2 ? 0 : 1,
+                       .num_tokens = 1, .pos_offset = kHist,
+                       .is_prefill = false});
+    }
+    ModelBatch batch = ModelBatch::Build(specs);
+    std::vector<std::int32_t> ids(kSeqs, 3);
+    return TimeDecodeSteps(model, batch, ids, kv, /*steps=*/4, /*reps=*/5);
+  };
+
+  auto predict = [&](int tp) {
+    StepShape shape;
+    shape.decode_kv_lens.assign(kSeqs, kHist);
+    shape.lora_segment_rows = {kSeqs / 2, kSeqs / 2};
+    shape.lora_rank = kRank;
+    shape.tp_degree = tp;
+    return roofline.StepLatency(c, shape);
+  };
+
+  double t1 = measure(1);
+  double pred1 = predict(1);
+  for (int tp : {2, 4}) {
+    if (tp > hw) break;
+    double measured = t1 / measure(tp);
+    double predicted = pred1 / predict(tp);
+    double ratio = measured / predicted;
+    RecordProperty("lora_measured_speedup_tp" + std::to_string(tp), measured);
     EXPECT_GT(ratio, 0.30) << "tp=" << tp << " measured " << measured
                            << "x vs predicted " << predicted << "x";
     EXPECT_LT(ratio, 1.25) << "tp=" << tp << " measured " << measured

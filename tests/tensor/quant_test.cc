@@ -259,6 +259,141 @@ TEST(QuantTest, ScalarFusedGemmMatchesExplicitDequantReference) {
   }
 }
 
+namespace {
+
+// Random quantized [rows, cols] matrix plus a retained f16 master copy, the
+// shard-alignment fixture: slices of the quantized matrix are compared
+// against quantizing slices of the master.
+struct SliceFixture {
+  Tensor<f16> master;
+  WeightMatrix q;
+};
+
+SliceFixture MakeSliceFixture(std::int64_t rows, std::int64_t cols,
+                              WeightDtype dtype, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  SliceFixture f;
+  f.master = Tensor<f16>({rows, cols});
+  for (auto& v : f.master.data()) {
+    v = f16(static_cast<float>(rng.NextGaussian()) * 0.2f);
+  }
+  Tensor<f16> copy({rows, cols});
+  std::copy(f.master.data().begin(), f.master.data().end(),
+            copy.data().begin());
+  f.q = WeightMatrix::FromF16(std::move(copy), dtype);
+  return f;
+}
+
+Tensor<f16> SliceMaster(const Tensor<f16>& m, std::int64_t r0, std::int64_t r1,
+                        std::int64_t c0, std::int64_t c1) {
+  Tensor<f16> out({r1 - r0, c1 - c0});
+  for (std::int64_t i = r0; i < r1; ++i) {
+    auto src = m.row(i);
+    auto dst = out.row(i - r0);
+    std::copy(src.begin() + c0, src.begin() + c1, dst.begin());
+  }
+  return out;
+}
+
+bool SameBlocks(const WeightMatrix& a, const WeightMatrix& b) {
+  if (a.dtype() != b.dtype() || a.rows() != b.rows() || a.cols() != b.cols()) {
+    return false;
+  }
+  if (a.dtype() == WeightDtype::kQ8_0) {
+    return a.q8_data().size() == b.q8_data().size() &&
+           std::memcmp(a.q8_data().data(), b.q8_data().data(),
+                       a.q8_data().size() * sizeof(BlockQ8_0)) == 0;
+  }
+  return a.q4_data().size() == b.q4_data().size() &&
+         std::memcmp(a.q4_data().data(), b.q4_data().data(),
+                     a.q4_data().size() * sizeof(BlockQ4_0)) == 0;
+}
+
+}  // namespace
+
+// The shard-alignment contract the tensor-parallel split relies on: blocks
+// run along the column dimension, so ROW slices (the O/Down row-parallel
+// seams, and LoRA A row slices at any adapter rank — including ranks not
+// divisible by tp) are bit-exact at ANY boundary: quantize-then-slice
+// equals slice-then-quantize.
+TEST(QuantSliceTest, RowSlicesAreBitExactAtAnyBoundary) {
+  for (WeightDtype dtype : {WeightDtype::kQ8_0, WeightDtype::kQ4_0}) {
+    SliceFixture f = MakeSliceFixture(96, 64, dtype, 41);
+    // Deliberately non-block-aligned row boundaries (rows 5..71): row
+    // slices never touch block geometry.
+    WeightMatrix sliced = f.q.SliceRows(5, 71);
+    WeightMatrix ref = WeightMatrix::FromF16(
+        SliceMaster(f.master, 5, 71, 0, 64), dtype);
+    EXPECT_TRUE(SameBlocks(sliced, ref)) << WeightDtypeName(dtype);
+  }
+}
+
+TEST(QuantSliceTest, AlignedColumnSlicesAreBitExact) {
+  for (WeightDtype dtype : {WeightDtype::kQ8_0, WeightDtype::kQ4_0}) {
+    SliceFixture f = MakeSliceFixture(16, 128, dtype, 43);
+    // 32-block-aligned column window [32, 96): whole blocks copy over.
+    WeightMatrix sliced = f.q.SliceCols(32, 96);
+    WeightMatrix ref = WeightMatrix::FromF16(
+        SliceMaster(f.master, 0, 16, 32, 96), dtype);
+    EXPECT_TRUE(SameBlocks(sliced, ref)) << WeightDtypeName(dtype);
+  }
+}
+
+TEST(QuantSliceTest, TailPaddedWidthSlicesToTheLastShard) {
+  // A 100-wide q8 matrix has a padded tail block; the final column shard
+  // [64, 100) carries it (col_end == cols is allowed off-boundary).
+  SliceFixture f = MakeSliceFixture(4, 100, WeightDtype::kQ8_0, 47);
+  WeightMatrix sliced = f.q.SliceCols(64, 100);
+  EXPECT_EQ(sliced.cols(), 36);
+  EXPECT_EQ(sliced.blocks_per_row(), 2);
+  WeightMatrix ref = WeightMatrix::FromF16(
+      SliceMaster(f.master, 0, 4, 64, 100), WeightDtype::kQ8_0);
+  EXPECT_TRUE(SameBlocks(sliced, ref));
+}
+
+TEST(QuantSliceTest, F16SlicesAtAnyBoundary) {
+  // The f16 path has no block constraint — mid-"block" column slices are
+  // exact element copies (this is why f16 LoRA adapters shard at any seam
+  // without a requantization exemption).
+  SliceFixture f = MakeSliceFixture(8, 64, WeightDtype::kQ8_0, 49);
+  WeightMatrix wf16 = WeightMatrix::FromF16(
+      SliceMaster(f.master, 0, 8, 0, 64), WeightDtype::kF16);
+  WeightMatrix sliced = wf16.SliceCols(10, 23);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    for (std::int64_t j = 0; j < 13; ++j) {
+      EXPECT_TRUE(sliced.at({i, j}) == f.master.at({i, j + 10}));
+    }
+  }
+  WeightMatrix rows = wf16.SliceRows(3, 6);
+  EXPECT_EQ(rows.rows(), 3);
+  EXPECT_TRUE(rows.at({0, 0}) == f.master.at({3, 0}));
+}
+
+TEST(QuantSliceTest, RequantizeMatchesDirectQuantization) {
+  SliceFixture f = MakeSliceFixture(8, 64, WeightDtype::kQ8_0, 53);
+  WeightMatrix wf16 = WeightMatrix::FromF16(
+      SliceMaster(f.master, 0, 8, 0, 64), WeightDtype::kF16);
+  EXPECT_TRUE(SameBlocks(wf16.Requantize(WeightDtype::kQ8_0), f.q));
+}
+
+TEST(QuantSliceDeathTest, MisalignedQuantizedColumnSliceAborts) {
+  // A mid-block column split would require requantization with different
+  // per-group extrema — a silent precision change — so the slicer refuses.
+  // (The tp shard path hits this only when a quantized seam lands mid-block,
+  // e.g. TinyLlama q8_0 at tp=4; ShardLayer requantizes the f16 master
+  // instead, the documented exemption.)
+  SliceFixture q8 = MakeSliceFixture(4, 64, WeightDtype::kQ8_0, 59);
+  EXPECT_DEATH(q8.q.SliceCols(16, 48), "boundary");
+  EXPECT_DEATH(q8.q.SliceCols(0, 48), "boundary");
+  SliceFixture q4 = MakeSliceFixture(4, 64, WeightDtype::kQ4_0, 61);
+  EXPECT_DEATH(q4.q.SliceCols(8, 40), "boundary");
+}
+
+TEST(QuantSliceDeathTest, RequantizingAQuantizedMatrixAborts) {
+  SliceFixture f = MakeSliceFixture(4, 64, WeightDtype::kQ8_0, 67);
+  EXPECT_DEATH(f.q.Requantize(WeightDtype::kQ4_0), "f16 master");
+}
+
 TEST(QuantTest, QuantizationIsDeterministicInTheF16Bits) {
   Pcg32 rng(99);
   auto xs = RandomGaussianVector(256, 2.0f, rng);
